@@ -1,0 +1,402 @@
+//! A replicated bank with transactional semantics.
+//!
+//! The conclusion of the OAR paper singles out transactional environments as
+//! the natural fit for the algorithm: each optimistic delivery opens a
+//! transaction (or declares a save-point) that is committed when the epoch
+//! confirms the order and aborted when the request is `Opt-undeliver`ed. This
+//! bank models that: every command's undo token is exactly the save-point that
+//! rolls the accounts back.
+
+use std::collections::BTreeMap;
+
+use oar::state_machine::StateMachine;
+use serde::{Deserialize, Serialize};
+
+/// Account identifier.
+pub type AccountId = u32;
+/// Money amounts (integer cents; no floats in a deterministic service).
+pub type Amount = i64;
+
+/// Commands of the replicated bank.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankCommand {
+    /// Create an account with an initial balance.
+    Open {
+        /// New account id.
+        account: AccountId,
+        /// Initial balance.
+        initial: Amount,
+    },
+    /// Deposit into an account.
+    Deposit {
+        /// Target account.
+        account: AccountId,
+        /// Amount to add (must be positive).
+        amount: Amount,
+    },
+    /// Withdraw from an account; fails (without effect) on insufficient funds.
+    Withdraw {
+        /// Source account.
+        account: AccountId,
+        /// Amount to remove (must be positive).
+        amount: Amount,
+    },
+    /// Transfer between two accounts; fails on insufficient funds.
+    Transfer {
+        /// Source account.
+        from: AccountId,
+        /// Destination account.
+        to: AccountId,
+        /// Amount to move.
+        amount: Amount,
+    },
+    /// Read a balance.
+    Balance {
+        /// Account to read.
+        account: AccountId,
+    },
+}
+
+/// Responses of the replicated bank.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankResponse {
+    /// Operation applied; the new balance of the touched (source) account.
+    Ok(Amount),
+    /// Read result.
+    Balance(Option<Amount>),
+    /// The operation was rejected (unknown account, insufficient funds,
+    /// duplicate open, non-positive amount).
+    Rejected(BankError),
+}
+
+/// Why a bank command was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BankError {
+    /// The account does not exist.
+    NoSuchAccount,
+    /// The account already exists.
+    AlreadyExists,
+    /// Insufficient funds for a withdrawal or transfer.
+    InsufficientFunds,
+    /// The amount was not strictly positive.
+    InvalidAmount,
+}
+
+/// Undo token: the save-point capturing the balances touched by the command.
+#[derive(Debug)]
+pub struct BankUndo {
+    /// `(account, balance-before)` pairs; `None` means the account did not
+    /// exist before the command.
+    touched: Vec<(AccountId, Option<Amount>)>,
+}
+
+/// A deterministic, undoable bank.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BankMachine {
+    accounts: BTreeMap<AccountId, Amount>,
+    ops: u64,
+}
+
+impl BankMachine {
+    /// Creates a bank with no accounts.
+    pub fn new() -> Self {
+        BankMachine::default()
+    }
+
+    /// Creates a bank with `accounts` accounts numbered `0..accounts`, each
+    /// holding `initial`.
+    pub fn with_accounts(accounts: u32, initial: Amount) -> Self {
+        BankMachine {
+            accounts: (0..accounts).map(|a| (a, initial)).collect(),
+            ops: 0,
+        }
+    }
+
+    /// The balance of `account`, if it exists.
+    pub fn balance(&self, account: AccountId) -> Option<Amount> {
+        self.accounts.get(&account).copied()
+    }
+
+    /// Sum of all balances — conserved by every successful transfer.
+    pub fn total_funds(&self) -> Amount {
+        self.accounts.values().sum()
+    }
+
+    /// Number of accounts.
+    pub fn num_accounts(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Number of operations applied and not undone.
+    pub fn operations(&self) -> u64 {
+        self.ops
+    }
+
+    fn save(&self, accounts: &[AccountId]) -> BankUndo {
+        BankUndo {
+            touched: accounts
+                .iter()
+                .map(|&a| (a, self.accounts.get(&a).copied()))
+                .collect(),
+        }
+    }
+}
+
+impl StateMachine for BankMachine {
+    type Command = BankCommand;
+    type Response = BankResponse;
+    type Undo = BankUndo;
+
+    fn apply(&mut self, command: &BankCommand) -> (BankResponse, BankUndo) {
+        self.ops += 1;
+        match *command {
+            BankCommand::Open { account, initial } => {
+                let undo = self.save(&[account]);
+                if initial < 0 {
+                    return (BankResponse::Rejected(BankError::InvalidAmount), undo);
+                }
+                if self.accounts.contains_key(&account) {
+                    return (BankResponse::Rejected(BankError::AlreadyExists), undo);
+                }
+                self.accounts.insert(account, initial);
+                (BankResponse::Ok(initial), undo)
+            }
+            BankCommand::Deposit { account, amount } => {
+                let undo = self.save(&[account]);
+                if amount <= 0 {
+                    return (BankResponse::Rejected(BankError::InvalidAmount), undo);
+                }
+                match self.accounts.get_mut(&account) {
+                    None => (BankResponse::Rejected(BankError::NoSuchAccount), undo),
+                    Some(balance) => {
+                        *balance += amount;
+                        (BankResponse::Ok(*balance), undo)
+                    }
+                }
+            }
+            BankCommand::Withdraw { account, amount } => {
+                let undo = self.save(&[account]);
+                if amount <= 0 {
+                    return (BankResponse::Rejected(BankError::InvalidAmount), undo);
+                }
+                match self.accounts.get_mut(&account) {
+                    None => (BankResponse::Rejected(BankError::NoSuchAccount), undo),
+                    Some(balance) if *balance < amount => {
+                        (BankResponse::Rejected(BankError::InsufficientFunds), undo)
+                    }
+                    Some(balance) => {
+                        *balance -= amount;
+                        (BankResponse::Ok(*balance), undo)
+                    }
+                }
+            }
+            BankCommand::Transfer { from, to, amount } => {
+                let undo = self.save(&[from, to]);
+                if amount <= 0 {
+                    return (BankResponse::Rejected(BankError::InvalidAmount), undo);
+                }
+                if !self.accounts.contains_key(&from) || !self.accounts.contains_key(&to) {
+                    return (BankResponse::Rejected(BankError::NoSuchAccount), undo);
+                }
+                let from_balance = self.accounts[&from];
+                if from_balance < amount {
+                    return (BankResponse::Rejected(BankError::InsufficientFunds), undo);
+                }
+                *self.accounts.get_mut(&from).expect("checked") -= amount;
+                *self.accounts.get_mut(&to).expect("checked") += amount;
+                (BankResponse::Ok(from_balance - amount), undo)
+            }
+            BankCommand::Balance { account } => {
+                let undo = BankUndo { touched: Vec::new() };
+                (BankResponse::Balance(self.accounts.get(&account).copied()), undo)
+            }
+        }
+    }
+
+    fn undo(&mut self, token: BankUndo) {
+        self.ops -= 1;
+        // Restore in reverse order so a command touching the same account twice
+        // (not possible today, but harmless) still restores the oldest value.
+        for (account, previous) in token.touched.into_iter().rev() {
+            match previous {
+                Some(balance) => {
+                    self.accounts.insert(account, balance);
+                }
+                None => {
+                    self.accounts.remove(&account);
+                }
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h: u64 = 0x84222325_cbf29ce4;
+        for (a, b) in &self.accounts {
+            h ^= (*a as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = h.rotate_left(13);
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_deposit_withdraw() {
+        let mut bank = BankMachine::new();
+        assert_eq!(bank.apply(&BankCommand::Open { account: 1, initial: 100 }).0, BankResponse::Ok(100));
+        assert_eq!(
+            bank.apply(&BankCommand::Deposit { account: 1, amount: 50 }).0,
+            BankResponse::Ok(150)
+        );
+        assert_eq!(
+            bank.apply(&BankCommand::Withdraw { account: 1, amount: 70 }).0,
+            BankResponse::Ok(80)
+        );
+        assert_eq!(bank.balance(1), Some(80));
+    }
+
+    #[test]
+    fn rejections_have_no_effect() {
+        let mut bank = BankMachine::with_accounts(2, 10);
+        let before = bank.clone();
+        assert_eq!(
+            bank.apply(&BankCommand::Withdraw { account: 0, amount: 100 }).0,
+            BankResponse::Rejected(BankError::InsufficientFunds)
+        );
+        assert_eq!(
+            bank.apply(&BankCommand::Deposit { account: 9, amount: 5 }).0,
+            BankResponse::Rejected(BankError::NoSuchAccount)
+        );
+        assert_eq!(
+            bank.apply(&BankCommand::Deposit { account: 0, amount: 0 }).0,
+            BankResponse::Rejected(BankError::InvalidAmount)
+        );
+        assert_eq!(
+            bank.apply(&BankCommand::Open { account: 0, initial: 5 }).0,
+            BankResponse::Rejected(BankError::AlreadyExists)
+        );
+        assert_eq!(bank.accounts, before.accounts);
+    }
+
+    #[test]
+    fn transfer_conserves_total_funds() {
+        let mut bank = BankMachine::with_accounts(3, 100);
+        let total = bank.total_funds();
+        bank.apply(&BankCommand::Transfer { from: 0, to: 1, amount: 30 });
+        bank.apply(&BankCommand::Transfer { from: 1, to: 2, amount: 130 });
+        assert_eq!(bank.total_funds(), total);
+        assert_eq!(bank.balance(0), Some(70));
+        assert_eq!(bank.balance(1), Some(0));
+        assert_eq!(bank.balance(2), Some(230));
+    }
+
+    #[test]
+    fn failed_transfer_is_a_no_op() {
+        let mut bank = BankMachine::with_accounts(2, 10);
+        let (r, _) = bank.apply(&BankCommand::Transfer { from: 0, to: 1, amount: 50 });
+        assert_eq!(r, BankResponse::Rejected(BankError::InsufficientFunds));
+        assert_eq!(bank.balance(0), Some(10));
+        assert_eq!(bank.balance(1), Some(10));
+    }
+
+    #[test]
+    fn undo_rolls_back_transfers_like_a_transaction_abort() {
+        let mut bank = BankMachine::with_accounts(2, 100);
+        let before = bank.clone();
+        let (_, u1) = bank.apply(&BankCommand::Transfer { from: 0, to: 1, amount: 40 });
+        let (_, u2) = bank.apply(&BankCommand::Deposit { account: 0, amount: 5 });
+        bank.undo(u2);
+        bank.undo(u1);
+        assert_eq!(bank, before);
+    }
+
+    #[test]
+    fn undo_of_open_removes_the_account() {
+        let mut bank = BankMachine::new();
+        let (_, undo) = bank.apply(&BankCommand::Open { account: 7, initial: 3 });
+        assert_eq!(bank.num_accounts(), 1);
+        bank.undo(undo);
+        assert_eq!(bank.num_accounts(), 0);
+    }
+
+    #[test]
+    fn balance_query_is_read_only() {
+        let mut bank = BankMachine::with_accounts(1, 5);
+        let (r, undo) = bank.apply(&BankCommand::Balance { account: 0 });
+        assert_eq!(r, BankResponse::Balance(Some(5)));
+        bank.undo(undo);
+        assert_eq!(bank.balance(0), Some(5));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_command() -> impl Strategy<Value = BankCommand> {
+        let account = 0u32..4;
+        prop_oneof![
+            (account.clone(), 1i64..100).prop_map(|(account, amount)| BankCommand::Deposit { account, amount }),
+            (account.clone(), 1i64..100).prop_map(|(account, amount)| BankCommand::Withdraw { account, amount }),
+            (account.clone(), account.clone(), 1i64..100)
+                .prop_map(|(from, to, amount)| BankCommand::Transfer { from, to, amount }),
+            account.clone().prop_map(|account| BankCommand::Balance { account }),
+            (4u32..8, 0i64..50).prop_map(|(account, initial)| BankCommand::Open { account, initial }),
+        ]
+    }
+
+    proptest! {
+        /// Transfers (successful or not) never create or destroy money.
+        #[test]
+        fn conservation_of_funds(commands in proptest::collection::vec(arb_command(), 0..50)) {
+            let mut bank = BankMachine::with_accounts(4, 100);
+            let mut expected_total = bank.total_funds();
+            for c in &commands {
+                let (response, _) = bank.apply(c);
+                match (c, &response) {
+                    (BankCommand::Deposit { amount, .. }, BankResponse::Ok(_)) => expected_total += amount,
+                    (BankCommand::Withdraw { amount, .. }, BankResponse::Ok(_)) => expected_total -= amount,
+                    (BankCommand::Open { initial, .. }, BankResponse::Ok(_)) => expected_total += initial,
+                    _ => {}
+                }
+                prop_assert_eq!(bank.total_funds(), expected_total);
+            }
+        }
+
+        /// Reverse-order undo restores the exact initial state.
+        #[test]
+        fn apply_then_undo_roundtrip(commands in proptest::collection::vec(arb_command(), 0..50)) {
+            let mut bank = BankMachine::with_accounts(4, 100);
+            let before = bank.clone();
+            let mut undos = Vec::new();
+            for c in &commands {
+                let (_, u) = bank.apply(c);
+                undos.push(u);
+            }
+            for u in undos.into_iter().rev() {
+                bank.undo(u);
+            }
+            prop_assert_eq!(bank, before);
+        }
+
+        /// Balances never go negative.
+        #[test]
+        fn no_negative_balances(commands in proptest::collection::vec(arb_command(), 0..50)) {
+            let mut bank = BankMachine::with_accounts(4, 100);
+            for c in &commands {
+                bank.apply(c);
+                for a in 0..8 {
+                    if let Some(b) = bank.balance(a) {
+                        prop_assert!(b >= 0, "account {a} went negative: {b}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! A replicated key-value store.
+//!
+//! The store is the "generic service" used by the examples and the throughput
+//! experiments: writes, reads, deletes and atomic compare-and-swap, all
+//! deterministic and undoable so that optimistic deliveries can be rolled back.
+
+use std::collections::BTreeMap;
+
+use oar::state_machine::StateMachine;
+use serde::{Deserialize, Serialize};
+
+/// Keys are small strings; values are strings too (the protocol does not care).
+pub type Key = String;
+/// Value type of the store.
+pub type Value = String;
+
+/// Commands of the key-value store.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvCommand {
+    /// Write `value` under `key`, returning the previous value.
+    Put {
+        /// The key to write.
+        key: Key,
+        /// The value to store.
+        value: Value,
+    },
+    /// Read the value under `key`.
+    Get {
+        /// The key to read.
+        key: Key,
+    },
+    /// Remove `key`, returning the removed value.
+    Delete {
+        /// The key to remove.
+        key: Key,
+    },
+    /// Write `new` under `key` only if the current value equals `expected`.
+    CompareAndSwap {
+        /// The key to update.
+        key: Key,
+        /// Expected current value (`None` = key absent).
+        expected: Option<Value>,
+        /// New value to store on success.
+        new: Value,
+    },
+}
+
+/// Responses of the key-value store.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KvResponse {
+    /// Previous value (for `Put` / `Delete`).
+    Previous(Option<Value>),
+    /// Read result.
+    Value(Option<Value>),
+    /// Whether a compare-and-swap succeeded.
+    Swapped(bool),
+}
+
+/// Undo token: the key touched and the value it held before the command.
+#[derive(Debug)]
+pub enum KvUndo {
+    /// Restore `key` to `previous` (which may be "absent").
+    Restore {
+        /// The key to restore.
+        key: Key,
+        /// The value before the command (`None` = key was absent).
+        previous: Option<Value>,
+    },
+    /// Read-only command: nothing to undo.
+    Nothing,
+}
+
+/// A deterministic, undoable key-value store.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KvMachine {
+    map: BTreeMap<Key, Value>,
+    ops: u64,
+}
+
+impl KvMachine {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        KvMachine::default()
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Direct read access (for tests and examples).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.map.get(key)
+    }
+
+    /// Number of operations applied and not undone.
+    pub fn operations(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl StateMachine for KvMachine {
+    type Command = KvCommand;
+    type Response = KvResponse;
+    type Undo = KvUndo;
+
+    fn apply(&mut self, command: &KvCommand) -> (KvResponse, KvUndo) {
+        self.ops += 1;
+        match command {
+            KvCommand::Put { key, value } => {
+                let previous = self.map.insert(key.clone(), value.clone());
+                (
+                    KvResponse::Previous(previous.clone()),
+                    KvUndo::Restore { key: key.clone(), previous },
+                )
+            }
+            KvCommand::Get { key } => (
+                KvResponse::Value(self.map.get(key).cloned()),
+                KvUndo::Nothing,
+            ),
+            KvCommand::Delete { key } => {
+                let previous = self.map.remove(key);
+                (
+                    KvResponse::Previous(previous.clone()),
+                    KvUndo::Restore { key: key.clone(), previous },
+                )
+            }
+            KvCommand::CompareAndSwap { key, expected, new } => {
+                let current = self.map.get(key).cloned();
+                if &current == expected {
+                    self.map.insert(key.clone(), new.clone());
+                    (
+                        KvResponse::Swapped(true),
+                        KvUndo::Restore { key: key.clone(), previous: current },
+                    )
+                } else {
+                    (KvResponse::Swapped(false), KvUndo::Nothing)
+                }
+            }
+        }
+    }
+
+    fn undo(&mut self, token: KvUndo) {
+        self.ops -= 1;
+        match token {
+            KvUndo::Restore { key, previous } => match previous {
+                Some(v) => {
+                    self.map.insert(key, v);
+                }
+                None => {
+                    self.map.remove(&key);
+                }
+            },
+            KvUndo::Nothing => {}
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (k, v) in &self.map {
+            for b in k.bytes().chain(v.bytes()) {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            h = h.rotate_left(7);
+        }
+        h ^ self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn put(key: &str, value: &str) -> KvCommand {
+        KvCommand::Put { key: key.into(), value: value.into() }
+    }
+
+    #[test]
+    fn put_get_delete_cycle() {
+        let mut kv = KvMachine::new();
+        let (r, _) = kv.apply(&put("a", "1"));
+        assert_eq!(r, KvResponse::Previous(None));
+        let (r, _) = kv.apply(&KvCommand::Get { key: "a".into() });
+        assert_eq!(r, KvResponse::Value(Some("1".into())));
+        let (r, _) = kv.apply(&put("a", "2"));
+        assert_eq!(r, KvResponse::Previous(Some("1".into())));
+        let (r, _) = kv.apply(&KvCommand::Delete { key: "a".into() });
+        assert_eq!(r, KvResponse::Previous(Some("2".into())));
+        assert!(kv.is_empty());
+        assert_eq!(kv.operations(), 4);
+    }
+
+    #[test]
+    fn compare_and_swap_success_and_failure() {
+        let mut kv = KvMachine::new();
+        kv.apply(&put("x", "old"));
+        let (r, _) = kv.apply(&KvCommand::CompareAndSwap {
+            key: "x".into(),
+            expected: Some("old".into()),
+            new: "new".into(),
+        });
+        assert_eq!(r, KvResponse::Swapped(true));
+        let (r, _) = kv.apply(&KvCommand::CompareAndSwap {
+            key: "x".into(),
+            expected: Some("old".into()),
+            new: "newer".into(),
+        });
+        assert_eq!(r, KvResponse::Swapped(false));
+        assert_eq!(kv.get("x"), Some(&"new".to_string()));
+    }
+
+    #[test]
+    fn cas_on_absent_key() {
+        let mut kv = KvMachine::new();
+        let (r, undo) = kv.apply(&KvCommand::CompareAndSwap {
+            key: "k".into(),
+            expected: None,
+            new: "v".into(),
+        });
+        assert_eq!(r, KvResponse::Swapped(true));
+        kv.undo(undo);
+        assert!(kv.get("k").is_none());
+    }
+
+    #[test]
+    fn undo_restores_previous_values() {
+        let mut kv = KvMachine::new();
+        kv.apply(&put("k", "v1"));
+        let before = kv.digest();
+        let (_, u1) = kv.apply(&put("k", "v2"));
+        let (_, u2) = kv.apply(&KvCommand::Delete { key: "k".into() });
+        kv.undo(u2);
+        kv.undo(u1);
+        assert_eq!(kv.get("k"), Some(&"v1".to_string()));
+        assert_eq!(kv.digest(), before);
+    }
+
+    #[test]
+    fn digest_differs_for_different_contents() {
+        let mut a = KvMachine::new();
+        let mut b = KvMachine::new();
+        a.apply(&put("k", "1"));
+        b.apply(&put("k", "2"));
+        assert_ne!(a.digest(), b.digest());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_command() -> impl Strategy<Value = KvCommand> {
+        let key = prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(String::from);
+        let value = "[a-z]{1,4}".prop_map(String::from);
+        prop_oneof![
+            (key.clone(), value.clone()).prop_map(|(key, value)| KvCommand::Put { key, value }),
+            key.clone().prop_map(|key| KvCommand::Get { key }),
+            key.clone().prop_map(|key| KvCommand::Delete { key }),
+            (key, proptest::option::of(value.clone()), value).prop_map(|(key, expected, new)| {
+                KvCommand::CompareAndSwap { key, expected, new }
+            }),
+        ]
+    }
+
+    proptest! {
+        /// Reverse-order undo restores the exact initial state.
+        #[test]
+        fn apply_then_undo_roundtrip(commands in proptest::collection::vec(arb_command(), 0..30)) {
+            let mut kv = KvMachine::new();
+            kv.apply(&KvCommand::Put { key: "seed".into(), value: "1".into() });
+            let before = kv.clone();
+            let mut undos = Vec::new();
+            for c in &commands {
+                let (_, u) = kv.apply(c);
+                undos.push(u);
+            }
+            for u in undos.into_iter().rev() {
+                kv.undo(u);
+            }
+            prop_assert_eq!(kv, before);
+        }
+
+        /// Replicas applying the same commands converge.
+        #[test]
+        fn replicas_converge(commands in proptest::collection::vec(arb_command(), 0..30)) {
+            let mut a = KvMachine::new();
+            let mut b = KvMachine::new();
+            for c in &commands {
+                prop_assert_eq!(a.apply(c).0, b.apply(c).0);
+            }
+            prop_assert_eq!(a.digest(), b.digest());
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # oar-apps — replicated services for the OAR protocol
+//!
+//! Deterministic, undoable [`StateMachine`](oar::state_machine::StateMachine)
+//! implementations used by the examples, the integration tests and the
+//! experiment harness:
+//!
+//! * [`stack`] — the replicated stack of the paper's Figure 1, used to
+//!   demonstrate external inconsistency on the unsafe baseline and its absence
+//!   under OAR;
+//! * [`kv`] — a key-value store with put/get/delete/compare-and-swap, the
+//!   generic workload of the latency and throughput experiments;
+//! * [`bank`] — accounts with deposits, withdrawals and transfers, where undo
+//!   tokens play the role of the transactional save-points suggested by the
+//!   paper's conclusion.
+//!
+//! All services guarantee: determinism (identical command sequences produce
+//! identical responses and digests) and exact rollback (reverse-order undo
+//! restores the previous state), which is what `Opt-undeliver` requires.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bank;
+pub mod kv;
+pub mod stack;
+
+pub use bank::{BankCommand, BankError, BankMachine, BankResponse};
+pub use kv::{KvCommand, KvMachine, KvResponse};
+pub use stack::{StackCommand, StackMachine, StackResponse};

@@ -1,0 +1,249 @@
+//! The replicated stack of the paper's Figure 1.
+//!
+//! The introduction of the OAR paper motivates external inconsistency with a
+//! replicated stack: a client pushes `x`, another pops, and a mis-ordered
+//! sequencer run makes one client observe a value that the final order
+//! contradicts. This module implements that stack as a deterministic, undoable
+//! [`StateMachine`] so the scenario can be replayed both on the unsafe
+//! fixed-sequencer baseline (where the inconsistency shows up) and on OAR
+//! (where it cannot).
+
+use oar::state_machine::StateMachine;
+use serde::{Deserialize, Serialize};
+
+/// Commands of the replicated stack.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackCommand {
+    /// Push a value.
+    Push(i64),
+    /// Pop the top value (returns `None` when empty, like the paper's `pop():-`).
+    Pop,
+    /// Read the top value without removing it.
+    Peek,
+    /// Return the current depth.
+    Len,
+}
+
+/// Responses of the replicated stack.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StackResponse {
+    /// Result of a push: the new depth.
+    Pushed(usize),
+    /// Result of a pop: the removed value, if any.
+    Popped(Option<i64>),
+    /// Result of a peek.
+    Top(Option<i64>),
+    /// Result of a len query.
+    Depth(usize),
+}
+
+/// Undo token of the stack.
+#[derive(Debug)]
+pub enum StackUndo {
+    /// Undo a push: remove the top element.
+    UnPush,
+    /// Undo a pop that removed `0`: push the value back.
+    UnPop(Option<i64>),
+    /// Read-only command: nothing to undo.
+    Nothing,
+}
+
+/// A deterministic, undoable LIFO stack.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StackMachine {
+    items: Vec<i64>,
+    ops: u64,
+}
+
+impl StackMachine {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        StackMachine::default()
+    }
+
+    /// The current contents, bottom first.
+    pub fn items(&self) -> &[i64] {
+        &self.items
+    }
+
+    /// Number of operations applied (and not undone).
+    pub fn operations(&self) -> u64 {
+        self.ops
+    }
+}
+
+impl StateMachine for StackMachine {
+    type Command = StackCommand;
+    type Response = StackResponse;
+    type Undo = StackUndo;
+
+    fn apply(&mut self, command: &StackCommand) -> (StackResponse, StackUndo) {
+        self.ops += 1;
+        match command {
+            StackCommand::Push(v) => {
+                self.items.push(*v);
+                (StackResponse::Pushed(self.items.len()), StackUndo::UnPush)
+            }
+            StackCommand::Pop => {
+                let popped = self.items.pop();
+                (StackResponse::Popped(popped), StackUndo::UnPop(popped))
+            }
+            StackCommand::Peek => (
+                StackResponse::Top(self.items.last().copied()),
+                StackUndo::Nothing,
+            ),
+            StackCommand::Len => (StackResponse::Depth(self.items.len()), StackUndo::Nothing),
+        }
+    }
+
+    fn undo(&mut self, token: StackUndo) {
+        self.ops -= 1;
+        match token {
+            StackUndo::UnPush => {
+                self.items.pop();
+            }
+            StackUndo::UnPop(Some(v)) => self.items.push(v),
+            StackUndo::UnPop(None) | StackUndo::Nothing => {}
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for v in &self.items {
+            h ^= *v as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h ^ self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_good_run_semantics() {
+        // Paper Fig. 1(a): stack contains {y}; order seq(pop; push(x)).
+        let mut sm = StackMachine::new();
+        sm.apply(&StackCommand::Push(7)); // y = 7
+        let (pop_reply, _) = sm.apply(&StackCommand::Pop);
+        assert_eq!(pop_reply, StackResponse::Popped(Some(7)));
+        let (push_reply, _) = sm.apply(&StackCommand::Push(3)); // x = 3
+        assert_eq!(push_reply, StackResponse::Pushed(1));
+        assert_eq!(sm.items(), &[3]);
+    }
+
+    #[test]
+    fn figure1_inconsistent_order_gives_different_replies() {
+        // Paper Fig. 1(b): with the opposite order seq(push(x); pop), the pop
+        // returns x — the reply the client must never adopt under OAR.
+        let mut sm = StackMachine::new();
+        sm.apply(&StackCommand::Push(7)); // y
+        sm.apply(&StackCommand::Push(3)); // x first
+        let (pop_reply, _) = sm.apply(&StackCommand::Pop);
+        assert_eq!(pop_reply, StackResponse::Popped(Some(3)));
+    }
+
+    #[test]
+    fn pop_on_empty_stack() {
+        let mut sm = StackMachine::new();
+        let (reply, undo) = sm.apply(&StackCommand::Pop);
+        assert_eq!(reply, StackResponse::Popped(None));
+        sm.undo(undo);
+        assert_eq!(sm.items(), &[] as &[i64]);
+        assert_eq!(sm.operations(), 0);
+    }
+
+    #[test]
+    fn undo_restores_exact_state() {
+        let mut sm = StackMachine::new();
+        sm.apply(&StackCommand::Push(1));
+        let before = sm.digest();
+        let (_, u1) = sm.apply(&StackCommand::Push(2));
+        let (_, u2) = sm.apply(&StackCommand::Pop);
+        let (_, u3) = sm.apply(&StackCommand::Peek);
+        sm.undo(u3);
+        sm.undo(u2);
+        sm.undo(u1);
+        assert_eq!(sm.digest(), before);
+        assert_eq!(sm.items(), &[1]);
+    }
+
+    #[test]
+    fn peek_and_len_do_not_modify() {
+        let mut sm = StackMachine::new();
+        sm.apply(&StackCommand::Push(5));
+        let (top, _) = sm.apply(&StackCommand::Peek);
+        let (depth, _) = sm.apply(&StackCommand::Len);
+        assert_eq!(top, StackResponse::Top(Some(5)));
+        assert_eq!(depth, StackResponse::Depth(1));
+        assert_eq!(sm.items(), &[5]);
+    }
+
+    #[test]
+    fn determinism_across_replicas() {
+        let script = [
+            StackCommand::Push(1),
+            StackCommand::Push(2),
+            StackCommand::Pop,
+            StackCommand::Push(3),
+            StackCommand::Peek,
+        ];
+        let mut a = StackMachine::new();
+        let mut b = StackMachine::new();
+        for c in &script {
+            assert_eq!(a.apply(c).0, b.apply(c).0);
+        }
+        assert_eq!(a.digest(), b.digest());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_command() -> impl Strategy<Value = StackCommand> {
+        prop_oneof![
+            (0i64..100).prop_map(StackCommand::Push),
+            Just(StackCommand::Pop),
+            Just(StackCommand::Peek),
+            Just(StackCommand::Len),
+        ]
+    }
+
+    proptest! {
+        /// Applying a batch of commands and undoing them in reverse order
+        /// restores the exact initial state — the contract `Opt-undeliver`
+        /// relies on.
+        #[test]
+        fn apply_then_undo_roundtrip(commands in proptest::collection::vec(arb_command(), 0..40)) {
+            let mut sm = StackMachine::new();
+            sm.apply(&StackCommand::Push(42));
+            let before_items = sm.items().to_vec();
+            let before_digest = sm.digest();
+            let mut undos = Vec::new();
+            for c in &commands {
+                let (_, u) = sm.apply(c);
+                undos.push(u);
+            }
+            for u in undos.into_iter().rev() {
+                sm.undo(u);
+            }
+            prop_assert_eq!(sm.items(), &before_items[..]);
+            prop_assert_eq!(sm.digest(), before_digest);
+        }
+
+        /// Two replicas applying the same command sequence stay identical.
+        #[test]
+        fn replicas_converge(commands in proptest::collection::vec(arb_command(), 0..40)) {
+            let mut a = StackMachine::new();
+            let mut b = StackMachine::new();
+            for c in &commands {
+                prop_assert_eq!(a.apply(c).0, b.apply(c).0);
+            }
+            prop_assert_eq!(a.digest(), b.digest());
+            prop_assert_eq!(a.items(), b.items());
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # oar-baselines — the protocols the OAR paper compares against
+//!
+//! Two complete active-replication baselines, implemented on the same
+//! simulator substrate and driven by the same workloads as OAR so the
+//! experiment harness can compare them head-to-head:
+//!
+//! * [`fixed_sequencer`] — the Isis/Amoeba-style sequencer-based Atomic
+//!   Broadcast of §2.4: one ordering phase, lowest latency, but a sequencer
+//!   crash or wrong suspicion can leak **external inconsistency** to clients
+//!   (the paper's Figure 1b) and leave replicas permanently diverged;
+//! * [`ct_abcast`] — Atomic Broadcast by reduction to Chandra–Toueg consensus:
+//!   always safe, but every request pays the full consensus latency even in
+//!   failure-free runs.
+//!
+//! OAR's claim is that it matches the first baseline's latency in failure-free
+//! runs while keeping the second baseline's client-level consistency; the
+//! experiment harness in `oar-bench` reproduces exactly that comparison.
+//!
+//! [`harness`] provides cluster builders mirroring [`oar::cluster::Cluster`],
+//! including the [`harness::InconsistencyReport`] audit that counts
+//! client-visible inconsistencies of the fixed-sequencer baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ct_abcast;
+pub mod fixed_sequencer;
+pub mod harness;
+
+pub use ct_abcast::{CtClient, CtServer, CtWire};
+pub use fixed_sequencer::{SequencerClient, SequencerServer, SeqWire};
+pub use harness::{BaselineConfig, CtCluster, InconsistencyReport, SequencerCluster};

@@ -1,0 +1,73 @@
+//! T-LAT bench: wall-clock cost of running the failure-free latency workload
+//! (the same deployments as `harness -- latency`, Criterion-timed). The
+//! simulated client latencies themselves are reported by the harness binary;
+//! this bench tracks the cost of the protocols as executable artifacts, per
+//! replica count and per protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oar::cluster::{Cluster, ClusterConfig};
+use oar_apps::kv::{KvCommand, KvMachine};
+use oar_baselines::{BaselineConfig, CtCluster, SequencerCluster};
+use oar_simnet::{NetConfig, SimTime};
+
+fn workload(client: usize, requests: usize) -> Vec<KvCommand> {
+    (0..requests)
+        .map(|i| KvCommand::Put { key: format!("k{}", i % 8), value: format!("{client}-{i}") })
+        .collect()
+}
+
+fn bench_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure_free_run");
+    group.sample_size(10);
+    for &n in &[3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::new("oar", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = ClusterConfig {
+                    num_servers: n,
+                    num_clients: 2,
+                    net: NetConfig::lan(),
+                    seed: 7,
+                    ..ClusterConfig::default()
+                };
+                let mut cluster: Cluster<KvMachine> =
+                    Cluster::build(&config, KvMachine::new, |c| workload(c, 25));
+                assert!(cluster.run_to_completion(SimTime::from_secs(300)));
+                cluster.latencies().mean()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fixed_sequencer", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = BaselineConfig {
+                    num_servers: n,
+                    num_clients: 2,
+                    net: NetConfig::lan(),
+                    seed: 7,
+                    ..BaselineConfig::default()
+                };
+                let mut cluster: SequencerCluster<KvMachine> =
+                    SequencerCluster::build(&config, KvMachine::new, |c| workload(c, 25));
+                assert!(cluster.run_to_completion(SimTime::from_secs(300)));
+                cluster.latencies().mean()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("ct_abcast", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = BaselineConfig {
+                    num_servers: n,
+                    num_clients: 2,
+                    net: NetConfig::lan(),
+                    seed: 7,
+                    ..BaselineConfig::default()
+                };
+                let mut cluster: CtCluster<KvMachine> =
+                    CtCluster::build(&config, KvMachine::new, |c| workload(c, 25));
+                assert!(cluster.run_to_completion(SimTime::from_secs(300)));
+                cluster.latencies().mean()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Micro-benchmarks of the protocol's pure building blocks: the sequence
+//! algebra and the `Cnsv-order` procedure. These bound the per-epoch CPU cost
+//! that the §5.3 remark worries about when `O_delivered` grows long.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use oar::cnsv_order::cnsv_order_outcome;
+use oar::{CnsvValue, RequestId};
+use oar_sequence::{dedup_append, Seq};
+use oar_simnet::ProcessId;
+
+fn ids(range: std::ops::Range<u64>) -> Seq<RequestId> {
+    range.map(|i| RequestId::new(ProcessId(99), i)).collect()
+}
+
+fn bench_sequence_algebra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sequence_algebra");
+    for &len in &[64usize, 512, 2048] {
+        let a = ids(0..len as u64);
+        let b = ids((len as u64 / 2)..(len as u64 * 3 / 2));
+        group.bench_with_input(BenchmarkId::new("subtract", len), &len, |bench, _| {
+            bench.iter(|| a.subtract(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("dedup_append", len), &len, |bench, _| {
+            bench.iter(|| dedup_append([a.clone(), b.clone()]))
+        });
+        group.bench_with_input(BenchmarkId::new("common_prefix", len), &len, |bench, _| {
+            bench.iter(|| a.common_prefix(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_cnsv_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnsv_order");
+    for &epoch_len in &[16usize, 128, 1024] {
+        // Three contributors: one saw everything, two lag behind with pending
+        // tails — the common shape of a phase-2 epoch.
+        let full = ids(0..epoch_len as u64);
+        let short = ids(0..(epoch_len as u64 / 2));
+        let pending = ids((epoch_len as u64 / 2)..epoch_len as u64);
+        let decision = vec![
+            (ProcessId(0), CnsvValue { o_delivered: full.clone(), o_notdelivered: Seq::new() }),
+            (ProcessId(1), CnsvValue { o_delivered: short.clone(), o_notdelivered: pending.clone() }),
+            (ProcessId(2), CnsvValue { o_delivered: short.clone(), o_notdelivered: pending.clone() }),
+        ];
+        group.bench_with_input(
+            BenchmarkId::new("lagging_replica", epoch_len),
+            &epoch_len,
+            |bench, _| bench.iter(|| cnsv_order_outcome(&short, &decision)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("up_to_date_replica", epoch_len),
+            &epoch_len,
+            |bench, _| bench.iter(|| cnsv_order_outcome(&full, &decision)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequence_algebra, bench_cnsv_order);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! T-THROUGHPUT bench: wall-clock cost of the closed-loop throughput workload
+//! as the number of concurrent clients grows (OAR only; the cross-protocol
+//! comparison is produced by `harness -- throughput`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use oar::cluster::{Cluster, ClusterConfig};
+use oar_apps::kv::{KvCommand, KvMachine};
+use oar_simnet::{NetConfig, SimTime};
+
+fn workload(client: usize, requests: usize) -> Vec<KvCommand> {
+    (0..requests)
+        .map(|i| KvCommand::Put { key: format!("k{}", i % 16), value: format!("{client}-{i}") })
+        .collect()
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("oar_throughput");
+    group.sample_size(10);
+    let requests_per_client = 25usize;
+    for &clients in &[1usize, 2, 4, 8] {
+        group.throughput(Throughput::Elements((clients * requests_per_client) as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, &clients| {
+            b.iter(|| {
+                let config = ClusterConfig {
+                    num_servers: 3,
+                    num_clients: clients,
+                    net: NetConfig::lan(),
+                    seed: 11,
+                    ..ClusterConfig::default()
+                };
+                let mut cluster: Cluster<KvMachine> =
+                    Cluster::build(&config, KvMachine::new, |c| workload(c, requests_per_client));
+                assert!(cluster.run_to_completion(SimTime::from_secs(600)));
+                cluster.completed_requests().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

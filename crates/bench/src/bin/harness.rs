@@ -1,0 +1,159 @@
+//! Experiment harness: regenerates every figure scenario and every
+//! quantitative experiment of the OAR reproduction and prints the resulting
+//! rows (human-readable table + JSON line per row).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p oar-bench --bin harness -- all
+//! cargo run --release -p oar-bench --bin harness -- figures
+//! cargo run --release -p oar-bench --bin harness -- latency
+//! cargo run --release -p oar-bench --bin harness -- failover
+//! cargo run --release -p oar-bench --bin harness -- undo
+//! cargo run --release -p oar-bench --bin harness -- throughput
+//! cargo run --release -p oar-bench --bin harness -- gc
+//! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
+//! ```
+
+use oar_bench::{figures, experiments};
+
+const SEED: u64 = 20010614;
+
+fn print_json<T: serde::Serialize>(label: &str, rows: &[T]) {
+    for row in rows {
+        println!("JSON {label} {}", serde_json::to_string(row).expect("serialisable row"));
+    }
+}
+
+fn run_figures(which: Option<&str>) {
+    println!("== Figure scenarios (paper Figures 1-4) ==");
+    let outcomes: Vec<figures::FigureOutcome> = match which {
+        Some("fig1a") => vec![figures::figure_1a(SEED)],
+        Some("fig1b") => vec![figures::figure_1b(SEED), figures::figure_1b_oar(SEED)],
+        Some("fig2") => vec![figures::figure_2(SEED)],
+        Some("fig3") => vec![figures::figure_3(SEED)],
+        Some("fig4") => vec![figures::figure_4(SEED)],
+        _ => figures::all_figures(SEED),
+    };
+    println!(
+        "{:<10} {:>7} {:>9} {:>7} {:>8} {:>14} {:>11}",
+        "figure", "servers", "completed", "undone", "phase2", "client-incons.", "as-expected"
+    );
+    for o in &outcomes {
+        println!(
+            "{:<10} {:>7} {:>9} {:>7} {:>8} {:>14} {:>11}",
+            o.id, o.servers, o.completed_requests, o.undeliveries, o.phase2_entries,
+            o.client_inconsistencies, o.consistent
+        );
+    }
+    print_json("figure", &outcomes);
+}
+
+fn run_latency() {
+    println!("== T-LAT: failure-free latency vs group size ==");
+    let rows = experiments::latency_experiment(&[3, 5, 7, 9], 100, SEED);
+    println!(
+        "{:<16} {:>3} {:>6} {:>9} {:>9} {:>9} {:>9}",
+        "protocol", "n", "reqs", "mean(ms)", "p50(ms)", "p95(ms)", "p99(ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>3} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
+            r.protocol, r.servers, r.requests, r.latency_ms.mean, r.latency_ms.p50,
+            r.latency_ms.p95, r.latency_ms.p99
+        );
+    }
+    print_json("latency", &rows);
+}
+
+fn run_failover() {
+    println!("== T-FAILOVER: recovery time after a sequencer crash ==");
+    let rows = experiments::failover_experiment(&[3, 5], &[10, 25, 50, 100], SEED);
+    println!(
+        "{:<3} {:>12} {:>13} {:>8} {:>11}",
+        "n", "fd-timeout", "recovery(ms)", "undone", "consistent"
+    );
+    for r in &rows {
+        println!(
+            "{:<3} {:>12} {:>13.3} {:>8} {:>11}",
+            r.servers, r.fd_timeout_ms, r.recovery_ms, r.undeliveries, r.consistent
+        );
+    }
+    print_json("failover", &rows);
+}
+
+fn run_undo() {
+    println!("== T-UNDO: Opt-undeliver frequency under failures ==");
+    let rows = experiments::undo_experiment(SEED);
+    println!(
+        "{:<26} {:>3} {:>6} {:>8} {:>8} {:>10} {:>8} {:>11}",
+        "scenario", "n", "reqs", "opt-dlv", "undone", "undo-rate", "phase2", "consistent"
+    );
+    for r in &rows {
+        println!(
+            "{:<26} {:>3} {:>6} {:>8} {:>8} {:>10.4} {:>8} {:>11}",
+            r.scenario, r.servers, r.requests, r.opt_deliveries, r.opt_undeliveries,
+            r.undo_rate, r.phase2_entries, r.consistent
+        );
+    }
+    print_json("undo", &rows);
+}
+
+fn run_throughput() {
+    println!("== T-THROUGHPUT: closed-loop throughput vs client count ==");
+    let rows = experiments::throughput_experiment(3, &[1, 2, 4, 8], 50, SEED);
+    println!(
+        "{:<16} {:>3} {:>7} {:>6} {:>10} {:>13}",
+        "protocol", "n", "clients", "reqs", "req/s(sim)", "mean-lat(ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:<16} {:>3} {:>7} {:>6} {:>10.1} {:>13.3}",
+            r.protocol, r.servers, r.clients, r.requests, r.requests_per_second, r.mean_latency_ms
+        );
+    }
+    print_json("throughput", &rows);
+}
+
+fn run_gc() {
+    println!("== T-GC: §5.3 epoch-cut ablation ==");
+    let rows = experiments::gc_experiment(&[None, Some(100), Some(10)], 60, SEED);
+    println!(
+        "{:<10} {:>6} {:>14} {:>13} {:>12} {:>11}",
+        "cut-after", "reqs", "epochs/server", "mean-lat(ms)", "p99-lat(ms)", "consistent"
+    );
+    for r in &rows {
+        let cut = r.cut_after.map_or("never".to_string(), |c| c.to_string());
+        println!(
+            "{:<10} {:>6} {:>14.1} {:>13.3} {:>12.3} {:>11}",
+            cut, r.requests, r.epochs_per_server, r.mean_latency_ms, r.p99_latency_ms, r.consistent
+        );
+    }
+    print_json("gc", &rows);
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match arg.as_str() {
+        "figures" => run_figures(None),
+        "fig1a" | "fig1b" | "fig2" | "fig3" | "fig4" => run_figures(Some(arg.as_str())),
+        "latency" => run_latency(),
+        "failover" => run_failover(),
+        "undo" => run_undo(),
+        "throughput" => run_throughput(),
+        "gc" => run_gc(),
+        "all" => {
+            run_figures(None);
+            run_latency();
+            run_failover();
+            run_undo();
+            run_throughput();
+            run_gc();
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc");
+            std::process::exit(2);
+        }
+    }
+}

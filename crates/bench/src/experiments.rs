@@ -1,0 +1,526 @@
+//! Quantitative experiments: the measurable claims of the OAR paper.
+//!
+//! The paper has no measurement section; its quantitative claims are made in
+//! prose ("low latency", "only one phase for ordering in absence of failures",
+//! "the probability of having to Opt-undeliver a message is very low", the
+//! remark of §5.3 about garbage-collecting `O_delivered`). Each function here
+//! turns one claim into an experiment with an explicit workload and sweep; the
+//! `harness` binary prints the rows recorded in `EXPERIMENTS.md`.
+
+use oar::cluster::{Cluster, ClusterConfig};
+use oar::state_machine::CounterMachine;
+use oar::OarConfig;
+use oar_apps::kv::{KvCommand, KvMachine};
+use oar_baselines::{BaselineConfig, CtCluster, SequencerCluster};
+use oar_simnet::{NetConfig, SimDuration, SimTime, Summary};
+use serde::Serialize;
+
+fn kv_workload(client: usize, requests: usize) -> Vec<KvCommand> {
+    (0..requests)
+        .map(|i| {
+            if i % 4 == 3 {
+                KvCommand::Get { key: format!("k{}", i % 16) }
+            } else {
+                KvCommand::Put { key: format!("k{}", i % 16), value: format!("c{client}-v{i}") }
+            }
+        })
+        .collect()
+}
+
+fn counter_workload(requests: usize) -> Vec<oar::state_machine::CounterCommand> {
+    (0..requests)
+        .map(|i| oar::state_machine::CounterCommand::Add(i as i64 % 7 + 1))
+        .collect()
+}
+
+/// One row of the latency experiment (T-LAT).
+#[derive(Clone, Debug, Serialize)]
+pub struct LatencyRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Number of replicas.
+    pub servers: usize,
+    /// Requests measured.
+    pub requests: usize,
+    /// Latency summary (milliseconds).
+    pub latency_ms: Summary,
+}
+
+/// T-LAT: client-observed latency of OAR vs the fixed-sequencer baseline vs
+/// consensus-based atomic broadcast, failure-free, as the group size grows.
+///
+/// Paper claim (§1, §6): OAR "requires only one phase for ordering messages in
+/// absence of failures", i.e. it should track the sequencer baseline closely
+/// and beat the consensus-based broadcast clearly.
+pub fn latency_experiment(
+    group_sizes: &[usize],
+    requests_per_client: usize,
+    seed: u64,
+) -> Vec<LatencyRow> {
+    let mut rows = Vec::new();
+    for &n in group_sizes {
+        // OAR
+        let config = ClusterConfig {
+            num_servers: n,
+            num_clients: 2,
+            net: NetConfig::lan(),
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut oar: Cluster<KvMachine> =
+            Cluster::build(&config, KvMachine::new, |c| kv_workload(c, requests_per_client));
+        assert!(oar.run_to_completion(SimTime::from_secs(600)), "OAR run did not finish (n={n})");
+        oar.check_replica_consistency().expect("OAR replica consistency");
+        oar.check_external_consistency().expect("OAR external consistency");
+        rows.push(LatencyRow {
+            protocol: "oar".into(),
+            servers: n,
+            requests: oar.latencies().len(),
+            latency_ms: oar.latencies().summary(),
+        });
+
+        // Fixed sequencer
+        let base = BaselineConfig {
+            num_servers: n,
+            num_clients: 2,
+            net: NetConfig::lan(),
+            seed,
+            ..BaselineConfig::default()
+        };
+        let mut seq: SequencerCluster<KvMachine> =
+            SequencerCluster::build(&base, KvMachine::new, |c| kv_workload(c, requests_per_client));
+        assert!(seq.run_to_completion(SimTime::from_secs(600)), "sequencer run did not finish");
+        rows.push(LatencyRow {
+            protocol: "fixed-sequencer".into(),
+            servers: n,
+            requests: seq.latencies().len(),
+            latency_ms: seq.latencies().summary(),
+        });
+
+        // Consensus-based atomic broadcast
+        let mut ct: CtCluster<KvMachine> =
+            CtCluster::build(&base, KvMachine::new, |c| kv_workload(c, requests_per_client));
+        assert!(ct.run_to_completion(SimTime::from_secs(600)), "CT run did not finish");
+        ct.check_total_order().expect("CT total order");
+        rows.push(LatencyRow {
+            protocol: "ct-abcast".into(),
+            servers: n,
+            requests: ct.latencies().len(),
+            latency_ms: ct.latencies().summary(),
+        });
+    }
+    rows
+}
+
+/// One row of the fail-over experiment (T-FAILOVER).
+#[derive(Clone, Debug, Serialize)]
+pub struct FailoverRow {
+    /// Number of replicas.
+    pub servers: usize,
+    /// Failure-detector timeout (ms).
+    pub fd_timeout_ms: f64,
+    /// Simulated time from the sequencer crash until every client request
+    /// issued after the crash is answered (ms).
+    pub recovery_ms: f64,
+    /// Opt-undeliveries during the run.
+    pub undeliveries: u64,
+    /// Whether the run stayed consistent.
+    pub consistent: bool,
+}
+
+/// T-FAILOVER: time to recover from a sequencer crash as a function of the
+/// failure-detector timeout.
+///
+/// Paper claim (§2.2): algorithms that do not rely on a group-membership
+/// oracle have a fail-over time governed by the failure-detector timeout, not
+/// by a heavyweight view change.
+pub fn failover_experiment(
+    group_sizes: &[usize],
+    fd_timeouts_ms: &[u64],
+    seed: u64,
+) -> Vec<FailoverRow> {
+    let mut rows = Vec::new();
+    for &n in group_sizes {
+        for &timeout_ms in fd_timeouts_ms {
+            let oar = OarConfig::with_fd_timeout(SimDuration::from_millis(timeout_ms));
+            let config = ClusterConfig {
+                num_servers: n,
+                num_clients: 1,
+                net: NetConfig::lan(),
+                oar,
+                seed,
+                ..ClusterConfig::default()
+            };
+            let crash_at = SimTime::from_millis(5);
+            let mut cluster: Cluster<CounterMachine> =
+                Cluster::build(&config, CounterMachine::default, |_| counter_workload(40));
+            cluster.world.schedule_crash(oar_simnet::ProcessId(0), crash_at);
+            let done = cluster.run_to_completion(SimTime::from_secs(600));
+            let consistent = done
+                && cluster.check_replica_consistency().is_ok()
+                && cluster.check_external_consistency().is_ok();
+            // Recovery time: last completion time minus crash time, minus the
+            // time the same workload needs without any crash.
+            let last_completion = cluster
+                .completed_requests()
+                .iter()
+                .map(|r| r.completed_at)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let mut baseline: Cluster<CounterMachine> = Cluster::build(
+                &ClusterConfig { oar: config.oar, ..config.clone() },
+                CounterMachine::default,
+                |_| counter_workload(40),
+            );
+            baseline.run_to_completion(SimTime::from_secs(600));
+            let baseline_last = baseline
+                .completed_requests()
+                .iter()
+                .map(|r| r.completed_at)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            let recovery_ms =
+                (last_completion.as_millis_f64() - baseline_last.as_millis_f64()).max(0.0);
+            rows.push(FailoverRow {
+                servers: n,
+                fd_timeout_ms: timeout_ms as f64,
+                recovery_ms,
+                undeliveries: cluster.total_undeliveries(),
+                consistent,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the Opt-undeliver frequency experiment (T-UNDO).
+#[derive(Clone, Debug, Serialize)]
+pub struct UndoRow {
+    /// Number of replicas.
+    pub servers: usize,
+    /// Scenario label.
+    pub scenario: String,
+    /// Requests completed.
+    pub requests: usize,
+    /// Total Opt-deliveries.
+    pub opt_deliveries: u64,
+    /// Total Opt-undeliveries.
+    pub opt_undeliveries: u64,
+    /// Opt-undeliveries per delivered request (the paper's "very low
+    /// probability").
+    pub undo_rate: f64,
+    /// Phase-2 entries.
+    pub phase2_entries: u64,
+    /// Whether the run stayed consistent.
+    pub consistent: bool,
+}
+
+/// T-UNDO: how often optimistic deliveries are undone, under increasingly
+/// adversarial failure scenarios.
+///
+/// Paper claim (§6): Opt-undeliver requires the conjunction of three unlikely
+/// events (sequencer failure observed by only a minority, that minority's
+/// values excluded from the consensus decision, and a different conservative
+/// order), so its probability is very low even when crashes and suspicions are
+/// common.
+pub fn undo_experiment(seed: u64) -> Vec<UndoRow> {
+    let mut rows = Vec::new();
+
+    // Scenario A: failure-free.
+    rows.push(run_undo_scenario("failure-free", 5, seed, |_cluster| {}));
+
+    // Scenario B: sequencer crash observed by everyone (no partition).
+    rows.push(run_undo_scenario("sequencer-crash", 5, seed, |cluster| {
+        cluster
+            .world
+            .schedule_crash(oar_simnet::ProcessId(0), SimTime::from_millis(5));
+    }));
+
+    // Scenario C: sequencer crash + minority partition containing the only
+    // server that saw the last ordering (the Figure-4 conditions).
+    rows.push(run_undo_scenario("crash+minority-partition", 5, seed, |cluster| {
+        let s = cluster.servers.clone();
+        let c = cluster.clients.clone();
+        let mut minority = vec![s[0], s[1]];
+        minority.extend(c.iter().copied());
+        let majority = vec![s[2], s[3], s[4]];
+        cluster
+            .world
+            .schedule_partition(SimTime::from_millis(3), vec![minority, majority]);
+        cluster.world.schedule_crash(s[0], SimTime::from_millis(8));
+        cluster.world.schedule_heal(SimTime::from_millis(150));
+    }));
+
+    rows
+}
+
+fn run_undo_scenario(
+    label: &str,
+    servers: usize,
+    seed: u64,
+    inject: impl FnOnce(&mut Cluster<CounterMachine>),
+) -> UndoRow {
+    let oar = OarConfig::with_fd_timeout(SimDuration::from_millis(25));
+    let config = ClusterConfig {
+        num_servers: servers,
+        num_clients: 2,
+        net: NetConfig::constant(SimDuration::from_micros(100)),
+        oar,
+        seed,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<CounterMachine> =
+        Cluster::build(&config, CounterMachine::default, |_| counter_workload(30));
+    inject(&mut cluster);
+    let done = cluster.run_to_completion(SimTime::from_secs(600));
+    let consistent = done
+        && cluster.check_replica_consistency().is_ok()
+        && cluster.check_external_consistency().is_ok();
+    let opt: u64 = cluster
+        .servers
+        .iter()
+        .map(|&s| cluster.world.process_ref::<oar::OarServer<CounterMachine>>(s).stats().opt_delivered)
+        .sum();
+    let undone = cluster.total_undeliveries();
+    UndoRow {
+        servers,
+        scenario: label.into(),
+        requests: cluster.completed_requests().len(),
+        opt_deliveries: opt,
+        opt_undeliveries: undone,
+        undo_rate: if opt == 0 { 0.0 } else { undone as f64 / opt as f64 },
+        phase2_entries: cluster.total_phase2_entries(),
+        consistent,
+    }
+}
+
+/// One row of the throughput experiment (T-THROUGHPUT).
+#[derive(Clone, Debug, Serialize)]
+pub struct ThroughputRow {
+    /// Protocol name.
+    pub protocol: String,
+    /// Number of replicas.
+    pub servers: usize,
+    /// Number of concurrent closed-loop clients.
+    pub clients: usize,
+    /// Requests completed.
+    pub requests: usize,
+    /// Completed requests per simulated second.
+    pub requests_per_second: f64,
+    /// Mean latency (ms).
+    pub mean_latency_ms: f64,
+}
+
+/// T-THROUGHPUT: completed requests per simulated second under increasing
+/// closed-loop client counts, OAR vs the baselines.
+pub fn throughput_experiment(
+    servers: usize,
+    client_counts: &[usize],
+    requests_per_client: usize,
+    seed: u64,
+) -> Vec<ThroughputRow> {
+    let mut rows = Vec::new();
+    for &clients in client_counts {
+        // OAR
+        let config = ClusterConfig {
+            num_servers: servers,
+            num_clients: clients,
+            net: NetConfig::lan(),
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut oar: Cluster<KvMachine> =
+            Cluster::build(&config, KvMachine::new, |c| kv_workload(c, requests_per_client));
+        assert!(oar.run_to_completion(SimTime::from_secs(600)));
+        let oar_end = oar
+            .completed_requests()
+            .iter()
+            .map(|r| r.completed_at)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        rows.push(throughput_row("oar", servers, clients, oar.latencies().len(), oar_end, oar.latencies().mean()));
+
+        let base = BaselineConfig {
+            num_servers: servers,
+            num_clients: clients,
+            net: NetConfig::lan(),
+            seed,
+            ..BaselineConfig::default()
+        };
+        let mut seq: SequencerCluster<KvMachine> =
+            SequencerCluster::build(&base, KvMachine::new, |c| kv_workload(c, requests_per_client));
+        assert!(seq.run_to_completion(SimTime::from_secs(600)));
+        let seq_end = seq
+            .clients
+            .iter()
+            .flat_map(|&c| {
+                seq.world
+                    .process_ref::<oar_baselines::SequencerClient<KvMachine>>(c)
+                    .completed()
+                    .iter()
+                    .map(|r| r.completed_at)
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        rows.push(throughput_row(
+            "fixed-sequencer",
+            servers,
+            clients,
+            seq.latencies().len(),
+            seq_end,
+            seq.latencies().mean(),
+        ));
+
+        let mut ct: CtCluster<KvMachine> =
+            CtCluster::build(&base, KvMachine::new, |c| kv_workload(c, requests_per_client));
+        assert!(ct.run_to_completion(SimTime::from_secs(600)));
+        let ct_end = ct
+            .clients
+            .iter()
+            .flat_map(|&c| {
+                ct.world
+                    .process_ref::<oar_baselines::CtClient<KvMachine>>(c)
+                    .completed()
+                    .iter()
+                    .map(|r| r.completed_at)
+            })
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        rows.push(throughput_row(
+            "ct-abcast",
+            servers,
+            clients,
+            ct.latencies().len(),
+            ct_end,
+            ct.latencies().mean(),
+        ));
+    }
+    rows
+}
+
+fn throughput_row(
+    protocol: &str,
+    servers: usize,
+    clients: usize,
+    requests: usize,
+    end: SimTime,
+    mean_latency: Option<f64>,
+) -> ThroughputRow {
+    let seconds = end.as_millis_f64() / 1_000.0;
+    ThroughputRow {
+        protocol: protocol.into(),
+        servers,
+        clients,
+        requests,
+        requests_per_second: if seconds > 0.0 { requests as f64 / seconds } else { 0.0 },
+        mean_latency_ms: mean_latency.unwrap_or(0.0),
+    }
+}
+
+/// One row of the §5.3 epoch-cut ablation (T-GC).
+#[derive(Clone, Debug, Serialize)]
+pub struct GcRow {
+    /// The epoch-cut threshold (`None` = never cut, the paper's base
+    /// algorithm).
+    pub cut_after: Option<u64>,
+    /// Requests completed.
+    pub requests: usize,
+    /// Epochs completed across the run (per server average).
+    pub epochs_per_server: f64,
+    /// Mean latency (ms).
+    pub mean_latency_ms: f64,
+    /// p99 latency (ms).
+    pub p99_latency_ms: f64,
+    /// Whether the run stayed consistent.
+    pub consistent: bool,
+}
+
+/// T-GC: the §5.3 remark — periodically cutting the epoch garbage-collects
+/// `O_delivered` (bounding the state `Cnsv-order` must handle) at the cost of
+/// running the conservative phase regularly.
+pub fn gc_experiment(cut_values: &[Option<u64>], requests: usize, seed: u64) -> Vec<GcRow> {
+    let mut rows = Vec::new();
+    for &cut_after in cut_values {
+        let oar = OarConfig { epoch_cut_after: cut_after, ..OarConfig::default() };
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::lan(),
+            oar,
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<KvMachine> =
+            Cluster::build(&config, KvMachine::new, |c| kv_workload(c, requests));
+        let done = cluster.run_to_completion(SimTime::from_secs(600));
+        let consistent = done
+            && cluster.check_replica_consistency().is_ok()
+            && cluster.check_external_consistency().is_ok();
+        let epochs: u64 = cluster
+            .servers
+            .iter()
+            .map(|&s| cluster.world.process_ref::<oar::OarServer<KvMachine>>(s).stats().epochs_completed)
+            .sum();
+        let lat = cluster.latencies();
+        rows.push(GcRow {
+            cut_after,
+            requests: cluster.completed_requests().len(),
+            epochs_per_server: epochs as f64 / cluster.servers.len() as f64,
+            mean_latency_ms: lat.mean().unwrap_or(0.0),
+            p99_latency_ms: lat.quantile(0.99).unwrap_or(0.0),
+            consistent,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_shape_matches_paper_claims() {
+        let rows = latency_experiment(&[3], 30, 3);
+        let mean = |protocol: &str| {
+            rows.iter()
+                .find(|r| r.protocol == protocol)
+                .map(|r| r.latency_ms.mean)
+                .expect("row present")
+        };
+        let oar = mean("oar");
+        let seq = mean("fixed-sequencer");
+        let ct = mean("ct-abcast");
+        // OAR tracks the sequencer baseline within a factor of two and beats
+        // the consensus-based broadcast.
+        assert!(oar < ct, "OAR ({oar:.3} ms) should beat CT broadcast ({ct:.3} ms)");
+        assert!(oar < seq * 2.0, "OAR ({oar:.3} ms) should track the sequencer ({seq:.3} ms)");
+    }
+
+    #[test]
+    fn undo_rate_is_zero_without_partition() {
+        let rows = undo_experiment(5);
+        let failure_free = rows.iter().find(|r| r.scenario == "failure-free").unwrap();
+        assert_eq!(failure_free.opt_undeliveries, 0);
+        assert!(failure_free.consistent);
+        let crash = rows.iter().find(|r| r.scenario == "sequencer-crash").unwrap();
+        assert_eq!(crash.opt_undeliveries, 0, "a plain crash never forces undeliveries");
+        assert!(crash.consistent);
+        let partition = rows.iter().find(|r| r.scenario == "crash+minority-partition").unwrap();
+        assert!(partition.consistent);
+        assert!(partition.undo_rate < 0.5, "undo stays rare even under the adversarial scenario");
+    }
+
+    #[test]
+    fn gc_ablation_runs_more_epochs_when_cutting() {
+        let rows = gc_experiment(&[None, Some(5)], 20, 4);
+        let never = rows.iter().find(|r| r.cut_after.is_none()).unwrap();
+        let often = rows.iter().find(|r| r.cut_after == Some(5)).unwrap();
+        assert!(never.consistent && often.consistent);
+        assert!(
+            often.epochs_per_server > never.epochs_per_server,
+            "cutting epochs should complete more epochs ({} vs {})",
+            often.epochs_per_server,
+            never.epochs_per_server
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! # oar-bench — experiment harness for the OAR reproduction
+//!
+//! Two kinds of artifacts:
+//!
+//! * [`figures`] — deterministic reproductions of the paper's execution
+//!   scenarios (Figures 1–4), each returning the measured facts and a textual
+//!   timeline;
+//! * [`experiments`] — the quantitative claims (latency vs the baselines,
+//!   fail-over time, Opt-undeliver frequency, throughput, the §5.3 epoch-cut
+//!   ablation), each returning serialisable rows.
+//!
+//! The `harness` binary (`cargo run -p oar-bench --bin harness -- <experiment>`)
+//! prints the rows as a table plus JSON; the Criterion benches under
+//! `benches/` measure the wall-clock cost of the same workloads.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+
+pub use experiments::{
+    failover_experiment, gc_experiment, latency_experiment, throughput_experiment,
+    undo_experiment, FailoverRow, GcRow, LatencyRow, ThroughputRow, UndoRow,
+};
+pub use figures::{all_figures, FigureOutcome};

@@ -1,0 +1,112 @@
+//! Shared plumbing for protocol components.
+//!
+//! Protocol components (reliable channels, failure detector, consensus, the OAR
+//! server itself) are written as *pure state machines*: they are driven by a
+//! host process and describe the messages they want to send as [`Outgoing`]
+//! values. The host wraps the component wire type into the node's top-level
+//! message enum and hands it to the network. This keeps every component
+//! independently unit-testable, without a simulator.
+
+use oar_simnet::ProcessId;
+use serde::{Deserialize, Serialize};
+
+/// A message a component wants the host to send.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outgoing<W> {
+    /// Destination process.
+    pub to: ProcessId,
+    /// Component-level wire message.
+    pub wire: W,
+}
+
+impl<W> Outgoing<W> {
+    /// Creates an outgoing message.
+    pub fn new(to: ProcessId, wire: W) -> Self {
+        Outgoing { to, wire }
+    }
+
+    /// Maps the wire payload, keeping the destination. Hosts use this to wrap
+    /// component messages into their own envelope type.
+    pub fn map<U>(self, f: impl FnOnce(W) -> U) -> Outgoing<U> {
+        Outgoing {
+            to: self.to,
+            wire: f(self.wire),
+        }
+    }
+}
+
+/// Maps a whole batch of outgoing messages into the host's envelope type.
+pub fn map_outgoing<W, U>(
+    batch: Vec<Outgoing<W>>,
+    mut f: impl FnMut(W) -> U,
+) -> Vec<Outgoing<U>> {
+    batch.into_iter().map(|o| o.map(&mut f)).collect()
+}
+
+/// A globally unique message identifier: the originating process plus a local
+/// sequence number. Used for duplicate suppression by the reliable multicast
+/// and as the request identifier of the OAR protocol.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct MsgId {
+    /// The process that created the message.
+    pub origin: ProcessId,
+    /// Sequence number local to the origin.
+    pub seq: u64,
+}
+
+impl MsgId {
+    /// Creates a message identifier.
+    pub fn new(origin: ProcessId, seq: u64) -> Self {
+        MsgId { origin, seq }
+    }
+}
+
+impl std::fmt::Debug for MsgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}.{}", self.origin.0, self.seq)
+    }
+}
+
+impl std::fmt::Display for MsgId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}.{}", self.origin.0, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outgoing_map_preserves_destination() {
+        let o = Outgoing::new(ProcessId(3), 7u32);
+        let mapped = o.map(|v| format!("v{v}"));
+        assert_eq!(mapped.to, ProcessId(3));
+        assert_eq!(mapped.wire, "v7");
+    }
+
+    #[test]
+    fn map_outgoing_batch() {
+        let batch = vec![Outgoing::new(ProcessId(0), 1u32), Outgoing::new(ProcessId(1), 2u32)];
+        let mapped = map_outgoing(batch, |v| v * 10);
+        assert_eq!(mapped[0].wire, 10);
+        assert_eq!(mapped[1].wire, 20);
+    }
+
+    #[test]
+    fn msgid_display() {
+        let id = MsgId::new(ProcessId(2), 5);
+        assert_eq!(format!("{id}"), "m2.5");
+        assert_eq!(format!("{id:?}"), "m2.5");
+    }
+
+    #[test]
+    fn msgid_ordering_by_origin_then_seq() {
+        let a = MsgId::new(ProcessId(0), 9);
+        let b = MsgId::new(ProcessId(1), 0);
+        assert!(a < b);
+        assert!(MsgId::new(ProcessId(0), 1) < MsgId::new(ProcessId(0), 2));
+    }
+}

@@ -1,0 +1,259 @@
+//! Reliable multicast and reliable broadcast.
+//!
+//! The OAR paper (§3) assumes a primitive `R-multicast(m, Π)` with three
+//! properties:
+//!
+//! * **Validity** — if a correct process executes `R-multicast(m, Π)`, then
+//!   every correct process in `Π` eventually R-delivers `m`;
+//! * **Agreement** — if a correct process R-delivers `m`, then all correct
+//!   processes of `Π` eventually R-deliver `m`;
+//! * **Integrity** — every process R-delivers `m` at most once, and only if it
+//!   was previously R-multicast.
+//!
+//! The classic crash-stop construction over reliable channels is used: the
+//! sender sends `m` to every member of `Π`; when a member receives `m` for the
+//! first time it *relays* `m` to every member of `Π` and then delivers it.
+//! Relaying guarantees Agreement even if the sender crashes in the middle of
+//! its send loop. Duplicates are suppressed with a per-message identifier.
+//!
+//! The sender does not need to belong to `Π` (the OAR clients multicast their
+//! requests to the server group without being members); when it does belong to
+//! the group ([`ReliableCaster::broadcast`]), it also delivers its own message,
+//! which gives the `R-broadcast` primitive used for `PhaseII` notifications.
+
+use std::collections::HashSet;
+
+use oar_simnet::ProcessId;
+use serde::{Deserialize, Serialize};
+
+use crate::component::{MsgId, Outgoing};
+
+/// Wire format of the reliable multicast: the payload plus the identifier used
+/// for duplicate suppression.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CastWire<M> {
+    /// Unique identifier of this multicast (origin process + local counter).
+    pub id: MsgId,
+    /// The process that invoked `R-multicast` (the OAR "sender(m)", used by
+    /// servers to know where to send the reply).
+    pub origin: ProcessId,
+    /// The payload.
+    pub payload: M,
+}
+
+/// The sender-side and receiver-side state of reliable multicast for one
+/// process.
+#[derive(Debug)]
+pub struct ReliableCaster<M> {
+    self_id: ProcessId,
+    group: Vec<ProcessId>,
+    next_seq: u64,
+    seen: HashSet<MsgId>,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: Clone> ReliableCaster<M> {
+    /// Creates the multicast endpoint of process `self_id` for destination
+    /// group `group` (which may or may not contain `self_id`).
+    pub fn new(self_id: ProcessId, group: Vec<ProcessId>) -> Self {
+        ReliableCaster {
+            self_id,
+            group,
+            next_seq: 0,
+            seen: HashSet::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The destination group `Π`.
+    pub fn group(&self) -> &[ProcessId] {
+        &self.group
+    }
+
+    /// `R-multicast(m, Π)` for a sender that is *not* a member of `Π` (or that
+    /// does not want to deliver its own message): returns the wire messages to
+    /// send to every group member.
+    pub fn multicast(&mut self, payload: M) -> (MsgId, Vec<Outgoing<CastWire<M>>>) {
+        let id = MsgId::new(self.self_id, self.next_seq);
+        self.next_seq += 1;
+        let wire = CastWire {
+            id,
+            origin: self.self_id,
+            payload,
+        };
+        let out = self
+            .group
+            .iter()
+            .filter(|&&p| p != self.self_id)
+            .map(|&p| Outgoing::new(p, wire.clone()))
+            .collect();
+        (id, out)
+    }
+
+    /// `R-broadcast(m)` for a sender that *is* a member of `Π`: returns the
+    /// wire messages for the other members plus the local delivery of the
+    /// sender's own message.
+    pub fn broadcast(&mut self, payload: M) -> (Vec<Outgoing<CastWire<M>>>, Delivery<M>) {
+        let (id, out) = self.multicast(payload.clone());
+        // Mark as seen so that relayed copies are not re-delivered.
+        self.seen.insert(id);
+        (
+            out,
+            Delivery {
+                id,
+                origin: self.self_id,
+                payload,
+            },
+        )
+    }
+
+    /// Handles an incoming multicast wire message.
+    ///
+    /// Returns the delivery (if this is the first copy received) and the relay
+    /// messages to send to the rest of the group.
+    pub fn on_wire(
+        &mut self,
+        wire: CastWire<M>,
+    ) -> (Option<Delivery<M>>, Vec<Outgoing<CastWire<M>>>) {
+        if !self.seen.insert(wire.id) {
+            return (None, Vec::new());
+        }
+        let relays = self
+            .group
+            .iter()
+            .filter(|&&p| p != self.self_id && p != wire.origin)
+            .map(|&p| Outgoing::new(p, wire.clone()))
+            .collect();
+        (
+            Some(Delivery {
+                id: wire.id,
+                origin: wire.origin,
+                payload: wire.payload,
+            }),
+            relays,
+        )
+    }
+
+    /// Number of distinct multicasts seen so far (delivered or self-sent).
+    pub fn seen_count(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+/// A message R-delivered to the upper layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivery<M> {
+    /// Identifier of the multicast.
+    pub id: MsgId,
+    /// The process that R-multicast the message.
+    pub origin: ProcessId,
+    /// The payload.
+    pub payload: M,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn group3() -> Vec<ProcessId> {
+        vec![ProcessId(0), ProcessId(1), ProcessId(2)]
+    }
+
+    #[test]
+    fn multicast_from_external_sender_reaches_all_members() {
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group3());
+        let (id, out) = client.multicast("req");
+        assert_eq!(out.len(), 3);
+        assert_eq!(id.origin, ProcessId(9));
+        let targets: Vec<ProcessId> = out.iter().map(|o| o.to).collect();
+        assert_eq!(targets, group3());
+        assert!(out.iter().all(|o| o.wire.origin == ProcessId(9)));
+    }
+
+    #[test]
+    fn first_reception_delivers_and_relays() {
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group3());
+        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId(0), group3());
+        let (_, out) = client.multicast("req");
+        let to_p0 = out.into_iter().find(|o| o.to == ProcessId(0)).unwrap();
+        let (delivery, relays) = server0.on_wire(to_p0.wire);
+        let delivery = delivery.expect("first copy must be delivered");
+        assert_eq!(delivery.payload, "req");
+        assert_eq!(delivery.origin, ProcessId(9));
+        // relays go to the other group members, not back to the origin
+        let relay_targets: Vec<ProcessId> = relays.iter().map(|o| o.to).collect();
+        assert_eq!(relay_targets, vec![ProcessId(1), ProcessId(2)]);
+    }
+
+    #[test]
+    fn duplicates_are_not_redelivered() {
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group3());
+        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId(0), group3());
+        let (_, out) = client.multicast("req");
+        let wire = out[0].wire.clone();
+        let (d1, _) = server0.on_wire(wire.clone());
+        let (d2, relays2) = server0.on_wire(wire);
+        assert!(d1.is_some());
+        assert!(d2.is_none());
+        assert!(relays2.is_empty());
+        assert_eq!(server0.seen_count(), 1);
+    }
+
+    #[test]
+    fn broadcast_delivers_locally_and_ignores_own_relay() {
+        let mut p0: ReliableCaster<u32> = ReliableCaster::new(ProcessId(0), group3());
+        let (out, local) = p0.broadcast(42);
+        assert_eq!(local.payload, 42);
+        assert_eq!(local.origin, ProcessId(0));
+        assert_eq!(out.len(), 2);
+        // if a relayed copy of our own broadcast comes back, it is ignored
+        let echo = CastWire {
+            id: local.id,
+            origin: ProcessId(0),
+            payload: 42,
+        };
+        let (d, _) = p0.on_wire(echo);
+        assert!(d.is_none());
+    }
+
+    #[test]
+    fn distinct_multicasts_get_distinct_ids() {
+        let mut client: ReliableCaster<u32> = ReliableCaster::new(ProcessId(9), group3());
+        let (id1, _) = client.multicast(1);
+        let (id2, _) = client.multicast(2);
+        assert_ne!(id1, id2);
+    }
+
+    /// Agreement under sender crash: if the sender's sends reach only one
+    /// member, the relay from that member still lets every member deliver.
+    #[test]
+    fn relay_provides_agreement_when_sender_crashes_mid_send() {
+        let group = group3();
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group.clone());
+        let mut servers: Vec<ReliableCaster<&str>> = group
+            .iter()
+            .map(|&p| ReliableCaster::new(p, group.clone()))
+            .collect();
+        let (_, out) = client.multicast("req");
+        // Sender crashes after only the copy to p1 made it out.
+        let only = out.into_iter().find(|o| o.to == ProcessId(1)).unwrap();
+        let (d1, relays) = servers[1].on_wire(only.wire);
+        assert!(d1.is_some());
+        let mut delivered = vec![false, true, false];
+        for relay in relays {
+            let idx = relay.to.0;
+            let (d, more) = servers[idx].on_wire(relay.wire);
+            if d.is_some() {
+                delivered[idx] = true;
+            }
+            // second-level relays are harmless duplicates
+            for r in more {
+                let (d, _) = servers[r.to.0].on_wire(r.wire);
+                if d.is_some() {
+                    delivered[r.to.0] = true;
+                }
+            }
+        }
+        assert_eq!(delivered, vec![true, true, true]);
+    }
+}

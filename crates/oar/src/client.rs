@@ -1,0 +1,282 @@
+//! The OAR client (Fig. 5 of the paper).
+//!
+//! `OAR-multicast(m, Π)` R-multicasts the request to the server group and then
+//! waits for replies. Unlike classic active replication, the replies need not
+//! be identical: each carries a *weight* (the set of servers endorsing it). The
+//! client waits until, for some epoch `k`, the union of the weights of the
+//! replies received for `k` reaches the majority threshold `⌈(|Π|+1)/2⌉`, and
+//! then adopts a reply with the largest individual weight. This rule is what
+//! guarantees external consistency (Proposition 7): a reply that could still be
+//! invalidated by an `Opt-undeliver` can never gather a majority weight.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use oar_channels::ReliableCaster;
+use oar_simnet::{Context, Process, ProcessId, SimDuration, SimTime, Timer};
+
+use crate::message::{majority, OarWire, Reply, Request, RequestId, Weight};
+use crate::state_machine::StateMachine;
+
+/// Timer tag used for the think-time delay between two requests.
+const NEXT_REQUEST: u64 = 2;
+
+/// A request completed by the client: the adopted reply plus bookkeeping used
+/// by the experiments.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompletedRequest<R> {
+    /// The request identifier.
+    pub id: RequestId,
+    /// Index of the command in the client's workload.
+    pub index: usize,
+    /// The adopted response.
+    pub response: R,
+    /// Position reported by the adopted reply (the paper's integer reply).
+    pub position: u64,
+    /// Epoch of the adopted reply.
+    pub epoch: u64,
+    /// Size of the weight of the adopted reply.
+    pub adopted_weight: usize,
+    /// Number of replies received before adoption.
+    pub replies_seen: usize,
+    /// Time at which the request was multicast.
+    pub sent_at: SimTime,
+    /// Time at which the quorum was reached and the reply adopted.
+    pub completed_at: SimTime,
+}
+
+impl<R> CompletedRequest<R> {
+    /// Client-observed latency of the request.
+    pub fn latency(&self) -> SimDuration {
+        self.completed_at.duration_since(self.sent_at)
+    }
+}
+
+/// Per-epoch accumulation of replies for the outstanding request.
+#[derive(Debug, Clone)]
+struct EpochReplies<R> {
+    union_weight: Weight,
+    replies: Vec<Reply<R>>,
+}
+
+impl<R> Default for EpochReplies<R> {
+    fn default() -> Self {
+        EpochReplies {
+            union_weight: Weight::new(),
+            replies: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Outstanding<R> {
+    id: RequestId,
+    index: usize,
+    sent_at: SimTime,
+    by_epoch: BTreeMap<u64, EpochReplies<R>>,
+    replies_seen: usize,
+}
+
+/// A closed-loop OAR client: it submits the commands of its workload one at a
+/// time, adopting each reply per the weighted-quorum rule before sending the
+/// next command (after an optional think time).
+#[derive(Debug)]
+pub struct OarClient<S: StateMachine> {
+    id: ProcessId,
+    servers: Vec<ProcessId>,
+    cast: ReliableCaster<Request<S::Command>>,
+    workload: VecDeque<S::Command>,
+    next_index: usize,
+    think_time: SimDuration,
+    start_delay: SimDuration,
+    outstanding: Option<Outstanding<S::Response>>,
+    completed: Vec<CompletedRequest<S::Response>>,
+    majority: usize,
+}
+
+impl<S: StateMachine> OarClient<S> {
+    /// Creates a client that will submit `workload` to `servers`, waiting
+    /// `think_time` between the adoption of a reply and the next request.
+    pub fn new(
+        id: ProcessId,
+        servers: Vec<ProcessId>,
+        workload: Vec<S::Command>,
+        think_time: SimDuration,
+    ) -> Self {
+        let majority = majority(servers.len());
+        OarClient {
+            id,
+            cast: ReliableCaster::new(id, servers.clone()),
+            servers,
+            workload: workload.into(),
+            next_index: 0,
+            think_time,
+            start_delay: SimDuration::ZERO,
+            outstanding: None,
+            completed: Vec::new(),
+            majority,
+        }
+    }
+
+    /// Delays the first request by `delay` (used to stagger clients).
+    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
+        self.start_delay = delay;
+        self
+    }
+
+    /// The client's process identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The requests completed so far, in completion order.
+    pub fn completed(&self) -> &[CompletedRequest<S::Response>] {
+        &self.completed
+    }
+
+    /// Whether the whole workload has been submitted and answered.
+    pub fn is_done(&self) -> bool {
+        self.workload.is_empty() && self.outstanding.is_none()
+    }
+
+    /// Number of requests still to submit (excluding the outstanding one).
+    pub fn remaining(&self) -> usize {
+        self.workload.len()
+    }
+
+    fn send_next(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        let Some(command) = self.workload.pop_front() else {
+            return;
+        };
+        let request_stub = Request {
+            // The id is replaced below once the multicast assigns it.
+            id: RequestId::new(self.id, 0),
+            client: self.id,
+            command,
+        };
+        let (id, outgoing) = self.cast.multicast(Request {
+            id: request_stub.id,
+            ..request_stub.clone()
+        });
+        // Re-stamp the request with the multicast id so servers and client agree.
+        for o in outgoing {
+            let mut wire = o.wire;
+            wire.payload.id = id;
+            ctx.send(o.to, OarWire::Request(wire));
+        }
+        ctx.annotate(format!("OAR-multicast({id})"));
+        self.outstanding = Some(Outstanding {
+            id,
+            index: self.next_index,
+            sent_at: ctx.now(),
+            by_epoch: BTreeMap::new(),
+            replies_seen: 0,
+        });
+        self.next_index += 1;
+    }
+
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        reply: Reply<S::Response>,
+    ) {
+        let Some(outstanding) = self.outstanding.as_mut() else {
+            return;
+        };
+        if reply.request != outstanding.id {
+            return; // stale reply for an already-completed request
+        }
+        outstanding.replies_seen += 1;
+        let epoch_replies = outstanding.by_epoch.entry(reply.epoch).or_default();
+        epoch_replies.union_weight.extend(reply.weight.iter().copied());
+        epoch_replies.replies.push(reply);
+
+        // Fig. 5 line 3: wait until the union of weights for some epoch k
+        // reaches ⌈(|Π|+1)/2⌉.
+        let adopted = outstanding.by_epoch.iter().find_map(|(epoch, acc)| {
+            if acc.union_weight.len() >= self.majority {
+                // Lines 4–5: adopt a reply with the largest individual weight.
+                acc.replies
+                    .iter()
+                    .max_by_key(|r| r.weight.len())
+                    .map(|r| (*epoch, r.clone()))
+            } else {
+                None
+            }
+        });
+        let Some((epoch, reply)) = adopted else {
+            return;
+        };
+        let outstanding = self.outstanding.take().expect("outstanding request");
+        ctx.annotate(format!(
+            "adopt({}, pos={}, |W|={})",
+            outstanding.id,
+            reply.position,
+            reply.weight.len()
+        ));
+        self.completed.push(CompletedRequest {
+            id: outstanding.id,
+            index: outstanding.index,
+            response: reply.response,
+            position: reply.position,
+            epoch,
+            adopted_weight: reply.weight.len(),
+            replies_seen: outstanding.replies_seen,
+            sent_at: outstanding.sent_at,
+            completed_at: ctx.now(),
+        });
+        if self.workload.is_empty() {
+            return;
+        }
+        if self.think_time.is_zero() {
+            self.send_next(ctx);
+        } else {
+            ctx.set_timer(self.think_time, NEXT_REQUEST);
+        }
+    }
+
+    /// The majority threshold this client uses (`⌈(|Π|+1)/2⌉`).
+    pub fn majority_threshold(&self) -> usize {
+        self.majority
+    }
+
+    /// The server group this client talks to.
+    pub fn servers(&self) -> &[ProcessId] {
+        &self.servers
+    }
+}
+
+impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S> {
+    fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        if self.start_delay.is_zero() {
+            self.send_next(ctx);
+        } else {
+            ctx.set_timer(self.start_delay, NEXT_REQUEST);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        _from: ProcessId,
+        msg: OarWire<S::Command, S::Response>,
+    ) {
+        if let OarWire::Reply(reply) = msg {
+            self.handle_reply(ctx, reply);
+        }
+        // Clients ignore every other message kind.
+    }
+
+    fn on_timer(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        timer: Timer,
+    ) {
+        if timer.tag == NEXT_REQUEST && self.outstanding.is_none() {
+            self.send_next(ctx);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("oar-client-{}", self.id.0)
+    }
+}

@@ -1,0 +1,336 @@
+//! A convenience harness that assembles a complete OAR deployment (servers +
+//! clients) inside a [`World`], runs workloads and checks the paper's
+//! correctness propositions. Used by the integration tests, the examples and
+//! the experiment harness.
+
+use std::collections::HashMap;
+
+use oar_sequence::Seq;
+use oar_simnet::{NetConfig, ProcessId, Samples, SimDuration, SimTime, World};
+
+use crate::client::{CompletedRequest, OarClient};
+use crate::config::OarConfig;
+use crate::message::{OarWire, RequestId};
+use crate::server::{DeliveryRecord, OarServer};
+use crate::state_machine::StateMachine;
+
+/// Parameters of a cluster deployment.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of server replicas (`|Π|`).
+    pub num_servers: usize,
+    /// Number of client processes.
+    pub num_clients: usize,
+    /// Network configuration.
+    pub net: NetConfig,
+    /// Protocol configuration shared by all servers.
+    pub oar: OarConfig,
+    /// Seed of the deterministic simulation.
+    pub seed: u64,
+    /// Client think time between requests.
+    pub think_time: SimDuration,
+    /// Per-client delay before the first request. Clients beyond the end of
+    /// the vector use a small default stagger (10µs × index). Used by the
+    /// figure scenarios to issue specific requests while a partition is
+    /// installed.
+    pub client_start_delays: Vec<SimDuration>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_servers: 3,
+            num_clients: 1,
+            net: NetConfig::lan(),
+            oar: OarConfig::default(),
+            seed: 1,
+            think_time: SimDuration::ZERO,
+            client_start_delays: Vec::new(),
+        }
+    }
+}
+
+/// A fully assembled OAR deployment in a simulated world.
+pub struct Cluster<S: StateMachine> {
+    /// The simulation world. Exposed so experiments can inject crashes,
+    /// partitions and custom calls.
+    pub world: World<OarWire<S::Command, S::Response>>,
+    /// Identifiers of the server processes, in group order.
+    pub servers: Vec<ProcessId>,
+    /// Identifiers of the client processes.
+    pub clients: Vec<ProcessId>,
+}
+
+impl<S: StateMachine> Cluster<S> {
+    /// Builds a cluster. `make_sm` creates each replica's initial state (must
+    /// be identical); `workload_for(client_index)` is each client's command
+    /// list.
+    pub fn build(
+        config: &ClusterConfig,
+        mut make_sm: impl FnMut() -> S,
+        mut workload_for: impl FnMut(usize) -> Vec<S::Command>,
+    ) -> Self {
+        let mut world: World<OarWire<S::Command, S::Response>> =
+            World::new(config.net.clone(), config.seed);
+        let server_ids: Vec<ProcessId> = (0..config.num_servers).map(ProcessId).collect();
+        let mut servers = Vec::new();
+        for &id in &server_ids {
+            let server = OarServer::new(id, server_ids.clone(), config.oar, make_sm());
+            let assigned = world.add_process(server);
+            debug_assert_eq!(assigned, id);
+            servers.push(assigned);
+        }
+        let mut clients = Vec::new();
+        for c in 0..config.num_clients {
+            let start_delay = config
+                .client_start_delays
+                .get(c)
+                .copied()
+                .unwrap_or_else(|| SimDuration::from_micros(10 * c as u64));
+            let client: OarClient<S> = OarClient::new(
+                ProcessId(config.num_servers + c),
+                server_ids.clone(),
+                workload_for(c),
+                config.think_time,
+            )
+            .with_start_delay(start_delay);
+            clients.push(world.add_process(client));
+        }
+        Cluster { world, servers, clients }
+    }
+
+    /// Runs the simulation until every client finished its workload or the
+    /// horizon is reached. Returns `true` if all clients finished.
+    pub fn run_to_completion(&mut self, horizon: SimTime) -> bool {
+        // Step in slices so we can stop as soon as the workload is done.
+        let slice = SimDuration::from_millis(50);
+        let mut next = self.world.now() + slice;
+        loop {
+            self.world.run_until(next);
+            if self.all_clients_done() {
+                return true;
+            }
+            if self.world.now() >= horizon {
+                return self.all_clients_done();
+            }
+            next = self.world.now() + slice;
+        }
+    }
+
+    /// Whether every client finished its workload.
+    pub fn all_clients_done(&self) -> bool {
+        self.clients
+            .iter()
+            .all(|&c| self.world.process_ref::<OarClient<S>>(c).is_done())
+    }
+
+    /// Read access to server `i` (by index in the group).
+    pub fn server(&self, i: usize) -> &OarServer<S> {
+        self.world.process_ref::<OarServer<S>>(self.servers[i])
+    }
+
+    /// Read access to client `i`.
+    pub fn client(&self, i: usize) -> &OarClient<S> {
+        self.world.process_ref::<OarClient<S>>(self.clients[i])
+    }
+
+    /// All completed requests of all clients.
+    pub fn completed_requests(&self) -> Vec<&CompletedRequest<S::Response>> {
+        self.clients
+            .iter()
+            .flat_map(|&c| self.world.process_ref::<OarClient<S>>(c).completed().iter())
+            .collect()
+    }
+
+    /// Client-observed latencies (milliseconds) of all completed requests.
+    pub fn latencies(&self) -> Samples {
+        let mut samples = Samples::new();
+        for r in self.completed_requests() {
+            samples.record_duration(r.latency());
+        }
+        samples
+    }
+
+    /// Total number of `Opt-undeliver` events across all servers.
+    pub fn total_undeliveries(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| self.world.process_ref::<OarServer<S>>(s).stats().opt_undelivered)
+            .sum()
+    }
+
+    /// Total number of phase-2 entries across all servers.
+    pub fn total_phase2_entries(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| self.world.process_ref::<OarServer<S>>(s).stats().phase2_entered)
+            .sum()
+    }
+
+    /// Checks the server-side safety properties across all *alive* servers:
+    ///
+    /// * the committed sequences (stable + current optimistic deliveries) of
+    ///   any two servers are prefix-compatible (Proposition 5, total order);
+    /// * no request appears twice in a committed sequence (Propositions 2–3,
+    ///   at-most-once);
+    /// * servers that delivered the same number of requests have identical
+    ///   state-machine digests (determinism + total order).
+    pub fn check_replica_consistency(&self) -> Result<(), String> {
+        let alive: Vec<ProcessId> = self
+            .servers
+            .iter()
+            .copied()
+            .filter(|&s| !self.world.is_crashed(s))
+            .collect();
+        let sequences: HashMap<ProcessId, Seq<RequestId>> = alive
+            .iter()
+            .map(|&s| (s, self.world.process_ref::<OarServer<S>>(s).committed_sequence()))
+            .collect();
+        for (&p, seq) in &sequences {
+            let mut seen = std::collections::HashSet::new();
+            for id in seq.iter() {
+                if !seen.insert(*id) {
+                    return Err(format!("server {p} delivered {id} twice"));
+                }
+            }
+        }
+        for (&p, sp) in &sequences {
+            for (&q, sq) in &sequences {
+                if p >= q {
+                    continue;
+                }
+                if !(sp.is_prefix_of(sq) || sq.is_prefix_of(sp)) {
+                    return Err(format!(
+                        "total order violated between {p} and {q}: {sp} vs {sq}"
+                    ));
+                }
+            }
+        }
+        // Digest equality for equal-length sequences.
+        let mut by_len: HashMap<usize, (ProcessId, u64)> = HashMap::new();
+        for &s in &alive {
+            let server = self.world.process_ref::<OarServer<S>>(s);
+            let len = server.committed_sequence().len();
+            let digest = server.state_machine().digest();
+            if let Some((other, other_digest)) = by_len.get(&len) {
+                if *other_digest != digest {
+                    return Err(format!(
+                        "servers {other} and {s} delivered {len} requests but diverge"
+                    ));
+                }
+            } else {
+                by_len.insert(len, (s, digest));
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks external consistency (Proposition 7): every response adopted by a
+    /// client matches, at every alive server that delivered the request without
+    /// undoing it, the position at which that server processed the request.
+    pub fn check_external_consistency(&self) -> Result<(), String> {
+        // Build, per server, the final position of every settled request.
+        let mut per_server: Vec<HashMap<RequestId, u64>> = Vec::new();
+        for &s in &self.servers {
+            if self.world.is_crashed(s) {
+                per_server.push(HashMap::new());
+                continue;
+            }
+            let server = self.world.process_ref::<OarServer<S>>(s);
+            let mut positions = HashMap::new();
+            for (i, id) in server.committed_sequence().iter().enumerate() {
+                positions.insert(*id, (i + 1) as u64);
+            }
+            per_server.push(positions);
+        }
+        for (c_idx, &c) in self.clients.iter().enumerate() {
+            let client = self.world.process_ref::<OarClient<S>>(c);
+            for done in client.completed() {
+                for (s_idx, positions) in per_server.iter().enumerate() {
+                    if let Some(&pos) = positions.get(&done.id) {
+                        if pos != done.position {
+                            return Err(format!(
+                                "client {c_idx} adopted position {} for {} but server {} settled it at {}",
+                                done.position, done.id, s_idx, pos
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Collects every delivery record of every server, annotated with the
+    /// server index — handy for figure-style timelines.
+    pub fn delivery_logs(&self) -> Vec<(usize, Vec<DeliveryRecord>)> {
+        self.servers
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| (i, self.world.process_ref::<OarServer<S>>(s).delivery_log().to_vec()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_machine::{CounterCommand, CounterMachine};
+
+    fn workload(n: usize) -> Vec<CounterCommand> {
+        (0..n).map(|i| CounterCommand::Add(i as i64 + 1)).collect()
+    }
+
+    #[test]
+    fn failure_free_run_completes_and_is_consistent() {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |_| workload(5));
+        let done = cluster.run_to_completion(SimTime::from_secs(10));
+        assert!(done, "clients did not finish");
+        assert_eq!(cluster.completed_requests().len(), 10);
+        cluster.check_replica_consistency().unwrap();
+        cluster.check_external_consistency().unwrap();
+        // No failures: phase 2 never runs, nothing is undone.
+        assert_eq!(cluster.total_phase2_entries(), 0);
+        assert_eq!(cluster.total_undeliveries(), 0);
+        // All replies were optimistic with weight 2 (p + sequencer) or 1.
+        for r in cluster.completed_requests() {
+            assert!(r.adopted_weight <= 3);
+        }
+    }
+
+    #[test]
+    fn latencies_are_recorded() {
+        let config = ClusterConfig::default();
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |_| workload(3));
+        cluster.run_to_completion(SimTime::from_secs(10));
+        let lat = cluster.latencies();
+        assert_eq!(lat.len(), 3);
+        assert!(lat.mean().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn sequencer_crash_is_tolerated() {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 1,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |_| workload(10));
+        // Crash the initial sequencer (server 0) shortly after the run starts.
+        let victim = cluster.servers[0];
+        cluster.world.schedule_crash(victim, SimTime::from_millis(3));
+        let done = cluster.run_to_completion(SimTime::from_secs(30));
+        assert!(done, "workload did not complete after sequencer crash");
+        cluster.check_replica_consistency().unwrap();
+        cluster.check_external_consistency().unwrap();
+        assert!(cluster.total_phase2_entries() > 0, "phase 2 should have run");
+    }
+}

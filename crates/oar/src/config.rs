@@ -1,0 +1,69 @@
+//! Configuration of the OAR servers and clients.
+
+use oar_consensus::ConsensusConfig;
+use oar_fd::FdConfig;
+use oar_simnet::SimDuration;
+
+/// Configuration shared by all servers of an OAR group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OarConfig {
+    /// Failure-detector parameters (heartbeat interval, suspicion timeout).
+    /// The timeout is the main knob of the fail-over experiments.
+    pub fd: FdConfig,
+    /// Parameters of the `Cnsv-order` consensus.
+    pub consensus: ConsensusConfig,
+    /// Period of the servers' maintenance timer, which drives heartbeats,
+    /// suspicion checks and sequencer batching.
+    pub tick_interval: SimDuration,
+    /// When `true` (default) the sequencer orders new requests as soon as they
+    /// are R-delivered; when `false` it only orders on its maintenance tick,
+    /// which batches requests at the cost of latency (throughput ablation).
+    pub eager_sequencing: bool,
+    /// §5.3 remark: if set, a sequencer that has Opt-delivered this many
+    /// requests in the current epoch proactively R-broadcasts `PhaseII` so the
+    /// epoch is cut and `O_delivered` garbage-collected.
+    pub epoch_cut_after: Option<u64>,
+}
+
+impl Default for OarConfig {
+    fn default() -> Self {
+        OarConfig {
+            fd: FdConfig::default(),
+            consensus: ConsensusConfig::default(),
+            tick_interval: SimDuration::from_millis(1),
+            eager_sequencing: true,
+            epoch_cut_after: None,
+        }
+    }
+}
+
+impl OarConfig {
+    /// A configuration with the given failure-detector timeout (heartbeats at
+    /// one fifth of it), everything else at defaults.
+    pub fn with_fd_timeout(timeout: SimDuration) -> Self {
+        OarConfig {
+            fd: FdConfig::with_timeout(timeout),
+            ..OarConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_eager_and_uncut() {
+        let cfg = OarConfig::default();
+        assert!(cfg.eager_sequencing);
+        assert_eq!(cfg.epoch_cut_after, None);
+        assert!(cfg.consensus.require_majority_estimates);
+    }
+
+    #[test]
+    fn with_fd_timeout_sets_timeout() {
+        let cfg = OarConfig::with_fd_timeout(SimDuration::from_millis(40));
+        assert_eq!(cfg.fd.timeout, SimDuration::from_millis(40));
+        assert_eq!(cfg.fd.heartbeat_interval, SimDuration::from_millis(8));
+    }
+}

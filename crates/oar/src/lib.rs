@@ -1,0 +1,74 @@
+//! # oar — Optimistic Active Replication
+//!
+//! A faithful, executable implementation of the **OAR algorithm** of Felber &
+//! Schiper, *Optimistic Active Replication* (ICDCS 2001): active replication
+//! whose Atomic Broadcast is opened up ("white box") so that the protocol can
+//! deliver optimistically — with sequencer-based, single-phase ordering — while
+//! guaranteeing that clients never adopt a reply that could be invalidated.
+//!
+//! ## Protocol in one paragraph
+//!
+//! Clients `R-multicast` their request to the server group `Π` and wait for a
+//! **weighted quorum** of replies ([`client::OarClient`], Fig. 5). Servers run
+//! in epochs ([`server::OarServer`], Fig. 6): during the optimistic phase a
+//! sequencer orders requests in one communication step and every server
+//! `Opt-deliver`s them immediately, replying with a small weight; if the
+//! sequencer is suspected, the group switches to the conservative phase, where
+//! `Cnsv-order` ([`cnsv_order`]) — reduced to a Maj-validity consensus
+//! ([`oar_consensus`]) — closes the epoch, possibly `Opt-undeliver`ing requests
+//! that a suspected minority had delivered out of order, and `A-deliver`s the
+//! agreed sequence with full weight `Π`.
+//!
+//! ## Crate layout
+//!
+//! * [`state_machine`] — the deterministic, undoable replicated-service trait;
+//! * [`message`] — requests, weighted replies, ordering messages, wire enum;
+//! * [`cnsv_order`] — the pure `Cnsv-order` procedure (Fig. 7) and its
+//!   property-tested specification (§5.4);
+//! * [`server`] / [`client`] — the protocol participants as simulator
+//!   processes;
+//! * [`cluster`] — a harness assembling whole deployments for tests, examples
+//!   and experiments;
+//! * [`config`] — protocol tuning knobs (failure-detector timeout, batching,
+//!   epoch cutting).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use oar::cluster::{Cluster, ClusterConfig};
+//! use oar::state_machine::{CounterCommand, CounterMachine};
+//! use oar_simnet::SimTime;
+//!
+//! let config = ClusterConfig { num_servers: 3, num_clients: 1, ..Default::default() };
+//! let mut cluster: Cluster<CounterMachine> = Cluster::build(
+//!     &config,
+//!     CounterMachine::default,
+//!     |_client| vec![CounterCommand::Add(1), CounterCommand::Add(2)],
+//! );
+//! assert!(cluster.run_to_completion(SimTime::from_secs(5)));
+//! assert_eq!(cluster.completed_requests().len(), 2);
+//! cluster.check_replica_consistency().unwrap();
+//! cluster.check_external_consistency().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod cluster;
+pub mod cnsv_order;
+pub mod config;
+pub mod message;
+pub mod server;
+pub mod state_machine;
+
+pub use client::{CompletedRequest, OarClient};
+pub use cluster::{Cluster, ClusterConfig};
+pub use cnsv_order::{cnsv_order_outcome, CnsvOutcome};
+pub use config::OarConfig;
+pub use message::{
+    majority, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request, RequestId,
+    Weight,
+};
+pub use server::{DeliveryRecord, OarServer, Phase, ServerStats};
+pub use state_machine::StateMachine;

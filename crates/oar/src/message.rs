@@ -1,0 +1,154 @@
+//! Wire messages of the OAR protocol.
+//!
+//! All processes of a simulation exchange a single top-level message type,
+//! [`OarWire`], which wraps the client/server application messages and the
+//! messages of the embedded components (reliable multicast, failure detector,
+//! consensus).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use oar_channels::{CastWire, MsgId};
+use oar_consensus::ConsensusWire;
+use oar_fd::FdWire;
+use oar_sequence::Seq;
+use oar_simnet::ProcessId;
+
+/// Identifier of a client request: the client process plus a per-client
+/// sequence number (assigned by the reliable multicast layer).
+pub type RequestId = MsgId;
+
+/// A client request as carried by `R-multicast(m, Π)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request<C> {
+    /// Unique identifier of the request.
+    pub id: RequestId,
+    /// The client that issued the request (the paper's `sender(m)`).
+    pub client: ProcessId,
+    /// The command to execute on the replicated service.
+    pub command: C,
+}
+
+/// The weight of a reply: the set of servers known by the sender to deliver
+/// the request at the same position (Fig. 5/6 of the paper). Optimistic replies
+/// carry `{s}` or `{p, s}`; conservative replies carry the whole group `Π`.
+pub type Weight = BTreeSet<ProcessId>;
+
+/// How the replying server delivered the request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DeliveryKind {
+    /// Delivered during phase 1 by the sequencer order (`Opt-deliver`).
+    Optimistic,
+    /// Delivered during phase 2 by the conservative order (`A-deliver`).
+    Conservative,
+}
+
+/// A server's reply to a client request.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Reply<R> {
+    /// The request being answered.
+    pub request: RequestId,
+    /// Epoch in which the request was processed.
+    pub epoch: u64,
+    /// The servers endorsing this reply.
+    pub weight: Weight,
+    /// Position of the request in the server's delivery order (the integer
+    /// reply used throughout the paper's proofs).
+    pub position: u64,
+    /// The application-level response.
+    pub response: R,
+    /// The replying server.
+    pub from: ProcessId,
+    /// Whether the reply came from an optimistic or a conservative delivery.
+    pub kind: DeliveryKind,
+}
+
+/// The sequencer's ordering message (Task 1a, Fig. 6 line 10): the epoch and
+/// the sequence of not-yet-delivered requests, identified by id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderMsg {
+    /// Epoch of the ordering.
+    pub epoch: u64,
+    /// Request identifiers in delivery order.
+    pub order: Seq<RequestId>,
+}
+
+/// The `(k, PhaseII)` notification R-broadcast by Task 1c.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseIIMsg {
+    /// The epoch that must move to the conservative phase.
+    pub epoch: u64,
+}
+
+/// The value proposed to the `Cnsv-order` consensus by each server: its
+/// sequences of optimistically delivered and received-but-not-delivered
+/// requests for the epoch (the paper's `(O_delivered, O_notdelivered)` pair).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CnsvValue {
+    /// Requests Opt-delivered by the proposer during the epoch.
+    pub o_delivered: Seq<RequestId>,
+    /// Requests received but not yet delivered by the proposer.
+    pub o_notdelivered: Seq<RequestId>,
+}
+
+impl fmt::Display for CnsvValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{{};{}}}", self.o_delivered, self.o_notdelivered)
+    }
+}
+
+/// The top-level wire message exchanged by all processes of an OAR deployment.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OarWire<C, R> {
+    /// A client request travelling through the reliable multicast layer
+    /// (initial send from the client or relay between servers).
+    Request(CastWire<Request<C>>),
+    /// A server's reply to a client.
+    Reply(Reply<R>),
+    /// The sequencer's ordering message.
+    Order(OrderMsg),
+    /// A `(k, PhaseII)` notification travelling through the reliable broadcast
+    /// layer.
+    PhaseII(CastWire<PhaseIIMsg>),
+    /// Failure-detector heartbeat.
+    Fd(FdWire),
+    /// A message of the `Cnsv-order` consensus (instance = epoch).
+    Consensus(ConsensusWire<CnsvValue>),
+}
+
+/// Majority threshold used by both the client quorum rule and the consensus:
+/// `⌈(|Π|+1)/2⌉`.
+pub fn majority(group_size: usize) -> usize {
+    group_size / 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_matches_paper_formula() {
+        // ⌈(n+1)/2⌉
+        assert_eq!(majority(1), 1);
+        assert_eq!(majority(2), 2);
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 3);
+        assert_eq!(majority(5), 3);
+        assert_eq!(majority(6), 4);
+        assert_eq!(majority(7), 4);
+    }
+
+    #[test]
+    fn cnsv_value_display_uses_paper_notation() {
+        let v = CnsvValue {
+            o_delivered: Seq::from(vec![RequestId::new(ProcessId(9), 0)]),
+            o_notdelivered: Seq::new(),
+        };
+        assert_eq!(format!("{v}"), "{{m9.0};{}}");
+    }
+
+    #[test]
+    fn delivery_kind_equality() {
+        assert_ne!(DeliveryKind::Optimistic, DeliveryKind::Conservative);
+    }
+}

@@ -1,0 +1,757 @@
+//! The OAR server (Fig. 6 of the paper).
+//!
+//! Each server is a single [`Process`] that composes:
+//!
+//! * a [`ReliableCaster`] receiving (and relaying) client requests — Task 0;
+//! * the sequencer logic — Task 1a (ordering) and Task 1b (Opt-delivery);
+//! * a [`HeartbeatFd`] whose suspicion of the sequencer triggers Task 1c;
+//! * a second [`ReliableCaster`] for the `(k, PhaseII)` broadcast;
+//! * one [`MajConsensus`] instance per epoch implementing the reduction of
+//!   `Cnsv-order` to consensus — Task 2;
+//! * the replicated [`StateMachine`] with its undo stack, so that
+//!   `Opt-undeliver` can roll back optimistic deliveries in reverse order.
+//!
+//! The server progresses through epochs; the sequencer of epoch `k` is
+//! `Π[k mod |Π|]` (the rotating-coordinator rule of §5.3).
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+
+use oar_channels::{Delivery, ReliableCaster};
+use oar_consensus::{ConsensusWire, Decision, MajConsensus};
+use oar_fd::{FdEvent, HeartbeatFd};
+use oar_sequence::Seq;
+use oar_simnet::{Context, Process, ProcessId, Timer};
+
+use crate::cnsv_order::cnsv_order_outcome;
+use crate::config::OarConfig;
+use crate::message::{
+    CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request, RequestId, Weight,
+};
+use crate::state_machine::StateMachine;
+
+/// Timer tag of the periodic maintenance tick.
+const TICK: u64 = 1;
+
+/// Which phase of the current epoch the server is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Phase 1: the sequencer orders messages optimistically.
+    Optimistic,
+    /// Phase 2: the group runs `Cnsv-order` (consensus) to close the epoch.
+    Conservative,
+}
+
+/// One entry of the server's delivery log, used by tests and experiments to
+/// check the paper's propositions (total order, at-most-once, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeliveryRecord {
+    /// `Opt-deliver(m)` at the given global position.
+    OptDeliver {
+        /// Epoch of the delivery.
+        epoch: u64,
+        /// The request.
+        request: RequestId,
+        /// 1-based position in the server's delivery order.
+        position: u64,
+    },
+    /// `Opt-undeliver(m)`.
+    OptUndeliver {
+        /// Epoch of the undelivery.
+        epoch: u64,
+        /// The request.
+        request: RequestId,
+    },
+    /// `A-deliver(m)` at the given global position.
+    ADeliver {
+        /// Epoch of the delivery.
+        epoch: u64,
+        /// The request.
+        request: RequestId,
+        /// 1-based position in the server's delivery order.
+        position: u64,
+    },
+}
+
+/// Counters maintained by each server, used by the experiment harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests delivered optimistically (phase 1).
+    pub opt_delivered: u64,
+    /// Optimistic deliveries that were undone.
+    pub opt_undelivered: u64,
+    /// Requests delivered conservatively (phase 2).
+    pub a_delivered: u64,
+    /// Number of times the server entered phase 2.
+    pub phase2_entered: u64,
+    /// Number of epochs completed (phase 2 finished).
+    pub epochs_completed: u64,
+    /// Ordering messages sent while acting as the sequencer.
+    pub order_messages_sent: u64,
+}
+
+/// The OAR server process, generic over the replicated [`StateMachine`].
+#[derive(Debug)]
+pub struct OarServer<S: StateMachine> {
+    id: ProcessId,
+    group: Vec<ProcessId>,
+    config: OarConfig,
+
+    // --- protocol state (Fig. 6, Initialization) ---
+    epoch: u64,
+    phase: Phase,
+    /// Reception order of client requests (the paper's `R_delivered`).
+    r_delivered: Seq<RequestId>,
+    /// Requests delivered in previous epochs (the paper's `A_delivered`).
+    a_delivered: Seq<RequestId>,
+    /// Requests Opt-delivered in the current epoch (the paper's `O_delivered`).
+    o_delivered: Seq<RequestId>,
+    /// Fast membership test for `a_delivered` plus kept optimistic deliveries.
+    settled: HashSet<RequestId>,
+    /// Request payloads, keyed by id.
+    payloads: HashMap<RequestId, Request<S::Command>>,
+    /// Undo tokens of the current epoch's optimistic deliveries (LIFO).
+    undo_stack: Vec<(RequestId, S::Undo)>,
+    /// Number of requests delivered and not undone (the proofs' reply counter).
+    position: u64,
+    /// Ordered requests not yet Opt-delivered because their payload has not
+    /// arrived yet (delivery must follow the sequencer order).
+    order_queue: Seq<RequestId>,
+    /// True once Task 1c fired (or a PhaseII was delivered) for this epoch.
+    phase2_started: bool,
+
+    // --- components ---
+    request_cast: ReliableCaster<Request<S::Command>>,
+    phase2_cast: ReliableCaster<PhaseIIMsg>,
+    fd: HeartbeatFd,
+    consensus: Option<MajConsensus<CnsvValue>>,
+
+    // --- buffers for out-of-epoch messages ---
+    future_orders: BTreeMap<u64, Vec<Seq<RequestId>>>,
+    future_phase2: BTreeSet<u64>,
+    buffered_consensus: BTreeMap<u64, Vec<(ProcessId, ConsensusWire<CnsvValue>)>>,
+    /// A consensus decision whose requests are not all locally known yet.
+    pending_decision: Option<Decision<CnsvValue>>,
+
+    // --- application ---
+    sm: S,
+
+    // --- observability ---
+    log: Vec<DeliveryRecord>,
+    stats: ServerStats,
+}
+
+impl<S: StateMachine> OarServer<S> {
+    /// Creates the server with identity `id`, replica group `group` (which must
+    /// contain `id`) and initial service state `sm`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a member of `group`.
+    pub fn new(id: ProcessId, group: Vec<ProcessId>, config: OarConfig, sm: S) -> Self {
+        assert!(group.contains(&id), "server must belong to its group");
+        OarServer {
+            id,
+            request_cast: ReliableCaster::new(id, group.clone()),
+            phase2_cast: ReliableCaster::new(id, group.clone()),
+            fd: HeartbeatFd::new(id, group.clone(), config.fd),
+            consensus: None,
+            group,
+            config,
+            epoch: 0,
+            phase: Phase::Optimistic,
+            r_delivered: Seq::new(),
+            a_delivered: Seq::new(),
+            o_delivered: Seq::new(),
+            settled: HashSet::new(),
+            payloads: HashMap::new(),
+            undo_stack: Vec::new(),
+            position: 0,
+            order_queue: Seq::new(),
+            phase2_started: false,
+            future_orders: BTreeMap::new(),
+            future_phase2: BTreeSet::new(),
+            buffered_consensus: BTreeMap::new(),
+            pending_decision: None,
+            sm: sm,
+            log: Vec::new(),
+            stats: ServerStats::default(),
+        }
+    }
+
+    /// The server's process identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// The sequencer of epoch `k`: `Π[k mod |Π|]`.
+    pub fn sequencer_of(&self, epoch: u64) -> ProcessId {
+        self.group[(epoch as usize) % self.group.len()]
+    }
+
+    /// The sequencer of the current epoch.
+    pub fn current_sequencer(&self) -> ProcessId {
+        self.sequencer_of(self.epoch)
+    }
+
+    /// Whether this server is the sequencer of the current epoch.
+    pub fn is_sequencer(&self) -> bool {
+        self.current_sequencer() == self.id
+    }
+
+    /// The replicated state machine (read access, for tests and examples).
+    pub fn state_machine(&self) -> &S {
+        &self.sm
+    }
+
+    /// The delivery log (Opt-deliver / Opt-undeliver / A-deliver events).
+    pub fn delivery_log(&self) -> &[DeliveryRecord] {
+        &self.log
+    }
+
+    /// Protocol counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+
+    /// The sequence of requests this server has delivered and not undone, in
+    /// delivery order: `A_delivered ⊕ (O_delivered of the current epoch)`.
+    pub fn committed_sequence(&self) -> Seq<RequestId> {
+        self.a_delivered.concat(&self.o_delivered)
+    }
+
+    /// The requests delivered in closed epochs only (never undoable).
+    pub fn stable_sequence(&self) -> &Seq<RequestId> {
+        &self.a_delivered
+    }
+
+    /// Forces this server to suspect the current sequencer (wrong-suspicion
+    /// injection used by the experiments on Opt-undeliver frequency).
+    pub fn force_suspect_sequencer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        let sequencer = self.current_sequencer();
+        if sequencer != self.id {
+            self.fd.force_suspect(sequencer);
+        }
+        self.maybe_start_phase2(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // helpers
+    // ------------------------------------------------------------------
+
+    fn delivered_already(&self, id: &RequestId) -> bool {
+        self.settled.contains(id) || self.o_delivered.contains(id)
+    }
+
+    fn annotate(
+        &self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        text: String,
+    ) {
+        ctx.annotate(text);
+    }
+
+    /// Task 0 (Fig. 6 lines 6–7): buffer an incoming client request.
+    fn handle_request_delivery(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        delivery: Delivery<Request<S::Command>>,
+    ) {
+        let request = delivery.payload;
+        let id = request.id;
+        if self.payloads.contains_key(&id) {
+            return;
+        }
+        self.payloads.insert(id, request);
+        self.r_delivered.push(id);
+        // New payloads may unblock a buffered sequencer order or a pending
+        // consensus decision.
+        self.drain_order_queue(ctx);
+        self.try_apply_pending_decision(ctx);
+        // Task 1a: the sequencer orders eagerly if configured to do so.
+        if self.config.eager_sequencing {
+            self.maybe_order(ctx);
+        }
+    }
+
+    /// Task 1a (Fig. 6 lines 8–10): the sequencer orders unordered requests.
+    fn maybe_order(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        if self.phase != Phase::Optimistic || !self.is_sequencer() {
+            return;
+        }
+        let not_delivered: Seq<RequestId> = self
+            .r_delivered
+            .iter()
+            .filter(|id| !self.delivered_already(id) && !self.order_queue.contains(id))
+            .copied()
+            .collect();
+        if not_delivered.is_empty() {
+            return;
+        }
+        self.stats.order_messages_sent += 1;
+        let msg = OrderMsg {
+            epoch: self.epoch,
+            order: not_delivered.clone(),
+        };
+        for &p in &self.group.clone() {
+            if p != self.id {
+                ctx.send(p, OarWire::Order(msg.clone()));
+            }
+        }
+        // "The sequencer immediately delivers this message" (§5.3).
+        self.accept_order(ctx, not_delivered);
+    }
+
+    /// Task 1b (Fig. 6 lines 11–19): accept an ordering for the current epoch.
+    fn accept_order(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        order: Seq<RequestId>,
+    ) {
+        for id in order.iter() {
+            if !self.delivered_already(id) && !self.order_queue.contains(id) {
+                self.order_queue.push(*id);
+            }
+        }
+        self.drain_order_queue(ctx);
+    }
+
+    /// Opt-delivers ordered requests whose payload is available, preserving the
+    /// sequencer order.
+    fn drain_order_queue(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        if self.phase != Phase::Optimistic {
+            return;
+        }
+        while let Some(&next) = self.order_queue.first() {
+            if self.delivered_already(&next) {
+                self.order_queue = self.order_queue.suffix_from(1);
+                continue;
+            }
+            if !self.payloads.contains_key(&next) {
+                break;
+            }
+            self.order_queue = self.order_queue.suffix_from(1);
+            self.opt_deliver(ctx, next);
+        }
+    }
+
+    /// `Opt-deliver(m)`: process the request and send the optimistic reply.
+    fn opt_deliver(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        id: RequestId,
+    ) {
+        let request = self.payloads.get(&id).expect("payload present").clone();
+        let (response, undo) = self.sm.apply(&request.command);
+        self.o_delivered.push(id);
+        self.undo_stack.push((id, undo));
+        self.position += 1;
+        self.stats.opt_delivered += 1;
+        self.log.push(DeliveryRecord::OptDeliver {
+            epoch: self.epoch,
+            request: id,
+            position: self.position,
+        });
+        self.annotate(ctx, format!("Opt-deliver({id}) @{}", self.position));
+
+        // Weight: {s} for the sequencer itself, {p, s} otherwise (Fig. 6, 12–15).
+        let sequencer = self.current_sequencer();
+        let mut weight: Weight = BTreeSet::new();
+        weight.insert(sequencer);
+        weight.insert(self.id);
+        let reply = Reply {
+            request: id,
+            epoch: self.epoch,
+            weight,
+            position: self.position,
+            response,
+            from: self.id,
+            kind: DeliveryKind::Optimistic,
+        };
+        ctx.send(request.client, OarWire::Reply(reply));
+
+        // §5.3 remark: proactively cut long epochs to garbage-collect
+        // O_delivered.
+        if let Some(cut) = self.config.epoch_cut_after {
+            if self.o_delivered.len() as u64 >= cut && self.is_sequencer() {
+                self.start_phase2(ctx);
+            }
+        }
+    }
+
+    /// Task 1c (Fig. 6 lines 20–21): trigger phase 2 when the sequencer is
+    /// suspected.
+    fn maybe_start_phase2(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        if self.phase == Phase::Optimistic
+            && !self.phase2_started
+            && self.fd.is_suspected(self.current_sequencer())
+        {
+            self.start_phase2(ctx);
+        }
+    }
+
+    /// R-broadcasts `(k, PhaseII)`; the local delivery enters phase 2
+    /// immediately.
+    fn start_phase2(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        if self.phase2_started || self.phase != Phase::Optimistic {
+            return;
+        }
+        self.phase2_started = true;
+        let (outgoing, local) = self.phase2_cast.broadcast(PhaseIIMsg { epoch: self.epoch });
+        for o in outgoing {
+            ctx.send(o.to, OarWire::PhaseII(o.wire));
+        }
+        self.handle_phase2_delivery(ctx, local.payload);
+    }
+
+    /// Task 2 entry (Fig. 6 line 22): R-delivery of `(k, PhaseII)`.
+    fn handle_phase2_delivery(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        msg: PhaseIIMsg,
+    ) {
+        if msg.epoch < self.epoch {
+            return;
+        }
+        if msg.epoch > self.epoch {
+            self.future_phase2.insert(msg.epoch);
+            return;
+        }
+        if self.phase == Phase::Conservative {
+            return;
+        }
+        self.enter_phase2(ctx);
+    }
+
+    /// Enters the conservative phase of the current epoch: propose our
+    /// `(O_delivered, O_notdelivered)` to the epoch's consensus.
+    fn enter_phase2(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        self.phase = Phase::Conservative;
+        self.phase2_started = true;
+        self.stats.phase2_entered += 1;
+        self.annotate(ctx, format!("PhaseII(epoch={})", self.epoch));
+
+        // Fig. 6 line 23: O_notdelivered = (R_delivered ⊖ A_delivered) ⊖ O_delivered.
+        let o_notdelivered: Seq<RequestId> = self
+            .r_delivered
+            .iter()
+            .filter(|id| !self.delivered_already(id))
+            .copied()
+            .collect();
+
+        // The round-1 coordinator is the successor of the (suspected)
+        // sequencer, so fail-over does not wait on the crashed process.
+        let n = self.group.len();
+        let first_coordinator = self.group[(self.epoch as usize + 1) % n];
+        let mut consensus = MajConsensus::new(
+            self.epoch,
+            self.id,
+            self.group.clone(),
+            first_coordinator,
+            self.config.consensus,
+        );
+        let value = CnsvValue {
+            o_delivered: self.o_delivered.clone(),
+            o_notdelivered,
+        };
+        let output = consensus.propose(value);
+        self.consensus = Some(consensus);
+        self.dispatch_consensus_output(ctx, output.messages, output.decision);
+
+        // Feed consensus messages that arrived before we entered phase 2.
+        let buffered = self.buffered_consensus.remove(&self.epoch).unwrap_or_default();
+        for (from, wire) in buffered {
+            self.feed_consensus(ctx, from, wire);
+        }
+        // The consensus needs the current suspicion view to make progress when
+        // the coordinator is already dead.
+        self.push_suspects_to_consensus(ctx);
+    }
+
+    fn push_suspects_to_consensus(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+    ) {
+        if let Some(consensus) = self.consensus.as_mut() {
+            let suspects = self.fd.suspects().clone();
+            let output = consensus.update_suspects(&suspects);
+            self.dispatch_consensus_output(ctx, output.messages, output.decision);
+        }
+    }
+
+    fn feed_consensus(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        from: ProcessId,
+        wire: ConsensusWire<CnsvValue>,
+    ) {
+        if let Some(consensus) = self.consensus.as_mut() {
+            let output = consensus.on_wire(from, wire);
+            self.dispatch_consensus_output(ctx, output.messages, output.decision);
+        }
+    }
+
+    fn dispatch_consensus_output(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        messages: Vec<oar_channels::Outgoing<ConsensusWire<CnsvValue>>>,
+        decision: Option<Decision<CnsvValue>>,
+    ) {
+        for m in messages {
+            ctx.send(m.to, OarWire::Consensus(m.wire));
+        }
+        if let Some(decision) = decision {
+            self.pending_decision = Some(decision);
+            self.try_apply_pending_decision(ctx);
+        }
+    }
+
+    /// Applies the epoch's consensus decision once every request it mentions is
+    /// locally known (payload present). Requests decided by others but not yet
+    /// received here will arrive by the agreement property of R-multicast.
+    fn try_apply_pending_decision(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+    ) {
+        let Some(decision) = self.pending_decision.clone() else {
+            return;
+        };
+        if self.phase != Phase::Conservative {
+            return;
+        }
+        let all_known = decision.iter().all(|(_, v)| {
+            v.o_delivered
+                .iter()
+                .chain(v.o_notdelivered.iter())
+                .all(|id| self.payloads.contains_key(id))
+        });
+        if !all_known {
+            return;
+        }
+        self.pending_decision = None;
+        self.apply_decision(ctx, decision);
+    }
+
+    /// Task 2 body (Fig. 6 lines 24–32).
+    fn apply_decision(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        decision: Decision<CnsvValue>,
+    ) {
+        let outcome = cnsv_order_outcome(&self.o_delivered, &decision);
+
+        // Lines 25–26: Opt-undeliver the wrongly ordered requests, in reverse
+        // delivery order (footnote 2).
+        for id in outcome.bad.iter().rev() {
+            let (undone_id, token) = self
+                .undo_stack
+                .pop()
+                .expect("undo stack holds every current-epoch optimistic delivery");
+            debug_assert_eq!(&undone_id, id, "Bad must be a suffix of O_delivered");
+            self.sm.undo(token);
+            self.position -= 1;
+            self.stats.opt_undelivered += 1;
+            self.log.push(DeliveryRecord::OptUndeliver {
+                epoch: self.epoch,
+                request: *id,
+            });
+            self.annotate(ctx, format!("Opt-undeliver({id})"));
+        }
+
+        // Lines 27–29: A-deliver the new sequence and reply with weight Π.
+        for id in outcome.new.iter() {
+            let request = self.payloads.get(id).expect("payload present").clone();
+            let (response, _undo) = self.sm.apply(&request.command);
+            self.position += 1;
+            self.stats.a_delivered += 1;
+            self.log.push(DeliveryRecord::ADeliver {
+                epoch: self.epoch,
+                request: *id,
+                position: self.position,
+            });
+            self.annotate(ctx, format!("A-deliver({id}) @{}", self.position));
+            let reply = Reply {
+                request: *id,
+                epoch: self.epoch,
+                weight: self.group.iter().copied().collect(),
+                position: self.position,
+                response,
+                from: self.id,
+                kind: DeliveryKind::Conservative,
+            };
+            ctx.send(request.client, OarWire::Reply(reply));
+        }
+
+        // Line 30: A_delivered ← A_delivered ⊕ (O_delivered ⊖ Bad) ⊕ New.
+        let kept = self.o_delivered.subtract(&outcome.bad);
+        let epoch_sequence = kept.concat(&outcome.new);
+        for id in epoch_sequence.iter() {
+            self.settled.insert(*id);
+        }
+        self.a_delivered = self.a_delivered.concat(&epoch_sequence);
+
+        // Lines 31–32: reset the optimistic state and move to the next epoch.
+        self.o_delivered = Seq::new();
+        self.undo_stack.clear();
+        self.order_queue = Seq::new();
+        self.epoch += 1;
+        self.phase = Phase::Optimistic;
+        self.phase2_started = false;
+        self.consensus = None;
+        self.stats.epochs_completed += 1;
+        self.annotate(ctx, format!("epoch {} starts", self.epoch));
+
+        // Prune the reception buffer: settled requests never need re-ordering.
+        let settled = &self.settled;
+        self.r_delivered = self
+            .r_delivered
+            .iter()
+            .filter(|id| !settled.contains(id))
+            .copied()
+            .collect();
+
+        // Replay buffered messages that were waiting for this epoch.
+        let epoch = self.epoch;
+        if let Some(orders) = self.future_orders.remove(&epoch) {
+            for order in orders {
+                self.accept_order(ctx, order);
+            }
+        }
+        if self.config.eager_sequencing {
+            self.maybe_order(ctx);
+        }
+        if self.future_phase2.remove(&epoch) {
+            self.enter_phase2(ctx);
+        }
+    }
+
+    /// Reacts to failure-detector events.
+    fn handle_fd_events(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        events: Vec<FdEvent>,
+    ) {
+        if events.is_empty() {
+            return;
+        }
+        let suspicion_changed = events.iter().any(|e| matches!(e, FdEvent::Suspect(_) | FdEvent::Restore(_)));
+        if suspicion_changed {
+            self.maybe_start_phase2(ctx);
+            self.push_suspects_to_consensus(ctx);
+        }
+    }
+}
+
+impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S> {
+    fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        ctx.set_timer(self.config.tick_interval, TICK);
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        from: ProcessId,
+        msg: OarWire<S::Command, S::Response>,
+    ) {
+        // Any traffic from a group member is evidence of liveness.
+        if self.group.contains(&from) && from != self.id {
+            let events = self.fd.observe_traffic(from, ctx.now());
+            self.handle_fd_events(ctx, events);
+        }
+        match msg {
+            OarWire::Request(wire) => {
+                let (delivery, relays) = self.request_cast.on_wire(wire);
+                for r in relays {
+                    ctx.send(r.to, OarWire::Request(r.wire));
+                }
+                if let Some(delivery) = delivery {
+                    self.handle_request_delivery(ctx, delivery);
+                }
+            }
+            OarWire::Order(OrderMsg { epoch, order }) => {
+                if epoch < self.epoch {
+                    return;
+                }
+                if epoch > self.epoch {
+                    self.future_orders.entry(epoch).or_default().push(order);
+                    return;
+                }
+                if self.phase == Phase::Optimistic && from == self.current_sequencer() {
+                    self.accept_order(ctx, order);
+                }
+            }
+            OarWire::PhaseII(wire) => {
+                let (delivery, relays) = self.phase2_cast.on_wire(wire);
+                for r in relays {
+                    ctx.send(r.to, OarWire::PhaseII(r.wire));
+                }
+                if let Some(delivery) = delivery {
+                    self.handle_phase2_delivery(ctx, delivery.payload);
+                }
+            }
+            OarWire::Fd(wire) => {
+                let events = self.fd.on_wire(from, wire, ctx.now());
+                self.handle_fd_events(ctx, events);
+            }
+            OarWire::Consensus(wire) => {
+                let instance = wire.instance();
+                if instance < self.epoch {
+                    return;
+                }
+                if instance > self.epoch
+                    || (instance == self.epoch && self.consensus.is_none())
+                {
+                    self.buffered_consensus
+                        .entry(instance)
+                        .or_default()
+                        .push((from, wire));
+                    // Consensus traffic for the current epoch means somebody
+                    // entered phase 2: the PhaseII broadcast will follow (it is
+                    // reliable), so we simply wait for it.
+                    return;
+                }
+                self.feed_consensus(ctx, from, wire);
+            }
+            OarWire::Reply(_) => {
+                // Servers never receive replies; ignore defensively.
+            }
+        }
+    }
+
+    fn on_timer(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        timer: Timer,
+    ) {
+        if timer.tag != TICK {
+            return;
+        }
+        // Heartbeats + suspicion checks.
+        let (heartbeats, events) = self.fd.on_tick(ctx.now());
+        for hb in heartbeats {
+            ctx.send(hb.to, OarWire::Fd(hb.wire));
+        }
+        self.handle_fd_events(ctx, events);
+        // Task 1a on a timer when eager sequencing is disabled (batching).
+        if !self.config.eager_sequencing {
+            self.maybe_order(ctx);
+        }
+        // A decision may be waiting for payloads that never get re-checked
+        // otherwise (defensive; normally triggered by request arrival).
+        self.try_apply_pending_decision(ctx);
+        ctx.set_timer(self.config.tick_interval, TICK);
+    }
+
+    fn name(&self) -> String {
+        format!("oar-server-{}", self.id.0)
+    }
+}

@@ -1,0 +1,711 @@
+//! Sequence algebra for the Optimistic Active Replication (OAR) protocol.
+//!
+//! The OAR paper (Felber & Schiper, ICDCS 2001, §5.1) manipulates *sequences of
+//! messages* with four operators:
+//!
+//! * `seq1 ⊕ seq2` — concatenation: all messages of `seq1` followed by all
+//!   messages of `seq2` (here: [`Seq::concat`], also the `+` operator);
+//! * `seq1 ⊖ seq2` — decomposition: all messages of `seq1` that are **not**
+//!   in `seq2` (here: [`Seq::subtract`]);
+//! * `⊓(seq1, …, seqn)` — the longest common prefix of a set of sequences
+//!   (here: [`Seq::common_prefix`] / [`common_prefix_all`]);
+//! * `⊎(seq1, …, seqn)` — append all sequences together, removing duplicates
+//!   (here: [`dedup_append`]).
+//!
+//! Sequences also support the implicit conversion to sets used by the paper for
+//! the `∈`, `∩`, `∪` operators ([`Seq::contains`], [`Seq::intersection`],
+//! [`Seq::union_set`]).
+//!
+//! The algebra is generic over the element type so that it can be unit-tested and
+//! property-tested with small types (`u32`) while the protocol instantiates it
+//! with message identifiers.
+//!
+//! # Examples
+//!
+//! ```
+//! use oar_sequence::{Seq, dedup_append};
+//!
+//! let a: Seq<u32> = Seq::from(vec![1, 2, 3]);
+//! let b: Seq<u32> = Seq::from(vec![3, 4]);
+//!
+//! assert_eq!(a.clone().concat(&b).as_slice(), &[1, 2, 3, 3, 4]);
+//! assert_eq!(a.subtract(&b).as_slice(), &[1, 2]);
+//! assert_eq!(a.common_prefix(&Seq::from(vec![1, 2, 5])).as_slice(), &[1, 2]);
+//! assert_eq!(dedup_append([a, b]).as_slice(), &[1, 2, 3, 4]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::{Add, Index};
+
+use serde::{Deserialize, Serialize};
+
+/// An ordered sequence of elements, the basic data structure of the OAR protocol.
+///
+/// `Seq<T>` is a thin, intention-revealing wrapper around `Vec<T>` that provides
+/// the paper's operators (`⊕`, `⊖`, `⊓`, `⊎`) as well as prefix/suffix queries
+/// used in the correctness arguments.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Seq<T> {
+    items: Vec<T>,
+}
+
+impl<T> Default for Seq<T> {
+    fn default() -> Self {
+        Seq { items: Vec::new() }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Seq<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Seq")?;
+        f.debug_list().entries(self.items.iter()).finish()
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Seq<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ";")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<T> Seq<T> {
+    /// Creates an empty sequence (the paper's `ε`).
+    pub fn new() -> Self {
+        Seq { items: Vec::new() }
+    }
+
+    /// Creates an empty sequence with room for `capacity` elements.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Seq {
+            items: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Returns the number of elements in the sequence.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the sequence contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns the elements as a slice.
+    pub fn as_slice(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Returns an iterator over the elements, in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// Appends a single element at the end of the sequence.
+    pub fn push(&mut self, item: T) {
+        self.items.push(item);
+    }
+
+    /// Returns the first element, if any.
+    pub fn first(&self) -> Option<&T> {
+        self.items.first()
+    }
+
+    /// Returns the last element, if any.
+    pub fn last(&self) -> Option<&T> {
+        self.items.last()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Consumes the sequence and returns the underlying vector.
+    pub fn into_inner(self) -> Vec<T> {
+        self.items
+    }
+}
+
+impl<T: Clone + PartialEq> Seq<T> {
+    /// `self ⊕ other` — concatenation of two sequences.
+    ///
+    /// All elements of `self` followed by all elements of `other`. Duplicates
+    /// are **not** removed; see [`dedup_append`] for the `⊎` operator.
+    #[must_use]
+    pub fn concat(&self, other: &Seq<T>) -> Seq<T> {
+        let mut items = Vec::with_capacity(self.items.len() + other.items.len());
+        items.extend_from_slice(&self.items);
+        items.extend_from_slice(&other.items);
+        Seq { items }
+    }
+
+    /// `self ⊖ other` — all elements of `self` that are not in `other`,
+    /// preserving the order of `self`.
+    #[must_use]
+    pub fn subtract(&self, other: &Seq<T>) -> Seq<T> {
+        Seq {
+            items: self
+                .items
+                .iter()
+                .filter(|m| !other.items.contains(m))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// `⊓(self, other)` — the longest common prefix of the two sequences.
+    #[must_use]
+    pub fn common_prefix(&self, other: &Seq<T>) -> Seq<T> {
+        let mut items = Vec::new();
+        for (a, b) in self.items.iter().zip(other.items.iter()) {
+            if a == b {
+                items.push(a.clone());
+            } else {
+                break;
+            }
+        }
+        Seq { items }
+    }
+
+    /// Returns `true` if `self` is a prefix of `other`.
+    pub fn is_prefix_of(&self, other: &Seq<T>) -> bool {
+        self.items.len() <= other.items.len()
+            && self.items.iter().zip(other.items.iter()).all(|(a, b)| a == b)
+    }
+
+    /// Returns `true` if `self` is a suffix of `other`.
+    pub fn is_suffix_of(&self, other: &Seq<T>) -> bool {
+        if self.items.len() > other.items.len() {
+            return false;
+        }
+        let start = other.items.len() - self.items.len();
+        self.items
+            .iter()
+            .zip(other.items[start..].iter())
+            .all(|(a, b)| a == b)
+    }
+
+    /// Returns `true` if the sequence contains `item` (the paper's `m ∈ seq`).
+    pub fn contains(&self, item: &T) -> bool {
+        self.items.contains(item)
+    }
+
+    /// Returns the position (0-based) of `item` in the sequence, if present.
+    pub fn position(&self, item: &T) -> Option<usize> {
+        self.items.iter().position(|m| m == item)
+    }
+
+    /// The elements that are in both `self` and `other`, in `self`'s order
+    /// (the paper's `seq1 ∩ seq2` with the implicit sequence→set conversion).
+    #[must_use]
+    pub fn intersection(&self, other: &Seq<T>) -> Seq<T> {
+        Seq {
+            items: self
+                .items
+                .iter()
+                .filter(|m| other.items.contains(m))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Returns `true` if `self` and `other` have no element in common
+    /// (the paper's `seq1 ∩ seq2 = ∅`).
+    pub fn is_disjoint(&self, other: &Seq<T>) -> bool {
+        self.items.iter().all(|m| !other.items.contains(m))
+    }
+
+    /// Set-union of the two sequences: `self` followed by the elements of
+    /// `other` not already present (the paper's `seq1 ∪ seq2`).
+    #[must_use]
+    pub fn union_set(&self, other: &Seq<T>) -> Seq<T> {
+        let mut result = self.clone();
+        for item in &other.items {
+            if !result.contains(item) {
+                result.push(item.clone());
+            }
+        }
+        result
+    }
+
+    /// Removes and returns the first `n` elements as a new sequence, keeping
+    /// the remainder in `self`.
+    pub fn split_prefix(&mut self, n: usize) -> Seq<T> {
+        let n = n.min(self.items.len());
+        let rest = self.items.split_off(n);
+        let prefix = std::mem::replace(&mut self.items, rest);
+        Seq { items: prefix }
+    }
+
+    /// Returns the suffix of `self` starting at position `n`.
+    #[must_use]
+    pub fn suffix_from(&self, n: usize) -> Seq<T> {
+        Seq {
+            items: self.items.iter().skip(n).cloned().collect(),
+        }
+    }
+
+    /// Returns a copy of the sequence with duplicates removed, keeping the
+    /// first occurrence of each element.
+    #[must_use]
+    pub fn dedup_keep_first(&self) -> Seq<T> {
+        let mut out = Seq::new();
+        for item in &self.items {
+            if !out.contains(item) {
+                out.push(item.clone());
+            }
+        }
+        out
+    }
+}
+
+impl<T: Clone + Ord> Seq<T> {
+    /// Returns the set of elements of the sequence as a `BTreeSet`.
+    pub fn to_set(&self) -> BTreeSet<T> {
+        self.items.iter().cloned().collect()
+    }
+}
+
+/// `⊎(seqs…)` — appends all sequences together, removing duplicates, keeping the
+/// first occurrence of each element.
+///
+/// This is the paper's `⊎` operator, defined recursively as
+/// `⊎(s1, …, si+1) = ⊎(s1, …, si) ⊕ (si+1 ⊖ ⊎(s1, …, si))`.
+pub fn dedup_append<T, I>(seqs: I) -> Seq<T>
+where
+    T: Clone + PartialEq,
+    I: IntoIterator<Item = Seq<T>>,
+{
+    let mut out = Seq::new();
+    for seq in seqs {
+        for item in seq.items {
+            if !out.contains(&item) {
+                out.push(item);
+            }
+        }
+    }
+    out
+}
+
+/// `⊓(seqs…)` — the longest common prefix of all the given sequences.
+///
+/// Returns the empty sequence if the iterator is empty.
+pub fn common_prefix_all<'a, T, I>(seqs: I) -> Seq<T>
+where
+    T: Clone + PartialEq + 'a,
+    I: IntoIterator<Item = &'a Seq<T>>,
+{
+    let mut iter = seqs.into_iter();
+    let Some(first) = iter.next() else {
+        return Seq::new();
+    };
+    let mut acc = first.clone();
+    for seq in iter {
+        acc = acc.common_prefix(seq);
+        if acc.is_empty() {
+            break;
+        }
+    }
+    acc
+}
+
+/// Returns the longest sequence among `seqs`.
+///
+/// Ties are broken in favour of the first maximum encountered, which matches
+/// the paper's `dlv_max` selection (line 5 of Fig. 7): the candidates are
+/// guaranteed by Lemma 2 to be prefixes of each other, so equal-length
+/// candidates are equal.
+pub fn longest<'a, T, I>(seqs: I) -> Option<&'a Seq<T>>
+where
+    T: 'a,
+    I: IntoIterator<Item = &'a Seq<T>>,
+{
+    let mut best: Option<&Seq<T>> = None;
+    for seq in seqs {
+        match best {
+            None => best = Some(seq),
+            Some(b) if seq.len() > b.len() => best = Some(seq),
+            _ => {}
+        }
+    }
+    best
+}
+
+impl<T> From<Vec<T>> for Seq<T> {
+    fn from(items: Vec<T>) -> Self {
+        Seq { items }
+    }
+}
+
+impl<T: Clone> From<&[T]> for Seq<T> {
+    fn from(items: &[T]) -> Self {
+        Seq {
+            items: items.to_vec(),
+        }
+    }
+}
+
+impl<T> FromIterator<T> for Seq<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Seq {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T> Extend<T> for Seq<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.items.extend(iter);
+    }
+}
+
+impl<T> IntoIterator for Seq<T> {
+    type Item = T;
+    type IntoIter = std::vec::IntoIter<T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Seq<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+impl<T> Index<usize> for Seq<T> {
+    type Output = T;
+
+    fn index(&self, index: usize) -> &T {
+        &self.items[index]
+    }
+}
+
+impl<T: Clone + PartialEq> Add<&Seq<T>> for Seq<T> {
+    type Output = Seq<T>;
+
+    /// `a + &b` is the paper's `a ⊕ b`.
+    fn add(self, rhs: &Seq<T>) -> Seq<T> {
+        self.concat(rhs)
+    }
+}
+
+/// Convenience macro for building a [`Seq`] from a list of elements.
+///
+/// ```
+/// use oar_sequence::{seq, Seq};
+/// let s: Seq<u32> = seq![1, 2, 3];
+/// assert_eq!(s.len(), 3);
+/// ```
+#[macro_export]
+macro_rules! seq {
+    () => { $crate::Seq::new() };
+    ($($x:expr),+ $(,)?) => {
+        $crate::Seq::from(vec![$($x),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[u32]) -> Seq<u32> {
+        Seq::from(items)
+    }
+
+    #[test]
+    fn empty_sequence_properties() {
+        let e: Seq<u32> = Seq::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.first(), None);
+        assert_eq!(e.last(), None);
+        assert_eq!(format!("{e}"), "{}");
+    }
+
+    #[test]
+    fn concat_is_paper_oplus() {
+        assert_eq!(s(&[1, 2]).concat(&s(&[3])), s(&[1, 2, 3]));
+        assert_eq!(s(&[]).concat(&s(&[3])), s(&[3]));
+        assert_eq!(s(&[1]).concat(&s(&[])), s(&[1]));
+        // ⊕ keeps duplicates
+        assert_eq!(s(&[1]).concat(&s(&[1])), s(&[1, 1]));
+    }
+
+    #[test]
+    fn add_operator_is_concat() {
+        assert_eq!(s(&[1, 2]) + &s(&[3, 4]), s(&[1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn subtract_is_paper_ominus() {
+        assert_eq!(s(&[1, 2, 3, 4]).subtract(&s(&[2, 4])), s(&[1, 3]));
+        assert_eq!(s(&[1, 2]).subtract(&s(&[])), s(&[1, 2]));
+        assert_eq!(s(&[]).subtract(&s(&[1])), s(&[]));
+        assert_eq!(s(&[1, 2]).subtract(&s(&[1, 2])), s(&[]));
+        // subtraction removes *all* occurrences
+        assert_eq!(s(&[1, 2, 1]).subtract(&s(&[1])), s(&[2]));
+    }
+
+    #[test]
+    fn common_prefix_pairs() {
+        assert_eq!(s(&[1, 2, 3]).common_prefix(&s(&[1, 2, 4])), s(&[1, 2]));
+        assert_eq!(s(&[1, 2]).common_prefix(&s(&[3, 4])), s(&[]));
+        assert_eq!(s(&[1, 2]).common_prefix(&s(&[1, 2])), s(&[1, 2]));
+        assert_eq!(s(&[]).common_prefix(&s(&[1])), s(&[]));
+    }
+
+    #[test]
+    fn common_prefix_all_of_many() {
+        let a = s(&[1, 2, 3, 4]);
+        let b = s(&[1, 2, 3]);
+        let c = s(&[1, 2, 5]);
+        assert_eq!(common_prefix_all([&a, &b, &c]), s(&[1, 2]));
+        assert_eq!(common_prefix_all::<u32, [&Seq<u32>; 0]>([]), s(&[]));
+        assert_eq!(common_prefix_all([&a]), a);
+    }
+
+    #[test]
+    fn dedup_append_is_paper_uplus() {
+        let out = dedup_append([s(&[1, 2]), s(&[2, 3]), s(&[3, 4, 1])]);
+        assert_eq!(out, s(&[1, 2, 3, 4]));
+        let empty: Vec<Seq<u32>> = vec![];
+        assert_eq!(dedup_append(empty), s(&[]));
+    }
+
+    #[test]
+    fn dedup_append_matches_recursive_definition() {
+        // ⊎(s1, s2) = s1 ⊕ (s2 ⊖ s1)
+        let s1 = s(&[5, 1, 2]);
+        let s2 = s(&[2, 7, 5, 9]);
+        assert_eq!(dedup_append([s1.clone(), s2.clone()]), s1.concat(&s2.subtract(&s1)));
+    }
+
+    #[test]
+    fn prefix_and_suffix_checks() {
+        assert!(s(&[1, 2]).is_prefix_of(&s(&[1, 2, 3])));
+        assert!(!s(&[2]).is_prefix_of(&s(&[1, 2, 3])));
+        assert!(s(&[]).is_prefix_of(&s(&[1])));
+        assert!(s(&[2, 3]).is_suffix_of(&s(&[1, 2, 3])));
+        assert!(!s(&[1, 2]).is_suffix_of(&s(&[1, 2, 3])));
+        assert!(s(&[]).is_suffix_of(&s(&[])));
+        assert!(!s(&[1, 2, 3, 4]).is_suffix_of(&s(&[3, 4])));
+    }
+
+    #[test]
+    fn membership_and_position() {
+        let a = s(&[4, 7, 9]);
+        assert!(a.contains(&7));
+        assert!(!a.contains(&8));
+        assert_eq!(a.position(&9), Some(2));
+        assert_eq!(a.position(&1), None);
+    }
+
+    #[test]
+    fn intersection_and_disjoint() {
+        assert_eq!(s(&[1, 2, 3]).intersection(&s(&[3, 1])), s(&[1, 3]));
+        assert!(s(&[1, 2]).is_disjoint(&s(&[3, 4])));
+        assert!(!s(&[1, 2]).is_disjoint(&s(&[2])));
+        assert!(s(&[]).is_disjoint(&s(&[])));
+    }
+
+    #[test]
+    fn union_set_keeps_first_occurrences() {
+        assert_eq!(s(&[1, 2]).union_set(&s(&[2, 3])), s(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn split_prefix_and_suffix_from() {
+        let mut a = s(&[1, 2, 3, 4]);
+        let prefix = a.split_prefix(2);
+        assert_eq!(prefix, s(&[1, 2]));
+        assert_eq!(a, s(&[3, 4]));
+        let b = s(&[1, 2, 3]);
+        assert_eq!(b.suffix_from(1), s(&[2, 3]));
+        assert_eq!(b.suffix_from(5), s(&[]));
+        let mut c = s(&[1]);
+        assert_eq!(c.split_prefix(10), s(&[1]));
+        assert_eq!(c, s(&[]));
+    }
+
+    #[test]
+    fn longest_selects_max_length() {
+        let a = s(&[1]);
+        let b = s(&[1, 2, 3]);
+        let c = s(&[1, 2]);
+        assert_eq!(longest([&a, &b, &c]), Some(&b));
+        assert_eq!(longest::<u32, [&Seq<u32>; 0]>([]), None);
+    }
+
+    #[test]
+    fn dedup_keep_first_works() {
+        assert_eq!(s(&[1, 2, 1, 3, 2]).dedup_keep_first(), s(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        assert_eq!(format!("{}", s(&[1, 2, 3])), "{1;2;3}");
+    }
+
+    #[test]
+    fn macro_builds_sequences() {
+        let a: Seq<u32> = seq![1, 2, 3];
+        assert_eq!(a, s(&[1, 2, 3]));
+        let e: Seq<u32> = seq![];
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let a: Seq<u32> = (1..=3).collect();
+        assert_eq!(a, s(&[1, 2, 3]));
+        let mut b = s(&[1]);
+        b.extend(vec![2, 3]);
+        assert_eq!(b, s(&[1, 2, 3]));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_seq() -> impl Strategy<Value = Seq<u8>> {
+        proptest::collection::vec(0u8..20, 0..12).prop_map(Seq::from)
+    }
+
+    proptest! {
+        /// ⊕ is associative.
+        #[test]
+        fn concat_associative(a in arb_seq(), b in arb_seq(), c in arb_seq()) {
+            prop_assert_eq!(a.concat(&b).concat(&c), a.concat(&b.concat(&c)));
+        }
+
+        /// ε is the identity of ⊕.
+        #[test]
+        fn concat_identity(a in arb_seq()) {
+            let e = Seq::new();
+            prop_assert_eq!(a.concat(&e), a.clone());
+            prop_assert_eq!(e.concat(&a), a);
+        }
+
+        /// `a ⊖ a = ε` and `a ⊖ ε = a`.
+        #[test]
+        fn subtract_identities(a in arb_seq()) {
+            prop_assert_eq!(a.subtract(&a), Seq::new());
+            prop_assert_eq!(a.subtract(&Seq::new()), a);
+        }
+
+        /// Elements of `a ⊖ b` are exactly the elements of `a` not in `b`,
+        /// in `a`'s order.
+        #[test]
+        fn subtract_semantics(a in arb_seq(), b in arb_seq()) {
+            let d = a.subtract(&b);
+            for m in d.iter() {
+                prop_assert!(a.contains(m));
+                prop_assert!(!b.contains(m));
+            }
+            // order preserved: d is a subsequence of a
+            let mut idx = 0usize;
+            for m in a.iter() {
+                if idx < d.len() && m == &d[idx] {
+                    idx += 1;
+                }
+            }
+            prop_assert_eq!(idx, d.len());
+        }
+
+        /// ⊓ returns a prefix of both arguments, and it is the longest one.
+        #[test]
+        fn common_prefix_is_longest_prefix(a in arb_seq(), b in arb_seq()) {
+            let p = a.common_prefix(&b);
+            prop_assert!(p.is_prefix_of(&a));
+            prop_assert!(p.is_prefix_of(&b));
+            // maximality: the next elements differ or one sequence ends
+            if p.len() < a.len() && p.len() < b.len() {
+                prop_assert_ne!(&a[p.len()], &b[p.len()]);
+            }
+        }
+
+        /// ⊓ is commutative and idempotent.
+        #[test]
+        fn common_prefix_commutative_idempotent(a in arb_seq(), b in arb_seq()) {
+            prop_assert_eq!(a.common_prefix(&b), b.common_prefix(&a));
+            prop_assert_eq!(a.common_prefix(&a), a.clone());
+        }
+
+        /// ⊎ removes duplicates and preserves first-occurrence order.
+        #[test]
+        fn dedup_append_no_duplicates(seqs in proptest::collection::vec(arb_seq(), 0..5)) {
+            let out = dedup_append(seqs.clone());
+            // no duplicates
+            for (i, x) in out.iter().enumerate() {
+                for (j, y) in out.iter().enumerate() {
+                    if i != j {
+                        prop_assert_ne!(x, y);
+                    }
+                }
+            }
+            // every element of every input appears
+            for s in &seqs {
+                for m in s.iter() {
+                    prop_assert!(out.contains(m));
+                }
+            }
+            // every output element comes from some input
+            for m in out.iter() {
+                prop_assert!(seqs.iter().any(|s| s.contains(m)));
+            }
+        }
+
+        /// ⊎ matches its recursive definition for two sequences.
+        #[test]
+        fn dedup_append_recursive_def(a in arb_seq(), b in arb_seq()) {
+            let a = a.dedup_keep_first();
+            let b = b.dedup_keep_first();
+            prop_assert_eq!(dedup_append([a.clone(), b.clone()]), a.concat(&b.subtract(&a)));
+        }
+
+        /// The undo-legality identity used by the paper:
+        /// `(a ⊖ suffix) ⊕ suffix = a` when `suffix` is a suffix of `a`
+        /// and `a` has no duplicates.
+        #[test]
+        fn subtract_then_concat_suffix(a in arb_seq(), cut in 0usize..12) {
+            let a = a.dedup_keep_first();
+            let cut = cut.min(a.len());
+            let suffix = a.suffix_from(cut);
+            prop_assert_eq!(a.subtract(&suffix).concat(&suffix), a);
+        }
+
+        /// `is_prefix_of` agrees with `common_prefix`.
+        #[test]
+        fn prefix_agrees_with_common_prefix(a in arb_seq(), b in arb_seq()) {
+            prop_assert_eq!(a.is_prefix_of(&b), a.common_prefix(&b) == a);
+        }
+
+        /// `longest` returns a sequence at least as long as every input.
+        #[test]
+        fn longest_is_maximal(seqs in proptest::collection::vec(arb_seq(), 1..6)) {
+            let l = longest(seqs.iter()).unwrap();
+            for s in &seqs {
+                prop_assert!(l.len() >= s.len());
+            }
+        }
+    }
+}

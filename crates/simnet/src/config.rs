@@ -1,0 +1,232 @@
+//! Network configuration: latency models, link behaviour, partition handling.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// How the one-way latency of a link is sampled for each message.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Every message takes exactly this long.
+    Constant(SimDuration),
+    /// Uniformly distributed between `min` and `max` (inclusive).
+    Uniform {
+        /// Minimum one-way latency.
+        min: SimDuration,
+        /// Maximum one-way latency.
+        max: SimDuration,
+    },
+    /// `base` plus an exponentially distributed tail with the given mean.
+    /// Models a lightly loaded LAN with occasional queueing.
+    BasePlusExponential {
+        /// Deterministic part of the latency.
+        base: SimDuration,
+        /// Mean of the exponential tail.
+        tail_mean: SimDuration,
+    },
+}
+
+impl LatencyModel {
+    /// Samples one latency value.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        match *self {
+            LatencyModel::Constant(d) => d,
+            LatencyModel::Uniform { min, max } => rng.duration_in(min, max),
+            LatencyModel::BasePlusExponential { base, tail_mean } => base + rng.exponential(tail_mean),
+        }
+    }
+
+    /// A typical switched-LAN latency: 50µs–200µs, mildly variable.
+    pub fn lan() -> Self {
+        LatencyModel::Uniform {
+            min: SimDuration::from_micros(50),
+            max: SimDuration::from_micros(200),
+        }
+    }
+
+    /// A wide-area latency: 5ms base plus an exponential tail of mean 2ms.
+    pub fn wan() -> Self {
+        LatencyModel::BasePlusExponential {
+            base: SimDuration::from_millis(5),
+            tail_mean: SimDuration::from_millis(2),
+        }
+    }
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::lan()
+    }
+}
+
+/// What happens to a message sent across an active partition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// The message is silently dropped. Reliable delivery (if required) must be
+    /// provided by a retransmission layer such as `oar-channels`.
+    Drop,
+    /// The message is held by the network and delivered after the partition
+    /// heals. This gives "reliable channel" semantics directly, matching the
+    /// paper's system model (§3) without a retransmission layer.
+    DeliverOnHeal,
+}
+
+/// Per-link behaviour.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkConfig {
+    /// Latency model for messages on this link.
+    pub latency: LatencyModel,
+    /// Probability (0..=1) that a message is lost. The paper's model assumes
+    /// reliable channels, so this defaults to zero; it is used to exercise the
+    /// retransmission layer and for fault-injection tests.
+    pub drop_probability: f64,
+    /// Probability (0..=1) that a delivered message is delivered twice.
+    pub duplicate_probability: f64,
+}
+
+impl LinkConfig {
+    /// A perfectly reliable link with the given latency model.
+    pub fn reliable(latency: LatencyModel) -> Self {
+        LinkConfig {
+            latency,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+        }
+    }
+
+    /// A lossy link: given latency model and drop probability.
+    pub fn lossy(latency: LatencyModel, drop_probability: f64) -> Self {
+        LinkConfig {
+            latency,
+            drop_probability,
+            duplicate_probability: 0.0,
+        }
+    }
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig::reliable(LatencyModel::default())
+    }
+}
+
+/// Whole-network configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Default link behaviour for every ordered pair of processes.
+    pub default_link: LinkConfig,
+    /// Latency of a message a process sends to itself (usually negligible).
+    pub local_latency: SimDuration,
+    /// What happens to messages crossing a partition.
+    pub partition_mode: PartitionMode,
+    /// If `true`, message deliveries on a link preserve send order (FIFO
+    /// channels, as assumed by the paper §3). If `false`, each message gets an
+    /// independent latency sample and may be reordered.
+    pub fifo_links: bool,
+}
+
+impl NetConfig {
+    /// A reliable FIFO LAN — the paper's system model.
+    pub fn lan() -> Self {
+        NetConfig {
+            default_link: LinkConfig::reliable(LatencyModel::lan()),
+            local_latency: SimDuration::from_micros(5),
+            partition_mode: PartitionMode::DeliverOnHeal,
+            fifo_links: true,
+        }
+    }
+
+    /// A reliable FIFO WAN.
+    pub fn wan() -> Self {
+        NetConfig {
+            default_link: LinkConfig::reliable(LatencyModel::wan()),
+            ..NetConfig::lan()
+        }
+    }
+
+    /// A LAN with constant latency — convenient for tests that assert exact
+    /// delivery times.
+    pub fn constant(latency: SimDuration) -> Self {
+        NetConfig {
+            default_link: LinkConfig::reliable(LatencyModel::Constant(latency)),
+            local_latency: SimDuration::ZERO,
+            partition_mode: PartitionMode::DeliverOnHeal,
+            fifo_links: true,
+        }
+    }
+
+    /// A lossy, reordering network used to exercise the reliable-channel layer.
+    pub fn lossy_lan(drop_probability: f64) -> Self {
+        NetConfig {
+            default_link: LinkConfig::lossy(LatencyModel::lan(), drop_probability),
+            local_latency: SimDuration::from_micros(5),
+            partition_mode: PartitionMode::Drop,
+            fifo_links: false,
+        }
+    }
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig::lan()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_latency_is_exact() {
+        let mut rng = SimRng::new(1);
+        let m = LatencyModel::Constant(SimDuration::from_micros(500));
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), SimDuration::from_micros(500));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let mut rng = SimRng::new(2);
+        let m = LatencyModel::Uniform {
+            min: SimDuration::from_micros(100),
+            max: SimDuration::from_micros(300),
+        };
+        for _ in 0..1000 {
+            let d = m.sample(&mut rng);
+            assert!(d >= SimDuration::from_micros(100) && d <= SimDuration::from_micros(300));
+        }
+    }
+
+    #[test]
+    fn base_plus_exponential_at_least_base() {
+        let mut rng = SimRng::new(3);
+        let m = LatencyModel::BasePlusExponential {
+            base: SimDuration::from_millis(5),
+            tail_mean: SimDuration::from_millis(1),
+        };
+        for _ in 0..100 {
+            assert!(m.sample(&mut rng) >= SimDuration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let lan = NetConfig::lan();
+        assert_eq!(lan.partition_mode, PartitionMode::DeliverOnHeal);
+        assert!(lan.fifo_links);
+        assert_eq!(lan.default_link.drop_probability, 0.0);
+
+        let lossy = NetConfig::lossy_lan(0.1);
+        assert_eq!(lossy.partition_mode, PartitionMode::Drop);
+        assert!(!lossy.fifo_links);
+        assert!((lossy.default_link.drop_probability - 0.1).abs() < 1e-12);
+
+        let c = NetConfig::constant(SimDuration::from_millis(1));
+        assert_eq!(
+            c.default_link.latency,
+            LatencyModel::Constant(SimDuration::from_millis(1))
+        );
+    }
+}

@@ -1,0 +1,180 @@
+//! The [`Context`] handed to a process during a callback.
+//!
+//! A process never talks to the network or the clock directly: it records
+//! *actions* (send, set timer, …) in its context, and the simulator applies
+//! them after the callback returns. This keeps process code purely
+//! deterministic and easy to test in isolation.
+
+use crate::process::{ProcessId, TimerId};
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// An action emitted by a process during a callback.
+#[derive(Debug)]
+pub enum Action<M> {
+    /// Send `msg` to process `to`.
+    Send {
+        /// Destination process.
+        to: ProcessId,
+        /// Message payload.
+        msg: M,
+    },
+    /// Arm a timer that fires after `delay`.
+    SetTimer {
+        /// Identifier returned to the caller.
+        id: TimerId,
+        /// Delay until the timer fires.
+        delay: SimDuration,
+        /// Caller-chosen tag.
+        tag: u64,
+    },
+    /// Cancel a previously armed timer.
+    CancelTimer {
+        /// The timer to cancel.
+        id: TimerId,
+    },
+    /// Record a protocol-level trace annotation (e.g. "Opt-deliver(m3)").
+    Annotate(String),
+}
+
+/// Execution context of one callback of one process.
+///
+/// Provides the current simulated time, the process identity, a deterministic
+/// RNG and the action buffer.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: ProcessId,
+    rng: &'a mut SimRng,
+    actions: &'a mut Vec<Action<M>>,
+    next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Creates a context. Only the simulator (and protocol test drivers) need
+    /// to call this.
+    pub fn new(
+        now: SimTime,
+        self_id: ProcessId,
+        rng: &'a mut SimRng,
+        actions: &'a mut Vec<Action<M>>,
+        next_timer_id: &'a mut u64,
+    ) -> Self {
+        Context {
+            now,
+            self_id,
+            rng,
+            actions,
+            next_timer_id,
+        }
+    }
+
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The identifier of the process running this callback.
+    pub fn id(&self) -> ProcessId {
+        self.self_id
+    }
+
+    /// The simulation's deterministic random number generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to`. Sending to oneself is allowed and delivered through
+    /// the network like any other message (after `local_latency`).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends a clone of `msg` to every process in `targets` (including the
+    /// sender if it is listed).
+    pub fn send_all(&mut self, targets: &[ProcessId], msg: M)
+    where
+        M: Clone,
+    {
+        for &to in targets {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Arms a timer that fires after `delay`; the returned [`TimerId`] can be
+    /// used to cancel it. `tag` is returned verbatim in `on_timer` and lets a
+    /// process multiplex several timer purposes.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer_id);
+        *self.next_timer_id += 1;
+        self.actions.push(Action::SetTimer { id, delay, tag });
+        id
+    }
+
+    /// Cancels a previously armed timer. Cancelling a timer that already fired
+    /// or was already cancelled is a no-op.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.actions.push(Action::CancelTimer { id });
+    }
+
+    /// Records a protocol-level annotation in the simulation trace.
+    pub fn annotate(&mut self, text: impl Into<String>) {
+        self.actions.push(Action::Annotate(text.into()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_buffers_actions() {
+        let mut rng = SimRng::new(1);
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        let mut next_timer = 0u64;
+        let mut ctx = Context::new(
+            SimTime::from_millis(5),
+            ProcessId(2),
+            &mut rng,
+            &mut actions,
+            &mut next_timer,
+        );
+        assert_eq!(ctx.now(), SimTime::from_millis(5));
+        assert_eq!(ctx.id(), ProcessId(2));
+
+        ctx.send(ProcessId(0), 10);
+        ctx.send_all(&[ProcessId(0), ProcessId(1)], 11);
+        let t = ctx.set_timer(SimDuration::from_millis(1), 99);
+        ctx.cancel_timer(t);
+        ctx.annotate("hello");
+        let _ = ctx.rng().unit();
+
+        assert_eq!(actions.len(), 6);
+        assert!(matches!(actions[0], Action::Send { to: ProcessId(0), msg: 10 }));
+        assert!(matches!(actions[1], Action::Send { to: ProcessId(0), msg: 11 }));
+        assert!(matches!(actions[2], Action::Send { to: ProcessId(1), msg: 11 }));
+        assert!(matches!(
+            actions[3],
+            Action::SetTimer { id: TimerId(0), tag: 99, .. }
+        ));
+        assert!(matches!(actions[4], Action::CancelTimer { id: TimerId(0) }));
+        assert!(matches!(&actions[5], Action::Annotate(s) if s == "hello"));
+        assert_eq!(next_timer, 1);
+    }
+
+    #[test]
+    fn timer_ids_are_unique() {
+        let mut rng = SimRng::new(1);
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        let mut next_timer = 0u64;
+        let mut ctx = Context::new(
+            SimTime::ZERO,
+            ProcessId(0),
+            &mut rng,
+            &mut actions,
+            &mut next_timer,
+        );
+        let a = ctx.set_timer(SimDuration::from_millis(1), 0);
+        let b = ctx.set_timer(SimDuration::from_millis(1), 0);
+        assert_ne!(a, b);
+    }
+}

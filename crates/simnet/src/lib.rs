@@ -1,0 +1,63 @@
+//! # oar-simnet — deterministic simulation of an asynchronous system
+//!
+//! This crate is the substrate on which the Optimistic Active Replication (OAR)
+//! protocol and its baselines are implemented and evaluated. It models the
+//! system of the paper's §3: an **asynchronous message-passing system** of
+//! processes that fail only by crashing, connected by (configurably) reliable
+//! FIFO channels.
+//!
+//! The simulator is a classic discrete-event engine:
+//!
+//! * every protocol participant is a [`Process`] — a non-blocking, event-driven
+//!   state machine reacting to `on_start` / `on_message` / `on_timer`;
+//! * processes interact with the world only through a [`Context`] (send a
+//!   message, set a timer, annotate the trace);
+//! * the [`World`] owns the event queue, the [`Network`] (latency models,
+//!   message loss, partitions) and a seeded RNG, so that every run is exactly
+//!   reproducible from `(configuration, seed)`.
+//!
+//! Fault injection — crashes, partitions, link loss — is part of the substrate
+//! because the OAR paper's interesting behaviours (Figures 3 and 4, the
+//! external-inconsistency scenario of Figure 1b) only appear under failures and
+//! wrong suspicions.
+//!
+//! ```
+//! use oar_simnet::{Context, NetConfig, Process, ProcessId, SimTime, World};
+//!
+//! struct Counter { seen: usize }
+//! impl Process<&'static str> for Counter {
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, &'static str>, _from: ProcessId, _msg: &'static str) {
+//!         self.seen += 1;
+//!     }
+//! }
+//!
+//! let mut world: World<&'static str> = World::new(NetConfig::lan(), 1);
+//! let a = world.add_process(Counter { seen: 0 });
+//! let b = world.add_process(Counter { seen: 0 });
+//! world.send_external(a, b, "hello");
+//! world.run_until_quiescent(SimTime::from_secs(1));
+//! assert_eq!(world.process_ref::<Counter>(b).seen, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod metrics;
+pub mod network;
+pub mod process;
+pub mod rng;
+pub mod time;
+pub mod trace;
+pub mod world;
+
+pub use config::{LatencyModel, LinkConfig, NetConfig, PartitionMode};
+pub use context::{Action, Context};
+pub use metrics::{Samples, Summary};
+pub use network::{Network, Routing};
+pub use process::{AsAny, Process, ProcessId, Timer, TimerId};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};
+pub use trace::{DropReason, NetStats, TraceEvent, TraceKind, Tracer};
+pub use world::{horizon_for, ProcessCall, World, DEFAULT_HORIZON};

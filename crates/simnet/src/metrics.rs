@@ -1,0 +1,223 @@
+//! Small statistics helpers used by the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// An online collection of samples with summary statistics.
+///
+/// Samples are stored (as `f64`) so that exact percentiles can be computed;
+/// the experiment harness deals with at most a few hundred thousand samples
+/// per run, which keeps this trivially cheap.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty collection.
+    pub fn new() -> Self {
+        Samples { values: Vec::new() }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Records a duration sample, in milliseconds.
+    pub fn record_duration(&mut self, d: SimDuration) {
+        self.record(d.as_millis_f64());
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+        }
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.min(v),
+            })
+        })
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().fold(None, |acc, v| {
+            Some(match acc {
+                None => v,
+                Some(a) => a.max(v),
+            })
+        })
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using nearest-rank on the sorted samples,
+    /// or `None` if empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// Convenience: median.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Population standard deviation, or `None` if empty.
+    pub fn std_dev(&self) -> Option<f64> {
+        let mean = self.mean()?;
+        let var = self
+            .values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / self.values.len() as f64;
+        Some(var.sqrt())
+    }
+
+    /// Produces a compact summary of the distribution.
+    pub fn summary(&self) -> Summary {
+        Summary {
+            count: self.len(),
+            mean: self.mean().unwrap_or(0.0),
+            min: self.min().unwrap_or(0.0),
+            p50: self.quantile(0.5).unwrap_or(0.0),
+            p95: self.quantile(0.95).unwrap_or(0.0),
+            p99: self.quantile(0.99).unwrap_or(0.0),
+            max: self.max().unwrap_or(0.0),
+            std_dev: self.std_dev().unwrap_or(0.0),
+        }
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Samples {
+            values: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A compact distribution summary, serialisable for the experiment harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} p50={:.3} p95={:.3} p99={:.3} max={:.3}",
+            self.count, self.mean, self.p50, self.p95, self.p99, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_samples() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.median(), None);
+        assert_eq!(s.std_dev(), None);
+        assert_eq!(s.summary().count, 0);
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s: Samples = [1.0, 2.0, 3.0, 4.0, 5.0].into_iter().collect();
+        assert_eq!(s.len(), 5);
+        assert_eq!(s.mean(), Some(3.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(5.0));
+        assert_eq!(s.median(), Some(3.0));
+        assert!((s.std_dev().unwrap() - 1.4142).abs() < 1e-3);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let s: Samples = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(s.quantile(0.0), Some(1.0));
+        assert_eq!(s.quantile(1.0), Some(100.0));
+        let p95 = s.quantile(0.95).unwrap();
+        assert!((94.0..=96.0).contains(&p95));
+        // out-of-range quantiles are clamped
+        assert_eq!(s.quantile(2.0), Some(100.0));
+        assert_eq!(s.quantile(-1.0), Some(1.0));
+    }
+
+    #[test]
+    fn record_duration_in_millis() {
+        let mut s = Samples::new();
+        s.record_duration(SimDuration::from_micros(2_500));
+        assert_eq!(s.mean(), Some(2.5));
+    }
+
+    #[test]
+    fn summary_display() {
+        let s: Samples = [1.0, 2.0].into_iter().collect();
+        let text = format!("{}", s.summary());
+        assert!(text.contains("n=2"));
+        assert!(text.contains("mean=1.500"));
+    }
+
+    #[test]
+    fn extend_appends() {
+        let mut s = Samples::new();
+        s.extend([1.0, 2.0]);
+        s.extend([3.0]);
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Process abstraction: the unit of computation driven by the simulator.
+//!
+//! A [`Process`] is an event-driven state machine. It never blocks: it reacts to
+//! `on_start`, `on_message` and `on_timer` callbacks and emits actions (send a
+//! message, set a timer, …) through the [`Context`] it is given.
+//!
+//! [`Context`]: crate::Context
+
+use std::any::Any;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::context::Context;
+
+/// Identifier of a process inside a simulation [`World`](crate::World).
+///
+/// Identifiers are assigned densely, in the order processes are added, starting
+/// at zero. The OAR protocol uses the position of a server in `Π` as its
+/// identity (e.g. for the rotating sequencer), which maps directly onto this.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ProcessId(pub usize);
+
+impl ProcessId {
+    /// The numeric index of the process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<usize> for ProcessId {
+    fn from(value: usize) -> Self {
+        ProcessId(value)
+    }
+}
+
+/// Identifier of a timer set through [`Context::set_timer`].
+///
+/// [`Context::set_timer`]: crate::Context::set_timer
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct TimerId(pub u64);
+
+/// A fired timer, as delivered to [`Process::on_timer`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Timer {
+    /// The identifier returned by `set_timer`.
+    pub id: TimerId,
+    /// The caller-chosen tag, used to distinguish timer purposes.
+    pub tag: u64,
+}
+
+/// Object-safe helper for downcasting processes to their concrete type.
+///
+/// Implemented automatically for every `'static` type; users never need to
+/// implement it by hand.
+pub trait AsAny {
+    /// Upcasts to `&dyn Any` for downcasting.
+    fn as_any(&self) -> &dyn Any;
+    /// Upcasts to `&mut dyn Any` for downcasting.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> AsAny for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// An event-driven process, generic over the wire message type `M`.
+///
+/// All callbacks run to completion without blocking ("tasks execute in mutual
+/// exclusion" in the paper's words); the only way to affect the outside world
+/// is through the [`Context`].
+pub trait Process<M>: AsAny {
+    /// Called once, when the simulation starts (before any message delivery).
+    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+
+    /// Called when a message from `from` is delivered to this process.
+    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: ProcessId, msg: M);
+
+    /// Called when a timer previously set by this process fires.
+    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _timer: Timer) {}
+
+    /// Called once if the simulator crashes this process; after this call the
+    /// process receives no further events. Useful to flush statistics.
+    fn on_crash(&mut self) {}
+
+    /// A short human-readable name used in traces.
+    fn name(&self) -> String {
+        "process".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Dummy;
+    impl Process<u32> for Dummy {
+        fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: ProcessId, _msg: u32) {}
+    }
+
+    #[test]
+    fn process_id_display_and_index() {
+        let p = ProcessId(3);
+        assert_eq!(p.index(), 3);
+        assert_eq!(format!("{p}"), "p3");
+        assert_eq!(format!("{p:?}"), "p3");
+        assert_eq!(ProcessId::from(7), ProcessId(7));
+    }
+
+    #[test]
+    fn as_any_downcast_works() {
+        let d: Box<dyn Process<u32>> = Box::new(Dummy);
+        let inner: &dyn Process<u32> = d.as_ref();
+        assert!(AsAny::as_any(inner).downcast_ref::<Dummy>().is_some());
+    }
+
+    #[test]
+    fn default_name() {
+        assert_eq!(Dummy.name(), "process");
+    }
+}

@@ -1,0 +1,167 @@
+//! Deterministic random number generation for simulations.
+//!
+//! All randomness in a simulation (link latencies, drop decisions, tie-breaking
+//! inside protocol components) flows through a single seeded [`SimRng`], so a
+//! run is fully reproducible from `(configuration, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::SimDuration;
+
+/// A seeded random number generator owned by the simulation [`World`].
+///
+/// [`World`]: crate::World
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Returns a uniformly distributed value in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.unit() < p
+        }
+    }
+
+    /// Returns a uniformly distributed integer in `[lo, hi]` (inclusive).
+    pub fn int_in(&mut self, lo: u64, hi: u64) -> u64 {
+        if lo >= hi {
+            lo
+        } else {
+            self.inner.gen_range(lo..=hi)
+        }
+    }
+
+    /// Returns a uniformly distributed duration in `[lo, hi]` (inclusive).
+    pub fn duration_in(&mut self, lo: SimDuration, hi: SimDuration) -> SimDuration {
+        SimDuration::from_micros(self.int_in(lo.as_micros(), hi.as_micros()))
+    }
+
+    /// Samples an exponentially distributed duration with the given mean,
+    /// truncated at `10 × mean` to keep the event horizon bounded.
+    pub fn exponential(&mut self, mean: SimDuration) -> SimDuration {
+        let mean_us = mean.as_micros() as f64;
+        if mean_us <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let u: f64 = 1.0 - self.unit();
+        let sample = -mean_us * u.ln();
+        let capped = sample.min(mean_us * 10.0).max(0.0);
+        SimDuration::from_micros(capped as u64)
+    }
+
+    /// Returns a reference to the underlying `rand` generator, for callers that
+    /// need the full `Rng` API.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+
+    /// Derives a new, independent generator (used to give each process its own
+    /// stream so that adding a process does not perturb the others).
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.inner.gen())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.int_in(0, 1_000_000), b.int_in(0, 1_000_000));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..64).filter(|_| a.int_in(0, u64::MAX) == b.int_in(0, u64::MAX)).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = SimRng::new(7);
+        assert!(!r.chance(0.0));
+        assert!(r.chance(1.0));
+        assert!(!r.chance(-1.0));
+        assert!(r.chance(2.0));
+    }
+
+    #[test]
+    fn chance_is_roughly_calibrated() {
+        let mut r = SimRng::new(9);
+        let hits = (0..10_000).filter(|_| r.chance(0.3)).count();
+        assert!((2_500..3_500).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn int_in_respects_bounds() {
+        let mut r = SimRng::new(3);
+        for _ in 0..1000 {
+            let v = r.int_in(10, 20);
+            assert!((10..=20).contains(&v));
+        }
+        assert_eq!(r.int_in(5, 5), 5);
+        assert_eq!(r.int_in(9, 3), 9);
+    }
+
+    #[test]
+    fn duration_in_respects_bounds() {
+        let mut r = SimRng::new(4);
+        let lo = SimDuration::from_micros(100);
+        let hi = SimDuration::from_micros(200);
+        for _ in 0..100 {
+            let d = r.duration_in(lo, hi);
+            assert!(d >= lo && d <= hi);
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut r = SimRng::new(5);
+        let mean = SimDuration::from_micros(1_000);
+        let n = 20_000u64;
+        let total: u64 = (0..n).map(|_| r.exponential(mean).as_micros()).sum();
+        let observed = total as f64 / n as f64;
+        assert!((800.0..1200.0).contains(&observed), "observed mean {observed}");
+    }
+
+    #[test]
+    fn exponential_zero_mean() {
+        let mut r = SimRng::new(6);
+        assert_eq!(r.exponential(SimDuration::ZERO), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fork_is_deterministic() {
+        let mut a = SimRng::new(11);
+        let mut b = SimRng::new(11);
+        let mut fa = a.fork();
+        let mut fb = b.fork();
+        assert_eq!(fa.int_in(0, 1000), fb.int_in(0, 1000));
+    }
+}

@@ -1,0 +1,1 @@
+//! Runnable examples for the OAR reproduction; see the example binaries.

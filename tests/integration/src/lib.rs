@@ -1,0 +1,1 @@
+//! Cross-crate integration tests; see the `tests/` directory of this package.

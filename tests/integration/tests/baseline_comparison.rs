@@ -1,0 +1,87 @@
+//! Cross-protocol integration tests: the latency/consistency trade-off the
+//! paper argues for, measured on identical workloads.
+
+use oar_bench::experiments;
+
+#[test]
+fn latency_ordering_oar_tracks_sequencer_and_beats_consensus() {
+    let rows = experiments::latency_experiment(&[3, 5], 40, 77);
+    for &n in &[3usize, 5] {
+        let mean = |protocol: &str| {
+            rows.iter()
+                .find(|r| r.protocol == protocol && r.servers == n)
+                .map(|r| r.latency_ms.mean)
+                .expect("row present")
+        };
+        let oar = mean("oar");
+        let seq = mean("fixed-sequencer");
+        let ct = mean("ct-abcast");
+        assert!(
+            oar < ct,
+            "n={n}: OAR ({oar:.3} ms) should beat consensus-based broadcast ({ct:.3} ms)"
+        );
+        assert!(
+            oar < seq * 2.0,
+            "n={n}: OAR ({oar:.3} ms) should stay within 2x of the sequencer baseline ({seq:.3} ms)"
+        );
+    }
+}
+
+#[test]
+fn throughput_rows_cover_all_protocols() {
+    let rows = experiments::throughput_experiment(3, &[1, 4], 20, 5);
+    assert_eq!(rows.len(), 6);
+    for r in &rows {
+        assert!(r.requests_per_second > 0.0, "{r:?}");
+        assert!(r.requests > 0, "{r:?}");
+    }
+    // More closed-loop clients => more total completed requests per second for
+    // every protocol (the sweep is far from saturation at these sizes).
+    for protocol in ["oar", "fixed-sequencer", "ct-abcast"] {
+        let one = rows.iter().find(|r| r.protocol == protocol && r.clients == 1).unwrap();
+        let four = rows.iter().find(|r| r.protocol == protocol && r.clients == 4).unwrap();
+        assert!(
+            four.requests_per_second > one.requests_per_second,
+            "{protocol}: {} vs {}",
+            four.requests_per_second,
+            one.requests_per_second
+        );
+    }
+}
+
+#[test]
+fn undo_experiment_scenarios_stay_consistent() {
+    let rows = experiments::undo_experiment(123);
+    assert_eq!(rows.len(), 3);
+    for r in &rows {
+        assert!(r.consistent, "{r:?}");
+    }
+    let failure_free = rows.iter().find(|r| r.scenario == "failure-free").unwrap();
+    assert_eq!(failure_free.opt_undeliveries, 0);
+    assert_eq!(failure_free.phase2_entries, 0);
+}
+
+#[test]
+fn failover_recovery_grows_with_fd_timeout() {
+    let rows = experiments::failover_experiment(&[3], &[10, 100], 11);
+    let fast = rows.iter().find(|r| r.fd_timeout_ms == 10.0).unwrap();
+    let slow = rows.iter().find(|r| r.fd_timeout_ms == 100.0).unwrap();
+    assert!(fast.consistent && slow.consistent);
+    assert!(
+        slow.recovery_ms > fast.recovery_ms,
+        "a larger suspicion timeout must lengthen fail-over ({} vs {})",
+        slow.recovery_ms,
+        fast.recovery_ms
+    );
+}
+
+#[test]
+fn gc_ablation_is_safe_and_bounds_epoch_length() {
+    let rows = experiments::gc_experiment(&[None, Some(10)], 30, 21);
+    for r in &rows {
+        assert!(r.consistent, "{r:?}");
+    }
+    let never = rows.iter().find(|r| r.cut_after.is_none()).unwrap();
+    let cut = rows.iter().find(|r| r.cut_after == Some(10)).unwrap();
+    assert!(cut.epochs_per_server > never.epochs_per_server);
+}

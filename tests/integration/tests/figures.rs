@@ -1,0 +1,65 @@
+//! Integration tests replaying the paper's figures end-to-end (via the
+//! scenario builders of `oar-bench`) and asserting the behaviour each figure
+//! illustrates.
+
+use oar_bench::figures;
+
+#[test]
+fn figure_1a_fixed_sequencer_good_run() {
+    let out = figures::figure_1a(101);
+    assert!(out.consistent, "{out:?}");
+    assert_eq!(out.client_inconsistencies, 0);
+}
+
+#[test]
+fn figure_1b_fixed_sequencer_inconsistent_run() {
+    let out = figures::figure_1b(101);
+    assert!(
+        out.client_inconsistencies > 0,
+        "the baseline should leak an inconsistent reply: {out:?}"
+    );
+}
+
+#[test]
+fn figure_1b_oar_prevents_the_inconsistency() {
+    let out = figures::figure_1b_oar(101);
+    assert!(out.consistent, "{out:?}");
+}
+
+#[test]
+fn figure_2_failure_free_optimistic_only() {
+    let out = figures::figure_2(101);
+    assert!(out.consistent, "{out:?}");
+    assert_eq!(out.phase2_entries, 0);
+    assert_eq!(out.undeliveries, 0);
+    assert!(out.timeline.contains("Opt-deliver"));
+    assert!(!out.timeline.contains("A-deliver"));
+}
+
+#[test]
+fn figure_3_sequencer_crash_without_undelivery() {
+    let out = figures::figure_3(101);
+    assert!(out.consistent, "{out:?}");
+    assert!(out.phase2_entries > 0);
+    assert_eq!(out.undeliveries, 0);
+    assert!(out.timeline.contains("PhaseII"));
+    assert!(out.timeline.contains("A-deliver"));
+    assert!(!out.timeline.contains("Opt-undeliver"));
+}
+
+#[test]
+fn figure_4_sequencer_crash_with_undelivery() {
+    let out = figures::figure_4(101);
+    assert!(out.consistent, "{out:?}");
+    assert!(out.undeliveries > 0, "the minority's optimistic deliveries must be undone");
+    assert!(out.timeline.contains("Opt-undeliver"));
+}
+
+#[test]
+fn figure_scenarios_are_deterministic_for_a_given_seed() {
+    let a = figures::figure_4(2024);
+    let b = figures::figure_4(2024);
+    assert_eq!(a.undeliveries, b.undeliveries);
+    assert_eq!(a.phase2_entries, b.phase2_entries);
+    assert_eq!(a.timeline, b.timeline);
+}

@@ -1,0 +1,229 @@
+//! End-to-end checks of the paper's correctness propositions (Appendix A)
+//! under randomized fault schedules.
+//!
+//! Each run builds a full OAR deployment in the simulator, injects crashes
+//! and/or partitions derived from the seed, drives client workloads to
+//! completion and then checks:
+//!
+//! * **at-least-once** (Prop. 4): every client request completes;
+//! * **at-most-once** (Props. 2–3): no server's settled sequence contains a
+//!   request twice;
+//! * **total order** (Prop. 5): settled sequences of alive servers are
+//!   prefix-compatible and equal-length prefixes yield identical state
+//!   digests;
+//! * **external consistency** (Prop. 7): the reply adopted by each client
+//!   matches the position at which every alive server settled the request.
+
+use oar::cluster::{Cluster, ClusterConfig};
+use oar::state_machine::{CounterCommand, CounterMachine};
+use oar::OarConfig;
+use oar_apps::bank::{BankCommand, BankMachine};
+use oar_simnet::{NetConfig, ProcessId, SimDuration, SimTime};
+
+fn counter_workload(client: usize, n: usize) -> Vec<CounterCommand> {
+    (0..n).map(|i| CounterCommand::Add((client * 31 + i) as i64 % 11 + 1)).collect()
+}
+
+fn run_checks<S: oar::StateMachine>(cluster: &Cluster<S>, label: &str) {
+    cluster
+        .check_replica_consistency()
+        .unwrap_or_else(|e| panic!("[{label}] replica consistency: {e}"));
+    cluster
+        .check_external_consistency()
+        .unwrap_or_else(|e| panic!("[{label}] external consistency: {e}"));
+}
+
+#[test]
+fn failure_free_runs_over_many_seeds() {
+    for seed in 0..10u64 {
+        let config = ClusterConfig {
+            num_servers: 3 + (seed % 3) as usize * 2, // 3, 5, 7
+            num_clients: 2,
+            net: NetConfig::lan(),
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 10));
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(60)),
+            "seed {seed}: workload did not finish"
+        );
+        assert_eq!(cluster.completed_requests().len(), 20, "seed {seed}");
+        assert_eq!(cluster.total_phase2_entries(), 0, "seed {seed}: no failures, no phase 2");
+        assert_eq!(cluster.total_undeliveries(), 0, "seed {seed}");
+        run_checks(&cluster, &format!("failure-free seed {seed}"));
+    }
+}
+
+#[test]
+fn sequencer_crash_at_random_times() {
+    for seed in 0..8u64 {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::lan(),
+            oar: OarConfig::with_fd_timeout(SimDuration::from_millis(20)),
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 15));
+        // Crash the epoch-0 sequencer at a seed-dependent time.
+        let crash_at = SimTime::from_micros(500 + seed * 700);
+        cluster.world.schedule_crash(ProcessId(0), crash_at);
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(120)),
+            "seed {seed}: workload did not finish after sequencer crash at {crash_at}"
+        );
+        // at-least-once: every request of every client completed
+        assert_eq!(cluster.completed_requests().len(), 30, "seed {seed}");
+        run_checks(&cluster, &format!("sequencer-crash seed {seed}"));
+    }
+}
+
+#[test]
+fn crash_of_a_non_sequencer_replica_is_invisible_to_clients() {
+    for seed in 0..5u64 {
+        let config = ClusterConfig {
+            num_servers: 5,
+            num_clients: 3,
+            net: NetConfig::lan(),
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 10));
+        cluster
+            .world
+            .schedule_crash(ProcessId(2 + (seed % 3) as usize), SimTime::from_millis(1 + seed));
+        assert!(cluster.run_to_completion(SimTime::from_secs(60)), "seed {seed}");
+        assert_eq!(cluster.completed_requests().len(), 30, "seed {seed}");
+        run_checks(&cluster, &format!("replica-crash seed {seed}"));
+    }
+}
+
+#[test]
+fn minority_partition_with_sequencer_crash_recovers_consistently() {
+    // The Figure-4 family: the sequencer and one other replica are partitioned
+    // away together with part of the client population, the sequencer crashes,
+    // the majority moves on, the partition heals. Opt-undeliveries may or may
+    // not occur depending on timing — consistency must hold either way.
+    for seed in 0..6u64 {
+        let config = ClusterConfig {
+            num_servers: 5,
+            num_clients: 3,
+            net: NetConfig::constant(SimDuration::from_micros(100)),
+            oar: OarConfig::with_fd_timeout(SimDuration::from_millis(25)),
+            seed,
+            client_start_delays: vec![
+                SimDuration::ZERO,
+                SimDuration::from_millis(4),
+                SimDuration::from_micros(4_200),
+            ],
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 4));
+        let servers = cluster.servers.clone();
+        let clients = cluster.clients.clone();
+        let mut minority = vec![servers[0], servers[1], clients[1], clients[2]];
+        let majority = vec![servers[2], servers[3], servers[4], clients[0]];
+        if seed % 2 == 0 {
+            minority.push(clients[0]);
+        }
+        cluster
+            .world
+            .schedule_partition(SimTime::from_millis(3), vec![minority, majority]);
+        cluster.world.schedule_crash(servers[0], SimTime::from_millis(6 + seed));
+        cluster.world.schedule_heal(SimTime::from_millis(120));
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(120)),
+            "seed {seed}: workload did not finish"
+        );
+        run_checks(&cluster, &format!("partition seed {seed}"));
+    }
+}
+
+#[test]
+fn repeated_sequencer_crashes_across_epochs() {
+    // Crash the sequencer of epoch 0, then the sequencer of epoch 1 (server 1)
+    // a bit later: the rotating-sequencer rule must keep making progress as
+    // long as a majority is alive.
+    let config = ClusterConfig {
+        num_servers: 5,
+        num_clients: 2,
+        net: NetConfig::lan(),
+        oar: OarConfig::with_fd_timeout(SimDuration::from_millis(20)),
+        seed: 3,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<CounterMachine> =
+        Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 20));
+    cluster.world.schedule_crash(ProcessId(0), SimTime::from_millis(2));
+    cluster.world.schedule_crash(ProcessId(1), SimTime::from_millis(60));
+    assert!(cluster.run_to_completion(SimTime::from_secs(300)), "workload did not finish");
+    assert_eq!(cluster.completed_requests().len(), 40);
+    assert!(cluster.total_phase2_entries() >= 2, "two fail-overs expected");
+    run_checks(&cluster, "double-crash");
+}
+
+#[test]
+fn bank_invariants_hold_under_sequencer_crash() {
+    let accounts = 6u32;
+    let initial = 50i64;
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: 3,
+        net: NetConfig::lan(),
+        oar: OarConfig::with_fd_timeout(SimDuration::from_millis(20)),
+        seed: 17,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<BankMachine> =
+        Cluster::build(&config, || BankMachine::with_accounts(accounts, initial), |client| {
+            (0..12)
+                .map(|i| BankCommand::Transfer {
+                    from: (client as u32 * 2) % accounts,
+                    to: (client as u32 * 2 + 1 + i as u32) % accounts,
+                    amount: 3,
+                })
+                .collect()
+        });
+    cluster.world.schedule_crash(ProcessId(0), SimTime::from_millis(2));
+    assert!(cluster.run_to_completion(SimTime::from_secs(120)));
+    run_checks(&cluster, "bank");
+    for (i, &server) in cluster.servers.clone().iter().enumerate() {
+        if cluster.world.is_crashed(server) {
+            continue;
+        }
+        let bank = cluster.world.process_ref::<oar::OarServer<BankMachine>>(server).state_machine();
+        assert_eq!(
+            bank.total_funds(),
+            accounts as i64 * initial,
+            "transfers must conserve funds at replica {i}"
+        );
+    }
+}
+
+#[test]
+fn epoch_cutting_preserves_correctness() {
+    // The §5.3 remark: proactively cutting epochs (running phase 2 regularly)
+    // must not affect safety, only performance.
+    let oar = OarConfig { epoch_cut_after: Some(5), ..OarConfig::default() };
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: 2,
+        net: NetConfig::lan(),
+        oar,
+        seed: 9,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<CounterMachine> =
+        Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 25));
+    assert!(cluster.run_to_completion(SimTime::from_secs(120)));
+    assert_eq!(cluster.completed_requests().len(), 50);
+    assert!(cluster.total_phase2_entries() > 0, "epoch cutting should run phase 2");
+    assert_eq!(cluster.total_undeliveries(), 0, "proactive cuts never undo deliveries");
+    run_checks(&cluster, "epoch-cut");
+}
