@@ -10,7 +10,6 @@
 use std::collections::BTreeMap;
 
 use oar::state_machine::StateMachine;
-use serde::{Deserialize, Serialize};
 
 /// Account identifier.
 pub type AccountId = u32;
@@ -18,7 +17,7 @@ pub type AccountId = u32;
 pub type Amount = i64;
 
 /// Commands of the replicated bank.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BankCommand {
     /// Create an account with an initial balance.
     Open {
@@ -58,7 +57,7 @@ pub enum BankCommand {
 }
 
 /// Responses of the replicated bank.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum BankResponse {
     /// Operation applied; the new balance of the touched (source) account.
     Ok(Amount),
@@ -70,7 +69,7 @@ pub enum BankResponse {
 }
 
 /// Why a bank command was rejected.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum BankError {
     /// The account does not exist.
     NoSuchAccount,
@@ -207,8 +206,13 @@ impl StateMachine for BankMachine {
                 (BankResponse::Ok(from_balance - amount), undo)
             }
             BankCommand::Balance { account } => {
-                let undo = BankUndo { touched: Vec::new() };
-                (BankResponse::Balance(self.accounts.get(&account).copied()), undo)
+                let undo = BankUndo {
+                    touched: Vec::new(),
+                };
+                (
+                    BankResponse::Balance(self.accounts.get(&account).copied()),
+                    undo,
+                )
             }
         }
     }
@@ -248,13 +252,28 @@ mod tests {
     #[test]
     fn open_deposit_withdraw() {
         let mut bank = BankMachine::new();
-        assert_eq!(bank.apply(&BankCommand::Open { account: 1, initial: 100 }).0, BankResponse::Ok(100));
         assert_eq!(
-            bank.apply(&BankCommand::Deposit { account: 1, amount: 50 }).0,
+            bank.apply(&BankCommand::Open {
+                account: 1,
+                initial: 100
+            })
+            .0,
+            BankResponse::Ok(100)
+        );
+        assert_eq!(
+            bank.apply(&BankCommand::Deposit {
+                account: 1,
+                amount: 50
+            })
+            .0,
             BankResponse::Ok(150)
         );
         assert_eq!(
-            bank.apply(&BankCommand::Withdraw { account: 1, amount: 70 }).0,
+            bank.apply(&BankCommand::Withdraw {
+                account: 1,
+                amount: 70
+            })
+            .0,
             BankResponse::Ok(80)
         );
         assert_eq!(bank.balance(1), Some(80));
@@ -265,19 +284,35 @@ mod tests {
         let mut bank = BankMachine::with_accounts(2, 10);
         let before = bank.clone();
         assert_eq!(
-            bank.apply(&BankCommand::Withdraw { account: 0, amount: 100 }).0,
+            bank.apply(&BankCommand::Withdraw {
+                account: 0,
+                amount: 100
+            })
+            .0,
             BankResponse::Rejected(BankError::InsufficientFunds)
         );
         assert_eq!(
-            bank.apply(&BankCommand::Deposit { account: 9, amount: 5 }).0,
+            bank.apply(&BankCommand::Deposit {
+                account: 9,
+                amount: 5
+            })
+            .0,
             BankResponse::Rejected(BankError::NoSuchAccount)
         );
         assert_eq!(
-            bank.apply(&BankCommand::Deposit { account: 0, amount: 0 }).0,
+            bank.apply(&BankCommand::Deposit {
+                account: 0,
+                amount: 0
+            })
+            .0,
             BankResponse::Rejected(BankError::InvalidAmount)
         );
         assert_eq!(
-            bank.apply(&BankCommand::Open { account: 0, initial: 5 }).0,
+            bank.apply(&BankCommand::Open {
+                account: 0,
+                initial: 5
+            })
+            .0,
             BankResponse::Rejected(BankError::AlreadyExists)
         );
         assert_eq!(bank.accounts, before.accounts);
@@ -287,8 +322,16 @@ mod tests {
     fn transfer_conserves_total_funds() {
         let mut bank = BankMachine::with_accounts(3, 100);
         let total = bank.total_funds();
-        bank.apply(&BankCommand::Transfer { from: 0, to: 1, amount: 30 });
-        bank.apply(&BankCommand::Transfer { from: 1, to: 2, amount: 130 });
+        bank.apply(&BankCommand::Transfer {
+            from: 0,
+            to: 1,
+            amount: 30,
+        });
+        bank.apply(&BankCommand::Transfer {
+            from: 1,
+            to: 2,
+            amount: 130,
+        });
         assert_eq!(bank.total_funds(), total);
         assert_eq!(bank.balance(0), Some(70));
         assert_eq!(bank.balance(1), Some(0));
@@ -298,7 +341,11 @@ mod tests {
     #[test]
     fn failed_transfer_is_a_no_op() {
         let mut bank = BankMachine::with_accounts(2, 10);
-        let (r, _) = bank.apply(&BankCommand::Transfer { from: 0, to: 1, amount: 50 });
+        let (r, _) = bank.apply(&BankCommand::Transfer {
+            from: 0,
+            to: 1,
+            amount: 50,
+        });
         assert_eq!(r, BankResponse::Rejected(BankError::InsufficientFunds));
         assert_eq!(bank.balance(0), Some(10));
         assert_eq!(bank.balance(1), Some(10));
@@ -308,8 +355,15 @@ mod tests {
     fn undo_rolls_back_transfers_like_a_transaction_abort() {
         let mut bank = BankMachine::with_accounts(2, 100);
         let before = bank.clone();
-        let (_, u1) = bank.apply(&BankCommand::Transfer { from: 0, to: 1, amount: 40 });
-        let (_, u2) = bank.apply(&BankCommand::Deposit { account: 0, amount: 5 });
+        let (_, u1) = bank.apply(&BankCommand::Transfer {
+            from: 0,
+            to: 1,
+            amount: 40,
+        });
+        let (_, u2) = bank.apply(&BankCommand::Deposit {
+            account: 0,
+            amount: 5,
+        });
         bank.undo(u2);
         bank.undo(u1);
         assert_eq!(bank, before);
@@ -318,7 +372,10 @@ mod tests {
     #[test]
     fn undo_of_open_removes_the_account() {
         let mut bank = BankMachine::new();
-        let (_, undo) = bank.apply(&BankCommand::Open { account: 7, initial: 3 });
+        let (_, undo) = bank.apply(&BankCommand::Open {
+            account: 7,
+            initial: 3,
+        });
         assert_eq!(bank.num_accounts(), 1);
         bank.undo(undo);
         assert_eq!(bank.num_accounts(), 0);
@@ -342,12 +399,17 @@ mod proptests {
     fn arb_command() -> impl Strategy<Value = BankCommand> {
         let account = 0u32..4;
         prop_oneof![
-            (account.clone(), 1i64..100).prop_map(|(account, amount)| BankCommand::Deposit { account, amount }),
-            (account.clone(), 1i64..100).prop_map(|(account, amount)| BankCommand::Withdraw { account, amount }),
+            (account.clone(), 1i64..100)
+                .prop_map(|(account, amount)| BankCommand::Deposit { account, amount }),
+            (account.clone(), 1i64..100)
+                .prop_map(|(account, amount)| BankCommand::Withdraw { account, amount }),
             (account.clone(), account.clone(), 1i64..100)
                 .prop_map(|(from, to, amount)| BankCommand::Transfer { from, to, amount }),
-            account.clone().prop_map(|account| BankCommand::Balance { account }),
-            (4u32..8, 0i64..50).prop_map(|(account, initial)| BankCommand::Open { account, initial }),
+            account
+                .clone()
+                .prop_map(|account| BankCommand::Balance { account }),
+            (4u32..8, 0i64..50)
+                .prop_map(|(account, initial)| BankCommand::Open { account, initial }),
         ]
     }
 

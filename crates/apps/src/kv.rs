@@ -7,7 +7,6 @@
 use std::collections::BTreeMap;
 
 use oar::state_machine::StateMachine;
-use serde::{Deserialize, Serialize};
 
 /// Keys are small strings; values are strings too (the protocol does not care).
 pub type Key = String;
@@ -15,7 +14,7 @@ pub type Key = String;
 pub type Value = String;
 
 /// Commands of the key-value store.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum KvCommand {
     /// Write `value` under `key`, returning the previous value.
     Put {
@@ -46,7 +45,7 @@ pub enum KvCommand {
 }
 
 /// Responses of the key-value store.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum KvResponse {
     /// Previous value (for `Put` / `Delete`).
     Previous(Option<Value>),
@@ -116,7 +115,10 @@ impl StateMachine for KvMachine {
                 let previous = self.map.insert(key.clone(), value.clone());
                 (
                     KvResponse::Previous(previous.clone()),
-                    KvUndo::Restore { key: key.clone(), previous },
+                    KvUndo::Restore {
+                        key: key.clone(),
+                        previous,
+                    },
                 )
             }
             KvCommand::Get { key } => (
@@ -127,7 +129,10 @@ impl StateMachine for KvMachine {
                 let previous = self.map.remove(key);
                 (
                     KvResponse::Previous(previous.clone()),
-                    KvUndo::Restore { key: key.clone(), previous },
+                    KvUndo::Restore {
+                        key: key.clone(),
+                        previous,
+                    },
                 )
             }
             KvCommand::CompareAndSwap { key, expected, new } => {
@@ -136,7 +141,10 @@ impl StateMachine for KvMachine {
                     self.map.insert(key.clone(), new.clone());
                     (
                         KvResponse::Swapped(true),
-                        KvUndo::Restore { key: key.clone(), previous: current },
+                        KvUndo::Restore {
+                            key: key.clone(),
+                            previous: current,
+                        },
                     )
                 } else {
                     (KvResponse::Swapped(false), KvUndo::Nothing)
@@ -178,7 +186,10 @@ mod tests {
     use super::*;
 
     fn put(key: &str, value: &str) -> KvCommand {
-        KvCommand::Put { key: key.into(), value: value.into() }
+        KvCommand::Put {
+            key: key.into(),
+            value: value.into(),
+        }
     }
 
     #[test]

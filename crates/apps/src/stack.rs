@@ -9,10 +9,9 @@
 //! (where it cannot).
 
 use oar::state_machine::StateMachine;
-use serde::{Deserialize, Serialize};
 
 /// Commands of the replicated stack.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StackCommand {
     /// Push a value.
     Push(i64),
@@ -25,7 +24,7 @@ pub enum StackCommand {
 }
 
 /// Responses of the replicated stack.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum StackResponse {
     /// Result of a push: the new depth.
     Pushed(usize),

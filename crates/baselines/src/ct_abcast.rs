@@ -61,6 +61,9 @@ pub enum CtWire<C, R> {
     Fd(FdWire),
 }
 
+/// A consensus wire message buffered for a future instance.
+type BufferedWire = (ProcessId, ConsensusWire<Seq<RequestId>>);
+
 /// One replica of the consensus-based atomic broadcast.
 #[derive(Debug)]
 pub struct CtServer<S: StateMachine> {
@@ -76,7 +79,7 @@ pub struct CtServer<S: StateMachine> {
     position: u64,
     batch: u64,
     consensus: Option<MajConsensus<Seq<RequestId>>>,
-    buffered: HashMap<u64, Vec<(ProcessId, ConsensusWire<Seq<RequestId>>)>>,
+    buffered: HashMap<u64, Vec<BufferedWire>>,
     pending_decision: Option<Decision<Seq<RequestId>>>,
     sm: S,
 }
@@ -266,7 +269,10 @@ impl<S: StateMachine> Process<CtWire<S::Command, S::Response>> for CtServer<S> {
                     return;
                 }
                 if instance > self.batch || self.consensus.is_none() {
-                    self.buffered.entry(instance).or_default().push((from, wire));
+                    self.buffered
+                        .entry(instance)
+                        .or_default()
+                        .push((from, wire));
                     // A peer started a batch we have not: join it even if we
                     // have nothing to propose.
                     if instance == self.batch {
@@ -379,7 +385,14 @@ impl<S: StateMachine> CtClient<S> {
         let id = MsgId::new(self.id, self.next_seq);
         self.next_seq += 1;
         for &s in &self.servers {
-            ctx.send(s, CtWire::Request(CtRequest { id, client: self.id, command: command.clone() }));
+            ctx.send(
+                s,
+                CtWire::Request(CtRequest {
+                    id,
+                    client: self.id,
+                    command: command.clone(),
+                }),
+            );
         }
         self.outstanding = Some(id);
         self.sent_at = ctx.now();
@@ -449,8 +462,9 @@ mod tests {
                 CounterMachine::default(),
             ));
         }
-        let workload: Vec<CounterCommand> =
-            (0..requests).map(|i| CounterCommand::Add(i as i64 + 1)).collect();
+        let workload: Vec<CounterCommand> = (0..requests)
+            .map(|i| CounterCommand::Add(i as i64 + 1))
+            .collect();
         let client = world.add_process(CtClient::<CounterMachine>::new(
             ProcessId(n),
             group.clone(),
@@ -469,7 +483,12 @@ mod tests {
         assert_eq!(c.completed().len(), 6);
         let orders: Vec<Vec<RequestId>> = group
             .iter()
-            .map(|&s| world.process_ref::<CtServer<CounterMachine>>(s).delivery_order().to_vec())
+            .map(|&s| {
+                world
+                    .process_ref::<CtServer<CounterMachine>>(s)
+                    .delivery_order()
+                    .to_vec()
+            })
             .collect();
         assert_eq!(orders[0], orders[1]);
         assert_eq!(orders[1], orders[2]);
@@ -494,7 +513,8 @@ mod tests {
         // cannot arrive before 4 one-way delays (request, estimate, propose,
         // ack+decide, reply collapse partially because the coordinator is also
         // a replica).
-        let mut world: World<Wire> = World::new(NetConfig::constant(SimDuration::from_millis(1)), 3);
+        let mut world: World<Wire> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 3);
         let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
         for &id in &group {
             world.add_process(CtServer::new(

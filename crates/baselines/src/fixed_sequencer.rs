@@ -98,7 +98,13 @@ pub struct SequencerServer<S: StateMachine> {
 
 impl<S: StateMachine> SequencerServer<S> {
     /// Creates a replica.
-    pub fn new(id: ProcessId, group: Vec<ProcessId>, fd: FdConfig, tick: SimDuration, sm: S) -> Self {
+    pub fn new(
+        id: ProcessId,
+        group: Vec<ProcessId>,
+        fd: FdConfig,
+        tick: SimDuration,
+        sm: S,
+    ) -> Self {
         SequencerServer {
             id,
             fd: HeartbeatFd::new(id, group.clone(), fd),
@@ -207,7 +213,13 @@ impl<S: StateMachine> SequencerServer<S> {
         }
         for &p in &self.group.clone() {
             if p != self.id {
-                ctx.send(p, SeqWire::Order { view: self.view, order: unordered.clone() });
+                ctx.send(
+                    p,
+                    SeqWire::Order {
+                        view: self.view,
+                        order: unordered.clone(),
+                    },
+                );
             }
         }
         for id in unordered.iter() {
@@ -215,7 +227,11 @@ impl<S: StateMachine> SequencerServer<S> {
         }
     }
 
-    fn handle_fd_events(&mut self, ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>, events: Vec<FdEvent>) {
+    fn handle_fd_events(
+        &mut self,
+        ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>,
+        events: Vec<FdEvent>,
+    ) {
         if events.iter().any(|e| matches!(e, FdEvent::Suspect(_))) {
             self.view += 1;
             // If the suspicion promoted us to sequencer, (re-)order whatever we
@@ -368,7 +384,11 @@ impl<S: StateMachine> SequencerClient<S> {
         for &s in &self.servers {
             ctx.send(
                 s,
-                SeqWire::Request(SeqRequest { id, client: self.id, command: command.clone() }),
+                SeqWire::Request(SeqRequest {
+                    id,
+                    client: self.id,
+                    command: command.clone(),
+                }),
             );
         }
         self.outstanding = Some(id);
@@ -392,7 +412,8 @@ impl<S: StateMachine> Process<SeqWire<S::Command, S::Response>> for SequencerCli
         // harness can detect divergence.
         if Some(reply.request) != self.outstanding {
             if let Some(done) = self.completed.iter_mut().find(|c| c.id == reply.request) {
-                done.all_replies.push((reply.from, reply.position, reply.response));
+                done.all_replies
+                    .push((reply.from, reply.position, reply.response));
             }
             return;
         }
@@ -446,7 +467,9 @@ mod tests {
                 CounterMachine::default(),
             ));
         }
-        let workload: Vec<CounterCommand> = (0..requests).map(|i| CounterCommand::Add(i as i64 + 1)).collect();
+        let workload: Vec<CounterCommand> = (0..requests)
+            .map(|i| CounterCommand::Add(i as i64 + 1))
+            .collect();
         let client = world.add_process(SequencerClient::<CounterMachine>::new(
             ProcessId(n),
             group.clone(),
@@ -465,7 +488,12 @@ mod tests {
         assert_eq!(c.completed().len(), 8);
         let orders: Vec<Vec<RequestId>> = group
             .iter()
-            .map(|&s| world.process_ref::<SequencerServer<CounterMachine>>(s).delivery_order().to_vec())
+            .map(|&s| {
+                world
+                    .process_ref::<SequencerServer<CounterMachine>>(s)
+                    .delivery_order()
+                    .to_vec()
+            })
             .collect();
         assert_eq!(orders[0], orders[1]);
         assert_eq!(orders[1], orders[2]);
@@ -480,7 +508,10 @@ mod tests {
         // LAN latency is 50–200µs per hop; request → order → reply is ≈ 2–3
         // hops from the client's point of view (the sequencer's own reply needs
         // only 2).
-        assert!(latency >= SimDuration::from_micros(100), "latency {latency}");
+        assert!(
+            latency >= SimDuration::from_micros(100),
+            "latency {latency}"
+        );
         assert!(latency <= SimDuration::from_millis(2), "latency {latency}");
     }
 

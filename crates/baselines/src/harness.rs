@@ -8,7 +8,7 @@ use oar_fd::FdConfig;
 use oar_simnet::{NetConfig, ProcessId, Samples, SimDuration, SimTime, World};
 
 use crate::ct_abcast::{CtClient, CtServer, CtWire};
-use crate::fixed_sequencer::{SequencerClient, SequencerServer, SeqWire};
+use crate::fixed_sequencer::{SeqWire, SequencerClient, SequencerServer};
 
 /// Shared deployment parameters for the baseline clusters.
 #[derive(Clone, Debug)]
@@ -84,7 +84,13 @@ impl<S: StateMachine> SequencerCluster<S> {
             World::new(config.net.clone(), config.seed);
         let group: Vec<ProcessId> = (0..config.num_servers).map(ProcessId).collect();
         for &id in &group {
-            world.add_process(SequencerServer::new(id, group.clone(), config.fd, config.tick, make_sm()));
+            world.add_process(SequencerServer::new(
+                id,
+                group.clone(),
+                config.fd,
+                config.tick,
+                make_sm(),
+            ));
         }
         let clients = (0..config.num_clients)
             .map(|c| {
@@ -96,7 +102,11 @@ impl<S: StateMachine> SequencerCluster<S> {
                 ))
             })
             .collect();
-        SequencerCluster { world, servers: group, clients }
+        SequencerCluster {
+            world,
+            servers: group,
+            clients,
+        }
     }
 
     /// Runs until all clients are done or `horizon` is reached; returns whether
@@ -149,7 +159,12 @@ impl<S: StateMachine> SequencerCluster<S> {
             .servers
             .iter()
             .filter(|&&s| !self.world.is_crashed(s))
-            .map(|&s| self.world.process_ref::<SequencerServer<S>>(s).delivery_order().to_vec())
+            .map(|&s| {
+                self.world
+                    .process_ref::<SequencerServer<S>>(s)
+                    .delivery_order()
+                    .to_vec()
+            })
             .collect();
         for i in 0..alive_orders.len() {
             for j in (i + 1)..alive_orders.len() {
@@ -186,7 +201,13 @@ impl<S: StateMachine> CtCluster<S> {
             World::new(config.net.clone(), config.seed);
         let group: Vec<ProcessId> = (0..config.num_servers).map(ProcessId).collect();
         for &id in &group {
-            world.add_process(CtServer::new(id, group.clone(), config.fd, config.tick, make_sm()));
+            world.add_process(CtServer::new(
+                id,
+                group.clone(),
+                config.fd,
+                config.tick,
+                make_sm(),
+            ));
         }
         let clients = (0..config.num_clients)
             .map(|c| {
@@ -198,7 +219,11 @@ impl<S: StateMachine> CtCluster<S> {
                 ))
             })
             .collect();
-        CtCluster { world, servers: group, clients }
+        CtCluster {
+            world,
+            servers: group,
+            clients,
+        }
     }
 
     /// Runs until all clients are done or `horizon` is reached; returns whether
@@ -238,7 +263,12 @@ impl<S: StateMachine> CtCluster<S> {
             .servers
             .iter()
             .filter(|&&s| !self.world.is_crashed(s))
-            .map(|&s| self.world.process_ref::<CtServer<S>>(s).delivery_order().to_vec())
+            .map(|&s| {
+                self.world
+                    .process_ref::<CtServer<S>>(s)
+                    .delivery_order()
+                    .to_vec()
+            })
             .collect();
         for i in 0..orders.len() {
             for j in (i + 1)..orders.len() {
@@ -285,7 +315,10 @@ mod tests {
 
     #[test]
     fn ct_latency_is_higher_than_sequencer_latency() {
-        let config = BaselineConfig { seed: 7, ..BaselineConfig::default() };
+        let config = BaselineConfig {
+            seed: 7,
+            ..BaselineConfig::default()
+        };
         let mut seq: SequencerCluster<CounterMachine> =
             SequencerCluster::build(&config, CounterMachine::default, |_| workload(20));
         assert!(seq.run_to_completion(SimTime::from_secs(20)));

@@ -28,5 +28,5 @@ pub mod fixed_sequencer;
 pub mod harness;
 
 pub use ct_abcast::{CtClient, CtServer, CtWire};
-pub use fixed_sequencer::{SequencerClient, SequencerServer, SeqWire};
+pub use fixed_sequencer::{SeqWire, SequencerClient, SequencerServer};
 pub use harness::{BaselineConfig, CtCluster, InconsistencyReport, SequencerCluster};

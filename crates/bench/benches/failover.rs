@@ -28,7 +28,9 @@ fn bench_failover(c: &mut Criterion) {
                         (0..30).map(|i| CounterCommand::Add(i + 1)).collect();
                     let mut cluster: Cluster<CounterMachine> =
                         Cluster::build(&config, CounterMachine::default, |_| workload.clone());
-                    cluster.world.schedule_crash(ProcessId(0), SimTime::from_millis(5));
+                    cluster
+                        .world
+                        .schedule_crash(ProcessId(0), SimTime::from_millis(5));
                     assert!(cluster.run_to_completion(SimTime::from_secs(300)));
                     cluster.check_replica_consistency().unwrap();
                     cluster.total_phase2_entries()

@@ -12,7 +12,10 @@ use oar_simnet::{NetConfig, SimTime};
 
 fn workload(client: usize, requests: usize) -> Vec<KvCommand> {
     (0..requests)
-        .map(|i| KvCommand::Put { key: format!("k{}", i % 8), value: format!("{client}-{i}") })
+        .map(|i| KvCommand::Put {
+            key: format!("k{}", i % 8),
+            value: format!("{client}-{i}"),
+        })
         .collect()
 }
 

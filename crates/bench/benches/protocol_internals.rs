@@ -1,12 +1,22 @@
 //! Micro-benchmarks of the protocol's pure building blocks: the sequence
 //! algebra and the `Cnsv-order` procedure. These bound the per-epoch CPU cost
 //! that the §5.3 remark worries about when `O_delivered` grows long.
+//!
+//! Every indexed operation is benchmarked next to the seed's naive O(n·m)
+//! implementation (kept in `oar_sequence::naive`), so one run shows the
+//! asymptotic gap directly. The naive variants are capped at 8192 elements —
+//! at 32768 a single naive `subtract` walks ~10⁹ element pairs, which is
+//! precisely the behaviour the indexed representation removes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use oar::cnsv_order::cnsv_order_outcome;
 use oar::{CnsvValue, RequestId};
-use oar_sequence::{dedup_append, Seq};
+use oar_sequence::{dedup_append, naive, Seq};
 use oar_simnet::ProcessId;
+
+/// Largest size at which the O(n·m) reference implementations are still worth
+/// timing.
+const NAIVE_CAP: usize = 8192;
 
 fn ids(range: std::ops::Range<u64>) -> Seq<RequestId> {
     range.map(|i| RequestId::new(ProcessId(99), i)).collect()
@@ -14,7 +24,8 @@ fn ids(range: std::ops::Range<u64>) -> Seq<RequestId> {
 
 fn bench_sequence_algebra(c: &mut Criterion) {
     let mut group = c.benchmark_group("sequence_algebra");
-    for &len in &[64usize, 512, 2048] {
+    group.sample_size(10);
+    for &len in &[64usize, 512, 2048, 8192, 32768] {
         let a = ids(0..len as u64);
         let b = ids((len as u64 / 2)..(len as u64 * 3 / 2));
         group.bench_with_input(BenchmarkId::new("subtract", len), &len, |bench, _| {
@@ -23,25 +34,77 @@ fn bench_sequence_algebra(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("dedup_append", len), &len, |bench, _| {
             bench.iter(|| dedup_append([a.clone(), b.clone()]))
         });
+        group.bench_with_input(BenchmarkId::new("intersection", len), &len, |bench, _| {
+            bench.iter(|| a.intersection(&b))
+        });
         group.bench_with_input(BenchmarkId::new("common_prefix", len), &len, |bench, _| {
             bench.iter(|| a.common_prefix(&b))
         });
+        group.bench_with_input(BenchmarkId::new("contains_miss", len), &len, |bench, _| {
+            let probe = RequestId::new(ProcessId(98), 0);
+            bench.iter(|| a.contains(&probe))
+        });
+
+        if len <= NAIVE_CAP {
+            let av = a.as_slice().to_vec();
+            let bv = b.as_slice().to_vec();
+            group.bench_with_input(BenchmarkId::new("subtract_naive", len), &len, |bench, _| {
+                bench.iter(|| naive::subtract(&av, &bv))
+            });
+            group.bench_with_input(
+                BenchmarkId::new("dedup_append_naive", len),
+                &len,
+                |bench, _| bench.iter(|| naive::dedup_append(&[av.clone(), bv.clone()])),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("intersection_naive", len),
+                &len,
+                |bench, _| bench.iter(|| naive::intersection(&av, &bv)),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("contains_miss_naive", len),
+                &len,
+                |bench, _| {
+                    let probe = RequestId::new(ProcessId(98), 0);
+                    bench.iter(|| naive::contains(&av, &probe))
+                },
+            );
+        }
     }
     group.finish();
 }
 
 fn bench_cnsv_order(c: &mut Criterion) {
     let mut group = c.benchmark_group("cnsv_order");
-    for &epoch_len in &[16usize, 128, 1024] {
+    group.sample_size(10);
+    for &epoch_len in &[16usize, 128, 1024, 8192, 32768] {
         // Three contributors: one saw everything, two lag behind with pending
         // tails — the common shape of a phase-2 epoch.
         let full = ids(0..epoch_len as u64);
         let short = ids(0..(epoch_len as u64 / 2));
         let pending = ids((epoch_len as u64 / 2)..epoch_len as u64);
         let decision = vec![
-            (ProcessId(0), CnsvValue { o_delivered: full.clone(), o_notdelivered: Seq::new() }),
-            (ProcessId(1), CnsvValue { o_delivered: short.clone(), o_notdelivered: pending.clone() }),
-            (ProcessId(2), CnsvValue { o_delivered: short.clone(), o_notdelivered: pending.clone() }),
+            (
+                ProcessId(0),
+                CnsvValue {
+                    o_delivered: full.clone(),
+                    o_notdelivered: Seq::new(),
+                },
+            ),
+            (
+                ProcessId(1),
+                CnsvValue {
+                    o_delivered: short.clone(),
+                    o_notdelivered: pending.clone(),
+                },
+            ),
+            (
+                ProcessId(2),
+                CnsvValue {
+                    o_delivered: short.clone(),
+                    o_notdelivered: pending.clone(),
+                },
+            ),
         ];
         group.bench_with_input(
             BenchmarkId::new("lagging_replica", epoch_len),

@@ -1,16 +1,21 @@
 //! T-THROUGHPUT bench: wall-clock cost of the closed-loop throughput workload
-//! as the number of concurrent clients grows (OAR only; the cross-protocol
-//! comparison is produced by `harness -- throughput`).
+//! as the number of concurrent clients grows, for the unbatched (`max_batch =
+//! 1`, the paper's Fig. 6 behaviour) and batched sequencer. The cross-protocol
+//! comparison is produced by `harness -- throughput`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use oar::cluster::{Cluster, ClusterConfig};
-use oar_apps::kv::{KvCommand, KvMachine};
-use oar_simnet::{NetConfig, SimTime};
+use oar::OarConfig;
+use oar_bench::experiments::build_throughput_cluster;
+use oar_simnet::SimTime;
 
-fn workload(client: usize, requests: usize) -> Vec<KvCommand> {
-    (0..requests)
-        .map(|i| KvCommand::Put { key: format!("k{}", i % 16), value: format!("{client}-{i}") })
-        .collect()
+const SEED: u64 = 11;
+
+/// Times only the protocol run; the consistency checks of the harness
+/// experiment are exercised by `cargo test`, not inside the measured loop.
+fn run_cluster(oar: OarConfig, clients: usize, requests_per_client: usize) -> usize {
+    let mut cluster = build_throughput_cluster(oar, 3, clients, requests_per_client, SEED);
+    assert!(cluster.run_to_completion(SimTime::from_secs(600)));
+    cluster.completed_requests().len()
 }
 
 fn bench_throughput(c: &mut Criterion) {
@@ -19,21 +24,20 @@ fn bench_throughput(c: &mut Criterion) {
     let requests_per_client = 25usize;
     for &clients in &[1usize, 2, 4, 8] {
         group.throughput(Throughput::Elements((clients * requests_per_client) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(clients), &clients, |b, &clients| {
-            b.iter(|| {
-                let config = ClusterConfig {
-                    num_servers: 3,
-                    num_clients: clients,
-                    net: NetConfig::lan(),
-                    seed: 11,
-                    ..ClusterConfig::default()
-                };
-                let mut cluster: Cluster<KvMachine> =
-                    Cluster::build(&config, KvMachine::new, |c| workload(c, requests_per_client));
-                assert!(cluster.run_to_completion(SimTime::from_secs(600)));
-                cluster.completed_requests().len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("unbatched", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| run_cluster(OarConfig::default(), clients, requests_per_client))
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched8", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| run_cluster(OarConfig::with_batching(8), clients, requests_per_client))
+            },
+        );
     }
     group.finish();
 }

@@ -15,13 +15,14 @@
 //! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
 //! ```
 
-use oar_bench::{figures, experiments};
+use oar_bench::json::ToJson;
+use oar_bench::{experiments, figures};
 
 const SEED: u64 = 20010614;
 
-fn print_json<T: serde::Serialize>(label: &str, rows: &[T]) {
+fn print_json<T: ToJson>(label: &str, rows: &[T]) {
     for row in rows {
-        println!("JSON {label} {}", serde_json::to_string(row).expect("serialisable row"));
+        println!("JSON {label} {}", row.to_json());
     }
 }
 
@@ -42,8 +43,13 @@ fn run_figures(which: Option<&str>) {
     for o in &outcomes {
         println!(
             "{:<10} {:>7} {:>9} {:>7} {:>8} {:>14} {:>11}",
-            o.id, o.servers, o.completed_requests, o.undeliveries, o.phase2_entries,
-            o.client_inconsistencies, o.consistent
+            o.id,
+            o.servers,
+            o.completed_requests,
+            o.undeliveries,
+            o.phase2_entries,
+            o.client_inconsistencies,
+            o.consistent
         );
     }
     print_json("figure", &outcomes);
@@ -59,8 +65,13 @@ fn run_latency() {
     for r in &rows {
         println!(
             "{:<16} {:>3} {:>6} {:>9.3} {:>9.3} {:>9.3} {:>9.3}",
-            r.protocol, r.servers, r.requests, r.latency_ms.mean, r.latency_ms.p50,
-            r.latency_ms.p95, r.latency_ms.p99
+            r.protocol,
+            r.servers,
+            r.requests,
+            r.latency_ms.mean,
+            r.latency_ms.p50,
+            r.latency_ms.p95,
+            r.latency_ms.p99
         );
     }
     print_json("latency", &rows);
@@ -92,8 +103,14 @@ fn run_undo() {
     for r in &rows {
         println!(
             "{:<26} {:>3} {:>6} {:>8} {:>8} {:>10.4} {:>8} {:>11}",
-            r.scenario, r.servers, r.requests, r.opt_deliveries, r.opt_undeliveries,
-            r.undo_rate, r.phase2_entries, r.consistent
+            r.scenario,
+            r.servers,
+            r.requests,
+            r.opt_deliveries,
+            r.opt_undeliveries,
+            r.undo_rate,
+            r.phase2_entries,
+            r.consistent
         );
     }
     print_json("undo", &rows);

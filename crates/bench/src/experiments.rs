@@ -13,15 +13,19 @@ use oar::OarConfig;
 use oar_apps::kv::{KvCommand, KvMachine};
 use oar_baselines::{BaselineConfig, CtCluster, SequencerCluster};
 use oar_simnet::{NetConfig, SimDuration, SimTime, Summary};
-use serde::Serialize;
 
 fn kv_workload(client: usize, requests: usize) -> Vec<KvCommand> {
     (0..requests)
         .map(|i| {
             if i % 4 == 3 {
-                KvCommand::Get { key: format!("k{}", i % 16) }
+                KvCommand::Get {
+                    key: format!("k{}", i % 16),
+                }
             } else {
-                KvCommand::Put { key: format!("k{}", i % 16), value: format!("c{client}-v{i}") }
+                KvCommand::Put {
+                    key: format!("k{}", i % 16),
+                    value: format!("c{client}-v{i}"),
+                }
             }
         })
         .collect()
@@ -34,7 +38,7 @@ fn counter_workload(requests: usize) -> Vec<oar::state_machine::CounterCommand> 
 }
 
 /// One row of the latency experiment (T-LAT).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct LatencyRow {
     /// Protocol name.
     pub protocol: String,
@@ -67,11 +71,17 @@ pub fn latency_experiment(
             seed,
             ..ClusterConfig::default()
         };
-        let mut oar: Cluster<KvMachine> =
-            Cluster::build(&config, KvMachine::new, |c| kv_workload(c, requests_per_client));
-        assert!(oar.run_to_completion(SimTime::from_secs(600)), "OAR run did not finish (n={n})");
-        oar.check_replica_consistency().expect("OAR replica consistency");
-        oar.check_external_consistency().expect("OAR external consistency");
+        let mut oar: Cluster<KvMachine> = Cluster::build(&config, KvMachine::new, |c| {
+            kv_workload(c, requests_per_client)
+        });
+        assert!(
+            oar.run_to_completion(SimTime::from_secs(600)),
+            "OAR run did not finish (n={n})"
+        );
+        oar.check_replica_consistency()
+            .expect("OAR replica consistency");
+        oar.check_external_consistency()
+            .expect("OAR external consistency");
         rows.push(LatencyRow {
             protocol: "oar".into(),
             servers: n,
@@ -88,8 +98,13 @@ pub fn latency_experiment(
             ..BaselineConfig::default()
         };
         let mut seq: SequencerCluster<KvMachine> =
-            SequencerCluster::build(&base, KvMachine::new, |c| kv_workload(c, requests_per_client));
-        assert!(seq.run_to_completion(SimTime::from_secs(600)), "sequencer run did not finish");
+            SequencerCluster::build(&base, KvMachine::new, |c| {
+                kv_workload(c, requests_per_client)
+            });
+        assert!(
+            seq.run_to_completion(SimTime::from_secs(600)),
+            "sequencer run did not finish"
+        );
         rows.push(LatencyRow {
             protocol: "fixed-sequencer".into(),
             servers: n,
@@ -98,9 +113,13 @@ pub fn latency_experiment(
         });
 
         // Consensus-based atomic broadcast
-        let mut ct: CtCluster<KvMachine> =
-            CtCluster::build(&base, KvMachine::new, |c| kv_workload(c, requests_per_client));
-        assert!(ct.run_to_completion(SimTime::from_secs(600)), "CT run did not finish");
+        let mut ct: CtCluster<KvMachine> = CtCluster::build(&base, KvMachine::new, |c| {
+            kv_workload(c, requests_per_client)
+        });
+        assert!(
+            ct.run_to_completion(SimTime::from_secs(600)),
+            "CT run did not finish"
+        );
         ct.check_total_order().expect("CT total order");
         rows.push(LatencyRow {
             protocol: "ct-abcast".into(),
@@ -113,7 +132,7 @@ pub fn latency_experiment(
 }
 
 /// One row of the fail-over experiment (T-FAILOVER).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FailoverRow {
     /// Number of replicas.
     pub servers: usize,
@@ -154,7 +173,9 @@ pub fn failover_experiment(
             let crash_at = SimTime::from_millis(5);
             let mut cluster: Cluster<CounterMachine> =
                 Cluster::build(&config, CounterMachine::default, |_| counter_workload(40));
-            cluster.world.schedule_crash(oar_simnet::ProcessId(0), crash_at);
+            cluster
+                .world
+                .schedule_crash(oar_simnet::ProcessId(0), crash_at);
             let done = cluster.run_to_completion(SimTime::from_secs(600));
             let consistent = done
                 && cluster.check_replica_consistency().is_ok()
@@ -168,7 +189,10 @@ pub fn failover_experiment(
                 .max()
                 .unwrap_or(SimTime::ZERO);
             let mut baseline: Cluster<CounterMachine> = Cluster::build(
-                &ClusterConfig { oar: config.oar, ..config.clone() },
+                &ClusterConfig {
+                    oar: config.oar,
+                    ..config.clone()
+                },
                 CounterMachine::default,
                 |_| counter_workload(40),
             );
@@ -194,7 +218,7 @@ pub fn failover_experiment(
 }
 
 /// One row of the Opt-undeliver frequency experiment (T-UNDO).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct UndoRow {
     /// Number of replicas.
     pub servers: usize,
@@ -238,18 +262,23 @@ pub fn undo_experiment(seed: u64) -> Vec<UndoRow> {
 
     // Scenario C: sequencer crash + minority partition containing the only
     // server that saw the last ordering (the Figure-4 conditions).
-    rows.push(run_undo_scenario("crash+minority-partition", 5, seed, |cluster| {
-        let s = cluster.servers.clone();
-        let c = cluster.clients.clone();
-        let mut minority = vec![s[0], s[1]];
-        minority.extend(c.iter().copied());
-        let majority = vec![s[2], s[3], s[4]];
-        cluster
-            .world
-            .schedule_partition(SimTime::from_millis(3), vec![minority, majority]);
-        cluster.world.schedule_crash(s[0], SimTime::from_millis(8));
-        cluster.world.schedule_heal(SimTime::from_millis(150));
-    }));
+    rows.push(run_undo_scenario(
+        "crash+minority-partition",
+        5,
+        seed,
+        |cluster| {
+            let s = cluster.servers.clone();
+            let c = cluster.clients.clone();
+            let mut minority = vec![s[0], s[1]];
+            minority.extend(c.iter().copied());
+            let majority = vec![s[2], s[3], s[4]];
+            cluster
+                .world
+                .schedule_partition(SimTime::from_millis(3), vec![minority, majority]);
+            cluster.world.schedule_crash(s[0], SimTime::from_millis(8));
+            cluster.world.schedule_heal(SimTime::from_millis(150));
+        },
+    ));
 
     rows
 }
@@ -279,7 +308,13 @@ fn run_undo_scenario(
     let opt: u64 = cluster
         .servers
         .iter()
-        .map(|&s| cluster.world.process_ref::<oar::OarServer<CounterMachine>>(s).stats().opt_delivered)
+        .map(|&s| {
+            cluster
+                .world
+                .process_ref::<oar::OarServer<CounterMachine>>(s)
+                .stats()
+                .opt_delivered
+        })
         .sum();
     let undone = cluster.total_undeliveries();
     UndoRow {
@@ -288,14 +323,18 @@ fn run_undo_scenario(
         requests: cluster.completed_requests().len(),
         opt_deliveries: opt,
         opt_undeliveries: undone,
-        undo_rate: if opt == 0 { 0.0 } else { undone as f64 / opt as f64 },
+        undo_rate: if opt == 0 {
+            0.0
+        } else {
+            undone as f64 / opt as f64
+        },
         phase2_entries: cluster.total_phase2_entries(),
         consistent,
     }
 }
 
 /// One row of the throughput experiment (T-THROUGHPUT).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ThroughputRow {
     /// Protocol name.
     pub protocol: String,
@@ -309,10 +348,83 @@ pub struct ThroughputRow {
     pub requests_per_second: f64,
     /// Mean latency (ms).
     pub mean_latency_ms: f64,
+    /// `OrderMsg` broadcasts sent by sequencers during the run (OAR rows
+    /// only; 0 for the baselines, which have no comparable counter). With
+    /// `max_batch > 1` this drops well below `requests`.
+    pub order_messages_sent: u64,
+}
+
+/// Sequencer batch size used by the `oar-batched` throughput variant.
+pub const BATCHED_MAX_BATCH: usize = 8;
+
+/// Builds the closed-loop KV deployment used by the throughput experiment.
+/// Also reused by the `throughput` criterion bench, so the measured workload
+/// cannot drift from the experiment (the bench times only the run, not the
+/// consistency checks).
+pub fn build_throughput_cluster(
+    oar_config: OarConfig,
+    servers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+) -> Cluster<KvMachine> {
+    let config = ClusterConfig {
+        num_servers: servers,
+        num_clients: clients,
+        net: NetConfig::lan(),
+        oar: oar_config,
+        seed,
+        ..ClusterConfig::default()
+    };
+    Cluster::build(&config, KvMachine::new, |c| {
+        kv_workload(c, requests_per_client)
+    })
+}
+
+/// Runs one OAR closed-loop throughput deployment: builds the cluster, drives
+/// it to completion, checks the consistency propositions and returns the
+/// measured row.
+pub fn run_oar_throughput(
+    protocol: &str,
+    oar_config: OarConfig,
+    servers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+) -> ThroughputRow {
+    let mut cluster =
+        build_throughput_cluster(oar_config, servers, clients, requests_per_client, seed);
+    assert!(
+        cluster.run_to_completion(SimTime::from_secs(600)),
+        "{protocol} run did not finish"
+    );
+    cluster
+        .check_replica_consistency()
+        .expect("replica consistency");
+    cluster
+        .check_external_consistency()
+        .expect("external consistency");
+    let end = cluster
+        .completed_requests()
+        .iter()
+        .map(|r| r.completed_at)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    let mut row = throughput_row(
+        protocol,
+        servers,
+        clients,
+        cluster.latencies().len(),
+        end,
+        cluster.latencies().mean(),
+    );
+    row.order_messages_sent = cluster.total_order_messages();
+    row
 }
 
 /// T-THROUGHPUT: completed requests per simulated second under increasing
-/// closed-loop client counts, OAR vs the baselines.
+/// closed-loop client counts, OAR (unbatched and batched sequencer) vs the
+/// baselines.
 pub fn throughput_experiment(
     servers: usize,
     client_counts: &[usize],
@@ -321,24 +433,26 @@ pub fn throughput_experiment(
 ) -> Vec<ThroughputRow> {
     let mut rows = Vec::new();
     for &clients in client_counts {
-        // OAR
-        let config = ClusterConfig {
-            num_servers: servers,
-            num_clients: clients,
-            net: NetConfig::lan(),
+        // OAR, unbatched (the paper's one-OrderMsg-per-request sequencer).
+        rows.push(run_oar_throughput(
+            "oar",
+            OarConfig::default(),
+            servers,
+            clients,
+            requests_per_client,
             seed,
-            ..ClusterConfig::default()
-        };
-        let mut oar: Cluster<KvMachine> =
-            Cluster::build(&config, KvMachine::new, |c| kv_workload(c, requests_per_client));
-        assert!(oar.run_to_completion(SimTime::from_secs(600)));
-        let oar_end = oar
-            .completed_requests()
-            .iter()
-            .map(|r| r.completed_at)
-            .max()
-            .unwrap_or(SimTime::ZERO);
-        rows.push(throughput_row("oar", servers, clients, oar.latencies().len(), oar_end, oar.latencies().mean()));
+        ));
+
+        // OAR with sequencer batching: up to BATCHED_MAX_BATCH requests per
+        // ordering broadcast, amortising the reliable-multicast cost.
+        rows.push(run_oar_throughput(
+            "oar-batched",
+            OarConfig::with_batching(BATCHED_MAX_BATCH),
+            servers,
+            clients,
+            requests_per_client,
+            seed,
+        ));
 
         let base = BaselineConfig {
             num_servers: servers,
@@ -348,7 +462,9 @@ pub fn throughput_experiment(
             ..BaselineConfig::default()
         };
         let mut seq: SequencerCluster<KvMachine> =
-            SequencerCluster::build(&base, KvMachine::new, |c| kv_workload(c, requests_per_client));
+            SequencerCluster::build(&base, KvMachine::new, |c| {
+                kv_workload(c, requests_per_client)
+            });
         assert!(seq.run_to_completion(SimTime::from_secs(600)));
         let seq_end = seq
             .clients
@@ -371,8 +487,9 @@ pub fn throughput_experiment(
             seq.latencies().mean(),
         ));
 
-        let mut ct: CtCluster<KvMachine> =
-            CtCluster::build(&base, KvMachine::new, |c| kv_workload(c, requests_per_client));
+        let mut ct: CtCluster<KvMachine> = CtCluster::build(&base, KvMachine::new, |c| {
+            kv_workload(c, requests_per_client)
+        });
         assert!(ct.run_to_completion(SimTime::from_secs(600)));
         let ct_end = ct
             .clients
@@ -412,13 +529,18 @@ fn throughput_row(
         servers,
         clients,
         requests,
-        requests_per_second: if seconds > 0.0 { requests as f64 / seconds } else { 0.0 },
+        requests_per_second: if seconds > 0.0 {
+            requests as f64 / seconds
+        } else {
+            0.0
+        },
         mean_latency_ms: mean_latency.unwrap_or(0.0),
+        order_messages_sent: 0,
     }
 }
 
 /// One row of the §5.3 epoch-cut ablation (T-GC).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct GcRow {
     /// The epoch-cut threshold (`None` = never cut, the paper's base
     /// algorithm).
@@ -441,7 +563,10 @@ pub struct GcRow {
 pub fn gc_experiment(cut_values: &[Option<u64>], requests: usize, seed: u64) -> Vec<GcRow> {
     let mut rows = Vec::new();
     for &cut_after in cut_values {
-        let oar = OarConfig { epoch_cut_after: cut_after, ..OarConfig::default() };
+        let oar = OarConfig {
+            epoch_cut_after: cut_after,
+            ..OarConfig::default()
+        };
         let config = ClusterConfig {
             num_servers: 3,
             num_clients: 2,
@@ -459,7 +584,13 @@ pub fn gc_experiment(cut_values: &[Option<u64>], requests: usize, seed: u64) -> 
         let epochs: u64 = cluster
             .servers
             .iter()
-            .map(|&s| cluster.world.process_ref::<oar::OarServer<KvMachine>>(s).stats().epochs_completed)
+            .map(|&s| {
+                cluster
+                    .world
+                    .process_ref::<oar::OarServer<KvMachine>>(s)
+                    .stats()
+                    .epochs_completed
+            })
             .sum();
         let lat = cluster.latencies();
         rows.push(GcRow {
@@ -492,8 +623,14 @@ mod tests {
         let ct = mean("ct-abcast");
         // OAR tracks the sequencer baseline within a factor of two and beats
         // the consensus-based broadcast.
-        assert!(oar < ct, "OAR ({oar:.3} ms) should beat CT broadcast ({ct:.3} ms)");
-        assert!(oar < seq * 2.0, "OAR ({oar:.3} ms) should track the sequencer ({seq:.3} ms)");
+        assert!(
+            oar < ct,
+            "OAR ({oar:.3} ms) should beat CT broadcast ({ct:.3} ms)"
+        );
+        assert!(
+            oar < seq * 2.0,
+            "OAR ({oar:.3} ms) should track the sequencer ({seq:.3} ms)"
+        );
     }
 
     #[test]
@@ -502,12 +639,44 @@ mod tests {
         let failure_free = rows.iter().find(|r| r.scenario == "failure-free").unwrap();
         assert_eq!(failure_free.opt_undeliveries, 0);
         assert!(failure_free.consistent);
-        let crash = rows.iter().find(|r| r.scenario == "sequencer-crash").unwrap();
-        assert_eq!(crash.opt_undeliveries, 0, "a plain crash never forces undeliveries");
+        let crash = rows
+            .iter()
+            .find(|r| r.scenario == "sequencer-crash")
+            .unwrap();
+        assert_eq!(
+            crash.opt_undeliveries, 0,
+            "a plain crash never forces undeliveries"
+        );
         assert!(crash.consistent);
-        let partition = rows.iter().find(|r| r.scenario == "crash+minority-partition").unwrap();
+        let partition = rows
+            .iter()
+            .find(|r| r.scenario == "crash+minority-partition")
+            .unwrap();
         assert!(partition.consistent);
-        assert!(partition.undo_rate < 0.5, "undo stays rare even under the adversarial scenario");
+        assert!(
+            partition.undo_rate < 0.5,
+            "undo stays rare even under the adversarial scenario"
+        );
+    }
+
+    #[test]
+    fn batched_sequencer_amortises_order_messages() {
+        let rows = throughput_experiment(3, &[4], 25, 7);
+        let row = |protocol: &str| rows.iter().find(|r| r.protocol == protocol).expect("row");
+        let plain = row("oar");
+        let batched = row("oar-batched");
+        // Unbatched: one OrderMsg per request (modulo epoch boundaries).
+        assert!(plain.order_messages_sent >= plain.requests as u64 * 9 / 10);
+        // Batched: the ordering broadcast is amortised across requests.
+        assert!(
+            batched.order_messages_sent < batched.requests as u64,
+            "batching should send fewer OrderMsgs ({}) than requests ({})",
+            batched.order_messages_sent,
+            batched.requests
+        );
+        // Both variants complete the full workload.
+        assert_eq!(plain.requests, 100);
+        assert_eq!(batched.requests, 100);
     }
 
     #[test]

@@ -14,10 +14,9 @@ use oar_apps::stack::{StackCommand, StackMachine, StackResponse};
 use oar_baselines::{BaselineConfig, SequencerCluster};
 use oar_fd::FdConfig;
 use oar_simnet::{LatencyModel, LinkConfig, NetConfig, SimDuration, SimTime};
-use serde::Serialize;
 
 /// The measured facts of one figure scenario.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct FigureOutcome {
     /// Figure identifier ("fig1a", "fig2", …).
     pub id: String,
@@ -267,7 +266,9 @@ pub fn figure_4(seed: u64) -> FigureOutcome {
     cluster
         .world
         .schedule_partition(SimTime::from_millis(3), vec![minority, majority]);
-    cluster.world.schedule_crash(servers[0], SimTime::from_millis(8));
+    cluster
+        .world
+        .schedule_crash(servers[0], SimTime::from_millis(8));
     cluster.world.schedule_heal(SimTime::from_millis(120));
     let done = cluster.run_to_completion(SimTime::from_secs(30));
     // Let the reconciliation finish (p1's Opt-undeliveries and the epoch close

@@ -1,0 +1,180 @@
+//! Hand-rolled JSON emission for the experiment rows.
+//!
+//! The build environment has no crates.io access, so instead of `serde_json`
+//! the harness serialises its (small, flat) row types through the [`ToJson`]
+//! trait below. Output is plain JSON objects, one per row, identical in shape
+//! to what a serde derive would produce.
+
+use oar_simnet::Summary;
+
+use crate::experiments::{FailoverRow, GcRow, LatencyRow, ThroughputRow, UndoRow};
+use crate::figures::FigureOutcome;
+
+/// Types that can render themselves as a JSON value.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> String;
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ToJson for Summary {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"mean\":{},\"min\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"max\":{},\"std_dev\":{}}}",
+            self.count,
+            f(self.mean),
+            f(self.min),
+            f(self.p50),
+            f(self.p95),
+            f(self.p99),
+            f(self.max),
+            f(self.std_dev),
+        )
+    }
+}
+
+impl ToJson for LatencyRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol\":\"{}\",\"servers\":{},\"requests\":{},\"latency_ms\":{}}}",
+            escape(&self.protocol),
+            self.servers,
+            self.requests,
+            self.latency_ms.to_json(),
+        )
+    }
+}
+
+impl ToJson for FailoverRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"servers\":{},\"fd_timeout_ms\":{},\"recovery_ms\":{},\"undeliveries\":{},\"consistent\":{}}}",
+            self.servers,
+            f(self.fd_timeout_ms),
+            f(self.recovery_ms),
+            self.undeliveries,
+            self.consistent,
+        )
+    }
+}
+
+impl ToJson for UndoRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"servers\":{},\"scenario\":\"{}\",\"requests\":{},\"opt_deliveries\":{},\"opt_undeliveries\":{},\"undo_rate\":{},\"phase2_entries\":{},\"consistent\":{}}}",
+            self.servers,
+            escape(&self.scenario),
+            self.requests,
+            self.opt_deliveries,
+            self.opt_undeliveries,
+            f(self.undo_rate),
+            self.phase2_entries,
+            self.consistent,
+        )
+    }
+}
+
+impl ToJson for ThroughputRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"protocol\":\"{}\",\"servers\":{},\"clients\":{},\"requests\":{},\"requests_per_second\":{},\"mean_latency_ms\":{},\"order_messages_sent\":{}}}",
+            escape(&self.protocol),
+            self.servers,
+            self.clients,
+            self.requests,
+            f(self.requests_per_second),
+            f(self.mean_latency_ms),
+            self.order_messages_sent,
+        )
+    }
+}
+
+impl ToJson for GcRow {
+    fn to_json(&self) -> String {
+        let cut = self.cut_after.map_or("null".to_string(), |c| c.to_string());
+        format!(
+            "{{\"cut_after\":{},\"requests\":{},\"epochs_per_server\":{},\"mean_latency_ms\":{},\"p99_latency_ms\":{},\"consistent\":{}}}",
+            cut,
+            self.requests,
+            f(self.epochs_per_server),
+            f(self.mean_latency_ms),
+            f(self.p99_latency_ms),
+            self.consistent,
+        )
+    }
+}
+
+impl ToJson for FigureOutcome {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"servers\":{},\"completed_requests\":{},\"undeliveries\":{},\"phase2_entries\":{},\"client_inconsistencies\":{},\"consistent\":{},\"timeline\":\"{}\"}}",
+            escape(&self.id),
+            self.servers,
+            self.completed_requests,
+            self.undeliveries,
+            self.phase2_entries,
+            self.client_inconsistencies,
+            self.consistent,
+            escape(&self.timeline),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn summary_round_trips_shape() {
+        let s = Summary {
+            count: 2,
+            mean: 1.5,
+            min: 1.0,
+            p50: 1.5,
+            p95: 2.0,
+            p99: 2.0,
+            max: 2.0,
+            std_dev: 0.5,
+        };
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"mean\":1.5"));
+        assert!(j.contains("\"count\":2"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        assert_eq!(f(f64::NAN), "null");
+        assert_eq!(f(f64::INFINITY), "null");
+    }
+}

@@ -18,9 +18,10 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod json;
 
 pub use experiments::{
-    failover_experiment, gc_experiment, latency_experiment, throughput_experiment,
-    undo_experiment, FailoverRow, GcRow, LatencyRow, ThroughputRow, UndoRow,
+    failover_experiment, gc_experiment, latency_experiment, throughput_experiment, undo_experiment,
+    FailoverRow, GcRow, LatencyRow, ThroughputRow, UndoRow,
 };
 pub use figures::{all_figures, FigureOutcome};

@@ -8,10 +8,9 @@
 //! independently unit-testable, without a simulator.
 
 use oar_simnet::ProcessId;
-use serde::{Deserialize, Serialize};
 
 /// A message a component wants the host to send.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Outgoing<W> {
     /// Destination process.
     pub to: ProcessId,
@@ -36,19 +35,14 @@ impl<W> Outgoing<W> {
 }
 
 /// Maps a whole batch of outgoing messages into the host's envelope type.
-pub fn map_outgoing<W, U>(
-    batch: Vec<Outgoing<W>>,
-    mut f: impl FnMut(W) -> U,
-) -> Vec<Outgoing<U>> {
+pub fn map_outgoing<W, U>(batch: Vec<Outgoing<W>>, mut f: impl FnMut(W) -> U) -> Vec<Outgoing<U>> {
     batch.into_iter().map(|o| o.map(&mut f)).collect()
 }
 
 /// A globally unique message identifier: the originating process plus a local
 /// sequence number. Used for duplicate suppression by the reliable multicast
 /// and as the request identifier of the OAR protocol.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MsgId {
     /// The process that created the message.
     pub origin: ProcessId,
@@ -89,7 +83,10 @@ mod tests {
 
     #[test]
     fn map_outgoing_batch() {
-        let batch = vec![Outgoing::new(ProcessId(0), 1u32), Outgoing::new(ProcessId(1), 2u32)];
+        let batch = vec![
+            Outgoing::new(ProcessId(0), 1u32),
+            Outgoing::new(ProcessId(1), 2u32),
+        ];
         let mapped = map_outgoing(batch, |v| v * 10);
         assert_eq!(mapped[0].wire, 10);
         assert_eq!(mapped[1].wire, 20);

@@ -9,12 +9,11 @@
 use std::collections::{BTreeMap, HashMap};
 
 use oar_simnet::ProcessId;
-use serde::{Deserialize, Serialize};
 
 use crate::component::Outgoing;
 
 /// Wire messages of the reliable FIFO channel layer.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FifoWire<M> {
     /// A data message with its per-link sequence number.
     Data {
@@ -70,7 +69,10 @@ impl<M: Clone> FifoLink<M> {
         let seq = self.send_next.entry(to).or_insert(0);
         let this_seq = *seq;
         *seq += 1;
-        self.unacked.entry(to).or_default().insert(this_seq, msg.clone());
+        self.unacked
+            .entry(to)
+            .or_default()
+            .insert(this_seq, msg.clone());
         Outgoing::new(to, FifoWire::Data { seq: this_seq, msg })
     }
 
@@ -118,7 +120,13 @@ impl<M: Clone> FifoLink<M> {
         for to in peers {
             if let Some(pending) = self.unacked.get(&to) {
                 for (&seq, msg) in pending {
-                    out.push(Outgoing::new(to, FifoWire::Data { seq, msg: msg.clone() }));
+                    out.push(Outgoing::new(
+                        to,
+                        FifoWire::Data {
+                            seq,
+                            msg: msg.clone(),
+                        },
+                    ));
                 }
             }
         }

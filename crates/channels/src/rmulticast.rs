@@ -24,13 +24,12 @@
 use std::collections::HashSet;
 
 use oar_simnet::ProcessId;
-use serde::{Deserialize, Serialize};
 
 use crate::component::{MsgId, Outgoing};
 
 /// Wire format of the reliable multicast: the payload plus the identifier used
 /// for duplicate suppression.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CastWire<M> {
     /// Unique identifier of this multicast (origin process + local counter).
     pub id: MsgId,
@@ -71,9 +70,11 @@ impl<M: Clone> ReliableCaster<M> {
     }
 
     /// `R-multicast(m, Π)` for a sender that is *not* a member of `Π` (or that
-    /// does not want to deliver its own message): returns the wire messages to
-    /// send to every group member.
-    pub fn multicast(&mut self, payload: M) -> (MsgId, Vec<Outgoing<CastWire<M>>>) {
+    /// does not want to deliver its own message), without cloning the payload
+    /// per destination: returns the wire message **once** plus the list of
+    /// destinations. Pair with `Context::send_all`, which shares a single
+    /// allocation of the wire across all recipients.
+    pub fn multicast_shared(&mut self, payload: M) -> (MsgId, CastWire<M>, Vec<ProcessId>) {
         let id = MsgId::new(self.self_id, self.next_seq);
         self.next_seq += 1;
         let wire = CastWire {
@@ -81,57 +82,104 @@ impl<M: Clone> ReliableCaster<M> {
             origin: self.self_id,
             payload,
         };
-        let out = self
+        let targets = self
             .group
             .iter()
-            .filter(|&&p| p != self.self_id)
-            .map(|&p| Outgoing::new(p, wire.clone()))
+            .copied()
+            .filter(|&p| p != self.self_id)
+            .collect();
+        (id, wire, targets)
+    }
+
+    /// `R-multicast(m, Π)` returning one pre-cloned wire message per group
+    /// member. Prefer [`ReliableCaster::multicast_shared`] on hot paths.
+    pub fn multicast(&mut self, payload: M) -> (MsgId, Vec<Outgoing<CastWire<M>>>) {
+        let (id, wire, targets) = self.multicast_shared(payload);
+        let out = targets
+            .into_iter()
+            .map(|p| Outgoing::new(p, wire.clone()))
             .collect();
         (id, out)
     }
 
-    /// `R-broadcast(m)` for a sender that *is* a member of `Π`: returns the
-    /// wire messages for the other members plus the local delivery of the
-    /// sender's own message.
-    pub fn broadcast(&mut self, payload: M) -> (Vec<Outgoing<CastWire<M>>>, Delivery<M>) {
-        let (id, out) = self.multicast(payload.clone());
+    /// `R-broadcast(m)` for a sender that *is* a member of `Π`, without
+    /// cloning the payload per destination: returns the wire message once,
+    /// the destinations, and the local delivery of the sender's own message.
+    pub fn broadcast_shared(&mut self, payload: M) -> (CastWire<M>, Vec<ProcessId>, Delivery<M>) {
+        let (id, wire, targets) = self.multicast_shared(payload);
         // Mark as seen so that relayed copies are not re-delivered.
         self.seen.insert(id);
-        (
-            out,
-            Delivery {
-                id,
-                origin: self.self_id,
-                payload,
-            },
-        )
+        let local = Delivery {
+            id,
+            origin: self.self_id,
+            payload: wire.payload.clone(),
+        };
+        (wire, targets, local)
     }
 
-    /// Handles an incoming multicast wire message.
+    /// `R-broadcast(m)` returning one pre-cloned wire message per other group
+    /// member plus the local delivery. Prefer
+    /// [`ReliableCaster::broadcast_shared`] on hot paths.
+    pub fn broadcast(&mut self, payload: M) -> (Vec<Outgoing<CastWire<M>>>, Delivery<M>) {
+        let (wire, targets, local) = self.broadcast_shared(payload);
+        let out = targets
+            .into_iter()
+            .map(|p| Outgoing::new(p, wire.clone()))
+            .collect();
+        (out, local)
+    }
+
+    /// Handles an incoming multicast wire message, without cloning the relay
+    /// payload per destination.
     ///
-    /// Returns the delivery (if this is the first copy received) and the relay
-    /// messages to send to the rest of the group.
+    /// Returns the delivery (if this is the first copy received) and — when a
+    /// relay is required — the wire to forward plus its destinations (every
+    /// member except this process and the origin).
+    pub fn on_wire_shared(
+        &mut self,
+        wire: CastWire<M>,
+    ) -> (Option<Delivery<M>>, Option<SharedRelay<M>>) {
+        if !self.seen.insert(wire.id) {
+            return (None, None);
+        }
+        let targets: Vec<ProcessId> = self
+            .group
+            .iter()
+            .copied()
+            .filter(|&p| p != self.self_id && p != wire.origin)
+            .collect();
+        if targets.is_empty() {
+            let delivery = Delivery {
+                id: wire.id,
+                origin: wire.origin,
+                payload: wire.payload,
+            };
+            return (Some(delivery), None);
+        }
+        let delivery = Delivery {
+            id: wire.id,
+            origin: wire.origin,
+            payload: wire.payload.clone(),
+        };
+        (Some(delivery), Some((wire, targets)))
+    }
+
+    /// Handles an incoming multicast wire message, returning one pre-cloned
+    /// relay per destination. Prefer [`ReliableCaster::on_wire_shared`] on hot
+    /// paths.
     pub fn on_wire(
         &mut self,
         wire: CastWire<M>,
     ) -> (Option<Delivery<M>>, Vec<Outgoing<CastWire<M>>>) {
-        if !self.seen.insert(wire.id) {
-            return (None, Vec::new());
-        }
-        let relays = self
-            .group
-            .iter()
-            .filter(|&&p| p != self.self_id && p != wire.origin)
-            .map(|&p| Outgoing::new(p, wire.clone()))
-            .collect();
-        (
-            Some(Delivery {
-                id: wire.id,
-                origin: wire.origin,
-                payload: wire.payload,
-            }),
-            relays,
-        )
+        let (delivery, relay) = self.on_wire_shared(wire);
+        let relays = match relay {
+            None => Vec::new(),
+            Some((wire, targets)) => targets
+                .into_iter()
+                .map(|p| Outgoing::new(p, wire.clone()))
+                .collect(),
+        };
+        (delivery, relays)
     }
 
     /// Number of distinct multicasts seen so far (delivered or self-sent).
@@ -139,6 +187,10 @@ impl<M: Clone> ReliableCaster<M> {
         self.seen.len()
     }
 }
+
+/// A relay produced by [`ReliableCaster::on_wire_shared`]: the wire message
+/// to forward (once) and the destinations to forward it to.
+pub type SharedRelay<M> = (CastWire<M>, Vec<ProcessId>);
 
 /// A message R-delivered to the upper layer.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -40,7 +40,6 @@ use std::fmt;
 
 use oar_channels::Outgoing;
 use oar_simnet::ProcessId;
-use serde::{Deserialize, Serialize};
 
 /// A consensus decision: the aggregate of the initial values of the processes
 /// the deciding coordinator collected (the paper's `Dk`).
@@ -50,7 +49,7 @@ pub type Decision<V> = Vec<(ProcessId, V)>;
 /// Chandra–Toueg: `ts = 0` means the estimate is still the process's initial
 /// value; `ts = r > 0` means the estimate was locked in round `r` and is an
 /// aggregate proposal.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Estimate<V> {
     /// Round in which the estimate was last updated (0 = initial).
     pub ts: u64,
@@ -59,7 +58,7 @@ pub struct Estimate<V> {
 }
 
 /// The two shapes an estimate can take.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum EstimateValue<V> {
     /// The process's own initial value (never yet locked).
     Initial(V),
@@ -68,7 +67,7 @@ pub enum EstimateValue<V> {
 }
 
 /// Wire messages of one consensus instance.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum ConsensusWire<V> {
     /// Phase 1: a process sends its estimate to the round coordinator.
     Estimate {
@@ -126,7 +125,7 @@ impl<V> ConsensusWire<V> {
 }
 
 /// Configuration of the consensus component.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ConsensusConfig {
     /// When `true` (default, recommended) the coordinator waits for estimates
     /// from at least a majority of processes before proposing, which yields
@@ -275,8 +274,13 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
         debug_assert_eq!(wire.instance(), self.instance, "instance mismatch");
         let mut out = Vec::new();
         match wire {
-            ConsensusWire::Estimate { round, estimate, .. } => {
-                self.estimates.entry(round).or_default().insert(from, estimate);
+            ConsensusWire::Estimate {
+                round, estimate, ..
+            } => {
+                self.estimates
+                    .entry(round)
+                    .or_default()
+                    .insert(from, estimate);
             }
             ConsensusWire::Propose { round, value, .. } => {
                 self.proposals.entry(round).or_insert(value);
@@ -317,7 +321,10 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
         } else {
             None
         };
-        ProgressOutput { messages: out, decision }
+        ProgressOutput {
+            messages: out,
+            decision,
+        }
     }
 
     fn adopt_decision(&mut self, value: Decision<V>, out: &mut Vec<Outgoing<ConsensusWire<V>>>) {
@@ -331,7 +338,10 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
                 if p != self.self_id {
                     out.push(Outgoing::new(
                         p,
-                        ConsensusWire::Decide { instance: self.instance, value: value.clone() },
+                        ConsensusWire::Decide {
+                            instance: self.instance,
+                            value: value.clone(),
+                        },
                     ));
                 }
             }
@@ -342,11 +352,18 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
         let estimate = self.estimate.clone().expect("estimate set after propose");
         let coord = self.coordinator_of(round);
         if coord == self.self_id {
-            self.estimates.entry(round).or_default().insert(self.self_id, estimate);
+            self.estimates
+                .entry(round)
+                .or_default()
+                .insert(self.self_id, estimate);
         } else {
             out.push(Outgoing::new(
                 coord,
-                ConsensusWire::Estimate { instance: self.instance, round, estimate },
+                ConsensusWire::Estimate {
+                    instance: self.instance,
+                    round,
+                    estimate,
+                },
             ));
         }
     }
@@ -361,9 +378,15 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
             }
         } else {
             let wire = if positive {
-                ConsensusWire::Ack { instance: self.instance, round }
+                ConsensusWire::Ack {
+                    instance: self.instance,
+                    round,
+                }
             } else {
-                ConsensusWire::Nack { instance: self.instance, round }
+                ConsensusWire::Nack {
+                    instance: self.instance,
+                    round,
+                }
             };
             out.push(Outgoing::new(coord, wire));
         }
@@ -391,9 +414,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
     fn coordinator_phase2(&mut self, out: &mut Vec<Outgoing<ConsensusWire<V>>>) -> bool {
         let mut progressed = false;
         for round in 1..=self.round {
-            if self.coordinator_of(round) != self.self_id
-                || self.proposed_rounds.contains(&round)
-            {
+            if self.coordinator_of(round) != self.self_id || self.proposed_rounds.contains(&round) {
                 continue;
             }
             let received = self.estimates.entry(round).or_default();
@@ -403,7 +424,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
                 .iter()
                 .all(|p| received.contains_key(p) || self.suspects.contains(p));
             let enough = if self.config.require_majority_estimates {
-                received_count >= self.group.len() / 2 + 1
+                received_count > self.group.len() / 2
             } else {
                 received_count >= 1
             };
@@ -415,7 +436,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
             let mut best_locked: Option<(u64, Decision<V>)> = None;
             for est in received.values() {
                 if let EstimateValue::Locked(v) = &est.value {
-                    if best_locked.as_ref().map_or(true, |(ts, _)| est.ts > *ts) {
+                    if best_locked.as_ref().is_none_or(|(ts, _)| est.ts > *ts) {
                         best_locked = Some((est.ts, v.clone()));
                     }
                 }
@@ -457,7 +478,10 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
         }
         let round = self.round;
         if let Some(value) = self.proposals.get(&round).cloned() {
-            self.estimate = Some(Estimate { ts: round, value: EstimateValue::Locked(value) });
+            self.estimate = Some(Estimate {
+                ts: round,
+                value: EstimateValue::Locked(value),
+            });
             self.waiting_proposal = false;
             self.send_ack(round, true, out);
             self.advance_round(out);
@@ -489,7 +513,11 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
             }
             let ack_count = self.acks.get(&round).map_or(0, BTreeSet::len);
             if ack_count >= self.majority() {
-                let value = self.proposals.get(&round).cloned().expect("proposed value stored");
+                let value = self
+                    .proposals
+                    .get(&round)
+                    .cloned()
+                    .expect("proposed value stored");
                 self.adopt_decision(value, out);
                 return true;
             }
@@ -510,7 +538,10 @@ pub struct ProgressOutput<V> {
 
 impl<V> Default for ProgressOutput<V> {
     fn default() -> Self {
-        ProgressOutput { messages: Vec::new(), decision: None }
+        ProgressOutput {
+            messages: Vec::new(),
+            decision: None,
+        }
     }
 }
 

@@ -83,8 +83,9 @@ impl Harness {
     /// with `pick` (used for randomised orderings).
     fn run_with_order(
         &mut self,
-        pick: impl FnMut(&mut VecDeque<(ProcessId, Outgoing<ConsensusWire<Val>>)>)
-            -> Option<(ProcessId, Outgoing<ConsensusWire<Val>>)>,
+        pick: impl FnMut(
+            &mut VecDeque<(ProcessId, Outgoing<ConsensusWire<Val>>)>,
+        ) -> Option<(ProcessId, Outgoing<ConsensusWire<Val>>)>,
     ) {
         let delivered = self.run_bounded(20_000, pick);
         assert!(delivered < 20_000, "consensus harness did not quiesce");
@@ -97,8 +98,9 @@ impl Harness {
     fn run_bounded(
         &mut self,
         max_steps: usize,
-        mut pick: impl FnMut(&mut VecDeque<(ProcessId, Outgoing<ConsensusWire<Val>>)>)
-            -> Option<(ProcessId, Outgoing<ConsensusWire<Val>>)>,
+        mut pick: impl FnMut(
+            &mut VecDeque<(ProcessId, Outgoing<ConsensusWire<Val>>)>,
+        ) -> Option<(ProcessId, Outgoing<ConsensusWire<Val>>)>,
     ) -> usize {
         let mut steps = 0usize;
         while steps < max_steps {
@@ -128,7 +130,13 @@ impl Harness {
 #[test]
 fn coordinator_rotation_is_deterministic() {
     let group: Vec<ProcessId> = (0..4).map(ProcessId).collect();
-    let c = MajConsensus::<u32>::new(7, ProcessId(0), group, ProcessId(2), ConsensusConfig::default());
+    let c = MajConsensus::<u32>::new(
+        7,
+        ProcessId(0),
+        group,
+        ProcessId(2),
+        ConsensusConfig::default(),
+    );
     assert_eq!(c.coordinator_of(1), ProcessId(2));
     assert_eq!(c.coordinator_of(2), ProcessId(3));
     assert_eq!(c.coordinator_of(3), ProcessId(0));
@@ -141,7 +149,13 @@ fn coordinator_rotation_is_deterministic() {
 #[should_panic(expected = "group member")]
 fn foreign_coordinator_is_rejected() {
     let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
-    let _ = MajConsensus::<u32>::new(0, ProcessId(0), group, ProcessId(9), ConsensusConfig::default());
+    let _ = MajConsensus::<u32>::new(
+        0,
+        ProcessId(0),
+        group,
+        ProcessId(9),
+        ConsensusConfig::default(),
+    );
 }
 
 #[test]
@@ -166,7 +180,13 @@ fn failure_free_run_decides_with_all_values() {
 #[test]
 fn second_propose_is_ignored() {
     let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
-    let mut c = MajConsensus::<u32>::new(0, ProcessId(1), group, ProcessId(0), ConsensusConfig::default());
+    let mut c = MajConsensus::<u32>::new(
+        0,
+        ProcessId(1),
+        group,
+        ProcessId(0),
+        ConsensusConfig::default(),
+    );
     let first = c.propose(5);
     assert_eq!(first.messages.len(), 1);
     let second = c.propose(6);
@@ -206,9 +226,9 @@ fn coordinator_crash_after_partial_propose_still_agrees() {
     h.propose_all();
     // deliver only the estimate messages to p0 so it proposes
     h.run_with_order(|queue| {
-        let idx = queue
-            .iter()
-            .position(|(_, o)| matches!(o.wire, ConsensusWire::Estimate { .. }) && o.to == ProcessId(0));
+        let idx = queue.iter().position(|(_, o)| {
+            matches!(o.wire, ConsensusWire::Estimate { .. }) && o.to == ProcessId(0)
+        });
         idx.and_then(|i| queue.remove(i))
     });
     // now the queue holds p0's Propose messages (and leftover acks); deliver the
@@ -277,7 +297,10 @@ fn five_processes_excluded_minority_values_absent() {
     }
     let contributors: Vec<ProcessId> = decisions[0].iter().map(|(p, _)| *p).collect();
     assert!(!contributors.contains(&ProcessId(0)));
-    assert!(!contributors.contains(&ProcessId(1)), "suspected minority excluded");
+    assert!(
+        !contributors.contains(&ProcessId(1)),
+        "suspected minority excluded"
+    );
     assert_eq!(contributors.len(), 3);
 }
 
@@ -286,7 +309,9 @@ fn relaxed_collection_rule_can_exclude_minority_at_n4() {
     // With require_majority_estimates = false (the footnote-5 rule), a decision
     // can be built from fewer than a majority of values: this is what enables
     // the paper's Figure 4 narrative at n = 4.
-    let cfg = ConsensusConfig { require_majority_estimates: false };
+    let cfg = ConsensusConfig {
+        require_majority_estimates: false,
+    };
     let mut h = Harness::new(4, 1, cfg);
     h.crash(0);
     for p in 1..4 {
@@ -319,7 +344,10 @@ fn relaxed_collection_rule_can_exclude_minority_at_n4() {
         assert_eq!(*d, decisions[0]);
     }
     let contributors: Vec<ProcessId> = decisions[0].iter().map(|(p, _)| *p).collect();
-    assert!(!contributors.contains(&ProcessId(1)), "p1's value excluded: {contributors:?}");
+    assert!(
+        !contributors.contains(&ProcessId(1)),
+        "p1's value excluded: {contributors:?}"
+    );
 }
 
 #[test]
@@ -335,7 +363,10 @@ fn decide_message_is_relayed() {
     let _ = c.propose(9);
     let out = c.on_wire(
         ProcessId(0),
-        ConsensusWire::Decide { instance: 0, value: vec![(ProcessId(0), 7)] },
+        ConsensusWire::Decide {
+            instance: 0,
+            value: vec![(ProcessId(0), 7)],
+        },
     );
     assert!(out.decision.is_some());
     // relayed to the two other members
@@ -348,7 +379,10 @@ fn decide_message_is_relayed() {
     // a second Decide is not re-reported or re-relayed
     let again = c.on_wire(
         ProcessId(1),
-        ConsensusWire::Decide { instance: 0, value: vec![(ProcessId(0), 7)] },
+        ConsensusWire::Decide {
+            instance: 0,
+            value: vec![(ProcessId(0), 7)],
+        },
     );
     assert!(again.decision.is_none());
     assert!(again
@@ -359,9 +393,15 @@ fn decide_message_is_relayed() {
 
 #[test]
 fn wire_instance_accessor() {
-    let w: ConsensusWire<u32> = ConsensusWire::Ack { instance: 4, round: 1 };
+    let w: ConsensusWire<u32> = ConsensusWire::Ack {
+        instance: 4,
+        round: 1,
+    };
     assert_eq!(w.instance(), 4);
-    let w: ConsensusWire<u32> = ConsensusWire::Decide { instance: 9, value: vec![] };
+    let w: ConsensusWire<u32> = ConsensusWire::Decide {
+        instance: 9,
+        value: vec![],
+    };
     assert_eq!(w.instance(), 9);
 }
 

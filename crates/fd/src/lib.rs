@@ -27,10 +27,9 @@ use std::collections::{BTreeSet, HashMap};
 
 use oar_channels::Outgoing;
 use oar_simnet::{ProcessId, SimDuration, SimTime};
-use serde::{Deserialize, Serialize};
 
 /// Wire messages of the failure detector.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FdWire {
     /// "I am alive."
     Heartbeat,
@@ -47,7 +46,7 @@ pub enum FdEvent {
 }
 
 /// Configuration of the heartbeat failure detector.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FdConfig {
     /// Interval between two heartbeats sent to every peer.
     pub heartbeat_interval: SimDuration,
@@ -270,7 +269,9 @@ mod tests {
         let mut fd = HeartbeatFd::new(P0, group(), config());
         fd.on_tick(SimTime::ZERO);
         assert!(fd.observe_traffic(P0, SimTime::from_millis(1)).is_empty());
-        assert!(fd.observe_traffic(ProcessId(9), SimTime::from_millis(1)).is_empty());
+        assert!(fd
+            .observe_traffic(ProcessId(9), SimTime::from_millis(1))
+            .is_empty());
     }
 
     #[test]

@@ -147,22 +147,16 @@ impl<S: StateMachine> OarClient<S> {
         let Some(command) = self.workload.pop_front() else {
             return;
         };
-        let request_stub = Request {
-            // The id is replaced below once the multicast assigns it.
+        let (id, mut wire, targets) = self.cast.multicast_shared(Request {
+            // The id is re-stamped below once the multicast assigns it.
             id: RequestId::new(self.id, 0),
             client: self.id,
             command,
-        };
-        let (id, outgoing) = self.cast.multicast(Request {
-            id: request_stub.id,
-            ..request_stub.clone()
         });
-        // Re-stamp the request with the multicast id so servers and client agree.
-        for o in outgoing {
-            let mut wire = o.wire;
-            wire.payload.id = id;
-            ctx.send(o.to, OarWire::Request(wire));
-        }
+        // Re-stamp the request with the multicast id so servers and client
+        // agree; the wire is built once and shared across all servers.
+        wire.payload.id = id;
+        ctx.send_all(&targets, OarWire::Request(wire));
         ctx.annotate(format!("OAR-multicast({id})"));
         self.outstanding = Some(Outstanding {
             id,
@@ -187,7 +181,9 @@ impl<S: StateMachine> OarClient<S> {
         }
         outstanding.replies_seen += 1;
         let epoch_replies = outstanding.by_epoch.entry(reply.epoch).or_default();
-        epoch_replies.union_weight.extend(reply.weight.iter().copied());
+        epoch_replies
+            .union_weight
+            .extend(reply.weight.iter().copied());
         epoch_replies.replies.push(reply);
 
         // Fig. 5 line 3: wait until the union of weights for some epoch k
@@ -266,11 +262,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S>
         // Clients ignore every other message kind.
     }
 
-    fn on_timer(
-        &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
-        timer: Timer,
-    ) {
+    fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag == NEXT_REQUEST && self.outstanding.is_none() {
             self.send_next(ctx);
         }

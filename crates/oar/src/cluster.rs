@@ -96,7 +96,11 @@ impl<S: StateMachine> Cluster<S> {
             .with_start_delay(start_delay);
             clients.push(world.add_process(client));
         }
-        Cluster { world, servers, clients }
+        Cluster {
+            world,
+            servers,
+            clients,
+        }
     }
 
     /// Runs the simulation until every client finished its workload or the
@@ -155,7 +159,27 @@ impl<S: StateMachine> Cluster<S> {
     pub fn total_undeliveries(&self) -> u64 {
         self.servers
             .iter()
-            .map(|&s| self.world.process_ref::<OarServer<S>>(s).stats().opt_undelivered)
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .opt_undelivered
+            })
+            .sum()
+    }
+
+    /// Total number of `OrderMsg` broadcasts sent by sequencers across all
+    /// servers. With batching (`OarConfig::max_batch > 1`) this drops well
+    /// below the number of requests.
+    pub fn total_order_messages(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .order_messages_sent
+            })
             .sum()
     }
 
@@ -163,7 +187,12 @@ impl<S: StateMachine> Cluster<S> {
     pub fn total_phase2_entries(&self) -> u64 {
         self.servers
             .iter()
-            .map(|&s| self.world.process_ref::<OarServer<S>>(s).stats().phase2_entered)
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .phase2_entered
+            })
             .sum()
     }
 
@@ -184,7 +213,14 @@ impl<S: StateMachine> Cluster<S> {
             .collect();
         let sequences: HashMap<ProcessId, Seq<RequestId>> = alive
             .iter()
-            .map(|&s| (s, self.world.process_ref::<OarServer<S>>(s).committed_sequence()))
+            .map(|&s| {
+                (
+                    s,
+                    self.world
+                        .process_ref::<OarServer<S>>(s)
+                        .committed_sequence(),
+                )
+            })
             .collect();
         for (&p, seq) in &sequences {
             let mut seen = std::collections::HashSet::new();
@@ -267,7 +303,15 @@ impl<S: StateMachine> Cluster<S> {
         self.servers
             .iter()
             .enumerate()
-            .map(|(i, &s)| (i, self.world.process_ref::<OarServer<S>>(s).delivery_log().to_vec()))
+            .map(|(i, &s)| {
+                (
+                    i,
+                    self.world
+                        .process_ref::<OarServer<S>>(s)
+                        .delivery_log()
+                        .to_vec(),
+                )
+            })
             .collect()
     }
 }
@@ -326,11 +370,16 @@ mod tests {
             Cluster::build(&config, CounterMachine::default, |_| workload(10));
         // Crash the initial sequencer (server 0) shortly after the run starts.
         let victim = cluster.servers[0];
-        cluster.world.schedule_crash(victim, SimTime::from_millis(3));
+        cluster
+            .world
+            .schedule_crash(victim, SimTime::from_millis(3));
         let done = cluster.run_to_completion(SimTime::from_secs(30));
         assert!(done, "workload did not complete after sequencer crash");
         cluster.check_replica_consistency().unwrap();
         cluster.check_external_consistency().unwrap();
-        assert!(cluster.total_phase2_entries() > 0, "phase 2 should have run");
+        assert!(
+            cluster.total_phase2_entries() > 0,
+            "phase 2 should have run"
+        );
     }
 }

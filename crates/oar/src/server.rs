@@ -13,8 +13,32 @@
 //!
 //! The server progresses through epochs; the sequencer of epoch `k` is
 //! `Π[k mod |Π|]` (the rotating-coordinator rule of §5.3).
+//!
+//! # Hot-path data structures
+//!
+//! The per-request work of the optimistic phase is O(1) amortised:
+//!
+//! * `O_delivered` and `A_delivered` are indexed [`Seq`]s, so the membership
+//!   tests of Tasks 1a/1b (`delivered_already`) cost O(1) instead of a scan;
+//! * the not-yet-deliverable suffix of the sequencer order is a `VecDeque`
+//!   plus a membership `HashSet`, so draining it is O(1) per request;
+//! * the sequencer keeps a cursor into `R_delivered` (`order_cursor`) marking
+//!   the prefix it has already examined, so Task 1a only scans *new* requests
+//!   instead of the whole reception buffer on every invocation;
+//! * epoch close appends to `A_delivered` in place rather than rebuilding it.
+//!
+//! # Sequencer batching
+//!
+//! Task 1a accumulates unordered requests and emits a single `OrderMsg`
+//! carrying the whole batch once the backlog reaches
+//! [`OarConfig::max_batch`] (the maintenance tick flushes smaller leftovers).
+//! With `max_batch = 1` — the default — every request is ordered immediately,
+//! exactly like the paper's Fig. 6; larger values amortise the ordering
+//! broadcast over many requests, which is what makes the ordering layer keep
+//! up at high client counts (`ServerStats::order_messages_sent` drops well
+//! below the request count).
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use oar_channels::{Delivery, ReliableCaster};
 use oar_consensus::{ConsensusWire, Decision, MajConsensus};
@@ -115,7 +139,14 @@ pub struct OarServer<S: StateMachine> {
     position: u64,
     /// Ordered requests not yet Opt-delivered because their payload has not
     /// arrived yet (delivery must follow the sequencer order).
-    order_queue: Seq<RequestId>,
+    order_queue: VecDeque<RequestId>,
+    /// Fast membership test for `order_queue`.
+    order_queued: HashSet<RequestId>,
+    /// Sequencer cursor into `r_delivered`: every request before this
+    /// position has already been examined by Task 1a this epoch (it is
+    /// delivered, settled, or in `order_queue`), so Task 1a only scans the
+    /// suffix of new arrivals.
+    order_cursor: usize,
     /// True once Task 1c fired (or a PhaseII was delivered) for this epoch.
     phase2_started: bool,
 
@@ -166,13 +197,15 @@ impl<S: StateMachine> OarServer<S> {
             payloads: HashMap::new(),
             undo_stack: Vec::new(),
             position: 0,
-            order_queue: Seq::new(),
+            order_queue: VecDeque::new(),
+            order_queued: HashSet::new(),
+            order_cursor: 0,
             phase2_started: false,
             future_orders: BTreeMap::new(),
             future_phase2: BTreeSet::new(),
             buffered_consensus: BTreeMap::new(),
             pending_decision: None,
-            sm: sm,
+            sm,
             log: Vec::new(),
             stats: ServerStats::default(),
         }
@@ -236,7 +269,10 @@ impl<S: StateMachine> OarServer<S> {
 
     /// Forces this server to suspect the current sequencer (wrong-suspicion
     /// injection used by the experiments on Opt-undeliver frequency).
-    pub fn force_suspect_sequencer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    pub fn force_suspect_sequencer(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+    ) {
         let sequencer = self.current_sequencer();
         if sequencer != self.id {
             self.fd.force_suspect(sequencer);
@@ -248,15 +284,17 @@ impl<S: StateMachine> OarServer<S> {
     // helpers
     // ------------------------------------------------------------------
 
+    /// O(1): both `settled` and the indexed `o_delivered` are hash probes.
     fn delivered_already(&self, id: &RequestId) -> bool {
         self.settled.contains(id) || self.o_delivered.contains(id)
     }
 
-    fn annotate(
-        &self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
-        text: String,
-    ) {
+    /// Number of received requests Task 1a has not examined yet.
+    fn order_backlog(&self) -> usize {
+        self.r_delivered.len() - self.order_cursor
+    }
+
+    fn annotate(&self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, text: String) {
         ctx.annotate(text);
     }
 
@@ -277,38 +315,53 @@ impl<S: StateMachine> OarServer<S> {
         // consensus decision.
         self.drain_order_queue(ctx);
         self.try_apply_pending_decision(ctx);
-        // Task 1a: the sequencer orders eagerly if configured to do so.
-        if self.config.eager_sequencing {
+        // Task 1a: with eager sequencing, the sequencer flushes as soon as the
+        // accumulated backlog fills a batch; smaller backlogs wait for the
+        // maintenance tick (with `max_batch == 1` this orders every request
+        // immediately, the paper's unbatched behaviour).
+        if self.config.eager_sequencing && self.order_backlog() >= self.config.max_batch.max(1) {
             self.maybe_order(ctx);
         }
     }
 
     /// Task 1a (Fig. 6 lines 8–10): the sequencer orders unordered requests.
+    ///
+    /// Only the suffix of `R_delivered` behind `order_cursor` is scanned:
+    /// everything before the cursor was examined by an earlier invocation this
+    /// epoch and is delivered, settled or queued. The whole batch travels in
+    /// one `OrderMsg` broadcast.
     fn maybe_order(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
         if self.phase != Phase::Optimistic || !self.is_sequencer() {
             return;
         }
-        let not_delivered: Seq<RequestId> = self
-            .r_delivered
-            .iter()
-            .filter(|id| !self.delivered_already(id) && !self.order_queue.contains(id))
-            .copied()
-            .collect();
-        if not_delivered.is_empty() {
+        if self.order_cursor >= self.r_delivered.len() {
+            return;
+        }
+        let mut batch: Seq<RequestId> = Seq::with_capacity(self.order_backlog());
+        for id in &self.r_delivered.as_slice()[self.order_cursor..] {
+            if !self.delivered_already(id) && !self.order_queued.contains(id) {
+                batch.push(*id);
+            }
+        }
+        self.order_cursor = self.r_delivered.len();
+        if batch.is_empty() {
             return;
         }
         self.stats.order_messages_sent += 1;
         let msg = OrderMsg {
             epoch: self.epoch,
-            order: not_delivered.clone(),
+            order: batch.clone(),
         };
-        for &p in &self.group.clone() {
-            if p != self.id {
-                ctx.send(p, OarWire::Order(msg.clone()));
-            }
-        }
+        let peers: Vec<ProcessId> = self
+            .group
+            .iter()
+            .copied()
+            .filter(|&p| p != self.id)
+            .collect();
+        // One allocation of the wire message shared across all recipients.
+        ctx.send_all(&peers, OarWire::Order(msg));
         // "The sequencer immediately delivers this message" (§5.3).
-        self.accept_order(ctx, not_delivered);
+        self.accept_order(ctx, batch);
     }
 
     /// Task 1b (Fig. 6 lines 11–19): accept an ordering for the current epoch.
@@ -318,28 +371,30 @@ impl<S: StateMachine> OarServer<S> {
         order: Seq<RequestId>,
     ) {
         for id in order.iter() {
-            if !self.delivered_already(id) && !self.order_queue.contains(id) {
-                self.order_queue.push(*id);
+            if !self.delivered_already(id) && self.order_queued.insert(*id) {
+                self.order_queue.push_back(*id);
             }
         }
         self.drain_order_queue(ctx);
     }
 
     /// Opt-delivers ordered requests whose payload is available, preserving the
-    /// sequencer order.
+    /// sequencer order. O(1) per drained request.
     fn drain_order_queue(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
         if self.phase != Phase::Optimistic {
             return;
         }
-        while let Some(&next) = self.order_queue.first() {
+        while let Some(&next) = self.order_queue.front() {
             if self.delivered_already(&next) {
-                self.order_queue = self.order_queue.suffix_from(1);
+                self.order_queue.pop_front();
+                self.order_queued.remove(&next);
                 continue;
             }
             if !self.payloads.contains_key(&next) {
                 break;
             }
-            self.order_queue = self.order_queue.suffix_from(1);
+            self.order_queue.pop_front();
+            self.order_queued.remove(&next);
             self.opt_deliver(ctx, next);
         }
     }
@@ -406,10 +461,10 @@ impl<S: StateMachine> OarServer<S> {
             return;
         }
         self.phase2_started = true;
-        let (outgoing, local) = self.phase2_cast.broadcast(PhaseIIMsg { epoch: self.epoch });
-        for o in outgoing {
-            ctx.send(o.to, OarWire::PhaseII(o.wire));
-        }
+        let (wire, targets, local) = self
+            .phase2_cast
+            .broadcast_shared(PhaseIIMsg { epoch: self.epoch });
+        ctx.send_all(&targets, OarWire::PhaseII(wire));
         self.handle_phase2_delivery(ctx, local.payload);
     }
 
@@ -468,7 +523,10 @@ impl<S: StateMachine> OarServer<S> {
         self.dispatch_consensus_output(ctx, output.messages, output.decision);
 
         // Feed consensus messages that arrived before we entered phase 2.
-        let buffered = self.buffered_consensus.remove(&self.epoch).unwrap_or_default();
+        let buffered = self
+            .buffered_consensus
+            .remove(&self.epoch)
+            .unwrap_or_default();
         for (from, wire) in buffered {
             self.feed_consensus(ctx, from, wire);
         }
@@ -592,17 +650,19 @@ impl<S: StateMachine> OarServer<S> {
         }
 
         // Line 30: A_delivered ← A_delivered ⊕ (O_delivered ⊖ Bad) ⊕ New.
+        // Appended in place: O(epoch length), not O(|A_delivered|).
         let kept = self.o_delivered.subtract(&outcome.bad);
-        let epoch_sequence = kept.concat(&outcome.new);
-        for id in epoch_sequence.iter() {
+        for id in kept.iter().chain(outcome.new.iter()) {
             self.settled.insert(*id);
+            self.a_delivered.push(*id);
         }
-        self.a_delivered = self.a_delivered.concat(&epoch_sequence);
 
         // Lines 31–32: reset the optimistic state and move to the next epoch.
         self.o_delivered = Seq::new();
         self.undo_stack.clear();
-        self.order_queue = Seq::new();
+        self.order_queue.clear();
+        self.order_queued.clear();
+        self.order_cursor = 0;
         self.epoch += 1;
         self.phase = Phase::Optimistic;
         self.phase2_started = false;
@@ -643,7 +703,9 @@ impl<S: StateMachine> OarServer<S> {
         if events.is_empty() {
             return;
         }
-        let suspicion_changed = events.iter().any(|e| matches!(e, FdEvent::Suspect(_) | FdEvent::Restore(_)));
+        let suspicion_changed = events
+            .iter()
+            .any(|e| matches!(e, FdEvent::Suspect(_) | FdEvent::Restore(_)));
         if suspicion_changed {
             self.maybe_start_phase2(ctx);
             self.push_suspects_to_consensus(ctx);
@@ -669,9 +731,10 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         }
         match msg {
             OarWire::Request(wire) => {
-                let (delivery, relays) = self.request_cast.on_wire(wire);
-                for r in relays {
-                    ctx.send(r.to, OarWire::Request(r.wire));
+                let (delivery, relay) = self.request_cast.on_wire_shared(wire);
+                if let Some((wire, targets)) = relay {
+                    // One shared allocation for all relay recipients.
+                    ctx.send_all(&targets, OarWire::Request(wire));
                 }
                 if let Some(delivery) = delivery {
                     self.handle_request_delivery(ctx, delivery);
@@ -690,9 +753,9 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                 }
             }
             OarWire::PhaseII(wire) => {
-                let (delivery, relays) = self.phase2_cast.on_wire(wire);
-                for r in relays {
-                    ctx.send(r.to, OarWire::PhaseII(r.wire));
+                let (delivery, relay) = self.phase2_cast.on_wire_shared(wire);
+                if let Some((wire, targets)) = relay {
+                    ctx.send_all(&targets, OarWire::PhaseII(wire));
                 }
                 if let Some(delivery) = delivery {
                     self.handle_phase2_delivery(ctx, delivery.payload);
@@ -707,9 +770,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                 if instance < self.epoch {
                     return;
                 }
-                if instance > self.epoch
-                    || (instance == self.epoch && self.consensus.is_none())
-                {
+                if instance > self.epoch || (instance == self.epoch && self.consensus.is_none()) {
                     self.buffered_consensus
                         .entry(instance)
                         .or_default()
@@ -727,11 +788,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         }
     }
 
-    fn on_timer(
-        &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
-        timer: Timer,
-    ) {
+    fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag != TICK {
             return;
         }
@@ -741,10 +798,9 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
             ctx.send(hb.to, OarWire::Fd(hb.wire));
         }
         self.handle_fd_events(ctx, events);
-        // Task 1a on a timer when eager sequencing is disabled (batching).
-        if !self.config.eager_sequencing {
-            self.maybe_order(ctx);
-        }
+        // Task 1a on a timer: the only ordering trigger when eager sequencing
+        // is disabled, and the flush of partially filled batches when it is.
+        self.maybe_order(ctx);
         // A decision may be waiting for payloads that never get re-checked
         // otherwise (defensive; normally triggered by request arrival).
         self.try_apply_pending_decision(ctx);

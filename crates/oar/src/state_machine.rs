@@ -148,7 +148,11 @@ mod tests {
 
     #[test]
     fn determinism_same_commands_same_digest() {
-        let commands = [CounterCommand::Add(4), CounterCommand::Get, CounterCommand::Add(-9)];
+        let commands = [
+            CounterCommand::Add(4),
+            CounterCommand::Get,
+            CounterCommand::Add(-9),
+        ];
         let mut a = CounterMachine::default();
         let mut b = CounterMachine::default();
         for c in &commands {

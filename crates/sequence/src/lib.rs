@@ -16,9 +16,30 @@
 //! the `∈`, `∩`, `∪` operators ([`Seq::contains`], [`Seq::intersection`],
 //! [`Seq::union_set`]).
 //!
-//! The algebra is generic over the element type so that it can be unit-tested and
-//! property-tested with small types (`u32`) while the protocol instantiates it
-//! with message identifiers.
+//! # Indexed representation
+//!
+//! `Seq<T>` stores its elements in a `Vec<T>` **and** maintains a hash index
+//! from element to the position of its first occurrence. The index makes the
+//! membership queries of the protocol's hot path (`m ∈ O_delivered`,
+//! `position(m)`) O(1), and turns the binary operators from the naive
+//! O(n·m) scans of the obvious implementation into O(n + m) passes:
+//! `subtract`, `intersection`, `is_disjoint` and `union_set` probe the other
+//! side's index instead of scanning it, and `⊎` probes the accumulator. This
+//! is what keeps the per-epoch CPU cost linear as `O_delivered` grows — the
+//! concern raised by the paper's §5.3 remark.
+//!
+//! The index is invisible in the API: it costs one `T` clone per inserted
+//! element plus O(n) memory, and is rebuilt in O(n) by the few operations
+//! that remove elements ([`Seq::split_prefix`], [`Seq::clear`]). The naive
+//! reference implementations are kept in the [`naive`] module; the crate's
+//! property tests check every indexed operation against them, and the
+//! `protocol_internals` bench of `oar-bench` measures the asymptotic gap.
+//!
+//! The algebra is generic over the element type so that it can be unit-tested
+//! and property-tested with small types (`u32`) while the protocol
+//! instantiates it with message identifiers. Elements must be `Clone + Eq +
+//! Hash` (the seed implementation required only `Clone + PartialEq`; the
+//! strengthened bound is what buys the index).
 //!
 //! # Examples
 //!
@@ -37,25 +58,60 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::ops::{Add, Index};
 
-use serde::{Deserialize, Serialize};
-
-/// An ordered sequence of elements, the basic data structure of the OAR protocol.
+/// An ordered sequence of elements, the basic data structure of the OAR
+/// protocol.
 ///
-/// `Seq<T>` is a thin, intention-revealing wrapper around `Vec<T>` that provides
+/// `Seq<T>` is an intention-revealing wrapper around `Vec<T>` that provides
 /// the paper's operators (`⊕`, `⊖`, `⊓`, `⊎`) as well as prefix/suffix queries
-/// used in the correctness arguments.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+/// used in the correctness arguments. A hash index from element to first
+/// position is maintained alongside the vector, making membership and the
+/// binary operators linear-time (see the crate docs).
+#[derive(Clone)]
 pub struct Seq<T> {
     items: Vec<T>,
+    /// `index[x]` = position of the first occurrence of `x` in `items`.
+    index: HashMap<T, usize>,
 }
 
 impl<T> Default for Seq<T> {
     fn default() -> Self {
-        Seq { items: Vec::new() }
+        Seq {
+            items: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+}
+
+// Equality, ordering and hashing are defined by the element sequence alone;
+// the index is derived data.
+impl<T: PartialEq> PartialEq for Seq<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.items == other.items
+    }
+}
+
+impl<T: Eq> Eq for Seq<T> {}
+
+impl<T: PartialOrd> PartialOrd for Seq<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.items.partial_cmp(&other.items)
+    }
+}
+
+impl<T: Ord> Ord for Seq<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.items.cmp(&other.items)
+    }
+}
+
+impl<T: Hash> Hash for Seq<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.items.hash(state);
     }
 }
 
@@ -82,13 +138,14 @@ impl<T: fmt::Display> fmt::Display for Seq<T> {
 impl<T> Seq<T> {
     /// Creates an empty sequence (the paper's `ε`).
     pub fn new() -> Self {
-        Seq { items: Vec::new() }
+        Self::default()
     }
 
     /// Creates an empty sequence with room for `capacity` elements.
     pub fn with_capacity(capacity: usize) -> Self {
         Seq {
             items: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
         }
     }
 
@@ -112,11 +169,6 @@ impl<T> Seq<T> {
         self.items.iter()
     }
 
-    /// Appends a single element at the end of the sequence.
-    pub fn push(&mut self, item: T) {
-        self.items.push(item);
-    }
-
     /// Returns the first element, if any.
     pub fn first(&self) -> Option<&T> {
         self.items.first()
@@ -130,6 +182,7 @@ impl<T> Seq<T> {
     /// Removes all elements.
     pub fn clear(&mut self) {
         self.items.clear();
+        self.index.clear();
     }
 
     /// Consumes the sequence and returns the underlying vector.
@@ -138,51 +191,74 @@ impl<T> Seq<T> {
     }
 }
 
-impl<T: Clone + PartialEq> Seq<T> {
+impl<T: Clone + Eq + Hash> Seq<T> {
+    /// Appends a single element at the end of the sequence.
+    pub fn push(&mut self, item: T) {
+        let pos = self.items.len();
+        self.index.entry(item.clone()).or_insert(pos);
+        self.items.push(item);
+    }
+
+    /// Rebuilds the element → first-position index from `items` (used after
+    /// operations that remove elements).
+    fn rebuild_index(&mut self) {
+        self.index.clear();
+        self.index.reserve(self.items.len());
+        for (pos, item) in self.items.iter().enumerate() {
+            self.index.entry(item.clone()).or_insert(pos);
+        }
+    }
+
     /// `self ⊕ other` — concatenation of two sequences.
     ///
     /// All elements of `self` followed by all elements of `other`. Duplicates
     /// are **not** removed; see [`dedup_append`] for the `⊎` operator.
     #[must_use]
     pub fn concat(&self, other: &Seq<T>) -> Seq<T> {
-        let mut items = Vec::with_capacity(self.items.len() + other.items.len());
-        items.extend_from_slice(&self.items);
-        items.extend_from_slice(&other.items);
-        Seq { items }
+        let mut out = Seq::with_capacity(self.items.len() + other.items.len());
+        out.items.extend_from_slice(&self.items);
+        out.index = self.index.clone();
+        for item in &other.items {
+            out.push(item.clone());
+        }
+        out
     }
 
     /// `self ⊖ other` — all elements of `self` that are not in `other`,
-    /// preserving the order of `self`.
+    /// preserving the order of `self`. O(|self| + |other|).
     #[must_use]
     pub fn subtract(&self, other: &Seq<T>) -> Seq<T> {
-        Seq {
-            items: self
-                .items
-                .iter()
-                .filter(|m| !other.items.contains(m))
-                .cloned()
-                .collect(),
+        let mut out = Seq::with_capacity(self.items.len());
+        for item in &self.items {
+            if !other.contains(item) {
+                out.push(item.clone());
+            }
         }
+        out
     }
 
     /// `⊓(self, other)` — the longest common prefix of the two sequences.
     #[must_use]
     pub fn common_prefix(&self, other: &Seq<T>) -> Seq<T> {
-        let mut items = Vec::new();
+        let mut out = Seq::new();
         for (a, b) in self.items.iter().zip(other.items.iter()) {
             if a == b {
-                items.push(a.clone());
+                out.push(a.clone());
             } else {
                 break;
             }
         }
-        Seq { items }
+        out
     }
 
     /// Returns `true` if `self` is a prefix of `other`.
     pub fn is_prefix_of(&self, other: &Seq<T>) -> bool {
         self.items.len() <= other.items.len()
-            && self.items.iter().zip(other.items.iter()).all(|(a, b)| a == b)
+            && self
+                .items
+                .iter()
+                .zip(other.items.iter())
+                .all(|(a, b)| a == b)
     }
 
     /// Returns `true` if `self` is a suffix of `other`.
@@ -198,37 +274,46 @@ impl<T: Clone + PartialEq> Seq<T> {
     }
 
     /// Returns `true` if the sequence contains `item` (the paper's `m ∈ seq`).
+    /// O(1) via the hash index.
     pub fn contains(&self, item: &T) -> bool {
-        self.items.contains(item)
+        self.index.contains_key(item)
     }
 
-    /// Returns the position (0-based) of `item` in the sequence, if present.
+    /// Returns the position (0-based) of the first occurrence of `item` in the
+    /// sequence, if present. O(1) via the hash index.
     pub fn position(&self, item: &T) -> Option<usize> {
-        self.items.iter().position(|m| m == item)
+        self.index.get(item).copied()
     }
 
     /// The elements that are in both `self` and `other`, in `self`'s order
     /// (the paper's `seq1 ∩ seq2` with the implicit sequence→set conversion).
+    /// O(|self| + |other|).
     #[must_use]
     pub fn intersection(&self, other: &Seq<T>) -> Seq<T> {
-        Seq {
-            items: self
-                .items
-                .iter()
-                .filter(|m| other.items.contains(m))
-                .cloned()
-                .collect(),
+        let mut out = Seq::new();
+        for item in &self.items {
+            if other.contains(item) {
+                out.push(item.clone());
+            }
         }
+        out
     }
 
     /// Returns `true` if `self` and `other` have no element in common
-    /// (the paper's `seq1 ∩ seq2 = ∅`).
+    /// (the paper's `seq1 ∩ seq2 = ∅`). Probes the index of the longer side,
+    /// so the cost is O(min(|self|, |other|)).
     pub fn is_disjoint(&self, other: &Seq<T>) -> bool {
-        self.items.iter().all(|m| !other.items.contains(m))
+        let (shorter, longer) = if self.items.len() <= other.items.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        shorter.items.iter().all(|m| !longer.contains(m))
     }
 
     /// Set-union of the two sequences: `self` followed by the elements of
     /// `other` not already present (the paper's `seq1 ∪ seq2`).
+    /// O(|self| + |other|).
     #[must_use]
     pub fn union_set(&self, other: &Seq<T>) -> Seq<T> {
         let mut result = self.clone();
@@ -245,20 +330,29 @@ impl<T: Clone + PartialEq> Seq<T> {
     pub fn split_prefix(&mut self, n: usize) -> Seq<T> {
         let n = n.min(self.items.len());
         let rest = self.items.split_off(n);
-        let prefix = std::mem::replace(&mut self.items, rest);
-        Seq { items: prefix }
+        let prefix_items = std::mem::replace(&mut self.items, rest);
+        self.rebuild_index();
+        let mut prefix = Seq {
+            items: prefix_items,
+            index: HashMap::new(),
+        };
+        prefix.rebuild_index();
+        prefix
     }
 
     /// Returns the suffix of `self` starting at position `n`.
     #[must_use]
     pub fn suffix_from(&self, n: usize) -> Seq<T> {
-        Seq {
-            items: self.items.iter().skip(n).cloned().collect(),
+        let n = n.min(self.items.len());
+        let mut out = Seq::with_capacity(self.items.len() - n);
+        for item in &self.items[n..] {
+            out.push(item.clone());
         }
+        out
     }
 
     /// Returns a copy of the sequence with duplicates removed, keeping the
-    /// first occurrence of each element.
+    /// first occurrence of each element. O(n).
     #[must_use]
     pub fn dedup_keep_first(&self) -> Seq<T> {
         let mut out = Seq::new();
@@ -278,14 +372,14 @@ impl<T: Clone + Ord> Seq<T> {
     }
 }
 
-/// `⊎(seqs…)` — appends all sequences together, removing duplicates, keeping the
-/// first occurrence of each element.
+/// `⊎(seqs…)` — appends all sequences together, removing duplicates, keeping
+/// the first occurrence of each element. O(total input length).
 ///
 /// This is the paper's `⊎` operator, defined recursively as
 /// `⊎(s1, …, si+1) = ⊎(s1, …, si) ⊕ (si+1 ⊖ ⊎(s1, …, si))`.
 pub fn dedup_append<T, I>(seqs: I) -> Seq<T>
 where
-    T: Clone + PartialEq,
+    T: Clone + Eq + Hash,
     I: IntoIterator<Item = Seq<T>>,
 {
     let mut out = Seq::new();
@@ -304,21 +398,35 @@ where
 /// Returns the empty sequence if the iterator is empty.
 pub fn common_prefix_all<'a, T, I>(seqs: I) -> Seq<T>
 where
-    T: Clone + PartialEq + 'a,
+    T: Clone + Eq + Hash + 'a,
     I: IntoIterator<Item = &'a Seq<T>>,
 {
     let mut iter = seqs.into_iter();
     let Some(first) = iter.next() else {
         return Seq::new();
     };
-    let mut acc = first.clone();
+    // Track only the prefix *length* while scanning, and build the resulting
+    // sequence once at the end: O(total scanned), not O(len · sequences).
+    let mut len = first.len();
     for seq in iter {
-        acc = acc.common_prefix(seq);
-        if acc.is_empty() {
+        let mut common = 0;
+        for (a, b) in first.items.iter().take(len).zip(seq.items.iter()) {
+            if a == b {
+                common += 1;
+            } else {
+                break;
+            }
+        }
+        len = common;
+        if len == 0 {
             break;
         }
     }
-    acc
+    let mut out = Seq::with_capacity(len);
+    for item in &first.items[..len] {
+        out.push(item.clone());
+    }
+    out
 }
 
 /// Returns the longest sequence among `seqs`.
@@ -343,31 +451,36 @@ where
     best
 }
 
-impl<T> From<Vec<T>> for Seq<T> {
+impl<T: Clone + Eq + Hash> From<Vec<T>> for Seq<T> {
     fn from(items: Vec<T>) -> Self {
-        Seq { items }
+        let mut seq = Seq {
+            items,
+            index: HashMap::new(),
+        };
+        seq.rebuild_index();
+        seq
     }
 }
 
-impl<T: Clone> From<&[T]> for Seq<T> {
+impl<T: Clone + Eq + Hash> From<&[T]> for Seq<T> {
     fn from(items: &[T]) -> Self {
-        Seq {
-            items: items.to_vec(),
-        }
+        Seq::from(items.to_vec())
     }
 }
 
-impl<T> FromIterator<T> for Seq<T> {
+impl<T: Clone + Eq + Hash> FromIterator<T> for Seq<T> {
     fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
-        Seq {
-            items: iter.into_iter().collect(),
-        }
+        let mut seq = Seq::new();
+        seq.extend(iter);
+        seq
     }
 }
 
-impl<T> Extend<T> for Seq<T> {
+impl<T: Clone + Eq + Hash> Extend<T> for Seq<T> {
     fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
-        self.items.extend(iter);
+        for item in iter {
+            self.push(item);
+        }
     }
 }
 
@@ -397,7 +510,7 @@ impl<T> Index<usize> for Seq<T> {
     }
 }
 
-impl<T: Clone + PartialEq> Add<&Seq<T>> for Seq<T> {
+impl<T: Clone + Eq + Hash> Add<&Seq<T>> for Seq<T> {
     type Output = Seq<T>;
 
     /// `a + &b` is the paper's `a ⊕ b`.
@@ -419,6 +532,84 @@ macro_rules! seq {
     ($($x:expr),+ $(,)?) => {
         $crate::Seq::from(vec![$($x),+])
     };
+}
+
+pub mod naive {
+    //! The seed's O(n·m) reference implementations of the algebra, over plain
+    //! slices.
+    //!
+    //! These exist for two reasons: the crate's differential property tests
+    //! check every indexed [`Seq`](crate::Seq) operation against them, and the
+    //! `protocol_internals` bench of `oar-bench` measures the indexed
+    //! representation's speedup relative to them. They are **not** used by the
+    //! protocol.
+
+    /// `a ⊖ b` by linear scan: O(|a|·|b|).
+    pub fn subtract<T: Clone + PartialEq>(a: &[T], b: &[T]) -> Vec<T> {
+        a.iter().filter(|m| !b.contains(m)).cloned().collect()
+    }
+
+    /// `a ∩ b` by linear scan: O(|a|·|b|).
+    pub fn intersection<T: Clone + PartialEq>(a: &[T], b: &[T]) -> Vec<T> {
+        a.iter().filter(|m| b.contains(m)).cloned().collect()
+    }
+
+    /// `a ∪ b` by linear scan: O((|a|+|b|)²) in the worst case.
+    pub fn union_set<T: Clone + PartialEq>(a: &[T], b: &[T]) -> Vec<T> {
+        let mut out = a.to_vec();
+        for item in b {
+            if !out.contains(item) {
+                out.push(item.clone());
+            }
+        }
+        out
+    }
+
+    /// `a ∩ b = ∅` by linear scan.
+    pub fn is_disjoint<T: PartialEq>(a: &[T], b: &[T]) -> bool {
+        a.iter().all(|m| !b.contains(m))
+    }
+
+    /// `⊎(seqs…)` by linear scan of the accumulator per element.
+    pub fn dedup_append<T: Clone + PartialEq>(seqs: &[Vec<T>]) -> Vec<T> {
+        let mut out: Vec<T> = Vec::new();
+        for seq in seqs {
+            for item in seq {
+                if !out.contains(item) {
+                    out.push(item.clone());
+                }
+            }
+        }
+        out
+    }
+
+    /// First occurrence of each element, by linear scan of the accumulator.
+    pub fn dedup_keep_first<T: Clone + PartialEq>(a: &[T]) -> Vec<T> {
+        dedup_append(std::slice::from_ref(&a.to_vec()))
+    }
+
+    /// `⊓(a, b)`.
+    pub fn common_prefix<T: Clone + PartialEq>(a: &[T], b: &[T]) -> Vec<T> {
+        let mut out = Vec::new();
+        for (x, y) in a.iter().zip(b.iter()) {
+            if x == y {
+                out.push(x.clone());
+            } else {
+                break;
+            }
+        }
+        out
+    }
+
+    /// `m ∈ a` by linear scan.
+    pub fn contains<T: PartialEq>(a: &[T], item: &T) -> bool {
+        a.contains(item)
+    }
+
+    /// Position of the first occurrence of `item`, by linear scan.
+    pub fn position<T: PartialEq>(a: &[T], item: &T) -> Option<usize> {
+        a.iter().position(|m| m == item)
+    }
 }
 
 #[cfg(test)]
@@ -494,7 +685,10 @@ mod tests {
         // ⊎(s1, s2) = s1 ⊕ (s2 ⊖ s1)
         let s1 = s(&[5, 1, 2]);
         let s2 = s(&[2, 7, 5, 9]);
-        assert_eq!(dedup_append([s1.clone(), s2.clone()]), s1.concat(&s2.subtract(&s1)));
+        assert_eq!(
+            dedup_append([s1.clone(), s2.clone()]),
+            s1.concat(&s2.subtract(&s1))
+        );
     }
 
     #[test]
@@ -518,11 +712,22 @@ mod tests {
     }
 
     #[test]
+    fn position_reports_first_occurrence() {
+        let a = s(&[4, 7, 4, 9, 7]);
+        assert_eq!(a.position(&4), Some(0));
+        assert_eq!(a.position(&7), Some(1));
+        assert_eq!(a.position(&9), Some(3));
+    }
+
+    #[test]
     fn intersection_and_disjoint() {
         assert_eq!(s(&[1, 2, 3]).intersection(&s(&[3, 1])), s(&[1, 3]));
         assert!(s(&[1, 2]).is_disjoint(&s(&[3, 4])));
         assert!(!s(&[1, 2]).is_disjoint(&s(&[2])));
         assert!(s(&[]).is_disjoint(&s(&[])));
+        // both probe directions (shorter side iterated)
+        assert!(!s(&[1]).is_disjoint(&s(&[9, 8, 7, 1])));
+        assert!(!s(&[9, 8, 7, 1]).is_disjoint(&s(&[1])));
     }
 
     #[test]
@@ -536,12 +741,26 @@ mod tests {
         let prefix = a.split_prefix(2);
         assert_eq!(prefix, s(&[1, 2]));
         assert_eq!(a, s(&[3, 4]));
+        // the index must follow the split
+        assert_eq!(a.position(&3), Some(0));
+        assert!(!a.contains(&1));
+        assert!(prefix.contains(&1));
         let b = s(&[1, 2, 3]);
         assert_eq!(b.suffix_from(1), s(&[2, 3]));
         assert_eq!(b.suffix_from(5), s(&[]));
         let mut c = s(&[1]);
         assert_eq!(c.split_prefix(10), s(&[1]));
         assert_eq!(c, s(&[]));
+    }
+
+    #[test]
+    fn clear_resets_index() {
+        let mut a = s(&[1, 2, 3]);
+        a.clear();
+        assert!(a.is_empty());
+        assert!(!a.contains(&1));
+        a.push(2);
+        assert_eq!(a.position(&2), Some(0));
     }
 
     #[test]
@@ -578,6 +797,7 @@ mod tests {
         let mut b = s(&[1]);
         b.extend(vec![2, 3]);
         assert_eq!(b, s(&[1, 2, 3]));
+        assert_eq!(b.position(&3), Some(2));
     }
 }
 
@@ -706,6 +926,110 @@ mod proptests {
             for s in &seqs {
                 prop_assert!(l.len() >= s.len());
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod differential_proptests {
+    //! Every indexed operation must agree exactly with the naive O(n·m)
+    //! reference implementation in [`naive`], including on inputs with
+    //! duplicates. This is the safety net for the indexed representation.
+
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Small alphabet so duplicates and collisions are frequent.
+    fn arb_vec() -> impl Strategy<Value = Vec<u8>> {
+        proptest::collection::vec(0u8..10, 0..16)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(512))]
+
+        #[test]
+        fn subtract_matches_naive(a in arb_vec(), b in arb_vec()) {
+            let indexed = Seq::from(a.clone()).subtract(&Seq::from(b.clone()));
+            prop_assert_eq!(indexed.as_slice(), naive::subtract(&a, &b).as_slice());
+        }
+
+        #[test]
+        fn intersection_matches_naive(a in arb_vec(), b in arb_vec()) {
+            let indexed = Seq::from(a.clone()).intersection(&Seq::from(b.clone()));
+            prop_assert_eq!(indexed.as_slice(), naive::intersection(&a, &b).as_slice());
+        }
+
+        #[test]
+        fn union_set_matches_naive(a in arb_vec(), b in arb_vec()) {
+            let indexed = Seq::from(a.clone()).union_set(&Seq::from(b.clone()));
+            prop_assert_eq!(indexed.as_slice(), naive::union_set(&a, &b).as_slice());
+        }
+
+        #[test]
+        fn is_disjoint_matches_naive(a in arb_vec(), b in arb_vec()) {
+            prop_assert_eq!(
+                Seq::from(a.clone()).is_disjoint(&Seq::from(b.clone())),
+                naive::is_disjoint(&a, &b)
+            );
+        }
+
+        #[test]
+        fn dedup_append_matches_naive(seqs in proptest::collection::vec(arb_vec(), 0..5)) {
+            let indexed = dedup_append(seqs.iter().cloned().map(Seq::from));
+            prop_assert_eq!(indexed.as_slice(), naive::dedup_append(&seqs).as_slice());
+        }
+
+        #[test]
+        fn dedup_keep_first_matches_naive(a in arb_vec()) {
+            let indexed = Seq::from(a.clone()).dedup_keep_first();
+            prop_assert_eq!(indexed.as_slice(), naive::dedup_keep_first(&a).as_slice());
+        }
+
+        #[test]
+        fn common_prefix_matches_naive(a in arb_vec(), b in arb_vec()) {
+            let indexed = Seq::from(a.clone()).common_prefix(&Seq::from(b.clone()));
+            prop_assert_eq!(indexed.as_slice(), naive::common_prefix(&a, &b).as_slice());
+        }
+
+        #[test]
+        fn contains_and_position_match_naive(a in arb_vec(), probe in 0u8..12) {
+            let seq = Seq::from(a.clone());
+            prop_assert_eq!(seq.contains(&probe), naive::contains(&a, &probe));
+            prop_assert_eq!(seq.position(&probe), naive::position(&a, &probe));
+        }
+
+        /// `common_prefix_all` equals repeated pairwise naive common_prefix.
+        #[test]
+        fn common_prefix_all_matches_naive(seqs in proptest::collection::vec(arb_vec(), 1..5)) {
+            let indexed = common_prefix_all(
+                seqs.iter().cloned().map(Seq::from).collect::<Vec<_>>().iter()
+            );
+            let mut expected = seqs[0].clone();
+            for s in &seqs[1..] {
+                expected = naive::common_prefix(&expected, s);
+            }
+            prop_assert_eq!(indexed.as_slice(), expected.as_slice());
+        }
+
+        /// The index survives mixed mutation: push / extend / split_prefix /
+        /// clear keep `contains`/`position` consistent with a naive scan.
+        #[test]
+        fn index_stays_consistent_under_mutation(
+            a in arb_vec(),
+            b in arb_vec(),
+            cut in 0usize..20,
+            probe in 0u8..12,
+        ) {
+            let mut seq = Seq::from(a.clone());
+            seq.extend(b.clone());
+            let mut model: Vec<u8> = a;
+            model.extend(b);
+            let prefix = seq.split_prefix(cut.min(model.len()));
+            let model_prefix: Vec<u8> = model.drain(..cut.min(model.len())).collect();
+            prop_assert_eq!(prefix.as_slice(), model_prefix.as_slice());
+            prop_assert_eq!(seq.as_slice(), model.as_slice());
+            prop_assert_eq!(seq.position(&probe), naive::position(&model, &probe));
+            prop_assert_eq!(prefix.position(&probe), naive::position(&model_prefix, &probe));
         }
     }
 }

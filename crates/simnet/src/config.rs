@@ -1,12 +1,10 @@
 //! Network configuration: latency models, link behaviour, partition handling.
 
-use serde::{Deserialize, Serialize};
-
 use crate::rng::SimRng;
 use crate::time::SimDuration;
 
 /// How the one-way latency of a link is sampled for each message.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LatencyModel {
     /// Every message takes exactly this long.
     Constant(SimDuration),
@@ -33,7 +31,9 @@ impl LatencyModel {
         match *self {
             LatencyModel::Constant(d) => d,
             LatencyModel::Uniform { min, max } => rng.duration_in(min, max),
-            LatencyModel::BasePlusExponential { base, tail_mean } => base + rng.exponential(tail_mean),
+            LatencyModel::BasePlusExponential { base, tail_mean } => {
+                base + rng.exponential(tail_mean)
+            }
         }
     }
 
@@ -61,7 +61,7 @@ impl Default for LatencyModel {
 }
 
 /// What happens to a message sent across an active partition.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum PartitionMode {
     /// The message is silently dropped. Reliable delivery (if required) must be
     /// provided by a retransmission layer such as `oar-channels`.
@@ -73,7 +73,7 @@ pub enum PartitionMode {
 }
 
 /// Per-link behaviour.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct LinkConfig {
     /// Latency model for messages on this link.
     pub latency: LatencyModel,
@@ -112,7 +112,7 @@ impl Default for LinkConfig {
 }
 
 /// Whole-network configuration.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct NetConfig {
     /// Default link behaviour for every ordered pair of processes.
     pub default_link: LinkConfig,

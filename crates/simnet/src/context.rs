@@ -4,10 +4,52 @@
 //! *actions* (send, set timer, …) in its context, and the simulator applies
 //! them after the callback returns. This keeps process code purely
 //! deterministic and easy to test in isolation.
+//!
+//! Multicast payloads are reference-counted from the moment they are
+//! recorded: [`Context::send_all`] shares **one** allocation of the payload
+//! across all recipients instead of cloning it per destination, and the
+//! simulator only materialises a private copy at actual delivery (see
+//! `world.rs`). For broadcast-heavy protocols — e.g. a sequencer shipping a
+//! batched ordering message to the whole group — this removes the
+//! per-recipient payload clone from the hot path entirely. Unicast sends
+//! ([`Context::send`]) keep the payload owned, so they stay allocation-free.
+
+use std::sync::Arc;
 
 use crate::process::{ProcessId, TimerId};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+
+/// A message payload travelling through the simulator: owned for unicast
+/// (no extra allocation), reference-counted for multicast (one allocation
+/// shared by every recipient).
+#[derive(Debug)]
+pub enum Payload<M> {
+    /// Exclusively owned — the unicast case.
+    Owned(M),
+    /// Shared across the recipients of one multicast.
+    Shared(Arc<M>),
+}
+
+impl<M: Clone> Payload<M> {
+    /// Takes the message out of the payload: free for owned payloads and for
+    /// the last reference of a shared one, a single clone otherwise.
+    pub fn materialize(self) -> M {
+        match self {
+            Payload::Owned(m) => m,
+            Payload::Shared(shared) => Arc::try_unwrap(shared).unwrap_or_else(|s| (*s).clone()),
+        }
+    }
+
+    /// Converts into the shared form (used when the network duplicates a
+    /// message).
+    pub fn into_shared(self) -> Arc<M> {
+        match self {
+            Payload::Owned(m) => Arc::new(m),
+            Payload::Shared(shared) => shared,
+        }
+    }
+}
 
 /// An action emitted by a process during a callback.
 #[derive(Debug)]
@@ -16,8 +58,8 @@ pub enum Action<M> {
     Send {
         /// Destination process.
         to: ProcessId,
-        /// Message payload.
-        msg: M,
+        /// Message payload (owned for unicast, shared for multicast).
+        msg: Payload<M>,
     },
     /// Arm a timer that fires after `delay`.
     SetTimer {
@@ -84,19 +126,27 @@ impl<'a, M> Context<'a, M> {
     }
 
     /// Sends `msg` to `to`. Sending to oneself is allowed and delivered through
-    /// the network like any other message (after `local_latency`).
+    /// the network like any other message (after `local_latency`). The payload
+    /// stays owned end to end — no extra allocation.
     pub fn send(&mut self, to: ProcessId, msg: M) {
-        self.actions.push(Action::Send { to, msg });
+        self.actions.push(Action::Send {
+            to,
+            msg: Payload::Owned(msg),
+        });
     }
 
-    /// Sends a clone of `msg` to every process in `targets` (including the
-    /// sender if it is listed).
-    pub fn send_all(&mut self, targets: &[ProcessId], msg: M)
-    where
-        M: Clone,
-    {
+    /// Sends `msg` to every process in `targets` (including the sender if it
+    /// is listed). The payload is allocated **once** and shared by reference
+    /// count across all recipients; the simulator clones it only at delivery
+    /// (and not at all for the last recipient, or for messages that are
+    /// dropped by the network).
+    pub fn send_all(&mut self, targets: &[ProcessId], msg: M) {
+        let shared = Arc::new(msg);
         for &to in targets {
-            self.send(to, msg.clone());
+            self.actions.push(Action::Send {
+                to,
+                msg: Payload::Shared(Arc::clone(&shared)),
+            });
         }
     }
 
@@ -149,16 +199,73 @@ mod tests {
         let _ = ctx.rng().unit();
 
         assert_eq!(actions.len(), 6);
-        assert!(matches!(actions[0], Action::Send { to: ProcessId(0), msg: 10 }));
-        assert!(matches!(actions[1], Action::Send { to: ProcessId(0), msg: 11 }));
-        assert!(matches!(actions[2], Action::Send { to: ProcessId(1), msg: 11 }));
+        // Unicast stays owned; multicast is shared.
+        assert!(matches!(
+            &actions[0],
+            Action::Send {
+                to: ProcessId(0),
+                msg: Payload::Owned(10)
+            }
+        ));
+        assert!(matches!(
+            &actions[1],
+            Action::Send { to: ProcessId(0), msg: Payload::Shared(m) } if **m == 11
+        ));
+        assert!(matches!(
+            &actions[2],
+            Action::Send { to: ProcessId(1), msg: Payload::Shared(m) } if **m == 11
+        ));
         assert!(matches!(
             actions[3],
-            Action::SetTimer { id: TimerId(0), tag: 99, .. }
+            Action::SetTimer {
+                id: TimerId(0),
+                tag: 99,
+                ..
+            }
         ));
         assert!(matches!(actions[4], Action::CancelTimer { id: TimerId(0) }));
         assert!(matches!(&actions[5], Action::Annotate(s) if s == "hello"));
         assert_eq!(next_timer, 1);
+    }
+
+    #[test]
+    fn send_all_shares_one_allocation() {
+        let mut rng = SimRng::new(1);
+        let mut actions: Vec<Action<u32>> = Vec::new();
+        let mut next_timer = 0u64;
+        let mut ctx = Context::new(
+            SimTime::ZERO,
+            ProcessId(0),
+            &mut rng,
+            &mut actions,
+            &mut next_timer,
+        );
+        ctx.send_all(&[ProcessId(1), ProcessId(2), ProcessId(3)], 7u32);
+        let arcs: Vec<&Arc<u32>> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Send {
+                    msg: Payload::Shared(shared),
+                    ..
+                } => shared,
+                other => panic!("unexpected action {other:?}"),
+            })
+            .collect();
+        assert_eq!(arcs.len(), 3);
+        assert!(Arc::ptr_eq(arcs[0], arcs[1]));
+        assert!(Arc::ptr_eq(arcs[1], arcs[2]));
+    }
+
+    #[test]
+    fn payload_materialize_and_share() {
+        assert_eq!(Payload::Owned(5u32).materialize(), 5);
+        let shared = Arc::new(6u32);
+        assert_eq!(Payload::Shared(Arc::clone(&shared)).materialize(), 6);
+        // last reference: materialize unwraps without cloning
+        drop(shared);
+        let only = Payload::Shared(Arc::new(String::from("x")));
+        assert_eq!(only.materialize(), "x");
+        assert_eq!(*Payload::Owned(7u32).into_shared(), 7);
     }
 
     #[test]

@@ -1,7 +1,5 @@
 //! Small statistics helpers used by the experiment harness.
 
-use serde::{Deserialize, Serialize};
-
 use crate::time::SimDuration;
 
 /// An online collection of samples with summary statistics.
@@ -9,7 +7,7 @@ use crate::time::SimDuration;
 /// Samples are stored (as `f64`) so that exact percentiles can be computed;
 /// the experiment harness deals with at most a few hundred thousand samples
 /// per run, which keeps this trivially cheap.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Samples {
     values: Vec<f64>,
 }
@@ -129,7 +127,7 @@ impl FromIterator<f64> for Samples {
 }
 
 /// A compact distribution summary, serialisable for the experiment harness.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -183,7 +181,7 @@ mod tests {
         assert_eq!(s.min(), Some(1.0));
         assert_eq!(s.max(), Some(5.0));
         assert_eq!(s.median(), Some(3.0));
-        assert!((s.std_dev().unwrap() - 1.4142).abs() < 1e-3);
+        assert!((s.std_dev().unwrap() - std::f64::consts::SQRT_2).abs() < 1e-3);
     }
 
     #[test]

@@ -164,10 +164,7 @@ impl Network {
             return latency;
         }
         let arrival = now + latency;
-        let horizon = self
-            .fifo_horizon
-            .entry((from, to))
-            .or_insert(SimTime::ZERO);
+        let horizon = self.fifo_horizon.entry((from, to)).or_insert(SimTime::ZERO);
         let arrival = arrival.max(*horizon);
         *horizon = arrival;
         arrival - now

@@ -9,8 +9,6 @@
 use std::any::Any;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::context::Context;
 
 /// Identifier of a process inside a simulation [`World`](crate::World).
@@ -18,9 +16,7 @@ use crate::context::Context;
 /// Identifiers are assigned densely, in the order processes are added, starting
 /// at zero. The OAR protocol uses the position of a server in `Π` as its
 /// identity (e.g. for the rotating sequencer), which maps directly onto this.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ProcessId(pub usize);
 
 impl ProcessId {
@@ -51,7 +47,7 @@ impl From<usize> for ProcessId {
 /// Identifier of a timer set through [`Context::set_timer`].
 ///
 /// [`Context::set_timer`]: crate::Context::set_timer
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TimerId(pub u64);
 
 /// A fired timer, as delivered to [`Process::on_timer`].

@@ -98,7 +98,9 @@ mod tests {
     fn different_seed_different_stream() {
         let mut a = SimRng::new(1);
         let mut b = SimRng::new(2);
-        let same = (0..64).filter(|_| a.int_in(0, u64::MAX) == b.int_in(0, u64::MAX)).count();
+        let same = (0..64)
+            .filter(|_| a.int_in(0, u64::MAX) == b.int_in(0, u64::MAX))
+            .count();
         assert!(same < 4);
     }
 
@@ -147,7 +149,10 @@ mod tests {
         let n = 20_000u64;
         let total: u64 = (0..n).map(|_| r.exponential(mean).as_micros()).sum();
         let observed = total as f64 / n as f64;
-        assert!((800.0..1200.0).contains(&observed), "observed mean {observed}");
+        assert!(
+            (800.0..1200.0).contains(&observed),
+            "observed mean {observed}"
+        );
     }
 
     #[test]

@@ -9,13 +9,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::process::ProcessId;
 use crate::time::SimTime;
 
 /// What happened.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum TraceKind {
     /// A process handed a message to the network.
     MessageSent {
@@ -64,7 +62,7 @@ pub enum TraceKind {
 }
 
 /// Why a message was dropped.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum DropReason {
     /// Random loss according to the link's drop probability.
     RandomLoss,
@@ -78,7 +76,7 @@ pub enum DropReason {
 }
 
 /// One trace record.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When it happened.
     pub time: SimTime,
@@ -110,7 +108,7 @@ impl fmt::Display for TraceEvent {
 }
 
 /// Aggregate network statistics, cheap to keep even when full tracing is off.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Messages handed to the network.
     pub sent: u64,
@@ -180,9 +178,7 @@ impl Tracer {
         self.events
             .iter()
             .filter_map(|e| match &e.kind {
-                TraceKind::Annotation { process: p, text } if *p == process => {
-                    Some(text.as_str())
-                }
+                TraceKind::Annotation { process: p, text } if *p == process => Some(text.as_str()),
                 _ => None,
             })
             .collect()
@@ -236,11 +232,17 @@ mod tests {
         let mut t = Tracer::new(true);
         t.record(
             SimTime::ZERO,
-            TraceKind::MessageSent { from: ProcessId(0), to: ProcessId(1) },
+            TraceKind::MessageSent {
+                from: ProcessId(0),
+                to: ProcessId(1),
+            },
         );
         t.record(
             SimTime::from_millis(1),
-            TraceKind::MessageDelivered { from: ProcessId(0), to: ProcessId(1) },
+            TraceKind::MessageDelivered {
+                from: ProcessId(0),
+                to: ProcessId(1),
+            },
         );
         t.record(
             SimTime::from_millis(2),
@@ -250,7 +252,10 @@ mod tests {
                 reason: DropReason::RandomLoss,
             },
         );
-        t.record(SimTime::from_millis(3), TraceKind::TimerFired { at: ProcessId(1) });
+        t.record(
+            SimTime::from_millis(3),
+            TraceKind::TimerFired { at: ProcessId(1) },
+        );
         let s = t.stats();
         assert_eq!(s.sent, 1);
         assert_eq!(s.delivered, 1);
@@ -264,11 +269,17 @@ mod tests {
         let mut t = Tracer::new(false);
         t.record(
             SimTime::ZERO,
-            TraceKind::MessageSent { from: ProcessId(0), to: ProcessId(1) },
+            TraceKind::MessageSent {
+                from: ProcessId(0),
+                to: ProcessId(1),
+            },
         );
         t.record(
             SimTime::ZERO,
-            TraceKind::Annotation { process: ProcessId(0), text: "x".into() },
+            TraceKind::Annotation {
+                process: ProcessId(0),
+                text: "x".into(),
+            },
         );
         assert_eq!(t.events().len(), 1);
         assert_eq!(t.stats().sent, 1);
@@ -279,11 +290,17 @@ mod tests {
         let mut t = Tracer::new(true);
         t.record(
             SimTime::ZERO,
-            TraceKind::Annotation { process: ProcessId(0), text: "Opt-deliver(m1)".into() },
+            TraceKind::Annotation {
+                process: ProcessId(0),
+                text: "Opt-deliver(m1)".into(),
+            },
         );
         t.record(
             SimTime::from_millis(1),
-            TraceKind::Annotation { process: ProcessId(1), text: "A-deliver(m1)".into() },
+            TraceKind::Annotation {
+                process: ProcessId(1),
+                text: "A-deliver(m1)".into(),
+            },
         );
         assert_eq!(t.annotations_of(ProcessId(0)), vec!["Opt-deliver(m1)"]);
         assert_eq!(t.annotations_matching("deliver").len(), 2);
@@ -297,7 +314,9 @@ mod tests {
     fn display_formats() {
         let e = TraceEvent {
             time: SimTime::from_millis(1),
-            kind: TraceKind::Crashed { process: ProcessId(3) },
+            kind: TraceKind::Crashed {
+                process: ProcessId(3),
+            },
         };
         assert_eq!(format!("{e}"), "[1.000ms] p3 CRASH");
     }

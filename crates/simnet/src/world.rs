@@ -3,9 +3,10 @@
 
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
+use std::sync::Arc;
 
 use crate::config::NetConfig;
-use crate::context::{Action, Context};
+use crate::context::{Action, Context, Payload};
 use crate::network::{Network, Routing};
 use crate::process::{Process, ProcessId, Timer, TimerId};
 use crate::rng::SimRng;
@@ -20,7 +21,11 @@ enum EventKind<M> {
     Deliver {
         from: ProcessId,
         to: ProcessId,
-        msg: M,
+        /// Owned for unicast; shared for multicast, in which case the
+        /// recipients all point at the same allocation and a private copy is
+        /// made only when the message is actually handed to `on_message`
+        /// (none for the last recipient).
+        msg: Payload<M>,
     },
     Timer {
         at: ProcessId,
@@ -73,7 +78,7 @@ struct Slot<M> {
 struct HeldMessage<M> {
     from: ProcessId,
     to: ProcessId,
-    msg: M,
+    msg: Payload<M>,
 }
 
 /// A deterministic discrete-event simulation of a set of processes exchanging
@@ -223,7 +228,7 @@ impl<M: Clone + 'static> World<M> {
     /// like a message sent by `from`. Useful for tests that drive a protocol
     /// without modelling the sender as a process.
     pub fn send_external(&mut self, from: ProcessId, to: ProcessId, msg: M) {
-        self.route_send(from, to, msg);
+        self.route_send(from, to, Payload::Owned(msg));
     }
 
     /// Schedules `process` to crash at time `at` (crash-stop: it never
@@ -266,7 +271,13 @@ impl<M: Clone + 'static> World<M> {
         process: ProcessId,
         f: impl FnOnce(&mut dyn Process<M>, &mut Context<'_, M>) + 'static,
     ) {
-        self.push_event(at, EventKind::Call { at: process, f: Box::new(f) });
+        self.push_event(
+            at,
+            EventKind::Call {
+                at: process,
+                f: Box::new(f),
+            },
+        );
     }
 
     /// Runs `f` against process `process` immediately (at the current time).
@@ -409,6 +420,9 @@ impl<M: Clone + 'static> World<M> {
                 }
                 self.tracer
                     .record(self.now, TraceKind::MessageDelivered { from, to });
+                // Materialise the payload: free for owned messages and for
+                // the last reference of a shared one, one clone otherwise.
+                let msg = msg.materialize();
                 let mut actions: Vec<Action<M>> = Vec::new();
                 {
                     let slot = &mut self.slots[to.0];
@@ -512,19 +526,29 @@ impl<M: Clone + 'static> World<M> {
                     self.cancelled_timers.insert(id);
                 }
                 Action::Annotate(text) => {
-                    self.tracer
-                        .record(self.now, TraceKind::Annotation { process: from, text });
+                    self.tracer.record(
+                        self.now,
+                        TraceKind::Annotation {
+                            process: from,
+                            text,
+                        },
+                    );
                 }
             }
         }
     }
 
-    fn route_send(&mut self, from: ProcessId, to: ProcessId, msg: M) {
-        self.tracer.record(self.now, TraceKind::MessageSent { from, to });
+    fn route_send(&mut self, from: ProcessId, to: ProcessId, msg: Payload<M>) {
+        self.tracer
+            .record(self.now, TraceKind::MessageSent { from, to });
         if to.0 >= self.slots.len() {
             self.tracer.record(
                 self.now,
-                TraceKind::MessageDropped { from, to, reason: DropReason::DestinationCrashed },
+                TraceKind::MessageDropped {
+                    from,
+                    to,
+                    reason: DropReason::DestinationCrashed,
+                },
             );
             return;
         }
@@ -533,19 +557,42 @@ impl<M: Clone + 'static> World<M> {
                 self.push_event(self.now + latency, EventKind::Deliver { from, to, msg });
             }
             Routing::DeliverDuplicated(a, b) => {
-                self.push_event(self.now + a, EventKind::Deliver { from, to, msg: msg.clone() });
-                self.push_event(self.now + b, EventKind::Deliver { from, to, msg });
+                let shared = msg.into_shared();
+                self.push_event(
+                    self.now + a,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg: Payload::Shared(Arc::clone(&shared)),
+                    },
+                );
+                self.push_event(
+                    self.now + b,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg: Payload::Shared(shared),
+                    },
+                );
             }
             Routing::DropLoss => {
                 self.tracer.record(
                     self.now,
-                    TraceKind::MessageDropped { from, to, reason: DropReason::RandomLoss },
+                    TraceKind::MessageDropped {
+                        from,
+                        to,
+                        reason: DropReason::RandomLoss,
+                    },
                 );
             }
             Routing::DropPartitioned => {
                 self.tracer.record(
                     self.now,
-                    TraceKind::MessageDropped { from, to, reason: DropReason::Partitioned },
+                    TraceKind::MessageDropped {
+                        from,
+                        to,
+                        reason: DropReason::Partitioned,
+                    },
                 );
             }
             Routing::HoldForHeal => {
@@ -635,11 +682,7 @@ mod tests {
             let _a = world.add_process(PingPong::new(vec![ProcessId(1)], 5));
             let _b = world.add_process(PingPong::new(vec![ProcessId(0)], 5));
             world.run_until_quiescent(SimTime::from_secs(1));
-            (
-                world.now(),
-                world.stats(),
-                world.tracer().events().to_vec(),
-            )
+            (world.now(), world.stats(), world.tracer().events().to_vec())
         };
         let (t1, s1, e1) = run(7);
         let (t2, s2, e2) = run(7);
@@ -799,7 +842,8 @@ mod tests {
 
     #[test]
     fn invoke_now_applies_actions() {
-        let mut world: World<Msg> = World::new(NetConfig::constant(SimDuration::from_millis(1)), 13);
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 13);
         let a = world.add_process(PingPong::new(vec![], 0));
         let b = world.add_process(PingPong::new(vec![], 0));
         world.invoke_now(a, |_p, ctx| ctx.send(ProcessId(1), Msg::Ping(7)));

@@ -20,9 +20,20 @@ fn workload(client: usize) -> Vec<BankCommand> {
     let mut commands = Vec::new();
     for i in 0..15 {
         match i % 3 {
-            0 => commands.push(BankCommand::Transfer { from: a, to: b, amount: 5 }),
-            1 => commands.push(BankCommand::Transfer { from: b, to: 0, amount: 3 }),
-            _ => commands.push(BankCommand::Deposit { account: a, amount: 2 }),
+            0 => commands.push(BankCommand::Transfer {
+                from: a,
+                to: b,
+                amount: 5,
+            }),
+            1 => commands.push(BankCommand::Transfer {
+                from: b,
+                to: 0,
+                amount: 3,
+            }),
+            _ => commands.push(BankCommand::Deposit {
+                account: a,
+                amount: 2,
+            }),
         }
     }
     commands.push(BankCommand::Balance { account: a });
@@ -39,16 +50,23 @@ fn main() {
         seed: 7,
         ..ClusterConfig::default()
     };
-    let mut cluster: Cluster<BankMachine> =
-        Cluster::build(&config, || BankMachine::with_accounts(accounts, initial), workload);
+    let mut cluster: Cluster<BankMachine> = Cluster::build(
+        &config,
+        || BankMachine::with_accounts(accounts, initial),
+        workload,
+    );
 
     // Crash the current sequencer (server 0) while the workload is in flight.
-    cluster.world.schedule_crash(ProcessId(0), SimTime::from_millis(3));
+    cluster
+        .world
+        .schedule_crash(ProcessId(0), SimTime::from_millis(3));
 
     let done = cluster.run_to_completion(SimTime::from_secs(60));
     assert!(done, "workload did not finish after the sequencer crash");
     cluster.check_replica_consistency().expect("replicas agree");
-    cluster.check_external_consistency().expect("client replies are final");
+    cluster
+        .check_external_consistency()
+        .expect("client replies are final");
 
     let deposited_per_client = 5 * 2; // five Deposit commands of 2 per client
     let expected_total =
@@ -67,7 +85,11 @@ fn main() {
             bank.total_funds(),
             bank.num_accounts()
         );
-        assert_eq!(bank.total_funds(), expected_total, "money must be conserved");
+        assert_eq!(
+            bank.total_funds(),
+            expected_total,
+            "money must be conserved"
+        );
     }
     println!(
         "completed {} requests; phase-2 entries: {}; latency: {}",

@@ -42,7 +42,9 @@ fn main() {
 
     // Every replica holds the same state.
     for (i, &server) in cluster.servers.clone().iter().enumerate() {
-        let server = cluster.world.process_ref::<oar::OarServer<CounterMachine>>(server);
+        let server = cluster
+            .world
+            .process_ref::<oar::OarServer<CounterMachine>>(server);
         println!(
             "server {i}: counter={} epoch={} opt-delivered={} phase2-entries={}",
             server.state_machine().value(),
@@ -53,8 +55,13 @@ fn main() {
     }
 
     cluster.check_replica_consistency().expect("replicas agree");
-    cluster.check_external_consistency().expect("client replies are final");
+    cluster
+        .check_external_consistency()
+        .expect("client replies are final");
     println!("latency summary (ms): {}", cluster.latencies().summary());
-    println!("OK: failure-free run, {} phase-2 entries, {} undeliveries",
-        cluster.total_phase2_entries(), cluster.total_undeliveries());
+    println!(
+        "OK: failure-free run, {} phase-2 entries, {} undeliveries",
+        cluster.total_phase2_entries(),
+        cluster.total_undeliveries()
+    );
 }

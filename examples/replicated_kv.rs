@@ -17,7 +17,10 @@ fn workload(client: usize) -> Vec<KvCommand> {
         if i % 3 == 2 {
             commands.push(KvCommand::Get { key });
         } else {
-            commands.push(KvCommand::Put { key, value: format!("c{client}#{i}") });
+            commands.push(KvCommand::Put {
+                key,
+                value: format!("c{client}#{i}"),
+            });
         }
     }
     commands.push(KvCommand::CompareAndSwap {
@@ -41,12 +44,16 @@ fn main() {
     // Crash one non-sequencer replica mid-run: active replication keeps going
     // without any fail-over because the four remaining replicas still answer
     // with majority weight.
-    cluster.world.schedule_crash(ProcessId(3), SimTime::from_millis(4));
+    cluster
+        .world
+        .schedule_crash(ProcessId(3), SimTime::from_millis(4));
 
     let done = cluster.run_to_completion(SimTime::from_secs(60));
     assert!(done, "workload did not finish");
     cluster.check_replica_consistency().expect("replicas agree");
-    cluster.check_external_consistency().expect("client replies are final");
+    cluster
+        .check_external_consistency()
+        .expect("client replies are final");
 
     let total: usize = cluster.completed_requests().len();
     let swaps = cluster

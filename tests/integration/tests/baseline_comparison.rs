@@ -30,16 +30,24 @@ fn latency_ordering_oar_tracks_sequencer_and_beats_consensus() {
 #[test]
 fn throughput_rows_cover_all_protocols() {
     let rows = experiments::throughput_experiment(3, &[1, 4], 20, 5);
-    assert_eq!(rows.len(), 6);
+    // Four protocols (oar, oar-batched, fixed-sequencer, ct-abcast) × two
+    // client counts.
+    assert_eq!(rows.len(), 8);
     for r in &rows {
         assert!(r.requests_per_second > 0.0, "{r:?}");
         assert!(r.requests > 0, "{r:?}");
     }
     // More closed-loop clients => more total completed requests per second for
     // every protocol (the sweep is far from saturation at these sizes).
-    for protocol in ["oar", "fixed-sequencer", "ct-abcast"] {
-        let one = rows.iter().find(|r| r.protocol == protocol && r.clients == 1).unwrap();
-        let four = rows.iter().find(|r| r.protocol == protocol && r.clients == 4).unwrap();
+    for protocol in ["oar", "oar-batched", "fixed-sequencer", "ct-abcast"] {
+        let one = rows
+            .iter()
+            .find(|r| r.protocol == protocol && r.clients == 1)
+            .unwrap();
+        let four = rows
+            .iter()
+            .find(|r| r.protocol == protocol && r.clients == 4)
+            .unwrap();
         assert!(
             four.requests_per_second > one.requests_per_second,
             "{protocol}: {} vs {}",
@@ -47,6 +55,17 @@ fn throughput_rows_cover_all_protocols() {
             one.requests_per_second
         );
     }
+    // The batched sequencer amortises its ordering broadcasts.
+    let batched = rows
+        .iter()
+        .find(|r| r.protocol == "oar-batched" && r.clients == 4)
+        .unwrap();
+    assert!(
+        batched.order_messages_sent < batched.requests as u64,
+        "batched sequencer sent {} OrderMsgs for {} requests",
+        batched.order_messages_sent,
+        batched.requests
+    );
 }
 
 #[test]

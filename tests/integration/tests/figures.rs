@@ -51,7 +51,10 @@ fn figure_3_sequencer_crash_without_undelivery() {
 fn figure_4_sequencer_crash_with_undelivery() {
     let out = figures::figure_4(101);
     assert!(out.consistent, "{out:?}");
-    assert!(out.undeliveries > 0, "the minority's optimistic deliveries must be undone");
+    assert!(
+        out.undeliveries > 0,
+        "the minority's optimistic deliveries must be undone"
+    );
     assert!(out.timeline.contains("Opt-undeliver"));
 }
 

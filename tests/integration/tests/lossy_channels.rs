@@ -23,7 +23,12 @@ struct Endpoint {
 
 impl Endpoint {
     fn new(peer: ProcessId, to_send: Vec<u32>) -> Self {
-        Endpoint { link: FifoLink::new(), peer, to_send, received: Vec::new() }
+        Endpoint {
+            link: FifoLink::new(),
+            peer,
+            to_send,
+            received: Vec::new(),
+        }
     }
 }
 
@@ -73,8 +78,15 @@ fn reliable_fifo_delivery_over_a_very_lossy_network() {
         let receiver = world.process_ref::<Endpoint>(b);
         assert_eq!(receiver.received, payload, "seed {seed}");
         let sender = world.process_ref::<Endpoint>(a);
-        assert_eq!(sender.link.unacked_total(), 0, "seed {seed}: everything acknowledged");
-        assert!(world.stats().dropped > 0, "seed {seed}: the network did drop messages");
+        assert_eq!(
+            sender.link.unacked_total(),
+            0,
+            "seed {seed}: everything acknowledged"
+        );
+        assert!(
+            world.stats().dropped > 0,
+            "seed {seed}: the network did drop messages"
+        );
     }
 }
 

@@ -21,7 +21,9 @@ use oar_apps::bank::{BankCommand, BankMachine};
 use oar_simnet::{NetConfig, ProcessId, SimDuration, SimTime};
 
 fn counter_workload(client: usize, n: usize) -> Vec<CounterCommand> {
-    (0..n).map(|i| CounterCommand::Add((client * 31 + i) as i64 % 11 + 1)).collect()
+    (0..n)
+        .map(|i| CounterCommand::Add((client * 31 + i) as i64 % 11 + 1))
+        .collect()
 }
 
 fn run_checks<S: oar::StateMachine>(cluster: &Cluster<S>, label: &str) {
@@ -44,13 +46,19 @@ fn failure_free_runs_over_many_seeds() {
             ..ClusterConfig::default()
         };
         let mut cluster: Cluster<CounterMachine> =
-            Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 10));
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 10)
+            });
         assert!(
             cluster.run_to_completion(SimTime::from_secs(60)),
             "seed {seed}: workload did not finish"
         );
         assert_eq!(cluster.completed_requests().len(), 20, "seed {seed}");
-        assert_eq!(cluster.total_phase2_entries(), 0, "seed {seed}: no failures, no phase 2");
+        assert_eq!(
+            cluster.total_phase2_entries(),
+            0,
+            "seed {seed}: no failures, no phase 2"
+        );
         assert_eq!(cluster.total_undeliveries(), 0, "seed {seed}");
         run_checks(&cluster, &format!("failure-free seed {seed}"));
     }
@@ -68,7 +76,9 @@ fn sequencer_crash_at_random_times() {
             ..ClusterConfig::default()
         };
         let mut cluster: Cluster<CounterMachine> =
-            Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 15));
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 15)
+            });
         // Crash the epoch-0 sequencer at a seed-dependent time.
         let crash_at = SimTime::from_micros(500 + seed * 700);
         cluster.world.schedule_crash(ProcessId(0), crash_at);
@@ -93,11 +103,17 @@ fn crash_of_a_non_sequencer_replica_is_invisible_to_clients() {
             ..ClusterConfig::default()
         };
         let mut cluster: Cluster<CounterMachine> =
-            Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 10));
-        cluster
-            .world
-            .schedule_crash(ProcessId(2 + (seed % 3) as usize), SimTime::from_millis(1 + seed));
-        assert!(cluster.run_to_completion(SimTime::from_secs(60)), "seed {seed}");
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 10)
+            });
+        cluster.world.schedule_crash(
+            ProcessId(2 + (seed % 3) as usize),
+            SimTime::from_millis(1 + seed),
+        );
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(60)),
+            "seed {seed}"
+        );
         assert_eq!(cluster.completed_requests().len(), 30, "seed {seed}");
         run_checks(&cluster, &format!("replica-crash seed {seed}"));
     }
@@ -135,7 +151,9 @@ fn minority_partition_with_sequencer_crash_recovers_consistently() {
         cluster
             .world
             .schedule_partition(SimTime::from_millis(3), vec![minority, majority]);
-        cluster.world.schedule_crash(servers[0], SimTime::from_millis(6 + seed));
+        cluster
+            .world
+            .schedule_crash(servers[0], SimTime::from_millis(6 + seed));
         cluster.world.schedule_heal(SimTime::from_millis(120));
         assert!(
             cluster.run_to_completion(SimTime::from_secs(120)),
@@ -159,12 +177,24 @@ fn repeated_sequencer_crashes_across_epochs() {
         ..ClusterConfig::default()
     };
     let mut cluster: Cluster<CounterMachine> =
-        Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 20));
-    cluster.world.schedule_crash(ProcessId(0), SimTime::from_millis(2));
-    cluster.world.schedule_crash(ProcessId(1), SimTime::from_millis(60));
-    assert!(cluster.run_to_completion(SimTime::from_secs(300)), "workload did not finish");
+        Cluster::build(&config, CounterMachine::default, |c| {
+            counter_workload(c, 20)
+        });
+    cluster
+        .world
+        .schedule_crash(ProcessId(0), SimTime::from_millis(2));
+    cluster
+        .world
+        .schedule_crash(ProcessId(1), SimTime::from_millis(60));
+    assert!(
+        cluster.run_to_completion(SimTime::from_secs(300)),
+        "workload did not finish"
+    );
     assert_eq!(cluster.completed_requests().len(), 40);
-    assert!(cluster.total_phase2_entries() >= 2, "two fail-overs expected");
+    assert!(
+        cluster.total_phase2_entries() >= 2,
+        "two fail-overs expected"
+    );
     run_checks(&cluster, "double-crash");
 }
 
@@ -180,8 +210,10 @@ fn bank_invariants_hold_under_sequencer_crash() {
         seed: 17,
         ..ClusterConfig::default()
     };
-    let mut cluster: Cluster<BankMachine> =
-        Cluster::build(&config, || BankMachine::with_accounts(accounts, initial), |client| {
+    let mut cluster: Cluster<BankMachine> = Cluster::build(
+        &config,
+        || BankMachine::with_accounts(accounts, initial),
+        |client| {
             (0..12)
                 .map(|i| BankCommand::Transfer {
                     from: (client as u32 * 2) % accounts,
@@ -189,15 +221,21 @@ fn bank_invariants_hold_under_sequencer_crash() {
                     amount: 3,
                 })
                 .collect()
-        });
-    cluster.world.schedule_crash(ProcessId(0), SimTime::from_millis(2));
+        },
+    );
+    cluster
+        .world
+        .schedule_crash(ProcessId(0), SimTime::from_millis(2));
     assert!(cluster.run_to_completion(SimTime::from_secs(120)));
     run_checks(&cluster, "bank");
     for (i, &server) in cluster.servers.clone().iter().enumerate() {
         if cluster.world.is_crashed(server) {
             continue;
         }
-        let bank = cluster.world.process_ref::<oar::OarServer<BankMachine>>(server).state_machine();
+        let bank = cluster
+            .world
+            .process_ref::<oar::OarServer<BankMachine>>(server)
+            .state_machine();
         assert_eq!(
             bank.total_funds(),
             accounts as i64 * initial,
@@ -207,10 +245,84 @@ fn bank_invariants_hold_under_sequencer_crash() {
 }
 
 #[test]
+fn propositions_hold_with_batched_sequencer_under_crash() {
+    // The `max_batch` knob must not affect safety, only message counts: rerun
+    // the sequencer-crash scenario with batched ordering. The interesting
+    // hazard is a partially accumulated batch (not yet flushed by the tick)
+    // at the moment the group enters phase 2.
+    for seed in 0..8u64 {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::lan(),
+            oar: OarConfig {
+                max_batch: 8,
+                ..OarConfig::with_fd_timeout(SimDuration::from_millis(20))
+            },
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 15)
+            });
+        let crash_at = SimTime::from_micros(500 + seed * 700);
+        cluster.world.schedule_crash(ProcessId(0), crash_at);
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(120)),
+            "seed {seed}: batched workload did not finish after sequencer crash at {crash_at}"
+        );
+        assert_eq!(cluster.completed_requests().len(), 30, "seed {seed}");
+        run_checks(&cluster, &format!("batched sequencer-crash seed {seed}"));
+    }
+}
+
+#[test]
+fn propositions_hold_with_batched_sequencer_under_partition() {
+    // Figure-4 family with batching: minority partition containing the
+    // sequencer, crash, heal — Opt-undeliveries may occur; consistency must
+    // hold and batching must still amortise the ordering broadcasts.
+    for seed in 0..4u64 {
+        let config = ClusterConfig {
+            num_servers: 5,
+            num_clients: 3,
+            net: NetConfig::constant(SimDuration::from_micros(100)),
+            oar: OarConfig {
+                max_batch: 8,
+                ..OarConfig::with_fd_timeout(SimDuration::from_millis(25))
+            },
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 6));
+        let servers = cluster.servers.clone();
+        let clients = cluster.clients.clone();
+        let minority = vec![servers[0], servers[1], clients[1], clients[2]];
+        let majority = vec![servers[2], servers[3], servers[4], clients[0]];
+        cluster
+            .world
+            .schedule_partition(SimTime::from_millis(3), vec![minority, majority]);
+        cluster
+            .world
+            .schedule_crash(servers[0], SimTime::from_millis(6 + seed));
+        cluster.world.schedule_heal(SimTime::from_millis(120));
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(120)),
+            "seed {seed}: batched workload did not finish"
+        );
+        run_checks(&cluster, &format!("batched partition seed {seed}"));
+    }
+}
+
+#[test]
 fn epoch_cutting_preserves_correctness() {
     // The §5.3 remark: proactively cutting epochs (running phase 2 regularly)
     // must not affect safety, only performance.
-    let oar = OarConfig { epoch_cut_after: Some(5), ..OarConfig::default() };
+    let oar = OarConfig {
+        epoch_cut_after: Some(5),
+        ..OarConfig::default()
+    };
     let config = ClusterConfig {
         num_servers: 3,
         num_clients: 2,
@@ -220,10 +332,19 @@ fn epoch_cutting_preserves_correctness() {
         ..ClusterConfig::default()
     };
     let mut cluster: Cluster<CounterMachine> =
-        Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 25));
+        Cluster::build(&config, CounterMachine::default, |c| {
+            counter_workload(c, 25)
+        });
     assert!(cluster.run_to_completion(SimTime::from_secs(120)));
     assert_eq!(cluster.completed_requests().len(), 50);
-    assert!(cluster.total_phase2_entries() > 0, "epoch cutting should run phase 2");
-    assert_eq!(cluster.total_undeliveries(), 0, "proactive cuts never undo deliveries");
+    assert!(
+        cluster.total_phase2_entries() > 0,
+        "epoch cutting should run phase 2"
+    );
+    assert_eq!(
+        cluster.total_undeliveries(),
+        0,
+        "proactive cuts never undo deliveries"
+    );
     run_checks(&cluster, "epoch-cut");
 }

@@ -1,0 +1,387 @@
+//! Minimal, dependency-free stand-in for the subset of the [`criterion`]
+//! crate API used by this workspace's benches.
+//!
+//! The build environment has no access to crates.io, so the `benches/`
+//! targets link against this crate instead (the package is `oar-criterion`,
+//! the library target keeps the `criterion` name so the bench sources are
+//! unchanged).
+//!
+//! Behaviour:
+//!
+//! * when the binary is run **with** `--bench` (what `cargo bench` does), each
+//!   benchmark point is warmed up, calibrated to ~2 ms per sample and measured
+//!   over `sample_size` samples; mean and minimum per-iteration times are
+//!   printed and collected;
+//! * when run **without** `--bench` (e.g. `cargo test --benches`), every point
+//!   runs exactly once as a smoke test;
+//! * on exit, [`Criterion::finalize`] writes every measurement to
+//!   `BENCH_<bench-name>.json` in the current directory (override the
+//!   directory with `OAR_BENCH_OUT_DIR`), giving the repository a trajectory
+//!   point per run.
+//!
+//! [`criterion`]: https://crates.io/crates/criterion
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark point within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Just `<parameter>`.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Throughput annotation for a benchmark point.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Group name.
+    pub group: String,
+    /// Point id within the group.
+    pub id: String,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time, nanoseconds.
+    pub min_ns: f64,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+    /// Number of samples.
+    pub samples: u64,
+    /// Elements per iteration, if a throughput was declared.
+    pub elements: Option<u64>,
+}
+
+/// The benchmark driver. One instance per bench binary.
+pub struct Criterion {
+    measurements: Vec<Measurement>,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with `--bench`; anything else
+        // (e.g. `cargo test --benches`) gets a single-iteration smoke run.
+        let smoke = !std::env::args().any(|a| a == "--bench");
+        Criterion {
+            measurements: Vec::new(),
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmark points.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id: BenchmarkId = id.into();
+        let mut group = self.benchmark_group("");
+        group.bench_with_input(id, &(), move |b, _| f(b));
+        group.finish();
+    }
+
+    /// All measurements recorded so far.
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    /// Prints a summary and writes `BENCH_<name>.json` (skipped in smoke
+    /// mode). Called by [`criterion_main!`].
+    pub fn finalize(&self) {
+        if self.smoke || self.measurements.is_empty() {
+            return;
+        }
+        let name = bench_name();
+        let dir = std::env::var("OAR_BENCH_OUT_DIR").unwrap_or_else(|_| workspace_root());
+        let path = format!("{dir}/BENCH_{name}.json");
+        let mut rows = Vec::new();
+        for m in &self.measurements {
+            let elements = m.elements.map_or("null".to_string(), |e| e.to_string());
+            rows.push(format!(
+                concat!(
+                    "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.1},",
+                    "\"min_ns\":{:.1},\"iters_per_sample\":{},\"samples\":{},",
+                    "\"elements\":{}}}"
+                ),
+                m.group, m.id, m.mean_ns, m.min_ns, m.iters_per_sample, m.samples, elements
+            ));
+        }
+        let json = format!(
+            "{{\"bench\":\"{name}\",\"results\":[\n{}\n]}}\n",
+            rows.join(",\n")
+        );
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// The directory the JSON report defaults to: the nearest ancestor of the
+/// bench's working directory whose `Cargo.toml` declares `[workspace]` (cargo
+/// runs bench binaries with the *package* directory as CWD), falling back to
+/// the working directory itself.
+fn workspace_root() -> String {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(contents) = std::fs::read_to_string(&manifest) {
+            if contents.contains("[workspace]") {
+                return dir.display().to_string();
+            }
+        }
+        if !dir.pop() {
+            return ".".to_string();
+        }
+    }
+}
+
+/// The bench binary's logical name: the executable stem minus cargo's
+/// trailing `-<hash>`.
+fn bench_name() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// A group of benchmark points sharing a name and settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per point (default 20).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares the work done per iteration, for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(match throughput {
+            Throughput::Elements(n) | Throughput::Bytes(n) => n,
+        });
+        self
+    }
+
+    /// Measures `f` with the given input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            smoke: self.criterion.smoke,
+            sample_size: self.sample_size,
+            result: None,
+        };
+        f(&mut bencher, input);
+        if let Some((mean_ns, min_ns, iters, samples)) = bencher.result {
+            let label = if self.name.is_empty() {
+                id.id.clone()
+            } else {
+                format!("{}/{}", self.name, id.id)
+            };
+            println!(
+                "{label:<48} mean {:>12.1} ns   min {:>12.1} ns",
+                mean_ns, min_ns
+            );
+            self.criterion.measurements.push(Measurement {
+                group: self.name.clone(),
+                id: id.id,
+                mean_ns,
+                min_ns,
+                iters_per_sample: iters,
+                samples,
+                elements: self.throughput,
+            });
+        }
+        self
+    }
+
+    /// Measures `f` without an input value.
+    pub fn bench_function(
+        &mut self,
+        id: BenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.bench_with_input(id, &(), move |b, _| f(b))
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; its [`iter`](Bencher::iter) method runs
+/// and times the workload.
+pub struct Bencher {
+    smoke: bool,
+    sample_size: usize,
+    /// (mean_ns, min_ns, iters_per_sample, samples)
+    result: Option<(f64, f64, u64, u64)>,
+}
+
+impl Bencher {
+    /// Times `f`, storing the measurement in the group.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        if self.smoke {
+            black_box(f());
+            self.result = Some((0.0, 0.0, 1, 1));
+            return;
+        }
+        // Warm-up + calibration: aim for ~2 ms per sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let single = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let iters: u64 = if single >= target {
+            1
+        } else {
+            (target.as_nanos() / single.as_nanos()).clamp(1, 10_000_000) as u64
+        };
+        let samples = self.sample_size as u64;
+        let mut total_ns: u128 = 0;
+        let mut min_sample_ns: u128 = u128::MAX;
+        for _ in 0..samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let ns = t0.elapsed().as_nanos();
+            total_ns += ns;
+            min_sample_ns = min_sample_ns.min(ns);
+        }
+        let mean_ns = total_ns as f64 / (samples * iters) as f64;
+        let min_ns = min_sample_ns as f64 / iters as f64;
+        self.result = Some((mean_ns, min_ns, iters, samples));
+    }
+}
+
+/// Groups bench functions under one name, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generates the bench binary's `main`, running every group then writing the
+/// JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("subtract", 64).id, "subtract/64");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+    }
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            measurements: Vec::new(),
+            smoke: true,
+        };
+        let mut runs = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_with_input(BenchmarkId::new("f", 1), &(), |b, _| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 1);
+        assert_eq!(c.measurements().len(), 1);
+    }
+
+    #[test]
+    fn measure_mode_records_timing() {
+        let mut c = Criterion {
+            measurements: Vec::new(),
+            smoke: false,
+        };
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(3);
+            g.throughput(Throughput::Elements(10));
+            g.bench_with_input(BenchmarkId::new("spin", 0), &(), |b, _| {
+                b.iter(|| std::hint::black_box((0..100u64).sum::<u64>()))
+            });
+            g.finish();
+        }
+        let m = &c.measurements()[0];
+        assert!(m.mean_ns > 0.0);
+        assert!(m.min_ns <= m.mean_ns * 1.5);
+        assert_eq!(m.elements, Some(10));
+        assert_eq!(m.samples, 3);
+    }
+}
