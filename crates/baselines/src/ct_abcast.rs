@@ -14,7 +14,7 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 use oar::state_machine::StateMachine;
 use oar::RequestId;
 use oar_channels::MsgId;
-use oar_consensus::{ConsensusConfig, ConsensusWire, Decision, MajConsensus};
+use oar_consensus::{ConsensusConfig, ConsensusSend, ConsensusWire, Decision, MajConsensus};
 use oar_fd::{FdConfig, FdWire, HeartbeatFd};
 use oar_sequence::{dedup_append, Seq};
 use oar_simnet::{Context, Process, ProcessId, SimDuration, SimTime, Timer};
@@ -185,11 +185,16 @@ impl<S: StateMachine> CtServer<S> {
     fn dispatch(
         &mut self,
         ctx: &mut Context<'_, CtWire<S::Command, S::Response>>,
-        messages: Vec<oar_channels::Outgoing<ConsensusWire<Seq<RequestId>>>>,
+        messages: Vec<ConsensusSend<Seq<RequestId>>>,
         decision: Option<Decision<Seq<RequestId>>>,
     ) {
-        for m in messages {
-            ctx.send(m.to, CtWire::Consensus(m.wire));
+        for send in messages {
+            if let [to] = send.targets[..] {
+                ctx.send(to, CtWire::Consensus(send.wire));
+            } else {
+                // Group-wide wire: one shared allocation for all recipients.
+                ctx.send_all(&send.targets, CtWire::Consensus(send.wire));
+            }
         }
         if let Some(decision) = decision {
             self.pending_decision = Some(decision);

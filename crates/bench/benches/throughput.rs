@@ -1,21 +1,51 @@
 //! T-THROUGHPUT bench: wall-clock cost of the closed-loop throughput workload
 //! as the number of concurrent clients grows, for the unbatched (`max_batch =
-//! 1`, the paper's Fig. 6 behaviour) and batched sequencer. The cross-protocol
-//! comparison is produced by `harness -- throughput`.
+//! 1`, the paper's Fig. 6 behaviour), batched-sequencer, and batched +
+//! pipelined (reply-coalescing) variants. Each point also records the
+//! protocol's traffic counters — `order_messages_sent`,
+//! `reply_messages_sent`, `replies_sent`, `peak_payloads` — so the
+//! `BENCH_throughput.json` trajectory shows the amortisation, not just the
+//! timing. The cross-protocol comparison is produced by `harness --
+//! throughput`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oar::OarConfig;
-use oar_bench::experiments::build_throughput_cluster;
+use oar_bench::experiments::{build_throughput_cluster, BATCHED_MAX_BATCH, PIPELINE_DEPTH};
 use oar_simnet::SimTime;
 
 const SEED: u64 = 11;
 
 /// Times only the protocol run; the consistency checks of the harness
 /// experiment are exercised by `cargo test`, not inside the measured loop.
-fn run_cluster(oar: OarConfig, clients: usize, requests_per_client: usize) -> usize {
-    let mut cluster = build_throughput_cluster(oar, 3, clients, requests_per_client, SEED);
+fn run_cluster(
+    oar: OarConfig,
+    clients: usize,
+    requests_per_client: usize,
+    pipeline: usize,
+) -> usize {
+    let mut cluster =
+        build_throughput_cluster(oar, 3, clients, requests_per_client, pipeline, SEED);
     assert!(cluster.run_to_completion(SimTime::from_secs(600)));
     cluster.completed_requests().len()
+}
+
+/// One un-timed instrumentation run of the same deployment, returning the
+/// traffic counters attached to the bench point.
+fn traffic_counters(
+    oar: OarConfig,
+    clients: usize,
+    requests_per_client: usize,
+    pipeline: usize,
+) -> [(&'static str, u64); 4] {
+    let mut cluster =
+        build_throughput_cluster(oar, 3, clients, requests_per_client, pipeline, SEED);
+    assert!(cluster.run_to_completion(SimTime::from_secs(600)));
+    [
+        ("order_messages_sent", cluster.total_order_messages()),
+        ("reply_messages_sent", cluster.total_reply_messages()),
+        ("replies_sent", cluster.total_replies()),
+        ("peak_payloads", cluster.peak_payloads()),
+    ]
 }
 
 fn bench_throughput(c: &mut Criterion) {
@@ -23,21 +53,29 @@ fn bench_throughput(c: &mut Criterion) {
     group.sample_size(10);
     let requests_per_client = 25usize;
     for &clients in &[1usize, 2, 4, 8] {
+        let variants: [(&str, OarConfig, usize); 3] = [
+            ("unbatched", OarConfig::default(), 1),
+            ("batched8", OarConfig::with_batching(BATCHED_MAX_BATCH), 1),
+            (
+                // Pipelined clients + window-sized sequencer batches: the
+                // configuration whose replies coalesce into ReplyBatch wires.
+                "replybatch8",
+                OarConfig::with_batching(PIPELINE_DEPTH * clients),
+                PIPELINE_DEPTH,
+            ),
+        ];
         group.throughput(Throughput::Elements((clients * requests_per_client) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("unbatched", clients),
-            &clients,
-            |b, &clients| {
-                b.iter(|| run_cluster(OarConfig::default(), clients, requests_per_client))
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("batched8", clients),
-            &clients,
-            |b, &clients| {
-                b.iter(|| run_cluster(OarConfig::with_batching(8), clients, requests_per_client))
-            },
-        );
+        for (name, oar, pipeline) in &variants {
+            group.bench_with_input(BenchmarkId::new(*name, clients), &clients, |b, &clients| {
+                b.iter(|| run_cluster(*oar, clients, requests_per_client, *pipeline))
+            });
+            group.attach_counters(traffic_counters(
+                *oar,
+                clients,
+                requests_per_client,
+                *pipeline,
+            ));
+        }
     }
     group.finish();
 }

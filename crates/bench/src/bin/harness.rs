@@ -12,8 +12,13 @@
 //! cargo run --release -p oar-bench --bin harness -- undo
 //! cargo run --release -p oar-bench --bin harness -- throughput
 //! cargo run --release -p oar-bench --bin harness -- gc
+//! cargo run --release -p oar-bench --bin harness -- soak
+//! cargo run --release -p oar-bench --bin harness -- soak-smoke
 //! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
 //! ```
+//!
+//! `soak` / `soak-smoke` exit non-zero when the traffic-amortisation or
+//! payload-GC bounds are violated (the smoke variant is the CI gate).
 
 use oar_bench::json::ToJson;
 use oar_bench::{experiments, figures};
@@ -120,16 +125,74 @@ fn run_throughput() {
     println!("== T-THROUGHPUT: closed-loop throughput vs client count ==");
     let rows = experiments::throughput_experiment(3, &[1, 2, 4, 8], 50, SEED);
     println!(
-        "{:<16} {:>3} {:>7} {:>6} {:>10} {:>13}",
-        "protocol", "n", "clients", "reqs", "req/s(sim)", "mean-lat(ms)"
+        "{:<16} {:>3} {:>7} {:>6} {:>10} {:>13} {:>10} {:>11} {:>9}",
+        "protocol",
+        "n",
+        "clients",
+        "reqs",
+        "req/s(sim)",
+        "mean-lat(ms)",
+        "order-msgs",
+        "reply-wires",
+        "peak-pyld"
     );
     for r in &rows {
         println!(
-            "{:<16} {:>3} {:>7} {:>6} {:>10.1} {:>13.3}",
-            r.protocol, r.servers, r.clients, r.requests, r.requests_per_second, r.mean_latency_ms
+            "{:<16} {:>3} {:>7} {:>6} {:>10.1} {:>13.3} {:>10} {:>11} {:>9}",
+            r.protocol,
+            r.servers,
+            r.clients,
+            r.requests,
+            r.requests_per_second,
+            r.mean_latency_ms,
+            r.order_messages_sent,
+            r.reply_messages_sent,
+            r.peak_payloads
         );
     }
     print_json("throughput", &rows);
+}
+
+fn run_soak(clients: usize, requests_per_client: usize) -> bool {
+    println!(
+        "== T-SOAK: {} requests across epochs (batched + pipelined + epoch cuts) ==",
+        clients * requests_per_client
+    );
+    let row = experiments::soak_experiment(clients, requests_per_client, SEED);
+    println!(
+        "{:<6} {:>7} {:>6} {:>13} {:>9} {:>10} {:>7} {:>11} {:>10} {:>10} {:>10}",
+        "n",
+        "clients",
+        "reqs",
+        "epochs/server",
+        "peak-pyld",
+        "final-pyld",
+        "pruned",
+        "reply-wires",
+        "order-msgs",
+        "cns-wires",
+        "consistent"
+    );
+    println!(
+        "{:<6} {:>7} {:>6} {:>13.1} {:>9} {:>10} {:>7} {:>11} {:>10} {:>10} {:>10}",
+        row.servers,
+        row.clients,
+        row.requests,
+        row.epochs_per_server,
+        row.peak_payloads,
+        row.final_payloads,
+        row.payloads_pruned,
+        row.reply_messages_sent,
+        row.order_messages_sent,
+        row.consensus_allocations,
+        row.consistent
+    );
+    print_json("soak", std::slice::from_ref(&row));
+    let violations = experiments::check_soak_bounds(&row, requests_per_client);
+    for v in &violations {
+        eprintln!("SOAK VIOLATION: {v}");
+    }
+    violations.is_empty()
 }
 
 fn run_gc() {
@@ -159,6 +222,19 @@ fn main() {
         "undo" => run_undo(),
         "throughput" => run_throughput(),
         "gc" => run_gc(),
+        // The full soak: ≥ 5000 requests across epochs.
+        "soak" => {
+            if !run_soak(8, 640) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: a smaller soak whose amortisation/memory ceilings fail the
+        // build on regression.
+        "soak-smoke" => {
+            if !run_soak(4, 200) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             run_figures(None);
             run_latency();
@@ -166,10 +242,13 @@ fn main() {
             run_undo();
             run_throughput();
             run_gc();
+            if !run_soak(8, 640) {
+                std::process::exit(1);
+            }
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke");
             std::process::exit(2);
         }
     }

@@ -352,12 +352,32 @@ pub struct ThroughputRow {
     /// only; 0 for the baselines, which have no comparable counter). With
     /// `max_batch > 1` this drops well below `requests`.
     pub order_messages_sent: u64,
+    /// `ReplyBatch` wires sent to clients (OAR rows only). With reply
+    /// batching and pipelined clients this drops below `replies_sent`.
+    pub reply_messages_sent: u64,
+    /// Individual request replies carried by those wires (= `servers ×
+    /// requests` in failure-free runs).
+    pub replies_sent: u64,
+    /// Consensus wire allocations (shared-relay count; 0 in failure-free
+    /// runs, where phase 2 never starts).
+    pub consensus_allocations: u64,
+    /// Per-destination consensus deliveries — the allocations the pre-clone
+    /// implementation would have paid.
+    pub consensus_messages: u64,
+    /// Peak size of any server's `payloads` map during the run.
+    pub peak_payloads: u64,
 }
 
 /// Sequencer batch size used by the `oar-batched` throughput variant.
 pub const BATCHED_MAX_BATCH: usize = 8;
 
-/// Builds the closed-loop KV deployment used by the throughput experiment.
+/// Pipeline depth of the `oar-pipelined` throughput variant: deep enough to
+/// keep a full `OrderMsg` batch of each client's requests in flight, which is
+/// what lets the servers coalesce their replies into `ReplyBatch` wires.
+pub const PIPELINE_DEPTH: usize = BATCHED_MAX_BATCH;
+
+/// Builds the KV deployment used by the throughput experiment. `pipeline` is
+/// the per-client outstanding-request window (1 = the paper's closed loop).
 /// Also reused by the `throughput` criterion bench, so the measured workload
 /// cannot drift from the experiment (the bench times only the run, not the
 /// consistency checks).
@@ -366,6 +386,7 @@ pub fn build_throughput_cluster(
     servers: usize,
     clients: usize,
     requests_per_client: usize,
+    pipeline: usize,
     seed: u64,
 ) -> Cluster<KvMachine> {
     let config = ClusterConfig {
@@ -374,6 +395,7 @@ pub fn build_throughput_cluster(
         net: NetConfig::lan(),
         oar: oar_config,
         seed,
+        client_pipeline: pipeline,
         ..ClusterConfig::default()
     };
     Cluster::build(&config, KvMachine::new, |c| {
@@ -381,19 +403,26 @@ pub fn build_throughput_cluster(
     })
 }
 
-/// Runs one OAR closed-loop throughput deployment: builds the cluster, drives
-/// it to completion, checks the consistency propositions and returns the
-/// measured row.
+/// Runs one OAR throughput deployment: builds the cluster, drives it to
+/// completion, checks the consistency propositions and returns the measured
+/// row.
 pub fn run_oar_throughput(
     protocol: &str,
     oar_config: OarConfig,
     servers: usize,
     clients: usize,
     requests_per_client: usize,
+    pipeline: usize,
     seed: u64,
 ) -> ThroughputRow {
-    let mut cluster =
-        build_throughput_cluster(oar_config, servers, clients, requests_per_client, seed);
+    let mut cluster = build_throughput_cluster(
+        oar_config,
+        servers,
+        clients,
+        requests_per_client,
+        pipeline,
+        seed,
+    );
     assert!(
         cluster.run_to_completion(SimTime::from_secs(600)),
         "{protocol} run did not finish"
@@ -419,6 +448,11 @@ pub fn run_oar_throughput(
         cluster.latencies().mean(),
     );
     row.order_messages_sent = cluster.total_order_messages();
+    row.reply_messages_sent = cluster.total_reply_messages();
+    row.replies_sent = cluster.total_replies();
+    row.consensus_allocations = cluster.total_consensus_wires();
+    row.consensus_messages = cluster.total_consensus_messages();
+    row.peak_payloads = cluster.peak_payloads();
     row
 }
 
@@ -440,6 +474,7 @@ pub fn throughput_experiment(
             servers,
             clients,
             requests_per_client,
+            1,
             seed,
         ));
 
@@ -451,6 +486,22 @@ pub fn throughput_experiment(
             servers,
             clients,
             requests_per_client,
+            1,
+            seed,
+        ));
+
+        // OAR with pipelined clients and window-sized sequencer batches: one
+        // OrderMsg swallows the whole in-flight window (PIPELINE_DEPTH
+        // requests per client), so each server coalesces its replies into
+        // one ReplyBatch per client per window — reply_messages_sent drops
+        // towards servers × clients × ceil(requests / PIPELINE_DEPTH).
+        rows.push(run_oar_throughput(
+            "oar-pipelined",
+            OarConfig::with_batching(PIPELINE_DEPTH * clients),
+            servers,
+            clients,
+            requests_per_client,
+            PIPELINE_DEPTH,
             seed,
         ));
 
@@ -536,7 +587,183 @@ fn throughput_row(
         },
         mean_latency_ms: mean_latency.unwrap_or(0.0),
         order_messages_sent: 0,
+        reply_messages_sent: 0,
+        replies_sent: 0,
+        consensus_allocations: 0,
+        consensus_messages: 0,
+        peak_payloads: 0,
     }
+}
+
+/// One row of the long-run soak experiment (T-SOAK).
+#[derive(Clone, Debug)]
+pub struct SoakRow {
+    /// Number of replicas.
+    pub servers: usize,
+    /// Number of pipelined clients.
+    pub clients: usize,
+    /// Requests completed (the workload runs across many epochs).
+    pub requests: usize,
+    /// Epochs completed per server (average).
+    pub epochs_per_server: f64,
+    /// Peak size of any server's `payloads` map — the quantity the
+    /// epoch-watermark GC must bound.
+    pub peak_payloads: u64,
+    /// Largest `payloads` size across alive servers at the end of the run.
+    pub final_payloads: u64,
+    /// Payloads pruned by the watermark GC across all servers.
+    pub payloads_pruned: u64,
+    /// `ReplyBatch` wires sent across all servers.
+    pub reply_messages_sent: u64,
+    /// Individual replies carried by those wires.
+    pub replies_sent: u64,
+    /// `OrderMsg` broadcasts sent by sequencers.
+    pub order_messages_sent: u64,
+    /// Consensus wire allocations (shared-relay count).
+    pub consensus_allocations: u64,
+    /// Per-destination consensus deliveries the pre-clone scheme would have
+    /// allocated.
+    pub consensus_messages: u64,
+    /// Whether the run completed and stayed consistent.
+    pub consistent: bool,
+}
+
+/// Epoch-cut threshold of the soak experiment: epochs close every
+/// `SOAK_EPOCH_CUT` optimistic deliveries, giving the watermark GC regular
+/// settlement points.
+pub const SOAK_EPOCH_CUT: u64 = 64;
+
+/// T-SOAK: a long batched + pipelined run across many epochs, checking that
+/// the traffic-amortisation and payload-GC bounds hold at scale.
+///
+/// The run drives `clients × requests_per_client` requests (the full-size
+/// soak uses ≥ 5000) with sequencer batching, reply batching, pipelined
+/// clients and periodic epoch cuts. [`check_soak_bounds`] turns the row into
+/// a pass/fail verdict: peak `payloads` must be bounded by the
+/// unsettled-epoch window — not by the total request count — and the
+/// reply/order wire counts must stay under their amortisation ceilings.
+pub fn soak_experiment(clients: usize, requests_per_client: usize, seed: u64) -> SoakRow {
+    let servers = 3;
+    let oar = OarConfig {
+        epoch_cut_after: Some(SOAK_EPOCH_CUT),
+        ..OarConfig::with_batching(PIPELINE_DEPTH * clients)
+    };
+    let mut cluster = build_throughput_cluster(
+        oar,
+        servers,
+        clients,
+        requests_per_client,
+        PIPELINE_DEPTH,
+        seed,
+    );
+    let done = cluster.run_to_completion(SimTime::from_secs(600));
+    // Let the final watermark announcements propagate so end-of-run payload
+    // levels reflect the GC, not message latency.
+    let settle_until = cluster.world.now() + SimDuration::from_millis(50);
+    cluster.world.run_until(settle_until);
+    let consistent = done
+        && cluster.check_replica_consistency().is_ok()
+        && cluster.check_external_consistency().is_ok();
+    let epochs: u64 = cluster
+        .servers
+        .iter()
+        .map(|&s| {
+            cluster
+                .world
+                .process_ref::<oar::OarServer<KvMachine>>(s)
+                .stats()
+                .epochs_completed
+        })
+        .sum();
+    SoakRow {
+        servers,
+        clients,
+        requests: cluster.completed_requests().len(),
+        epochs_per_server: epochs as f64 / servers as f64,
+        peak_payloads: cluster.peak_payloads(),
+        final_payloads: cluster.current_payloads(),
+        payloads_pruned: cluster.total_payloads_pruned(),
+        reply_messages_sent: cluster.total_reply_messages(),
+        replies_sent: cluster.total_replies(),
+        order_messages_sent: cluster.total_order_messages(),
+        consensus_allocations: cluster.total_consensus_wires(),
+        consensus_messages: cluster.total_consensus_messages(),
+        consistent,
+    }
+}
+
+/// Verifies the amortisation and memory bounds of a soak row; returns every
+/// violation found (empty = pass). Used by the CI soak-smoke gate so traffic
+/// regressions fail the build instead of silently eroding.
+pub fn check_soak_bounds(row: &SoakRow, requests_per_client: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    let total = (row.clients * requests_per_client) as u64;
+    if !row.consistent {
+        violations.push("run did not complete consistently".to_string());
+    }
+    if row.requests as u64 != total {
+        violations.push(format!(
+            "completed {} of {} requests (at-least-once violated)",
+            row.requests, total
+        ));
+    }
+    // Payload memory: bounded by the unsettled-epoch window (one epoch cut
+    // plus the in-flight pipeline per client, with generous slack for epoch
+    // boundaries), NOT by the total request count.
+    let window = SOAK_EPOCH_CUT + (row.clients * PIPELINE_DEPTH) as u64;
+    let payload_bound = 4 * window;
+    if row.peak_payloads > payload_bound {
+        violations.push(format!(
+            "peak payloads {} exceeds the watermark window bound {payload_bound} \
+             (total requests: {total})",
+            row.peak_payloads
+        ));
+    }
+    if row.final_payloads > payload_bound {
+        violations.push(format!(
+            "final payloads {} exceeds the watermark window bound {payload_bound}",
+            row.final_payloads
+        ));
+    }
+    // Reply amortisation: at most ceil(requests / PIPELINE_DEPTH) ReplyBatch
+    // wires per client per server (a client's replies coalesce per in-flight
+    // window), with 2x slack for partially filled batches at epoch
+    // boundaries. The unbatched protocol pays `servers × total` wires.
+    let per_client_ceiling = requests_per_client.div_ceil(PIPELINE_DEPTH) as u64;
+    let reply_ceiling = 2 * row.servers as u64 * row.clients as u64 * per_client_ceiling;
+    if row.reply_messages_sent > reply_ceiling {
+        violations.push(format!(
+            "reply_messages_sent {} exceeds the amortisation ceiling {reply_ceiling}",
+            row.reply_messages_sent
+        ));
+    }
+    if row.replies_sent != row.servers as u64 * total {
+        violations.push(format!(
+            "replies_sent {} != servers × requests = {}",
+            row.replies_sent,
+            row.servers as u64 * total
+        ));
+    }
+    // Ordering amortisation: one OrderMsg per window-sized batch, 2x slack
+    // plus headroom for tick-flushed stragglers around epoch cuts.
+    let order_window = (PIPELINE_DEPTH * row.clients) as u64;
+    let order_ceiling = 2 * total.div_ceil(order_window).max(1) + 16;
+    if row.order_messages_sent > order_ceiling {
+        violations.push(format!(
+            "order_messages_sent {} exceeds the amortisation ceiling {order_ceiling}",
+            row.order_messages_sent
+        ));
+    }
+    // Shared-relay consensus: every allocation reaches at least one
+    // destination, and group-wide wires reach several — the pre-clone count
+    // must be strictly larger in a run with consensus traffic.
+    if row.consensus_allocations > 0 && row.consensus_messages <= row.consensus_allocations {
+        violations.push(format!(
+            "shared consensus wires ({}) should fan out to more destinations ({})",
+            row.consensus_allocations, row.consensus_messages
+        ));
+    }
+    violations
 }
 
 /// One row of the §5.3 epoch-cut ablation (T-GC).
@@ -677,6 +904,56 @@ mod tests {
         // Both variants complete the full workload.
         assert_eq!(plain.requests, 100);
         assert_eq!(batched.requests, 100);
+    }
+
+    #[test]
+    fn pipelined_clients_amortise_reply_messages() {
+        let rows = throughput_experiment(3, &[4], 24, 7);
+        let row = |protocol: &str| rows.iter().find(|r| r.protocol == protocol).expect("row");
+        let plain = row("oar");
+        let pipelined = row("oar-pipelined");
+        // Every variant answers every request at every server.
+        assert_eq!(plain.replies_sent, 3 * 96);
+        assert_eq!(pipelined.replies_sent, 3 * 96);
+        // Closed-loop: one ReplyBatch wire per request per server.
+        assert_eq!(plain.reply_messages_sent, plain.replies_sent);
+        // Pipelined + window-batched: a client's replies coalesce per
+        // in-flight window. The acceptance ceiling is servers × clients ×
+        // ceil(requests / PIPELINE_DEPTH), with 2x slack for partially
+        // filled batches at epoch boundaries.
+        let per_client = 24u64.div_ceil(PIPELINE_DEPTH as u64);
+        let ceiling = 2 * 3 * 4 * per_client;
+        assert!(
+            pipelined.reply_messages_sent <= ceiling,
+            "pipelined reply wires {} exceed the amortisation ceiling {ceiling}",
+            pipelined.reply_messages_sent
+        );
+        assert!(
+            pipelined.reply_messages_sent < plain.reply_messages_sent / 2,
+            "reply batching should cut the wire count at least in half \
+             ({} vs {})",
+            pipelined.reply_messages_sent,
+            plain.reply_messages_sent
+        );
+    }
+
+    #[test]
+    fn soak_bounds_hold_on_a_small_run() {
+        let row = soak_experiment(4, 250, 11);
+        assert!(row.consistent);
+        assert_eq!(row.requests, 1000);
+        assert!(row.epochs_per_server > 2.0, "epoch cuts must close epochs");
+        assert!(row.payloads_pruned > 0, "the watermark GC must prune");
+        let violations = check_soak_bounds(&row, 250);
+        assert!(violations.is_empty(), "soak violations: {violations:?}");
+        // The bound is about growth: peak payload memory stays far below the
+        // total request count.
+        assert!(
+            row.peak_payloads < 1000 / 2,
+            "peak payloads {} should be bounded by the epoch window, not the \
+             workload size",
+            row.peak_payloads
+        );
     }
 
     #[test]

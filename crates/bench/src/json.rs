@@ -7,7 +7,7 @@
 
 use oar_simnet::Summary;
 
-use crate::experiments::{FailoverRow, GcRow, LatencyRow, ThroughputRow, UndoRow};
+use crate::experiments::{FailoverRow, GcRow, LatencyRow, SoakRow, ThroughputRow, UndoRow};
 use crate::figures::FigureOutcome;
 
 /// Types that can render themselves as a JSON value.
@@ -101,7 +101,13 @@ impl ToJson for UndoRow {
 impl ToJson for ThroughputRow {
     fn to_json(&self) -> String {
         format!(
-            "{{\"protocol\":\"{}\",\"servers\":{},\"clients\":{},\"requests\":{},\"requests_per_second\":{},\"mean_latency_ms\":{},\"order_messages_sent\":{}}}",
+            concat!(
+                "{{\"protocol\":\"{}\",\"servers\":{},\"clients\":{},\"requests\":{},",
+                "\"requests_per_second\":{},\"mean_latency_ms\":{},",
+                "\"order_messages_sent\":{},\"reply_messages_sent\":{},",
+                "\"replies_sent\":{},\"consensus_allocations\":{},",
+                "\"consensus_messages\":{},\"peak_payloads\":{}}}"
+            ),
             escape(&self.protocol),
             self.servers,
             self.clients,
@@ -109,6 +115,39 @@ impl ToJson for ThroughputRow {
             f(self.requests_per_second),
             f(self.mean_latency_ms),
             self.order_messages_sent,
+            self.reply_messages_sent,
+            self.replies_sent,
+            self.consensus_allocations,
+            self.consensus_messages,
+            self.peak_payloads,
+        )
+    }
+}
+
+impl ToJson for SoakRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"servers\":{},\"clients\":{},\"requests\":{},",
+                "\"epochs_per_server\":{},\"peak_payloads\":{},",
+                "\"final_payloads\":{},\"payloads_pruned\":{},",
+                "\"reply_messages_sent\":{},\"replies_sent\":{},",
+                "\"order_messages_sent\":{},\"consensus_allocations\":{},",
+                "\"consensus_messages\":{},\"consistent\":{}}}"
+            ),
+            self.servers,
+            self.clients,
+            self.requests,
+            f(self.epochs_per_server),
+            self.peak_payloads,
+            self.final_payloads,
+            self.payloads_pruned,
+            self.reply_messages_sent,
+            self.replies_sent,
+            self.order_messages_sent,
+            self.consensus_allocations,
+            self.consensus_messages,
+            self.consistent,
         )
     }
 }

@@ -29,8 +29,19 @@
 //!
 //! The component is a pure state machine in the style of `oar-channels`: the
 //! host feeds it wire messages and suspect-set updates and forwards the
-//! [`Outgoing`] messages it produces, so it can be unit-tested without a
+//! [`ConsensusSend`]s it produces, so it can be unit-tested without a
 //! simulator and embedded into any runtime.
+//!
+//! # Shared-relay sends
+//!
+//! Group-wide messages (the coordinator's `Propose`, the `Decide`
+//! dissemination) are emitted as **one wire value plus the list of
+//! destinations** ([`ConsensusSend`]) instead of one pre-cloned message per
+//! destination — the same one-wire-plus-targets discipline as
+//! `ReliableCaster::*_shared`. A host pairing this with `Context::send_all`
+//! allocates each consensus message exactly once regardless of the group
+//! size; test drivers that want the flat per-destination form can expand a
+//! send with [`ConsensusSend::into_outgoing`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -44,6 +55,41 @@ use oar_simnet::ProcessId;
 /// A consensus decision: the aggregate of the initial values of the processes
 /// the deciding coordinator collected (the paper's `Dk`).
 pub type Decision<V> = Vec<(ProcessId, V)>;
+
+/// One consensus message to transmit: the wire value **once** plus every
+/// destination it must reach. Unicast messages (estimates and acks to the
+/// round coordinator) carry a single target; group-wide messages (`Propose`,
+/// `Decide`) carry the whole group minus the sender, so the host can share a
+/// single allocation across recipients (`Context::send_all`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConsensusSend<V> {
+    /// The wire message, allocated once.
+    pub wire: ConsensusWire<V>,
+    /// Every process the wire must be sent to.
+    pub targets: Vec<ProcessId>,
+}
+
+impl<V: Clone> ConsensusSend<V> {
+    /// A send with a single destination.
+    pub fn unicast(to: ProcessId, wire: ConsensusWire<V>) -> Self {
+        ConsensusSend {
+            wire,
+            targets: vec![to],
+        }
+    }
+
+    /// Expands into the flat one-[`Outgoing`]-per-destination form (cloning
+    /// the wire per target). Meant for test drivers and hosts without a
+    /// shared-payload send primitive; hot paths should forward the shared
+    /// wire directly.
+    pub fn into_outgoing(self) -> Vec<Outgoing<ConsensusWire<V>>> {
+        let ConsensusSend { wire, targets } = self;
+        targets
+            .into_iter()
+            .map(|to| Outgoing::new(to, wire.clone()))
+            .collect()
+    }
+}
 
 /// The timestamped estimate carried by each process, in the style of
 /// Chandra–Toueg: `ts = 0` means the estimate is still the process's initial
@@ -314,7 +360,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
 
     // ------------------------------------------------------------------
 
-    fn progress_output(&mut self, out: Vec<Outgoing<ConsensusWire<V>>>) -> ProgressOutput<V> {
+    fn progress_output(&mut self, out: Vec<ConsensusSend<V>>) -> ProgressOutput<V> {
         let decision = if self.decided.is_some() && !self.decision_reported {
             self.decision_reported = true;
             self.decided.clone()
@@ -327,28 +373,35 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
         }
     }
 
-    fn adopt_decision(&mut self, value: Decision<V>, out: &mut Vec<Outgoing<ConsensusWire<V>>>) {
+    /// Every group member except this process: the destination list of the
+    /// group-wide (`Propose`, `Decide`) sends.
+    fn peers(&self) -> Vec<ProcessId> {
+        self.group
+            .iter()
+            .copied()
+            .filter(|&p| p != self.self_id)
+            .collect()
+    }
+
+    fn adopt_decision(&mut self, value: Decision<V>, out: &mut Vec<ConsensusSend<V>>) {
         if self.decided.is_some() {
             return;
         }
         self.decided = Some(value.clone());
         if !self.decide_sent {
             self.decide_sent = true;
-            for &p in &self.group {
-                if p != self.self_id {
-                    out.push(Outgoing::new(
-                        p,
-                        ConsensusWire::Decide {
-                            instance: self.instance,
-                            value: value.clone(),
-                        },
-                    ));
-                }
-            }
+            // One wire for the whole group: the host shares the allocation.
+            out.push(ConsensusSend {
+                wire: ConsensusWire::Decide {
+                    instance: self.instance,
+                    value,
+                },
+                targets: self.peers(),
+            });
         }
     }
 
-    fn send_estimate(&mut self, round: u64, out: &mut Vec<Outgoing<ConsensusWire<V>>>) {
+    fn send_estimate(&mut self, round: u64, out: &mut Vec<ConsensusSend<V>>) {
         let estimate = self.estimate.clone().expect("estimate set after propose");
         let coord = self.coordinator_of(round);
         if coord == self.self_id {
@@ -357,7 +410,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
                 .or_default()
                 .insert(self.self_id, estimate);
         } else {
-            out.push(Outgoing::new(
+            out.push(ConsensusSend::unicast(
                 coord,
                 ConsensusWire::Estimate {
                     instance: self.instance,
@@ -368,7 +421,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
         }
     }
 
-    fn send_ack(&mut self, round: u64, positive: bool, out: &mut Vec<Outgoing<ConsensusWire<V>>>) {
+    fn send_ack(&mut self, round: u64, positive: bool, out: &mut Vec<ConsensusSend<V>>) {
         let coord = self.coordinator_of(round);
         if coord == self.self_id {
             if positive {
@@ -388,11 +441,11 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
                     round,
                 }
             };
-            out.push(Outgoing::new(coord, wire));
+            out.push(ConsensusSend::unicast(coord, wire));
         }
     }
 
-    fn try_progress(&mut self, out: &mut Vec<Outgoing<ConsensusWire<V>>>) {
+    fn try_progress(&mut self, out: &mut Vec<ConsensusSend<V>>) {
         if !self.started {
             return;
         }
@@ -411,7 +464,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
     }
 
     /// Coordinator: propose once the estimate-collection condition is met.
-    fn coordinator_phase2(&mut self, out: &mut Vec<Outgoing<ConsensusWire<V>>>) -> bool {
+    fn coordinator_phase2(&mut self, out: &mut Vec<ConsensusSend<V>>) -> bool {
         let mut progressed = false;
         for round in 1..=self.round {
             if self.coordinator_of(round) != self.self_id || self.proposed_rounds.contains(&round) {
@@ -453,18 +506,16 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
             };
             self.proposed_rounds.insert(round);
             self.proposals.entry(round).or_insert(proposal.clone());
-            for &p in &self.group {
-                if p != self.self_id {
-                    out.push(Outgoing::new(
-                        p,
-                        ConsensusWire::Propose {
-                            instance: self.instance,
-                            round,
-                            value: proposal.clone(),
-                        },
-                    ));
-                }
-            }
+            // One Propose wire shared by every other group member, instead of
+            // one pre-cloned aggregate per destination.
+            out.push(ConsensusSend {
+                wire: ConsensusWire::Propose {
+                    instance: self.instance,
+                    round,
+                    value: proposal,
+                },
+                targets: self.peers(),
+            });
             progressed = true;
         }
         progressed
@@ -472,7 +523,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
 
     /// Every process: react to the current round's proposal or to suspicion of
     /// the current coordinator, then move to the next round.
-    fn phase3(&mut self, out: &mut Vec<Outgoing<ConsensusWire<V>>>) -> bool {
+    fn phase3(&mut self, out: &mut Vec<ConsensusSend<V>>) -> bool {
         if !self.waiting_proposal {
             return false;
         }
@@ -497,7 +548,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
         false
     }
 
-    fn advance_round(&mut self, out: &mut Vec<Outgoing<ConsensusWire<V>>>) {
+    fn advance_round(&mut self, out: &mut Vec<ConsensusSend<V>>) {
         self.round += 1;
         self.waiting_proposal = true;
         self.send_estimate(self.round, out);
@@ -505,7 +556,7 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
 
     /// Coordinator: decide once a majority acked the proposal of a round it
     /// coordinated.
-    fn coordinator_phase4(&mut self, out: &mut Vec<Outgoing<ConsensusWire<V>>>) -> bool {
+    fn coordinator_phase4(&mut self, out: &mut Vec<ConsensusSend<V>>) -> bool {
         let rounds: Vec<u64> = self.proposed_rounds.iter().copied().collect();
         for round in rounds {
             if self.coordinator_of(round) != self.self_id {
@@ -528,10 +579,13 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
 
 /// The result of driving a [`MajConsensus`] one step: messages to send plus the
 /// decision if it was just reached (reported exactly once).
+///
+/// Each entry of `messages` is one wire allocation; multi-target entries are
+/// meant to be forwarded through a shared-payload multicast primitive.
 #[derive(Debug)]
 pub struct ProgressOutput<V> {
-    /// Wire messages to transmit.
-    pub messages: Vec<Outgoing<ConsensusWire<V>>>,
+    /// Wire messages to transmit, one [`ConsensusSend`] per distinct wire.
+    pub messages: Vec<ConsensusSend<V>>,
     /// The decision, the first time it becomes available.
     pub decision: Option<Decision<V>>,
 }

@@ -41,8 +41,11 @@ impl Harness {
     }
 
     fn absorb(&mut self, from: ProcessId, output: ProgressOutput<Val>) {
-        for m in output.messages {
-            self.queue.push_back((from, m));
+        for send in output.messages {
+            // The router works per destination: expand the shared sends.
+            for m in send.into_outgoing() {
+                self.queue.push_back((from, m));
+            }
         }
         if let Some(d) = output.decision {
             self.decisions[from.0] = Some(d);
@@ -369,13 +372,14 @@ fn decide_message_is_relayed() {
         },
     );
     assert!(out.decision.is_some());
-    // relayed to the two other members
-    let decide_relays = out
+    // relayed to the two other members through ONE shared wire
+    let decide_relays: Vec<_> = out
         .messages
         .iter()
         .filter(|m| matches!(m.wire, ConsensusWire::Decide { .. }))
-        .count();
-    assert_eq!(decide_relays, 2);
+        .collect();
+    assert_eq!(decide_relays.len(), 1, "one wire allocation");
+    assert_eq!(decide_relays[0].targets.len(), 2, "both peers targeted");
     // a second Decide is not re-reported or re-relayed
     let again = c.on_wire(
         ProcessId(1),

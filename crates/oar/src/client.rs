@@ -8,13 +8,24 @@
 //! then adopts a reply with the largest individual weight. This rule is what
 //! guarantees external consistency (Proposition 7): a reply that could still be
 //! invalidated by an `Opt-undeliver` can never gather a majority weight.
+//!
+//! # Pipelining
+//!
+//! By default the client is closed-loop: one outstanding request at a time,
+//! exactly Fig. 5. [`OarClient::with_pipeline`] allows up to `depth`
+//! outstanding requests, each tracked independently by the same weighted
+//! quorum rule. Pipelining is what lets the servers' batching layers
+//! (sequencer `OrderMsg` batches, per-client `ReplyBatch` coalescing) see
+//! several requests of the same client in one batch; replies arrive batched
+//! and are unpacked back into per-request accounting, so the optimistic /
+//! conservative semantics of each request are unchanged.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use oar_channels::ReliableCaster;
 use oar_simnet::{Context, Process, ProcessId, SimDuration, SimTime, Timer};
 
-use crate::message::{majority, OarWire, Reply, Request, RequestId, Weight};
+use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId, Weight};
 use crate::state_machine::StateMachine;
 
 /// Timer tag used for the think-time delay between two requests.
@@ -69,16 +80,16 @@ impl<R> Default for EpochReplies<R> {
 
 #[derive(Debug)]
 struct Outstanding<R> {
-    id: RequestId,
     index: usize,
     sent_at: SimTime,
     by_epoch: BTreeMap<u64, EpochReplies<R>>,
     replies_seen: usize,
 }
 
-/// A closed-loop OAR client: it submits the commands of its workload one at a
-/// time, adopting each reply per the weighted-quorum rule before sending the
-/// next command (after an optional think time).
+/// A closed-loop OAR client: it submits the commands of its workload with at
+/// most `pipeline` requests outstanding (1 by default — the paper's Fig. 5),
+/// adopting each reply per the weighted-quorum rule before refilling the
+/// window (after an optional think time).
 #[derive(Debug)]
 pub struct OarClient<S: StateMachine> {
     id: ProcessId,
@@ -88,7 +99,8 @@ pub struct OarClient<S: StateMachine> {
     next_index: usize,
     think_time: SimDuration,
     start_delay: SimDuration,
-    outstanding: Option<Outstanding<S::Response>>,
+    pipeline: usize,
+    outstanding: BTreeMap<RequestId, Outstanding<S::Response>>,
     completed: Vec<CompletedRequest<S::Response>>,
     majority: usize,
 }
@@ -111,7 +123,8 @@ impl<S: StateMachine> OarClient<S> {
             next_index: 0,
             think_time,
             start_delay: SimDuration::ZERO,
-            outstanding: None,
+            pipeline: 1,
+            outstanding: BTreeMap::new(),
             completed: Vec::new(),
             majority,
         }
@@ -121,6 +134,18 @@ impl<S: StateMachine> OarClient<S> {
     pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
         self.start_delay = delay;
         self
+    }
+
+    /// Allows up to `depth` outstanding requests (clamped to at least 1).
+    /// `1` — the default — is the closed-loop client of Fig. 5.
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        self.pipeline = depth.max(1);
+        self
+    }
+
+    /// The pipeline depth of this client.
+    pub fn pipeline(&self) -> usize {
+        self.pipeline
     }
 
     /// The client's process identifier.
@@ -135,37 +160,53 @@ impl<S: StateMachine> OarClient<S> {
 
     /// Whether the whole workload has been submitted and answered.
     pub fn is_done(&self) -> bool {
-        self.workload.is_empty() && self.outstanding.is_none()
+        self.workload.is_empty() && self.outstanding.is_empty()
     }
 
-    /// Number of requests still to submit (excluding the outstanding one).
+    /// Number of requests still to submit (excluding outstanding ones).
     pub fn remaining(&self) -> usize {
         self.workload.len()
     }
 
-    fn send_next(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
-        let Some(command) = self.workload.pop_front() else {
-            return;
-        };
-        let (id, mut wire, targets) = self.cast.multicast_shared(Request {
-            // The id is re-stamped below once the multicast assigns it.
-            id: RequestId::new(self.id, 0),
-            client: self.id,
-            command,
-        });
-        // Re-stamp the request with the multicast id so servers and client
-        // agree; the wire is built once and shared across all servers.
-        wire.payload.id = id;
-        ctx.send_all(&targets, OarWire::Request(wire));
-        ctx.annotate(format!("OAR-multicast({id})"));
-        self.outstanding = Some(Outstanding {
-            id,
-            index: self.next_index,
-            sent_at: ctx.now(),
-            by_epoch: BTreeMap::new(),
-            replies_seen: 0,
-        });
-        self.next_index += 1;
+    /// Submits requests until the pipeline window is full or the workload is
+    /// exhausted.
+    fn fill_pipeline(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        while self.outstanding.len() < self.pipeline {
+            let Some(command) = self.workload.pop_front() else {
+                return;
+            };
+            let (id, mut wire, targets) = self.cast.multicast_shared(Request {
+                // The id is re-stamped below once the multicast assigns it.
+                id: RequestId::new(self.id, 0),
+                client: self.id,
+                command,
+            });
+            // Re-stamp the request with the multicast id so servers and client
+            // agree; the wire is built once and shared across all servers.
+            wire.payload.id = id;
+            ctx.send_all(&targets, OarWire::Request(wire));
+            ctx.annotate(format!("OAR-multicast({id})"));
+            self.outstanding.insert(
+                id,
+                Outstanding {
+                    index: self.next_index,
+                    sent_at: ctx.now(),
+                    by_epoch: BTreeMap::new(),
+                    replies_seen: 0,
+                },
+            );
+            self.next_index += 1;
+        }
+    }
+
+    fn handle_reply_batch(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        batch: ReplyBatch<S::Response>,
+    ) {
+        for reply in batch.unpack() {
+            self.handle_reply(ctx, reply);
+        }
     }
 
     fn handle_reply(
@@ -173,12 +214,10 @@ impl<S: StateMachine> OarClient<S> {
         ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
         reply: Reply<S::Response>,
     ) {
-        let Some(outstanding) = self.outstanding.as_mut() else {
-            return;
-        };
-        if reply.request != outstanding.id {
+        let request = reply.request;
+        let Some(outstanding) = self.outstanding.get_mut(&request) else {
             return; // stale reply for an already-completed request
-        }
+        };
         outstanding.replies_seen += 1;
         let epoch_replies = outstanding.by_epoch.entry(reply.epoch).or_default();
         epoch_replies
@@ -202,15 +241,15 @@ impl<S: StateMachine> OarClient<S> {
         let Some((epoch, reply)) = adopted else {
             return;
         };
-        let outstanding = self.outstanding.take().expect("outstanding request");
+        let outstanding = self.outstanding.remove(&request).expect("outstanding");
         ctx.annotate(format!(
             "adopt({}, pos={}, |W|={})",
-            outstanding.id,
+            request,
             reply.position,
             reply.weight.len()
         ));
         self.completed.push(CompletedRequest {
-            id: outstanding.id,
+            id: request,
             index: outstanding.index,
             response: reply.response,
             position: reply.position,
@@ -224,7 +263,7 @@ impl<S: StateMachine> OarClient<S> {
             return;
         }
         if self.think_time.is_zero() {
-            self.send_next(ctx);
+            self.fill_pipeline(ctx);
         } else {
             ctx.set_timer(self.think_time, NEXT_REQUEST);
         }
@@ -244,7 +283,7 @@ impl<S: StateMachine> OarClient<S> {
 impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S> {
     fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
         if self.start_delay.is_zero() {
-            self.send_next(ctx);
+            self.fill_pipeline(ctx);
         } else {
             ctx.set_timer(self.start_delay, NEXT_REQUEST);
         }
@@ -256,15 +295,15 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S>
         _from: ProcessId,
         msg: OarWire<S::Command, S::Response>,
     ) {
-        if let OarWire::Reply(reply) = msg {
-            self.handle_reply(ctx, reply);
+        if let OarWire::Replies(batch) = msg {
+            self.handle_reply_batch(ctx, batch);
         }
         // Clients ignore every other message kind.
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
-        if timer.tag == NEXT_REQUEST && self.outstanding.is_none() {
-            self.send_next(ctx);
+        if timer.tag == NEXT_REQUEST && self.outstanding.len() < self.pipeline {
+            self.fill_pipeline(ctx);
         }
     }
 

@@ -29,6 +29,10 @@ pub struct ClusterConfig {
     pub seed: u64,
     /// Client think time between requests.
     pub think_time: SimDuration,
+    /// Maximum outstanding requests per client (1 = the paper's closed-loop
+    /// client). Depths above 1 let the sequencer's `OrderMsg` batches and the
+    /// servers' `ReplyBatch` coalescing amortise per-request traffic.
+    pub client_pipeline: usize,
     /// Per-client delay before the first request. Clients beyond the end of
     /// the vector use a small default stagger (10µs × index). Used by the
     /// figure scenarios to issue specific requests while a partition is
@@ -45,6 +49,7 @@ impl Default for ClusterConfig {
             oar: OarConfig::default(),
             seed: 1,
             think_time: SimDuration::ZERO,
+            client_pipeline: 1,
             client_start_delays: Vec::new(),
         }
     }
@@ -93,7 +98,8 @@ impl<S: StateMachine> Cluster<S> {
                 workload_for(c),
                 config.think_time,
             )
-            .with_start_delay(start_delay);
+            .with_start_delay(start_delay)
+            .with_pipeline(config.client_pipeline);
             clients.push(world.add_process(client));
         }
         Cluster {
@@ -194,6 +200,67 @@ impl<S: StateMachine> Cluster<S> {
                     .phase2_entered
             })
             .sum()
+    }
+
+    /// Sums `f` over the stats of all servers (crashed ones included — their
+    /// counters froze at crash time, which is what the traffic totals want).
+    fn sum_stats(&self, f: impl Fn(&crate::server::ServerStats) -> u64) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| f(&self.world.process_ref::<OarServer<S>>(s).stats()))
+            .sum()
+    }
+
+    /// Total `ReplyBatch` wires sent to clients across all servers.
+    pub fn total_reply_messages(&self) -> u64 {
+        self.sum_stats(|st| st.reply_messages_sent)
+    }
+
+    /// Total individual request replies carried by those wires.
+    pub fn total_replies(&self) -> u64 {
+        self.sum_stats(|st| st.replies_sent)
+    }
+
+    /// Total consensus wire allocations across all servers (each allocation
+    /// may reach many destinations through a shared payload).
+    pub fn total_consensus_wires(&self) -> u64 {
+        self.sum_stats(|st| st.consensus_wires_sent)
+    }
+
+    /// Total per-destination consensus deliveries requested — the allocation
+    /// count the pre-clone implementation would have paid.
+    pub fn total_consensus_messages(&self) -> u64 {
+        self.sum_stats(|st| st.consensus_messages_sent)
+    }
+
+    /// Total payloads pruned by the epoch-watermark garbage collector.
+    pub fn total_payloads_pruned(&self) -> u64 {
+        self.sum_stats(|st| st.payloads_pruned)
+    }
+
+    /// The largest peak `payloads` size observed at any server.
+    pub fn peak_payloads(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .payloads
+                    .peak()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest *current* `payloads` size across alive servers.
+    pub fn current_payloads(&self) -> u64 {
+        self.servers
+            .iter()
+            .filter(|&&s| !self.world.is_crashed(s))
+            .map(|&s| self.world.process_ref::<OarServer<S>>(s).payloads_len() as u64)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Checks the server-side safety properties across all *alive* servers:

@@ -43,7 +43,10 @@ pub enum DeliveryKind {
     Conservative,
 }
 
-/// A server's reply to a client request.
+/// A server's reply to one client request, as seen by the client after
+/// unpacking a [`ReplyBatch`]. All fields shared by the batch (epoch, weight,
+/// sender, delivery kind) are copied onto each unpacked reply, so the client's
+/// weighted-quorum rule of Fig. 5 is unchanged by the batching.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Reply<R> {
     /// The request being answered.
@@ -63,6 +66,55 @@ pub struct Reply<R> {
     pub kind: DeliveryKind,
 }
 
+/// The per-request part of a [`ReplyBatch`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplyItem<R> {
+    /// The request being answered.
+    pub request: RequestId,
+    /// Position of the request in the server's delivery order.
+    pub position: u64,
+    /// The application-level response.
+    pub response: R,
+}
+
+/// A server's replies to one client, coalesced into a single wire message.
+///
+/// When an `OrderMsg` batch (or a `Cnsv-order` decision) delivers several
+/// requests of the same client back to back, the per-request fields travel as
+/// [`ReplyItem`]s while the fields that are identical across the batch —
+/// epoch, weight, replying server, delivery kind — are carried **once**. One
+/// allocation and one network event replace the per-request `Reply` wires.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplyBatch<R> {
+    /// Epoch in which every request of the batch was processed.
+    pub epoch: u64,
+    /// The servers endorsing these replies (identical for the whole batch:
+    /// `{p, s}` for optimistic deliveries, `Π` for conservative ones).
+    pub weight: Weight,
+    /// The replying server.
+    pub from: ProcessId,
+    /// Whether the batch came from optimistic or conservative deliveries.
+    pub kind: DeliveryKind,
+    /// The per-request replies, in delivery order.
+    pub items: Vec<ReplyItem<R>>,
+}
+
+impl<R: Clone> ReplyBatch<R> {
+    /// Unpacks the batch into per-request [`Reply`] values (the form the
+    /// client's quorum accounting works with).
+    pub fn unpack(&self) -> impl Iterator<Item = Reply<R>> + '_ {
+        self.items.iter().map(move |item| Reply {
+            request: item.request,
+            epoch: self.epoch,
+            weight: self.weight.clone(),
+            position: item.position,
+            response: item.response.clone(),
+            from: self.from,
+            kind: self.kind,
+        })
+    }
+}
+
 /// The sequencer's ordering message (Task 1a, Fig. 6 line 10): the epoch and
 /// the sequence of not-yet-delivered requests, identified by id.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -71,6 +123,9 @@ pub struct OrderMsg {
     pub epoch: u64,
     /// Request identifiers in delivery order.
     pub order: Seq<RequestId>,
+    /// The sender's settled-epoch watermark (every epoch `< settled` is closed
+    /// at the sender), piggybacked for the payload garbage collector.
+    pub settled: u64,
 }
 
 /// The `(k, PhaseII)` notification R-broadcast by Task 1c.
@@ -78,6 +133,10 @@ pub struct OrderMsg {
 pub struct PhaseIIMsg {
     /// The epoch that must move to the conservative phase.
     pub epoch: u64,
+    /// The *origin's* settled-epoch watermark, piggybacked for the payload
+    /// garbage collector (relays forward it unchanged; it describes the
+    /// process that R-broadcast the notification).
+    pub settled: u64,
 }
 
 /// The value proposed to the `Cnsv-order` consensus by each server: its
@@ -103,17 +162,32 @@ pub enum OarWire<C, R> {
     /// A client request travelling through the reliable multicast layer
     /// (initial send from the client or relay between servers).
     Request(CastWire<Request<C>>),
-    /// A server's reply to a client.
-    Reply(Reply<R>),
+    /// A server's replies to one client, coalesced per delivery batch.
+    Replies(ReplyBatch<R>),
     /// The sequencer's ordering message.
     Order(OrderMsg),
     /// A `(k, PhaseII)` notification travelling through the reliable broadcast
     /// layer.
     PhaseII(CastWire<PhaseIIMsg>),
-    /// Failure-detector heartbeat.
-    Fd(FdWire),
+    /// Failure-detector heartbeat, piggybacking the sender's settled-epoch
+    /// watermark so the payload garbage collector converges even when no
+    /// protocol traffic flows (e.g. after a partition heals).
+    Fd {
+        /// The failure-detector wire message.
+        wire: FdWire,
+        /// The sender's settled-epoch watermark.
+        settled: u64,
+    },
     /// A message of the `Cnsv-order` consensus (instance = epoch).
     Consensus(ConsensusWire<CnsvValue>),
+    /// A standalone settled-epoch announcement, broadcast when a server closes
+    /// an epoch so peers can promptly garbage-collect payloads decided at or
+    /// before the acknowledged watermark.
+    Watermark {
+        /// The sender's settled-epoch watermark (every epoch `< settled` is
+        /// closed at the sender).
+        settled: u64,
+    },
 }
 
 /// Majority threshold used by both the client quorum rule and the consensus:

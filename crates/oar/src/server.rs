@@ -37,21 +37,54 @@
 //! broadcast over many requests, which is what makes the ordering layer keep
 //! up at high client counts (`ServerStats::order_messages_sent` drops well
 //! below the request count).
+//!
+//! # Batch-aware replies
+//!
+//! Replies follow the same discipline: while a delivery batch (the drain of
+//! an `OrderMsg`, or the A-deliveries of a `Cnsv-order` decision) runs, the
+//! per-request replies destined for the same client are accumulated and
+//! flushed as **one** `ReplyBatch` wire per client — one allocation and one
+//! network event where the unbatched protocol paid one `Reply` per request.
+//! [`flush_replies`](OarServer::flush_replies) is the single construction
+//! site for both the optimistic and the conservative reply path;
+//! `ServerStats::reply_messages_sent` counts the wires,
+//! `ServerStats::replies_sent` the individual request replies they carry.
+//!
+//! # Payload garbage collection (epoch watermark)
+//!
+//! Fig. 7 only needs a request's payload until the decision covering it is
+//! settled, so `payloads` need not grow with the lifetime of the server.
+//! Every server piggybacks its *settled-epoch watermark* — all epochs `< w`
+//! are closed locally — on the ordering and `PhaseII` traffic, on
+//! failure-detector heartbeats, and announces it explicitly when an epoch
+//! closes. Once every replica this server does not suspect acknowledges
+//! watermark `w`, the payloads of requests decided in epochs `< w` are
+//! pruned. A server never prunes payloads of epochs it has not itself
+//! settled (its own watermark participates in the minimum), so late
+//! deliveries and fail-overs keep working from local state;
+//! `ServerStats::payloads` exposes the current and peak map size so the
+//! bound is observable.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use oar_channels::{Delivery, ReliableCaster};
-use oar_consensus::{ConsensusWire, Decision, MajConsensus};
+use oar_consensus::{ConsensusSend, ConsensusWire, Decision, MajConsensus};
 use oar_fd::{FdEvent, HeartbeatFd};
 use oar_sequence::Seq;
-use oar_simnet::{Context, Process, ProcessId, Timer};
+use oar_simnet::{Context, PeakGauge, Process, ProcessId, Timer};
 
 use crate::cnsv_order::cnsv_order_outcome;
 use crate::config::OarConfig;
 use crate::message::{
-    CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request, RequestId, Weight,
+    CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, ReplyBatch, ReplyItem, Request,
+    RequestId, Weight,
 };
 use crate::state_machine::StateMachine;
+
+/// Replies accumulated during one delivery batch, keyed by destination
+/// client. `BTreeMap` so the flush order (and thus the simulation schedule)
+/// is deterministic.
+type PendingReplies<R> = BTreeMap<ProcessId, Vec<ReplyItem<R>>>;
 
 /// Timer tag of the periodic maintenance tick.
 const TICK: u64 = 1;
@@ -111,6 +144,21 @@ pub struct ServerStats {
     pub epochs_completed: u64,
     /// Ordering messages sent while acting as the sequencer.
     pub order_messages_sent: u64,
+    /// `ReplyBatch` wires sent to clients (one per client per delivery
+    /// batch). With reply batching this drops below `replies_sent`.
+    pub reply_messages_sent: u64,
+    /// Individual request replies carried by those wires.
+    pub replies_sent: u64,
+    /// Consensus wire allocations: each counts one message construction,
+    /// however many destinations the shared payload reaches.
+    pub consensus_wires_sent: u64,
+    /// Per-destination consensus deliveries requested (the count the
+    /// pre-clone implementation would have allocated).
+    pub consensus_messages_sent: u64,
+    /// Request payloads pruned by the epoch-watermark garbage collector.
+    pub payloads_pruned: u64,
+    /// Current and peak size of the `payloads` map.
+    pub payloads: PeakGauge,
 }
 
 /// The OAR server process, generic over the replicated [`StateMachine`].
@@ -162,6 +210,20 @@ pub struct OarServer<S: StateMachine> {
     buffered_consensus: BTreeMap<u64, Vec<(ProcessId, ConsensusWire<CnsvValue>)>>,
     /// A consensus decision whose requests are not all locally known yet.
     pending_decision: Option<Decision<CnsvValue>>,
+    /// The payloads the pending decision is still waiting for. Maintained
+    /// incrementally so each payload arrival re-examines the decision in
+    /// O(1) instead of rescanning every request it mentions.
+    pending_missing: HashSet<RequestId>,
+
+    // --- payload garbage collection (epoch watermark) ---
+    /// Highest settled-epoch watermark heard from each peer (this server's
+    /// own watermark is `epoch`, always current).
+    peer_settled: HashMap<ProcessId, u64>,
+    /// Epochs `< gc_floor` have had their payloads pruned already.
+    gc_floor: u64,
+    /// Requests settled per closed epoch, awaiting acknowledgement by every
+    /// live replica before their payloads are pruned.
+    gc_pending: BTreeMap<u64, Vec<RequestId>>,
 
     // --- application ---
     sm: S,
@@ -205,6 +267,10 @@ impl<S: StateMachine> OarServer<S> {
             future_phase2: BTreeSet::new(),
             buffered_consensus: BTreeMap::new(),
             pending_decision: None,
+            pending_missing: HashSet::new(),
+            peer_settled: HashMap::new(),
+            gc_floor: 0,
+            gc_pending: BTreeMap::new(),
             sm,
             log: Vec::new(),
             stats: ServerStats::default(),
@@ -256,6 +322,40 @@ impl<S: StateMachine> OarServer<S> {
         self.stats
     }
 
+    /// Number of request payloads currently retained (the quantity bounded by
+    /// the epoch-watermark garbage collector).
+    pub fn payloads_len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// This server's settled-epoch watermark: every epoch `< watermark` is
+    /// closed locally. Epochs close in order, so this is simply the current
+    /// epoch number.
+    pub fn settled_watermark(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The watermark acknowledged by every replica this server does not
+    /// suspect (including itself): payloads of requests decided in epochs
+    /// below it are safe to prune.
+    pub fn acked_watermark(&self) -> u64 {
+        self.group
+            .iter()
+            .map(|&p| {
+                if p == self.id {
+                    self.epoch
+                } else if self.fd.is_suspected(p) {
+                    // Suspected replicas do not hold up the collector; they
+                    // only ever need their *own* payload map to catch up.
+                    u64::MAX
+                } else {
+                    self.peer_settled.get(&p).copied().unwrap_or(0)
+                }
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
     /// The sequence of requests this server has delivered and not undone, in
     /// delivery order: `A_delivered ⊕ (O_delivered of the current epoch)`.
     pub fn committed_sequence(&self) -> Seq<RequestId> {
@@ -289,6 +389,16 @@ impl<S: StateMachine> OarServer<S> {
         self.settled.contains(id) || self.o_delivered.contains(id)
     }
 
+    /// Every group member except this server: the destination list of the
+    /// server's own group-wide sends (ordering, watermark announcements).
+    fn peers(&self) -> Vec<ProcessId> {
+        self.group
+            .iter()
+            .copied()
+            .filter(|&p| p != self.id)
+            .collect()
+    }
+
     /// Number of received requests Task 1a has not examined yet.
     fn order_backlog(&self) -> usize {
         self.r_delivered.len() - self.order_cursor
@@ -306,15 +416,18 @@ impl<S: StateMachine> OarServer<S> {
     ) {
         let request = delivery.payload;
         let id = request.id;
-        if self.payloads.contains_key(&id) {
+        if self.payloads.contains_key(&id) || self.settled.contains(&id) {
             return;
         }
         self.payloads.insert(id, request);
+        self.stats.payloads.record(self.payloads.len() as u64);
         self.r_delivered.push(id);
         // New payloads may unblock a buffered sequencer order or a pending
-        // consensus decision.
+        // consensus decision (the missing set makes the latter O(1)).
         self.drain_order_queue(ctx);
-        self.try_apply_pending_decision(ctx);
+        if self.pending_missing.remove(&id) {
+            self.try_apply_pending_decision(ctx);
+        }
         // Task 1a: with eager sequencing, the sequencer flushes as soon as the
         // accumulated backlog fills a batch; smaller backlogs wait for the
         // maintenance tick (with `max_batch == 1` this orders every request
@@ -351,15 +464,10 @@ impl<S: StateMachine> OarServer<S> {
         let msg = OrderMsg {
             epoch: self.epoch,
             order: batch.clone(),
+            settled: self.settled_watermark(),
         };
-        let peers: Vec<ProcessId> = self
-            .group
-            .iter()
-            .copied()
-            .filter(|&p| p != self.id)
-            .collect();
         // One allocation of the wire message shared across all recipients.
-        ctx.send_all(&peers, OarWire::Order(msg));
+        ctx.send_all(&self.peers(), OarWire::Order(msg));
         // "The sequencer immediately delivers this message" (§5.3).
         self.accept_order(ctx, batch);
     }
@@ -379,11 +487,14 @@ impl<S: StateMachine> OarServer<S> {
     }
 
     /// Opt-delivers ordered requests whose payload is available, preserving the
-    /// sequencer order. O(1) per drained request.
+    /// sequencer order. O(1) per drained request; the whole drain produces at
+    /// most one `ReplyBatch` wire per client.
     fn drain_order_queue(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
         if self.phase != Phase::Optimistic {
             return;
         }
+        let mut pending: PendingReplies<S::Response> = BTreeMap::new();
+        let mut cut_epoch = false;
         while let Some(&next) = self.order_queue.front() {
             if self.delivered_already(&next) {
                 self.order_queue.pop_front();
@@ -395,15 +506,30 @@ impl<S: StateMachine> OarServer<S> {
             }
             self.order_queue.pop_front();
             self.order_queued.remove(&next);
-            self.opt_deliver(ctx, next);
+            self.opt_deliver(ctx, next, &mut pending);
+            // §5.3 remark: proactively cut long epochs to garbage-collect
+            // O_delivered. Stop delivering optimistically once the cut is
+            // due; the rest of the queue is re-ordered in the next epoch.
+            if let Some(cut) = self.config.epoch_cut_after {
+                if self.o_delivered.len() as u64 >= cut && self.is_sequencer() {
+                    cut_epoch = true;
+                    break;
+                }
+            }
+        }
+        self.flush_replies(ctx, pending, DeliveryKind::Optimistic);
+        if cut_epoch {
+            self.start_phase2(ctx);
         }
     }
 
-    /// `Opt-deliver(m)`: process the request and send the optimistic reply.
+    /// `Opt-deliver(m)`: process the request and queue the optimistic reply
+    /// for the batch flush.
     fn opt_deliver(
         &mut self,
         ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
         id: RequestId,
+        pending: &mut PendingReplies<S::Response>,
     ) {
         let request = self.payloads.get(&id).expect("payload present").clone();
         let (response, undo) = self.sm.apply(&request.command);
@@ -417,29 +543,50 @@ impl<S: StateMachine> OarServer<S> {
             position: self.position,
         });
         self.annotate(ctx, format!("Opt-deliver({id}) @{}", self.position));
-
-        // Weight: {s} for the sequencer itself, {p, s} otherwise (Fig. 6, 12–15).
-        let sequencer = self.current_sequencer();
-        let mut weight: Weight = BTreeSet::new();
-        weight.insert(sequencer);
-        weight.insert(self.id);
-        let reply = Reply {
+        pending.entry(request.client).or_default().push(ReplyItem {
             request: id,
-            epoch: self.epoch,
-            weight,
             position: self.position,
             response,
-            from: self.id,
-            kind: DeliveryKind::Optimistic,
-        };
-        ctx.send(request.client, OarWire::Reply(reply));
+        });
+    }
 
-        // §5.3 remark: proactively cut long epochs to garbage-collect
-        // O_delivered.
-        if let Some(cut) = self.config.epoch_cut_after {
-            if self.o_delivered.len() as u64 >= cut && self.is_sequencer() {
-                self.start_phase2(ctx);
+    /// The single reply-construction site of the server: sends the queued
+    /// replies of one delivery batch, one `ReplyBatch` wire per client.
+    ///
+    /// The weight is identical for every reply of the batch (Fig. 6 lines
+    /// 12–15 and 27–29): `{p, s}` — `{s}` collapses into it on the sequencer
+    /// itself — for optimistic deliveries, the whole group `Π` for
+    /// conservative ones. Must be called before the epoch advances, so the
+    /// batch is stamped with the epoch its deliveries happened in.
+    fn flush_replies(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        pending: PendingReplies<S::Response>,
+        kind: DeliveryKind,
+    ) {
+        if pending.is_empty() {
+            return;
+        }
+        let weight: Weight = match kind {
+            DeliveryKind::Optimistic => {
+                let mut w = BTreeSet::new();
+                w.insert(self.current_sequencer());
+                w.insert(self.id);
+                w
             }
+            DeliveryKind::Conservative => self.group.iter().copied().collect(),
+        };
+        for (client, items) in pending {
+            self.stats.reply_messages_sent += 1;
+            self.stats.replies_sent += items.len() as u64;
+            let batch = ReplyBatch {
+                epoch: self.epoch,
+                weight: weight.clone(),
+                from: self.id,
+                kind,
+                items,
+            };
+            ctx.send(client, OarWire::Replies(batch));
         }
     }
 
@@ -461,9 +608,10 @@ impl<S: StateMachine> OarServer<S> {
             return;
         }
         self.phase2_started = true;
-        let (wire, targets, local) = self
-            .phase2_cast
-            .broadcast_shared(PhaseIIMsg { epoch: self.epoch });
+        let (wire, targets, local) = self.phase2_cast.broadcast_shared(PhaseIIMsg {
+            epoch: self.epoch,
+            settled: self.settled_watermark(),
+        });
         ctx.send_all(&targets, OarWire::PhaseII(wire));
         self.handle_phase2_delivery(ctx, local.payload);
     }
@@ -561,41 +709,58 @@ impl<S: StateMachine> OarServer<S> {
     fn dispatch_consensus_output(
         &mut self,
         ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
-        messages: Vec<oar_channels::Outgoing<ConsensusWire<CnsvValue>>>,
+        messages: Vec<ConsensusSend<CnsvValue>>,
         decision: Option<Decision<CnsvValue>>,
     ) {
-        for m in messages {
-            ctx.send(m.to, OarWire::Consensus(m.wire));
+        for send in messages {
+            self.stats.consensus_wires_sent += 1;
+            self.stats.consensus_messages_sent += send.targets.len() as u64;
+            if let [to] = send.targets[..] {
+                ctx.send(to, OarWire::Consensus(send.wire));
+            } else {
+                // Group-wide wire (Propose / Decide): one shared allocation
+                // for every recipient instead of a pre-clone per destination.
+                ctx.send_all(&send.targets, OarWire::Consensus(send.wire));
+            }
         }
         if let Some(decision) = decision {
-            self.pending_decision = Some(decision);
-            self.try_apply_pending_decision(ctx);
+            self.set_pending_decision(ctx, decision);
         }
     }
 
-    /// Applies the epoch's consensus decision once every request it mentions is
-    /// locally known (payload present). Requests decided by others but not yet
-    /// received here will arrive by the agreement property of R-multicast.
+    /// Adopts the epoch's decision and records which payloads it still waits
+    /// for. Requests decided by others but not yet received here will arrive
+    /// by the agreement property of R-multicast; each arrival knocks its id
+    /// out of `pending_missing` (O(1)) and the decision applies when the set
+    /// drains — no periodic rescan needed.
+    fn set_pending_decision(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        decision: Decision<CnsvValue>,
+    ) {
+        self.pending_missing = decision
+            .iter()
+            .flat_map(|(_, v)| v.o_delivered.iter().chain(v.o_notdelivered.iter()))
+            .filter(|id| !self.payloads.contains_key(id))
+            .copied()
+            .collect();
+        self.pending_decision = Some(decision);
+        self.try_apply_pending_decision(ctx);
+    }
+
+    /// Applies the pending decision if every request it mentions is locally
+    /// known (the missing set is empty).
     fn try_apply_pending_decision(
         &mut self,
         ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
     ) {
-        let Some(decision) = self.pending_decision.clone() else {
-            return;
-        };
-        if self.phase != Phase::Conservative {
-            return;
-        }
-        let all_known = decision.iter().all(|(_, v)| {
-            v.o_delivered
-                .iter()
-                .chain(v.o_notdelivered.iter())
-                .all(|id| self.payloads.contains_key(id))
-        });
-        if !all_known {
+        if self.pending_decision.is_none()
+            || self.phase != Phase::Conservative
+            || !self.pending_missing.is_empty()
+        {
             return;
         }
-        self.pending_decision = None;
+        let decision = self.pending_decision.take().expect("checked above");
         self.apply_decision(ctx, decision);
     }
 
@@ -625,7 +790,9 @@ impl<S: StateMachine> OarServer<S> {
             self.annotate(ctx, format!("Opt-undeliver({id})"));
         }
 
-        // Lines 27–29: A-deliver the new sequence and reply with weight Π.
+        // Lines 27–29: A-deliver the new sequence and reply with weight Π,
+        // one ReplyBatch per client for the whole decision.
+        let mut pending: PendingReplies<S::Response> = BTreeMap::new();
         for id in outcome.new.iter() {
             let request = self.payloads.get(id).expect("payload present").clone();
             let (response, _undo) = self.sm.apply(&request.command);
@@ -637,24 +804,29 @@ impl<S: StateMachine> OarServer<S> {
                 position: self.position,
             });
             self.annotate(ctx, format!("A-deliver({id}) @{}", self.position));
-            let reply = Reply {
+            pending.entry(request.client).or_default().push(ReplyItem {
                 request: *id,
-                epoch: self.epoch,
-                weight: self.group.iter().copied().collect(),
                 position: self.position,
                 response,
-                from: self.id,
-                kind: DeliveryKind::Conservative,
-            };
-            ctx.send(request.client, OarWire::Reply(reply));
+            });
         }
+        // Flushed while `epoch` is still the closing epoch, so the batch is
+        // stamped correctly.
+        self.flush_replies(ctx, pending, DeliveryKind::Conservative);
 
         // Line 30: A_delivered ← A_delivered ⊕ (O_delivered ⊖ Bad) ⊕ New.
         // Appended in place: O(epoch length), not O(|A_delivered|).
         let kept = self.o_delivered.subtract(&outcome.bad);
+        let mut decided_now: Vec<RequestId> = Vec::with_capacity(kept.len() + outcome.new.len());
         for id in kept.iter().chain(outcome.new.iter()) {
             self.settled.insert(*id);
             self.a_delivered.push(*id);
+            decided_now.push(*id);
+        }
+        // The payloads of this epoch's decisions become prunable once every
+        // live replica acknowledges the epoch.
+        if !decided_now.is_empty() {
+            self.gc_pending.insert(self.epoch, decided_now);
         }
 
         // Lines 31–32: reset the optimistic state and move to the next epoch.
@@ -669,6 +841,16 @@ impl<S: StateMachine> OarServer<S> {
         self.consensus = None;
         self.stats.epochs_completed += 1;
         self.annotate(ctx, format!("epoch {} starts", self.epoch));
+
+        // Announce the advanced watermark so peers can prune, and prune
+        // whatever the group has already acknowledged.
+        ctx.send_all(
+            &self.peers(),
+            OarWire::Watermark {
+                settled: self.settled_watermark(),
+            },
+        );
+        self.maybe_gc();
 
         // Prune the reception buffer: settled requests never need re-ordering.
         let settled = &self.settled;
@@ -692,6 +874,10 @@ impl<S: StateMachine> OarServer<S> {
         if self.future_phase2.remove(&epoch) {
             self.enter_phase2(ctx);
         }
+        // The rotating rule may hand the new epoch to a server that is
+        // *already* suspected (e.g. a crashed replica whose turn comes round
+        // again): no fresh FD event will fire, so re-check Task 1c here.
+        self.maybe_start_phase2(ctx);
     }
 
     /// Reacts to failure-detector events.
@@ -709,6 +895,48 @@ impl<S: StateMachine> OarServer<S> {
         if suspicion_changed {
             self.maybe_start_phase2(ctx);
             self.push_suspects_to_consensus(ctx);
+            // A newly suspected replica no longer holds up the payload GC.
+            self.maybe_gc();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // payload garbage collection (epoch watermark)
+    // ------------------------------------------------------------------
+
+    /// Records a peer's settled-epoch watermark (piggybacked on ordering,
+    /// PhaseII and heartbeat traffic, or announced explicitly at epoch close)
+    /// and prunes whatever became acknowledged.
+    fn note_settled(&mut self, from: ProcessId, settled: u64) {
+        if from == self.id || !self.group.contains(&from) {
+            return;
+        }
+        let known = self.peer_settled.entry(from).or_insert(0);
+        if settled > *known {
+            *known = settled;
+            self.maybe_gc();
+        }
+    }
+
+    /// Prunes the payloads of requests decided in epochs every live replica
+    /// has acknowledged. A server's own watermark participates in the
+    /// minimum, so nothing an unfinished local epoch still needs is touched.
+    fn maybe_gc(&mut self) {
+        let floor = self.acked_watermark();
+        let mut changed = false;
+        while self.gc_floor < floor {
+            if let Some(ids) = self.gc_pending.remove(&self.gc_floor) {
+                for id in ids {
+                    if self.payloads.remove(&id).is_some() {
+                        self.stats.payloads_pruned += 1;
+                        changed = true;
+                    }
+                }
+            }
+            self.gc_floor += 1;
+        }
+        if changed {
+            self.stats.payloads.record(self.payloads.len() as u64);
         }
     }
 }
@@ -740,7 +968,13 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                     self.handle_request_delivery(ctx, delivery);
                 }
             }
-            OarWire::Order(OrderMsg { epoch, order }) => {
+            OarWire::Order(OrderMsg {
+                epoch,
+                order,
+                settled,
+            }) => {
+                // The watermark is meaningful whatever the epoch check says.
+                self.note_settled(from, settled);
                 if epoch < self.epoch {
                     return;
                 }
@@ -758,12 +992,19 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                     ctx.send_all(&targets, OarWire::PhaseII(wire));
                 }
                 if let Some(delivery) = delivery {
+                    // The piggybacked watermark describes the broadcast's
+                    // origin, not the relaying neighbour.
+                    self.note_settled(delivery.origin, delivery.payload.settled);
                     self.handle_phase2_delivery(ctx, delivery.payload);
                 }
             }
-            OarWire::Fd(wire) => {
+            OarWire::Fd { wire, settled } => {
+                self.note_settled(from, settled);
                 let events = self.fd.on_wire(from, wire, ctx.now());
                 self.handle_fd_events(ctx, events);
+            }
+            OarWire::Watermark { settled } => {
+                self.note_settled(from, settled);
             }
             OarWire::Consensus(wire) => {
                 let instance = wire.instance();
@@ -782,7 +1023,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                 }
                 self.feed_consensus(ctx, from, wire);
             }
-            OarWire::Reply(_) => {
+            OarWire::Replies(_) => {
                 // Servers never receive replies; ignore defensively.
             }
         }
@@ -792,22 +1033,187 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         if timer.tag != TICK {
             return;
         }
-        // Heartbeats + suspicion checks.
+        // Heartbeats + suspicion checks; heartbeats carry the settled-epoch
+        // watermark so the payload GC converges even on idle protocol paths.
+        let settled = self.settled_watermark();
         let (heartbeats, events) = self.fd.on_tick(ctx.now());
         for hb in heartbeats {
-            ctx.send(hb.to, OarWire::Fd(hb.wire));
+            ctx.send(
+                hb.to,
+                OarWire::Fd {
+                    wire: hb.wire,
+                    settled,
+                },
+            );
         }
         self.handle_fd_events(ctx, events);
         // Task 1a on a timer: the only ordering trigger when eager sequencing
         // is disabled, and the flush of partially filled batches when it is.
+        // (A decision waiting on payloads no longer needs a tick-driven
+        // re-check: every payload arrival re-examines it via the missing
+        // set — see `set_pending_decision`.)
         self.maybe_order(ctx);
-        // A decision may be waiting for payloads that never get re-checked
-        // otherwise (defensive; normally triggered by request arrival).
-        self.try_apply_pending_decision(ctx);
+        // Task 1c safety net: the current sequencer may have been suspected
+        // before its epoch even started.
+        self.maybe_start_phase2(ctx);
         ctx.set_timer(self.config.tick_interval, TICK);
     }
 
     fn name(&self) -> String {
         format!("oar-server-{}", self.id.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Component-level tests driving the server directly through wire
+    //! messages, without a simulator — the pure-state-machine design makes
+    //! ordering hazards (payload after decision, watermark acknowledgement)
+    //! explicit and deterministic.
+
+    use super::*;
+    use crate::state_machine::{CounterCommand, CounterMachine};
+    use oar_channels::{CastWire, MsgId};
+    use oar_simnet::{Action, SimRng, SimTime};
+
+    type Wire = OarWire<CounterCommand, i64>;
+
+    /// Feeds one wire message to the server and returns the actions it
+    /// produced.
+    fn deliver(
+        server: &mut OarServer<CounterMachine>,
+        from: ProcessId,
+        msg: Wire,
+    ) -> Vec<Action<Wire>> {
+        let mut rng = SimRng::new(1);
+        let mut actions = Vec::new();
+        let mut next_timer = 0u64;
+        let mut ctx = Context::new(
+            SimTime::from_millis(1),
+            server.id(),
+            &mut rng,
+            &mut actions,
+            &mut next_timer,
+        );
+        server.on_message(&mut ctx, from, msg);
+        actions
+    }
+
+    fn request_wire(client: ProcessId, seq: u64, add: i64) -> (RequestId, Wire) {
+        let id = MsgId::new(client, seq);
+        let wire = CastWire {
+            id,
+            origin: client,
+            payload: Request {
+                id,
+                client,
+                command: CounterCommand::Add(add),
+            },
+        };
+        (id, OarWire::Request(wire))
+    }
+
+    /// Regression for the stale-decision re-check gap (formerly papered over
+    /// by a defensive tick): a decision that arrives *before* the payload of
+    /// a request it mentions must apply as soon as that payload arrives —
+    /// driven by the payload delivery itself, no timer involved.
+    #[test]
+    fn delayed_payload_unblocks_pending_decision_without_a_tick() {
+        let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+        let mut server = OarServer::new(
+            ProcessId(2),
+            group,
+            OarConfig::default(),
+            CounterMachine::default(),
+        );
+        let client = ProcessId(9);
+        let (rid, request) = request_wire(client, 0, 5);
+
+        // The group moves to phase 2 (sequencer suspected elsewhere).
+        let phase2 = OarWire::PhaseII(CastWire {
+            id: MsgId::new(ProcessId(0), 0),
+            origin: ProcessId(0),
+            payload: PhaseIIMsg {
+                epoch: 0,
+                settled: 0,
+            },
+        });
+        deliver(&mut server, ProcessId(0), phase2);
+        assert_eq!(server.phase(), Phase::Conservative);
+
+        // The decision mentions `rid`, whose payload has NOT arrived here yet.
+        let decision_value = CnsvValue {
+            o_delivered: Seq::new(),
+            o_notdelivered: [rid].into_iter().collect(),
+        };
+        let decide = OarWire::Consensus(ConsensusWire::Decide {
+            instance: 0,
+            value: vec![(ProcessId(0), decision_value)],
+        });
+        deliver(&mut server, ProcessId(0), decide);
+        assert_eq!(
+            server.epoch(),
+            0,
+            "decision must wait for the missing payload"
+        );
+        assert!(!server.stable_sequence().contains(&rid));
+
+        // The delayed payload finally arrives (relayed by server 0): the
+        // decision applies immediately, on this very delivery.
+        let actions = deliver(&mut server, ProcessId(0), request);
+        assert_eq!(server.epoch(), 1, "decision applied on payload arrival");
+        assert!(server.stable_sequence().contains(&rid));
+        let replied_to_client = actions.iter().any(|a| match a {
+            Action::Send { to, .. } => *to == client,
+            _ => false,
+        });
+        assert!(replied_to_client, "the A-deliver reply must go out");
+    }
+
+    /// End-to-end watermark GC on a single-replica group: the epoch cut
+    /// closes the epoch, the server acknowledges its own watermark and the
+    /// settled payload is pruned.
+    #[test]
+    fn watermark_gc_prunes_settled_payloads() {
+        let config = OarConfig {
+            epoch_cut_after: Some(1),
+            ..OarConfig::default()
+        };
+        let mut server = OarServer::new(
+            ProcessId(0),
+            vec![ProcessId(0)],
+            config,
+            CounterMachine::default(),
+        );
+        let client = ProcessId(9);
+        let (rid, request) = request_wire(client, 0, 3);
+        deliver(&mut server, client, request);
+
+        // The request was opt-delivered, the epoch cut + single-member
+        // consensus settled it, and the GC pruned its payload.
+        assert_eq!(server.epoch(), 1);
+        assert!(server.stable_sequence().contains(&rid));
+        assert_eq!(server.payloads_len(), 0, "settled payload pruned");
+        assert_eq!(server.stats().payloads_pruned, 1);
+        assert_eq!(server.stats().payloads.peak(), 1);
+        assert_eq!(server.acked_watermark(), 1);
+    }
+
+    /// Peers that lag hold the collector back; suspected peers do not.
+    #[test]
+    fn acked_watermark_tracks_live_peers_only() {
+        let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+        let mut server = OarServer::new(
+            ProcessId(0),
+            group,
+            OarConfig::default(),
+            CounterMachine::default(),
+        );
+        assert_eq!(server.acked_watermark(), 0, "nothing heard yet");
+        deliver(&mut server, ProcessId(1), OarWire::Watermark { settled: 4 });
+        assert_eq!(server.acked_watermark(), 0, "p2 still unheard");
+        deliver(&mut server, ProcessId(2), OarWire::Watermark { settled: 2 });
+        // min(self = 0, p1 = 4, p2 = 2): the server's own epoch bounds it.
+        assert_eq!(server.acked_watermark(), 0);
     }
 }

@@ -126,6 +126,38 @@ impl FromIterator<f64> for Samples {
     }
 }
 
+/// A current/peak gauge for an integer quantity (queue depths, map sizes…).
+///
+/// Embeddable in `Copy` stats structs; [`PeakGauge::record`] updates the
+/// current value and keeps the high-water mark, which is what the experiment
+/// harness reports for bounded-memory claims (e.g. the size of the OAR
+/// servers' payload map under the epoch-watermark garbage collector).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PeakGauge {
+    current: u64,
+    peak: u64,
+}
+
+impl PeakGauge {
+    /// Sets the current value, raising the peak if exceeded.
+    pub fn record(&mut self, value: u64) {
+        self.current = value;
+        if value > self.peak {
+            self.peak = value;
+        }
+    }
+
+    /// The most recently recorded value.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// The highest value ever recorded.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
 /// A compact distribution summary, serialisable for the experiment harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {

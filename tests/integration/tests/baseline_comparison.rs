@@ -30,9 +30,9 @@ fn latency_ordering_oar_tracks_sequencer_and_beats_consensus() {
 #[test]
 fn throughput_rows_cover_all_protocols() {
     let rows = experiments::throughput_experiment(3, &[1, 4], 20, 5);
-    // Four protocols (oar, oar-batched, fixed-sequencer, ct-abcast) × two
-    // client counts.
-    assert_eq!(rows.len(), 8);
+    // Five protocols (oar, oar-batched, oar-pipelined, fixed-sequencer,
+    // ct-abcast) × two client counts.
+    assert_eq!(rows.len(), 10);
     for r in &rows {
         assert!(r.requests_per_second > 0.0, "{r:?}");
         assert!(r.requests > 0, "{r:?}");
@@ -65,6 +65,19 @@ fn throughput_rows_cover_all_protocols() {
         "batched sequencer sent {} OrderMsgs for {} requests",
         batched.order_messages_sent,
         batched.requests
+    );
+    // The pipelined variant also amortises the reply traffic: fewer
+    // ReplyBatch wires than individual replies, while answering everything.
+    let pipelined = rows
+        .iter()
+        .find(|r| r.protocol == "oar-pipelined" && r.clients == 4)
+        .unwrap();
+    assert_eq!(pipelined.replies_sent, 3 * pipelined.requests as u64);
+    assert!(
+        pipelined.reply_messages_sent * 2 < pipelined.replies_sent,
+        "reply batching should at least halve the wire count ({} vs {})",
+        pipelined.reply_messages_sent,
+        pipelined.replies_sent
     );
 }
 

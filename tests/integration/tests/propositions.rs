@@ -315,6 +315,161 @@ fn propositions_hold_with_batched_sequencer_under_partition() {
     }
 }
 
+/// Runs the cluster to completion, then lets the final watermark
+/// announcements propagate so end-of-run payload levels reflect the garbage
+/// collector rather than in-flight messages.
+fn run_and_settle(cluster: &mut Cluster<CounterMachine>, horizon: SimTime) -> bool {
+    let done = cluster.run_to_completion(horizon);
+    let settle = cluster.world.now() + SimDuration::from_millis(60);
+    cluster.world.run_until(settle);
+    done
+}
+
+/// Payload GC under a sequencer crash (satellite of the watermark protocol):
+/// after recovery the alive servers' payload maps return to the
+/// unsettled-epoch window — they do not retain the whole workload — and no
+/// reply is lost to premature pruning (every request still completes and the
+/// external-consistency proposition still holds).
+#[test]
+fn payload_gc_bounded_after_sequencer_crash() {
+    let cut = 8u64;
+    let pipeline = 4usize;
+    for seed in 0..6u64 {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::lan(),
+            oar: OarConfig {
+                epoch_cut_after: Some(cut),
+                max_batch: 4,
+                ..OarConfig::with_fd_timeout(SimDuration::from_millis(20))
+            },
+            client_pipeline: pipeline,
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 40)
+            });
+        let crash_at = SimTime::from_micros(500 + seed * 900);
+        cluster.world.schedule_crash(ProcessId(0), crash_at);
+        assert!(
+            run_and_settle(&mut cluster, SimTime::from_secs(120)),
+            "seed {seed}: workload did not finish after sequencer crash"
+        );
+        // No reply lost to pruning: at-least-once still holds…
+        assert_eq!(cluster.completed_requests().len(), 80, "seed {seed}");
+        // …and so do the consistency propositions.
+        run_checks(&cluster, &format!("gc sequencer-crash seed {seed}"));
+        // The collector actually ran and the bound is the epoch window, not
+        // the workload size.
+        assert!(
+            cluster.total_payloads_pruned() > 0,
+            "seed {seed}: watermark GC never pruned"
+        );
+        let window = cut + (config.num_clients * pipeline) as u64;
+        let bound = 2 * window + 8;
+        let residual = cluster.current_payloads();
+        assert!(
+            residual <= bound,
+            "seed {seed}: {residual} payloads retained after recovery \
+             (bound {bound}, workload 80)"
+        );
+    }
+}
+
+/// Payload GC under the Figure-4 fault family: a minority partition holding
+/// the crashed sequencer stalls the minority's watermark (the majority keeps
+/// pruning — suspected replicas don't hold the collector back), and after the
+/// heal every alive server converges back to the watermark bound without
+/// losing a single reply.
+#[test]
+fn payload_gc_recovers_after_minority_partition() {
+    let cut = 8u64;
+    let pipeline = 4usize;
+    for seed in 0..4u64 {
+        let config = ClusterConfig {
+            num_servers: 5,
+            num_clients: 3,
+            net: NetConfig::constant(SimDuration::from_micros(100)),
+            oar: OarConfig {
+                epoch_cut_after: Some(cut),
+                max_batch: 4,
+                ..OarConfig::with_fd_timeout(SimDuration::from_millis(25))
+            },
+            client_pipeline: pipeline,
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 20)
+            });
+        let servers = cluster.servers.clone();
+        let clients = cluster.clients.clone();
+        let minority = vec![servers[0], servers[1], clients[1], clients[2]];
+        let majority = vec![servers[2], servers[3], servers[4], clients[0]];
+        cluster
+            .world
+            .schedule_partition(SimTime::from_millis(3), vec![minority, majority]);
+        cluster
+            .world
+            .schedule_crash(servers[0], SimTime::from_millis(6 + seed));
+        cluster.world.schedule_heal(SimTime::from_millis(120));
+        assert!(
+            run_and_settle(&mut cluster, SimTime::from_secs(120)),
+            "seed {seed}: workload did not finish after partition"
+        );
+        assert_eq!(cluster.completed_requests().len(), 60, "seed {seed}");
+        run_checks(&cluster, &format!("gc partition seed {seed}"));
+        assert!(
+            cluster.total_payloads_pruned() > 0,
+            "seed {seed}: watermark GC never pruned"
+        );
+        let window = cut + (config.num_clients * pipeline) as u64;
+        let bound = 2 * window + 8;
+        let residual = cluster.current_payloads();
+        assert!(
+            residual <= bound,
+            "seed {seed}: {residual} payloads retained after heal \
+             (bound {bound}, workload 60)"
+        );
+    }
+}
+
+/// Pipelined clients must not weaken any proposition: rerun the
+/// sequencer-crash scenario with a deep pipeline and batched ordering.
+#[test]
+fn propositions_hold_with_pipelined_clients_under_crash() {
+    for seed in 0..6u64 {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::lan(),
+            oar: OarConfig {
+                max_batch: 8,
+                ..OarConfig::with_fd_timeout(SimDuration::from_millis(20))
+            },
+            client_pipeline: 8,
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 15)
+            });
+        let crash_at = SimTime::from_micros(500 + seed * 700);
+        cluster.world.schedule_crash(ProcessId(0), crash_at);
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(120)),
+            "seed {seed}: pipelined workload did not finish after crash"
+        );
+        assert_eq!(cluster.completed_requests().len(), 30, "seed {seed}");
+        run_checks(&cluster, &format!("pipelined sequencer-crash seed {seed}"));
+    }
+}
+
 #[test]
 fn epoch_cutting_preserves_correctness() {
     // The §5.3 remark: proactively cutting epochs (running phase 2 regularly)

@@ -85,6 +85,12 @@ pub struct Measurement {
     pub samples: u64,
     /// Elements per iteration, if a throughput was declared.
     pub elements: Option<u64>,
+    /// Named workload counters attached by the bench (e.g. wire-message
+    /// counts), serialised into the JSON report. Extension over the real
+    /// criterion API: lets a bench record protocol-level quantities next to
+    /// its timings so the repository's `BENCH_*.json` trajectory captures
+    /// both.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// The benchmark driver. One instance per bench binary.
@@ -141,13 +147,30 @@ impl Criterion {
         let mut rows = Vec::new();
         for m in &self.measurements {
             let elements = m.elements.map_or("null".to_string(), |e| e.to_string());
+            let counters = if m.counters.is_empty() {
+                String::new()
+            } else {
+                let fields: Vec<String> = m
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("\"{k}\":{v}"))
+                    .collect();
+                format!(",\"counters\":{{{}}}", fields.join(","))
+            };
             rows.push(format!(
                 concat!(
                     "{{\"group\":\"{}\",\"id\":\"{}\",\"mean_ns\":{:.1},",
                     "\"min_ns\":{:.1},\"iters_per_sample\":{},\"samples\":{},",
-                    "\"elements\":{}}}"
+                    "\"elements\":{}{}}}"
                 ),
-                m.group, m.id, m.mean_ns, m.min_ns, m.iters_per_sample, m.samples, elements
+                m.group,
+                m.id,
+                m.mean_ns,
+                m.min_ns,
+                m.iters_per_sample,
+                m.samples,
+                elements,
+                counters
             ));
         }
         let json = format!(
@@ -251,7 +274,22 @@ impl BenchmarkGroup<'_> {
                 iters_per_sample: iters,
                 samples,
                 elements: self.throughput,
+                counters: Vec::new(),
             });
+        }
+        self
+    }
+
+    /// Attaches named workload counters to the most recently recorded point
+    /// (no-op if nothing was recorded). Extension over the real criterion
+    /// API; see [`Measurement::counters`].
+    pub fn attach_counters(
+        &mut self,
+        counters: impl IntoIterator<Item = (&'static str, u64)>,
+    ) -> &mut Self {
+        if let Some(last) = self.criterion.measurements.last_mut() {
+            last.counters
+                .extend(counters.into_iter().map(|(k, v)| (k.to_string(), v)));
         }
         self
     }
