@@ -6,6 +6,7 @@
 
 use std::collections::BTreeMap;
 
+use oar::shard::ShardKey;
 use oar::state_machine::StateMachine;
 
 /// Keys are small strings; values are strings too (the protocol does not care).
@@ -42,6 +43,26 @@ pub enum KvCommand {
         /// New value to store on success.
         new: Value,
     },
+}
+
+impl KvCommand {
+    /// The key this command is about.
+    pub fn key(&self) -> &str {
+        match self {
+            KvCommand::Put { key, .. }
+            | KvCommand::Get { key }
+            | KvCommand::Delete { key }
+            | KvCommand::CompareAndSwap { key, .. } => key,
+        }
+    }
+}
+
+/// Every command touches exactly one key, so the store shards naturally:
+/// per-key ordering is the owning group's total order.
+impl ShardKey for KvCommand {
+    fn shard_key(&self) -> &str {
+        self.key()
+    }
 }
 
 /// Responses of the key-value store.
@@ -205,6 +226,22 @@ mod tests {
         assert_eq!(r, KvResponse::Previous(Some("2".into())));
         assert!(kv.is_empty());
         assert_eq!(kv.operations(), 4);
+    }
+
+    #[test]
+    fn shard_key_is_the_command_key() {
+        assert_eq!(put("a", "1").key(), "a");
+        assert_eq!(KvCommand::Get { key: "b".into() }.key(), "b");
+        assert_eq!(KvCommand::Delete { key: "c".into() }.shard_key(), "c");
+        assert_eq!(
+            KvCommand::CompareAndSwap {
+                key: "d".into(),
+                expected: None,
+                new: "v".into(),
+            }
+            .shard_key(),
+            "d"
+        );
     }
 
     #[test]

@@ -10,7 +10,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oar::OarConfig;
-use oar_bench::experiments::{build_throughput_cluster, BATCHED_MAX_BATCH, PIPELINE_DEPTH};
+use oar_bench::experiments::{
+    build_sharded_cluster, build_throughput_cluster, BATCHED_MAX_BATCH, PIPELINE_DEPTH,
+};
 use oar_simnet::SimTime;
 
 const SEED: u64 = 11;
@@ -48,6 +50,44 @@ fn traffic_counters(
     ]
 }
 
+/// Times one sharded run to completion (per-group checks live in the tests,
+/// outside the measured loop).
+fn run_sharded(groups: usize, clients_per_group: usize, requests_per_client: usize) -> usize {
+    let mut cluster = build_sharded_cluster(groups, clients_per_group, requests_per_client, SEED);
+    assert!(cluster.run_to_completion(SimTime::from_secs(600)));
+    cluster.completed_requests().len()
+}
+
+/// Un-timed instrumentation run of the sharded deployment: aggregate
+/// misroutes (must stay 0) plus per-group wire counters, so the
+/// `BENCH_throughput.json` trajectory records how ordering and reply traffic
+/// split across sequencers.
+fn sharded_counters(
+    groups: usize,
+    clients_per_group: usize,
+    requests_per_client: usize,
+) -> Vec<(String, u64)> {
+    let mut cluster = build_sharded_cluster(groups, clients_per_group, requests_per_client, SEED);
+    assert!(cluster.run_to_completion(SimTime::from_secs(600)));
+    let mut counters = vec![
+        ("misroutes".to_string(), cluster.total_misroutes()),
+        ("peak_seen".to_string(), cluster.peak_seen()),
+        ("peak_payloads".to_string(), cluster.peak_payloads()),
+    ];
+    for g in 0..groups {
+        counters.push((
+            format!("g{g}_order_messages"),
+            cluster.sum_group_stats(g, |st| st.order_messages_sent),
+        ));
+        counters.push((
+            format!("g{g}_reply_messages"),
+            cluster.sum_group_stats(g, |st| st.reply_messages_sent),
+        ));
+        counters.push((format!("g{g}_wire_sent"), cluster.group_net_stats(g).sent));
+    }
+    counters
+}
+
 fn bench_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("oar_throughput");
     group.sample_size(10);
@@ -78,6 +118,26 @@ fn bench_throughput(c: &mut Criterion) {
         }
     }
     group.finish();
+
+    // Sharded deployments: aggregate throughput at fixed per-group load as
+    // the key space is partitioned over 1, 2 and 4 groups.
+    let mut sharded = c.benchmark_group("sharded");
+    sharded.sample_size(10);
+    let clients_per_group = 2usize;
+    for &groups in &[1usize, 2, 4] {
+        sharded.throughput(Throughput::Elements(
+            (groups * clients_per_group * requests_per_client) as u64,
+        ));
+        sharded.bench_with_input(BenchmarkId::new("hash", groups), &groups, |b, &groups| {
+            b.iter(|| run_sharded(groups, clients_per_group, requests_per_client))
+        });
+        sharded.attach_counters(sharded_counters(
+            groups,
+            clients_per_group,
+            requests_per_client,
+        ));
+    }
+    sharded.finish();
 }
 
 criterion_group!(benches, bench_throughput);

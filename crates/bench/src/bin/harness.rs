@@ -14,11 +14,16 @@
 //! cargo run --release -p oar-bench --bin harness -- gc
 //! cargo run --release -p oar-bench --bin harness -- soak
 //! cargo run --release -p oar-bench --bin harness -- soak-smoke
+//! cargo run --release -p oar-bench --bin harness -- sharded
+//! cargo run --release -p oar-bench --bin harness -- sharded-smoke
 //! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
 //! ```
 //!
 //! `soak` / `soak-smoke` exit non-zero when the traffic-amortisation or
-//! payload-GC bounds are violated (the smoke variant is the CI gate).
+//! payload-GC/seen-set bounds are violated; `sharded` / `sharded-smoke` when
+//! aggregate throughput fails to scale ≥2x from 1 to 4 groups at fixed
+//! per-group load, or any request is misrouted (the smoke variants are the
+//! CI gates).
 
 use oar_bench::json::ToJson;
 use oar_bench::{experiments, figures};
@@ -160,13 +165,14 @@ fn run_soak(clients: usize, requests_per_client: usize) -> bool {
     );
     let row = experiments::soak_experiment(clients, requests_per_client, SEED);
     println!(
-        "{:<6} {:>7} {:>6} {:>13} {:>9} {:>10} {:>7} {:>11} {:>10} {:>10} {:>10}",
+        "{:<6} {:>7} {:>6} {:>13} {:>9} {:>10} {:>9} {:>7} {:>11} {:>10} {:>10} {:>10}",
         "n",
         "clients",
         "reqs",
         "epochs/server",
         "peak-pyld",
         "final-pyld",
+        "peak-seen",
         "pruned",
         "reply-wires",
         "order-msgs",
@@ -174,13 +180,14 @@ fn run_soak(clients: usize, requests_per_client: usize) -> bool {
         "consistent"
     );
     println!(
-        "{:<6} {:>7} {:>6} {:>13.1} {:>9} {:>10} {:>7} {:>11} {:>10} {:>10} {:>10}",
+        "{:<6} {:>7} {:>6} {:>13.1} {:>9} {:>10} {:>9} {:>7} {:>11} {:>10} {:>10} {:>10}",
         row.servers,
         row.clients,
         row.requests,
         row.epochs_per_server,
         row.peak_payloads,
         row.final_payloads,
+        row.peak_seen,
         row.payloads_pruned,
         row.reply_messages_sent,
         row.order_messages_sent,
@@ -191,6 +198,55 @@ fn run_soak(clients: usize, requests_per_client: usize) -> bool {
     let violations = experiments::check_soak_bounds(&row, requests_per_client);
     for v in &violations {
         eprintln!("SOAK VIOLATION: {v}");
+    }
+    violations.is_empty()
+}
+
+fn run_sharded(clients_per_group: usize, requests_per_client: usize) -> bool {
+    println!(
+        "== T-SHARD: aggregate throughput vs group count (fixed per-group load: {} clients x {} reqs) ==",
+        clients_per_group, requests_per_client
+    );
+    let rows =
+        experiments::sharded_experiment(&[1, 2, 4], clients_per_group, requests_per_client, SEED);
+    println!(
+        "{:<7} {:>8} {:>7} {:>6} {:>10} {:>13} {:>9} {:>9} {:>22} {:>11}",
+        "groups",
+        "srv/grp",
+        "clients",
+        "reqs",
+        "req/s(sim)",
+        "mean-lat(ms)",
+        "misroute",
+        "peak-seen",
+        "order-msgs/group",
+        "consistent"
+    );
+    for r in &rows {
+        let orders: Vec<String> = r
+            .per_group_order_messages
+            .iter()
+            .map(|o| o.to_string())
+            .collect();
+        println!(
+            "{:<7} {:>8} {:>7} {:>6} {:>10.1} {:>13.3} {:>9} {:>9} {:>22} {:>11}",
+            r.groups,
+            r.servers_per_group,
+            r.groups * r.clients_per_group,
+            r.requests,
+            r.requests_per_second,
+            r.mean_latency_ms,
+            r.misroutes,
+            r.peak_seen,
+            orders.join("/"),
+            r.consistent
+        );
+    }
+    print_json("sharded", &rows);
+    let violations =
+        experiments::check_sharded_bounds(&rows, clients_per_group, requests_per_client);
+    for v in &violations {
+        eprintln!("SHARDED VIOLATION: {v}");
     }
     violations.is_empty()
 }
@@ -235,6 +291,20 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The full sharded scaling sweep (1 → 4 groups at fixed per-group
+        // load); exits non-zero if aggregate throughput fails to scale ≥2x
+        // from 1 to 4 groups or any request is misrouted.
+        "sharded" => {
+            if !run_sharded(4, 100) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: a smaller multi-group soak with the same ceilings.
+        "sharded-smoke" => {
+            if !run_sharded(2, 40) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             run_figures(None);
             run_latency();
@@ -242,13 +312,15 @@ fn main() {
             run_undo();
             run_throughput();
             run_gc();
-            if !run_soak(8, 640) {
+            let soak_ok = run_soak(8, 640);
+            let sharded_ok = run_sharded(4, 100);
+            if !soak_ok || !sharded_ok {
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | sharded | sharded-smoke");
             std::process::exit(2);
         }
     }

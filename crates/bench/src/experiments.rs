@@ -8,6 +8,8 @@
 //! `harness` binary prints the rows recorded in `EXPERIMENTS.md`.
 
 use oar::cluster::{Cluster, ClusterConfig};
+use oar::shard::ShardRouter;
+use oar::sharded::{ShardedCluster, ShardedConfig};
 use oar::state_machine::CounterMachine;
 use oar::OarConfig;
 use oar_apps::kv::{KvCommand, KvMachine};
@@ -611,6 +613,12 @@ pub struct SoakRow {
     pub peak_payloads: u64,
     /// Largest `payloads` size across alive servers at the end of the run.
     pub final_payloads: u64,
+    /// Peak size of any server's reliable-multicast duplicate-suppression
+    /// (`seen`) sets — aged out by the same watermark rule, so it must stay
+    /// window-bounded too.
+    pub peak_seen: u64,
+    /// Largest `seen` size across alive servers at the end of the run.
+    pub final_seen: u64,
     /// Payloads pruned by the watermark GC across all servers.
     pub payloads_pruned: u64,
     /// `ReplyBatch` wires sent across all servers.
@@ -682,6 +690,8 @@ pub fn soak_experiment(clients: usize, requests_per_client: usize, seed: u64) ->
         epochs_per_server: epochs as f64 / servers as f64,
         peak_payloads: cluster.peak_payloads(),
         final_payloads: cluster.current_payloads(),
+        peak_seen: cluster.peak_seen(),
+        final_seen: cluster.current_seen(),
         payloads_pruned: cluster.total_payloads_pruned(),
         reply_messages_sent: cluster.total_reply_messages(),
         replies_sent: cluster.total_replies(),
@@ -725,6 +735,23 @@ pub fn check_soak_bounds(row: &SoakRow, requests_per_client: usize) -> Vec<Strin
             row.final_payloads
         ));
     }
+    // Seen-set memory (ROADMAP leftover): the casters' duplicate-suppression
+    // sets are aged out by the same watermark, so they obey the same window
+    // bound — plus a small allowance for the PhaseII ids of unsettled epochs.
+    let seen_bound = payload_bound + 64;
+    if row.peak_seen > seen_bound {
+        violations.push(format!(
+            "peak seen {} exceeds the watermark window bound {seen_bound} \
+             (total requests: {total})",
+            row.peak_seen
+        ));
+    }
+    if row.final_seen > seen_bound {
+        violations.push(format!(
+            "final seen {} exceeds the watermark window bound {seen_bound}",
+            row.final_seen
+        ));
+    }
     // Reply amortisation: at most ceil(requests / PIPELINE_DEPTH) ReplyBatch
     // wires per client per server (a client's replies coalesce per in-flight
     // window), with 2x slack for partially filled batches at epoch
@@ -762,6 +789,197 @@ pub fn check_soak_bounds(row: &SoakRow, requests_per_client: usize) -> Vec<Strin
             "shared consensus wires ({}) should fan out to more destinations ({})",
             row.consensus_allocations, row.consensus_messages
         ));
+    }
+    violations
+}
+
+/// One row of the sharded scaling experiment (T-SHARD).
+#[derive(Clone, Debug)]
+pub struct ShardedRow {
+    /// Number of OAR groups the key space is partitioned over.
+    pub groups: usize,
+    /// Replicas per group.
+    pub servers_per_group: usize,
+    /// Closed-loop clients *per group* (total clients = groups × this).
+    pub clients_per_group: usize,
+    /// Requests completed across all groups.
+    pub requests: usize,
+    /// Aggregate completed requests per simulated second.
+    pub requests_per_second: f64,
+    /// Mean client-observed latency (ms).
+    pub mean_latency_ms: f64,
+    /// Requests that reached a group other than the one they were stamped
+    /// for. Must be 0: the router is a pure function replicated at every
+    /// client.
+    pub misroutes: u64,
+    /// Peak duplicate-suppression (`seen`) set size at any server.
+    pub peak_seen: u64,
+    /// `OrderMsg` broadcasts per group (each group has its own sequencer).
+    pub per_group_order_messages: Vec<u64>,
+    /// `ReplyBatch` wires per group.
+    pub per_group_reply_messages: Vec<u64>,
+    /// Wire messages handed to the network by each group's servers
+    /// (relays, ordering, replies, consensus, heartbeats).
+    pub per_group_wire_sent: Vec<u64>,
+    /// Whether the run completed with every group's propositions intact.
+    pub consistent: bool,
+}
+
+/// Replicas per group used by the sharded experiment.
+pub const SHARDED_SERVERS_PER_GROUP: usize = 3;
+
+/// The fixed key pool of the sharded workload. Independent of the group
+/// count, so the *same* per-client workload is measured at every scale and
+/// the hash router simply spreads it over more groups.
+pub const SHARDED_KEY_SPACE: usize = 64;
+
+fn sharded_workload(client: usize, requests: usize) -> Vec<KvCommand> {
+    (0..requests)
+        .map(|i| {
+            let key = format!("k{:02}", (client * 13 + i * 7) % SHARDED_KEY_SPACE);
+            if i % 4 == 3 {
+                KvCommand::Get { key }
+            } else {
+                KvCommand::Put {
+                    key,
+                    value: format!("c{client}-v{i}"),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Builds the sharded KV deployment measured by T-SHARD (also reused by the
+/// `sharded` criterion bench): `groups` hash-partitioned OAR groups of
+/// [`SHARDED_SERVERS_PER_GROUP`] replicas, `clients_per_group × groups`
+/// pipelined clients, batched sequencers.
+pub fn build_sharded_cluster(
+    groups: usize,
+    clients_per_group: usize,
+    requests_per_client: usize,
+    seed: u64,
+) -> ShardedCluster<KvMachine> {
+    let config = ShardedConfig {
+        num_groups: groups,
+        servers_per_group: SHARDED_SERVERS_PER_GROUP,
+        num_clients: groups * clients_per_group,
+        router: ShardRouter::hash(groups),
+        net: NetConfig::lan(),
+        oar: OarConfig::with_batching(PIPELINE_DEPTH),
+        seed,
+        think_time: SimDuration::ZERO,
+        client_pipeline: PIPELINE_DEPTH,
+    };
+    ShardedCluster::build(&config, KvMachine::new, |c| {
+        sharded_workload(c, requests_per_client)
+    })
+}
+
+/// T-SHARD: aggregate throughput as the key space is partitioned over more
+/// groups, at **fixed per-group client load** — the deployment-level answer
+/// to the single-sequencer ceiling. Each group runs the unmodified OAR
+/// protocol; the propositions are checked per group, and cross-group
+/// ordering is explicitly out of scope.
+pub fn sharded_experiment(
+    group_counts: &[usize],
+    clients_per_group: usize,
+    requests_per_client: usize,
+    seed: u64,
+) -> Vec<ShardedRow> {
+    let mut rows = Vec::new();
+    for &groups in group_counts {
+        let mut cluster =
+            build_sharded_cluster(groups, clients_per_group, requests_per_client, seed);
+        let done = cluster.run_to_completion(SimTime::from_secs(600));
+        let consistent = done
+            && cluster.check_per_group_consistency().is_ok()
+            && cluster.check_external_consistency().is_ok();
+        let end = cluster.last_completion();
+        let seconds = end.as_millis_f64() / 1_000.0;
+        let requests = cluster.completed_requests().len();
+        rows.push(ShardedRow {
+            groups,
+            servers_per_group: SHARDED_SERVERS_PER_GROUP,
+            clients_per_group,
+            requests,
+            requests_per_second: if seconds > 0.0 {
+                requests as f64 / seconds
+            } else {
+                0.0
+            },
+            mean_latency_ms: cluster.latencies().mean().unwrap_or(0.0),
+            misroutes: cluster.total_misroutes(),
+            peak_seen: cluster.peak_seen(),
+            per_group_order_messages: (0..groups)
+                .map(|g| cluster.sum_group_stats(g, |st| st.order_messages_sent))
+                .collect(),
+            per_group_reply_messages: (0..groups)
+                .map(|g| cluster.sum_group_stats(g, |st| st.reply_messages_sent))
+                .collect(),
+            per_group_wire_sent: (0..groups)
+                .map(|g| cluster.group_net_stats(g).sent)
+                .collect(),
+            consistent,
+        });
+    }
+    rows
+}
+
+/// Verifies the scaling and isolation claims of a T-SHARD sweep; returns
+/// every violation found (empty = pass). The CI `sharded-smoke` gate:
+///
+/// * every run completes with the per-group propositions intact;
+/// * zero misroutes anywhere;
+/// * aggregate throughput at 4 groups ≥ 2× the 1-group run (same per-group
+///   load), i.e. adding groups adds capacity instead of interference.
+pub fn check_sharded_bounds(
+    rows: &[ShardedRow],
+    clients_per_group: usize,
+    requests_per_client: usize,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    for row in rows {
+        let expected = row.groups * clients_per_group * requests_per_client;
+        if !row.consistent {
+            violations.push(format!(
+                "{} groups: run did not complete consistently",
+                row.groups
+            ));
+        }
+        if row.requests != expected {
+            violations.push(format!(
+                "{} groups: completed {} of {expected} requests",
+                row.groups, row.requests
+            ));
+        }
+        if row.misroutes != 0 {
+            violations.push(format!(
+                "{} groups: {} misrouted requests (must be 0)",
+                row.groups, row.misroutes
+            ));
+        }
+    }
+    let throughput_of = |groups: usize| {
+        rows.iter()
+            .find(|r| r.groups == groups)
+            .map(|r| r.requests_per_second)
+    };
+    match (throughput_of(1), throughput_of(4)) {
+        (Some(tp1), Some(tp4)) => {
+            if tp4 < 2.0 * tp1 {
+                violations.push(format!(
+                    "aggregate throughput at 4 groups ({tp4:.1} req/s) is below 2x \
+                     the 1-group run ({tp1:.1} req/s)"
+                ));
+            }
+        }
+        // The gate must fail loudly, not pass vacuously, if the sweep no
+        // longer produces the rows it compares.
+        _ => violations.push(
+            "sweep lacks the 1-group and/or 4-group rows; the >=2x scaling \
+             gate was not evaluated"
+                .to_string(),
+        ),
     }
     violations
 }
@@ -954,6 +1172,37 @@ mod tests {
              workload size",
             row.peak_payloads
         );
+    }
+
+    #[test]
+    fn sharded_throughput_scales_with_group_count() {
+        let rows = sharded_experiment(&[1, 4], 2, 20, 9);
+        let violations = check_sharded_bounds(&rows, 2, 20);
+        assert!(violations.is_empty(), "sharded violations: {violations:?}");
+        let row4 = rows.iter().find(|r| r.groups == 4).unwrap();
+        assert_eq!(row4.requests, 4 * 2 * 20);
+        assert_eq!(row4.misroutes, 0);
+        // Every group ran its own sequencer: per-group ordering traffic is
+        // non-zero wherever keys landed (the 64-key pool covers all groups).
+        assert!(row4.per_group_order_messages.iter().all(|&o| o > 0));
+        assert!(row4.per_group_wire_sent.iter().all(|&s| s > 0));
+        assert_eq!(row4.per_group_reply_messages.len(), 4);
+    }
+
+    #[test]
+    fn soak_tracks_seen_set_aging() {
+        let row = soak_experiment(2, 120, 13);
+        assert!(row.consistent);
+        // The duplicate-suppression sets are aged out with the payloads:
+        // their peak stays near the watermark window, far below the request
+        // count, and the bound check accepts the run.
+        assert!(row.peak_seen > 0);
+        assert!(
+            row.peak_seen < (2 * 120) as u64,
+            "peak seen {} should be window-bounded, not workload-sized",
+            row.peak_seen
+        );
+        assert!(check_soak_bounds(&row, 120).is_empty());
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use oar_simnet::Summary;
 
-use crate::experiments::{FailoverRow, GcRow, LatencyRow, SoakRow, ThroughputRow, UndoRow};
+use crate::experiments::{
+    FailoverRow, GcRow, LatencyRow, ShardedRow, SoakRow, ThroughputRow, UndoRow,
+};
 use crate::figures::FigureOutcome;
 
 /// Types that can render themselves as a JSON value.
@@ -130,7 +132,8 @@ impl ToJson for SoakRow {
             concat!(
                 "{{\"servers\":{},\"clients\":{},\"requests\":{},",
                 "\"epochs_per_server\":{},\"peak_payloads\":{},",
-                "\"final_payloads\":{},\"payloads_pruned\":{},",
+                "\"final_payloads\":{},\"peak_seen\":{},\"final_seen\":{},",
+                "\"payloads_pruned\":{},",
                 "\"reply_messages_sent\":{},\"replies_sent\":{},",
                 "\"order_messages_sent\":{},\"consensus_allocations\":{},",
                 "\"consensus_messages\":{},\"consistent\":{}}}"
@@ -141,12 +144,47 @@ impl ToJson for SoakRow {
             f(self.epochs_per_server),
             self.peak_payloads,
             self.final_payloads,
+            self.peak_seen,
+            self.final_seen,
             self.payloads_pruned,
             self.reply_messages_sent,
             self.replies_sent,
             self.order_messages_sent,
             self.consensus_allocations,
             self.consensus_messages,
+            self.consistent,
+        )
+    }
+}
+
+fn u64_array(values: &[u64]) -> String {
+    let items: Vec<String> = values.iter().map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(","))
+}
+
+impl ToJson for ShardedRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"groups\":{},\"servers_per_group\":{},",
+                "\"clients_per_group\":{},\"requests\":{},",
+                "\"requests_per_second\":{},\"mean_latency_ms\":{},",
+                "\"misroutes\":{},\"peak_seen\":{},",
+                "\"per_group_order_messages\":{},",
+                "\"per_group_reply_messages\":{},",
+                "\"per_group_wire_sent\":{},\"consistent\":{}}}"
+            ),
+            self.groups,
+            self.servers_per_group,
+            self.clients_per_group,
+            self.requests,
+            f(self.requests_per_second),
+            f(self.mean_latency_ms),
+            self.misroutes,
+            self.peak_seen,
+            u64_array(&self.per_group_order_messages),
+            u64_array(&self.per_group_reply_messages),
+            u64_array(&self.per_group_wire_sent),
             self.consistent,
         )
     }
@@ -215,5 +253,33 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(f(f64::NAN), "null");
         assert_eq!(f(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn u64_arrays_render_as_json() {
+        assert_eq!(u64_array(&[]), "[]");
+        assert_eq!(u64_array(&[1, 2, 3]), "[1,2,3]");
+    }
+
+    #[test]
+    fn sharded_row_shape() {
+        let row = ShardedRow {
+            groups: 2,
+            servers_per_group: 3,
+            clients_per_group: 2,
+            requests: 80,
+            requests_per_second: 1000.0,
+            mean_latency_ms: 0.5,
+            misroutes: 0,
+            peak_seen: 40,
+            per_group_order_messages: vec![5, 6],
+            per_group_reply_messages: vec![30, 31],
+            per_group_wire_sent: vec![100, 110],
+            consistent: true,
+        };
+        let j = row.to_json();
+        assert!(j.contains("\"per_group_order_messages\":[5,6]"));
+        assert!(j.contains("\"misroutes\":0"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 }

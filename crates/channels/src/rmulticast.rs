@@ -186,6 +186,22 @@ impl<M: Clone> ReliableCaster<M> {
     pub fn seen_count(&self) -> usize {
         self.seen.len()
     }
+
+    /// Ages `id` out of the duplicate-suppression set, returning whether it
+    /// was present.
+    ///
+    /// The `seen` set otherwise grows with the lifetime of the process; the
+    /// OAR servers bound it by forgetting a multicast's id once the request
+    /// it carried is *settled* under the epoch-watermark rule — the same
+    /// condition that lets them prune the payload. Forgetting is safe-but-
+    /// noisy rather than unsafe: should a stale relay of a forgotten
+    /// multicast still arrive, it is re-delivered (and re-relayed) once, and
+    /// the layer above discards it by its own settled-request check —
+    /// Integrity moves from this set to the caller's, which is why only ids
+    /// the caller can recognise as settled may be forgotten.
+    pub fn forget(&mut self, id: &MsgId) -> bool {
+        self.seen.remove(id)
+    }
 }
 
 /// A relay produced by [`ReliableCaster::on_wire_shared`]: the wire message
@@ -248,6 +264,25 @@ mod tests {
         assert!(d1.is_some());
         assert!(d2.is_none());
         assert!(relays2.is_empty());
+        assert_eq!(server0.seen_count(), 1);
+    }
+
+    #[test]
+    fn forget_ages_out_and_permits_one_redelivery() {
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group3());
+        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId(0), group3());
+        let (_, out) = client.multicast("req");
+        let wire = out[0].wire.clone();
+        let (d1, _) = server0.on_wire(wire.clone());
+        assert!(d1.is_some());
+        assert_eq!(server0.seen_count(), 1);
+        assert!(server0.forget(&wire.id));
+        assert!(!server0.forget(&wire.id), "already forgotten");
+        assert_eq!(server0.seen_count(), 0);
+        // A stale duplicate after forgetting is re-delivered once (the layer
+        // above suppresses it by its settled-request check) and re-tracked.
+        let (d2, _) = server0.on_wire(wire);
+        assert!(d2.is_some());
         assert_eq!(server0.seen_count(), 1);
     }
 

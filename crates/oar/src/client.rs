@@ -23,7 +23,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use oar_channels::ReliableCaster;
-use oar_simnet::{Context, Process, ProcessId, SimDuration, SimTime, Timer};
+use oar_simnet::{Context, GroupId, Process, ProcessId, SimDuration, SimTime, Timer};
 
 use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId, Weight};
 use crate::state_machine::StateMachine;
@@ -94,6 +94,7 @@ struct Outstanding<R> {
 pub struct OarClient<S: StateMachine> {
     id: ProcessId,
     servers: Vec<ProcessId>,
+    group: GroupId,
     cast: ReliableCaster<Request<S::Command>>,
     workload: VecDeque<S::Command>,
     next_index: usize,
@@ -117,6 +118,7 @@ impl<S: StateMachine> OarClient<S> {
         let majority = majority(servers.len());
         OarClient {
             id,
+            group: GroupId::default(),
             cast: ReliableCaster::new(id, servers.clone()),
             servers,
             workload: workload.into(),
@@ -140,6 +142,14 @@ impl<S: StateMachine> OarClient<S> {
     /// `1` — the default — is the closed-loop client of Fig. 5.
     pub fn with_pipeline(mut self, depth: usize) -> Self {
         self.pipeline = depth.max(1);
+        self
+    }
+
+    /// Targets the replication group `group` (stamped on every request so
+    /// its servers can verify the routing). Defaults to `g0`, the
+    /// single-group deployment.
+    pub fn with_group(mut self, group: GroupId) -> Self {
+        self.group = group;
         self
     }
 
@@ -179,6 +189,7 @@ impl<S: StateMachine> OarClient<S> {
                 // The id is re-stamped below once the multicast assigns it.
                 id: RequestId::new(self.id, 0),
                 client: self.id,
+                group: self.group,
                 command,
             });
             // Re-stamp the request with the multicast id so servers and client

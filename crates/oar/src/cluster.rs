@@ -99,7 +99,8 @@ impl<S: StateMachine> Cluster<S> {
                 config.think_time,
             )
             .with_start_delay(start_delay)
-            .with_pipeline(config.client_pipeline);
+            .with_pipeline(config.client_pipeline)
+            .with_group(config.oar.group);
             clients.push(world.add_process(client));
         }
         Cluster {
@@ -249,6 +250,33 @@ impl<S: StateMachine> Cluster<S> {
                     .payloads
                     .peak()
             })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest peak `seen`-set size (reliable-multicast duplicate
+    /// suppression) observed at any server — bounded by the epoch-watermark
+    /// aging, like `payloads`.
+    pub fn peak_seen(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .seen
+                    .peak()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest *current* `seen`-set size across alive servers.
+    pub fn current_seen(&self) -> u64 {
+        self.servers
+            .iter()
+            .filter(|&&s| !self.world.is_crashed(s))
+            .map(|&s| self.world.process_ref::<OarServer<S>>(s).seen_len() as u64)
             .max()
             .unwrap_or(0)
     }

@@ -2,11 +2,16 @@
 
 use oar_consensus::ConsensusConfig;
 use oar_fd::FdConfig;
-use oar_simnet::SimDuration;
+use oar_simnet::{GroupId, SimDuration};
 
 /// Configuration shared by all servers of an OAR group.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OarConfig {
+    /// Identity of the replication group these servers form. Single-group
+    /// deployments (the paper's setting) keep the default `g0`; sharded
+    /// deployments give each group its own id, which servers check against
+    /// incoming requests to detect misroutes.
+    pub group: GroupId,
     /// Failure-detector parameters (heartbeat interval, suspicion timeout).
     /// The timeout is the main knob of the fail-over experiments.
     pub fd: FdConfig,
@@ -37,6 +42,7 @@ pub struct OarConfig {
 impl Default for OarConfig {
     fn default() -> Self {
         OarConfig {
+            group: GroupId::default(),
             fd: FdConfig::default(),
             consensus: ConsensusConfig::default(),
             tick_interval: SimDuration::from_millis(1),
@@ -66,6 +72,13 @@ impl OarConfig {
             ..OarConfig::default()
         }
     }
+
+    /// The same configuration for replication group `group` (used by the
+    /// sharded deployment layer, which stamps each group's servers with
+    /// their group identity).
+    pub fn for_group(self, group: GroupId) -> Self {
+        OarConfig { group, ..self }
+    }
 }
 
 #[cfg(test)]
@@ -73,8 +86,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn for_group_overrides_only_the_group() {
+        let cfg = OarConfig::with_batching(4).for_group(GroupId(3));
+        assert_eq!(cfg.group, GroupId(3));
+        assert_eq!(cfg.max_batch, 4);
+    }
+
+    #[test]
     fn default_is_eager_unbatched_and_uncut() {
         let cfg = OarConfig::default();
+        assert_eq!(cfg.group, GroupId(0));
         assert!(cfg.eager_sequencing);
         assert_eq!(cfg.max_batch, 1);
         assert_eq!(cfg.epoch_cut_after, None);

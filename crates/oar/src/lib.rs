@@ -29,8 +29,11 @@
 //!   processes;
 //! * [`cluster`] — a harness assembling whole deployments for tests, examples
 //!   and experiments;
+//! * [`shard`] / [`sharded`] — key-space partitioning over several
+//!   independent OAR groups (router, sharded clients and deployments), the
+//!   scale-out layer beyond one sequencer;
 //! * [`config`] — protocol tuning knobs (failure-detector timeout, batching,
-//!   epoch cutting).
+//!   epoch cutting, group identity).
 //!
 //! ## Quick start
 //!
@@ -60,6 +63,8 @@ pub mod cnsv_order;
 pub mod config;
 pub mod message;
 pub mod server;
+pub mod shard;
+pub mod sharded;
 pub mod state_machine;
 
 pub use client::{CompletedRequest, OarClient};
@@ -71,4 +76,6 @@ pub use message::{
     Weight,
 };
 pub use server::{DeliveryRecord, OarServer, Phase, ServerStats};
+pub use shard::{Partitioner, ShardKey, ShardRouter};
+pub use sharded::{ShardCompleted, ShardedClient, ShardedCluster, ShardedConfig};
 pub use state_machine::StateMachine;

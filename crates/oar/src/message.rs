@@ -12,7 +12,7 @@ use oar_channels::{CastWire, MsgId};
 use oar_consensus::ConsensusWire;
 use oar_fd::FdWire;
 use oar_sequence::Seq;
-use oar_simnet::ProcessId;
+use oar_simnet::{GroupId, ProcessId};
 
 /// Identifier of a client request: the client process plus a per-client
 /// sequence number (assigned by the reliable multicast layer).
@@ -25,6 +25,12 @@ pub struct Request<C> {
     pub id: RequestId,
     /// The client that issued the request (the paper's `sender(m)`).
     pub client: ProcessId,
+    /// The replication group this request was routed to. Servers verify it
+    /// against their own group id and count (then drop) mismatches as
+    /// misroutes — in a sharded deployment a request reaching the wrong
+    /// group would be ordered against the wrong key space. Single-group
+    /// deployments use [`GroupId::default`] throughout.
+    pub group: GroupId,
     /// The command to execute on the replicated service.
     pub command: C,
 }

@@ -159,6 +159,13 @@ pub struct ServerStats {
     pub payloads_pruned: u64,
     /// Current and peak size of the `payloads` map.
     pub payloads: PeakGauge,
+    /// Requests that arrived stamped for a *different* replication group and
+    /// were dropped. Must stay 0 in a correctly routed sharded deployment.
+    pub misrouted: u64,
+    /// Current and peak total size of the reliable-multicast duplicate-
+    /// suppression (`seen`) sets, bounded by the same epoch-watermark rule
+    /// as `payloads`.
+    pub seen: PeakGauge,
 }
 
 /// The OAR server process, generic over the replicated [`StateMachine`].
@@ -224,6 +231,10 @@ pub struct OarServer<S: StateMachine> {
     /// Requests settled per closed epoch, awaiting acknowledgement by every
     /// live replica before their payloads are pruned.
     gc_pending: BTreeMap<u64, Vec<RequestId>>,
+    /// Multicast ids of the `PhaseII` broadcasts delivered per epoch, so the
+    /// phase2 caster's duplicate-suppression set can be aged out alongside
+    /// the payloads once the epoch is acknowledged group-wide.
+    phase2_msg_ids: BTreeMap<u64, Vec<RequestId>>,
 
     // --- application ---
     sm: S,
@@ -271,6 +282,7 @@ impl<S: StateMachine> OarServer<S> {
             peer_settled: HashMap::new(),
             gc_floor: 0,
             gc_pending: BTreeMap::new(),
+            phase2_msg_ids: BTreeMap::new(),
             sm,
             log: Vec::new(),
             stats: ServerStats::default(),
@@ -280,6 +292,24 @@ impl<S: StateMachine> OarServer<S> {
     /// The server's process identifier.
     pub fn id(&self) -> ProcessId {
         self.id
+    }
+
+    /// The replication group this server belongs to (from its config).
+    pub fn group_id(&self) -> oar_simnet::GroupId {
+        self.config.group
+    }
+
+    /// Total size of the reliable-multicast duplicate-suppression sets
+    /// (request + PhaseII casters) — the quantity aged out by the
+    /// epoch-watermark rule.
+    pub fn seen_len(&self) -> usize {
+        self.request_cast.seen_count() + self.phase2_cast.seen_count()
+    }
+
+    /// Updates the `seen` gauge after any insertion into or pruning of the
+    /// casters' duplicate-suppression sets.
+    fn record_seen(&mut self) {
+        self.stats.seen.record(self.seen_len() as u64);
     }
 
     /// The current epoch number.
@@ -416,11 +446,16 @@ impl<S: StateMachine> OarServer<S> {
     ) {
         let request = delivery.payload;
         let id = request.id;
+        debug_assert_eq!(
+            request.group, self.config.group,
+            "misroutes are dropped at the door, before the caster"
+        );
         if self.payloads.contains_key(&id) || self.settled.contains(&id) {
             return;
         }
         self.payloads.insert(id, request);
         self.stats.payloads.record(self.payloads.len() as u64);
+        self.record_seen();
         self.r_delivered.push(id);
         // New payloads may unblock a buffered sequencer order or a pending
         // consensus decision (the missing set makes the latter O(1)).
@@ -612,6 +647,11 @@ impl<S: StateMachine> OarServer<S> {
             epoch: self.epoch,
             settled: self.settled_watermark(),
         });
+        self.phase2_msg_ids
+            .entry(local.payload.epoch)
+            .or_default()
+            .push(local.id);
+        self.record_seen();
         ctx.send_all(&targets, OarWire::PhaseII(wire));
         self.handle_phase2_delivery(ctx, local.payload);
     }
@@ -919,8 +959,13 @@ impl<S: StateMachine> OarServer<S> {
     }
 
     /// Prunes the payloads of requests decided in epochs every live replica
-    /// has acknowledged. A server's own watermark participates in the
-    /// minimum, so nothing an unfinished local epoch still needs is touched.
+    /// has acknowledged — and ages the same epochs out of the reliable-
+    /// multicast duplicate-suppression sets, which would otherwise grow with
+    /// the lifetime of the server. A server's own watermark participates in
+    /// the minimum, so nothing an unfinished local epoch still needs is
+    /// touched. Forgetting a settled request's multicast id is safe: should
+    /// a stale relay still arrive, `handle_request_delivery` discards it via
+    /// the `settled` set (and `handle_phase2_delivery` via the epoch check).
     fn maybe_gc(&mut self) {
         let floor = self.acked_watermark();
         let mut changed = false;
@@ -931,13 +976,26 @@ impl<S: StateMachine> OarServer<S> {
                         self.stats.payloads_pruned += 1;
                         changed = true;
                     }
+                    self.request_cast.forget(&id);
                 }
             }
             self.gc_floor += 1;
         }
+        // PhaseII broadcasts of acknowledged epochs (keyed separately: their
+        // multicast ids are per-origin counters, not request ids).
+        while let Some((&epoch, _)) = self.phase2_msg_ids.first_key_value() {
+            if epoch >= self.gc_floor {
+                break;
+            }
+            let ids = self.phase2_msg_ids.remove(&epoch).expect("peeked key");
+            for id in ids {
+                self.phase2_cast.forget(&id);
+            }
+        }
         if changed {
             self.stats.payloads.record(self.payloads.len() as u64);
         }
+        self.record_seen();
     }
 }
 
@@ -959,6 +1017,29 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         }
         match msg {
             OarWire::Request(wire) => {
+                // Sharded deployments: a request stamped for another group
+                // reached the wrong shard. Count it and drop it at the door —
+                // feeding it to the caster would relay the misroute to the
+                // whole (wrong) group and pin its id in `seen` forever, since
+                // a request this group never orders is never settled here.
+                if wire.payload.group != self.config.group {
+                    self.stats.misrouted += 1;
+                    self.annotate(
+                        ctx,
+                        format!("misroute({}, {})", wire.id, wire.payload.group),
+                    );
+                    return;
+                }
+                // A copy of an already-settled request — possible once the
+                // seen-set aging forgot its multicast id — is dropped at the
+                // door too. Feeding it back in would re-relay it, and two
+                // servers that both aged the id out could bounce it between
+                // each other indefinitely; dropping here is safe because
+                // every server relays on its own first (pre-settlement)
+                // reception, so no delivery path is lost.
+                if self.settled.contains(&wire.id) {
+                    return;
+                }
                 let (delivery, relay) = self.request_cast.on_wire_shared(wire);
                 if let Some((wire, targets)) = relay {
                     // One shared allocation for all relay recipients.
@@ -987,6 +1068,13 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                 }
             }
             OarWire::PhaseII(wire) => {
+                // A PhaseII for an epoch the payload collector already
+                // passed is settled knowledge group-wide; its multicast id
+                // may have been aged out of `seen`, so (as for requests)
+                // drop it before the caster would re-deliver and re-relay.
+                if wire.payload.epoch < self.gc_floor {
+                    return;
+                }
                 let (delivery, relay) = self.phase2_cast.on_wire_shared(wire);
                 if let Some((wire, targets)) = relay {
                     ctx.send_all(&targets, OarWire::PhaseII(wire));
@@ -995,6 +1083,13 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                     // The piggybacked watermark describes the broadcast's
                     // origin, not the relaying neighbour.
                     self.note_settled(delivery.origin, delivery.payload.settled);
+                    // Track the multicast id so the seen-set aging can
+                    // forget it once the epoch is acknowledged group-wide.
+                    self.phase2_msg_ids
+                        .entry(delivery.payload.epoch)
+                        .or_default()
+                        .push(delivery.id);
+                    self.record_seen();
                     self.handle_phase2_delivery(ctx, delivery.payload);
                 }
             }
@@ -1107,6 +1202,7 @@ mod tests {
             payload: Request {
                 id,
                 client,
+                group: oar_simnet::GroupId::default(),
                 command: CounterCommand::Add(add),
             },
         };
@@ -1197,6 +1293,44 @@ mod tests {
         assert_eq!(server.stats().payloads_pruned, 1);
         assert_eq!(server.stats().payloads.peak(), 1);
         assert_eq!(server.acked_watermark(), 1);
+        // The multicast id was aged out of the duplicate-suppression set
+        // alongside the payload (the epoch's PhaseII ids likewise).
+        assert_eq!(server.seen_len(), 0, "settled seen ids aged out");
+        assert_eq!(server.stats().seen.peak(), 2, "request + own PhaseII");
+        // A stale relay of the settled request is discarded by the settled
+        // check and does not re-grow the seen set.
+        let (_, stale) = request_wire(client, 0, 3);
+        deliver(&mut server, client, stale);
+        assert_eq!(server.seen_len(), 0);
+        assert!(!server.stable_sequence().is_empty());
+    }
+
+    /// Requests stamped for another group are counted and dropped, never
+    /// ordered: the misroute ceiling of the sharded deployment layer.
+    #[test]
+    fn misrouted_requests_are_counted_and_dropped() {
+        let config = OarConfig::default().for_group(oar_simnet::GroupId(1));
+        let mut server = OarServer::new(
+            ProcessId(0),
+            vec![ProcessId(0)],
+            config,
+            CounterMachine::default(),
+        );
+        assert_eq!(server.group_id(), oar_simnet::GroupId(1));
+        let client = ProcessId(9);
+        // request_wire stamps g0; this server is g1.
+        let (rid, request) = request_wire(client, 0, 7);
+        let actions = deliver(&mut server, client, request);
+        assert_eq!(server.stats().misrouted, 1);
+        assert_eq!(server.payloads_len(), 0, "misroute must not be buffered");
+        assert!(!server.stable_sequence().contains(&rid));
+        assert_eq!(server.stats().opt_delivered, 0);
+        // Dropped at the door: never relayed, never tracked in `seen`.
+        assert_eq!(server.seen_len(), 0, "misroute must not enter `seen`");
+        assert!(
+            !actions.iter().any(|a| matches!(a, Action::Send { .. })),
+            "misroute must not be relayed"
+        );
     }
 
     /// Peers that lag hold the collector back; suspected peers do not.

@@ -1,0 +1,833 @@
+//! Sharded multi-group OAR: several independent replication groups over one
+//! simulated network, a key → group router, and clients that fan requests to
+//! the group owning each key.
+//!
+//! With the per-group hot path linear and the per-batch traffic amortised, a
+//! single sequencer is the scalability ceiling of a one-group deployment.
+//! This module partitions the *key space* over `N` OAR groups — each with
+//! its own sequencer, consensus instance and failure detector — following
+//! the parallel-SMR observation that commands touching disjoint state need
+//! not share one total order.
+//!
+//! # What is (and is not) ordered
+//!
+//! * **Inside a group**: the full OAR guarantees — total order, at-most-once,
+//!   external consistency — hold per group, unchanged. Since the router is a
+//!   pure function of the key, *per-key* ordering is exactly the owning
+//!   group's total order.
+//! * **Across groups**: nothing. Two requests routed to different groups are
+//!   processed with no ordering relation whatsoever; there is no cross-group
+//!   agreement on the critical path (or anywhere else). Workloads needing
+//!   cross-key atomicity must place those keys in one group (range
+//!   partitioning) or run on a single group.
+//!
+//! Misrouting is a safety hazard (a request ordered against the wrong key
+//! space), so every request carries its intended [`GroupId`] and servers
+//! drop + count mismatches ([`ServerStats::misrouted`]); the experiment
+//! harness gates on the count staying zero.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use oar_channels::CastWire;
+use oar_sequence::Seq;
+use oar_simnet::{
+    Context, GroupId, NetConfig, NetStats, Process, ProcessId, Samples, SimDuration, SimTime,
+    Timer, World,
+};
+
+use crate::client::CompletedRequest;
+use crate::config::OarConfig;
+use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId, Weight};
+use crate::server::{OarServer, ServerStats};
+use crate::shard::{ShardKey, ShardRouter};
+use crate::state_machine::StateMachine;
+
+/// Timer tag used for the think-time delay between two requests.
+const NEXT_REQUEST: u64 = 2;
+
+/// Parameters of a sharded deployment.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Number of OAR groups the key space is partitioned over.
+    pub num_groups: usize,
+    /// Replicas per group (`|Π|` of each group).
+    pub servers_per_group: usize,
+    /// Number of client processes; every client may talk to every group.
+    pub num_clients: usize,
+    /// The key → group router, replicated at every client.
+    /// Must agree with `num_groups`.
+    pub router: ShardRouter,
+    /// Network configuration (shared by all groups: sharding splits the key
+    /// space, not the network).
+    pub net: NetConfig,
+    /// Protocol configuration template; each group's servers get it stamped
+    /// with their [`GroupId`] via [`OarConfig::for_group`].
+    pub oar: OarConfig,
+    /// Seed of the deterministic simulation.
+    pub seed: u64,
+    /// Client think time between requests.
+    pub think_time: SimDuration,
+    /// Maximum outstanding requests per client, across all groups.
+    pub client_pipeline: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            num_groups: 2,
+            servers_per_group: 3,
+            num_clients: 2,
+            router: ShardRouter::hash(2),
+            net: NetConfig::lan(),
+            oar: OarConfig::default(),
+            seed: 1,
+            think_time: SimDuration::ZERO,
+            client_pipeline: 1,
+        }
+    }
+}
+
+/// Per-epoch accumulation of replies for one outstanding request.
+#[derive(Debug)]
+struct EpochReplies<R> {
+    union_weight: Weight,
+    replies: Vec<Reply<R>>,
+}
+
+impl<R> Default for EpochReplies<R> {
+    fn default() -> Self {
+        EpochReplies {
+            union_weight: Weight::new(),
+            replies: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Outstanding<R> {
+    group: GroupId,
+    index: usize,
+    sent_at: SimTime,
+    by_epoch: BTreeMap<u64, EpochReplies<R>>,
+    replies_seen: usize,
+}
+
+/// A request completed by a sharded client: the group that served it plus
+/// the per-request bookkeeping of the single-group client.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShardCompleted<R> {
+    /// The group the request was routed to (and answered by).
+    pub group: GroupId,
+    /// The adopted reply and its bookkeeping.
+    pub request: CompletedRequest<R>,
+}
+
+/// A client of a sharded deployment: it routes every command of its workload
+/// to the group owning the command's key, R-multicasts it to that group, and
+/// applies the Fig. 5 weighted-quorum adoption rule *per owning group* — the
+/// optimistic/conservative reply semantics of each request are exactly those
+/// of a single-group client, with the majority threshold of the group that
+/// serves it.
+#[derive(Debug)]
+pub struct ShardedClient<S: StateMachine> {
+    id: ProcessId,
+    /// Server ids per group, indexed by [`GroupId`].
+    groups: Vec<Vec<ProcessId>>,
+    router: ShardRouter,
+    workload: VecDeque<S::Command>,
+    /// Requests get ids `(self.id, seq)` from one counter across all groups,
+    /// so ids stay unique however commands are routed.
+    next_seq: u64,
+    next_index: usize,
+    think_time: SimDuration,
+    start_delay: SimDuration,
+    pipeline: usize,
+    outstanding: BTreeMap<RequestId, Outstanding<S::Response>>,
+    completed: Vec<ShardCompleted<S::Response>>,
+}
+
+impl<S: StateMachine> ShardedClient<S>
+where
+    S::Command: ShardKey,
+{
+    /// Creates a client submitting `workload` to the deployment described by
+    /// `groups` (server ids per group) and `router`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router's group count differs from `groups.len()`.
+    pub fn new(
+        id: ProcessId,
+        groups: Vec<Vec<ProcessId>>,
+        router: ShardRouter,
+        workload: Vec<S::Command>,
+        think_time: SimDuration,
+    ) -> Self {
+        assert_eq!(
+            router.num_groups(),
+            groups.len(),
+            "router and deployment disagree on the group count"
+        );
+        ShardedClient {
+            id,
+            groups,
+            router,
+            workload: workload.into(),
+            next_seq: 0,
+            next_index: 0,
+            think_time,
+            start_delay: SimDuration::ZERO,
+            pipeline: 1,
+            outstanding: BTreeMap::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// Delays the first request by `delay` (used to stagger clients).
+    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
+        self.start_delay = delay;
+        self
+    }
+
+    /// Allows up to `depth` outstanding requests across all groups (clamped
+    /// to at least 1).
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        self.pipeline = depth.max(1);
+        self
+    }
+
+    /// The client's process identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// The requests completed so far, in completion order.
+    pub fn completed(&self) -> &[ShardCompleted<S::Response>] {
+        &self.completed
+    }
+
+    /// Whether the whole workload has been submitted and answered.
+    pub fn is_done(&self) -> bool {
+        self.workload.is_empty() && self.outstanding.is_empty()
+    }
+
+    /// Submits requests until the pipeline window is full or the workload is
+    /// exhausted. Each request is R-multicast to the servers of its owning
+    /// group only (the client is not a member, so the group's internal relay
+    /// provides Agreement).
+    fn fill_pipeline(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        while self.outstanding.len() < self.pipeline {
+            let Some(command) = self.workload.pop_front() else {
+                return;
+            };
+            let group = self.router.route(&command);
+            let id = RequestId::new(self.id, self.next_seq);
+            self.next_seq += 1;
+            let wire = CastWire {
+                id,
+                origin: self.id,
+                payload: Request {
+                    id,
+                    client: self.id,
+                    group,
+                    command,
+                },
+            };
+            ctx.send_all(&self.groups[group.index()], OarWire::Request(wire));
+            ctx.annotate(format!("OAR-multicast({id}, {group})"));
+            self.outstanding.insert(
+                id,
+                Outstanding {
+                    group,
+                    index: self.next_index,
+                    sent_at: ctx.now(),
+                    by_epoch: BTreeMap::new(),
+                    replies_seen: 0,
+                },
+            );
+            self.next_index += 1;
+        }
+    }
+
+    fn handle_reply_batch(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        batch: ReplyBatch<S::Response>,
+    ) {
+        for reply in batch.unpack() {
+            self.handle_reply(ctx, reply);
+        }
+    }
+
+    /// The Fig. 5 adoption rule, with the majority threshold of the request's
+    /// owning group.
+    fn handle_reply(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        reply: Reply<S::Response>,
+    ) {
+        let request = reply.request;
+        let Some(outstanding) = self.outstanding.get_mut(&request) else {
+            return; // stale reply for an already-completed request
+        };
+        outstanding.replies_seen += 1;
+        let epoch_replies = outstanding.by_epoch.entry(reply.epoch).or_default();
+        epoch_replies
+            .union_weight
+            .extend(reply.weight.iter().copied());
+        epoch_replies.replies.push(reply);
+
+        let quorum = majority(self.groups[outstanding.group.index()].len());
+        let adopted = outstanding.by_epoch.iter().find_map(|(epoch, acc)| {
+            if acc.union_weight.len() >= quorum {
+                acc.replies
+                    .iter()
+                    .max_by_key(|r| r.weight.len())
+                    .map(|r| (*epoch, r.clone()))
+            } else {
+                None
+            }
+        });
+        let Some((epoch, reply)) = adopted else {
+            return;
+        };
+        let outstanding = self.outstanding.remove(&request).expect("outstanding");
+        ctx.annotate(format!(
+            "adopt({}, {}, pos={}, |W|={})",
+            request,
+            outstanding.group,
+            reply.position,
+            reply.weight.len()
+        ));
+        self.completed.push(ShardCompleted {
+            group: outstanding.group,
+            request: CompletedRequest {
+                id: request,
+                index: outstanding.index,
+                response: reply.response,
+                position: reply.position,
+                epoch,
+                adopted_weight: reply.weight.len(),
+                replies_seen: outstanding.replies_seen,
+                sent_at: outstanding.sent_at,
+                completed_at: ctx.now(),
+            },
+        });
+        if self.workload.is_empty() {
+            return;
+        }
+        if self.think_time.is_zero() {
+            self.fill_pipeline(ctx);
+        } else {
+            ctx.set_timer(self.think_time, NEXT_REQUEST);
+        }
+    }
+}
+
+impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for ShardedClient<S>
+where
+    S::Command: ShardKey,
+{
+    fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        if self.start_delay.is_zero() {
+            self.fill_pipeline(ctx);
+        } else {
+            ctx.set_timer(self.start_delay, NEXT_REQUEST);
+        }
+    }
+
+    fn on_message(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        _from: ProcessId,
+        msg: OarWire<S::Command, S::Response>,
+    ) {
+        if let OarWire::Replies(batch) = msg {
+            self.handle_reply_batch(ctx, batch);
+        }
+        // Clients ignore every other message kind.
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
+        if timer.tag == NEXT_REQUEST && self.outstanding.len() < self.pipeline {
+            self.fill_pipeline(ctx);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("sharded-client-{}", self.id.0)
+    }
+}
+
+/// A fully assembled sharded OAR deployment: `num_groups` independent server
+/// groups plus routing clients, in one simulated world.
+pub struct ShardedCluster<S: StateMachine> {
+    /// The simulation world. Exposed so experiments can inject crashes,
+    /// partitions and custom calls.
+    pub world: World<OarWire<S::Command, S::Response>>,
+    /// Server identifiers per group, indexed by [`GroupId`].
+    pub groups: Vec<Vec<ProcessId>>,
+    /// Identifiers of the client processes.
+    pub clients: Vec<ProcessId>,
+    /// The router shared by all clients.
+    pub router: ShardRouter,
+}
+
+impl<S: StateMachine> ShardedCluster<S>
+where
+    S::Command: ShardKey,
+{
+    /// Builds a sharded cluster. `make_sm` creates each replica's initial
+    /// state (identical per group — and, as groups own disjoint key ranges,
+    /// in practice identical everywhere); `workload_for(client_index)` is
+    /// each client's command list, routed per command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the router's group count differs from `config.num_groups`.
+    pub fn build(
+        config: &ShardedConfig,
+        mut make_sm: impl FnMut() -> S,
+        mut workload_for: impl FnMut(usize) -> Vec<S::Command>,
+    ) -> Self {
+        assert_eq!(
+            config.router.num_groups(),
+            config.num_groups,
+            "router and config disagree on the group count"
+        );
+        let mut world: World<OarWire<S::Command, S::Response>> =
+            World::new(config.net.clone(), config.seed);
+        let mut groups = Vec::with_capacity(config.num_groups);
+        for g in 0..config.num_groups {
+            let base = g * config.servers_per_group;
+            let ids: Vec<ProcessId> = (base..base + config.servers_per_group)
+                .map(ProcessId)
+                .collect();
+            for &id in &ids {
+                let server =
+                    OarServer::new(id, ids.clone(), config.oar.for_group(GroupId(g)), make_sm());
+                let assigned = world.add_process(server);
+                debug_assert_eq!(assigned, id);
+                world.assign_group(assigned, GroupId(g));
+            }
+            groups.push(ids);
+        }
+        let first_client = config.num_groups * config.servers_per_group;
+        let mut clients = Vec::with_capacity(config.num_clients);
+        for c in 0..config.num_clients {
+            let client: ShardedClient<S> = ShardedClient::new(
+                ProcessId(first_client + c),
+                groups.clone(),
+                config.router.clone(),
+                workload_for(c),
+                config.think_time,
+            )
+            .with_start_delay(SimDuration::from_micros(10 * c as u64))
+            .with_pipeline(config.client_pipeline);
+            clients.push(world.add_process(client));
+        }
+        ShardedCluster {
+            world,
+            groups,
+            clients,
+            router: config.router.clone(),
+        }
+    }
+
+    /// Runs the simulation until every client finished its workload or the
+    /// horizon is reached. Returns `true` if all clients finished.
+    pub fn run_to_completion(&mut self, horizon: SimTime) -> bool {
+        let slice = SimDuration::from_millis(50);
+        let mut next = self.world.now() + slice;
+        loop {
+            self.world.run_until(next);
+            if self.all_clients_done() {
+                return true;
+            }
+            if self.world.now() >= horizon {
+                return self.all_clients_done();
+            }
+            next = self.world.now() + slice;
+        }
+    }
+
+    /// Whether every client finished its workload.
+    pub fn all_clients_done(&self) -> bool {
+        self.clients
+            .iter()
+            .all(|&c| self.world.process_ref::<ShardedClient<S>>(c).is_done())
+    }
+
+    /// Read access to server `i` of group `g`.
+    pub fn server(&self, g: usize, i: usize) -> &OarServer<S> {
+        self.world.process_ref::<OarServer<S>>(self.groups[g][i])
+    }
+
+    /// Read access to client `i`.
+    pub fn client(&self, i: usize) -> &ShardedClient<S> {
+        self.world.process_ref::<ShardedClient<S>>(self.clients[i])
+    }
+
+    /// All completed requests of all clients, with their owning group.
+    pub fn completed_requests(&self) -> Vec<&ShardCompleted<S::Response>> {
+        self.clients
+            .iter()
+            .flat_map(|&c| {
+                self.world
+                    .process_ref::<ShardedClient<S>>(c)
+                    .completed()
+                    .iter()
+            })
+            .collect()
+    }
+
+    /// Client-observed latencies (milliseconds) of all completed requests.
+    pub fn latencies(&self) -> Samples {
+        let mut samples = Samples::new();
+        for r in self.completed_requests() {
+            samples.record_duration(r.request.latency());
+        }
+        samples
+    }
+
+    /// Simulated time of the last completion (zero if nothing completed).
+    pub fn last_completion(&self) -> SimTime {
+        self.completed_requests()
+            .iter()
+            .map(|r| r.request.completed_at)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Sums `f` over the server stats of group `g` (crashed servers
+    /// included — their counters froze at crash time).
+    pub fn sum_group_stats(&self, g: usize, f: impl Fn(&ServerStats) -> u64) -> u64 {
+        self.groups[g]
+            .iter()
+            .map(|&s| f(&self.world.process_ref::<OarServer<S>>(s).stats()))
+            .sum()
+    }
+
+    /// Sums `f` over the server stats of every group.
+    pub fn sum_stats(&self, f: impl Fn(&ServerStats) -> u64 + Copy) -> u64 {
+        (0..self.groups.len())
+            .map(|g| self.sum_group_stats(g, f))
+            .sum()
+    }
+
+    /// Total requests stamped for one group that arrived at another — the
+    /// misroute count the sharded experiments gate at zero.
+    pub fn total_misroutes(&self) -> u64 {
+        self.sum_stats(|st| st.misrouted)
+    }
+
+    /// The largest peak `seen`-set size observed at any server (bounded by
+    /// the epoch-watermark aging).
+    pub fn peak_seen(&self) -> u64 {
+        self.all_servers()
+            .map(|s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .seen
+                    .peak()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest peak `payloads` size observed at any server.
+    pub fn peak_payloads(&self) -> u64 {
+        self.all_servers()
+            .map(|s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .payloads
+                    .peak()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Network statistics attributed to group `g` (message sends by its
+    /// servers: ordering, relays, replies, consensus, heartbeats).
+    pub fn group_net_stats(&self, g: usize) -> NetStats {
+        self.world.group_stats(GroupId(g))
+    }
+
+    fn all_servers(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.groups.iter().flatten().copied()
+    }
+
+    fn alive_servers_of(&self, g: usize) -> Vec<ProcessId> {
+        self.groups[g]
+            .iter()
+            .copied()
+            .filter(|&s| !self.world.is_crashed(s))
+            .collect()
+    }
+
+    /// Checks the single-group safety properties (total order, at-most-once,
+    /// digest agreement) *inside every group*, plus cross-group isolation:
+    /// no request settled by one group ever appears in another group's
+    /// sequence. Cross-group *ordering* is explicitly not checked — it is
+    /// not a property of the sharded deployment.
+    pub fn check_per_group_consistency(&self) -> Result<(), String> {
+        let mut owner_of: HashMap<RequestId, GroupId> = HashMap::new();
+        for (g, _) in self.groups.iter().enumerate() {
+            let alive = self.alive_servers_of(g);
+            let sequences: Vec<(ProcessId, Seq<RequestId>)> = alive
+                .iter()
+                .map(|&s| {
+                    (
+                        s,
+                        self.world
+                            .process_ref::<OarServer<S>>(s)
+                            .committed_sequence(),
+                    )
+                })
+                .collect();
+            for (p, seq) in &sequences {
+                let mut seen = std::collections::HashSet::new();
+                for id in seq.iter() {
+                    if !seen.insert(*id) {
+                        return Err(format!("group {g}: server {p} delivered {id} twice"));
+                    }
+                    match owner_of.insert(*id, GroupId(g)) {
+                        Some(other) if other != GroupId(g) => {
+                            return Err(format!(
+                                "cross-group leak: {id} delivered by groups {other} and g{g}"
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            for (i, (p, sp)) in sequences.iter().enumerate() {
+                for (q, sq) in sequences.iter().skip(i + 1) {
+                    if !(sp.is_prefix_of(sq) || sq.is_prefix_of(sp)) {
+                        return Err(format!(
+                            "group {g}: total order violated between {p} and {q}: {sp} vs {sq}"
+                        ));
+                    }
+                }
+            }
+            // Digest equality for equal-length sequences.
+            let mut by_len: HashMap<usize, (ProcessId, u64)> = HashMap::new();
+            for &s in &alive {
+                let server = self.world.process_ref::<OarServer<S>>(s);
+                let len = server.committed_sequence().len();
+                let digest = server.state_machine().digest();
+                if let Some((other, other_digest)) = by_len.get(&len) {
+                    if *other_digest != digest {
+                        return Err(format!(
+                            "group {g}: servers {other} and {s} delivered {len} requests but diverge"
+                        ));
+                    }
+                } else {
+                    by_len.insert(len, (s, digest));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks external consistency per group (Proposition 7): every adopted
+    /// reply matches, at every alive server of the *owning* group that
+    /// settled the request, the position at which that server processed it.
+    pub fn check_external_consistency(&self) -> Result<(), String> {
+        // Final settled position of every request, per server, per group.
+        let mut per_group: Vec<Vec<HashMap<RequestId, u64>>> = Vec::new();
+        for servers in &self.groups {
+            let mut maps = Vec::new();
+            for &s in servers {
+                if self.world.is_crashed(s) {
+                    maps.push(HashMap::new());
+                    continue;
+                }
+                let server = self.world.process_ref::<OarServer<S>>(s);
+                let mut positions = HashMap::new();
+                for (i, id) in server.committed_sequence().iter().enumerate() {
+                    positions.insert(*id, (i + 1) as u64);
+                }
+                maps.push(positions);
+            }
+            per_group.push(maps);
+        }
+        for (c_idx, &c) in self.clients.iter().enumerate() {
+            let client = self.world.process_ref::<ShardedClient<S>>(c);
+            for done in client.completed() {
+                for (s_idx, positions) in per_group[done.group.index()].iter().enumerate() {
+                    if let Some(&pos) = positions.get(&done.request.id) {
+                        if pos != done.request.position {
+                            return Err(format!(
+                                "client {c_idx} adopted position {} for {} but server {} of {} settled it at {}",
+                                done.request.position, done.request.id, s_idx, done.group, pos
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state_machine::StateMachine;
+
+    /// A minimal keyed service for the sharded tests: per-key counters.
+    #[derive(Clone, Debug, Default, PartialEq, Eq)]
+    struct KeyedCounters {
+        counts: BTreeMap<String, i64>,
+    }
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct AddTo {
+        key: String,
+        delta: i64,
+    }
+
+    impl ShardKey for AddTo {
+        fn shard_key(&self) -> &str {
+            &self.key
+        }
+    }
+
+    impl StateMachine for KeyedCounters {
+        type Command = AddTo;
+        type Response = i64;
+        type Undo = (String, i64);
+
+        fn apply(&mut self, command: &AddTo) -> (i64, (String, i64)) {
+            let entry = self.counts.entry(command.key.clone()).or_insert(0);
+            let before = *entry;
+            *entry += command.delta;
+            (*entry, (command.key.clone(), before))
+        }
+
+        fn undo(&mut self, (key, before): (String, i64)) {
+            self.counts.insert(key, before);
+        }
+
+        fn digest(&self) -> u64 {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for (k, v) in &self.counts {
+                for b in k.bytes().chain(v.to_le_bytes()) {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+            h
+        }
+    }
+
+    fn workload(client: usize, n: usize) -> Vec<AddTo> {
+        (0..n)
+            .map(|i| AddTo {
+                key: format!("k{}", (client * 7 + i) % 16),
+                delta: (i % 5) as i64 + 1,
+            })
+            .collect()
+    }
+
+    fn config(num_groups: usize) -> ShardedConfig {
+        ShardedConfig {
+            num_groups,
+            router: ShardRouter::hash(num_groups),
+            ..ShardedConfig::default()
+        }
+    }
+
+    #[test]
+    fn sharded_run_completes_with_per_group_guarantees() {
+        let config = config(3);
+        let mut cluster: ShardedCluster<KeyedCounters> =
+            ShardedCluster::build(&config, KeyedCounters::default, |c| workload(c, 12));
+        assert!(cluster.run_to_completion(SimTime::from_secs(30)));
+        assert_eq!(cluster.completed_requests().len(), 24);
+        cluster.check_per_group_consistency().unwrap();
+        cluster.check_external_consistency().unwrap();
+        assert_eq!(cluster.total_misroutes(), 0);
+        // The workload's 16 keys spread over all 3 groups under the hash
+        // router, and every group moved traffic of its own.
+        let with_requests = (0..3)
+            .filter(|&g| cluster.sum_group_stats(g, |st| st.opt_delivered) > 0)
+            .count();
+        assert!(with_requests >= 2, "keys should spread over groups");
+        for g in 0..3 {
+            if cluster.sum_group_stats(g, |st| st.opt_delivered) > 0 {
+                assert!(cluster.group_net_stats(g).sent > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn completions_name_the_owning_group() {
+        let config = config(2);
+        let mut cluster: ShardedCluster<KeyedCounters> =
+            ShardedCluster::build(&config, KeyedCounters::default, |c| workload(c, 8));
+        assert!(cluster.run_to_completion(SimTime::from_secs(30)));
+        for done in cluster.completed_requests() {
+            // The adopting group is the one the router owns the key to; the
+            // settled position must exist at that group's servers.
+            assert!(done.group.index() < 2);
+            let settled_somewhere = cluster.groups[done.group.index()].iter().any(|&s| {
+                cluster
+                    .world
+                    .process_ref::<OarServer<KeyedCounters>>(s)
+                    .committed_sequence()
+                    .contains(&done.request.id)
+            });
+            assert!(
+                settled_somewhere,
+                "{} not settled in its group",
+                done.request.id
+            );
+        }
+    }
+
+    #[test]
+    fn one_group_sequencer_crash_leaves_other_groups_undisturbed() {
+        let config = config(3);
+        let mut cluster: ShardedCluster<KeyedCounters> =
+            ShardedCluster::build(&config, KeyedCounters::default, |c| workload(c, 10));
+        // Crash group 0's initial sequencer (its first server) early.
+        let victim = cluster.groups[0][0];
+        cluster
+            .world
+            .schedule_crash(victim, SimTime::from_millis(3));
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(60)),
+            "all groups (including the one that failed over) must finish"
+        );
+        cluster.check_per_group_consistency().unwrap();
+        cluster.check_external_consistency().unwrap();
+        assert_eq!(cluster.total_misroutes(), 0);
+        // Group 0 failed over (phase 2 ran); the *other* groups never left
+        // the optimistic phase — their failure detectors are independent.
+        assert!(cluster.sum_group_stats(0, |st| st.phase2_entered) > 0);
+        for g in 1..3 {
+            assert_eq!(
+                cluster.sum_group_stats(g, |st| st.phase2_entered),
+                0,
+                "group {g} must not react to another group's crash"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "disagree on the group count")]
+    fn build_rejects_router_group_mismatch() {
+        let config = ShardedConfig {
+            num_groups: 3,
+            router: ShardRouter::hash(2),
+            ..ShardedConfig::default()
+        };
+        let _cluster: ShardedCluster<KeyedCounters> =
+            ShardedCluster::build(&config, KeyedCounters::default, |_| Vec::new());
+    }
+}

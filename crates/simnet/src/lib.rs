@@ -56,7 +56,7 @@ pub use config::{LatencyModel, LinkConfig, NetConfig, PartitionMode};
 pub use context::{Action, Context};
 pub use metrics::{PeakGauge, Samples, Summary};
 pub use network::{Network, Routing};
-pub use process::{AsAny, Process, ProcessId, Timer, TimerId};
+pub use process::{AsAny, GroupId, Process, ProcessId, Timer, TimerId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, NetStats, TraceEvent, TraceKind, Tracer};

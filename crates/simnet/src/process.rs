@@ -44,6 +44,44 @@ impl From<usize> for ProcessId {
     }
 }
 
+/// Identifier of a replication group (shard) inside a deployment.
+///
+/// A single-group deployment — the paper's setting — lives entirely in
+/// [`GroupId::default`] (`g0`). Sharded deployments partition the key space
+/// over several groups, each with its own sequencer, consensus instance and
+/// failure detector; the simulator uses the group id only for addressing
+/// assertions and per-group metrics ([`World::assign_group`]), never for
+/// routing — groups share one network.
+///
+/// [`World::assign_group`]: crate::World::assign_group
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GroupId(pub usize);
+
+impl GroupId {
+    /// The numeric index of the group.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Debug for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl fmt::Display for GroupId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+impl From<usize> for GroupId {
+    fn from(value: usize) -> Self {
+        GroupId(value)
+    }
+}
+
 /// Identifier of a timer set through [`Context::set_timer`].
 ///
 /// [`Context::set_timer`]: crate::Context::set_timer
@@ -120,6 +158,16 @@ mod tests {
         assert_eq!(format!("{p}"), "p3");
         assert_eq!(format!("{p:?}"), "p3");
         assert_eq!(ProcessId::from(7), ProcessId(7));
+    }
+
+    #[test]
+    fn group_id_display_and_index() {
+        let g = GroupId(2);
+        assert_eq!(g.index(), 2);
+        assert_eq!(format!("{g}"), "g2");
+        assert_eq!(format!("{g:?}"), "g2");
+        assert_eq!(GroupId::from(5), GroupId(5));
+        assert_eq!(GroupId::default(), GroupId(0));
     }
 
     #[test]

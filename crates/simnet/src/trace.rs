@@ -7,9 +7,10 @@
 //!
 //! [`Context::annotate`]: crate::Context::annotate
 
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
-use crate::process::ProcessId;
+use crate::process::{GroupId, ProcessId};
 use crate::time::SimTime;
 
 /// What happened.
@@ -125,6 +126,12 @@ pub struct NetStats {
 pub struct Tracer {
     events: Vec<TraceEvent>,
     stats: NetStats,
+    /// Group membership, for the per-group statistics of sharded deployments.
+    /// Processes without a group are counted only in the aggregate.
+    group_of: HashMap<ProcessId, GroupId>,
+    /// Per-group statistics, attributed to the *sender's* group (timers to
+    /// the owning process's group).
+    group_stats: BTreeMap<GroupId, NetStats>,
     /// When `false`, only statistics and annotations are kept (long runs).
     record_network_events: bool,
 }
@@ -137,18 +144,59 @@ impl Tracer {
         Tracer {
             events: Vec::new(),
             stats: NetStats::default(),
+            group_of: HashMap::new(),
+            group_stats: BTreeMap::new(),
             record_network_events,
+        }
+    }
+
+    /// Declares `process` a member of `group` for per-group statistics.
+    pub fn assign_group(&mut self, process: ProcessId, group: GroupId) {
+        self.group_of.insert(process, group);
+    }
+
+    /// The group `process` was assigned to, if any.
+    pub fn group_of(&self, process: ProcessId) -> Option<GroupId> {
+        self.group_of.get(&process).copied()
+    }
+
+    /// Statistics of one group (zeros if the group never appeared).
+    pub fn group_stats(&self, group: GroupId) -> NetStats {
+        self.group_stats.get(&group).copied().unwrap_or_default()
+    }
+
+    /// All per-group statistics recorded so far, ordered by group id.
+    pub fn all_group_stats(&self) -> Vec<(GroupId, NetStats)> {
+        self.group_stats.iter().map(|(&g, &s)| (g, s)).collect()
+    }
+
+    /// The process a network event is attributed to: the sender for message
+    /// events, the owner for timers.
+    fn attribution(kind: &TraceKind) -> Option<ProcessId> {
+        match kind {
+            TraceKind::MessageSent { from, .. }
+            | TraceKind::MessageDelivered { from, .. }
+            | TraceKind::MessageDropped { from, .. } => Some(*from),
+            TraceKind::TimerFired { at } => Some(*at),
+            _ => None,
+        }
+    }
+
+    fn bump(stats: &mut NetStats, kind: &TraceKind) {
+        match kind {
+            TraceKind::MessageSent { .. } => stats.sent += 1,
+            TraceKind::MessageDelivered { .. } => stats.delivered += 1,
+            TraceKind::MessageDropped { .. } => stats.dropped += 1,
+            TraceKind::TimerFired { .. } => stats.timers_fired += 1,
+            _ => {}
         }
     }
 
     /// Records an event, updating statistics.
     pub fn record(&mut self, time: SimTime, kind: TraceKind) {
-        match kind {
-            TraceKind::MessageSent { .. } => self.stats.sent += 1,
-            TraceKind::MessageDelivered { .. } => self.stats.delivered += 1,
-            TraceKind::MessageDropped { .. } => self.stats.dropped += 1,
-            TraceKind::TimerFired { .. } => self.stats.timers_fired += 1,
-            _ => {}
+        Self::bump(&mut self.stats, &kind);
+        if let Some(g) = Self::attribution(&kind).and_then(|p| self.group_of.get(&p).copied()) {
+            Self::bump(self.group_stats.entry(g).or_default(), &kind);
         }
         let keep = self.record_network_events
             || matches!(
@@ -262,6 +310,43 @@ mod tests {
         assert_eq!(s.dropped, 1);
         assert_eq!(s.timers_fired, 1);
         assert_eq!(t.events().len(), 4);
+    }
+
+    #[test]
+    fn group_stats_attribute_to_the_sender_group() {
+        let mut t = Tracer::new(false);
+        t.assign_group(ProcessId(0), GroupId(0));
+        t.assign_group(ProcessId(1), GroupId(1));
+        assert_eq!(t.group_of(ProcessId(0)), Some(GroupId(0)));
+        assert_eq!(t.group_of(ProcessId(7)), None);
+        t.record(
+            SimTime::ZERO,
+            TraceKind::MessageSent {
+                from: ProcessId(0),
+                to: ProcessId(1),
+            },
+        );
+        t.record(
+            SimTime::ZERO,
+            TraceKind::MessageDelivered {
+                from: ProcessId(1),
+                to: ProcessId(0),
+            },
+        );
+        // A process with no group counts only in the aggregate.
+        t.record(
+            SimTime::ZERO,
+            TraceKind::MessageSent {
+                from: ProcessId(7),
+                to: ProcessId(0),
+            },
+        );
+        assert_eq!(t.stats().sent, 2);
+        assert_eq!(t.group_stats(GroupId(0)).sent, 1);
+        assert_eq!(t.group_stats(GroupId(0)).delivered, 0);
+        assert_eq!(t.group_stats(GroupId(1)).delivered, 1);
+        assert_eq!(t.group_stats(GroupId(9)), NetStats::default());
+        assert_eq!(t.all_group_stats().len(), 2);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use std::sync::Arc;
 use crate::config::NetConfig;
 use crate::context::{Action, Context, Payload};
 use crate::network::{Network, Routing};
-use crate::process::{Process, ProcessId, Timer, TimerId};
+use crate::process::{GroupId, Process, ProcessId, Timer, TimerId};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, NetStats, TraceKind, Tracer};
@@ -142,9 +142,35 @@ impl<M: Clone + 'static> World<M> {
     }
 
     /// Enables or disables recording of per-message network trace events
-    /// (annotations and crash/partition events are always recorded).
+    /// (annotations and crash/partition events are always recorded). Resets
+    /// the recorded events and statistics; group assignments are kept.
     pub fn record_network_events(&mut self, enabled: bool) {
-        self.tracer = Tracer::new(enabled);
+        let mut tracer = Tracer::new(enabled);
+        for id in self.process_ids() {
+            if let Some(g) = self.tracer.group_of(id) {
+                tracer.assign_group(id, g);
+            }
+        }
+        self.tracer = tracer;
+    }
+
+    /// Declares `process` a member of replication group `group`. Sharded
+    /// deployments call this for every server and client so the tracer
+    /// splits [`NetStats`] per group ([`World::group_stats`]); single-group
+    /// deployments can ignore groups entirely.
+    pub fn assign_group(&mut self, process: ProcessId, group: GroupId) {
+        self.tracer.assign_group(process, group);
+    }
+
+    /// The group `process` was assigned to, if any.
+    pub fn group_of(&self, process: ProcessId) -> Option<GroupId> {
+        self.tracer.group_of(process)
+    }
+
+    /// Network statistics attributed to one group (sender's group for
+    /// message events, owner's group for timers).
+    pub fn group_stats(&self, group: GroupId) -> NetStats {
+        self.tracer.group_stats(group)
     }
 
     /// Limits the total number of events processed; exceeding the limit makes
@@ -672,6 +698,24 @@ mod tests {
         assert_eq!(world.process_ref::<PingPong>(a).pongs_received, 3);
         assert_eq!(world.stats().delivered, 6);
         assert!(world.is_quiescent());
+    }
+
+    #[test]
+    fn group_stats_split_traffic_by_sender_group() {
+        let mut world: World<Msg> = World::new(NetConfig::lan(), 2);
+        let a = world.add_process(PingPong::new(vec![ProcessId(1)], 3));
+        let b = world.add_process(PingPong::new(vec![], 0));
+        world.assign_group(a, GroupId(0));
+        world.assign_group(b, GroupId(1));
+        assert_eq!(world.group_of(a), Some(GroupId(0)));
+        world.run_until_quiescent(SimTime::from_secs(1));
+        // a sends 3 pings, b answers with 3 pongs; groups survive the
+        // tracer reset of record_network_events.
+        assert_eq!(world.group_stats(GroupId(0)).sent, 3);
+        assert_eq!(world.group_stats(GroupId(1)).sent, 3);
+        world.record_network_events(true);
+        assert_eq!(world.group_of(b), Some(GroupId(1)));
+        assert_eq!(world.group_stats(GroupId(1)).sent, 0);
     }
 
     #[test]

@@ -283,13 +283,13 @@ impl BenchmarkGroup<'_> {
     /// Attaches named workload counters to the most recently recorded point
     /// (no-op if nothing was recorded). Extension over the real criterion
     /// API; see [`Measurement::counters`].
-    pub fn attach_counters(
+    pub fn attach_counters<K: Into<String>>(
         &mut self,
-        counters: impl IntoIterator<Item = (&'static str, u64)>,
+        counters: impl IntoIterator<Item = (K, u64)>,
     ) -> &mut Self {
         if let Some(last) = self.criterion.measurements.last_mut() {
             last.counters
-                .extend(counters.into_iter().map(|(k, v)| (k.to_string(), v)));
+                .extend(counters.into_iter().map(|(k, v)| (k.into(), v)));
         }
         self
     }
