@@ -1,13 +1,16 @@
 //! A replicated key-value store.
 //!
 //! The store is the "generic service" used by the examples and the throughput
-//! experiments: writes, reads, deletes and atomic compare-and-swap, all
-//! deterministic and undoable so that optimistic deliveries can be rolled back.
+//! experiments: writes, reads, deletes, atomic compare-and-swap, and atomic
+//! multi-op batches (the per-group partition of a multi-key transaction) —
+//! all deterministic and undoable so that optimistic deliveries can be
+//! rolled back.
 
 use std::collections::BTreeMap;
 
 use oar::shard::ShardKey;
 use oar::state_machine::StateMachine;
+use oar::txn::MultiOp;
 
 /// Keys are small strings; values are strings too (the protocol does not care).
 pub type Key = String;
@@ -43,25 +46,48 @@ pub enum KvCommand {
         /// New value to store on success.
         new: Value,
     },
+    /// Apply several commands atomically, in order, as **one** delivery.
+    ///
+    /// This is the per-group partition of a multi-key transaction
+    /// ([`oar::txn`]): within the owning group's total order the whole batch
+    /// occupies a single position, so no replica ever observes a prefix of
+    /// it. The ops must be non-empty ([`KvCommand::key`] — and therefore
+    /// client-side routing — panics on an empty batch), must not themselves
+    /// be `Multi`, and in a sharded deployment must all be owned by one
+    /// group (the transaction layer's router guarantees all three).
+    Multi(Vec<KvCommand>),
 }
 
 impl KvCommand {
-    /// The key this command is about.
+    /// The key this command is about. For `Multi`, the first op's key —
+    /// sufficient for routing, because a `Multi` built by the transaction
+    /// layer only ever holds ops of one owning group.
     pub fn key(&self) -> &str {
         match self {
             KvCommand::Put { key, .. }
             | KvCommand::Get { key }
             | KvCommand::Delete { key }
             | KvCommand::CompareAndSwap { key, .. } => key,
+            KvCommand::Multi(ops) => ops.first().expect("non-empty multi").key(),
         }
     }
 }
 
-/// Every command touches exactly one key, so the store shards naturally:
-/// per-key ordering is the owning group's total order.
+/// Every simple command touches exactly one key, so the store shards
+/// naturally: per-key ordering is the owning group's total order. A `Multi`
+/// batch routes by its first key (all its keys share one owning group).
 impl ShardKey for KvCommand {
     fn shard_key(&self) -> &str {
         self.key()
+    }
+}
+
+/// The store supports atomic per-group transaction partitions: `multi`
+/// simply wraps the ops, and [`KvMachine::apply`] applies the batch in one
+/// delivery.
+impl MultiOp for KvCommand {
+    fn multi(ops: Vec<KvCommand>) -> KvCommand {
+        KvCommand::Multi(ops)
     }
 }
 
@@ -74,6 +100,8 @@ pub enum KvResponse {
     Value(Option<Value>),
     /// Whether a compare-and-swap succeeded.
     Swapped(bool),
+    /// Responses of an atomic `Multi` batch, one per op, in op order.
+    Multi(Vec<KvResponse>),
 }
 
 /// Undo token: the key touched and the value it held before the command.
@@ -88,6 +116,9 @@ pub enum KvUndo {
     },
     /// Read-only command: nothing to undo.
     Nothing,
+    /// Undo tokens of a `Multi` batch, already reversed so they are rolled
+    /// back in reverse op order.
+    Multi(Vec<KvUndo>),
 }
 
 /// A deterministic, undoable key-value store.
@@ -124,13 +155,11 @@ impl KvMachine {
     }
 }
 
-impl StateMachine for KvMachine {
-    type Command = KvCommand;
-    type Response = KvResponse;
-    type Undo = KvUndo;
-
-    fn apply(&mut self, command: &KvCommand) -> (KvResponse, KvUndo) {
-        self.ops += 1;
+impl KvMachine {
+    /// Applies one command without touching the operation counter (so a
+    /// whole `Multi` batch counts as a single operation — one delivery, one
+    /// position in the replicated order).
+    fn apply_inner(&mut self, command: &KvCommand) -> (KvResponse, KvUndo) {
         match command {
             KvCommand::Put { key, value } => {
                 let previous = self.map.insert(key.clone(), value.clone());
@@ -171,11 +200,22 @@ impl StateMachine for KvMachine {
                     (KvResponse::Swapped(false), KvUndo::Nothing)
                 }
             }
+            KvCommand::Multi(ops) => {
+                let mut responses = Vec::with_capacity(ops.len());
+                let mut undos = Vec::with_capacity(ops.len());
+                for op in ops {
+                    let (response, undo) = self.apply_inner(op);
+                    responses.push(response);
+                    undos.push(undo);
+                }
+                // Rolled back in reverse op order, like any undo stack.
+                undos.reverse();
+                (KvResponse::Multi(responses), KvUndo::Multi(undos))
+            }
         }
     }
 
-    fn undo(&mut self, token: KvUndo) {
-        self.ops -= 1;
+    fn undo_inner(&mut self, token: KvUndo) {
         match token {
             KvUndo::Restore { key, previous } => match previous {
                 Some(v) => {
@@ -186,7 +226,28 @@ impl StateMachine for KvMachine {
                 }
             },
             KvUndo::Nothing => {}
+            KvUndo::Multi(tokens) => {
+                for token in tokens {
+                    self.undo_inner(token);
+                }
+            }
         }
+    }
+}
+
+impl StateMachine for KvMachine {
+    type Command = KvCommand;
+    type Response = KvResponse;
+    type Undo = KvUndo;
+
+    fn apply(&mut self, command: &KvCommand) -> (KvResponse, KvUndo) {
+        self.ops += 1;
+        self.apply_inner(command)
+    }
+
+    fn undo(&mut self, token: KvUndo) {
+        self.ops -= 1;
+        self.undo_inner(token);
     }
 
     fn digest(&self) -> u64 {
@@ -277,6 +338,47 @@ mod tests {
     }
 
     #[test]
+    fn multi_applies_atomically_and_counts_as_one_operation() {
+        let mut kv = KvMachine::new();
+        kv.apply(&put("a", "0"));
+        let before = kv.digest();
+        let ops_before = kv.operations();
+        let (r, undo) = kv.apply(&KvCommand::Multi(vec![
+            put("a", "1"),
+            put("b", "2"),
+            KvCommand::CompareAndSwap {
+                key: "a".into(),
+                expected: Some("1".into()),
+                new: "1'".into(),
+            },
+            KvCommand::Get { key: "b".into() },
+        ]));
+        // Per-op responses in op order; later ops see earlier ops' writes.
+        assert_eq!(
+            r,
+            KvResponse::Multi(vec![
+                KvResponse::Previous(Some("0".into())),
+                KvResponse::Previous(None),
+                KvResponse::Swapped(true),
+                KvResponse::Value(Some("2".into())),
+            ])
+        );
+        assert_eq!(kv.get("a"), Some(&"1'".to_string()));
+        assert_eq!(kv.operations(), ops_before + 1, "one delivery, one op");
+        kv.undo(undo);
+        assert_eq!(kv.digest(), before, "multi undo restores the exact state");
+        assert_eq!(kv.get("a"), Some(&"0".to_string()));
+        assert!(kv.get("b").is_none());
+    }
+
+    #[test]
+    fn multi_routes_by_its_first_key() {
+        let multi = KvCommand::Multi(vec![put("x", "1"), put("y", "2")]);
+        assert_eq!(multi.key(), "x");
+        assert_eq!(multi.shard_key(), "x");
+    }
+
+    #[test]
     fn undo_restores_previous_values() {
         let mut kv = KvMachine::new();
         kv.apply(&put("k", "v1"));
@@ -304,7 +406,7 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
-    fn arb_command() -> impl Strategy<Value = KvCommand> {
+    fn arb_simple_command() -> impl Strategy<Value = KvCommand> {
         let key = prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(String::from);
         let value = "[a-z]{1,4}".prop_map(String::from);
         prop_oneof![
@@ -314,6 +416,17 @@ mod proptests {
             (key, proptest::option::of(value.clone()), value).prop_map(|(key, expected, new)| {
                 KvCommand::CompareAndSwap { key, expected, new }
             }),
+        ]
+    }
+
+    fn arb_command() -> impl Strategy<Value = KvCommand> {
+        // Simple commands listed three times to keep batches the minority,
+        // as in a realistic transactional mix.
+        prop_oneof![
+            arb_simple_command(),
+            arb_simple_command(),
+            arb_simple_command(),
+            proptest::collection::vec(arb_simple_command(), 1..5).prop_map(KvCommand::Multi),
         ]
     }
 

@@ -2,7 +2,7 @@
 //! the *conservative* baseline: always safe, never optimistic, and therefore
 //! paying the full consensus latency on every batch even in failure-free runs.
 //!
-//! Protocol sketch (the classic `AB ≤ consensus` reduction of [CT96]): clients
+//! Protocol sketch (the classic `AB ≤ consensus` reduction of \[CT96\]): clients
 //! send their request to every replica; replicas accumulate undelivered
 //! requests and run a sequence of consensus instances, each deciding the next
 //! batch of requests to deliver; the batch is delivered in a deterministic

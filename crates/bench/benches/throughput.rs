@@ -11,7 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use oar::OarConfig;
 use oar_bench::experiments::{
-    build_sharded_cluster, build_throughput_cluster, BATCHED_MAX_BATCH, PIPELINE_DEPTH,
+    build_sharded_cluster, build_throughput_cluster, build_txn_cluster, build_txn_plain_cluster,
+    BATCHED_MAX_BATCH, PIPELINE_DEPTH,
 };
 use oar_simnet::SimTime;
 
@@ -88,6 +89,54 @@ fn sharded_counters(
     counters
 }
 
+/// Times one transactional run to completion (atomicity and consistency
+/// checks live in the tests and the harness gate, outside the measured
+/// loop).
+fn run_txn(groups: usize, clients: usize, txns_per_client: usize, multi_group: bool) -> usize {
+    let mut cluster = build_txn_cluster(groups, clients, txns_per_client, multi_group, SEED);
+    assert!(cluster.run_to_completion(SimTime::from_secs(600)));
+    cluster.completed_txns().len()
+}
+
+/// Un-timed instrumentation run of the fast path: the wire-identity pair
+/// (transactional vs plain sharded client, identical commands), so the
+/// `BENCH_throughput.json` trajectory records the fast-path overhead (the
+/// two wire counters must stay equal, the envelope counter 0).
+fn txn_fastpath_counters(
+    groups: usize,
+    clients: usize,
+    txns_per_client: usize,
+) -> Vec<(String, u64)> {
+    let mut fast = build_txn_cluster(groups, clients, txns_per_client, false, SEED);
+    assert!(fast.run_to_completion(SimTime::from_secs(600)));
+    let mut plain = build_txn_plain_cluster(groups, clients, txns_per_client, SEED);
+    assert!(plain.run_to_completion(SimTime::from_secs(600)));
+    vec![
+        ("fastpath_wires_txn".to_string(), fast.total_wires()),
+        ("fastpath_wires_plain".to_string(), plain.world.stats().sent),
+        (
+            "fastpath_txn_prepares".to_string(),
+            fast.total_txn_prepares(),
+        ),
+    ]
+}
+
+/// Un-timed instrumentation run of the multi-group commit: how many
+/// transactions actually spanned groups, the prepare traffic, and the
+/// misroute ceiling.
+fn txn_multi_counters(groups: usize, clients: usize, txns_per_client: usize) -> Vec<(String, u64)> {
+    let mut multi = build_txn_cluster(groups, clients, txns_per_client, true, SEED);
+    assert!(multi.run_to_completion(SimTime::from_secs(600)));
+    vec![
+        (
+            "multi_group_txns".to_string(),
+            multi.multi_group_commits() as u64,
+        ),
+        ("txn_prepares".to_string(), multi.total_txn_prepares()),
+        ("misroutes".to_string(), multi.total_misroutes()),
+    ]
+}
+
 fn bench_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("oar_throughput");
     group.sample_size(10);
@@ -138,6 +187,28 @@ fn bench_throughput(c: &mut Criterion) {
         ));
     }
     sharded.finish();
+
+    // Multi-key transactions: fast-path (single-group) and spanning
+    // (multi-group) commit cost as the group count grows, with the
+    // wire-identity counters attached to every point.
+    let mut txn = c.benchmark_group("txn");
+    txn.sample_size(10);
+    let txn_clients = 2usize;
+    let txns_per_client = 20usize;
+    for &groups in &[1usize, 2, 4] {
+        txn.throughput(Throughput::Elements((txn_clients * txns_per_client) as u64));
+        txn.bench_with_input(
+            BenchmarkId::new("fastpath", groups),
+            &groups,
+            |b, &groups| b.iter(|| run_txn(groups, txn_clients, txns_per_client, false)),
+        );
+        txn.attach_counters(txn_fastpath_counters(groups, txn_clients, txns_per_client));
+        txn.bench_with_input(BenchmarkId::new("multi", groups), &groups, |b, &groups| {
+            b.iter(|| run_txn(groups, txn_clients, txns_per_client, true))
+        });
+        txn.attach_counters(txn_multi_counters(groups, txn_clients, txns_per_client));
+    }
+    txn.finish();
 }
 
 criterion_group!(benches, bench_throughput);

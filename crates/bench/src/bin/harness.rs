@@ -16,14 +16,19 @@
 //! cargo run --release -p oar-bench --bin harness -- soak-smoke
 //! cargo run --release -p oar-bench --bin harness -- sharded
 //! cargo run --release -p oar-bench --bin harness -- sharded-smoke
+//! cargo run --release -p oar-bench --bin harness -- txn
+//! cargo run --release -p oar-bench --bin harness -- txn-smoke
 //! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
 //! ```
 //!
 //! `soak` / `soak-smoke` exit non-zero when the traffic-amortisation or
 //! payload-GC/seen-set bounds are violated; `sharded` / `sharded-smoke` when
 //! aggregate throughput fails to scale ≥2x from 1 to 4 groups at fixed
-//! per-group load, or any request is misrouted (the smoke variants are the
-//! CI gates).
+//! per-group load, or any request is misrouted; `txn` / `txn-smoke` when a
+//! multi-group transaction commits non-atomically, the single-group fast
+//! path sends even one wire more than the plain sharded client, or a
+//! `TxnPrepare` envelope leaks onto the fast path (the smoke variants are
+//! the CI gates).
 
 use oar_bench::json::ToJson;
 use oar_bench::{experiments, figures};
@@ -251,6 +256,50 @@ fn run_sharded(clients_per_group: usize, requests_per_client: usize) -> bool {
     violations.is_empty()
 }
 
+fn run_txn(clients: usize, txns_per_client: usize) -> bool {
+    println!(
+        "== T-TXN: multi-key transactions vs group count ({} clients x {} txns) ==",
+        clients, txns_per_client
+    );
+    let rows = experiments::txn_experiment(&[1, 2, 4], clients, txns_per_client, SEED);
+    println!(
+        "{:<7} {:>7} {:>6} {:>11} {:>10} {:>13} {:>12} {:>9} {:>13} {:>13} {:>11}",
+        "groups",
+        "clients",
+        "txns",
+        "multi-group",
+        "commits/s",
+        "mean-lat(ms)",
+        "p99-lat(ms)",
+        "prepares",
+        "fastpath-wire",
+        "plain-wire",
+        "consistent"
+    );
+    for r in &rows {
+        println!(
+            "{:<7} {:>7} {:>6} {:>11} {:>10.1} {:>13.3} {:>12.3} {:>9} {:>13} {:>13} {:>11}",
+            r.groups,
+            r.clients,
+            r.txns,
+            r.multi_group_txns,
+            r.commits_per_second,
+            r.mean_commit_latency_ms,
+            r.p99_commit_latency_ms,
+            r.txn_prepares,
+            r.fastpath_wires_txn,
+            r.fastpath_wires_plain,
+            r.consistent
+        );
+    }
+    print_json("txn", &rows);
+    let violations = experiments::check_txn_bounds(&rows, clients, txns_per_client);
+    for v in &violations {
+        eprintln!("TXN VIOLATION: {v}");
+    }
+    violations.is_empty()
+}
+
 fn run_gc() {
     println!("== T-GC: §5.3 epoch-cut ablation ==");
     let rows = experiments::gc_experiment(&[None, Some(100), Some(10)], 60, SEED);
@@ -305,6 +354,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The full transaction sweep: atomicity, fast-path wire equality and
+        // commit latency from 1 to 4 groups.
+        "txn" => {
+            if !run_txn(4, 50) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: a smaller transactional sweep with the same ceilings —
+        // zero atomicity violations, single-group fast-path wire counts
+        // identical to the non-txn path.
+        "txn-smoke" => {
+            if !run_txn(2, 20) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             run_figures(None);
             run_latency();
@@ -314,13 +378,14 @@ fn main() {
             run_gc();
             let soak_ok = run_soak(8, 640);
             let sharded_ok = run_sharded(4, 100);
-            if !soak_ok || !sharded_ok {
+            let txn_ok = run_txn(4, 50);
+            if !soak_ok || !sharded_ok || !txn_ok {
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | sharded | sharded-smoke");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | sharded | sharded-smoke | txn | txn-smoke");
             std::process::exit(2);
         }
     }

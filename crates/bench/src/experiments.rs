@@ -11,6 +11,7 @@ use oar::cluster::{Cluster, ClusterConfig};
 use oar::shard::ShardRouter;
 use oar::sharded::{ShardedCluster, ShardedConfig};
 use oar::state_machine::CounterMachine;
+use oar::txn::TxnCluster;
 use oar::OarConfig;
 use oar_apps::kv::{KvCommand, KvMachine};
 use oar_baselines::{BaselineConfig, CtCluster, SequencerCluster};
@@ -984,6 +985,287 @@ pub fn check_sharded_bounds(
     violations
 }
 
+/// One row of the multi-key transaction experiment (T-TXN).
+#[derive(Clone, Debug)]
+pub struct TxnRow {
+    /// Number of OAR groups the key space is partitioned over.
+    pub groups: usize,
+    /// Transactional clients.
+    pub clients: usize,
+    /// Transactions committed in the multi-group run.
+    pub txns: usize,
+    /// Committed transactions that spanned more than one group.
+    pub multi_group_txns: usize,
+    /// Committed transactions per simulated second (multi-group run).
+    pub commits_per_second: f64,
+    /// Mean client-observed commit latency (ms, multi-group run).
+    pub mean_commit_latency_ms: f64,
+    /// p99 commit latency (ms, multi-group run).
+    pub p99_commit_latency_ms: f64,
+    /// `TxnPrepare` requests buffered across all servers (multi-group run).
+    pub txn_prepares: u64,
+    /// Misrouted requests across all three runs (multi-group, fast-path and
+    /// plain baseline). Must be 0.
+    pub misroutes: u64,
+    /// Total wire messages of the *single-group* transactional run — the
+    /// fast path under test.
+    pub fastpath_wires_txn: u64,
+    /// Total wire messages of the equivalent plain [`ShardedCluster`] run
+    /// submitting the same commands. The fast-path gate requires equality.
+    pub fastpath_wires_plain: u64,
+    /// `TxnPrepare` envelopes observed in the single-group run. Must be 0:
+    /// the fast path is indistinguishable from a plain request.
+    pub fastpath_txn_prepares: u64,
+    /// Mean fast-path commit latency (ms) — should track the plain run.
+    pub fastpath_latency_ms: f64,
+    /// Mean plain-run request latency (ms).
+    pub plain_latency_ms: f64,
+    /// Whether both runs completed with every check green (per-group
+    /// propositions, cross-group atomicity, per-part external consistency).
+    pub consistent: bool,
+}
+
+/// The fixed key pool of the transactional workloads (same pool as the
+/// sharded experiment, so the hash router spreads it over every group
+/// count).
+pub const TXN_KEY_SPACE: usize = SHARDED_KEY_SPACE;
+
+/// Single-group transactions: two ops on the *same* key (a write and a
+/// read), so the router collapses every transaction onto one owning group
+/// and the fast path fires.
+fn txn_fastpath_workload(client: usize, txns: usize) -> Vec<Vec<KvCommand>> {
+    (0..txns)
+        .map(|i| {
+            let key = format!("k{:02}", (client * 13 + i * 7) % TXN_KEY_SPACE);
+            vec![
+                KvCommand::Put {
+                    key: key.clone(),
+                    value: format!("c{client}-t{i}"),
+                },
+                KvCommand::Get { key },
+            ]
+        })
+        .collect()
+}
+
+/// The same commands as [`txn_fastpath_workload`], submitted as plain
+/// atomic `Multi` commands through the non-transactional sharded client —
+/// the baseline the fast-path wire gate compares against.
+fn txn_fastpath_plain_workload(client: usize, txns: usize) -> Vec<KvCommand> {
+    txn_fastpath_workload(client, txns)
+        .into_iter()
+        .map(KvCommand::Multi)
+        .collect()
+}
+
+/// Multi-key transactions: a write on each of two distinct keys, which the
+/// hash router spreads over distinct groups for most draws once the
+/// deployment has more than one group.
+fn txn_multi_workload(client: usize, txns: usize) -> Vec<Vec<KvCommand>> {
+    (0..txns)
+        .map(|i| {
+            let a = format!("k{:02}", (client * 13 + i * 7) % TXN_KEY_SPACE);
+            let b = format!("k{:02}", (client * 13 + i * 7 + 17) % TXN_KEY_SPACE);
+            vec![
+                KvCommand::Put {
+                    key: a,
+                    value: format!("c{client}-t{i}a"),
+                },
+                KvCommand::Put {
+                    key: b,
+                    value: format!("c{client}-t{i}b"),
+                },
+            ]
+        })
+        .collect()
+}
+
+/// The single deployment configuration of the T-TXN runs. Shared by the
+/// transactional cluster *and* the plain baseline it is compared against:
+/// the fast-path wire-identity gate is only meaningful when the two runs
+/// are configured byte-identically, so there is exactly one place to tune.
+fn txn_shard_config(groups: usize, clients: usize, seed: u64) -> ShardedConfig {
+    ShardedConfig {
+        num_groups: groups,
+        servers_per_group: SHARDED_SERVERS_PER_GROUP,
+        num_clients: clients,
+        router: ShardRouter::hash(groups),
+        net: NetConfig::lan(),
+        oar: OarConfig::default(),
+        seed,
+        think_time: SimDuration::ZERO,
+        client_pipeline: 1,
+    }
+}
+
+/// Builds the transactional KV deployment measured by T-TXN (also reused by
+/// the `txn` criterion bench): `groups` hash-partitioned OAR groups of
+/// [`SHARDED_SERVERS_PER_GROUP`] replicas and `clients` closed-loop
+/// transactional clients. `multi_group` selects the spanning workload; the
+/// fast-path workload keeps every transaction in one group.
+pub fn build_txn_cluster(
+    groups: usize,
+    clients: usize,
+    txns_per_client: usize,
+    multi_group: bool,
+    seed: u64,
+) -> TxnCluster<KvMachine> {
+    let config = txn_shard_config(groups, clients, seed);
+    TxnCluster::build(&config, KvMachine::new, |c| {
+        if multi_group {
+            txn_multi_workload(c, txns_per_client)
+        } else {
+            txn_fastpath_workload(c, txns_per_client)
+        }
+    })
+}
+
+/// The plain sharded deployment the fast-path gate compares against: the
+/// identical configuration, the identical commands, submitted without the
+/// transaction layer.
+pub fn build_txn_plain_cluster(
+    groups: usize,
+    clients: usize,
+    txns_per_client: usize,
+    seed: u64,
+) -> ShardedCluster<KvMachine> {
+    let config = txn_shard_config(groups, clients, seed);
+    ShardedCluster::build(&config, KvMachine::new, |c| {
+        txn_fastpath_plain_workload(c, txns_per_client)
+    })
+}
+
+/// T-TXN: the cost of cross-group multi-key transactions as the key space
+/// is partitioned over more groups.
+///
+/// Two claims per group count:
+///
+/// * **fast-path overhead ≈ 0** — a single-group transactional workload
+///   produces wire traffic *identical* (counter-equal) to the plain sharded
+///   client submitting the same atomic commands, with zero `TxnPrepare`
+///   envelopes;
+/// * **multi-group commit latency** — a transaction spanning `g` groups
+///   commits once the Fig. 5 quorum holds in every participant, so its
+///   latency tracks the *slowest* group rather than the sum; the sweep
+///   records how that cost grows with the group count.
+pub fn txn_experiment(
+    group_counts: &[usize],
+    clients: usize,
+    txns_per_client: usize,
+    seed: u64,
+) -> Vec<TxnRow> {
+    let mut rows = Vec::new();
+    for &groups in group_counts {
+        // Fast-path pair: transactional vs plain, identical commands.
+        let mut fast = build_txn_cluster(groups, clients, txns_per_client, false, seed);
+        let fast_done = fast.run_to_completion(SimTime::from_secs(600));
+        let fast_ok = fast_done && fast.check_all().is_ok();
+        let mut plain = build_txn_plain_cluster(groups, clients, txns_per_client, seed);
+        let plain_done = plain.run_to_completion(SimTime::from_secs(600));
+        let plain_ok = plain_done
+            && plain.check_per_group_consistency().is_ok()
+            && plain.check_external_consistency().is_ok();
+
+        // Multi-group commit run.
+        let mut multi = build_txn_cluster(groups, clients, txns_per_client, true, seed);
+        let multi_done = multi.run_to_completion(SimTime::from_secs(600));
+        let multi_ok = multi_done && multi.check_all().is_ok();
+
+        let end = multi.last_completion();
+        let seconds = end.as_millis_f64() / 1_000.0;
+        let txns = multi.completed_txns().len();
+        rows.push(TxnRow {
+            groups,
+            clients,
+            txns,
+            multi_group_txns: multi.multi_group_commits(),
+            commits_per_second: if seconds > 0.0 {
+                txns as f64 / seconds
+            } else {
+                0.0
+            },
+            mean_commit_latency_ms: multi.latencies().mean().unwrap_or(0.0),
+            p99_commit_latency_ms: multi.latencies().quantile(0.99).unwrap_or(0.0),
+            txn_prepares: multi.total_txn_prepares(),
+            misroutes: multi.total_misroutes() + fast.total_misroutes() + plain.total_misroutes(),
+            fastpath_wires_txn: fast.total_wires(),
+            fastpath_wires_plain: plain.world.stats().sent,
+            fastpath_txn_prepares: fast.total_txn_prepares(),
+            fastpath_latency_ms: fast.latencies().mean().unwrap_or(0.0),
+            plain_latency_ms: plain.latencies().mean().unwrap_or(0.0),
+            consistent: fast_ok && plain_ok && multi_ok,
+        });
+    }
+    rows
+}
+
+/// Verifies the transactional gates of a T-TXN sweep; returns every
+/// violation found (empty = pass). The CI `txn-smoke` gate:
+///
+/// * both runs of every row complete with all checks green (per-group
+///   propositions, cross-group **atomicity**, per-part external
+///   consistency) and zero misroutes;
+/// * the single-group fast path adds **zero wires**: exact wire-count
+///   equality with the plain sharded run, and zero `TxnPrepare` envelopes;
+/// * with more than one group, the sweep actually exercised multi-group
+///   commits (the gate must not pass vacuously).
+pub fn check_txn_bounds(rows: &[TxnRow], clients: usize, txns_per_client: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    for row in rows {
+        let expected = clients * txns_per_client;
+        if !row.consistent {
+            violations.push(format!(
+                "{} groups: a run did not complete with all checks green",
+                row.groups
+            ));
+        }
+        if row.txns != expected {
+            violations.push(format!(
+                "{} groups: committed {} of {expected} transactions",
+                row.groups, row.txns
+            ));
+        }
+        if row.misroutes != 0 {
+            violations.push(format!(
+                "{} groups: {} misrouted requests (must be 0)",
+                row.groups, row.misroutes
+            ));
+        }
+        if row.fastpath_wires_txn != row.fastpath_wires_plain {
+            violations.push(format!(
+                "{} groups: single-group fast path sent {} wires vs {} for the \
+                 plain sharded client (must be identical)",
+                row.groups, row.fastpath_wires_txn, row.fastpath_wires_plain
+            ));
+        }
+        if row.fastpath_txn_prepares != 0 {
+            violations.push(format!(
+                "{} groups: {} TxnPrepare envelopes on the fast path (must be 0)",
+                row.groups, row.fastpath_txn_prepares
+            ));
+        }
+        if row.groups > 1 {
+            if row.multi_group_txns == 0 {
+                violations.push(format!(
+                    "{} groups: no multi-group transaction committed; the \
+                     atomicity gate was not exercised",
+                    row.groups
+                ));
+            }
+            if row.txn_prepares == 0 {
+                violations.push(format!(
+                    "{} groups: no TxnPrepare observed at any server",
+                    row.groups
+                ));
+            }
+        }
+    }
+    if rows.is_empty() {
+        violations.push("sweep produced no rows".to_string());
+    }
+    violations
+}
+
 /// One row of the §5.3 epoch-cut ablation (T-GC).
 #[derive(Clone, Debug)]
 pub struct GcRow {
@@ -1203,6 +1485,22 @@ mod tests {
             row.peak_seen
         );
         assert!(check_soak_bounds(&row, 120).is_empty());
+    }
+
+    #[test]
+    fn txn_fastpath_is_wire_identical_and_multi_group_commits_are_atomic() {
+        let rows = txn_experiment(&[1, 2], 2, 8, 21);
+        let violations = check_txn_bounds(&rows, 2, 8);
+        assert!(violations.is_empty(), "txn violations: {violations:?}");
+        let row1 = rows.iter().find(|r| r.groups == 1).unwrap();
+        // One group: even the spanning workload collapses onto the fast
+        // path, so no envelope ever travels.
+        assert_eq!(row1.txn_prepares, 0);
+        assert_eq!(row1.multi_group_txns, 0);
+        let row2 = rows.iter().find(|r| r.groups == 2).unwrap();
+        assert!(row2.multi_group_txns > 0, "the workload must span groups");
+        assert_eq!(row2.fastpath_wires_txn, row2.fastpath_wires_plain);
+        assert!(row2.mean_commit_latency_ms > 0.0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 use oar_simnet::Summary;
 
 use crate::experiments::{
-    FailoverRow, GcRow, LatencyRow, ShardedRow, SoakRow, ThroughputRow, UndoRow,
+    FailoverRow, GcRow, LatencyRow, ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
 };
 use crate::figures::FigureOutcome;
 
@@ -185,6 +185,37 @@ impl ToJson for ShardedRow {
             u64_array(&self.per_group_order_messages),
             u64_array(&self.per_group_reply_messages),
             u64_array(&self.per_group_wire_sent),
+            self.consistent,
+        )
+    }
+}
+
+impl ToJson for TxnRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"groups\":{},\"clients\":{},\"txns\":{},",
+                "\"multi_group_txns\":{},\"commits_per_second\":{},",
+                "\"mean_commit_latency_ms\":{},\"p99_commit_latency_ms\":{},",
+                "\"txn_prepares\":{},\"misroutes\":{},",
+                "\"fastpath_wires_txn\":{},\"fastpath_wires_plain\":{},",
+                "\"fastpath_txn_prepares\":{},\"fastpath_latency_ms\":{},",
+                "\"plain_latency_ms\":{},\"consistent\":{}}}"
+            ),
+            self.groups,
+            self.clients,
+            self.txns,
+            self.multi_group_txns,
+            f(self.commits_per_second),
+            f(self.mean_commit_latency_ms),
+            f(self.p99_commit_latency_ms),
+            self.txn_prepares,
+            self.misroutes,
+            self.fastpath_wires_txn,
+            self.fastpath_wires_plain,
+            self.fastpath_txn_prepares,
+            f(self.fastpath_latency_ms),
+            f(self.plain_latency_ms),
             self.consistent,
         )
     }

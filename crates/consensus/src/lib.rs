@@ -10,7 +10,7 @@
 //! > `propose(vi)`, then `vi ∈ V`.
 //!
 //! This crate implements that oracle as a Chandra–Toueg style ♦S consensus with
-//! a rotating coordinator ([CT96], modified per [Fel98]):
+//! a rotating coordinator (\[CT96\], modified per \[Fel98\]):
 //!
 //! * each process sends its estimate to the coordinator of the current round;
 //! * the coordinator waits until it has an estimate from every process it does
@@ -175,11 +175,11 @@ impl<V> ConsensusWire<V> {
 pub struct ConsensusConfig {
     /// When `true` (default, recommended) the coordinator waits for estimates
     /// from at least a majority of processes before proposing, which yields
-    /// uniform agreement exactly as in [CT96].
+    /// uniform agreement exactly as in \[CT96\].
     ///
     /// When `false`, the coordinator only waits for the estimates of the
     /// processes it does not suspect, mirroring the collection rule that the
-    /// OAR paper's footnote 5 attributes to [Fel98]. This lets a suspected
+    /// OAR paper's footnote 5 attributes to \[Fel98\]. This lets a suspected
     /// minority's values be excluded from the decision with any group size
     /// (reproducing Figure 4 of the paper at `n = 4`), but a very adversarial
     /// combination of wrong suspicions and crashes can then violate uniform

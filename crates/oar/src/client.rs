@@ -62,7 +62,7 @@ impl<R> CompletedRequest<R> {
     }
 }
 
-/// Per-epoch accumulation of replies for the outstanding request.
+/// Per-epoch accumulation of replies for one outstanding request.
 #[derive(Debug, Clone)]
 struct EpochReplies<R> {
     union_weight: Weight,
@@ -78,12 +78,76 @@ impl<R> Default for EpochReplies<R> {
     }
 }
 
+/// The per-request reply accounting of the Fig. 5 weighted-quorum rule,
+/// shared by every client flavour ([`OarClient`],
+/// [`crate::sharded::ShardedClient`], [`crate::txn::TxnClient`]).
+///
+/// Replies are grouped by the epoch they were processed in; the request is
+/// adoptable once, for some epoch, the union of the reply weights reaches the
+/// majority threshold of the *owning group* — at which point a reply with the
+/// largest individual weight is adopted (Fig. 5 lines 3–5). The threshold is
+/// passed per [`absorb`](QuorumTracker::absorb) call because the sharded and
+/// transactional clients track requests owned by groups of possibly different
+/// sizes.
+#[derive(Debug, Clone)]
+pub struct QuorumTracker<R> {
+    by_epoch: BTreeMap<u64, EpochReplies<R>>,
+    replies_seen: usize,
+}
+
+impl<R> Default for QuorumTracker<R> {
+    fn default() -> Self {
+        QuorumTracker {
+            by_epoch: BTreeMap::new(),
+            replies_seen: 0,
+        }
+    }
+}
+
+impl<R: Clone> QuorumTracker<R> {
+    /// A tracker with no replies absorbed yet.
+    pub fn new() -> Self {
+        QuorumTracker::default()
+    }
+
+    /// Number of replies absorbed so far.
+    pub fn replies_seen(&self) -> usize {
+        self.replies_seen
+    }
+
+    /// Absorbs one reply. Returns `Some((epoch, adopted_reply))` as soon as
+    /// the Fig. 5 rule is satisfied for some epoch with the given `majority`
+    /// threshold, `None` while the quorum is still open. The caller is
+    /// expected to stop feeding the tracker once it adopts.
+    pub fn absorb(&mut self, reply: Reply<R>, majority: usize) -> Option<(u64, Reply<R>)> {
+        self.replies_seen += 1;
+        let epoch_replies = self.by_epoch.entry(reply.epoch).or_default();
+        epoch_replies
+            .union_weight
+            .extend(reply.weight.iter().copied());
+        epoch_replies.replies.push(reply);
+
+        // Fig. 5 line 3: wait until the union of weights for some epoch k
+        // reaches the majority threshold; lines 4–5: adopt a reply with the
+        // largest individual weight.
+        self.by_epoch.iter().find_map(|(epoch, acc)| {
+            if acc.union_weight.len() >= majority {
+                acc.replies
+                    .iter()
+                    .max_by_key(|r| r.weight.len())
+                    .map(|r| (*epoch, r.clone()))
+            } else {
+                None
+            }
+        })
+    }
+}
+
 #[derive(Debug)]
 struct Outstanding<R> {
     index: usize,
     sent_at: SimTime,
-    by_epoch: BTreeMap<u64, EpochReplies<R>>,
-    replies_seen: usize,
+    quorum: QuorumTracker<R>,
 }
 
 /// A closed-loop OAR client: it submits the commands of its workload with at
@@ -190,6 +254,7 @@ impl<S: StateMachine> OarClient<S> {
                 id: RequestId::new(self.id, 0),
                 client: self.id,
                 group: self.group,
+                txn: None,
                 command,
             });
             // Re-stamp the request with the multicast id so servers and client
@@ -202,8 +267,7 @@ impl<S: StateMachine> OarClient<S> {
                 Outstanding {
                     index: self.next_index,
                     sent_at: ctx.now(),
-                    by_epoch: BTreeMap::new(),
-                    replies_seen: 0,
+                    quorum: QuorumTracker::new(),
                 },
             );
             self.next_index += 1;
@@ -229,27 +293,7 @@ impl<S: StateMachine> OarClient<S> {
         let Some(outstanding) = self.outstanding.get_mut(&request) else {
             return; // stale reply for an already-completed request
         };
-        outstanding.replies_seen += 1;
-        let epoch_replies = outstanding.by_epoch.entry(reply.epoch).or_default();
-        epoch_replies
-            .union_weight
-            .extend(reply.weight.iter().copied());
-        epoch_replies.replies.push(reply);
-
-        // Fig. 5 line 3: wait until the union of weights for some epoch k
-        // reaches ⌈(|Π|+1)/2⌉.
-        let adopted = outstanding.by_epoch.iter().find_map(|(epoch, acc)| {
-            if acc.union_weight.len() >= self.majority {
-                // Lines 4–5: adopt a reply with the largest individual weight.
-                acc.replies
-                    .iter()
-                    .max_by_key(|r| r.weight.len())
-                    .map(|r| (*epoch, r.clone()))
-            } else {
-                None
-            }
-        });
-        let Some((epoch, reply)) = adopted else {
+        let Some((epoch, reply)) = outstanding.quorum.absorb(reply, self.majority) else {
             return;
         };
         let outstanding = self.outstanding.remove(&request).expect("outstanding");
@@ -266,7 +310,7 @@ impl<S: StateMachine> OarClient<S> {
             position: reply.position,
             epoch,
             adopted_weight: reply.weight.len(),
-            replies_seen: outstanding.replies_seen,
+            replies_seen: outstanding.quorum.replies_seen(),
             sent_at: outstanding.sent_at,
             completed_at: ctx.now(),
         });

@@ -32,6 +32,9 @@
 //! * [`shard`] / [`sharded`] — key-space partitioning over several
 //!   independent OAR groups (router, sharded clients and deployments), the
 //!   scale-out layer beyond one sequencer;
+//! * [`txn`] — client-side multi-key transactions over the sharded
+//!   deployment: single-group fast path (zero extra wires), per-group
+//!   `TxnPrepare` commit for multi-group key sets;
 //! * [`config`] — protocol tuning knobs (failure-detector timeout, batching,
 //!   epoch cutting, group identity).
 //!
@@ -66,16 +69,18 @@ pub mod server;
 pub mod shard;
 pub mod sharded;
 pub mod state_machine;
+pub mod txn;
 
-pub use client::{CompletedRequest, OarClient};
+pub use client::{CompletedRequest, OarClient, QuorumTracker};
 pub use cluster::{Cluster, ClusterConfig};
 pub use cnsv_order::{cnsv_order_outcome, CnsvOutcome};
 pub use config::OarConfig;
 pub use message::{
     majority, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request, RequestId,
-    Weight,
+    TxnEnvelope, TxnId, Weight,
 };
 pub use server::{DeliveryRecord, OarServer, Phase, ServerStats};
 pub use shard::{Partitioner, ShardKey, ShardRouter};
 pub use sharded::{ShardCompleted, ShardedClient, ShardedCluster, ShardedConfig};
 pub use state_machine::StateMachine;
+pub use txn::{MultiOp, TxnClient, TxnCluster, TxnCompleted, TxnPart};

@@ -18,6 +18,31 @@ use oar_simnet::{GroupId, ProcessId};
 /// sequence number (assigned by the reliable multicast layer).
 pub type RequestId = MsgId;
 
+/// Identifier of a multi-group transaction: the issuing client plus a
+/// per-client transaction counter. Distinct from [`RequestId`] — one
+/// transaction fans out into one prepare *request* per participating group,
+/// each with its own request id, all stamped with the same `TxnId`.
+pub type TxnId = MsgId;
+
+/// The transaction envelope carried by a `TxnPrepare` request (the per-group
+/// leg of a multi-group transaction — see [`crate::txn`]).
+///
+/// Each participating group orders its prepare through its own OAR total
+/// order and applies its partition of the transaction atomically (one
+/// command, one `apply`). The envelope makes the transaction visible at the
+/// protocol layer: servers count prepares ([`crate::ServerStats`]), and the
+/// participant list lets tests and tools check cross-group atomicity without
+/// peeking into the application command. Single-group transactions take the
+/// fast path and carry **no** envelope — their wire traffic is identical to
+/// a plain sharded request, which the `txn-smoke` gate counts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxnEnvelope {
+    /// The transaction this prepare belongs to.
+    pub txn: TxnId,
+    /// Every group participating in the transaction (sorted, deduplicated).
+    pub participants: Vec<GroupId>,
+}
+
 /// A client request as carried by `R-multicast(m, Π)`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Request<C> {
@@ -31,6 +56,10 @@ pub struct Request<C> {
     /// group would be ordered against the wrong key space. Single-group
     /// deployments use [`GroupId::default`] throughout.
     pub group: GroupId,
+    /// `Some` when this request is the per-group prepare of a multi-group
+    /// transaction; `None` for plain requests and single-group (fast-path)
+    /// transactions.
+    pub txn: Option<TxnEnvelope>,
     /// The command to execute on the replicated service.
     pub command: C,
 }

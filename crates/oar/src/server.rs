@@ -45,7 +45,7 @@
 //! per-request replies destined for the same client are accumulated and
 //! flushed as **one** `ReplyBatch` wire per client — one allocation and one
 //! network event where the unbatched protocol paid one `Reply` per request.
-//! [`flush_replies`](OarServer::flush_replies) is the single construction
+//! `flush_replies` is the single construction
 //! site for both the optimistic and the conservative reply path;
 //! `ServerStats::reply_messages_sent` counts the wires,
 //! `ServerStats::replies_sent` the individual request replies they carry.
@@ -162,6 +162,12 @@ pub struct ServerStats {
     /// Requests that arrived stamped for a *different* replication group and
     /// were dropped. Must stay 0 in a correctly routed sharded deployment.
     pub misrouted: u64,
+    /// Requests carrying a transaction envelope (`TxnPrepare` legs of
+    /// multi-group transactions) buffered by this server. Single-group
+    /// fast-path transactions carry no envelope and are **not** counted —
+    /// the `txn-smoke` gate relies on that to show the fast path is
+    /// wire-identical to the plain sharded client.
+    pub txn_prepares: u64,
     /// Current and peak total size of the reliable-multicast duplicate-
     /// suppression (`seen`) sets, bounded by the same epoch-watermark rule
     /// as `payloads`.
@@ -452,6 +458,9 @@ impl<S: StateMachine> OarServer<S> {
         );
         if self.payloads.contains_key(&id) || self.settled.contains(&id) {
             return;
+        }
+        if request.txn.is_some() {
+            self.stats.txn_prepares += 1;
         }
         self.payloads.insert(id, request);
         self.stats.payloads.record(self.payloads.len() as u64);
@@ -1203,6 +1212,7 @@ mod tests {
                 id,
                 client,
                 group: oar_simnet::GroupId::default(),
+                txn: None,
                 command: CounterCommand::Add(add),
             },
         };

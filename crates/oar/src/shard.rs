@@ -97,11 +97,16 @@ impl ShardRouter {
         }
     }
 
-    /// A range router over `num_groups` groups whose boundaries are the
-    /// even quantiles of `sample` — the distinct keys of a workload sample.
-    /// The resulting router balances the *sampled* population within one
-    /// key of ideal; keys outside the sample land in the interval covering
-    /// them.
+    /// A range router over *up to* `num_groups` groups whose boundaries are
+    /// the even quantiles of `sample` — the distinct keys of a workload
+    /// sample. The resulting router balances the *sampled* population
+    /// within one key of ideal; keys outside the sample land in the
+    /// interval covering them.
+    ///
+    /// When the sample has fewer distinct keys than `num_groups` (or
+    /// quantile boundaries collide), the router covers **fewer** groups
+    /// than requested — check [`ShardRouter::num_groups`] before pairing it
+    /// with a deployment config, which asserts the counts agree.
     pub fn range_from_keys<I, K>(sample: I, num_groups: usize) -> Self
     where
         I: IntoIterator<Item = K>,
@@ -148,6 +153,28 @@ impl ShardRouter {
     /// The group owning `command`'s key.
     pub fn route<C: ShardKey>(&self, command: &C) -> GroupId {
         self.route_key(command.shard_key())
+    }
+
+    /// The set of groups owning at least one of `keys` — the *participant
+    /// set* of a transaction touching those keys ([`crate::txn`]).
+    ///
+    /// Sorted and deduplicated; empty iff `keys` is empty. Because the
+    /// router is a pure function of each key, the participant set is itself
+    /// total and deterministic — the precondition the transaction layer's
+    /// commit rule (quorum in *every* participating group) rests on. The
+    /// router proptests check this for arbitrary key sets.
+    pub fn groups_for_keys<I, K>(&self, keys: I) -> Vec<GroupId>
+    where
+        I: IntoIterator<Item = K>,
+        K: AsRef<str>,
+    {
+        let mut groups: Vec<GroupId> = keys
+            .into_iter()
+            .map(|k| self.route_key(k.as_ref()))
+            .collect();
+        groups.sort_by_key(|g| g.index());
+        groups.dedup();
+        groups
     }
 }
 
@@ -201,6 +228,16 @@ mod tests {
             counts[router.route_key(k).index()] += 1;
         }
         assert_eq!(counts, [25, 25, 25, 25]);
+    }
+
+    #[test]
+    fn groups_for_keys_is_sorted_and_deduplicated() {
+        let router = ShardRouter::range(vec!["h".into(), "p".into()]);
+        // Keys listed in reverse ownership order, with duplicates.
+        let groups = router.groups_for_keys(["zebra", "apple", "melon", "ant"]);
+        assert_eq!(groups, vec![GroupId(0), GroupId(1), GroupId(2)]);
+        assert!(router.groups_for_keys(Vec::<String>::new()).is_empty());
+        assert_eq!(router.groups_for_keys(["a", "b"]), vec![GroupId(0)]);
     }
 
     #[test]
@@ -293,6 +330,41 @@ mod proptests {
                 prop_assert_eq!(g, router.route_key(k));
             }
             assert_balanced(&router, &keys);
+        }
+
+        /// The transaction layer's routing precondition: for an arbitrary
+        /// key set (a transaction's keys), the participant group set is
+        /// total (covers exactly the groups the per-key routes name, within
+        /// range), deterministic (the same key set always yields the same
+        /// set), and canonical (sorted, no duplicates) — under both
+        /// partitioners.
+        #[test]
+        fn txn_group_set_contract(
+            keys in proptest::collection::vec(skewed_key(), 0..80),
+            groups in 1usize..8,
+            hash in any::<bool>(),
+        ) {
+            let router = if hash {
+                ShardRouter::hash(groups)
+            } else {
+                ShardRouter::range_from_keys(keys.clone(), groups)
+            };
+            let set = router.groups_for_keys(keys.iter());
+            // Deterministic: recomputing (even on a clone, even with the
+            // keys permuted) yields the identical participant set.
+            prop_assert_eq!(&set, &router.groups_for_keys(keys.iter()));
+            let mut reversed = keys.clone();
+            reversed.reverse();
+            prop_assert_eq!(&set, &router.clone().groups_for_keys(reversed.iter()));
+            // Total: exactly the per-key routes, each within range.
+            let mut expected: Vec<GroupId> = keys.iter().map(|k| router.route_key(k)).collect();
+            expected.sort_by_key(|g| g.index());
+            expected.dedup();
+            prop_assert_eq!(&set, &expected);
+            prop_assert!(set.iter().all(|g| g.index() < router.num_groups()));
+            // Canonical: sorted, deduplicated, empty iff no keys.
+            prop_assert!(set.windows(2).all(|w| w[0].index() < w[1].index()));
+            prop_assert_eq!(set.is_empty(), keys.is_empty());
         }
     }
 }

@@ -35,9 +35,9 @@ use oar_simnet::{
     Timer, World,
 };
 
-use crate::client::CompletedRequest;
+use crate::client::{CompletedRequest, QuorumTracker};
 use crate::config::OarConfig;
-use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId, Weight};
+use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId};
 use crate::server::{OarServer, ServerStats};
 use crate::shard::{ShardKey, ShardRouter};
 use crate::state_machine::StateMachine;
@@ -87,29 +87,12 @@ impl Default for ShardedConfig {
     }
 }
 
-/// Per-epoch accumulation of replies for one outstanding request.
-#[derive(Debug)]
-struct EpochReplies<R> {
-    union_weight: Weight,
-    replies: Vec<Reply<R>>,
-}
-
-impl<R> Default for EpochReplies<R> {
-    fn default() -> Self {
-        EpochReplies {
-            union_weight: Weight::new(),
-            replies: Vec::new(),
-        }
-    }
-}
-
 #[derive(Debug)]
 struct Outstanding<R> {
     group: GroupId,
     index: usize,
     sent_at: SimTime,
-    by_epoch: BTreeMap<u64, EpochReplies<R>>,
-    replies_seen: usize,
+    quorum: QuorumTracker<R>,
 }
 
 /// A request completed by a sharded client: the group that served it plus
@@ -230,6 +213,7 @@ where
                     id,
                     client: self.id,
                     group,
+                    txn: None,
                     command,
                 },
             };
@@ -241,8 +225,7 @@ where
                     group,
                     index: self.next_index,
                     sent_at: ctx.now(),
-                    by_epoch: BTreeMap::new(),
-                    replies_seen: 0,
+                    quorum: QuorumTracker::new(),
                 },
             );
             self.next_index += 1;
@@ -270,25 +253,8 @@ where
         let Some(outstanding) = self.outstanding.get_mut(&request) else {
             return; // stale reply for an already-completed request
         };
-        outstanding.replies_seen += 1;
-        let epoch_replies = outstanding.by_epoch.entry(reply.epoch).or_default();
-        epoch_replies
-            .union_weight
-            .extend(reply.weight.iter().copied());
-        epoch_replies.replies.push(reply);
-
-        let quorum = majority(self.groups[outstanding.group.index()].len());
-        let adopted = outstanding.by_epoch.iter().find_map(|(epoch, acc)| {
-            if acc.union_weight.len() >= quorum {
-                acc.replies
-                    .iter()
-                    .max_by_key(|r| r.weight.len())
-                    .map(|r| (*epoch, r.clone()))
-            } else {
-                None
-            }
-        });
-        let Some((epoch, reply)) = adopted else {
+        let threshold = majority(self.groups[outstanding.group.index()].len());
+        let Some((epoch, reply)) = outstanding.quorum.absorb(reply, threshold) else {
             return;
         };
         let outstanding = self.outstanding.remove(&request).expect("outstanding");
@@ -308,7 +274,7 @@ where
                 position: reply.position,
                 epoch,
                 adopted_weight: reply.weight.len(),
-                replies_seen: outstanding.replies_seen,
+                replies_seen: outstanding.quorum.replies_seen(),
                 sent_at: outstanding.sent_at,
                 completed_at: ctx.now(),
             },
@@ -397,21 +363,7 @@ where
         );
         let mut world: World<OarWire<S::Command, S::Response>> =
             World::new(config.net.clone(), config.seed);
-        let mut groups = Vec::with_capacity(config.num_groups);
-        for g in 0..config.num_groups {
-            let base = g * config.servers_per_group;
-            let ids: Vec<ProcessId> = (base..base + config.servers_per_group)
-                .map(ProcessId)
-                .collect();
-            for &id in &ids {
-                let server =
-                    OarServer::new(id, ids.clone(), config.oar.for_group(GroupId(g)), make_sm());
-                let assigned = world.add_process(server);
-                debug_assert_eq!(assigned, id);
-                world.assign_group(assigned, GroupId(g));
-            }
-            groups.push(ids);
-        }
+        let groups = build_group_servers(&mut world, config, &mut make_sm);
         let first_client = config.num_groups * config.servers_per_group;
         let mut clients = Vec::with_capacity(config.num_clients);
         for c in 0..config.num_clients {
@@ -560,77 +512,13 @@ where
         self.groups.iter().flatten().copied()
     }
 
-    fn alive_servers_of(&self, g: usize) -> Vec<ProcessId> {
-        self.groups[g]
-            .iter()
-            .copied()
-            .filter(|&s| !self.world.is_crashed(s))
-            .collect()
-    }
-
     /// Checks the single-group safety properties (total order, at-most-once,
     /// digest agreement) *inside every group*, plus cross-group isolation:
     /// no request settled by one group ever appears in another group's
     /// sequence. Cross-group *ordering* is explicitly not checked — it is
     /// not a property of the sharded deployment.
     pub fn check_per_group_consistency(&self) -> Result<(), String> {
-        let mut owner_of: HashMap<RequestId, GroupId> = HashMap::new();
-        for (g, _) in self.groups.iter().enumerate() {
-            let alive = self.alive_servers_of(g);
-            let sequences: Vec<(ProcessId, Seq<RequestId>)> = alive
-                .iter()
-                .map(|&s| {
-                    (
-                        s,
-                        self.world
-                            .process_ref::<OarServer<S>>(s)
-                            .committed_sequence(),
-                    )
-                })
-                .collect();
-            for (p, seq) in &sequences {
-                let mut seen = std::collections::HashSet::new();
-                for id in seq.iter() {
-                    if !seen.insert(*id) {
-                        return Err(format!("group {g}: server {p} delivered {id} twice"));
-                    }
-                    match owner_of.insert(*id, GroupId(g)) {
-                        Some(other) if other != GroupId(g) => {
-                            return Err(format!(
-                                "cross-group leak: {id} delivered by groups {other} and g{g}"
-                            ));
-                        }
-                        _ => {}
-                    }
-                }
-            }
-            for (i, (p, sp)) in sequences.iter().enumerate() {
-                for (q, sq) in sequences.iter().skip(i + 1) {
-                    if !(sp.is_prefix_of(sq) || sq.is_prefix_of(sp)) {
-                        return Err(format!(
-                            "group {g}: total order violated between {p} and {q}: {sp} vs {sq}"
-                        ));
-                    }
-                }
-            }
-            // Digest equality for equal-length sequences.
-            let mut by_len: HashMap<usize, (ProcessId, u64)> = HashMap::new();
-            for &s in &alive {
-                let server = self.world.process_ref::<OarServer<S>>(s);
-                let len = server.committed_sequence().len();
-                let digest = server.state_machine().digest();
-                if let Some((other, other_digest)) = by_len.get(&len) {
-                    if *other_digest != digest {
-                        return Err(format!(
-                            "group {g}: servers {other} and {s} delivered {len} requests but diverge"
-                        ));
-                    }
-                } else {
-                    by_len.insert(len, (s, digest));
-                }
-            }
-        }
-        Ok(())
+        check_groups_consistency::<S>(&self.world, &self.groups)
     }
 
     /// Checks external consistency per group (Proposition 7): every adopted
@@ -672,6 +560,99 @@ where
         }
         Ok(())
     }
+}
+
+/// Builds the per-group server layout shared by [`ShardedCluster`] and
+/// [`crate::txn::TxnCluster`]: `num_groups` groups of `servers_per_group`
+/// consecutive process ids, each server stamped with its group identity and
+/// registered with the tracer. The two deployments differ only in the
+/// client processes added afterwards.
+pub(crate) fn build_group_servers<S: StateMachine>(
+    world: &mut World<OarWire<S::Command, S::Response>>,
+    config: &ShardedConfig,
+    make_sm: &mut impl FnMut() -> S,
+) -> Vec<Vec<ProcessId>> {
+    let mut groups = Vec::with_capacity(config.num_groups);
+    for g in 0..config.num_groups {
+        let base = g * config.servers_per_group;
+        let ids: Vec<ProcessId> = (base..base + config.servers_per_group)
+            .map(ProcessId)
+            .collect();
+        for &id in &ids {
+            let server =
+                OarServer::new(id, ids.clone(), config.oar.for_group(GroupId(g)), make_sm());
+            let assigned = world.add_process(server);
+            debug_assert_eq!(assigned, id);
+            world.assign_group(assigned, GroupId(g));
+        }
+        groups.push(ids);
+    }
+    groups
+}
+
+/// The per-group safety properties (total order, at-most-once, digest
+/// agreement) plus cross-group isolation, over any world holding `groups` of
+/// [`OarServer`]s — shared by [`ShardedCluster`] and
+/// [`crate::txn::TxnCluster`], whose worlds differ only in their client
+/// processes.
+pub(crate) fn check_groups_consistency<S: StateMachine>(
+    world: &World<OarWire<S::Command, S::Response>>,
+    groups: &[Vec<ProcessId>],
+) -> Result<(), String> {
+    let mut owner_of: HashMap<RequestId, GroupId> = HashMap::new();
+    for (g, servers) in groups.iter().enumerate() {
+        let alive: Vec<ProcessId> = servers
+            .iter()
+            .copied()
+            .filter(|&s| !world.is_crashed(s))
+            .collect();
+        let sequences: Vec<(ProcessId, Seq<RequestId>)> = alive
+            .iter()
+            .map(|&s| (s, world.process_ref::<OarServer<S>>(s).committed_sequence()))
+            .collect();
+        for (p, seq) in &sequences {
+            let mut seen = std::collections::HashSet::new();
+            for id in seq.iter() {
+                if !seen.insert(*id) {
+                    return Err(format!("group {g}: server {p} delivered {id} twice"));
+                }
+                match owner_of.insert(*id, GroupId(g)) {
+                    Some(other) if other != GroupId(g) => {
+                        return Err(format!(
+                            "cross-group leak: {id} delivered by groups {other} and g{g}"
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for (i, (p, sp)) in sequences.iter().enumerate() {
+            for (q, sq) in sequences.iter().skip(i + 1) {
+                if !(sp.is_prefix_of(sq) || sq.is_prefix_of(sp)) {
+                    return Err(format!(
+                        "group {g}: total order violated between {p} and {q}: {sp} vs {sq}"
+                    ));
+                }
+            }
+        }
+        // Digest equality for equal-length sequences.
+        let mut by_len: HashMap<usize, (ProcessId, u64)> = HashMap::new();
+        for &s in &alive {
+            let server = world.process_ref::<OarServer<S>>(s);
+            let len = server.committed_sequence().len();
+            let digest = server.state_machine().digest();
+            if let Some((other, other_digest)) = by_len.get(&len) {
+                if *other_digest != digest {
+                    return Err(format!(
+                        "group {g}: servers {other} and {s} delivered {len} requests but diverge"
+                    ));
+                }
+            } else {
+                by_len.insert(len, (s, digest));
+            }
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -228,7 +228,10 @@ fn seen_sets_stay_window_bounded_under_epoch_cuts() {
     // Responses still correct: a Get that completed adopted a real value.
     for done in cluster.completed_requests() {
         match &done.request.response {
-            KvResponse::Value(_) | KvResponse::Previous(_) | KvResponse::Swapped(_) => {}
+            KvResponse::Value(_)
+            | KvResponse::Previous(_)
+            | KvResponse::Swapped(_)
+            | KvResponse::Multi(_) => {}
         }
     }
 }

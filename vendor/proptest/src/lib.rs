@@ -427,7 +427,7 @@ pub mod collection {
     use crate::strategy::Strategy;
     use crate::test_runner::TestRng;
 
-    /// A length specification for [`vec`]: an exact size, `lo..hi` or
+    /// A length specification for [`vec`](fn@vec): an exact size, `lo..hi` or
     /// `lo..=hi`.
     #[derive(Clone, Copy, Debug)]
     pub struct SizeRange {
