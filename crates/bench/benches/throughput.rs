@@ -33,22 +33,56 @@ fn run_cluster(
 }
 
 /// One un-timed instrumentation run of the same deployment, returning the
-/// traffic counters attached to the bench point.
+/// traffic counters attached to the bench point. Latency percentiles ride
+/// along (in µs, the counters are integers) so the `BENCH_throughput.json`
+/// trajectory shows the latency *cost* of each batching setting next to its
+/// wire savings; adaptive runs additionally record their convergence
+/// counters.
 fn traffic_counters(
     oar: OarConfig,
     clients: usize,
     requests_per_client: usize,
     pipeline: usize,
-) -> [(&'static str, u64); 4] {
+) -> Vec<(String, u64)> {
     let mut cluster =
         build_throughput_cluster(oar, 3, clients, requests_per_client, pipeline, SEED);
     assert!(cluster.run_to_completion(SimTime::from_secs(600)));
-    [
-        ("order_messages_sent", cluster.total_order_messages()),
-        ("reply_messages_sent", cluster.total_reply_messages()),
-        ("replies_sent", cluster.total_replies()),
-        ("peak_payloads", cluster.peak_payloads()),
-    ]
+    let lat = cluster.latencies();
+    let us = |q: f64| (lat.quantile(q).unwrap_or(0.0) * 1_000.0).round() as u64;
+    let mut counters = vec![
+        (
+            "order_messages_sent".to_string(),
+            cluster.total_order_messages(),
+        ),
+        (
+            "reply_messages_sent".to_string(),
+            cluster.total_reply_messages(),
+        ),
+        ("replies_sent".to_string(), cluster.total_replies()),
+        ("peak_payloads".to_string(), cluster.peak_payloads()),
+        ("p50_latency_us".to_string(), us(0.5)),
+        ("p95_latency_us".to_string(), us(0.95)),
+        ("p99_latency_us".to_string(), us(0.99)),
+    ];
+    if oar.adaptive.is_some() {
+        counters.extend([
+            (
+                "effective_batch_peak".to_string(),
+                cluster.peak_effective_batch(),
+            ),
+            ("target_raises".to_string(), cluster.total_target_raises()),
+            ("target_drops".to_string(), cluster.total_target_drops()),
+            (
+                "deadline_flushes".to_string(),
+                cluster.total_deadline_flushes(),
+            ),
+            (
+                "client_window_peak".to_string(),
+                cluster.peak_client_window(),
+            ),
+        ]);
+    }
+    counters
 }
 
 /// Times one sharded run to completion (per-group checks live in the tests,
@@ -142,7 +176,7 @@ fn bench_throughput(c: &mut Criterion) {
     group.sample_size(10);
     let requests_per_client = 25usize;
     for &clients in &[1usize, 2, 4, 8] {
-        let variants: [(&str, OarConfig, usize); 3] = [
+        let variants: [(&str, OarConfig, usize); 4] = [
             ("unbatched", OarConfig::default(), 1),
             ("batched8", OarConfig::with_batching(BATCHED_MAX_BATCH), 1),
             (
@@ -150,6 +184,13 @@ fn bench_throughput(c: &mut Criterion) {
                 // configuration whose replies coalesce into ReplyBatch wires.
                 "replybatch8",
                 OarConfig::with_batching(PIPELINE_DEPTH * clients),
+                PIPELINE_DEPTH,
+            ),
+            (
+                // The load-driven controller: batch threshold and client
+                // windows adapt per run instead of being configured.
+                "adaptive",
+                OarConfig::adaptive(),
                 PIPELINE_DEPTH,
             ),
         ];

@@ -18,6 +18,8 @@
 //! cargo run --release -p oar-bench --bin harness -- sharded-smoke
 //! cargo run --release -p oar-bench --bin harness -- txn
 //! cargo run --release -p oar-bench --bin harness -- txn-smoke
+//! cargo run --release -p oar-bench --bin harness -- adaptive
+//! cargo run --release -p oar-bench --bin harness -- adaptive-smoke
 //! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
 //! ```
 //!
@@ -27,8 +29,12 @@
 //! per-group load, or any request is misrouted; `txn` / `txn-smoke` when a
 //! multi-group transaction commits non-atomically, the single-group fast
 //! path sends even one wire more than the plain sharded client, or a
-//! `TxnPrepare` envelope leaks onto the fast path (the smoke variants are
-//! the CI gates).
+//! `TxnPrepare` envelope leaks onto the fast path; `adaptive` /
+//! `adaptive-smoke` when the load-driven batch controller adds latency at 1
+//! client (>5% over the best closed-loop static), fails to beat unbatched by
+//! ≥15% at 8 clients, fails to converge (no ramp, shallow batches, windows
+//! below the cap), or a skewed 2-group run does not show per-group
+//! independent convergence (the smoke variants are the CI gates).
 
 use oar_bench::json::ToJson;
 use oar_bench::{experiments, figures};
@@ -300,6 +306,95 @@ fn run_txn(clients: usize, txns_per_client: usize) -> bool {
     violations.is_empty()
 }
 
+fn run_adaptive(requests_per_client: usize, repeats: usize, skew_requests: usize) -> bool {
+    println!(
+        "== T-ADAPTIVE: load-driven batching vs static settings ({} reqs/client, min wall of {} runs) ==",
+        requests_per_client, repeats
+    );
+    let rows = experiments::adaptive_experiment(&[1, 8], requests_per_client, repeats, SEED);
+    println!(
+        "{:<10} {:>7} {:>6} {:>9} {:>10} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7} {:>6} {:>11}",
+        "variant",
+        "clients",
+        "reqs",
+        "wall(ms)",
+        "req/s(sim)",
+        "mean(ms)",
+        "p50(ms)",
+        "p99(ms)",
+        "orders",
+        "batch^",
+        "target",
+        "raises",
+        "win^",
+        "consistent"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>7} {:>6} {:>9.3} {:>10.1} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>7} {:>7} {:>7} {:>6} {:>11}",
+            r.protocol,
+            r.clients,
+            r.requests,
+            r.wall_ms,
+            r.requests_per_second,
+            r.mean_latency_ms,
+            r.p50_latency_ms,
+            r.p99_latency_ms,
+            r.order_messages_sent,
+            r.effective_batch_peak,
+            r.batch_target,
+            r.target_raises,
+            r.client_window_peak,
+            r.consistent
+        );
+    }
+    print_json("adaptive", &rows);
+    let mut violations = experiments::check_adaptive_bounds(&rows, requests_per_client);
+
+    println!("== T-ADAPTIVE-SKEW: per-group convergence under skewed load (2 groups) ==");
+    let skew = experiments::adaptive_skew_experiment(4, skew_requests, SEED);
+    println!(
+        "{:<7} {:>7} {:>6} {:>13} {:>13} {:>13} {:>13} {:>9} {:>11}",
+        "groups",
+        "clients",
+        "reqs",
+        "reqs/group",
+        "target/group",
+        "batch^/group",
+        "raises/group",
+        "misroute",
+        "consistent"
+    );
+    let join = |v: &[u64]| {
+        v.iter()
+            .map(|x| x.to_string())
+            .collect::<Vec<_>>()
+            .join("/")
+    };
+    println!(
+        "{:<7} {:>7} {:>6} {:>13} {:>13} {:>13} {:>13} {:>9} {:>11}",
+        skew.groups,
+        skew.clients,
+        skew.requests,
+        join(&skew.per_group_requests),
+        join(&skew.per_group_batch_target),
+        join(&skew.per_group_effective_batch),
+        join(&skew.per_group_target_raises),
+        skew.misroutes,
+        skew.consistent
+    );
+    print_json("adaptive_skew", std::slice::from_ref(&skew));
+    violations.extend(experiments::check_adaptive_skew_bounds(
+        &skew,
+        skew_requests,
+    ));
+
+    for v in &violations {
+        eprintln!("ADAPTIVE VIOLATION: {v}");
+    }
+    violations.is_empty()
+}
+
 fn run_gc() {
     println!("== T-GC: §5.3 epoch-cut ablation ==");
     let rows = experiments::gc_experiment(&[None, Some(100), Some(10)], 60, SEED);
@@ -369,6 +464,19 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The full adaptive-batching gate: controller vs every static
+        // setting at 1 and 8 clients, plus the skewed 2-group run.
+        "adaptive" => {
+            if !run_adaptive(50, 5, 40) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: a smaller adaptive sweep with the same ceilings.
+        "adaptive-smoke" => {
+            if !run_adaptive(30, 3, 24) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             run_figures(None);
             run_latency();
@@ -379,13 +487,14 @@ fn main() {
             let soak_ok = run_soak(8, 640);
             let sharded_ok = run_sharded(4, 100);
             let txn_ok = run_txn(4, 50);
-            if !soak_ok || !sharded_ok || !txn_ok {
+            let adaptive_ok = run_adaptive(50, 5, 40);
+            if !soak_ok || !sharded_ok || !txn_ok || !adaptive_ok {
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | sharded | sharded-smoke | txn | txn-smoke");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke");
             std::process::exit(2);
         }
     }

@@ -8,7 +8,8 @@
 use oar_simnet::Summary;
 
 use crate::experiments::{
-    FailoverRow, GcRow, LatencyRow, ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
+    AdaptiveRow, AdaptiveSkewRow, FailoverRow, GcRow, LatencyRow, ShardedRow, SoakRow,
+    ThroughputRow, TxnRow, UndoRow,
 };
 use crate::figures::FigureOutcome;
 
@@ -106,6 +107,7 @@ impl ToJson for ThroughputRow {
             concat!(
                 "{{\"protocol\":\"{}\",\"servers\":{},\"clients\":{},\"requests\":{},",
                 "\"requests_per_second\":{},\"mean_latency_ms\":{},",
+                "\"p50_latency_ms\":{},\"p95_latency_ms\":{},\"p99_latency_ms\":{},",
                 "\"order_messages_sent\":{},\"reply_messages_sent\":{},",
                 "\"replies_sent\":{},\"consensus_allocations\":{},",
                 "\"consensus_messages\":{},\"peak_payloads\":{}}}"
@@ -116,12 +118,73 @@ impl ToJson for ThroughputRow {
             self.requests,
             f(self.requests_per_second),
             f(self.mean_latency_ms),
+            f(self.p50_latency_ms),
+            f(self.p95_latency_ms),
+            f(self.p99_latency_ms),
             self.order_messages_sent,
             self.reply_messages_sent,
             self.replies_sent,
             self.consensus_allocations,
             self.consensus_messages,
             self.peak_payloads,
+        )
+    }
+}
+
+impl ToJson for AdaptiveRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"protocol\":\"{}\",\"clients\":{},\"requests\":{},",
+                "\"wall_ms\":{},\"requests_per_second\":{},",
+                "\"mean_latency_ms\":{},\"p50_latency_ms\":{},",
+                "\"p95_latency_ms\":{},\"p99_latency_ms\":{},",
+                "\"order_messages_sent\":{},\"reply_messages_sent\":{},",
+                "\"effective_batch_peak\":{},\"batch_target\":{},",
+                "\"target_raises\":{},\"target_drops\":{},",
+                "\"deadline_flushes\":{},\"client_window_peak\":{},",
+                "\"consistent\":{}}}"
+            ),
+            escape(&self.protocol),
+            self.clients,
+            self.requests,
+            f(self.wall_ms),
+            f(self.requests_per_second),
+            f(self.mean_latency_ms),
+            f(self.p50_latency_ms),
+            f(self.p95_latency_ms),
+            f(self.p99_latency_ms),
+            self.order_messages_sent,
+            self.reply_messages_sent,
+            self.effective_batch_peak,
+            self.batch_target,
+            self.target_raises,
+            self.target_drops,
+            self.deadline_flushes,
+            self.client_window_peak,
+            self.consistent,
+        )
+    }
+}
+
+impl ToJson for AdaptiveSkewRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"groups\":{},\"clients\":{},\"requests\":{},",
+                "\"per_group_requests\":{},\"per_group_batch_target\":{},",
+                "\"per_group_effective_batch\":{},\"per_group_target_raises\":{},",
+                "\"misroutes\":{},\"consistent\":{}}}"
+            ),
+            self.groups,
+            self.clients,
+            self.requests,
+            u64_array(&self.per_group_requests),
+            u64_array(&self.per_group_batch_target),
+            u64_array(&self.per_group_effective_batch),
+            u64_array(&self.per_group_target_raises),
+            self.misroutes,
+            self.consistent,
         )
     }
 }

@@ -1,0 +1,534 @@
+//! Load-driven batching and pipelining controllers.
+//!
+//! Static `OarConfig::max_batch` leaves throughput on the table: the right
+//! batch size is a function of offered load, not configuration. A fixed
+//! threshold of 8 is *slower* than unbatched at one client (partial batches
+//! wait for a flush) yet clearly faster at eight. This module closes the loop:
+//!
+//! * [`BatchController`] runs inside the **sequencer** and drives the
+//!   effective `OrderMsg` batch threshold from the observed request arrival
+//!   rate (a sliding window of inter-arrival gaps) and the current ordering
+//!   backlog. Under light load the target converges to 1 — every request is
+//!   ordered immediately, the paper's Fig. 6 behaviour, no added latency.
+//!   Under pressure the target grows multiplicatively (AIMD-style: fast
+//!   ramp, geometric decay) so the reliable-multicast cost of ordering is
+//!   amortised over many requests. A flush **deadline**
+//!   ([`AdaptiveConfig::max_delay`]) bounds the worst-case added ordering
+//!   latency of a partial batch, independent of the maintenance-tick cadence.
+//! * [`PipelineController`] runs inside the **clients** and drives the
+//!   outstanding-request window from the delivery-batch sizes the servers
+//!   report on every [`crate::message::ReplyBatch`] (`batch_hint`). When the
+//!   group is batching, a deeper window lets one `OrderMsg` swallow several
+//!   of the client's requests and one `ReplyBatch` answer them; when load
+//!   drops the window decays back so a light client stays closed-loop. In a
+//!   sharded deployment each group's sequencer adapts on its own arrivals and
+//!   each client keeps one controller per group, so groups converge
+//!   independently under skewed load.
+//!
+//! Both controllers are plain deterministic state machines — no randomness,
+//! no wall clock — so simulations containing them stay reproducible.
+
+use std::collections::VecDeque;
+
+use oar_simnet::{SimDuration, SimTime};
+
+/// Tuning knobs of the sequencer's [`BatchController`], carried by
+/// [`crate::OarConfig::adaptive`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Upper bound of the adaptive batch target (and of the batch the
+    /// controller ever advises). Must be at least 1.
+    pub max_batch_cap: usize,
+    /// Flush deadline: a partial batch older than this is ordered even if the
+    /// target is not reached, bounding the latency cost of batching. Must be
+    /// non-zero.
+    pub max_delay: SimDuration,
+    /// Idle decay: after `idle_decay_factor × max_delay` without an arrival
+    /// the target halves, so a load drop converges back towards 1.
+    pub idle_decay_factor: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            max_batch_cap: 64,
+            // Must stay below a closed-loop client's inter-arrival time
+            // (~one LAN round trip, 300–400µs): the rate target is the
+            // arrivals expected within one deadline, so a longer horizon
+            // would make even a single slow client look batchable and
+            // re-introduce exactly the idle latency batching must not add.
+            max_delay: SimDuration::from_micros(200),
+            idle_decay_factor: 4,
+        }
+    }
+}
+
+/// Number of inter-arrival gaps the rate estimate averages over.
+const RATE_WINDOW: usize = 16;
+
+/// The sequencer-side batch controller: converts observed inter-arrival gaps
+/// and ordering backlog into the batch size Task 1a should flush at.
+///
+/// The smoothed `target` ramps by doubling while the rate estimate calls for
+/// a bigger batch and decays geometrically towards the estimate when load
+/// drops, so it converges within O(log cap) flushes of a load step. The
+/// advised batch ([`BatchController::target_batch`]) is always within
+/// `[1, max_batch_cap]` and monotone in the backlog — a sequencer that has
+/// already queued more than the target has no reason to wait.
+#[derive(Clone, Debug)]
+pub struct BatchController {
+    config: AdaptiveConfig,
+    /// Smoothed batch target, in `[1, max_batch_cap]`.
+    target: usize,
+    /// Instant of the most recent arrival (rate-estimate anchor).
+    last_arrival: Option<SimTime>,
+    /// Sliding window of the last [`RATE_WINDOW`] inter-arrival gaps.
+    gaps: VecDeque<SimDuration>,
+    /// Sum of `gaps`, maintained incrementally.
+    gap_sum: SimDuration,
+    raises: u64,
+    drops: u64,
+}
+
+impl BatchController {
+    /// Creates a controller at the no-batching starting point (target 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.max_batch_cap` is 0 or `config.max_delay` is zero —
+    /// [`crate::config::OarConfigBuilder`] validates both before a server is
+    /// ever built.
+    pub fn new(config: AdaptiveConfig) -> Self {
+        assert!(config.max_batch_cap >= 1, "batch cap must be at least 1");
+        assert!(
+            !config.max_delay.is_zero(),
+            "flush deadline must be non-zero"
+        );
+        BatchController {
+            config,
+            target: 1,
+            last_arrival: None,
+            gaps: VecDeque::with_capacity(RATE_WINDOW),
+            gap_sum: SimDuration::ZERO,
+            raises: 0,
+            drops: 0,
+        }
+    }
+
+    /// The configuration this controller runs under.
+    pub fn config(&self) -> AdaptiveConfig {
+        self.config
+    }
+
+    /// The current smoothed batch target (the flush threshold), in
+    /// `[1, max_batch_cap]`.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Times the controller raised its target (convergence counter).
+    pub fn raises(&self) -> u64 {
+        self.raises
+    }
+
+    /// Times the controller lowered its target (convergence counter).
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Records one request arrival at `now`, feeding the rate estimate.
+    pub fn record_arrival(&mut self, now: SimTime) {
+        if let Some(last) = self.last_arrival {
+            let gap = now.duration_since(last);
+            if self.gaps.len() == RATE_WINDOW {
+                let old = self.gaps.pop_front().expect("window non-empty");
+                self.gap_sum = SimDuration::from_micros(
+                    self.gap_sum.as_micros().saturating_sub(old.as_micros()),
+                );
+            }
+            self.gaps.push_back(gap);
+            self.gap_sum += gap;
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// The batch size the rate estimate calls for: the number of arrivals
+    /// expected within one flush deadline, clamped to `[1, max_batch_cap]`.
+    fn desired(&self) -> usize {
+        if self.gaps.len() < 2 {
+            return 1;
+        }
+        let sum = self.gap_sum.as_micros();
+        if sum == 0 {
+            // A burst of simultaneous arrivals: the rate is effectively
+            // unbounded, ask for the cap.
+            return self.config.max_batch_cap;
+        }
+        let rate = self.gaps.len() as f64 / sum as f64; // arrivals per µs
+        let expected = rate * self.config.max_delay.as_micros() as f64;
+        (expected.ceil() as usize).clamp(1, self.config.max_batch_cap)
+    }
+
+    /// Feedback after the sequencer flushed a batch: re-aims the smoothed
+    /// target at the current rate estimate. Doubling up and averaging down
+    /// keeps convergence within a handful of batches in both directions.
+    pub fn note_flush(&mut self) {
+        let desired = self.desired();
+        if desired > self.target {
+            self.target = self
+                .target
+                .saturating_mul(2)
+                .min(desired)
+                .min(self.config.max_batch_cap);
+            self.raises += 1;
+        } else if desired < self.target {
+            self.target = ((self.target + desired) / 2).max(1);
+            self.drops += 1;
+        }
+    }
+
+    /// Idle decay, invoked from the maintenance tick: if no request arrived
+    /// for `idle_decay_factor × max_delay`, halve the target and forget the
+    /// stale rate window, so a load drop converges back to 1 even when no
+    /// flush happens any more.
+    pub fn maybe_decay(&mut self, now: SimTime) {
+        let Some(last) = self.last_arrival else {
+            return;
+        };
+        let idle_after = self
+            .config
+            .max_delay
+            .saturating_mul(self.config.idle_decay_factor.max(1));
+        if now.duration_since(last) > idle_after {
+            self.gaps.clear();
+            self.gap_sum = SimDuration::ZERO;
+            if self.target > 1 {
+                self.target = (self.target / 2).max(1);
+                self.drops += 1;
+            }
+            // Re-anchor so the next tick measures idleness from here, not
+            // from the stale arrival (one halving per idle period).
+            self.last_arrival = Some(now);
+        }
+    }
+
+    /// The batch size to use given the current ordering `backlog`: the
+    /// smoothed target, or the whole backlog once it already exceeds the
+    /// target (capped). Always in `[1, max_batch_cap]` and monotone
+    /// non-decreasing in `backlog`; the sequencer flushes when
+    /// `backlog >= target_batch(backlog)`, which reduces to
+    /// `backlog >= target`.
+    pub fn target_batch(&self, backlog: usize) -> usize {
+        self.target
+            .max(backlog.min(self.config.max_batch_cap))
+            .clamp(1, self.config.max_batch_cap)
+    }
+}
+
+/// Convergence bookkeeping of a [`PipelineController`], exposed to the
+/// experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// The current window.
+    pub window: u64,
+    /// The largest window ever adopted.
+    pub window_peak: u64,
+    /// Times the window was raised.
+    pub raises: u64,
+    /// Times the window was lowered.
+    pub drops: u64,
+}
+
+/// The client-side pipeline controller: adapts the outstanding-request window
+/// to the delivery-batch sizes the servers report
+/// ([`crate::message::ReplyBatch::batch_hint`]).
+///
+/// Additive increase (one step per observation towards the hint) keeps the
+/// ramp smooth; a halving decrease tracks load drops. The window always stays
+/// in `[1, cap]`, where `cap` is the deployment's configured pipeline depth.
+#[derive(Clone, Debug)]
+pub struct PipelineController {
+    cap: usize,
+    window: usize,
+    window_peak: usize,
+    raises: u64,
+    drops: u64,
+}
+
+impl PipelineController {
+    /// Creates a controller starting closed-loop (window 1) with the given
+    /// upper bound (clamped to at least 1).
+    pub fn new(cap: usize) -> Self {
+        PipelineController {
+            cap: cap.max(1),
+            window: 1,
+            window_peak: 1,
+            raises: 0,
+            drops: 0,
+        }
+    }
+
+    /// The configured upper bound of the window.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// The current window, in `[1, cap]`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Convergence counters.
+    pub fn stats(&self) -> PipelineStats {
+        PipelineStats {
+            window: self.window as u64,
+            window_peak: self.window_peak as u64,
+            raises: self.raises,
+            drops: self.drops,
+        }
+    }
+
+    /// Observes the delivery-batch size a server reported on a reply wire and
+    /// returns the adjusted window. A hint above the window raises it by one
+    /// (additive increase, several observations per round trip make this a
+    /// fast ramp); a hint below halves it towards the hint (multiplicative
+    /// decrease).
+    pub fn observe_batch(&mut self, hint: u64) -> usize {
+        let desired = (hint.max(1) as usize).min(self.cap);
+        if desired > self.window {
+            self.window += 1;
+            self.raises += 1;
+            self.window_peak = self.window_peak.max(self.window);
+        } else if desired < self.window {
+            let next = (self.window / 2).max(desired).max(1);
+            if next < self.window {
+                self.window = next;
+                self.drops += 1;
+            }
+        }
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micros(us: u64) -> SimTime {
+        SimTime::from_micros(us)
+    }
+
+    #[test]
+    fn light_load_keeps_target_at_one() {
+        let mut c = BatchController::new(AdaptiveConfig::default());
+        // One closed-loop client: arrivals one round trip (~700µs) apart,
+        // slower than the flush deadline.
+        for i in 0..50u64 {
+            c.record_arrival(micros(i * 700));
+            c.note_flush();
+        }
+        assert_eq!(c.target(), 1);
+        assert_eq!(c.raises(), 0);
+    }
+
+    #[test]
+    fn heavy_load_ramps_the_target_within_a_few_batches() {
+        let mut c = BatchController::new(AdaptiveConfig::default());
+        // 8 pipelined clients: bursts of arrivals ~10µs apart.
+        let mut now = 0u64;
+        let mut flushes_to_converge = None;
+        for flush in 0..20u64 {
+            for _ in 0..8 {
+                now += 10;
+                c.record_arrival(micros(now));
+            }
+            c.note_flush();
+            if c.target() >= 16 && flushes_to_converge.is_none() {
+                flushes_to_converge = Some(flush + 1);
+            }
+        }
+        // 200µs deadline / 10µs gaps → desired ~20: the doubling ramp gets
+        // there within ~5 flushes.
+        assert!(c.target() >= 16, "target {} should have ramped", c.target());
+        assert!(flushes_to_converge.expect("converged") <= 6);
+        assert!(c.raises() > 0);
+    }
+
+    #[test]
+    fn target_decays_when_load_drops() {
+        let mut c = BatchController::new(AdaptiveConfig::default());
+        let mut now = 0u64;
+        for _ in 0..5 {
+            for _ in 0..8 {
+                now += 5;
+                c.record_arrival(micros(now));
+            }
+            c.note_flush();
+        }
+        let ramped = c.target();
+        assert!(ramped > 1);
+        // Load drops to one slow client: flush feedback pulls the target
+        // back down geometrically.
+        for _ in 0..10 {
+            now += 700;
+            c.record_arrival(micros(now));
+            c.note_flush();
+        }
+        assert!(c.target() < ramped);
+        assert_eq!(c.target(), 1);
+        assert!(c.drops() > 0);
+    }
+
+    #[test]
+    fn idle_decay_halves_without_flushes() {
+        let mut c = BatchController::new(AdaptiveConfig::default());
+        let mut now = 0u64;
+        for _ in 0..6 {
+            for _ in 0..8 {
+                now += 5;
+                c.record_arrival(micros(now));
+            }
+            c.note_flush();
+        }
+        let ramped = c.target();
+        assert!(ramped >= 4);
+        // Silence: ticks keep firing, arrivals stop entirely. One halving
+        // per idle period (the decay re-anchors), so give it a few.
+        let mut t = now;
+        for _ in 0..30 {
+            t += 1000;
+            c.maybe_decay(micros(t));
+        }
+        assert_eq!(c.target(), 1, "idle decay must converge back to 1");
+    }
+
+    #[test]
+    fn simultaneous_burst_asks_for_the_cap() {
+        let mut c = BatchController::new(AdaptiveConfig::default());
+        for _ in 0..RATE_WINDOW + 1 {
+            c.record_arrival(micros(42));
+        }
+        c.note_flush();
+        assert!(c.target() > 1);
+        assert!(c.target() <= c.config().max_batch_cap);
+    }
+
+    #[test]
+    fn target_batch_is_bounded_and_uses_backlog() {
+        let cfg = AdaptiveConfig {
+            max_batch_cap: 8,
+            ..AdaptiveConfig::default()
+        };
+        let c = BatchController::new(cfg);
+        assert_eq!(c.target_batch(0), 1);
+        assert_eq!(c.target_batch(1), 1);
+        // Backlog beyond the target is taken whole, up to the cap.
+        assert_eq!(c.target_batch(5), 5);
+        assert_eq!(c.target_batch(100), 8);
+    }
+
+    #[test]
+    fn pipeline_window_ramps_and_decays_with_hints() {
+        let mut p = PipelineController::new(8);
+        assert_eq!(p.window(), 1);
+        // Servers report growing delivery batches: additive ramp to the cap.
+        for _ in 0..12 {
+            p.observe_batch(64);
+        }
+        assert_eq!(p.window(), 8);
+        assert_eq!(p.stats().window_peak, 8);
+        // Load drops: hints shrink, the window halves towards them.
+        p.observe_batch(1);
+        assert_eq!(p.window(), 4);
+        p.observe_batch(1);
+        assert_eq!(p.window(), 2);
+        p.observe_batch(1);
+        assert_eq!(p.window(), 1);
+        assert!(p.stats().drops >= 3);
+        // And never leaves [1, cap].
+        p.observe_batch(0);
+        assert_eq!(p.window(), 1);
+    }
+
+    #[test]
+    fn pipeline_cap_clamps() {
+        let mut p = PipelineController::new(0);
+        assert_eq!(p.cap(), 1);
+        assert_eq!(p.observe_batch(1000), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// An arbitrary controller history: a cap, a deadline, and a trace of
+    /// arrival gaps driven through the controller (with a flush after every
+    /// arrival and idle decay after long gaps).
+    fn driven_controller() -> impl Strategy<Value = BatchController> {
+        (
+            1usize..128,
+            1u64..2_000,
+            proptest::collection::vec(0u64..5_000, 0..60),
+        )
+            .prop_map(|(cap, delay_us, gaps)| {
+                let mut c = BatchController::new(AdaptiveConfig {
+                    max_batch_cap: cap,
+                    max_delay: SimDuration::from_micros(delay_us),
+                    idle_decay_factor: 4,
+                });
+                let mut now = 0u64;
+                for gap in gaps {
+                    now += gap;
+                    c.record_arrival(SimTime::from_micros(now));
+                    c.note_flush();
+                    if gap > 3_000 {
+                        c.maybe_decay(SimTime::from_micros(now));
+                    }
+                }
+                c
+            })
+    }
+
+    proptest! {
+        /// Whatever load history the controller has seen, its advised batch
+        /// stays within `[1, max_batch_cap]` for any backlog.
+        #[test]
+        fn output_always_within_bounds(
+            c in driven_controller(),
+            backlog in 0usize..10_000,
+        ) {
+            let out = c.target_batch(backlog);
+            prop_assert!(out >= 1);
+            prop_assert!(out <= c.config().max_batch_cap);
+            // The smoothed target obeys the same bounds.
+            prop_assert!(c.target() >= 1 && c.target() <= c.config().max_batch_cap);
+        }
+
+        /// The advised batch is monotone non-decreasing in the backlog: more
+        /// queued work never shrinks the batch.
+        #[test]
+        fn output_monotone_in_backlog(
+            c in driven_controller(),
+            a in 0usize..10_000,
+            b in 0usize..10_000,
+        ) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(c.target_batch(lo) <= c.target_batch(hi));
+        }
+
+        /// The pipeline window stays within `[1, cap]` under any hint trace.
+        #[test]
+        fn pipeline_window_always_within_bounds(
+            cap in 1usize..64,
+            hints in proptest::collection::vec(0u64..10_000, 0..200),
+        ) {
+            let mut p = PipelineController::new(cap);
+            for h in hints {
+                let w = p.observe_batch(h);
+                prop_assert!(w >= 1 && w <= cap);
+            }
+        }
+    }
+}

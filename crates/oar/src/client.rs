@@ -19,12 +19,18 @@
 //! several requests of the same client in one batch; replies arrive batched
 //! and are unpacked back into per-request accounting, so the optimistic /
 //! conservative semantics of each request are unchanged.
+//!
+//! [`OarClient::with_adaptive_pipeline`] replaces the fixed depth with a
+//! [`PipelineController`]: the window starts closed-loop and co-adapts with
+//! the servers' batching, growing towards the cap while reply wires report
+//! large delivery batches and decaying back when load drops.
 
 use std::collections::{BTreeMap, VecDeque};
 
 use oar_channels::ReliableCaster;
 use oar_simnet::{Context, GroupId, Process, ProcessId, SimDuration, SimTime, Timer};
 
+use crate::adaptive::{PipelineController, PipelineStats};
 use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId, Weight};
 use crate::state_machine::StateMachine;
 
@@ -164,7 +170,11 @@ pub struct OarClient<S: StateMachine> {
     next_index: usize,
     think_time: SimDuration,
     start_delay: SimDuration,
+    /// The current outstanding-request window. Static unless `adaptive` is
+    /// set, in which case the controller updates it on every reply wire.
     pipeline: usize,
+    /// Present when the window adapts to the servers' delivery-batch hints.
+    adaptive: Option<PipelineController>,
     outstanding: BTreeMap<RequestId, Outstanding<S::Response>>,
     completed: Vec<CompletedRequest<S::Response>>,
     majority: usize,
@@ -190,6 +200,7 @@ impl<S: StateMachine> OarClient<S> {
             think_time,
             start_delay: SimDuration::ZERO,
             pipeline: 1,
+            adaptive: None,
             outstanding: BTreeMap::new(),
             completed: Vec::new(),
             majority,
@@ -206,7 +217,25 @@ impl<S: StateMachine> OarClient<S> {
     /// `1` — the default — is the closed-loop client of Fig. 5.
     pub fn with_pipeline(mut self, depth: usize) -> Self {
         self.pipeline = depth.max(1);
+        self.adaptive = None;
         self
+    }
+
+    /// Adapts the outstanding-request window to the servers' reported
+    /// delivery-batch sizes, up to `cap` outstanding requests. The window
+    /// starts at 1 (no added load under light traffic) and co-adapts with
+    /// the sequencer's batching under pressure.
+    pub fn with_adaptive_pipeline(mut self, cap: usize) -> Self {
+        let controller = PipelineController::new(cap);
+        self.pipeline = controller.window();
+        self.adaptive = Some(controller);
+        self
+    }
+
+    /// Convergence counters of the adaptive pipeline window (`None` for a
+    /// static pipeline).
+    pub fn pipeline_stats(&self) -> Option<PipelineStats> {
+        self.adaptive.as_ref().map(|c| c.stats())
     }
 
     /// Targets the replication group `group` (stamped on every request so
@@ -279,6 +308,11 @@ impl<S: StateMachine> OarClient<S> {
         ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
         batch: ReplyBatch<S::Response>,
     ) {
+        // Adapt the window before unpacking, so the refills triggered by the
+        // adoptions below already see the adjusted pipeline.
+        if let Some(controller) = self.adaptive.as_mut() {
+            self.pipeline = controller.observe_batch(batch.batch_hint);
+        }
         for reply in batch.unpack() {
             self.handle_reply(ctx, reply);
         }

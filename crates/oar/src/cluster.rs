@@ -33,6 +33,10 @@ pub struct ClusterConfig {
     /// client). Depths above 1 let the sequencer's `OrderMsg` batches and the
     /// servers' `ReplyBatch` coalescing amortise per-request traffic.
     pub client_pipeline: usize,
+    /// When `true`, `client_pipeline` is the *cap* of an adaptive window: a
+    /// [`crate::adaptive::PipelineController`] per client grows it with the
+    /// servers' reported delivery-batch sizes and decays it when load drops.
+    pub adaptive_pipeline: bool,
     /// Per-client delay before the first request. Clients beyond the end of
     /// the vector use a small default stagger (10µs × index). Used by the
     /// figure scenarios to issue specific requests while a partition is
@@ -50,6 +54,7 @@ impl Default for ClusterConfig {
             seed: 1,
             think_time: SimDuration::ZERO,
             client_pipeline: 1,
+            adaptive_pipeline: false,
             client_start_delays: Vec::new(),
         }
     }
@@ -92,15 +97,19 @@ impl<S: StateMachine> Cluster<S> {
                 .get(c)
                 .copied()
                 .unwrap_or_else(|| SimDuration::from_micros(10 * c as u64));
-            let client: OarClient<S> = OarClient::new(
+            let mut client: OarClient<S> = OarClient::new(
                 ProcessId(config.num_servers + c),
                 server_ids.clone(),
                 workload_for(c),
                 config.think_time,
             )
             .with_start_delay(start_delay)
-            .with_pipeline(config.client_pipeline)
             .with_group(config.oar.group);
+            client = if config.adaptive_pipeline {
+                client.with_adaptive_pipeline(config.client_pipeline)
+            } else {
+                client.with_pipeline(config.client_pipeline)
+            };
             clients.push(world.add_process(client));
         }
         Cluster {
@@ -237,6 +246,68 @@ impl<S: StateMachine> Cluster<S> {
     /// Total payloads pruned by the epoch-watermark garbage collector.
     pub fn total_payloads_pruned(&self) -> u64 {
         self.sum_stats(|st| st.payloads_pruned)
+    }
+
+    /// The largest `OrderMsg` batch any server emitted as the sequencer.
+    pub fn peak_effective_batch(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .effective_batch
+                    .peak()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The largest batch threshold currently in force at any server (the
+    /// adaptive controller's converged target; servers that never sequenced
+    /// report their starting value).
+    pub fn max_batch_target(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .batch_target
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total adaptive-target raises across all servers (convergence counter).
+    pub fn total_target_raises(&self) -> u64 {
+        self.sum_stats(|st| st.target_raises)
+    }
+
+    /// Total adaptive-target drops across all servers (convergence counter).
+    pub fn total_target_drops(&self) -> u64 {
+        self.sum_stats(|st| st.target_drops)
+    }
+
+    /// Total partial batches flushed by the deadline timer across all
+    /// servers.
+    pub fn total_deadline_flushes(&self) -> u64 {
+        self.sum_stats(|st| st.deadline_flushes)
+    }
+
+    /// The deepest adaptive pipeline window any client ever adopted (0 when
+    /// the clients run a static pipeline).
+    pub fn peak_client_window(&self) -> u64 {
+        self.clients
+            .iter()
+            .filter_map(|&c| {
+                self.world
+                    .process_ref::<OarClient<S>>(c)
+                    .pipeline_stats()
+                    .map(|s| s.window_peak)
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// The largest peak `payloads` size observed at any server.

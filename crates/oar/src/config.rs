@@ -4,7 +4,15 @@ use oar_consensus::ConsensusConfig;
 use oar_fd::FdConfig;
 use oar_simnet::{GroupId, SimDuration};
 
+use crate::adaptive::AdaptiveConfig;
+
 /// Configuration shared by all servers of an OAR group.
+///
+/// Construct one with [`OarConfig::builder`] — the builder is the single
+/// place that validates field combinations (batch sizes, adaptive-mode
+/// conflicts). The historical constructors ([`OarConfig::with_batching`],
+/// [`OarConfig::with_fd_timeout`], [`OarConfig::adaptive`]) are thin wrappers
+/// over it.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct OarConfig {
     /// Identity of the replication group these servers form. Single-group
@@ -28,11 +36,29 @@ pub struct OarConfig {
     /// Sequencer batching knob (Task 1a). The sequencer accumulates unordered
     /// request ids and emits one `OrderMsg` carrying the whole batch as soon
     /// as the backlog reaches `max_batch`; a smaller backlog is flushed by the
-    /// next maintenance tick. `1` (the default) reproduces the paper's
-    /// unbatched behaviour — one ordering broadcast per request — while larger
-    /// values amortise the reliable-multicast cost across the batch, trading
-    /// up to one tick of latency for a large drop in ordering messages.
+    /// flush deadline ([`OarConfig::flush_delay`]) or the next maintenance
+    /// tick. `1` (the default) reproduces the paper's unbatched behaviour —
+    /// one ordering broadcast per request — while larger values amortise the
+    /// reliable-multicast cost across the batch. Ignored when
+    /// [`OarConfig::adaptive`] is set: the controller then owns the
+    /// threshold.
     pub max_batch: usize,
+    /// Explicit flush deadline for partial sequencer batches: a backlog
+    /// smaller than the batch threshold is ordered this long after its first
+    /// unflushed arrival, bounding the worst-case added ordering latency
+    /// independent of [`OarConfig::tick_interval`]. `None` (the default)
+    /// preserves the historical behaviour of flushing on the next maintenance
+    /// tick. Adaptive mode ignores this field and uses
+    /// [`AdaptiveConfig::max_delay`]. Requires [`OarConfig::eager_sequencing`]
+    /// (the builder rejects the combination with tick-only ordering, where
+    /// the deadline would never arm).
+    pub flush_delay: Option<SimDuration>,
+    /// Adaptive batching mode: when set, a
+    /// [`crate::adaptive::BatchController`] drives the sequencer's effective
+    /// batch threshold from the observed arrival rate and backlog instead of
+    /// the static [`OarConfig::max_batch`], and partial batches flush after
+    /// [`AdaptiveConfig::max_delay`].
+    pub adaptive: Option<AdaptiveConfig>,
     /// §5.3 remark: if set, a sequencer that has Opt-delivered this many
     /// requests in the current epoch proactively R-broadcasts `PhaseII` so the
     /// epoch is cut and `O_delivered` garbage-collected.
@@ -48,29 +74,40 @@ impl Default for OarConfig {
             tick_interval: SimDuration::from_millis(1),
             eager_sequencing: true,
             max_batch: 1,
+            flush_delay: None,
+            adaptive: None,
             epoch_cut_after: None,
         }
     }
 }
 
 impl OarConfig {
+    /// Starts the fluent [`OarConfigBuilder`] at the defaults.
+    pub fn builder() -> OarConfigBuilder {
+        OarConfigBuilder::default()
+    }
+
     /// A configuration with the given failure-detector timeout (heartbeats at
     /// one fifth of it), everything else at defaults.
     pub fn with_fd_timeout(timeout: SimDuration) -> Self {
-        OarConfig {
-            fd: FdConfig::with_timeout(timeout),
-            ..OarConfig::default()
-        }
+        OarConfig::builder().fd_timeout(timeout).build()
     }
 
     /// A configuration whose sequencer batches up to `max_batch` requests per
     /// `OrderMsg` (flushed early by the maintenance tick), everything else at
-    /// defaults.
+    /// defaults. `0` is clamped to `1` for backwards compatibility; the
+    /// [`OarConfigBuilder`] proper rejects it.
     pub fn with_batching(max_batch: usize) -> Self {
-        OarConfig {
-            max_batch: max_batch.max(1),
-            ..OarConfig::default()
-        }
+        OarConfig::builder().max_batch(max_batch.max(1)).build()
+    }
+
+    /// A configuration whose sequencer batch size and flush deadline are
+    /// driven by the default [`AdaptiveConfig`] controller instead of a
+    /// static `max_batch`.
+    pub fn adaptive() -> Self {
+        OarConfig::builder()
+            .adaptive(AdaptiveConfig::default())
+            .build()
     }
 
     /// The same configuration for replication group `group` (used by the
@@ -78,6 +115,177 @@ impl OarConfig {
     /// their group identity).
     pub fn for_group(self, group: GroupId) -> Self {
         OarConfig { group, ..self }
+    }
+}
+
+/// Fluent builder for [`OarConfig`], consolidating the historical one-shot
+/// constructors and validating field combinations in one place.
+///
+/// ```
+/// use oar::OarConfig;
+/// use oar_simnet::SimDuration;
+///
+/// let config = OarConfig::builder()
+///     .max_batch(8)
+///     .flush_delay(SimDuration::from_micros(300))
+///     .fd_timeout(SimDuration::from_millis(25))
+///     .build();
+/// assert_eq!(config.max_batch, 8);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OarConfigBuilder {
+    group: Option<GroupId>,
+    fd: Option<FdConfig>,
+    consensus: Option<ConsensusConfig>,
+    tick_interval: Option<SimDuration>,
+    eager_sequencing: Option<bool>,
+    max_batch: Option<usize>,
+    flush_delay: Option<SimDuration>,
+    adaptive: Option<AdaptiveConfig>,
+    epoch_cut_after: Option<u64>,
+}
+
+impl OarConfigBuilder {
+    /// Sets the replication-group identity.
+    pub fn group(mut self, group: GroupId) -> Self {
+        self.group = Some(group);
+        self
+    }
+
+    /// Sets the full failure-detector configuration.
+    pub fn fd(mut self, fd: FdConfig) -> Self {
+        self.fd = Some(fd);
+        self
+    }
+
+    /// Sets the failure-detector timeout (heartbeats at one fifth of it).
+    pub fn fd_timeout(mut self, timeout: SimDuration) -> Self {
+        self.fd = Some(FdConfig::with_timeout(timeout));
+        self
+    }
+
+    /// Sets the `Cnsv-order` consensus parameters.
+    pub fn consensus(mut self, consensus: ConsensusConfig) -> Self {
+        self.consensus = Some(consensus);
+        self
+    }
+
+    /// Sets the maintenance-tick period.
+    pub fn tick_interval(mut self, tick: SimDuration) -> Self {
+        self.tick_interval = Some(tick);
+        self
+    }
+
+    /// Enables or disables eager sequencing.
+    pub fn eager_sequencing(mut self, eager: bool) -> Self {
+        self.eager_sequencing = Some(eager);
+        self
+    }
+
+    /// Sets the static sequencer batch threshold. Conflicts with
+    /// [`OarConfigBuilder::adaptive`]; zero is rejected at build time.
+    pub fn max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = Some(max_batch);
+        self
+    }
+
+    /// Sets the flush deadline for partial static batches.
+    pub fn flush_delay(mut self, delay: SimDuration) -> Self {
+        self.flush_delay = Some(delay);
+        self
+    }
+
+    /// Enables adaptive batching under the given controller configuration.
+    /// Conflicts with an explicit [`OarConfigBuilder::max_batch`].
+    pub fn adaptive(mut self, adaptive: AdaptiveConfig) -> Self {
+        self.adaptive = Some(adaptive);
+        self
+    }
+
+    /// Sets the §5.3 proactive epoch-cut threshold.
+    pub fn epoch_cut_after(mut self, cut: u64) -> Self {
+        self.epoch_cut_after = Some(cut);
+        self
+    }
+
+    /// Validates the combination and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * `max_batch == 0` — a batch threshold of zero can never flush;
+    /// * `adaptive` combined with an explicit `max_batch` — the controller
+    ///   owns the threshold, a static value would be silently ignored;
+    /// * `adaptive` with a zero batch cap or zero flush deadline;
+    /// * `eager_sequencing(false)` combined with `flush_delay` or
+    ///   `adaptive` — both flush paths hang off eager sequencing, so in
+    ///   tick-only mode they would be silently ignored;
+    /// * a zero `tick_interval` — the maintenance timer would spin.
+    pub fn try_build(self) -> Result<OarConfig, String> {
+        if let Some(0) = self.max_batch {
+            return Err("max_batch must be at least 1 (0 can never flush)".into());
+        }
+        if let Some(adaptive) = self.adaptive {
+            if self.max_batch.is_some() {
+                return Err("adaptive batching conflicts with an explicit max_batch: \
+                     the controller owns the batch threshold"
+                    .into());
+            }
+            if adaptive.max_batch_cap == 0 {
+                return Err("adaptive max_batch_cap must be at least 1".into());
+            }
+            if adaptive.max_delay.is_zero() {
+                return Err("adaptive max_delay must be non-zero".into());
+            }
+        }
+        if self.eager_sequencing == Some(false) {
+            // The tick-only ablation orders exclusively on the maintenance
+            // timer; a flush deadline or an adaptive controller would never
+            // arm, and accepting them would break their latency promises
+            // silently.
+            if self.flush_delay.is_some() {
+                return Err("flush_delay requires eager sequencing: in tick-only mode \
+                     partial batches flush on the tick, never on a deadline"
+                    .into());
+            }
+            if self.adaptive.is_some() {
+                return Err(
+                    "adaptive batching requires eager sequencing: the controller \
+                     drives the eager flush threshold"
+                        .into(),
+                );
+            }
+        }
+        if let Some(tick) = self.tick_interval {
+            if tick.is_zero() {
+                return Err("tick_interval must be non-zero".into());
+            }
+        }
+        let defaults = OarConfig::default();
+        Ok(OarConfig {
+            group: self.group.unwrap_or(defaults.group),
+            fd: self.fd.unwrap_or(defaults.fd),
+            consensus: self.consensus.unwrap_or(defaults.consensus),
+            tick_interval: self.tick_interval.unwrap_or(defaults.tick_interval),
+            eager_sequencing: self.eager_sequencing.unwrap_or(defaults.eager_sequencing),
+            max_batch: self.max_batch.unwrap_or(defaults.max_batch),
+            flush_delay: self.flush_delay,
+            adaptive: self.adaptive,
+            epoch_cut_after: self.epoch_cut_after,
+        })
+    }
+
+    /// Like [`OarConfigBuilder::try_build`], panicking on an invalid
+    /// combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the validation message on any combination
+    /// [`OarConfigBuilder::try_build`] rejects.
+    pub fn build(self) -> OarConfig {
+        match self.try_build() {
+            Ok(config) => config,
+            Err(e) => panic!("invalid OarConfig: {e}"),
+        }
     }
 }
 
@@ -98,6 +306,8 @@ mod tests {
         assert_eq!(cfg.group, GroupId(0));
         assert!(cfg.eager_sequencing);
         assert_eq!(cfg.max_batch, 1);
+        assert_eq!(cfg.flush_delay, None);
+        assert_eq!(cfg.adaptive, None);
         assert_eq!(cfg.epoch_cut_after, None);
         assert!(cfg.consensus.require_majority_estimates);
     }
@@ -113,5 +323,118 @@ mod tests {
         let cfg = OarConfig::with_fd_timeout(SimDuration::from_millis(40));
         assert_eq!(cfg.fd.timeout, SimDuration::from_millis(40));
         assert_eq!(cfg.fd.heartbeat_interval, SimDuration::from_millis(8));
+    }
+
+    #[test]
+    fn builder_composes_fields() {
+        let cfg = OarConfig::builder()
+            .group(GroupId(2))
+            .max_batch(16)
+            .flush_delay(SimDuration::from_micros(250))
+            .tick_interval(SimDuration::from_millis(2))
+            .epoch_cut_after(100)
+            .build();
+        assert_eq!(cfg.group, GroupId(2));
+        assert_eq!(cfg.max_batch, 16);
+        assert_eq!(cfg.flush_delay, Some(SimDuration::from_micros(250)));
+        assert_eq!(cfg.tick_interval, SimDuration::from_millis(2));
+        assert!(cfg.eager_sequencing);
+        assert_eq!(cfg.epoch_cut_after, Some(100));
+        let tick_only = OarConfig::builder().eager_sequencing(false).build();
+        assert!(!tick_only.eager_sequencing);
+    }
+
+    #[test]
+    fn builder_rejects_zero_max_batch() {
+        let err = OarConfig::builder().max_batch(0).try_build().unwrap_err();
+        assert!(err.contains("max_batch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn builder_rejects_adaptive_with_explicit_batch() {
+        let err = OarConfig::builder()
+            .max_batch(8)
+            .adaptive(AdaptiveConfig::default())
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("adaptive"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_adaptive_configs() {
+        let zero_cap = AdaptiveConfig {
+            max_batch_cap: 0,
+            ..AdaptiveConfig::default()
+        };
+        assert!(OarConfig::builder().adaptive(zero_cap).try_build().is_err());
+        let zero_delay = AdaptiveConfig {
+            max_delay: SimDuration::ZERO,
+            ..AdaptiveConfig::default()
+        };
+        assert!(OarConfig::builder()
+            .adaptive(zero_delay)
+            .try_build()
+            .is_err());
+        assert!(OarConfig::builder()
+            .tick_interval(SimDuration::ZERO)
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_rejects_flush_paths_in_tick_only_mode() {
+        // Both flush paths hang off eager sequencing; in the tick-only
+        // ablation they would be silently ignored, so the builder refuses.
+        let err = OarConfig::builder()
+            .eager_sequencing(false)
+            .flush_delay(SimDuration::from_micros(300))
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("eager"), "unexpected error: {err}");
+        let err = OarConfig::builder()
+            .eager_sequencing(false)
+            .adaptive(AdaptiveConfig::default())
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("eager"), "unexpected error: {err}");
+        // Tick-only mode by itself (the throughput ablation) stays legal.
+        assert!(OarConfig::builder()
+            .eager_sequencing(false)
+            .max_batch(8)
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid OarConfig")]
+    fn build_panics_on_conflict() {
+        let _ = OarConfig::builder()
+            .adaptive(AdaptiveConfig::default())
+            .max_batch(4)
+            .build();
+    }
+
+    #[test]
+    fn adaptive_mode_keeps_unbatched_static_fields() {
+        let cfg = OarConfig::adaptive();
+        assert!(cfg.adaptive.is_some());
+        assert_eq!(cfg.max_batch, 1);
+        let a = cfg.adaptive.unwrap();
+        assert_eq!(a.max_batch_cap, 64);
+        assert!(!a.max_delay.is_zero());
+    }
+
+    #[test]
+    fn legacy_constructors_agree_with_the_builder() {
+        assert_eq!(
+            OarConfig::with_batching(8),
+            OarConfig::builder().max_batch(8).build()
+        );
+        assert_eq!(
+            OarConfig::with_fd_timeout(SimDuration::from_millis(40)),
+            OarConfig::builder()
+                .fd_timeout(SimDuration::from_millis(40))
+                .build()
+        );
     }
 }

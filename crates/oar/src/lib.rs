@@ -35,8 +35,12 @@
 //! * [`txn`] — client-side multi-key transactions over the sharded
 //!   deployment: single-group fast path (zero extra wires), per-group
 //!   `TxnPrepare` commit for multi-group key sets;
+//! * [`adaptive`] — load-driven controllers for the sequencer's batch
+//!   threshold and the clients' pipeline windows, converging to the paper's
+//!   unbatched behaviour under light load and amortised batches under
+//!   pressure;
 //! * [`config`] — protocol tuning knobs (failure-detector timeout, batching,
-//!   epoch cutting, group identity).
+//!   epoch cutting, group identity) behind one validated fluent builder.
 //!
 //! ## Quick start
 //!
@@ -60,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod client;
 pub mod cluster;
 pub mod cnsv_order;
@@ -71,10 +76,11 @@ pub mod sharded;
 pub mod state_machine;
 pub mod txn;
 
+pub use adaptive::{AdaptiveConfig, BatchController, PipelineController, PipelineStats};
 pub use client::{CompletedRequest, OarClient, QuorumTracker};
 pub use cluster::{Cluster, ClusterConfig};
 pub use cnsv_order::{cnsv_order_outcome, CnsvOutcome};
-pub use config::OarConfig;
+pub use config::{OarConfig, OarConfigBuilder};
 pub use message::{
     majority, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request, RequestId,
     TxnEnvelope, TxnId, Weight,

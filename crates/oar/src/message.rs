@@ -130,6 +130,14 @@ pub struct ReplyBatch<R> {
     pub from: ProcessId,
     /// Whether the batch came from optimistic or conservative deliveries.
     pub kind: DeliveryKind,
+    /// Total number of requests (across *all* clients) the delivery batch
+    /// that produced this wire carried. Clients feed it to their
+    /// [`crate::adaptive::PipelineController`]: the group-wide batch size is
+    /// the co-adaptation signal that lets a client grow its pipeline window
+    /// while the servers are batching — its *own* item count cannot serve,
+    /// since a closed-loop client only ever sees one of its requests per
+    /// batch.
+    pub batch_hint: u64,
     /// The per-request replies, in delivery order.
     pub items: Vec<ReplyItem<R>>,
 }

@@ -30,13 +30,25 @@
 //! # Sequencer batching
 //!
 //! Task 1a accumulates unordered requests and emits a single `OrderMsg`
-//! carrying the whole batch once the backlog reaches
-//! [`OarConfig::max_batch`] (the maintenance tick flushes smaller leftovers).
+//! carrying the whole batch once the backlog reaches the batch threshold.
 //! With `max_batch = 1` — the default — every request is ordered immediately,
 //! exactly like the paper's Fig. 6; larger values amortise the ordering
 //! broadcast over many requests, which is what makes the ordering layer keep
 //! up at high client counts (`ServerStats::order_messages_sent` drops well
 //! below the request count).
+//!
+//! The threshold is either static ([`OarConfig::max_batch`]) or — with
+//! [`OarConfig::adaptive`] set — owned by a
+//! [`BatchController`] that aims it at the
+//! observed arrival rate, converging to 1 under light load (no added
+//! latency) and growing under pressure. A partial batch never waits for the
+//! maintenance tick: a dedicated **flush deadline** timer
+//! ([`OarConfig::flush_delay`], or the adaptive controller's `max_delay`)
+//! orders it a bounded time after its first unflushed arrival, independent
+//! of the tick cadence. `ServerStats::effective_batch` /
+//! `ServerStats::batch_sizes` record the batches actually emitted;
+//! `batch_target`, `target_raises` and `target_drops` expose the
+//! controller's convergence.
 //!
 //! # Batch-aware replies
 //!
@@ -71,8 +83,11 @@ use oar_channels::{Delivery, ReliableCaster};
 use oar_consensus::{ConsensusSend, ConsensusWire, Decision, MajConsensus};
 use oar_fd::{FdEvent, HeartbeatFd};
 use oar_sequence::Seq;
-use oar_simnet::{Context, PeakGauge, Process, ProcessId, Timer};
+use oar_simnet::{
+    BucketHistogram, Context, PeakGauge, Process, ProcessId, SimDuration, SimTime, Timer,
+};
 
+use crate::adaptive::BatchController;
 use crate::cnsv_order::cnsv_order_outcome;
 use crate::config::OarConfig;
 use crate::message::{
@@ -88,6 +103,9 @@ type PendingReplies<R> = BTreeMap<ProcessId, Vec<ReplyItem<R>>>;
 
 /// Timer tag of the periodic maintenance tick.
 const TICK: u64 = 1;
+
+/// Timer tag of the one-shot partial-batch flush deadline.
+const FLUSH: u64 = 2;
 
 /// Which phase of the current epoch the server is in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -172,6 +190,25 @@ pub struct ServerStats {
     /// suppression (`seen`) sets, bounded by the same epoch-watermark rule
     /// as `payloads`.
     pub seen: PeakGauge,
+    /// Size of the last (current) and largest `OrderMsg` batch this server
+    /// emitted as the sequencer.
+    pub effective_batch: PeakGauge,
+    /// Distribution of the `OrderMsg` batch sizes emitted as the sequencer
+    /// (power-of-two buckets).
+    pub batch_sizes: BucketHistogram,
+    /// The batch threshold currently in force: the static
+    /// `OarConfig::max_batch`, or the adaptive controller's converged
+    /// target.
+    pub batch_target: u64,
+    /// Times the adaptive controller raised its target (0 for static
+    /// configurations) — the convergence counter of the `adaptive` gate.
+    pub target_raises: u64,
+    /// Times the adaptive controller lowered its target (idle decay
+    /// included).
+    pub target_drops: u64,
+    /// Partial batches ordered by the flush-deadline timer (as opposed to
+    /// reaching the batch threshold or the maintenance tick).
+    pub deadline_flushes: u64,
 }
 
 /// The OAR server process, generic over the replicated [`StateMachine`].
@@ -210,6 +247,15 @@ pub struct OarServer<S: StateMachine> {
     order_cursor: usize,
     /// True once Task 1c fired (or a PhaseII was delivered) for this epoch.
     phase2_started: bool,
+    /// Adaptive batch controller (sequencer side), present when
+    /// `config.adaptive` is set.
+    adaptive: Option<BatchController>,
+    /// When the current partial batch must be flushed (`None`: no partial
+    /// batch is on the clock). Tracked separately from the timer because
+    /// timers cannot be cancelled — see `schedule_flush_deadline`.
+    flush_deadline: Option<SimTime>,
+    /// Whether a FLUSH timer is in flight (at most one at any time).
+    flush_timer_pending: bool,
 
     // --- components ---
     request_cast: ReliableCaster<Request<S::Command>>,
@@ -259,6 +305,13 @@ impl<S: StateMachine> OarServer<S> {
     /// Panics if `id` is not a member of `group`.
     pub fn new(id: ProcessId, group: Vec<ProcessId>, config: OarConfig, sm: S) -> Self {
         assert!(group.contains(&id), "server must belong to its group");
+        let stats = ServerStats {
+            batch_target: match config.adaptive {
+                Some(_) => 1, // the controller starts unbatched
+                None => config.max_batch.max(1) as u64,
+            },
+            ..ServerStats::default()
+        };
         OarServer {
             id,
             request_cast: ReliableCaster::new(id, group.clone()),
@@ -280,6 +333,9 @@ impl<S: StateMachine> OarServer<S> {
             order_queued: HashSet::new(),
             order_cursor: 0,
             phase2_started: false,
+            adaptive: config.adaptive.map(BatchController::new),
+            flush_deadline: None,
+            flush_timer_pending: false,
             future_orders: BTreeMap::new(),
             future_phase2: BTreeSet::new(),
             buffered_consensus: BTreeMap::new(),
@@ -291,7 +347,7 @@ impl<S: StateMachine> OarServer<S> {
             phase2_msg_ids: BTreeMap::new(),
             sm,
             log: Vec::new(),
-            stats: ServerStats::default(),
+            stats,
         }
     }
 
@@ -466,18 +522,89 @@ impl<S: StateMachine> OarServer<S> {
         self.stats.payloads.record(self.payloads.len() as u64);
         self.record_seen();
         self.r_delivered.push(id);
+        // Feed the adaptive controller on every server (not just the current
+        // sequencer): O(1), and it keeps a fail-over successor's rate
+        // estimate warm.
+        if let Some(controller) = self.adaptive.as_mut() {
+            controller.record_arrival(ctx.now());
+        }
         // New payloads may unblock a buffered sequencer order or a pending
         // consensus decision (the missing set makes the latter O(1)).
         self.drain_order_queue(ctx);
         if self.pending_missing.remove(&id) {
             self.try_apply_pending_decision(ctx);
         }
-        // Task 1a: with eager sequencing, the sequencer flushes as soon as the
-        // accumulated backlog fills a batch; smaller backlogs wait for the
-        // maintenance tick (with `max_batch == 1` this orders every request
-        // immediately, the paper's unbatched behaviour).
-        if self.config.eager_sequencing && self.order_backlog() >= self.config.max_batch.max(1) {
-            self.maybe_order(ctx);
+        // Task 1a: with eager sequencing, the sequencer flushes as soon as
+        // the accumulated backlog fills a batch — the static `max_batch`, or
+        // the adaptive controller's load-driven target (with a threshold of
+        // 1 this orders every request immediately, the paper's unbatched
+        // behaviour). A smaller backlog is put on the flush-deadline clock
+        // so its added latency is bounded independent of the tick cadence.
+        if self.config.eager_sequencing {
+            let backlog = self.order_backlog();
+            if backlog >= self.order_threshold(backlog) {
+                self.maybe_order(ctx);
+            } else {
+                self.schedule_flush_deadline(ctx);
+            }
+        }
+    }
+
+    /// The batch threshold currently in force: the adaptive controller's
+    /// advised batch when configured, the static `max_batch` otherwise.
+    fn order_threshold(&self, backlog: usize) -> usize {
+        match &self.adaptive {
+            Some(controller) => controller.target_batch(backlog),
+            None => self.config.max_batch.max(1),
+        }
+    }
+
+    /// The deadline after which a partial batch is ordered regardless of the
+    /// threshold. `None` means the historical behaviour: wait for the
+    /// maintenance tick.
+    fn flush_delay(&self) -> Option<SimDuration> {
+        match &self.adaptive {
+            Some(controller) => Some(controller.config().max_delay),
+            None => self.config.flush_delay,
+        }
+    }
+
+    /// Arms the flush deadline for the current partial batch, if a deadline
+    /// is configured and the batch does not have one yet.
+    ///
+    /// Timers cannot be cancelled, so the deadline *instant* is tracked
+    /// separately (`flush_deadline`): a timer that fires after its batch
+    /// already flushed finds either no deadline (ignored) or a newer, later
+    /// one — in which case it re-arms for the remainder, so a fresh partial
+    /// batch always gets its full window and `deadline_flushes` counts only
+    /// genuine deadline expiries.
+    fn schedule_flush_deadline(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        if self.flush_deadline.is_some()
+            || self.phase != Phase::Optimistic
+            || !self.is_sequencer()
+            || self.order_backlog() == 0
+        {
+            return;
+        }
+        if let Some(delay) = self.flush_delay() {
+            self.flush_deadline = Some(ctx.now() + delay);
+            // At most one timer in flight: an earlier-armed timer (same
+            // delay, armed earlier) necessarily fires before this deadline
+            // and re-arms itself for the remainder.
+            if !self.flush_timer_pending {
+                ctx.set_timer(delay, FLUSH);
+                self.flush_timer_pending = true;
+            }
+        }
+    }
+
+    /// Mirrors the adaptive controller's convergence state into the stats
+    /// counters after any controller update.
+    fn sync_adaptive_stats(&mut self) {
+        if let Some(controller) = &self.adaptive {
+            self.stats.batch_target = controller.target() as u64;
+            self.stats.target_raises = controller.raises();
+            self.stats.target_drops = controller.drops();
         }
     }
 
@@ -501,10 +628,20 @@ impl<S: StateMachine> OarServer<S> {
             }
         }
         self.order_cursor = self.r_delivered.len();
+        // The whole backlog is examined now: whatever deadline the partial
+        // batch had is served (a stale timer finds no deadline and ignores
+        // itself).
+        self.flush_deadline = None;
         if batch.is_empty() {
             return;
         }
         self.stats.order_messages_sent += 1;
+        self.stats.effective_batch.record(batch.len() as u64);
+        self.stats.batch_sizes.record(batch.len() as u64);
+        if let Some(controller) = self.adaptive.as_mut() {
+            controller.note_flush();
+        }
+        self.sync_adaptive_stats();
         let msg = OrderMsg {
             epoch: self.epoch,
             order: batch.clone(),
@@ -620,6 +757,10 @@ impl<S: StateMachine> OarServer<S> {
             }
             DeliveryKind::Conservative => self.group.iter().copied().collect(),
         };
+        // The group-wide size of this delivery batch, reported to every
+        // client as the pipeline co-adaptation signal (a client's own item
+        // count would under-report whenever other clients share the batch).
+        let batch_hint: u64 = pending.values().map(|items| items.len() as u64).sum();
         for (client, items) in pending {
             self.stats.reply_messages_sent += 1;
             self.stats.replies_sent += items.len() as u64;
@@ -628,6 +769,7 @@ impl<S: StateMachine> OarServer<S> {
                 weight: weight.clone(),
                 from: self.id,
                 kind,
+                batch_hint,
                 items,
             };
             ctx.send(client, OarWire::Replies(batch));
@@ -1134,6 +1276,34 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
+        if timer.tag == FLUSH {
+            self.flush_timer_pending = false;
+            match self.flush_deadline {
+                // The batch this timer was armed for already flushed (and no
+                // newer partial batch started): nothing to do.
+                None => {}
+                // A newer partial batch owns the deadline now: give it its
+                // full window by re-arming for the remainder.
+                Some(deadline) if ctx.now() < deadline => {
+                    ctx.set_timer(deadline.duration_since(ctx.now()), FLUSH);
+                    self.flush_timer_pending = true;
+                }
+                // Flush deadline expired: order whatever accumulated,
+                // however small — this bounds the added ordering latency of
+                // batching independent of the tick cadence.
+                Some(_) => {
+                    self.flush_deadline = None;
+                    if self.phase == Phase::Optimistic
+                        && self.is_sequencer()
+                        && self.order_backlog() > 0
+                    {
+                        self.stats.deadline_flushes += 1;
+                        self.maybe_order(ctx);
+                    }
+                }
+            }
+            return;
+        }
         if timer.tag != TICK {
             return;
         }
@@ -1151,8 +1321,16 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
             );
         }
         self.handle_fd_events(ctx, events);
+        // A load drop leaves the adaptive target with no flushes to decay
+        // through: the tick walks it back towards 1 while the sequencer
+        // idles.
+        if let Some(controller) = self.adaptive.as_mut() {
+            controller.maybe_decay(ctx.now());
+        }
+        self.sync_adaptive_stats();
         // Task 1a on a timer: the only ordering trigger when eager sequencing
-        // is disabled, and the flush of partially filled batches when it is.
+        // is disabled, and the safety-net flush of partially filled batches
+        // when it is (the flush-deadline timer usually fires first).
         // (A decision waiting on payloads no longer needs a tick-driven
         // re-check: every payload arrival re-examines it via the missing
         // set — see `set_pending_decision`.)

@@ -35,6 +35,7 @@ use oar_simnet::{
     Timer, World,
 };
 
+use crate::adaptive::{PipelineController, PipelineStats};
 use crate::client::{CompletedRequest, QuorumTracker};
 use crate::config::OarConfig;
 use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId};
@@ -67,8 +68,17 @@ pub struct ShardedConfig {
     pub seed: u64,
     /// Client think time between requests.
     pub think_time: SimDuration,
-    /// Maximum outstanding requests per client, across all groups.
+    /// Static pipelines: the maximum outstanding requests per client,
+    /// across all groups. With `adaptive_pipeline` set it is instead the cap
+    /// of each **per-group** window, so a client may hold up to
+    /// `num_groups × client_pipeline` requests once every group's window has
+    /// opened fully.
     pub client_pipeline: usize,
+    /// When `true`, each client keeps one
+    /// [`PipelineController`] per group
+    /// and adapts that group's window to its reported delivery-batch sizes —
+    /// groups under different load converge to different windows.
+    pub adaptive_pipeline: bool,
 }
 
 impl Default for ShardedConfig {
@@ -83,6 +93,7 @@ impl Default for ShardedConfig {
             seed: 1,
             think_time: SimDuration::ZERO,
             client_pipeline: 1,
+            adaptive_pipeline: false,
         }
     }
 }
@@ -93,6 +104,36 @@ struct Outstanding<R> {
     index: usize,
     sent_at: SimTime,
     quorum: QuorumTracker<R>,
+}
+
+/// Per-group adaptive pipeline state of a [`ShardedClient`]: one window
+/// controller and in-flight count per group, so each group's window tracks
+/// *its* sequencer's batching independently (skewed per-group load converges
+/// to skewed windows).
+#[derive(Debug)]
+struct GroupPipelines {
+    controllers: Vec<PipelineController>,
+    in_flight: Vec<usize>,
+    /// Which group each server belongs to, for attributing reply wires.
+    server_group: HashMap<ProcessId, usize>,
+}
+
+impl GroupPipelines {
+    fn new(groups: &[Vec<ProcessId>], cap: usize) -> Self {
+        let server_group = groups
+            .iter()
+            .enumerate()
+            .flat_map(|(g, servers)| servers.iter().map(move |&s| (s, g)))
+            .collect();
+        GroupPipelines {
+            controllers: groups
+                .iter()
+                .map(|_| PipelineController::new(cap))
+                .collect(),
+            in_flight: vec![0; groups.len()],
+            server_group,
+        }
+    }
 }
 
 /// A request completed by a sharded client: the group that served it plus
@@ -125,6 +166,8 @@ pub struct ShardedClient<S: StateMachine> {
     think_time: SimDuration,
     start_delay: SimDuration,
     pipeline: usize,
+    /// Present when each group's window adapts to its delivery-batch hints.
+    adaptive: Option<GroupPipelines>,
     outstanding: BTreeMap<RequestId, Outstanding<S::Response>>,
     completed: Vec<ShardCompleted<S::Response>>,
 }
@@ -161,6 +204,7 @@ where
             think_time,
             start_delay: SimDuration::ZERO,
             pipeline: 1,
+            adaptive: None,
             outstanding: BTreeMap::new(),
             completed: Vec::new(),
         }
@@ -176,7 +220,25 @@ where
     /// to at least 1).
     pub fn with_pipeline(mut self, depth: usize) -> Self {
         self.pipeline = depth.max(1);
+        self.adaptive = None;
         self
+    }
+
+    /// Keeps one adaptive window per group, each capped at `cap` and driven
+    /// by that group's reported delivery-batch sizes, so a heavily loaded
+    /// group pipelines deeply while a light one stays closed-loop.
+    pub fn with_adaptive_pipeline(mut self, cap: usize) -> Self {
+        self.adaptive = Some(GroupPipelines::new(&self.groups, cap));
+        self
+    }
+
+    /// Convergence counters of group `g`'s adaptive window (`None` for a
+    /// static pipeline).
+    pub fn group_pipeline_stats(&self, g: usize) -> Option<PipelineStats> {
+        self.adaptive
+            .as_ref()
+            .and_then(|a| a.controllers.get(g))
+            .map(|c| c.stats())
     }
 
     /// The client's process identifier.
@@ -198,12 +260,35 @@ where
     /// exhausted. Each request is R-multicast to the servers of its owning
     /// group only (the client is not a member, so the group's internal relay
     /// provides Agreement).
+    ///
+    /// With a static pipeline the window is global; with adaptive pipelining
+    /// the head-of-line command must fit its *owning group's* window —
+    /// commands stay FIFO, so a light group's shallow window can briefly
+    /// hold back traffic for a deep one, which keeps per-key submission
+    /// order trivially intact.
     fn fill_pipeline(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
-        while self.outstanding.len() < self.pipeline {
-            let Some(command) = self.workload.pop_front() else {
+        loop {
+            let Some(command) = self.workload.front() else {
                 return;
             };
-            let group = self.router.route(&command);
+            let group = self.router.route(command);
+            match &self.adaptive {
+                None => {
+                    if self.outstanding.len() >= self.pipeline {
+                        return;
+                    }
+                }
+                Some(a) => {
+                    let g = group.index();
+                    if a.in_flight[g] >= a.controllers[g].window() {
+                        return;
+                    }
+                }
+            }
+            let command = self.workload.pop_front().expect("peeked above");
+            if let Some(a) = self.adaptive.as_mut() {
+                a.in_flight[group.index()] += 1;
+            }
             let id = RequestId::new(self.id, self.next_seq);
             self.next_seq += 1;
             let wire = CastWire {
@@ -237,6 +322,13 @@ where
         ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
         batch: ReplyBatch<S::Response>,
     ) {
+        // Adapt the sending group's window before unpacking, so the refills
+        // triggered by the adoptions below see the adjusted pipeline.
+        if let Some(a) = self.adaptive.as_mut() {
+            if let Some(&g) = a.server_group.get(&batch.from) {
+                a.controllers[g].observe_batch(batch.batch_hint);
+            }
+        }
         for reply in batch.unpack() {
             self.handle_reply(ctx, reply);
         }
@@ -258,6 +350,9 @@ where
             return;
         };
         let outstanding = self.outstanding.remove(&request).expect("outstanding");
+        if let Some(a) = self.adaptive.as_mut() {
+            a.in_flight[outstanding.group.index()] -= 1;
+        }
         ctx.annotate(format!(
             "adopt({}, {}, pos={}, |W|={})",
             request,
@@ -315,7 +410,9 @@ where
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
-        if timer.tag == NEXT_REQUEST && self.outstanding.len() < self.pipeline {
+        if timer.tag == NEXT_REQUEST
+            && (self.adaptive.is_some() || self.outstanding.len() < self.pipeline)
+        {
             self.fill_pipeline(ctx);
         }
     }
@@ -367,15 +464,19 @@ where
         let first_client = config.num_groups * config.servers_per_group;
         let mut clients = Vec::with_capacity(config.num_clients);
         for c in 0..config.num_clients {
-            let client: ShardedClient<S> = ShardedClient::new(
+            let mut client: ShardedClient<S> = ShardedClient::new(
                 ProcessId(first_client + c),
                 groups.clone(),
                 config.router.clone(),
                 workload_for(c),
                 config.think_time,
             )
-            .with_start_delay(SimDuration::from_micros(10 * c as u64))
-            .with_pipeline(config.client_pipeline);
+            .with_start_delay(SimDuration::from_micros(10 * c as u64));
+            client = if config.adaptive_pipeline {
+                client.with_adaptive_pipeline(config.client_pipeline)
+            } else {
+                client.with_pipeline(config.client_pipeline)
+            };
             clients.push(world.add_process(client));
         }
         ShardedCluster {
@@ -465,6 +566,17 @@ where
         (0..self.groups.len())
             .map(|g| self.sum_group_stats(g, f))
             .sum()
+    }
+
+    /// The maximum of `f` over the server stats of group `g` (used for
+    /// per-group gauges like the converged batch target, where only the
+    /// group's sequencer carries the signal).
+    pub fn max_group_stat(&self, g: usize, f: impl Fn(&ServerStats) -> u64) -> u64 {
+        self.groups[g]
+            .iter()
+            .map(|&s| f(&self.world.process_ref::<OarServer<S>>(s).stats()))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total requests stamped for one group that arrived at another — the

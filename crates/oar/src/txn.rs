@@ -58,6 +58,7 @@ use oar_simnet::{
     Context, GroupId, Process, ProcessId, Samples, SimDuration, SimTime, Timer, World,
 };
 
+use crate::adaptive::{PipelineController, PipelineStats};
 use crate::client::QuorumTracker;
 use crate::message::{
     majority, OarWire, Reply, ReplyBatch, Request, RequestId, TxnEnvelope, TxnId,
@@ -182,6 +183,9 @@ pub struct TxnClient<S: StateMachine> {
     think_time: SimDuration,
     start_delay: SimDuration,
     pipeline: usize,
+    /// Present when the transaction window adapts to the delivery-batch
+    /// hints the participating groups report.
+    adaptive: Option<PipelineController>,
     outstanding: BTreeMap<TxnId, OutstandingTxn<S::Response>>,
     /// Owning transaction of every in-flight prepare request.
     request_txn: HashMap<RequestId, TxnId>,
@@ -223,6 +227,7 @@ where
             think_time,
             start_delay: SimDuration::ZERO,
             pipeline: 1,
+            adaptive: None,
             outstanding: BTreeMap::new(),
             request_txn: HashMap::new(),
             completed: Vec::new(),
@@ -238,7 +243,24 @@ where
     /// Allows up to `depth` outstanding transactions (clamped to at least 1).
     pub fn with_pipeline(mut self, depth: usize) -> Self {
         self.pipeline = depth.max(1);
+        self.adaptive = None;
         self
+    }
+
+    /// Adapts the outstanding-transaction window (up to `cap`) to the
+    /// delivery-batch sizes the participating groups report on their reply
+    /// wires, like the other client flavours.
+    pub fn with_adaptive_pipeline(mut self, cap: usize) -> Self {
+        let controller = PipelineController::new(cap);
+        self.pipeline = controller.window();
+        self.adaptive = Some(controller);
+        self
+    }
+
+    /// Convergence counters of the adaptive transaction window (`None` for a
+    /// static pipeline).
+    pub fn pipeline_stats(&self) -> Option<PipelineStats> {
+        self.adaptive.as_ref().map(|c| c.stats())
     }
 
     /// The client's process identifier.
@@ -333,6 +355,11 @@ where
         ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
         batch: ReplyBatch<S::Response>,
     ) {
+        // Adapt the window before unpacking, so the refills triggered by the
+        // commits below see the adjusted pipeline.
+        if let Some(controller) = self.adaptive.as_mut() {
+            self.pipeline = controller.observe_batch(batch.batch_hint);
+        }
         for reply in batch.unpack() {
             self.handle_reply(ctx, reply);
         }
@@ -479,15 +506,19 @@ where
         let first_client = config.num_groups * config.servers_per_group;
         let mut clients = Vec::with_capacity(config.num_clients);
         for c in 0..config.num_clients {
-            let client: TxnClient<S> = TxnClient::new(
+            let mut client: TxnClient<S> = TxnClient::new(
                 ProcessId(first_client + c),
                 groups.clone(),
                 config.router.clone(),
                 workload_for(c),
                 config.think_time,
             )
-            .with_start_delay(SimDuration::from_micros(10 * c as u64))
-            .with_pipeline(config.client_pipeline);
+            .with_start_delay(SimDuration::from_micros(10 * c as u64));
+            client = if config.adaptive_pipeline {
+                client.with_adaptive_pipeline(config.client_pipeline)
+            } else {
+                client.with_pipeline(config.client_pipeline)
+            };
             clients.push(world.add_process(client));
         }
         TxnCluster {
@@ -795,6 +826,7 @@ mod tests {
             seed,
             think_time: SimDuration::ZERO,
             client_pipeline: 1,
+            adaptive_pipeline: false,
         }
     }
 

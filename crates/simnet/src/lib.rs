@@ -54,7 +54,7 @@ pub mod world;
 
 pub use config::{LatencyModel, LinkConfig, NetConfig, PartitionMode};
 pub use context::{Action, Context};
-pub use metrics::{PeakGauge, Samples, Summary};
+pub use metrics::{BucketHistogram, PeakGauge, Samples, Summary};
 pub use network::{Network, Routing};
 pub use process::{AsAny, GroupId, Process, ProcessId, Timer, TimerId};
 pub use rng::SimRng;

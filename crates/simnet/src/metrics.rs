@@ -158,6 +158,58 @@ impl PeakGauge {
     }
 }
 
+/// A power-of-two bucketed histogram of an integer quantity (batch sizes,
+/// queue depths…).
+///
+/// Like [`PeakGauge`] it is `Copy`, so it can live inside by-value stats
+/// structs. Bucket `i` counts samples in `[2^i, 2^(i+1))` — bucket 0 holds
+/// size-1 samples, bucket 1 sizes 2–3, and so on; the last bucket absorbs
+/// everything larger. The total and sum are kept alongside so the mean is
+/// available without reconstructing it from the buckets.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BucketHistogram {
+    counts: [u64; BucketHistogram::BUCKETS],
+    total: u64,
+    sum: u64,
+}
+
+impl BucketHistogram {
+    /// Number of power-of-two buckets (the last one is open-ended).
+    pub const BUCKETS: usize = 12;
+
+    /// Records one sample. Zero-valued samples land in bucket 0.
+    pub fn record(&mut self, value: u64) {
+        let idx = (63 - value.max(1).leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum = self.sum.saturating_add(value);
+    }
+
+    /// Per-bucket sample counts (bucket `i` covers `[2^i, 2^(i+1))`).
+    pub fn counts(&self) -> &[u64; Self::BUCKETS] {
+        &self.counts
+    }
+
+    /// Number of samples recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean of the samples, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.total as f64)
+        }
+    }
+}
+
 /// A compact distribution summary, serialisable for the experiment harness.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Summary {
@@ -249,5 +301,31 @@ mod tests {
         s.extend([1.0, 2.0]);
         s.extend([3.0]);
         assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn bucket_histogram_places_samples_by_power_of_two() {
+        let mut h = BucketHistogram::default();
+        for v in [0, 1, 2, 3, 4, 7, 8, 1 << 20] {
+            h.record(v);
+        }
+        // 0 and 1 → bucket 0; 2 and 3 → bucket 1; 4 and 7 → bucket 2;
+        // 8 → bucket 3; the huge sample → the open-ended last bucket.
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 2);
+        assert_eq!(h.counts()[2], 2);
+        assert_eq!(h.counts()[3], 1);
+        assert_eq!(h.counts()[BucketHistogram::BUCKETS - 1], 1);
+        assert_eq!(h.total(), 8);
+        assert_eq!(h.sum(), 25 + (1 << 20));
+    }
+
+    #[test]
+    fn bucket_histogram_mean() {
+        let mut h = BucketHistogram::default();
+        assert_eq!(h.mean(), None);
+        h.record(2);
+        h.record(4);
+        assert_eq!(h.mean(), Some(3.0));
     }
 }

@@ -1,0 +1,196 @@
+//! End-to-end checks of the adaptive batching & pipelining subsystem: the
+//! controller dynamics under load steps, the flush-deadline latency bound,
+//! and the light-load no-overhead guarantee — with the paper's propositions
+//! (total order, at-most-once, external consistency) checked on every run.
+
+use oar::cluster::{Cluster, ClusterConfig};
+use oar::state_machine::{CounterCommand, CounterMachine};
+use oar::OarConfig;
+use oar_simnet::{NetConfig, SimDuration, SimTime};
+
+fn workload(n: usize) -> Vec<CounterCommand> {
+    (0..n)
+        .map(|i| CounterCommand::Add(i as i64 % 5 + 1))
+        .collect()
+}
+
+/// Under light load the adaptive deployment must be *behaviourally
+/// identical* to the unbatched paper protocol: the controller keeps the
+/// target at 1, the window stays closed-loop, and the two simulations
+/// produce the same latencies on the same seed.
+#[test]
+fn adaptive_is_identical_to_unbatched_at_light_load() {
+    let run = |oar: OarConfig, adaptive_pipeline: bool| {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 1,
+            oar,
+            seed: 17,
+            client_pipeline: if adaptive_pipeline { 8 } else { 1 },
+            adaptive_pipeline,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |_| workload(25));
+        assert!(cluster.run_to_completion(SimTime::from_secs(30)));
+        cluster.check_replica_consistency().unwrap();
+        cluster.check_external_consistency().unwrap();
+        cluster
+    };
+    let unbatched = run(OarConfig::default(), false);
+    let adaptive = run(OarConfig::adaptive(), true);
+    let lat_a = adaptive.latencies();
+    let lat_u = unbatched.latencies();
+    assert_eq!(lat_a.len(), lat_u.len());
+    // Same seed, same message schedule: a single closed-loop client never
+    // fills a batch, so the adaptive run replays the unbatched one exactly.
+    assert!((lat_a.mean().unwrap() - lat_u.mean().unwrap()).abs() < 1e-9);
+    assert!((lat_a.quantile(0.99).unwrap() - lat_u.quantile(0.99).unwrap()).abs() < 1e-9);
+    // And the controller never ramped.
+    assert_eq!(adaptive.total_target_raises(), 0);
+    assert_eq!(adaptive.max_batch_target(), 1);
+    assert_eq!(adaptive.peak_effective_batch(), 1);
+}
+
+/// A load step (1 client → 8 clients mid-run) must ramp the sequencer's
+/// target and the clients' windows within the burst, and the load drop must
+/// decay them back — with every proposition still green.
+#[test]
+fn load_step_converges_and_load_drop_decays() {
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: 8,
+        oar: OarConfig::adaptive(),
+        seed: 23,
+        client_pipeline: 8,
+        adaptive_pipeline: true,
+        // Client 0 runs the whole time; clients 1..=7 pile in at 2ms and
+        // finish well before client 0's long workload drains.
+        client_start_delays: std::iter::once(SimDuration::ZERO)
+            .chain(std::iter::repeat_n(SimDuration::from_millis(2), 7))
+            .collect(),
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<CounterMachine> =
+        Cluster::build(&config, CounterMachine::default, |c| {
+            workload(if c == 0 { 120 } else { 40 })
+        });
+    assert!(cluster.run_to_completion(SimTime::from_secs(60)));
+    assert_eq!(cluster.completed_requests().len(), 120 + 7 * 40);
+    // Propositions survive the whole ramp/decay cycle.
+    cluster.check_replica_consistency().unwrap();
+    cluster.check_external_consistency().unwrap();
+    // Convergence up: the burst formed real batches within the run.
+    assert!(
+        cluster.total_target_raises() > 0,
+        "the controller must ramp during the burst"
+    );
+    assert!(
+        cluster.peak_effective_batch() >= 8,
+        "the burst should batch at least one request per client (peak {})",
+        cluster.peak_effective_batch()
+    );
+    assert!(
+        cluster.peak_client_window() >= 4,
+        "client windows should open during the burst (peak {})",
+        cluster.peak_client_window()
+    );
+    // Decay back: once the burst clients finish, the rate estimate shrinks
+    // and the target walks down from its burst-time value.
+    assert!(
+        cluster.total_target_drops() > 0,
+        "the controller must decay after the load drop"
+    );
+    assert!(
+        cluster.max_batch_target() <= 8,
+        "the target should be near the single-client rate again (target {})",
+        cluster.max_batch_target()
+    );
+}
+
+/// The flush deadline bounds the ordering latency of a partial batch
+/// *independent of the maintenance tick*: with a 50ms tick and a 300µs
+/// deadline, a 3-request backlog (batch threshold 8) completes in well under
+/// a millisecond; without the deadline the same deployment waits for the
+/// tick.
+#[test]
+fn flush_deadline_bounds_partial_batch_latency_independent_of_tick() {
+    let run = |flush_delay: Option<SimDuration>| {
+        let mut builder = OarConfig::builder()
+            .max_batch(8)
+            .tick_interval(SimDuration::from_millis(50))
+            // Keep the failure detector far away from the stretched tick.
+            .fd_timeout(SimDuration::from_millis(400));
+        if let Some(delay) = flush_delay {
+            builder = builder.flush_delay(delay);
+        }
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 1,
+            net: NetConfig::constant(SimDuration::from_micros(100)),
+            oar: builder.build(),
+            seed: 5,
+            client_pipeline: 3,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |_| workload(3));
+        assert!(cluster.run_to_completion(SimTime::from_secs(10)));
+        cluster.check_replica_consistency().unwrap();
+        cluster.check_external_consistency().unwrap();
+        cluster
+    };
+
+    // With the deadline: the partial batch of 3 flushes ~300µs after it
+    // formed, so every request completes in well under a millisecond.
+    let bounded = run(Some(SimDuration::from_micros(300)));
+    let worst = bounded.latencies().max().unwrap();
+    assert!(
+        worst < 1.0,
+        "deadline-flushed latency should be sub-millisecond, got {worst:.3}ms"
+    );
+    assert!(
+        bounded.total_deadline_flushes() >= 1,
+        "the deadline timer must have fired"
+    );
+
+    // Without it: the same partial batch sits until the 50ms maintenance
+    // tick — the regression this satellite fixes.
+    let tick_bound = run(None);
+    assert!(
+        tick_bound.latencies().max().unwrap() > 10.0,
+        "without a deadline the batch waits for the tick, got {:.3}ms",
+        tick_bound.latencies().max().unwrap()
+    );
+    assert_eq!(tick_bound.total_deadline_flushes(), 0);
+}
+
+/// The deadline also holds in adaptive mode, where it doubles as the
+/// controller's batching horizon: a burst that does not reach the ramped
+/// target is still ordered within `max_delay`.
+#[test]
+fn adaptive_mode_flushes_partial_batches_by_deadline() {
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: 4,
+        oar: OarConfig::adaptive(),
+        seed: 31,
+        client_pipeline: 8,
+        adaptive_pipeline: true,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<CounterMachine> =
+        Cluster::build(&config, CounterMachine::default, |_| workload(40));
+    assert!(cluster.run_to_completion(SimTime::from_secs(30)));
+    cluster.check_replica_consistency().unwrap();
+    cluster.check_external_consistency().unwrap();
+    // Once the target ramps past 1, stragglers are flushed by the deadline
+    // rather than a full batch or the 1ms tick; the p99 latency stays well
+    // below one tick plus a round trip.
+    assert!(cluster.total_deadline_flushes() > 0);
+    let p99 = cluster.latencies().quantile(0.99).unwrap();
+    assert!(
+        p99 < 1.2,
+        "p99 {p99:.3}ms should stay below a tick + round trip"
+    );
+}

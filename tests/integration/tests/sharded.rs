@@ -37,6 +37,7 @@ fn sharded_config(groups: usize, seed: u64) -> ShardedConfig {
         seed,
         think_time: SimDuration::ZERO,
         client_pipeline: 1,
+        adaptive_pipeline: false,
     }
 }
 

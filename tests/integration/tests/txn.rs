@@ -34,6 +34,7 @@ fn txn_config(groups: usize, seed: u64) -> ShardedConfig {
         seed,
         think_time: SimDuration::ZERO,
         client_pipeline: 1,
+        adaptive_pipeline: false,
     }
 }
 
