@@ -1,0 +1,196 @@
+//! A per-op CPU cost wrapper for apply-stage benchmarks.
+//!
+//! Protocol-level machines like [`crate::kv::KvMachine`] apply commands in
+//! nanoseconds, so the scheduling overhead of any parallel apply stage would
+//! dwarf its benefit. Real services do work per command — validation,
+//! serialisation, index maintenance — and that work is what a worker pool
+//! parallelises. [`CostlyMachine`] models it: a deterministic spin of
+//! tunable length runs inside every `apply`/`stage`, in the phase the wave
+//! executor runs concurrently, while delegating all semantics (responses,
+//! undo, digest, conflict keys) to the wrapped machine.
+//!
+//! Two cost components are available. The CPU **spin** models compute-bound
+//! work and only speeds up with real cores; the **blocking** sleep models
+//! apply stages dominated by synchronous I/O (a write-ahead fsync, a call to
+//! an external store), which a worker pool overlaps even on a single-core
+//! host. The parallel-apply benchmark uses the blocking component so its
+//! speedup gate stays meaningful on minimal CI runners.
+
+use oar::parallel::ParallelStateMachine;
+use oar::state_machine::{AppliedBatch, ConflictKeys, StateMachine};
+
+/// Burns a deterministic amount of CPU: `rounds` iterations of the FNV-1a
+/// step. Returned (and consumed via `std::hint::black_box`) so the optimiser
+/// cannot elide the loop.
+pub fn spin_work(rounds: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..rounds {
+        h ^= i;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    std::hint::black_box(h)
+}
+
+/// A state machine that charges a fixed CPU cost per command before
+/// delegating to the wrapped machine.
+///
+/// The cost runs in [`StateMachine::apply`] *and* in
+/// [`ParallelStateMachine::stage`] — i.e. in the phase
+/// [`oar::parallel::wave_apply`] distributes across its worker pool — so
+/// serial and parallel execution pay identical per-op work and wall-clock
+/// comparisons between them measure scheduling, not bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CostlyMachine<S> {
+    inner: S,
+    spin_rounds: u64,
+    block_us: u64,
+}
+
+impl<S> CostlyMachine<S> {
+    /// Wraps `inner`, charging `spin_rounds` FNV rounds per command
+    /// (`0` = free, useful as a control).
+    pub fn new(inner: S, spin_rounds: u64) -> Self {
+        CostlyMachine {
+            inner,
+            spin_rounds,
+            block_us: 0,
+        }
+    }
+
+    /// Wraps `inner`, charging `spin_rounds` FNV rounds *and* a blocking
+    /// sleep of `block_us` microseconds per command — the I/O-bound cost
+    /// model of the parallel-apply benchmark.
+    pub fn with_blocking(inner: S, spin_rounds: u64, block_us: u64) -> Self {
+        CostlyMachine {
+            inner,
+            spin_rounds,
+            block_us,
+        }
+    }
+
+    /// The wrapped machine.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The configured per-command CPU cost, in FNV rounds.
+    pub fn spin_rounds(&self) -> u64 {
+        self.spin_rounds
+    }
+
+    /// The configured per-command blocking cost, in microseconds.
+    pub fn block_us(&self) -> u64 {
+        self.block_us
+    }
+
+    /// Pays the per-command cost: the CPU spin, then the blocking sleep.
+    fn charge(&self) {
+        spin_work(self.spin_rounds);
+        if self.block_us > 0 {
+            std::thread::sleep(std::time::Duration::from_micros(self.block_us));
+        }
+    }
+}
+
+impl<S> StateMachine for CostlyMachine<S>
+where
+    S: ParallelStateMachine + Sync,
+    S::Command: ConflictKeys + Sync,
+    S::Response: Send,
+    S::Undo: Send,
+{
+    type Command = S::Command;
+    type Response = S::Response;
+    type Undo = S::Undo;
+
+    fn apply(&mut self, command: &Self::Command) -> (Self::Response, Self::Undo) {
+        self.charge();
+        self.inner.apply(command)
+    }
+
+    fn undo(&mut self, token: Self::Undo) {
+        self.inner.undo(token);
+    }
+
+    fn digest(&self) -> u64 {
+        self.inner.digest()
+    }
+
+    fn apply_batch(&mut self, commands: &[&Self::Command], workers: usize) -> AppliedBatch<Self> {
+        oar::parallel::wave_apply(self, commands, workers)
+    }
+}
+
+impl<S> ParallelStateMachine for CostlyMachine<S>
+where
+    S: ParallelStateMachine + Sync,
+    S::Command: ConflictKeys + Sync,
+    S::Response: Send,
+    S::Undo: Send,
+{
+    type Effect = S::Effect;
+
+    fn stage(&self, command: &Self::Command) -> (Self::Response, Self::Undo, Self::Effect) {
+        self.charge();
+        self.inner.stage(command)
+    }
+
+    fn commit(&mut self, effect: Self::Effect) {
+        self.inner.commit(effect);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{KvCommand, KvMachine};
+
+    fn put(key: &str, value: &str) -> KvCommand {
+        KvCommand::Put {
+            key: key.into(),
+            value: value.into(),
+        }
+    }
+
+    #[test]
+    fn cost_wrapper_preserves_semantics() {
+        let mut costly = CostlyMachine::new(KvMachine::new(), 100);
+        let mut plain = KvMachine::new();
+        for c in [put("a", "1"), put("b", "2"), put("a", "3")] {
+            assert_eq!(costly.apply(&c).0, plain.apply(&c).0);
+        }
+        assert_eq!(costly.digest(), plain.digest());
+    }
+
+    #[test]
+    fn parallel_apply_through_the_wrapper_matches_serial() {
+        let batch = [put("a", "1"), put("b", "2"), put("c", "3"), put("a", "4")];
+        let refs: Vec<&KvCommand> = batch.iter().collect();
+        let mut serial = CostlyMachine::new(KvMachine::new(), 50);
+        let expected: Vec<_> = refs.iter().map(|c| serial.apply(c).0).collect();
+        let mut parallel = CostlyMachine::new(KvMachine::new(), 50);
+        let out = parallel.apply_batch(&refs, 4);
+        let got: Vec<_> = out.results.into_iter().map(|(r, _)| r).collect();
+        assert_eq!(got, expected);
+        assert_eq!(parallel, serial);
+        // a,b,c share the first wave; the second a-put waits for the first.
+        assert_eq!(out.wave_sizes, vec![3, 1]);
+    }
+
+    #[test]
+    fn blocking_cost_preserves_semantics() {
+        let mut blocking = CostlyMachine::with_blocking(KvMachine::new(), 0, 20);
+        let mut plain = KvMachine::new();
+        for c in [put("a", "1"), put("b", "2")] {
+            assert_eq!(blocking.apply(&c).0, plain.apply(&c).0);
+        }
+        assert_eq!(blocking.digest(), plain.digest());
+        assert_eq!(blocking.block_us(), 20);
+    }
+
+    #[test]
+    fn spin_work_is_deterministic() {
+        assert_eq!(spin_work(1000), spin_work(1000));
+        assert_ne!(spin_work(10), spin_work(11));
+    }
+}

@@ -8,8 +8,9 @@
 
 use std::collections::BTreeMap;
 
+use oar::parallel::ParallelStateMachine;
 use oar::shard::ShardKey;
-use oar::state_machine::StateMachine;
+use oar::state_machine::{AppliedBatch, ConflictKeys, KeySet, StateMachine};
 use oar::txn::MultiOp;
 
 /// Keys are small strings; values are strings too (the protocol does not care).
@@ -61,7 +62,9 @@ pub enum KvCommand {
 impl KvCommand {
     /// The key this command is about. For `Multi`, the first op's key —
     /// sufficient for routing, because a `Multi` built by the transaction
-    /// layer only ever holds ops of one owning group.
+    /// layer only ever holds ops of one owning group. **Not** sufficient for
+    /// conflict detection: use [`ConflictKeys::conflict_keys`], which reports
+    /// the union of a `Multi`'s member keys.
     pub fn key(&self) -> &str {
         match self {
             KvCommand::Put { key, .. }
@@ -70,6 +73,35 @@ impl KvCommand {
             | KvCommand::CompareAndSwap { key, .. } => key,
             KvCommand::Multi(ops) => ops.first().expect("non-empty multi").key(),
         }
+    }
+
+    /// Appends every key this command touches (members recursively for
+    /// `Multi`) to `keys`.
+    fn collect_keys<'a>(&'a self, keys: &mut Vec<&'a str>) {
+        match self {
+            KvCommand::Put { key, .. }
+            | KvCommand::Get { key }
+            | KvCommand::Delete { key }
+            | KvCommand::CompareAndSwap { key, .. } => keys.push(key),
+            KvCommand::Multi(ops) => {
+                for op in ops {
+                    op.collect_keys(keys);
+                }
+            }
+        }
+    }
+}
+
+/// The conflict footprint of a command is exactly the keys it reads or
+/// writes. A `Multi` conflicts on the **union** of its member keys — its
+/// routing key ([`KvCommand::key`], the first member's) would miss conflicts
+/// on every other member, so two `Multi`s with disjoint key sets may share a
+/// wave while overlapping ones keep their delivery order.
+impl ConflictKeys for KvCommand {
+    fn conflict_keys(&self) -> KeySet<'_> {
+        let mut keys = Vec::new();
+        self.collect_keys(&mut keys);
+        KeySet::Keys(keys)
     }
 }
 
@@ -215,6 +247,90 @@ impl KvMachine {
         }
     }
 
+    /// Reads `key` as staged execution would see it: the overlay (this
+    /// command's own earlier writes, `None` = deleted) shadows the map.
+    fn staged_read(&self, overlay: &BTreeMap<Key, Option<Value>>, key: &str) -> Option<Value> {
+        match overlay.get(key) {
+            Some(value) => value.clone(),
+            None => self.map.get(key).cloned(),
+        }
+    }
+
+    /// Stages one command without mutating the store: the response and undo
+    /// are computed against `map ∪ overlay`, and every write lands in both
+    /// the overlay (so later `Multi` members see it) and `writes` (the
+    /// effect replayed by [`ParallelStateMachine::commit`]).
+    fn stage_inner(
+        &self,
+        command: &KvCommand,
+        overlay: &mut BTreeMap<Key, Option<Value>>,
+        writes: &mut Vec<(Key, Option<Value>)>,
+    ) -> (KvResponse, KvUndo) {
+        fn write(
+            overlay: &mut BTreeMap<Key, Option<Value>>,
+            writes: &mut Vec<(Key, Option<Value>)>,
+            key: &Key,
+            value: Option<Value>,
+        ) {
+            overlay.insert(key.clone(), value.clone());
+            writes.push((key.clone(), value));
+        }
+        match command {
+            KvCommand::Put { key, value } => {
+                let previous = self.staged_read(overlay, key);
+                write(overlay, writes, key, Some(value.clone()));
+                (
+                    KvResponse::Previous(previous.clone()),
+                    KvUndo::Restore {
+                        key: key.clone(),
+                        previous,
+                    },
+                )
+            }
+            KvCommand::Get { key } => (
+                KvResponse::Value(self.staged_read(overlay, key)),
+                KvUndo::Nothing,
+            ),
+            KvCommand::Delete { key } => {
+                let previous = self.staged_read(overlay, key);
+                write(overlay, writes, key, None);
+                (
+                    KvResponse::Previous(previous.clone()),
+                    KvUndo::Restore {
+                        key: key.clone(),
+                        previous,
+                    },
+                )
+            }
+            KvCommand::CompareAndSwap { key, expected, new } => {
+                let current = self.staged_read(overlay, key);
+                if &current == expected {
+                    write(overlay, writes, key, Some(new.clone()));
+                    (
+                        KvResponse::Swapped(true),
+                        KvUndo::Restore {
+                            key: key.clone(),
+                            previous: current,
+                        },
+                    )
+                } else {
+                    (KvResponse::Swapped(false), KvUndo::Nothing)
+                }
+            }
+            KvCommand::Multi(ops) => {
+                let mut responses = Vec::with_capacity(ops.len());
+                let mut undos = Vec::with_capacity(ops.len());
+                for op in ops {
+                    let (response, undo) = self.stage_inner(op, overlay, writes);
+                    responses.push(response);
+                    undos.push(undo);
+                }
+                undos.reverse();
+                (KvResponse::Multi(responses), KvUndo::Multi(undos))
+            }
+        }
+    }
+
     fn undo_inner(&mut self, token: KvUndo) {
         match token {
             KvUndo::Restore { key, previous } => match previous {
@@ -235,6 +351,45 @@ impl KvMachine {
     }
 }
 
+/// The staged write-set of one command: `(key, new value)` pairs in op
+/// order, `None` meaning the key is removed. Replaying them serially is
+/// exactly the command's mutation.
+#[derive(Debug)]
+pub struct KvEffect {
+    writes: Vec<(Key, Option<Value>)>,
+}
+
+/// Staged apply for the wave executor ([`oar::parallel::wave_apply`]):
+/// `stage` computes response, undo and write-set against the wave-start
+/// state (a private overlay gives `Multi` members their left-to-right
+/// visibility), `commit` replays the writes. For commands whose key sets are
+/// disjoint — the only ones a wave contains — this is bit-identical to
+/// [`StateMachine::apply`].
+impl ParallelStateMachine for KvMachine {
+    type Effect = KvEffect;
+
+    fn stage(&self, command: &KvCommand) -> (KvResponse, KvUndo, KvEffect) {
+        let mut overlay = BTreeMap::new();
+        let mut writes = Vec::new();
+        let (response, undo) = self.stage_inner(command, &mut overlay, &mut writes);
+        (response, undo, KvEffect { writes })
+    }
+
+    fn commit(&mut self, effect: KvEffect) {
+        self.ops += 1;
+        for (key, value) in effect.writes {
+            match value {
+                Some(v) => {
+                    self.map.insert(key, v);
+                }
+                None => {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
+}
+
 impl StateMachine for KvMachine {
     type Command = KvCommand;
     type Response = KvResponse;
@@ -243,6 +398,13 @@ impl StateMachine for KvMachine {
     fn apply(&mut self, command: &KvCommand) -> (KvResponse, KvUndo) {
         self.ops += 1;
         self.apply_inner(command)
+    }
+
+    /// Conflict-graph wave scheduling: non-conflicting commands of the batch
+    /// are staged concurrently across `workers` threads, bit-identically to
+    /// the serial default (the differential proptests below pin this down).
+    fn apply_batch(&mut self, commands: &[&KvCommand], workers: usize) -> AppliedBatch<Self> {
+        oar::parallel::wave_apply(self, commands, workers)
     }
 
     fn undo(&mut self, token: KvUndo) {
@@ -378,6 +540,68 @@ mod tests {
         assert_eq!(multi.shard_key(), "x");
     }
 
+    /// Regression: a `Multi` must conflict on the **union** of its member
+    /// keys. Keying it by its routing key (the first member's) would let
+    /// `Multi[x,y]` share a wave with a command touching `y`.
+    #[test]
+    fn multi_conflicts_on_the_union_of_member_keys() {
+        let multi = KvCommand::Multi(vec![put("x", "1"), put("y", "2")]);
+        assert_eq!(multi.conflict_keys(), KeySet::Keys(vec!["x", "y"]));
+        assert!(multi
+            .conflict_keys()
+            .intersects(&KvCommand::Get { key: "y".into() }.conflict_keys()));
+        assert!(!multi
+            .conflict_keys()
+            .intersects(&KvCommand::Get { key: "z".into() }.conflict_keys()));
+    }
+
+    /// Regression: two `Multi`s with disjoint key sets schedule in the same
+    /// wave, while a third overlapping one waits — with first-key-only
+    /// granularity the planner would either miss the `b`–`b` conflict or
+    /// serialise the disjoint pair, depending on the representative chosen.
+    #[test]
+    fn disjoint_key_multis_schedule_in_the_same_wave() {
+        let batch = [
+            KvCommand::Multi(vec![put("a", "1"), put("b", "2")]),
+            KvCommand::Multi(vec![put("c", "3"), put("d", "4")]),
+            KvCommand::Multi(vec![put("e", "5"), put("b", "6")]),
+        ];
+        let refs: Vec<&KvCommand> = batch.iter().collect();
+        assert_eq!(oar::parallel::plan_waves(&refs), vec![vec![0, 1], vec![2]]);
+    }
+
+    /// stage + commit ≡ apply, command by command (the contract the wave
+    /// executor relies on), including `Multi` members seeing earlier
+    /// members' writes.
+    #[test]
+    fn stage_commit_matches_apply() {
+        let commands = [
+            put("a", "0"),
+            KvCommand::Multi(vec![
+                put("a", "1"),
+                KvCommand::Get { key: "a".into() },
+                KvCommand::Delete { key: "a".into() },
+                KvCommand::Get { key: "a".into() },
+            ]),
+            KvCommand::CompareAndSwap {
+                key: "b".into(),
+                expected: None,
+                new: "v".into(),
+            },
+            KvCommand::Delete { key: "b".into() },
+        ];
+        let mut staged = KvMachine::new();
+        let mut serial = KvMachine::new();
+        for command in &commands {
+            let (r1, u1, effect) = staged.stage(command);
+            staged.commit(effect);
+            let (r2, u2) = serial.apply(command);
+            assert_eq!(r1, r2, "{command:?}");
+            assert_eq!(format!("{u1:?}"), format!("{u2:?}"), "{command:?}");
+            assert_eq!(staged, serial, "{command:?}");
+        }
+    }
+
     #[test]
     fn undo_restores_previous_values() {
         let mut kv = KvMachine::new();
@@ -457,6 +681,44 @@ mod proptests {
                 prop_assert_eq!(a.apply(c).0, b.apply(c).0);
             }
             prop_assert_eq!(a.digest(), b.digest());
+        }
+
+        /// The tentpole safety argument, differentially: for arbitrary
+        /// command batches and worker counts, parallel apply is
+        /// bit-identical to serial apply — same responses, same undo
+        /// stack, same state. The 3-key universe of `arb_command` makes
+        /// intra-batch conflicts (and conflicting `Multi`s) the common
+        /// case, so the wave planner's ordering edges are exercised hard.
+        #[test]
+        fn parallel_apply_is_bit_identical_to_serial(
+            commands in proptest::collection::vec(arb_command(), 0..40),
+            workers in 0usize..6,
+        ) {
+            let refs: Vec<&KvCommand> = commands.iter().collect();
+            let mut serial = KvMachine::new();
+            let mut serial_results = Vec::with_capacity(refs.len());
+            for c in &refs {
+                serial_results.push(serial.apply(c));
+            }
+            let mut parallel = KvMachine::new();
+            let out = oar::parallel::wave_apply(&mut parallel, &refs, workers);
+            prop_assert_eq!(out.results.len(), serial_results.len());
+            for ((rp, up), (rs, us)) in out.results.iter().zip(&serial_results) {
+                prop_assert_eq!(rp, rs);
+                // KvUndo carries no Eq on purpose; its Debug form is total.
+                prop_assert_eq!(format!("{up:?}"), format!("{us:?}"));
+            }
+            prop_assert_eq!(&parallel, &serial);
+            prop_assert_eq!(
+                out.wave_sizes.iter().sum::<u64>(),
+                refs.len() as u64
+            );
+            // And the undo stacks behave identically: rolling back the whole
+            // batch in reverse delivery order restores the initial state.
+            for (_, undo) in out.results.into_iter().rev() {
+                parallel.undo(undo);
+            }
+            prop_assert_eq!(parallel, KvMachine::new());
         }
     }
 }

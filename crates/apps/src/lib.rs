@@ -11,7 +11,10 @@
 //!   generic workload of the latency and throughput experiments;
 //! * [`bank`] — accounts with deposits, withdrawals and transfers, where undo
 //!   tokens play the role of the transactional save-points suggested by the
-//!   paper's conclusion.
+//!   paper's conclusion;
+//! * [`cost`] — a wrapper charging a tunable CPU cost per command, modelling
+//!   services whose apply stage is worth parallelising
+//!   ([`oar::parallel`]).
 //!
 //! All services guarantee: determinism (identical command sequences produce
 //! identical responses and digests) and exact rollback (reverse-order undo
@@ -21,9 +24,11 @@
 #![warn(missing_docs)]
 
 pub mod bank;
+pub mod cost;
 pub mod kv;
 pub mod stack;
 
 pub use bank::{BankCommand, BankError, BankMachine, BankResponse};
-pub use kv::{KvCommand, KvMachine, KvResponse};
+pub use cost::{spin_work, CostlyMachine};
+pub use kv::{KvCommand, KvEffect, KvMachine, KvResponse};
 pub use stack::{StackCommand, StackMachine, StackResponse};

@@ -60,6 +60,7 @@ fn traffic_counters(
         ),
         ("replies_sent".to_string(), cluster.total_replies()),
         ("peak_payloads".to_string(), cluster.peak_payloads()),
+        ("apply_ns".to_string(), cluster.total_apply_ns()),
         ("p50_latency_us".to_string(), us(0.5)),
         ("p95_latency_us".to_string(), us(0.95)),
         ("p99_latency_us".to_string(), us(0.99)),

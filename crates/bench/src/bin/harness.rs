@@ -20,6 +20,8 @@
 //! cargo run --release -p oar-bench --bin harness -- txn-smoke
 //! cargo run --release -p oar-bench --bin harness -- adaptive
 //! cargo run --release -p oar-bench --bin harness -- adaptive-smoke
+//! cargo run --release -p oar-bench --bin harness -- parallel
+//! cargo run --release -p oar-bench --bin harness -- parallel-smoke
 //! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
 //! ```
 //!
@@ -34,7 +36,11 @@
 //! client (>5% over the best closed-loop static), fails to beat unbatched by
 //! ≥15% at 8 clients, fails to converge (no ramp, shallow batches, windows
 //! below the cap), or a skewed 2-group run does not show per-group
-//! independent convergence (the smoke variants are the CI gates).
+//! independent convergence; `parallel` / `parallel-smoke` when the
+//! conflict-graph apply scheduler fails to reach ≥1.8× serial throughput at
+//! 4 workers on a disjoint write batch, drifts more than 10% from serial on a
+//! fully-conflicting one, or a parallel cluster's digests/responses diverge
+//! from its serial twin (the smoke variants are the CI gates).
 
 use oar_bench::json::ToJson;
 use oar_bench::{experiments, figures};
@@ -141,7 +147,7 @@ fn run_throughput() {
     println!("== T-THROUGHPUT: closed-loop throughput vs client count ==");
     let rows = experiments::throughput_experiment(3, &[1, 2, 4, 8], 50, SEED);
     println!(
-        "{:<16} {:>3} {:>7} {:>6} {:>10} {:>13} {:>10} {:>11} {:>9}",
+        "{:<16} {:>3} {:>7} {:>6} {:>10} {:>13} {:>10} {:>11} {:>9} {:>9}",
         "protocol",
         "n",
         "clients",
@@ -150,11 +156,12 @@ fn run_throughput() {
         "mean-lat(ms)",
         "order-msgs",
         "reply-wires",
-        "peak-pyld"
+        "peak-pyld",
+        "apply(us)"
     );
     for r in &rows {
         println!(
-            "{:<16} {:>3} {:>7} {:>6} {:>10.1} {:>13.3} {:>10} {:>11} {:>9}",
+            "{:<16} {:>3} {:>7} {:>6} {:>10.1} {:>13.3} {:>10} {:>11} {:>9} {:>9}",
             r.protocol,
             r.servers,
             r.clients,
@@ -163,7 +170,8 @@ fn run_throughput() {
             r.mean_latency_ms,
             r.order_messages_sent,
             r.reply_messages_sent,
-            r.peak_payloads
+            r.peak_payloads,
+            r.apply_ns / 1_000
         );
     }
     print_json("throughput", &rows);
@@ -395,6 +403,91 @@ fn run_adaptive(requests_per_client: usize, repeats: usize, skew_requests: usize
     violations.is_empty()
 }
 
+fn run_parallel(
+    commands: usize,
+    block_us: u64,
+    repeats: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> bool {
+    println!(
+        "== T-PARALLEL: conflict-graph apply scheduling, {} commands x ({} spin rounds + {} us blocking), min wall of {} runs ==",
+        commands,
+        experiments::PARALLEL_SPIN_ROUNDS,
+        block_us,
+        repeats
+    );
+    let rows = experiments::parallel_apply_experiment(
+        commands,
+        experiments::PARALLEL_SPIN_ROUNDS,
+        block_us,
+        repeats,
+    );
+    println!(
+        "{:<12} {:>7} {:>6} {:>9} {:>6} {:>6} {:>10} {:>10} {:>8}",
+        "workload",
+        "workers",
+        "cmds",
+        "block(us)",
+        "waves",
+        "wave^",
+        "wall(ms)",
+        "ops/s",
+        "matches"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>7} {:>6} {:>9} {:>6} {:>6} {:>10.3} {:>10.0} {:>8}",
+            r.workload,
+            r.workers,
+            r.commands,
+            r.block_us,
+            r.waves,
+            r.max_wave,
+            r.wall_ms,
+            r.ops_per_sec,
+            r.matches_serial
+        );
+    }
+    print_json("parallel", &rows);
+
+    println!("== T-PARALLEL-CLUSTER: parallel deployment vs serial twin (same seed) ==");
+    let cluster = experiments::parallel_cluster_experiment(clients, requests_per_client, SEED);
+    println!(
+        "{:<3} {:>7} {:>6} {:>7} {:>10} {:>10} {:>15} {:>8} {:>10} {:>11}",
+        "n",
+        "clients",
+        "reqs",
+        "workers",
+        "wave-cmds",
+        "apply(ms)",
+        "serial-aply(ms)",
+        "digests",
+        "responses",
+        "consistent"
+    );
+    println!(
+        "{:<3} {:>7} {:>6} {:>7} {:>10} {:>10.3} {:>15.3} {:>8} {:>10} {:>11}",
+        cluster.servers,
+        cluster.clients,
+        cluster.requests,
+        cluster.workers,
+        cluster.wave_commands,
+        cluster.apply_ns as f64 / 1e6,
+        cluster.serial_apply_ns as f64 / 1e6,
+        cluster.digests_match,
+        cluster.responses_match,
+        cluster.consistent
+    );
+    print_json("parallel_cluster", std::slice::from_ref(&cluster));
+
+    let violations = experiments::check_parallel_bounds(&rows, &cluster);
+    for v in &violations {
+        eprintln!("PARALLEL VIOLATION: {v}");
+    }
+    violations.is_empty()
+}
+
 fn run_gc() {
     println!("== T-GC: §5.3 epoch-cut ablation ==");
     let rows = experiments::gc_experiment(&[None, Some(100), Some(10)], 60, SEED);
@@ -477,6 +570,22 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The full parallel-apply gate: the wave scheduler's speedup on a
+        // disjoint write batch, parity on a conflicting one, and a cluster
+        // whose digests/responses must match a serial twin bit for bit.
+        "parallel" => {
+            if !run_parallel(96, 300, 5, 4, 48) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: a smaller parallel-apply run with the same ceilings. The
+        // extra repeats keep the min-over-repeats wall-clock robust on noisy
+        // shared runners (each repeat costs ~15 ms).
+        "parallel-smoke" => {
+            if !run_parallel(48, 200, 6, 2, 24) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             run_figures(None);
             run_latency();
@@ -488,13 +597,14 @@ fn main() {
             let sharded_ok = run_sharded(4, 100);
             let txn_ok = run_txn(4, 50);
             let adaptive_ok = run_adaptive(50, 5, 40);
-            if !soak_ok || !sharded_ok || !txn_ok || !adaptive_ok {
+            let parallel_ok = run_parallel(96, 300, 5, 4, 48);
+            if !soak_ok || !sharded_ok || !txn_ok || !adaptive_ok || !parallel_ok {
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke");
             std::process::exit(2);
         }
     }

@@ -8,12 +8,15 @@
 //! `harness` binary prints the rows recorded in `EXPERIMENTS.md`.
 
 use oar::cluster::{Cluster, ClusterConfig};
+use oar::parallel::plan_waves;
+use oar::server::OarServer;
 use oar::shard::ShardRouter;
 use oar::sharded::{ShardedCluster, ShardedConfig};
-use oar::state_machine::CounterMachine;
+use oar::state_machine::{CounterMachine, StateMachine};
 use oar::txn::TxnCluster;
 use oar::OarConfig;
-use oar_apps::kv::{KvCommand, KvMachine};
+use oar_apps::cost::CostlyMachine;
+use oar_apps::kv::{KvCommand, KvMachine, KvResponse};
 use oar_baselines::{BaselineConfig, CtCluster, SequencerCluster};
 use oar_simnet::{NetConfig, Samples, SimDuration, SimTime, Summary};
 
@@ -387,6 +390,10 @@ pub struct ThroughputRow {
     pub consensus_messages: u64,
     /// Peak size of any server's `payloads` map during the run.
     pub peak_payloads: u64,
+    /// Real wall-clock nanoseconds spent inside `StateMachine` application
+    /// across all servers (host time — a measurement channel, never part of
+    /// the simulated protocol state).
+    pub apply_ns: u64,
 }
 
 /// Sequencer batch size used by the `oar-batched` throughput variant.
@@ -470,6 +477,7 @@ pub fn run_oar_throughput(
     row.consensus_allocations = cluster.total_consensus_wires();
     row.consensus_messages = cluster.total_consensus_messages();
     row.peak_payloads = cluster.peak_payloads();
+    row.apply_ns = cluster.total_apply_ns();
     row
 }
 
@@ -605,6 +613,7 @@ fn throughput_row(
         consensus_allocations: 0,
         consensus_messages: 0,
         peak_payloads: 0,
+        apply_ns: 0,
     }
 }
 
@@ -1770,6 +1779,350 @@ pub fn check_adaptive_skew_bounds(
     violations
 }
 
+/// One row of the parallel-apply benchmark (T-PARALLEL): one workload shape
+/// executed with one worker count.
+#[derive(Clone, Debug)]
+pub struct ParallelRow {
+    /// Workload shape: `disjoint` (pairwise non-conflicting writes) or
+    /// `conflicting` (every write hits the same key).
+    pub workload: String,
+    /// Worker threads handed to `apply_batch` (1 = the serial baseline).
+    pub workers: usize,
+    /// Commands in the batch.
+    pub commands: usize,
+    /// Per-command CPU cost (FNV spin rounds).
+    pub spin_rounds: u64,
+    /// Per-command blocking cost (microseconds of sleep, modelling
+    /// synchronous I/O in the apply stage).
+    pub block_us: u64,
+    /// Number of waves the conflict-graph scheduler planned.
+    pub waves: usize,
+    /// Size of the largest wave.
+    pub max_wave: u64,
+    /// Host wall-clock of one `apply_batch` call, milliseconds (minimum over
+    /// the experiment's repeats).
+    pub wall_ms: f64,
+    /// Commands per second derived from the minimum wall-clock.
+    pub ops_per_sec: f64,
+    /// Whether every repeat produced responses and a final state identical
+    /// to a plain serial `apply` of the same batch.
+    pub matches_serial: bool,
+}
+
+/// Outcome of the cluster-level parallel-apply run (T-PARALLEL-CLUSTER): a
+/// deployment with `with_parallel_apply` next to a serial twin on the same
+/// seed.
+#[derive(Clone, Debug)]
+pub struct ParallelClusterRow {
+    /// Number of replicas.
+    pub servers: usize,
+    /// Number of pipelined clients.
+    pub clients: usize,
+    /// Requests completed by the parallel deployment.
+    pub requests: usize,
+    /// Worker threads configured on the parallel deployment.
+    pub workers: usize,
+    /// Commands the scheduler executed in multi-command waves (size ≥ 2),
+    /// summed over all servers — 0 would mean the conflict graph never
+    /// exposed any concurrency.
+    pub wave_commands: u64,
+    /// Real wall-clock nanoseconds inside apply, parallel deployment.
+    pub apply_ns: u64,
+    /// Real wall-clock nanoseconds inside apply, serial twin.
+    pub serial_apply_ns: u64,
+    /// Whether every replica digest of the parallel run equals the serial
+    /// twin's (bit-identical final state).
+    pub digests_match: bool,
+    /// Whether the completed responses (id, response, position, epoch) of
+    /// the two runs are identical (bit-identical replies).
+    pub responses_match: bool,
+    /// Whether both runs completed with the propositions intact.
+    pub consistent: bool,
+}
+
+/// Worker-pool size of the parallel-apply experiments and their CI gate.
+pub const PARALLEL_WORKERS: usize = 4;
+
+/// Per-command CPU spin of the T-PARALLEL rows: small but non-zero, so the
+/// staged path demonstrably carries real compute.
+pub const PARALLEL_SPIN_ROUNDS: u64 = 2_000;
+
+/// Write-heavy multi-key batch for the apply benchmark. `disjoint` gives
+/// every command its own key (every 8th a two-key `Multi`, still disjoint),
+/// so the whole batch forms one wave; `conflicting` funnels every write
+/// through one hot key, so every wave is a singleton.
+fn parallel_apply_workload(kind: &str, commands: usize) -> Vec<KvCommand> {
+    (0..commands)
+        .map(|i| {
+            if kind == "conflicting" {
+                KvCommand::Put {
+                    key: "hot".to_string(),
+                    value: format!("v{i}"),
+                }
+            } else if i % 8 == 7 {
+                KvCommand::Multi(vec![
+                    KvCommand::Put {
+                        key: format!("m{i}a"),
+                        value: format!("v{i}a"),
+                    },
+                    KvCommand::Put {
+                        key: format!("m{i}b"),
+                        value: format!("v{i}b"),
+                    },
+                ])
+            } else {
+                KvCommand::Put {
+                    key: format!("k{i}"),
+                    value: format!("v{i}"),
+                }
+            }
+        })
+        .collect()
+}
+
+/// T-PARALLEL: wall-clock of `apply_batch` over a write-heavy multi-key
+/// batch, serial (1 worker) vs the worker pool, on a pairwise-disjoint and a
+/// fully-conflicting workload.
+///
+/// The per-command cost is [`CostlyMachine::with_blocking`]: `spin_rounds`
+/// of CPU plus `block_us` of blocking sleep. The blocking component is what
+/// the speedup gate rides on — it overlaps across workers even on a
+/// single-core host, so the ≥1.8× bound of [`check_parallel_bounds`] holds
+/// on minimal CI runners, where a pure CPU spin could not speed up at all.
+/// Each row records the minimum wall-clock over `repeats` runs and checks
+/// every run against a plain serial apply (bit-identical responses and
+/// state).
+pub fn parallel_apply_experiment(
+    commands: usize,
+    spin_rounds: u64,
+    block_us: u64,
+    repeats: usize,
+) -> Vec<ParallelRow> {
+    let mut rows = Vec::new();
+    for kind in ["disjoint", "conflicting"] {
+        let workload = parallel_apply_workload(kind, commands);
+        let refs: Vec<&KvCommand> = workload.iter().collect();
+        let waves = plan_waves(&refs);
+        let max_wave = waves.iter().map(|w| w.len() as u64).max().unwrap_or(0);
+        let mut reference = KvMachine::new();
+        let expected: Vec<KvResponse> = refs.iter().map(|c| reference.apply(c).0).collect();
+        for &workers in &[1usize, PARALLEL_WORKERS] {
+            let mut wall_ms = f64::INFINITY;
+            let mut matches_serial = true;
+            for _ in 0..repeats.max(1) {
+                let mut sm = CostlyMachine::with_blocking(KvMachine::new(), spin_rounds, block_us);
+                let t0 = std::time::Instant::now();
+                let out = sm.apply_batch(&refs, workers);
+                wall_ms = wall_ms.min(t0.elapsed().as_secs_f64() * 1_000.0);
+                let got: Vec<KvResponse> = out.results.into_iter().map(|(r, _)| r).collect();
+                matches_serial &= got == expected && sm.inner() == &reference;
+            }
+            let secs = wall_ms / 1_000.0;
+            rows.push(ParallelRow {
+                workload: kind.to_string(),
+                workers,
+                commands,
+                spin_rounds,
+                block_us,
+                waves: waves.len(),
+                max_wave,
+                wall_ms,
+                ops_per_sec: if secs > 0.0 {
+                    commands as f64 / secs
+                } else {
+                    0.0
+                },
+                matches_serial,
+            });
+        }
+    }
+    rows
+}
+
+/// Keys disjoint per client (so concurrent clients' writes schedule into
+/// shared waves) with an every-8th write to one cross-client hot key (so
+/// conflicting order still matters and a scheduling bug would corrupt the
+/// digest).
+fn parallel_cluster_workload(client: usize, requests: usize) -> Vec<KvCommand> {
+    (0..requests)
+        .map(|i| {
+            if i % 8 == 7 {
+                KvCommand::Put {
+                    key: "hot".to_string(),
+                    value: format!("c{client}-v{i}"),
+                }
+            } else {
+                KvCommand::Put {
+                    key: format!("c{client}-k{}", i % 4),
+                    value: format!("c{client}-v{i}"),
+                }
+            }
+        })
+        .collect()
+}
+
+/// T-PARALLEL-CLUSTER: a full 3-replica deployment with
+/// `with_parallel_apply(PARALLEL_WORKERS)` against a serial twin on the same
+/// seed, workload and batching. Both must satisfy the consistency
+/// propositions, and the parallel run's replica digests and completed
+/// responses must be bit-identical to the twin's — parallel apply is an
+/// execution strategy, never an observable protocol change.
+pub fn parallel_cluster_experiment(
+    clients: usize,
+    requests_per_client: usize,
+    seed: u64,
+) -> ParallelClusterRow {
+    let run = |workers: Option<usize>| {
+        let mut builder = OarConfig::builder().max_batch(PIPELINE_DEPTH * clients);
+        if let Some(w) = workers {
+            builder = builder.with_parallel_apply(w);
+        }
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: clients,
+            net: NetConfig::lan(),
+            oar: builder.build(),
+            seed,
+            client_pipeline: PIPELINE_DEPTH,
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::build(&config, KvMachine::new, |c| {
+            parallel_cluster_workload(c, requests_per_client)
+        });
+        let done = cluster.run_to_completion(SimTime::from_secs(600));
+        (cluster, done)
+    };
+    let (parallel, parallel_done) = run(Some(PARALLEL_WORKERS));
+    let (serial, serial_done) = run(None);
+    let digests = |cluster: &Cluster<KvMachine>| -> Vec<u64> {
+        cluster
+            .servers
+            .iter()
+            .map(|&s| {
+                cluster
+                    .world
+                    .process_ref::<OarServer<KvMachine>>(s)
+                    .state_machine()
+                    .digest()
+            })
+            .collect()
+    };
+    let responses = |cluster: &Cluster<KvMachine>| {
+        let mut completed: Vec<_> = cluster
+            .completed_requests()
+            .iter()
+            .map(|r| (r.id, r.response.clone(), r.position, r.epoch))
+            .collect();
+        completed.sort_by_key(|&(id, ..)| id);
+        completed
+    };
+    let consistent = parallel_done
+        && serial_done
+        && parallel.check_replica_consistency().is_ok()
+        && parallel.check_external_consistency().is_ok()
+        && serial.check_replica_consistency().is_ok()
+        && serial.check_external_consistency().is_ok();
+    ParallelClusterRow {
+        servers: 3,
+        clients,
+        requests: parallel.completed_requests().len(),
+        workers: PARALLEL_WORKERS,
+        wave_commands: parallel.total_parallel_wave_commands(),
+        apply_ns: parallel.total_apply_ns(),
+        serial_apply_ns: serial.total_apply_ns(),
+        digests_match: digests(&parallel) == digests(&serial),
+        responses_match: responses(&parallel) == responses(&serial),
+        consistent,
+    }
+}
+
+/// Verifies the T-PARALLEL gates; returns every violation found (empty =
+/// pass). The CI `parallel-smoke` gate:
+///
+/// * every benchmark row is bit-identical to a serial apply of its batch;
+/// * the scheduler's wave structure is the expected one — the disjoint
+///   workload forms a single batch-wide wave, the conflicting one only
+///   singletons;
+/// * **disjoint speeds up**: ≥1.8× serial apply throughput at
+///   [`PARALLEL_WORKERS`] workers;
+/// * **conflicting stays at parity**: within ±10% of serial. Singleton
+///   waves bypass the pool entirely and run the *identical* code path as
+///   `workers = 1`, so parity is structural; the band only has to catch a
+///   gross regression (e.g. singleton waves being routed through the pool,
+///   which costs far more than 10%), and a wider band keeps the
+///   sleep-based wall-clock comparison robust on loaded shared runners;
+/// * the cluster run is consistent, actually executed multi-command waves,
+///   and its digests and responses match the serial twin exactly.
+pub fn check_parallel_bounds(rows: &[ParallelRow], cluster: &ParallelClusterRow) -> Vec<String> {
+    let mut violations = Vec::new();
+    for r in rows {
+        if !r.matches_serial {
+            violations.push(format!(
+                "{} workload at {} workers diverged from serial apply",
+                r.workload, r.workers
+            ));
+        }
+    }
+    let find = |workload: &str, workers: usize| {
+        rows.iter()
+            .find(|r| r.workload == workload && r.workers == workers)
+    };
+    match (find("disjoint", 1), find("disjoint", PARALLEL_WORKERS)) {
+        (Some(serial), Some(parallel)) => {
+            if parallel.waves != 1 || parallel.max_wave != parallel.commands as u64 {
+                violations.push(format!(
+                    "disjoint workload should form one batch-wide wave, got {} waves (max {})",
+                    parallel.waves, parallel.max_wave
+                ));
+            }
+            let speedup = parallel.ops_per_sec / serial.ops_per_sec;
+            if speedup < 1.8 {
+                violations.push(format!(
+                    "disjoint speedup {speedup:.2}x at {PARALLEL_WORKERS} workers \
+                     ({:.3} ms vs {:.3} ms serial), need >= 1.8x",
+                    parallel.wall_ms, serial.wall_ms
+                ));
+            }
+        }
+        _ => violations.push("disjoint rows missing".to_string()),
+    }
+    match (
+        find("conflicting", 1),
+        find("conflicting", PARALLEL_WORKERS),
+    ) {
+        (Some(serial), Some(parallel)) => {
+            if parallel.waves != parallel.commands || parallel.max_wave != 1 {
+                violations.push(format!(
+                    "conflicting workload should form only singleton waves, got {} waves (max {})",
+                    parallel.waves, parallel.max_wave
+                ));
+            }
+            let ratio = parallel.ops_per_sec / serial.ops_per_sec;
+            if !(0.90..=1.10).contains(&ratio) {
+                violations.push(format!(
+                    "conflicting workload at {PARALLEL_WORKERS} workers runs at {ratio:.3}x \
+                     serial ({:.3} ms vs {:.3} ms), need parity within 10%",
+                    parallel.wall_ms, serial.wall_ms
+                ));
+            }
+        }
+        _ => violations.push("conflicting rows missing".to_string()),
+    }
+    if !cluster.consistent {
+        violations.push("cluster run did not complete consistently".to_string());
+    }
+    if cluster.wave_commands == 0 {
+        violations.push("cluster run never executed a multi-command wave".to_string());
+    }
+    if !cluster.digests_match {
+        violations.push("parallel cluster digests differ from the serial twin".to_string());
+    }
+    if !cluster.responses_match {
+        violations.push("parallel cluster responses differ from the serial twin".to_string());
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1939,6 +2292,43 @@ mod tests {
         assert!(row2.multi_group_txns > 0, "the workload must span groups");
         assert_eq!(row2.fastpath_wires_txn, row2.fastpath_wires_plain);
         assert!(row2.mean_commit_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn parallel_apply_rows_stay_bit_identical_to_serial() {
+        // Zero blocking cost: this asserts scheduling structure and
+        // bit-identical execution only — the wall-clock gates live in the
+        // harness (`parallel` / `parallel-smoke`), where timing variance
+        // cannot flake `cargo test`.
+        let rows = parallel_apply_experiment(24, 100, 0, 1);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.matches_serial));
+        let disjoint = rows
+            .iter()
+            .find(|r| r.workload == "disjoint" && r.workers == PARALLEL_WORKERS)
+            .unwrap();
+        assert_eq!(disjoint.waves, 1);
+        assert_eq!(disjoint.max_wave, 24);
+        let conflicting = rows
+            .iter()
+            .find(|r| r.workload == "conflicting" && r.workers == PARALLEL_WORKERS)
+            .unwrap();
+        assert_eq!(conflicting.waves, 24);
+        assert_eq!(conflicting.max_wave, 1);
+    }
+
+    #[test]
+    fn parallel_cluster_twin_runs_agree() {
+        let row = parallel_cluster_experiment(2, 16, 7);
+        assert!(row.consistent);
+        assert_eq!(row.requests, 2 * 16);
+        assert!(row.digests_match, "parallel digests must equal the twin's");
+        assert!(row.responses_match, "replies must be bit-identical");
+        assert!(
+            row.wave_commands > 0,
+            "disjoint per-client keys must schedule multi-command waves"
+        );
+        assert!(row.apply_ns > 0 && row.serial_apply_ns > 0);
     }
 
     #[test]

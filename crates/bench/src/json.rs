@@ -8,8 +8,8 @@
 use oar_simnet::Summary;
 
 use crate::experiments::{
-    AdaptiveRow, AdaptiveSkewRow, FailoverRow, GcRow, LatencyRow, ShardedRow, SoakRow,
-    ThroughputRow, TxnRow, UndoRow,
+    AdaptiveRow, AdaptiveSkewRow, FailoverRow, GcRow, LatencyRow, ParallelClusterRow, ParallelRow,
+    ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
 };
 use crate::figures::FigureOutcome;
 
@@ -110,7 +110,7 @@ impl ToJson for ThroughputRow {
                 "\"p50_latency_ms\":{},\"p95_latency_ms\":{},\"p99_latency_ms\":{},",
                 "\"order_messages_sent\":{},\"reply_messages_sent\":{},",
                 "\"replies_sent\":{},\"consensus_allocations\":{},",
-                "\"consensus_messages\":{},\"peak_payloads\":{}}}"
+                "\"consensus_messages\":{},\"peak_payloads\":{},\"apply_ns\":{}}}"
             ),
             escape(&self.protocol),
             self.servers,
@@ -127,6 +127,53 @@ impl ToJson for ThroughputRow {
             self.consensus_allocations,
             self.consensus_messages,
             self.peak_payloads,
+            self.apply_ns,
+        )
+    }
+}
+
+impl ToJson for ParallelRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"workload\":\"{}\",\"workers\":{},\"commands\":{},",
+                "\"spin_rounds\":{},\"block_us\":{},\"waves\":{},",
+                "\"max_wave\":{},\"wall_ms\":{},\"ops_per_sec\":{},",
+                "\"matches_serial\":{}}}"
+            ),
+            escape(&self.workload),
+            self.workers,
+            self.commands,
+            self.spin_rounds,
+            self.block_us,
+            self.waves,
+            self.max_wave,
+            f(self.wall_ms),
+            f(self.ops_per_sec),
+            self.matches_serial,
+        )
+    }
+}
+
+impl ToJson for ParallelClusterRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"servers\":{},\"clients\":{},\"requests\":{},",
+                "\"workers\":{},\"wave_commands\":{},\"apply_ns\":{},",
+                "\"serial_apply_ns\":{},\"digests_match\":{},",
+                "\"responses_match\":{},\"consistent\":{}}}"
+            ),
+            self.servers,
+            self.clients,
+            self.requests,
+            self.workers,
+            self.wave_commands,
+            self.apply_ns,
+            self.serial_apply_ns,
+            self.digests_match,
+            self.responses_match,
+            self.consistent,
         )
     }
 }
@@ -353,6 +400,27 @@ mod tests {
     fn u64_arrays_render_as_json() {
         assert_eq!(u64_array(&[]), "[]");
         assert_eq!(u64_array(&[1, 2, 3]), "[1,2,3]");
+    }
+
+    #[test]
+    fn parallel_row_shape() {
+        let row = ParallelRow {
+            workload: "disjoint".to_string(),
+            workers: 4,
+            commands: 64,
+            spin_rounds: 2000,
+            block_us: 250,
+            waves: 1,
+            max_wave: 64,
+            wall_ms: 5.5,
+            ops_per_sec: 11636.0,
+            matches_serial: true,
+        };
+        let j = row.to_json();
+        assert!(j.contains("\"workload\":\"disjoint\""));
+        assert!(j.contains("\"max_wave\":64"));
+        assert!(j.contains("\"matches_serial\":true"));
+        assert!(j.starts_with('{') && j.ends_with('}'));
     }
 
     #[test]

@@ -226,6 +226,28 @@ impl<S: StateMachine> Cluster<S> {
         self.sum_stats(|st| st.reply_messages_sent)
     }
 
+    /// Total real wall-clock nanoseconds spent inside `StateMachine`
+    /// application across all servers. Host time, not simulated time — a
+    /// measurement channel for the parallel-apply experiments, never part of
+    /// the deterministic protocol state.
+    pub fn total_apply_ns(&self) -> u64 {
+        self.sum_stats(|st| st.apply_ns)
+    }
+
+    /// Total commands applied through multi-command waves (wave size ≥ 2)
+    /// across all servers — how much of the workload the conflict-graph
+    /// scheduler actually ran concurrently.
+    pub fn total_parallel_wave_commands(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| {
+                let stats = self.world.process_ref::<OarServer<S>>(s).stats();
+                let h = stats.wave_sizes;
+                h.sum() - h.counts()[0]
+            })
+            .sum()
+    }
+
     /// Total individual request replies carried by those wires.
     pub fn total_replies(&self) -> u64 {
         self.sum_stats(|st| st.replies_sent)

@@ -63,6 +63,16 @@ pub struct OarConfig {
     /// requests in the current epoch proactively R-broadcasts `PhaseII` so the
     /// epoch is cut and `O_delivered` garbage-collected.
     pub epoch_cut_after: Option<u64>,
+    /// Parallel apply: when `Some(workers)`, each delivery batch (optimistic
+    /// drain or conservative decision) is handed to
+    /// [`StateMachine::apply_batch`](crate::state_machine::StateMachine::apply_batch)
+    /// with this worker count, so machines that override it — e.g. via
+    /// [`crate::parallel::wave_apply`] — execute non-conflicting commands
+    /// concurrently. Responses and state stay bit-identical to serial apply;
+    /// only the replica's apply-stage wall-clock changes
+    /// (`ServerStats::apply_ns`, `ServerStats::wave_sizes`). `None` (the
+    /// default) keeps the serial per-command path.
+    pub parallel_apply: Option<usize>,
 }
 
 impl Default for OarConfig {
@@ -77,6 +87,7 @@ impl Default for OarConfig {
             flush_delay: None,
             adaptive: None,
             epoch_cut_after: None,
+            parallel_apply: None,
         }
     }
 }
@@ -143,6 +154,7 @@ pub struct OarConfigBuilder {
     flush_delay: Option<SimDuration>,
     adaptive: Option<AdaptiveConfig>,
     epoch_cut_after: Option<u64>,
+    parallel_apply: Option<usize>,
 }
 
 impl OarConfigBuilder {
@@ -208,6 +220,16 @@ impl OarConfigBuilder {
         self
     }
 
+    /// Enables parallel apply with the given worker count: delivery batches
+    /// are partitioned into waves of pairwise non-conflicting commands
+    /// ([`crate::parallel`]) and each wave is applied across `workers`
+    /// threads. Zero is rejected at build time; `1` keeps the execution
+    /// serial but exercises the scheduler (wave statistics included).
+    pub fn with_parallel_apply(mut self, workers: usize) -> Self {
+        self.parallel_apply = Some(workers);
+        self
+    }
+
     /// Validates the combination and produces the configuration.
     ///
     /// # Errors
@@ -219,8 +241,12 @@ impl OarConfigBuilder {
     /// * `eager_sequencing(false)` combined with `flush_delay` or
     ///   `adaptive` — both flush paths hang off eager sequencing, so in
     ///   tick-only mode they would be silently ignored;
+    /// * `with_parallel_apply(0)` — a pool of zero workers can never apply;
     /// * a zero `tick_interval` — the maintenance timer would spin.
     pub fn try_build(self) -> Result<OarConfig, String> {
+        if let Some(0) = self.parallel_apply {
+            return Err("with_parallel_apply needs at least 1 worker (0 can never apply)".into());
+        }
         if let Some(0) = self.max_batch {
             return Err("max_batch must be at least 1 (0 can never flush)".into());
         }
@@ -271,6 +297,7 @@ impl OarConfigBuilder {
             flush_delay: self.flush_delay,
             adaptive: self.adaptive,
             epoch_cut_after: self.epoch_cut_after,
+            parallel_apply: self.parallel_apply,
         })
     }
 
@@ -309,6 +336,7 @@ mod tests {
         assert_eq!(cfg.flush_delay, None);
         assert_eq!(cfg.adaptive, None);
         assert_eq!(cfg.epoch_cut_after, None);
+        assert_eq!(cfg.parallel_apply, None);
         assert!(cfg.consensus.require_majority_estimates);
     }
 
@@ -342,6 +370,17 @@ mod tests {
         assert_eq!(cfg.epoch_cut_after, Some(100));
         let tick_only = OarConfig::builder().eager_sequencing(false).build();
         assert!(!tick_only.eager_sequencing);
+    }
+
+    #[test]
+    fn builder_accepts_and_validates_parallel_apply() {
+        let cfg = OarConfig::builder().with_parallel_apply(4).build();
+        assert_eq!(cfg.parallel_apply, Some(4));
+        let err = OarConfig::builder()
+            .with_parallel_apply(0)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("parallel_apply"), "unexpected error: {err}");
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!
 //! ## Crate layout
 //!
-//! * [`state_machine`] — the deterministic, undoable replicated-service trait;
+//! * [`state_machine`] — the deterministic, undoable replicated-service trait,
+//!   plus the [`ConflictKeys`] footprint declaration commands opt into;
+//! * [`parallel`] — conflict-graph wave scheduling of `apply` across a
+//!   `std::thread::scope` worker pool: non-conflicting commands of one
+//!   delivery batch execute concurrently, bit-identically to serial apply;
 //! * [`message`] — requests, weighted replies, ordering messages, wire enum;
 //! * [`cnsv_order`] — the pure `Cnsv-order` procedure (Fig. 7) and its
 //!   property-tested specification (§5.4);
@@ -70,6 +74,7 @@ pub mod cluster;
 pub mod cnsv_order;
 pub mod config;
 pub mod message;
+pub mod parallel;
 pub mod server;
 pub mod shard;
 pub mod sharded;
@@ -85,8 +90,9 @@ pub use message::{
     majority, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request, RequestId,
     TxnEnvelope, TxnId, Weight,
 };
+pub use parallel::{plan_waves, wave_apply, ParallelStateMachine};
 pub use server::{DeliveryRecord, OarServer, Phase, ServerStats};
 pub use shard::{Partitioner, ShardKey, ShardRouter};
 pub use sharded::{ShardCompleted, ShardedClient, ShardedCluster, ShardedConfig};
-pub use state_machine::StateMachine;
+pub use state_machine::{AppliedBatch, ConflictKeys, KeySet, StateMachine};
 pub use txn::{MultiOp, TxnClient, TxnCluster, TxnCompleted, TxnPart};

@@ -94,7 +94,36 @@ use crate::message::{
     CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, ReplyBatch, ReplyItem, Request,
     RequestId, Weight,
 };
-use crate::state_machine::StateMachine;
+use crate::state_machine::{AppliedBatch, StateMachine};
+
+/// Applies one delivery batch to the state machine, routing through
+/// [`StateMachine::apply_batch`] when parallel apply is configured and the
+/// batch has room for concurrency. A free function over the individual
+/// fields so callers can keep disjoint borrows of the server.
+///
+/// Wall-clock time spent applying and the wave partition used are recorded
+/// in the stats; both are observability only and never feed back into the
+/// (deterministic) protocol.
+fn apply_command_batch<S: StateMachine>(
+    sm: &mut S,
+    parallel: Option<usize>,
+    stats: &mut ServerStats,
+    commands: &[&S::Command],
+) -> Vec<(S::Response, S::Undo)> {
+    let start = std::time::Instant::now();
+    let batch = match parallel {
+        Some(workers) if commands.len() > 1 => sm.apply_batch(commands, workers),
+        _ => AppliedBatch {
+            results: commands.iter().map(|c| sm.apply(c)).collect(),
+            wave_sizes: vec![1; commands.len()],
+        },
+    };
+    stats.apply_ns += start.elapsed().as_nanos() as u64;
+    for &size in &batch.wave_sizes {
+        stats.wave_sizes.record(size);
+    }
+    batch.results
+}
 
 /// Replies accumulated during one delivery batch, keyed by destination
 /// client. `BTreeMap` so the flush order (and thus the simulation schedule)
@@ -209,6 +238,17 @@ pub struct ServerStats {
     /// Partial batches ordered by the flush-deadline timer (as opposed to
     /// reaching the batch threshold or the maintenance tick).
     pub deadline_flushes: u64,
+    /// Cumulative **real wall-clock** nanoseconds this server spent inside
+    /// `StateMachine` application (optimistic and conservative deliveries).
+    /// Unlike every other counter this measures host time, not simulated
+    /// time: it is what the parallel-apply stage actually changes, and it is
+    /// excluded from all determinism comparisons.
+    pub apply_ns: u64,
+    /// Distribution of the apply scheduler's wave sizes (power-of-two
+    /// buckets). Serial application records every command as a singleton
+    /// wave; with [`OarConfig::parallel_apply`] set, larger waves show how
+    /// much of each delivery batch was conflict-free.
+    pub wave_sizes: BucketHistogram,
 }
 
 /// The OAR server process, generic over the replicated [`StateMachine`].
@@ -668,13 +708,19 @@ impl<S: StateMachine> OarServer<S> {
     }
 
     /// Opt-delivers ordered requests whose payload is available, preserving the
-    /// sequencer order. O(1) per drained request; the whole drain produces at
-    /// most one `ReplyBatch` wire per client.
+    /// sequencer order. O(1) per drained request; the whole drain forms **one**
+    /// delivery batch — applied in one [`apply_command_batch`] call (the
+    /// speculative half of parallel apply: waves of non-conflicting optimistic
+    /// deliveries execute concurrently, each still individually undoable) —
+    /// and produces at most one `ReplyBatch` wire per client.
     fn drain_order_queue(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
         if self.phase != Phase::Optimistic {
             return;
         }
-        let mut pending: PendingReplies<S::Response> = BTreeMap::new();
+        // Collect the deliverable prefix of the queue, stopping at the §5.3
+        // epoch cut: proactively cut long epochs to garbage-collect
+        // O_delivered. The rest of the queue is re-ordered in the next epoch.
+        let mut batch: Vec<RequestId> = Vec::new();
         let mut cut_epoch = false;
         while let Some(&next) = self.order_queue.front() {
             if self.delivered_already(&next) {
@@ -687,16 +733,17 @@ impl<S: StateMachine> OarServer<S> {
             }
             self.order_queue.pop_front();
             self.order_queued.remove(&next);
-            self.opt_deliver(ctx, next, &mut pending);
-            // §5.3 remark: proactively cut long epochs to garbage-collect
-            // O_delivered. Stop delivering optimistically once the cut is
-            // due; the rest of the queue is re-ordered in the next epoch.
+            batch.push(next);
             if let Some(cut) = self.config.epoch_cut_after {
-                if self.o_delivered.len() as u64 >= cut && self.is_sequencer() {
+                if (self.o_delivered.len() + batch.len()) as u64 >= cut && self.is_sequencer() {
                     cut_epoch = true;
                     break;
                 }
             }
+        }
+        let mut pending: PendingReplies<S::Response> = BTreeMap::new();
+        if !batch.is_empty() {
+            self.opt_deliver_batch(ctx, &batch, &mut pending);
         }
         self.flush_replies(ctx, pending, DeliveryKind::Optimistic);
         if cut_epoch {
@@ -704,31 +751,45 @@ impl<S: StateMachine> OarServer<S> {
         }
     }
 
-    /// `Opt-deliver(m)`: process the request and queue the optimistic reply
-    /// for the batch flush.
-    fn opt_deliver(
+    /// `Opt-deliver` one drained batch: apply all commands (in parallel waves
+    /// when configured — every result is bit-identical to serial apply), then
+    /// record deliveries, undo tokens and optimistic replies in delivery
+    /// order.
+    fn opt_deliver_batch(
         &mut self,
         ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
-        id: RequestId,
+        ids: &[RequestId],
         pending: &mut PendingReplies<S::Response>,
     ) {
-        let request = self.payloads.get(&id).expect("payload present").clone();
-        let (response, undo) = self.sm.apply(&request.command);
-        self.o_delivered.push(id);
-        self.undo_stack.push((id, undo));
-        self.position += 1;
-        self.stats.opt_delivered += 1;
-        self.log.push(DeliveryRecord::OptDeliver {
-            epoch: self.epoch,
-            request: id,
-            position: self.position,
-        });
-        self.annotate(ctx, format!("Opt-deliver({id}) @{}", self.position));
-        pending.entry(request.client).or_default().push(ReplyItem {
-            request: id,
-            position: self.position,
-            response,
-        });
+        let requests: Vec<Request<S::Command>> = ids
+            .iter()
+            .map(|id| self.payloads.get(id).expect("payload present").clone())
+            .collect();
+        let commands: Vec<&S::Command> = requests.iter().map(|r| &r.command).collect();
+        let results = apply_command_batch(
+            &mut self.sm,
+            self.config.parallel_apply,
+            &mut self.stats,
+            &commands,
+        );
+        for (request, (response, undo)) in requests.iter().zip(results) {
+            let id = request.id;
+            self.o_delivered.push(id);
+            self.undo_stack.push((id, undo));
+            self.position += 1;
+            self.stats.opt_delivered += 1;
+            self.log.push(DeliveryRecord::OptDeliver {
+                epoch: self.epoch,
+                request: id,
+                position: self.position,
+            });
+            self.annotate(ctx, format!("Opt-deliver({id}) @{}", self.position));
+            pending.entry(request.client).or_default().push(ReplyItem {
+                request: id,
+                position: self.position,
+                response,
+            });
+        }
     }
 
     /// The single reply-construction site of the server: sends the queued
@@ -982,24 +1043,41 @@ impl<S: StateMachine> OarServer<S> {
         }
 
         // Lines 27–29: A-deliver the new sequence and reply with weight Π,
-        // one ReplyBatch per client for the whole decision.
+        // one ReplyBatch per client for the whole decision. The decision is
+        // one delivery batch: with parallel apply configured its
+        // non-conflicting commands execute in concurrent waves, bit-identical
+        // to this loop applying them one by one. The undo tokens are dropped:
+        // A-deliveries are settled and never rolled back.
         let mut pending: PendingReplies<S::Response> = BTreeMap::new();
-        for id in outcome.new.iter() {
-            let request = self.payloads.get(id).expect("payload present").clone();
-            let (response, _undo) = self.sm.apply(&request.command);
-            self.position += 1;
-            self.stats.a_delivered += 1;
-            self.log.push(DeliveryRecord::ADeliver {
-                epoch: self.epoch,
-                request: *id,
-                position: self.position,
-            });
-            self.annotate(ctx, format!("A-deliver({id}) @{}", self.position));
-            pending.entry(request.client).or_default().push(ReplyItem {
-                request: *id,
-                position: self.position,
-                response,
-            });
+        if !outcome.new.is_empty() {
+            let requests: Vec<Request<S::Command>> = outcome
+                .new
+                .iter()
+                .map(|id| self.payloads.get(id).expect("payload present").clone())
+                .collect();
+            let commands: Vec<&S::Command> = requests.iter().map(|r| &r.command).collect();
+            let results = apply_command_batch(
+                &mut self.sm,
+                self.config.parallel_apply,
+                &mut self.stats,
+                &commands,
+            );
+            for (request, (response, _undo)) in requests.iter().zip(results) {
+                let id = request.id;
+                self.position += 1;
+                self.stats.a_delivered += 1;
+                self.log.push(DeliveryRecord::ADeliver {
+                    epoch: self.epoch,
+                    request: id,
+                    position: self.position,
+                });
+                self.annotate(ctx, format!("A-deliver({id}) @{}", self.position));
+                pending.entry(request.client).or_default().push(ReplyItem {
+                    request: id,
+                    position: self.position,
+                    response,
+                });
+            }
         }
         // Flushed while `epoch` is still the closing epoch, so the batch is
         // stamped correctly.

@@ -10,6 +10,60 @@
 
 use std::fmt;
 
+/// The set of state keys one command reads or writes, used by the parallel
+/// apply scheduler ([`crate::parallel`]) to decide which commands of a
+/// delivery batch may execute concurrently.
+///
+/// Two commands **conflict** iff their key sets intersect; a command whose
+/// footprint is unknown ([`KeySet::All`]) conflicts with every other command
+/// and therefore always executes alone, in delivery order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KeySet<'a> {
+    /// Unknown footprint: conflicts with everything (the safe default).
+    All,
+    /// The command touches exactly these keys (duplicates are harmless).
+    Keys(Vec<&'a str>),
+}
+
+impl KeySet<'_> {
+    /// Whether the two key sets intersect — i.e. whether the owning commands
+    /// conflict and must respect the delivery order.
+    pub fn intersects(&self, other: &KeySet<'_>) -> bool {
+        match (self, other) {
+            (KeySet::All, _) | (_, KeySet::All) => true,
+            (KeySet::Keys(a), KeySet::Keys(b)) => a.iter().any(|k| b.contains(k)),
+        }
+    }
+}
+
+/// Commands that can declare the keys they touch.
+///
+/// This is the conflict relation of Marandi & Pedone's *Optimistic Parallel
+/// State-Machine Replication*: non-conflicting commands commute, so a replica
+/// may apply them in parallel without breaking determinism. The key space is
+/// the same one [`crate::shard::ShardKey`] routes by — a single-key command
+/// returns its shard key; a multi-op ([`crate::txn::MultiOp`]) must return
+/// the **union** of its members' keys, not one representative.
+///
+/// Implementations must be conservative: every key the command might read or
+/// write has to be listed, and [`KeySet::All`] is always a correct (serial)
+/// answer.
+pub trait ConflictKeys {
+    /// The keys this command reads or writes.
+    fn conflict_keys(&self) -> KeySet<'_>;
+}
+
+/// The outcome of [`StateMachine::apply_batch`]: per-command results in
+/// delivery order, plus the wave partition the applier used (all singleton
+/// waves for serial application).
+#[derive(Debug)]
+pub struct AppliedBatch<S: StateMachine + ?Sized> {
+    /// `(response, undo)` per command, in the order passed to `apply_batch`.
+    pub results: Vec<(S::Response, S::Undo)>,
+    /// Number of commands in each execution wave, in wave order.
+    pub wave_sizes: Vec<u64>,
+}
+
 /// A deterministic, undoable replicated state machine.
 ///
 /// Implementations must be deterministic: two instances that apply the same
@@ -48,6 +102,27 @@ pub trait StateMachine: fmt::Debug + 'static {
     /// A deterministic digest of the current state, used by tests and the
     /// experiment harness to compare replica states.
     fn digest(&self) -> u64;
+
+    /// Applies one delivery batch in delivery order, returning per-command
+    /// results plus the wave partition used.
+    ///
+    /// The default applies serially and ignores `workers`. Machines whose
+    /// commands implement [`ConflictKeys`] can override it with
+    /// [`crate::parallel::wave_apply`] to execute non-conflicting commands
+    /// across a worker pool. Any override must stay **bit-identical** to
+    /// this serial default — same responses, same undo tokens, same final
+    /// state — because replicas mix both paths freely and the protocol's
+    /// propositions are checked against the serial semantics.
+    fn apply_batch(&mut self, commands: &[&Self::Command], workers: usize) -> AppliedBatch<Self>
+    where
+        Self: Sized,
+    {
+        let _ = workers;
+        AppliedBatch {
+            results: commands.iter().map(|c| self.apply(c)).collect(),
+            wave_sizes: vec![1; commands.len()],
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -87,6 +162,15 @@ impl CounterMachine {
 #[derive(Debug)]
 pub struct CounterUndo {
     delta: i64,
+}
+
+/// Every counter command touches the single shared cell, so all counter
+/// commands conflict pairwise and the parallel scheduler degenerates to
+/// serial waves — correct, just without speedup.
+impl ConflictKeys for CounterCommand {
+    fn conflict_keys(&self) -> KeySet<'_> {
+        KeySet::Keys(vec!["counter"])
+    }
 }
 
 impl StateMachine for CounterMachine {
@@ -169,5 +253,42 @@ mod tests {
         let b = CounterMachine::default();
         a.apply(&CounterCommand::Add(1));
         assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn key_sets_intersect_on_shared_keys_and_always_on_all() {
+        let ab = KeySet::Keys(vec!["a", "b"]);
+        let bc = KeySet::Keys(vec!["b", "c"]);
+        let cd = KeySet::Keys(vec!["c", "d"]);
+        assert!(ab.intersects(&bc));
+        assert!(!ab.intersects(&cd));
+        assert!(KeySet::All.intersects(&ab));
+        assert!(ab.intersects(&KeySet::All));
+        assert!(KeySet::All.intersects(&KeySet::All));
+    }
+
+    #[test]
+    fn counter_commands_all_conflict() {
+        let add = CounterCommand::Add(1).conflict_keys();
+        let get = CounterCommand::Get.conflict_keys();
+        assert!(add.intersects(&get));
+    }
+
+    #[test]
+    fn default_apply_batch_is_serial_and_matches_apply() {
+        let commands = [
+            CounterCommand::Add(4),
+            CounterCommand::Get,
+            CounterCommand::Add(-9),
+        ];
+        let refs: Vec<&CounterCommand> = commands.iter().collect();
+        let mut batched = CounterMachine::default();
+        let mut serial = CounterMachine::default();
+        let out = batched.apply_batch(&refs, 8);
+        let expected: Vec<i64> = commands.iter().map(|c| serial.apply(c).0).collect();
+        let got: Vec<i64> = out.results.iter().map(|(r, _)| *r).collect();
+        assert_eq!(got, expected);
+        assert_eq!(out.wave_sizes, vec![1; commands.len()]);
+        assert_eq!(batched.digest(), serial.digest());
     }
 }
