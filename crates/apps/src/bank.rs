@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use oar::state_machine::StateMachine;
+use oar::state_machine::{Snapshottable, StateImage, StateMachine};
 
 /// Account identifier.
 pub type AccountId = u32;
@@ -242,6 +242,27 @@ impl StateMachine for BankMachine {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         h ^ self.ops
+    }
+
+    fn snapshot(&self) -> Option<StateImage> {
+        Some(self.erased_snapshot())
+    }
+
+    fn install(&mut self, image: &StateImage) -> bool {
+        self.install_erased(image)
+    }
+}
+
+/// Snapshots are a full copy of the ledger (accounts + op counter).
+impl Snapshottable for BankMachine {
+    type Image = BankMachine;
+
+    fn snapshot_image(&self) -> BankMachine {
+        self.clone()
+    }
+
+    fn install_image(&mut self, image: &BankMachine) {
+        *self = image.clone();
     }
 }
 

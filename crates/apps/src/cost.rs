@@ -17,7 +17,7 @@
 //! speedup gate stays meaningful on minimal CI runners.
 
 use oar::parallel::ParallelStateMachine;
-use oar::state_machine::{AppliedBatch, ConflictKeys, StateMachine};
+use oar::state_machine::{AppliedBatch, ConflictKeys, StateImage, StateMachine};
 
 /// Burns a deterministic amount of CPU: `rounds` iterations of the FNV-1a
 /// step. Returned (and consumed via `std::hint::black_box`) so the optimiser
@@ -114,6 +114,16 @@ where
 
     fn digest(&self) -> u64 {
         self.inner.digest()
+    }
+
+    // Snapshots capture only the wrapped machine's state; the cost knobs are
+    // construction-time configuration and survive an install unchanged.
+    fn snapshot(&self) -> Option<StateImage> {
+        self.inner.snapshot()
+    }
+
+    fn install(&mut self, image: &StateImage) -> bool {
+        self.inner.install(image)
     }
 
     fn apply_batch(&mut self, commands: &[&Self::Command], workers: usize) -> AppliedBatch<Self> {

@@ -10,7 +10,9 @@ use std::collections::BTreeMap;
 
 use oar::parallel::ParallelStateMachine;
 use oar::shard::ShardKey;
-use oar::state_machine::{AppliedBatch, ConflictKeys, KeySet, StateMachine};
+use oar::state_machine::{
+    AppliedBatch, ConflictKeys, KeySet, Snapshottable, StateImage, StateMachine,
+};
 use oar::txn::MultiOp;
 
 /// Keys are small strings; values are strings too (the protocol does not care).
@@ -422,6 +424,28 @@ impl StateMachine for KvMachine {
             h = h.rotate_left(7);
         }
         h ^ self.ops
+    }
+
+    fn snapshot(&self) -> Option<StateImage> {
+        Some(self.erased_snapshot())
+    }
+
+    fn install(&mut self, image: &StateImage) -> bool {
+        self.install_erased(image)
+    }
+}
+
+/// Snapshots are a full copy of the store (map + op counter): in the
+/// simulator a clone is the byte-buffer a real deployment would serialize.
+impl Snapshottable for KvMachine {
+    type Image = KvMachine;
+
+    fn snapshot_image(&self) -> KvMachine {
+        self.clone()
+    }
+
+    fn install_image(&mut self, image: &KvMachine) {
+        *self = image.clone();
     }
 }
 

@@ -8,7 +8,7 @@
 //! fixed-sequencer baseline (where the inconsistency shows up) and on OAR
 //! (where it cannot).
 
-use oar::state_machine::StateMachine;
+use oar::state_machine::{Snapshottable, StateImage, StateMachine};
 
 /// Commands of the replicated stack.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -113,6 +113,27 @@ impl StateMachine for StackMachine {
             h = h.wrapping_mul(0x0000_0100_0000_01B3);
         }
         h ^ self.ops
+    }
+
+    fn snapshot(&self) -> Option<StateImage> {
+        Some(self.erased_snapshot())
+    }
+
+    fn install(&mut self, image: &StateImage) -> bool {
+        self.install_erased(image)
+    }
+}
+
+/// Snapshots are a full copy of the stack (items + op counter).
+impl Snapshottable for StackMachine {
+    type Image = StackMachine;
+
+    fn snapshot_image(&self) -> StackMachine {
+        self.clone()
+    }
+
+    fn install_image(&mut self, image: &StackMachine) {
+        *self = image.clone();
     }
 }
 

@@ -221,6 +221,52 @@ fn run_soak(clients: usize, requests_per_client: usize) -> bool {
     violations.is_empty()
 }
 
+fn run_recovery(clients: usize, requests_per_client: usize) -> bool {
+    println!(
+        "== T-RECOVER: crash + restart + snapshot/delta catch-up under {} requests ==",
+        clients * requests_per_client
+    );
+    let row = experiments::recovery_experiment(clients, requests_per_client, SEED);
+    println!(
+        "{:<6} {:>7} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5} {:>9} {:>8} {:>10}",
+        "n",
+        "clients",
+        "reqs",
+        "rejoined",
+        "snap-pos",
+        "delta",
+        "peak-adel",
+        "peak-undo",
+        "compacted",
+        "snaps",
+        "cu-wires",
+        "pyld-fet",
+        "consistent"
+    );
+    println!(
+        "{:<6} {:>7} {:>6} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5} {:>9} {:>8} {:>10}",
+        row.servers,
+        row.clients,
+        row.requests,
+        row.rejoined,
+        row.catch_up_snapshot_position,
+        row.catch_up_delta,
+        row.peak_a_delivered,
+        row.peak_undo_depth,
+        row.compacted,
+        row.snapshots,
+        row.catch_up_requests + row.catch_up_replies,
+        row.payload_fetches,
+        row.consistent
+    );
+    print_json("recovery", std::slice::from_ref(&row));
+    let violations = experiments::check_recovery_bounds(&row, requests_per_client);
+    for v in &violations {
+        eprintln!("RECOVERY VIOLATION: {v}");
+    }
+    violations.is_empty()
+}
+
 fn run_sharded(clients_per_group: usize, requests_per_client: usize) -> bool {
     println!(
         "== T-SHARD: aggregate throughput vs group count (fixed per-group load: {} clients x {} reqs) ==",
@@ -528,6 +574,20 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The full recovery soak: ≥ 5000 requests with a mid-run crash and
+        // restart; the rejoined replica must converge by snapshot + delta
+        // with retained state bounded by the compaction window.
+        "recovery" => {
+            if !run_recovery(8, 640) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: a smaller crash/restart/catch-up run with the same gates.
+        "recovery-smoke" => {
+            if !run_recovery(4, 200) {
+                std::process::exit(1);
+            }
+        }
         // The full sharded scaling sweep (1 → 4 groups at fixed per-group
         // load); exits non-zero if aggregate throughput fails to scale ≥2x
         // from 1 to 4 groups or any request is misrouted.
@@ -594,17 +654,18 @@ fn main() {
             run_throughput();
             run_gc();
             let soak_ok = run_soak(8, 640);
+            let recovery_ok = run_recovery(8, 640);
             let sharded_ok = run_sharded(4, 100);
             let txn_ok = run_txn(4, 50);
             let adaptive_ok = run_adaptive(50, 5, 40);
             let parallel_ok = run_parallel(96, 300, 5, 4, 48);
-            if !soak_ok || !sharded_ok || !txn_ok || !adaptive_ok || !parallel_ok {
+            if !soak_ok || !recovery_ok || !sharded_ok || !txn_ok || !adaptive_ok || !parallel_ok {
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | recovery | recovery-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke");
             std::process::exit(2);
         }
     }

@@ -813,6 +813,203 @@ pub fn check_soak_bounds(row: &SoakRow, requests_per_client: usize) -> Vec<Strin
     violations
 }
 
+/// Epochs between snapshots in the recovery soak: small enough that the
+/// retained `A_delivered` window is far below the workload size, large
+/// enough that each snapshot covers several epochs of settled commands.
+pub const RECOVERY_SNAPSHOT_EVERY: u64 = 4;
+
+/// One row of the crash-recovery soak (T-RECOVER).
+#[derive(Clone, Debug)]
+pub struct RecoveryRow {
+    /// Number of replicas.
+    pub servers: usize,
+    /// Number of pipelined clients.
+    pub clients: usize,
+    /// Requests completed.
+    pub requests: usize,
+    /// Whether the run completed and every consistency proposition held —
+    /// including the rejoined replica, which the checks compare against the
+    /// survivors through the compaction-aware digests and order hashes.
+    pub consistent: bool,
+    /// Whether the restarted replica finished its catch-up by quiesce.
+    pub rejoined: bool,
+    /// Snapshot position the restarted replica installed: > 0 means the
+    /// rejoin was snapshot + delta, not a full replay.
+    pub catch_up_snapshot_position: u64,
+    /// Settled commands replayed on top of the snapshot image.
+    pub catch_up_delta: u64,
+    /// Total settled position of the rejoined replica at quiesce (must be
+    /// past the transfer: it kept settling requests after resuming).
+    pub rejoined_settled: u64,
+    /// Peak retained `A_delivered` length across all servers — the quantity
+    /// log compaction must bound by the snapshot window, not the workload.
+    pub peak_a_delivered: u64,
+    /// Peak undo-stack depth across all servers (cleared at each epoch
+    /// close, so bounded by a single epoch's optimistic window).
+    pub peak_undo_depth: u64,
+    /// Snapshots taken across all servers.
+    pub snapshots: u64,
+    /// Settled commands pruned from retained logs across all servers.
+    pub compacted: u64,
+    /// `CatchUpRequest` wires sent (retries included).
+    pub catch_up_requests: u64,
+    /// `CatchUpReply` transfers served.
+    pub catch_up_replies: u64,
+    /// `PayloadFetch` repair wires sent.
+    pub payload_fetches: u64,
+}
+
+/// T-RECOVER: the crash-recovery soak. A replica crashes under a batched,
+/// pipelined, epoch-cut workload (the full-size run drives ≥ 5000 requests),
+/// restarts with blank state mid-run, and rejoins through the snapshot +
+/// delta catch-up protocol. [`check_recovery_bounds`] turns the row into a
+/// pass/fail verdict: the rejoined replica must converge to the cluster
+/// digest, peak `A_delivered` must be bounded by the compaction window — not
+/// the workload size — and the catch-up wire count must stay bounded.
+pub fn recovery_experiment(clients: usize, requests_per_client: usize, seed: u64) -> RecoveryRow {
+    let servers = 3;
+    let restarted = 2usize;
+    let oar = OarConfig {
+        epoch_cut_after: Some(SOAK_EPOCH_CUT),
+        snapshot_every: Some(RECOVERY_SNAPSHOT_EVERY),
+        ..OarConfig::with_batching(PIPELINE_DEPTH * clients)
+    };
+    let mut cluster = build_throughput_cluster(
+        oar,
+        servers,
+        clients,
+        requests_per_client,
+        PIPELINE_DEPTH,
+        seed,
+    );
+    // Crash a non-sequencer replica early, then revive it with fresh
+    // in-memory state once a survivor has taken its first snapshot — so the
+    // catch-up transfer is exercised as snapshot + delta (not a full replay)
+    // while the workload is still running and the rejoined replica settles
+    // new requests after resuming.
+    cluster
+        .world
+        .schedule_crash(cluster.servers[restarted], SimTime::from_millis(2));
+    let snapshot_deadline = SimTime::from_secs(300);
+    while cluster.server(0).stats().snapshots_taken == 0 && cluster.world.now() < snapshot_deadline
+    {
+        let step = cluster.world.now() + SimDuration::from_millis(5);
+        cluster.world.run_until(step);
+    }
+    let restart_at = cluster.world.now() + SimDuration::from_millis(1);
+    cluster.schedule_server_restart(restart_at, restarted, KvMachine::new);
+    let done = cluster.run_to_completion(SimTime::from_secs(600));
+    // Let catch-up retries, watermarks and heartbeats settle.
+    let settle_until = cluster.world.now() + SimDuration::from_millis(120);
+    cluster.world.run_until(settle_until);
+    let consistent = done
+        && cluster.check_replica_consistency().is_ok()
+        && cluster.check_external_consistency().is_ok();
+    let rejoined_server = cluster.server(restarted);
+    let rejoined = !rejoined_server.is_recovering();
+    let stats = rejoined_server.stats();
+    RecoveryRow {
+        servers,
+        clients,
+        requests: cluster.completed_requests().len(),
+        consistent,
+        rejoined,
+        catch_up_snapshot_position: stats.catch_up_snapshot_position,
+        catch_up_delta: stats.catch_up_delta,
+        rejoined_settled: rejoined_server.total_settled(),
+        peak_a_delivered: cluster.peak_a_delivered_len(),
+        peak_undo_depth: cluster.peak_undo_depth(),
+        snapshots: cluster.total_snapshots(),
+        compacted: cluster.total_compacted(),
+        catch_up_requests: cluster.total_catch_up_requests(),
+        catch_up_replies: cluster.total_catch_up_replies(),
+        payload_fetches: cluster.total_payload_fetches(),
+    }
+}
+
+/// Verifies the recovery gates of a T-RECOVER row; returns every violation
+/// found (empty = pass). Used by the CI `recovery-smoke` gate.
+pub fn check_recovery_bounds(row: &RecoveryRow, requests_per_client: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    let total = (row.clients * requests_per_client) as u64;
+    if !row.consistent {
+        violations.push("run did not complete consistently".to_string());
+    }
+    if row.requests as u64 != total {
+        violations.push(format!(
+            "completed {} of {} requests (at-least-once violated)",
+            row.requests, total
+        ));
+    }
+    // Gate 1: the restarted replica converged — it finished catch-up via
+    // snapshot + delta (not a full replay) and kept settling afterwards.
+    // Digest equality with the survivors is part of `consistent` above.
+    if !row.rejoined {
+        violations.push("restarted replica still mid-recovery at quiesce".to_string());
+    }
+    if row.catch_up_snapshot_position == 0 {
+        violations.push(format!(
+            "catch-up replayed from position 0 — full replay, not snapshot + delta \
+             (delta {})",
+            row.catch_up_delta
+        ));
+    }
+    let transferred = row.catch_up_snapshot_position + row.catch_up_delta;
+    if row.rejoined_settled <= transferred {
+        violations.push(format!(
+            "rejoined replica settled nothing after the transfer \
+             (transfer {transferred}, settled {})",
+            row.rejoined_settled
+        ));
+    }
+    // Gate 2: log compaction bounds retained state by the snapshot window —
+    // `RECOVERY_SNAPSHOT_EVERY` epochs of at most (cut + in-flight pipeline)
+    // commands each, with 2x slack — NOT by the total request count.
+    let epoch_window = SOAK_EPOCH_CUT + (row.clients * PIPELINE_DEPTH) as u64;
+    let a_delivered_bound = 2 * RECOVERY_SNAPSHOT_EVERY * epoch_window;
+    if row.peak_a_delivered > a_delivered_bound {
+        violations.push(format!(
+            "peak A_delivered {} exceeds the compaction window bound {a_delivered_bound} \
+             (total requests: {total})",
+            row.peak_a_delivered
+        ));
+    }
+    if row.snapshots == 0 {
+        violations.push("no snapshots taken — compaction never ran".to_string());
+    }
+    // The undo stack clears at every epoch close: bounded by one epoch's
+    // optimistic window regardless of workload size.
+    let undo_bound = 2 * epoch_window;
+    if row.peak_undo_depth > undo_bound {
+        violations.push(format!(
+            "peak undo depth {} exceeds the epoch window bound {undo_bound}",
+            row.peak_undo_depth
+        ));
+    }
+    // Gate 3: bounded catch-up wire count. One restart should take a handful
+    // of request/reply exchanges (donor rotation retries included) and a
+    // bounded number of payload repairs — never O(workload) traffic.
+    if row.catch_up_requests > 8 {
+        violations.push(format!(
+            "{} CatchUpRequest wires for one restart (retry storm?)",
+            row.catch_up_requests
+        ));
+    }
+    if row.catch_up_replies > 8 {
+        violations.push(format!(
+            "{} CatchUpReply transfers for one restart",
+            row.catch_up_replies
+        ));
+    }
+    if row.payload_fetches > 64 {
+        violations.push(format!(
+            "{} PayloadFetch wires (repair traffic should be bounded)",
+            row.payload_fetches
+        ));
+    }
+    violations
+}
+
 /// One row of the sharded scaling experiment (T-SHARD).
 #[derive(Clone, Debug)]
 pub struct ShardedRow {

@@ -9,7 +9,7 @@ use oar_simnet::Summary;
 
 use crate::experiments::{
     AdaptiveRow, AdaptiveSkewRow, FailoverRow, GcRow, LatencyRow, ParallelClusterRow, ParallelRow,
-    ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
+    RecoveryRow, ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
 };
 use crate::figures::FigureOutcome;
 
@@ -263,6 +263,37 @@ impl ToJson for SoakRow {
             self.consensus_allocations,
             self.consensus_messages,
             self.consistent,
+        )
+    }
+}
+
+impl ToJson for RecoveryRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"servers\":{},\"clients\":{},\"requests\":{},",
+                "\"consistent\":{},\"rejoined\":{},",
+                "\"catch_up_snapshot_position\":{},\"catch_up_delta\":{},",
+                "\"rejoined_settled\":{},\"peak_a_delivered\":{},",
+                "\"peak_undo_depth\":{},\"snapshots\":{},\"compacted\":{},",
+                "\"catch_up_requests\":{},\"catch_up_replies\":{},",
+                "\"payload_fetches\":{}}}"
+            ),
+            self.servers,
+            self.clients,
+            self.requests,
+            self.consistent,
+            self.rejoined,
+            self.catch_up_snapshot_position,
+            self.catch_up_delta,
+            self.rejoined_settled,
+            self.peak_a_delivered,
+            self.peak_undo_depth,
+            self.snapshots,
+            self.compacted,
+            self.catch_up_requests,
+            self.catch_up_replies,
+            self.payload_fetches,
         )
     }
 }

@@ -554,6 +554,56 @@ impl<V: Clone + fmt::Debug> MajConsensus<V> {
         self.send_estimate(self.round, out);
     }
 
+    /// Re-sends the wire messages this process's current state calls for: its
+    /// estimate for the round it is in, the proposals of rounds it
+    /// coordinated, and the decision if one was reached. Every one of them is
+    /// idempotent at the receiver (estimates and proposals are keyed inserts,
+    /// the decision is adopted once), so re-sending is always safe.
+    ///
+    /// Consensus assumes quasi-reliable channels between correct processes —
+    /// but a process that crashes and restarts loses every message sent to it
+    /// while it was down, *including* estimates sent to it as the round's
+    /// coordinator, and nothing in the protocol re-sends them. Hosts call
+    /// this from a coarse timer when an instance has been stuck for a while
+    /// to restore the channel assumption.
+    pub fn retransmit(&mut self) -> ProgressOutput<V> {
+        if !self.started {
+            return ProgressOutput::default();
+        }
+        let mut out = Vec::new();
+        if let Some(decision) = self.decided.clone() {
+            out.push(ConsensusSend {
+                wire: ConsensusWire::Decide {
+                    instance: self.instance,
+                    value: decision,
+                },
+                targets: self.peers(),
+            });
+            return self.progress_output(out);
+        }
+        self.send_estimate(self.round, &mut out);
+        for &round in &self.proposed_rounds {
+            if self.coordinator_of(round) != self.self_id {
+                continue;
+            }
+            let value = self
+                .proposals
+                .get(&round)
+                .cloned()
+                .expect("proposed value stored");
+            out.push(ConsensusSend {
+                wire: ConsensusWire::Propose {
+                    instance: self.instance,
+                    round,
+                    value,
+                },
+                targets: self.peers(),
+            });
+        }
+        self.try_progress(&mut out);
+        self.progress_output(out)
+    }
+
     /// Coordinator: decide once a majority acked the proposal of a round it
     /// coordinated.
     fn coordinator_phase4(&mut self, out: &mut Vec<ConsensusSend<V>>) -> bool {

@@ -5,7 +5,6 @@
 
 use std::collections::HashMap;
 
-use oar_sequence::Seq;
 use oar_simnet::{NetConfig, ProcessId, Samples, SimDuration, SimTime, World};
 
 use crate::client::{CompletedRequest, OarClient};
@@ -69,6 +68,9 @@ pub struct Cluster<S: StateMachine> {
     pub servers: Vec<ProcessId>,
     /// Identifiers of the client processes.
     pub clients: Vec<ProcessId>,
+    /// The protocol configuration the servers were built with (restarted
+    /// replicas are rebuilt with the same one).
+    pub oar: OarConfig,
 }
 
 impl<S: StateMachine> Cluster<S> {
@@ -116,7 +118,43 @@ impl<S: StateMachine> Cluster<S> {
             world,
             servers,
             clients,
+            oar: config.oar,
         }
+    }
+
+    /// Schedules server `i` (by group index) to restart at `at` with fresh
+    /// in-memory state: the replacement is built with
+    /// [`OarServer::recovering`], so on start it fetches a catch-up transfer
+    /// (snapshot + settled delta) from a peer instead of replaying the full
+    /// history. `make_sm` must produce the service's *initial* state — the
+    /// crash lost everything in memory. A no-op if the server is not crashed
+    /// at `at`.
+    pub fn schedule_server_restart(
+        &mut self,
+        at: SimTime,
+        i: usize,
+        make_sm: impl FnOnce() -> S + 'static,
+    ) {
+        let id = self.servers[i];
+        let group = self.servers.clone();
+        let oar = self.oar;
+        self.world.schedule_restart(at, id, move || {
+            Box::new(OarServer::recovering(id, group, oar, make_sm()))
+        });
+    }
+
+    /// The alive servers that finished any catch-up they were doing — the
+    /// population the consistency checks compare (a replica mid-recovery
+    /// deliberately holds blank state).
+    fn checkable(&self) -> Vec<ProcessId> {
+        self.servers
+            .iter()
+            .copied()
+            .filter(|&s| {
+                !self.world.is_crashed(s)
+                    && !self.world.process_ref::<OarServer<S>>(s).is_recovering()
+            })
+            .collect()
     }
 
     /// Runs the simulation until every client finished its workload or the
@@ -374,6 +412,66 @@ impl<S: StateMachine> Cluster<S> {
             .unwrap_or(0)
     }
 
+    /// The largest peak retained-`A_delivered` length observed at any
+    /// server — with [`OarConfig::snapshot_every`] set this is bounded by
+    /// the snapshot window instead of growing with the run.
+    pub fn peak_a_delivered_len(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .a_delivered_len
+                    .peak()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The deepest optimistic undo stack observed at any server.
+    pub fn peak_undo_depth(&self) -> u64 {
+        self.servers
+            .iter()
+            .map(|&s| {
+                self.world
+                    .process_ref::<OarServer<S>>(s)
+                    .stats()
+                    .undo_depth
+                    .peak()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total snapshots captured (each also compacted the log) across all
+    /// servers.
+    pub fn total_snapshots(&self) -> u64 {
+        self.sum_stats(|st| st.snapshots_taken)
+    }
+
+    /// Total `A_delivered` entries pruned by log compaction across all
+    /// servers.
+    pub fn total_compacted(&self) -> u64 {
+        self.sum_stats(|st| st.compacted)
+    }
+
+    /// Total `CatchUpRequest` wires sent (rejoin attempts) across all
+    /// servers.
+    pub fn total_catch_up_requests(&self) -> u64 {
+        self.sum_stats(|st| st.catch_up_requests)
+    }
+
+    /// Total `CatchUpReply` transfers served across all servers.
+    pub fn total_catch_up_replies(&self) -> u64 {
+        self.sum_stats(|st| st.catch_up_replies)
+    }
+
+    /// Total `PayloadFetch` repair wires sent across all servers.
+    pub fn total_payload_fetches(&self) -> u64 {
+        self.sum_stats(|st| st.payload_fetches)
+    }
+
     /// The largest *current* `payloads` size across alive servers.
     pub fn current_payloads(&self) -> u64 {
         self.servers
@@ -384,33 +482,29 @@ impl<S: StateMachine> Cluster<S> {
             .unwrap_or(0)
     }
 
-    /// Checks the server-side safety properties across all *alive* servers:
+    /// Checks the server-side safety properties across all *alive* servers
+    /// (replicas still mid-catch-up are skipped — they deliberately hold
+    /// blank state until the transfer installs):
     ///
     /// * the committed sequences (stable + current optimistic deliveries) of
-    ///   any two servers are prefix-compatible (Proposition 5, total order);
-    /// * no request appears twice in a committed sequence (Propositions 2–3,
-    ///   at-most-once);
-    /// * servers that delivered the same number of requests have identical
-    ///   state-machine digests (determinism + total order).
+    ///   any two servers are prefix-compatible (Proposition 5, total order).
+    ///   With log compaction a replica no longer retains its full settled
+    ///   prefix, so the comparison is **compaction-aware**: the settled
+    ///   prefixes are compared through the chained order-hash at the highest
+    ///   common settled position, and the retained suffixes element-wise
+    ///   from the higher of the two compaction bases;
+    /// * no request appears twice in a retained committed sequence
+    ///   (Propositions 2–3, at-most-once);
+    /// * servers that delivered the same total number of requests
+    ///   (compacted prefix included) have identical state-machine digests
+    ///   (determinism + total order).
     pub fn check_replica_consistency(&self) -> Result<(), String> {
-        let alive: Vec<ProcessId> = self
-            .servers
-            .iter()
-            .copied()
-            .filter(|&s| !self.world.is_crashed(s))
-            .collect();
-        let sequences: HashMap<ProcessId, Seq<RequestId>> = alive
-            .iter()
-            .map(|&s| {
-                (
-                    s,
-                    self.world
-                        .process_ref::<OarServer<S>>(s)
-                        .committed_sequence(),
-                )
-            })
-            .collect();
-        for (&p, seq) in &sequences {
+        let alive = self.checkable();
+        for &p in &alive {
+            let seq = self
+                .world
+                .process_ref::<OarServer<S>>(p)
+                .committed_sequence();
             let mut seen = std::collections::HashSet::new();
             for id in seq.iter() {
                 if !seen.insert(*id) {
@@ -418,23 +512,48 @@ impl<S: StateMachine> Cluster<S> {
                 }
             }
         }
-        for (&p, sp) in &sequences {
-            for (&q, sq) in &sequences {
+        for &p in &alive {
+            for &q in &alive {
                 if p >= q {
                     continue;
                 }
-                if !(sp.is_prefix_of(sq) || sq.is_prefix_of(sp)) {
+                let srv_p = self.world.process_ref::<OarServer<S>>(p);
+                let srv_q = self.world.process_ref::<OarServer<S>>(q);
+                // Settled prefixes: both replicas can compute the chain hash
+                // at the highest position both have settled, unless one
+                // compacted past the other's entire settled log (only
+                // possible while the laggard is still far behind — nothing
+                // comparable remains then and the digest check below still
+                // guards equal-length states).
+                let m = srv_p.total_settled().min(srv_q.total_settled());
+                if let (Some(hp), Some(hq)) = (srv_p.order_hash_at(m), srv_q.order_hash_at(m)) {
+                    if hp != hq {
+                        return Err(format!(
+                            "settled prefixes of {p} and {q} diverge at position {m}"
+                        ));
+                    }
+                }
+                // Retained suffixes from the higher compaction base onward,
+                // optimistic deliveries included: element-wise prefix
+                // compatibility, exactly the pre-compaction check.
+                let lo = srv_p.a_base().max(srv_q.a_base());
+                let sp_all = srv_p.committed_sequence();
+                let sq_all = srv_q.committed_sequence();
+                let sp = sp_all.suffix_from(((lo - srv_p.a_base()) as usize).min(sp_all.len()));
+                let sq = sq_all.suffix_from(((lo - srv_q.a_base()) as usize).min(sq_all.len()));
+                if !(sp.is_prefix_of(&sq) || sq.is_prefix_of(&sp)) {
                     return Err(format!(
                         "total order violated between {p} and {q}: {sp} vs {sq}"
                     ));
                 }
             }
         }
-        // Digest equality for equal-length sequences.
-        let mut by_len: HashMap<usize, (ProcessId, u64)> = HashMap::new();
+        // Digest equality for equal *total* delivery counts (compacted
+        // prefix + retained log + current optimistic deliveries).
+        let mut by_len: HashMap<u64, (ProcessId, u64)> = HashMap::new();
         for &s in &alive {
             let server = self.world.process_ref::<OarServer<S>>(s);
-            let len = server.committed_sequence().len();
+            let len = server.a_base() + server.committed_sequence().len() as u64;
             let digest = server.state_machine().digest();
             if let Some((other, other_digest)) = by_len.get(&len) {
                 if *other_digest != digest {
@@ -454,16 +573,20 @@ impl<S: StateMachine> Cluster<S> {
     /// undoing it, the position at which that server processed the request.
     pub fn check_external_consistency(&self) -> Result<(), String> {
         // Build, per server, the final position of every settled request.
+        // Positions are global: the retained sequence starts after the
+        // compacted prefix, at `a_base + 1`.
+        let checkable = self.checkable();
         let mut per_server: Vec<HashMap<RequestId, u64>> = Vec::new();
         for &s in &self.servers {
-            if self.world.is_crashed(s) {
+            if !checkable.contains(&s) {
                 per_server.push(HashMap::new());
                 continue;
             }
             let server = self.world.process_ref::<OarServer<S>>(s);
+            let base = server.a_base();
             let mut positions = HashMap::new();
             for (i, id) in server.committed_sequence().iter().enumerate() {
-                positions.insert(*id, (i + 1) as u64);
+                positions.insert(*id, base + (i + 1) as u64);
             }
             per_server.push(positions);
         }

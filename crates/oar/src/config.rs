@@ -73,6 +73,20 @@ pub struct OarConfig {
     /// (`ServerStats::apply_ns`, `ServerStats::wave_sizes`). `None` (the
     /// default) keeps the serial per-command path.
     pub parallel_apply: Option<usize>,
+    /// Snapshot/compaction period, in closed epochs: when `Some(k)`, every
+    /// `k`-th epoch close takes a state snapshot (if the machine supports
+    /// [`Snapshottable`](crate::state_machine::Snapshottable)) and compacts
+    /// `A_delivered` and the settled-command log below the snapshot position.
+    /// Epoch closes are deterministic group-wide (every replica closes each
+    /// epoch with the identical decision), so all replicas snapshot at the
+    /// same positions. `None` (the default) keeps the historical unbounded
+    /// log.
+    pub snapshot_every: Option<u64>,
+    /// Base delay of a rejoining replica's catch-up retry timer: if the
+    /// chosen donor has not answered a `CatchUpRequest` within this time, the
+    /// rejoiner rotates to the next donor with exponential backoff (capped at
+    /// 8× base). Also paces `PayloadFetch` retries after rejoin.
+    pub catch_up_retry: SimDuration,
 }
 
 impl Default for OarConfig {
@@ -88,6 +102,8 @@ impl Default for OarConfig {
             adaptive: None,
             epoch_cut_after: None,
             parallel_apply: None,
+            snapshot_every: None,
+            catch_up_retry: SimDuration::from_millis(10),
         }
     }
 }
@@ -155,6 +171,8 @@ pub struct OarConfigBuilder {
     adaptive: Option<AdaptiveConfig>,
     epoch_cut_after: Option<u64>,
     parallel_apply: Option<usize>,
+    snapshot_every: Option<u64>,
+    catch_up_retry: Option<SimDuration>,
 }
 
 impl OarConfigBuilder {
@@ -220,6 +238,20 @@ impl OarConfigBuilder {
         self
     }
 
+    /// Enables periodic snapshots + log compaction every `every` closed
+    /// epochs. Zero is rejected at build time.
+    pub fn snapshot_every(mut self, every: u64) -> Self {
+        self.snapshot_every = Some(every);
+        self
+    }
+
+    /// Sets the base delay of the catch-up retry/backoff timer used by
+    /// rejoining replicas. Zero is rejected at build time.
+    pub fn catch_up_retry(mut self, delay: SimDuration) -> Self {
+        self.catch_up_retry = Some(delay);
+        self
+    }
+
     /// Enables parallel apply with the given worker count: delivery batches
     /// are partitioned into waves of pairwise non-conflicting commands
     /// ([`crate::parallel`]) and each wave is applied across `workers`
@@ -249,6 +281,18 @@ impl OarConfigBuilder {
         }
         if let Some(0) = self.max_batch {
             return Err("max_batch must be at least 1 (0 can never flush)".into());
+        }
+        if let Some(0) = self.snapshot_every {
+            return Err("snapshot_every must be at least 1 epoch (0 would snapshot \
+                 before any epoch ever closes)"
+                .into());
+        }
+        if let Some(delay) = self.catch_up_retry {
+            if delay.is_zero() {
+                return Err("catch_up_retry must be non-zero (a zero timer would spin \
+                     the donor rotation)"
+                    .into());
+            }
         }
         if let Some(adaptive) = self.adaptive {
             if self.max_batch.is_some() {
@@ -298,6 +342,8 @@ impl OarConfigBuilder {
             adaptive: self.adaptive,
             epoch_cut_after: self.epoch_cut_after,
             parallel_apply: self.parallel_apply,
+            snapshot_every: self.snapshot_every,
+            catch_up_retry: self.catch_up_retry.unwrap_or(defaults.catch_up_retry),
         })
     }
 
@@ -387,6 +433,26 @@ mod tests {
     fn builder_rejects_zero_max_batch() {
         let err = OarConfig::builder().max_batch(0).try_build().unwrap_err();
         assert!(err.contains("max_batch"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn builder_accepts_and_validates_snapshot_and_catch_up_knobs() {
+        let cfg = OarConfig::builder()
+            .snapshot_every(4)
+            .catch_up_retry(SimDuration::from_millis(5))
+            .build();
+        assert_eq!(cfg.snapshot_every, Some(4));
+        assert_eq!(cfg.catch_up_retry, SimDuration::from_millis(5));
+        let err = OarConfig::builder()
+            .snapshot_every(0)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("snapshot_every"), "unexpected error: {err}");
+        let err = OarConfig::builder()
+            .catch_up_retry(SimDuration::ZERO)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("catch_up_retry"), "unexpected error: {err}");
     }
 
     #[test]

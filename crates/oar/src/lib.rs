@@ -87,12 +87,14 @@ pub use cluster::{Cluster, ClusterConfig};
 pub use cnsv_order::{cnsv_order_outcome, CnsvOutcome};
 pub use config::{OarConfig, OarConfigBuilder};
 pub use message::{
-    majority, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request, RequestId,
-    TxnEnvelope, TxnId, Weight,
+    majority, CatchUpReply, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request,
+    RequestId, TxnEnvelope, TxnId, Weight,
 };
 pub use parallel::{plan_waves, wave_apply, ParallelStateMachine};
 pub use server::{DeliveryRecord, OarServer, Phase, ServerStats};
 pub use shard::{Partitioner, ShardKey, ShardRouter};
 pub use sharded::{ShardCompleted, ShardedClient, ShardedCluster, ShardedConfig};
-pub use state_machine::{AppliedBatch, ConflictKeys, KeySet, StateMachine};
+pub use state_machine::{
+    AppliedBatch, ConflictKeys, KeySet, Snapshottable, StateImage, StateMachine,
+};
 pub use txn::{MultiOp, TxnClient, TxnCluster, TxnCompleted, TxnPart};

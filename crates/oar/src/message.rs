@@ -14,6 +14,8 @@ use oar_fd::FdWire;
 use oar_sequence::Seq;
 use oar_simnet::{GroupId, ProcessId};
 
+use crate::state_machine::StateImage;
+
 /// Identifier of a client request: the client process plus a per-client
 /// sequence number (assigned by the reliable multicast layer).
 pub type RequestId = MsgId;
@@ -231,6 +233,83 @@ pub enum OarWire<C, R> {
         /// closed at the sender).
         settled: u64,
     },
+    /// A restarted replica asking a peer for the state needed to rejoin:
+    /// the donor's latest snapshot plus the delta of settled commands since
+    /// it (see [`CatchUpReply`]).
+    CatchUpRequest {
+        /// How many catch-up attempts the requester has made (0-based);
+        /// carried so the donor's reply can be matched to the newest attempt
+        /// and late replies of abandoned attempts are ignored.
+        attempt: u64,
+    },
+    /// A donor's answer to a [`OarWire::CatchUpRequest`].
+    CatchUpReply(Box<CatchUpReply<C>>),
+    /// A rejoined replica asking a peer for request payloads it saw ordered
+    /// (in an `OrderMsg` or a consensus decision) but whose `R-multicast`
+    /// relay was lost while it was down. The multicast layer never re-sends
+    /// — every live member already delivered — so without this wire a
+    /// rejoiner could stall on a decision forever.
+    PayloadFetch {
+        /// The request ids whose payloads are missing.
+        ids: Vec<RequestId>,
+    },
+    /// The payloads answering a [`OarWire::PayloadFetch`] (only the ids the
+    /// donor still holds; the requester re-asks another peer for the rest).
+    PayloadFill {
+        /// The full requests, ready to feed the normal delivery path.
+        requests: Vec<Request<C>>,
+    },
+}
+
+/// The state transfer a donor sends a rejoining replica: its latest snapshot
+/// plus the delta of settled commands ordered since that snapshot — the
+/// snapshot/replay split of Marandi & Pedone's recovery scheme. The rejoiner
+/// installs the image, replays the delta, and verifies `digest` before
+/// resuming participation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CatchUpReply<C> {
+    /// Echo of the request's `attempt` counter.
+    pub attempt: u64,
+    /// The donor's latest state image (state after the first
+    /// `snapshot_position` A-deliveries). `None` when the machine is not
+    /// snapshottable — the delta then carries the full settled history.
+    pub image: Option<StateImage>,
+    /// Number of A-delivered commands captured inside `image` (the image's
+    /// delivery position; 0 when `image` is `None`).
+    pub snapshot_position: u64,
+    /// State digest at the snapshot position, for install verification.
+    pub snapshot_digest: u64,
+    /// Chained order-hash over the first `snapshot_position` A-delivered
+    /// request ids (see `OarServer`'s `a_base_hash`): lets two replicas
+    /// compare compacted prefixes without retaining them.
+    pub snapshot_order_hash: u64,
+    /// The settled commands ordered after the snapshot, in delivery order,
+    /// with payloads — the replay delta.
+    pub delta: Vec<Request<C>>,
+    /// The donor's current epoch (the rejoiner resumes at this epoch).
+    pub epoch: u64,
+    /// Whether the donor's current epoch is already in the conservative
+    /// phase. The `(k, PhaseII)` broadcast is only reliable among processes
+    /// that were live when it spread — a replica that was down while every
+    /// member delivered it will never receive a copy, so the donor's phase
+    /// travels explicitly and the rejoiner enters phase 2 on install.
+    pub conservative: bool,
+    /// The donor's settled-epoch watermark / GC floor, so the rejoiner's
+    /// door-drop filters age exactly as far as the donor's.
+    pub gc_floor: u64,
+    /// Ids of every settled request the donor still tracks, so the rejoiner
+    /// drops stale relays of settled requests at the door instead of
+    /// re-relaying them (the PR 3 ping-pong class).
+    pub settled: Vec<RequestId>,
+    /// The donor's state digest after image + delta, which the rejoiner must
+    /// reproduce exactly before resuming.
+    pub digest: u64,
+    /// The donor's *unsettled* payloads (`R_delivered ⊖ A_delivered`), in
+    /// request-id order. Reliable multicast only re-sends among processes
+    /// that were live when a request spread, so a request multicast while
+    /// the rejoiner was down would otherwise never reach it — fatal once
+    /// sequencer rotation makes the rejoiner responsible for ordering it.
+    pub pending: Vec<Request<C>>,
 }
 
 /// Majority threshold used by both the client quorum rule and the consensus:

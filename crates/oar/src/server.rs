@@ -79,7 +79,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
-use oar_channels::{Delivery, ReliableCaster};
+use oar_channels::{CastWire, Delivery, ReliableCaster};
 use oar_consensus::{ConsensusSend, ConsensusWire, Decision, MajConsensus};
 use oar_fd::{FdEvent, HeartbeatFd};
 use oar_sequence::Seq;
@@ -91,10 +91,10 @@ use crate::adaptive::BatchController;
 use crate::cnsv_order::cnsv_order_outcome;
 use crate::config::OarConfig;
 use crate::message::{
-    CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, ReplyBatch, ReplyItem, Request,
-    RequestId, Weight,
+    CatchUpReply, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, ReplyBatch, ReplyItem,
+    Request, RequestId, Weight,
 };
-use crate::state_machine::{AppliedBatch, StateMachine};
+use crate::state_machine::{AppliedBatch, StateImage, StateMachine};
 
 /// Applies one delivery batch to the state machine, routing through
 /// [`StateMachine::apply_batch`] when parallel apply is configured and the
@@ -130,11 +130,61 @@ fn apply_command_batch<S: StateMachine>(
 /// is deterministic.
 type PendingReplies<R> = BTreeMap<ProcessId, Vec<ReplyItem<R>>>;
 
+/// Wires buffered during catch-up, tagged with their sender for replay.
+type RecoveryBuffer<S> = Vec<(
+    ProcessId,
+    OarWire<<S as StateMachine>::Command, <S as StateMachine>::Response>,
+)>;
+
 /// Timer tag of the periodic maintenance tick.
 const TICK: u64 = 1;
 
 /// Timer tag of the one-shot partial-batch flush deadline.
 const FLUSH: u64 = 2;
+
+/// Timer tag of the catch-up retry clock (armed only while recovering).
+const CATCHUP: u64 = 3;
+
+/// Exponential-backoff cap of the catch-up retry delay, as a power of two:
+/// attempts back off 1×, 2×, 4×, 8× [`OarConfig::catch_up_retry`] and stay
+/// at 8× from there (donor rotation keeps every retry trying a new peer).
+const CATCHUP_BACKOFF_CAP: u32 = 3;
+
+/// At most this many missing payloads are named in one `PayloadFetch` wire;
+/// the rest follow on later ticks once the first batch lands.
+const FETCH_BATCH: usize = 64;
+
+/// One link of the chained order-hash over settled request ids:
+/// `h_i = mix(h_{i-1}, id_i)` (splitmix64-style finalizer). Replicas that
+/// compacted their `A_delivered` prefix compare the chain value at a common
+/// position instead of the pruned elements; the chain over the full prefix
+/// commits to both content and order.
+fn chain_hash(h: u64, id: RequestId) -> u64 {
+    let mut x = h
+        ^ (id.origin.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ id.seq.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The server's latest snapshot: the state image captured at an epoch close
+/// plus the metadata needed to serve a [`CatchUpReply`] and to compare the
+/// compacted prefix with other replicas.
+#[derive(Clone, Debug)]
+struct SnapshotRecord {
+    /// The state image (`None` when the machine is not snapshottable —
+    /// catch-up then ships the full settled history as the delta).
+    image: Option<StateImage>,
+    /// Number of settled commands captured inside `image`.
+    position: u64,
+    /// State digest at `position`.
+    digest: u64,
+    /// Chained order-hash over the first `position` settled request ids.
+    order_hash: u64,
+}
 
 /// Which phase of the current epoch the server is in.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -249,6 +299,39 @@ pub struct ServerStats {
     /// wave; with [`OarConfig::parallel_apply`] set, larger waves show how
     /// much of each delivery batch was conflict-free.
     pub wave_sizes: BucketHistogram,
+    /// Current and peak length of the *retained* `A_delivered` log. With
+    /// [`OarConfig::snapshot_every`] set this is bounded by the snapshot
+    /// window instead of growing with the run — the compaction gate of the
+    /// recovery benchmark.
+    pub a_delivered_len: PeakGauge,
+    /// Current and peak depth of the optimistic undo stack (bounded by the
+    /// epoch cut; compaction never needs to prune it because epoch close
+    /// already drops the settled epoch's tokens).
+    pub undo_depth: PeakGauge,
+    /// Snapshots captured at epoch closes (each also compacts the log).
+    pub snapshots_taken: u64,
+    /// `A_delivered` entries pruned by log compaction, cumulative.
+    pub compacted: u64,
+    /// `CatchUpRequest` wires sent while recovering (attempt count).
+    pub catch_up_requests: u64,
+    /// `CatchUpReply` wires served to rejoining peers (donor side).
+    pub catch_up_replies: u64,
+    /// Length of the settled-command delta replayed by the last successful
+    /// catch-up install (0 until a catch-up completed). Together with the
+    /// snapshot position this shows the rejoin was snapshot + delta, not a
+    /// full replay.
+    pub catch_up_delta: u64,
+    /// Delivery position of the snapshot image installed by the last
+    /// successful catch-up (the prefix the rejoiner did *not* replay).
+    pub catch_up_snapshot_position: u64,
+    /// `PayloadFetch` wires sent to repair payloads whose multicast relay
+    /// was lost across a restart.
+    pub payload_fetches: u64,
+    /// `PayloadFill` wires served to peers (donor side).
+    pub payload_fills: u64,
+    /// Consensus instances whose messages were re-sent after stalling (the
+    /// crash-recovery repair of the quasi-reliable-channel assumption).
+    pub consensus_retransmits: u64,
 }
 
 /// The OAR server process, generic over the replicated [`StateMachine`].
@@ -328,6 +411,52 @@ pub struct OarServer<S: StateMachine> {
     /// the payloads once the epoch is acknowledged group-wide.
     phase2_msg_ids: BTreeMap<u64, Vec<RequestId>>,
 
+    // --- snapshots, log compaction, catch-up (recovery layer) ---
+    /// Number of settled commands compacted out of `a_delivered`: the global
+    /// delivery position of `a_delivered[0]` is `a_base + 1`. Always equal to
+    /// `snapshot.position` — compaction prunes exactly to the snapshot.
+    a_base: u64,
+    /// Chained order-hash ([`chain_hash`]) over the compacted prefix.
+    a_base_hash: u64,
+    /// State digest at the last epoch close (the settled prefix state —
+    /// current-epoch optimistic deliveries are *not* in it). This is the
+    /// digest a rejoiner must reproduce after snapshot + delta replay.
+    settled_digest: u64,
+    /// The settled requests (with payloads) ordered after the snapshot
+    /// position, in delivery order — the catch-up delta a donor serves.
+    /// Parallels the retained `a_delivered` exactly; cleared on snapshot.
+    settled_log: VecDeque<Request<S::Command>>,
+    /// The latest snapshot (taken at construction with position 0, then at
+    /// every [`OarConfig::snapshot_every`]-th epoch close).
+    snapshot: SnapshotRecord,
+    /// `Some(attempt)` while this server is catching up after a restart: it
+    /// ignores all protocol traffic except the matching [`CatchUpReply`]
+    /// (buffering what may still matter) until the install completes.
+    catch_up_attempt: Option<u64>,
+    /// Wires received while recovering, replayed through `on_message` once
+    /// the install completes (the door checks discard whatever the transfer
+    /// already covered).
+    recovery_buffer: RecoveryBuffer<S>,
+    /// The epoch a catch-up install landed in the middle of. A rejoiner has
+    /// missed that epoch's earlier order batches, so opt-delivering from a
+    /// mid-epoch batch would break Lemma 2 (every `O_delivered` is a prefix
+    /// of the sequencer order) — the premise that makes `Cnsv-order` agree.
+    /// While the current epoch equals this one, the optimistic path is
+    /// frozen: this replica proposes `O_delivered = ∅` (a trivial prefix)
+    /// and the conservative close delivers everything. Expires when the
+    /// epoch advances.
+    opt_freeze_epoch: Option<u64>,
+    /// Payload ids observed missing at the previous maintenance tick: only
+    /// ids missing for a full tick are fetched, so normal multicast delivery
+    /// fills fresh gaps without repair traffic.
+    prev_missing: HashSet<RequestId>,
+    /// Rotates the target peer of successive `PayloadFetch` wires.
+    fetch_round: u64,
+    /// Maintenance ticks the current consensus instance has spent undecided:
+    /// after two full ticks its (idempotent) messages are re-sent, repairing
+    /// estimates/proposals that were unicast to a peer while it was down.
+    cnsv_stall_ticks: u32,
+
     // --- application ---
     sm: S,
 
@@ -352,6 +481,15 @@ impl<S: StateMachine> OarServer<S> {
             },
             ..ServerStats::default()
         };
+        // A position-0 snapshot exists from the start, so the server can
+        // always donate state to a rejoining peer.
+        let snapshot = SnapshotRecord {
+            image: sm.snapshot(),
+            position: 0,
+            digest: sm.digest(),
+            order_hash: 0,
+        };
+        let settled_digest = sm.digest();
         OarServer {
             id,
             request_cast: ReliableCaster::new(id, group.clone()),
@@ -385,10 +523,47 @@ impl<S: StateMachine> OarServer<S> {
             gc_floor: 0,
             gc_pending: BTreeMap::new(),
             phase2_msg_ids: BTreeMap::new(),
+            a_base: 0,
+            a_base_hash: 0,
+            settled_digest,
+            settled_log: VecDeque::new(),
+            snapshot,
+            catch_up_attempt: None,
+            recovery_buffer: Vec::new(),
+            opt_freeze_epoch: None,
+            prev_missing: HashSet::new(),
+            fetch_round: 0,
+            cnsv_stall_ticks: 0,
             sm,
             log: Vec::new(),
             stats,
         }
+    }
+
+    /// Creates a server that rejoins the group after a restart: it starts in
+    /// **recovery mode** — on start it asks a peer for a [`CatchUpReply`]
+    /// (latest snapshot + settled delta) and ignores all other protocol
+    /// traffic until the transfer installs, retrying with donor rotation and
+    /// exponential backoff while the chosen donor is down. `sm` must be the
+    /// service's *initial* state (the crash lost the in-memory state; the
+    /// snapshot and delta rebuild it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a member of `group`.
+    pub fn recovering(id: ProcessId, group: Vec<ProcessId>, config: OarConfig, sm: S) -> Self {
+        let mut server = Self::new(id, group, config, sm);
+        // A single-member group has no peer to catch up from (and nothing it
+        // could learn): it resumes with fresh state immediately.
+        if server.group.len() > 1 {
+            server.catch_up_attempt = Some(0);
+        }
+        server
+    }
+
+    /// Whether this server is still catching up after a restart.
+    pub fn is_recovering(&self) -> bool {
+        self.catch_up_attempt.is_some()
     }
 
     /// The server's process identifier.
@@ -494,9 +669,53 @@ impl<S: StateMachine> OarServer<S> {
         self.a_delivered.concat(&self.o_delivered)
     }
 
-    /// The requests delivered in closed epochs only (never undoable).
+    /// The requests delivered in closed epochs only (never undoable). With
+    /// log compaction this is the *retained* suffix: the first [`Self::a_base`]
+    /// settled requests were pruned into the snapshot and are represented by
+    /// [`Self::order_hash_at`].
     pub fn stable_sequence(&self) -> &Seq<RequestId> {
         &self.a_delivered
+    }
+
+    /// Number of settled commands compacted out of the retained
+    /// `A_delivered` log: the global delivery position of
+    /// `stable_sequence()[0]` is `a_base() + 1`.
+    pub fn a_base(&self) -> u64 {
+        self.a_base
+    }
+
+    /// Total number of settled commands: compacted prefix + retained log.
+    pub fn total_settled(&self) -> u64 {
+        self.a_base + self.a_delivered.len() as u64
+    }
+
+    /// State digest at the last epoch close (the settled prefix, excluding
+    /// current-epoch optimistic deliveries).
+    pub fn settled_digest(&self) -> u64 {
+        self.settled_digest
+    }
+
+    /// The chained order-hash over the first `pos` settled request ids, or
+    /// `None` when `pos` lies inside the compacted prefix (`pos < a_base()`,
+    /// elements gone) or beyond the settled log. Two replicas agree on their
+    /// common settled prefix iff their chain values at a common position are
+    /// equal — this is how compacted replicas are compared.
+    pub fn order_hash_at(&self, pos: u64) -> Option<u64> {
+        if pos < self.a_base || pos > self.total_settled() {
+            return None;
+        }
+        let mut h = self.a_base_hash;
+        for id in &self.a_delivered.as_slice()[..(pos - self.a_base) as usize] {
+            h = chain_hash(h, *id);
+        }
+        Some(h)
+    }
+
+    /// Whether this server's failure detector currently suspects `p` (used
+    /// by the restart tests: a rejoined replica must be un-suspected once
+    /// its fresh heartbeats arrive).
+    pub fn is_suspecting(&self, p: ProcessId) -> bool {
+        self.fd.is_suspected(p)
     }
 
     /// Forces this server to suspect the current sequencer (wrong-suspicion
@@ -717,6 +936,14 @@ impl<S: StateMachine> OarServer<S> {
         if self.phase != Phase::Optimistic {
             return;
         }
+        // A rejoiner never opt-delivers in the epoch it caught up into: it
+        // missed the epoch's earlier order batches, and a mid-epoch start
+        // would make its `O_delivered` diverge from the sequencer-order
+        // prefix every other replica holds (Lemma 2). The queued orders
+        // settle at the conservative close instead.
+        if self.opt_freeze_epoch == Some(self.epoch) {
+            return;
+        }
         // Collect the deliverable prefix of the queue, stopping at the §5.3
         // epoch cut: proactively cut long epochs to garbage-collect
         // O_delivered. The rest of the queue is re-ordered in the next epoch.
@@ -776,6 +1003,7 @@ impl<S: StateMachine> OarServer<S> {
             let id = request.id;
             self.o_delivered.push(id);
             self.undo_stack.push((id, undo));
+            self.stats.undo_depth.record(self.undo_stack.len() as u64);
             self.position += 1;
             self.stats.opt_delivered += 1;
             self.log.push(DeliveryRecord::OptDeliver {
@@ -1091,6 +1319,11 @@ impl<S: StateMachine> OarServer<S> {
             self.settled.insert(*id);
             self.a_delivered.push(*id);
             decided_now.push(*id);
+            // The settled request (with payload) joins the catch-up delta —
+            // retained past the payload GC until the next snapshot compacts
+            // it, so a donor can always serve snapshot + delta.
+            let request = self.payloads.get(id).expect("payload present").clone();
+            self.settled_log.push_back(request);
         }
         // The payloads of this epoch's decisions become prunable once every
         // live replica acknowledges the epoch.
@@ -1109,6 +1342,21 @@ impl<S: StateMachine> OarServer<S> {
         self.phase2_started = false;
         self.consensus = None;
         self.stats.epochs_completed += 1;
+        // Right here the state machine holds exactly the settled prefix
+        // (every optimistic delivery was either kept — now settled — or
+        // undone, and the new epoch has not delivered yet): the digest a
+        // rejoiner must reproduce, and the state a snapshot captures.
+        self.settled_digest = self.sm.digest();
+        self.stats
+            .a_delivered_len
+            .record(self.a_delivered.len() as u64);
+        if let Some(every) = self.config.snapshot_every {
+            // Epochs close in order, group-wide, with identical decisions,
+            // so every replica snapshots at the same positions.
+            if self.epoch.is_multiple_of(every) {
+                self.take_snapshot();
+            }
+        }
         self.annotate(ctx, format!("epoch {} starts", self.epoch));
 
         // Announce the advanced watermark so peers can prune, and prune
@@ -1226,10 +1474,360 @@ impl<S: StateMachine> OarServer<S> {
         }
         self.record_seen();
     }
+
+    // ------------------------------------------------------------------
+    // durable snapshots, log compaction, catch-up (recovery layer)
+    // ------------------------------------------------------------------
+
+    /// Captures the settled state into a fresh snapshot and compacts the
+    /// log: the retained `A_delivered` entries fold into the chained
+    /// order-hash and are pruned, together with the settled-log delta they
+    /// correspond to. Must run at an epoch boundary, where the state
+    /// machine holds exactly the settled prefix. A machine without snapshot
+    /// support keeps the historical unbounded log (catch-up then replays the
+    /// full history).
+    fn take_snapshot(&mut self) {
+        let Some(image) = self.sm.snapshot() else {
+            return;
+        };
+        let position = self.total_settled();
+        let mut order_hash = self.a_base_hash;
+        for id in self.a_delivered.iter() {
+            order_hash = chain_hash(order_hash, *id);
+        }
+        self.snapshot = SnapshotRecord {
+            image: Some(image),
+            position,
+            digest: self.settled_digest,
+            order_hash,
+        };
+        self.stats.snapshots_taken += 1;
+        self.stats.compacted += self.a_delivered.len() as u64;
+        self.a_base = position;
+        self.a_base_hash = order_hash;
+        self.a_delivered = Seq::new();
+        self.settled_log.clear();
+        self.stats.a_delivered_len.record(0);
+    }
+
+    /// Sends the current catch-up attempt's `CatchUpRequest` to a donor and
+    /// arms the retry clock. Donors rotate per attempt (a crashed donor must
+    /// not block rejoin) and the retry delay backs off exponentially, capped
+    /// at 2^[`CATCHUP_BACKOFF_CAP`] × [`OarConfig::catch_up_retry`].
+    fn send_catch_up_request(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        let attempt = self.catch_up_attempt.expect("only called while recovering");
+        let peers = self.peers();
+        let donor = peers[(attempt as usize) % peers.len()];
+        self.stats.catch_up_requests += 1;
+        ctx.send(donor, OarWire::CatchUpRequest { attempt });
+        self.annotate(ctx, format!("catch-up attempt {attempt} -> {donor}"));
+        let backoff = 1u64 << (attempt.min(CATCHUP_BACKOFF_CAP as u64) as u32);
+        ctx.set_timer(self.config.catch_up_retry.saturating_mul(backoff), CATCHUP);
+    }
+
+    /// Serves a rejoining peer the state transfer it needs: the latest
+    /// snapshot, the settled delta since it, the settled-id set and GC floor
+    /// for its door-drop filters, and the digests it must reproduce.
+    fn serve_catch_up(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        to: ProcessId,
+        attempt: u64,
+    ) {
+        self.stats.catch_up_replies += 1;
+        // Sorted so the reply (and thus the simulation schedule) does not
+        // depend on `HashSet` iteration order.
+        let mut settled: Vec<RequestId> = self.settled.iter().copied().collect();
+        settled.sort_unstable();
+        // Sorted so the reply does not depend on `HashMap` iteration order.
+        let mut pending: Vec<Request<S::Command>> = self.payloads.values().cloned().collect();
+        pending.sort_unstable_by_key(|r| r.id);
+        let reply = CatchUpReply {
+            attempt,
+            image: self.snapshot.image.clone(),
+            snapshot_position: self.snapshot.position,
+            snapshot_digest: self.snapshot.digest,
+            snapshot_order_hash: self.snapshot.order_hash,
+            delta: self.settled_log.iter().cloned().collect(),
+            epoch: self.epoch,
+            conservative: self.phase == Phase::Conservative,
+            gc_floor: self.gc_floor,
+            settled,
+            digest: self.settled_digest,
+            pending,
+        };
+        self.annotate(
+            ctx,
+            format!(
+                "catch-up reply -> {to}: snapshot @{} + delta {}",
+                self.snapshot.position,
+                self.settled_log.len()
+            ),
+        );
+        ctx.send(to, OarWire::CatchUpReply(Box::new(reply)));
+    }
+
+    /// Installs a donor's state transfer and resumes participation: install
+    /// the image, adopt the donor's compacted prefix (base position + chain
+    /// hash) and snapshot, replay the settled delta, adopt the settled set
+    /// and GC floor, verify the digest, then re-arm the maintenance tick,
+    /// announce the watermark and replay the wires buffered during the
+    /// transfer. A digest mismatch abandons the attempt and retries with the
+    /// next donor.
+    fn install_catch_up(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        donor: ProcessId,
+        reply: CatchUpReply<S::Command>,
+    ) {
+        let retry = |server: &mut Self, ctx: &mut _| {
+            server.catch_up_attempt = Some(reply.attempt + 1);
+            server.send_catch_up_request(ctx);
+        };
+        if let Some(image) = &reply.image {
+            if !self.sm.install(image) {
+                // An image of a foreign type cannot be installed; the state
+                // is untouched, so another attempt is safe.
+                self.annotate(ctx, format!("catch-up image from {donor} rejected"));
+                return retry(self, ctx);
+            }
+            debug_assert_eq!(self.sm.digest(), reply.snapshot_digest);
+        }
+        // Adopt the donor's snapshot and compacted prefix verbatim: after
+        // the delta replay below, this replica's (a_base, a_delivered,
+        // settled_log, snapshot) are element-identical to the donor's
+        // settled state.
+        self.snapshot = SnapshotRecord {
+            image: reply.image.clone(),
+            position: reply.snapshot_position,
+            digest: reply.snapshot_digest,
+            order_hash: reply.snapshot_order_hash,
+        };
+        self.a_base = reply.snapshot_position;
+        self.a_base_hash = reply.snapshot_order_hash;
+        self.position = reply.snapshot_position;
+        self.a_delivered = Seq::new();
+        for request in &reply.delta {
+            // Replay, discarding undo tokens: settled deliveries never roll
+            // back. Responses are discarded too — the original replies went
+            // out (from the survivors) before the crash.
+            let _ = self.sm.apply(&request.command);
+            self.position += 1;
+            self.a_delivered.push(request.id);
+        }
+        self.settled_log = reply.delta.clone().into();
+        self.settled = reply.settled.iter().copied().collect();
+        self.epoch = reply.epoch;
+        self.opt_freeze_epoch = Some(reply.epoch);
+        self.gc_floor = reply.gc_floor;
+        self.settled_digest = self.sm.digest();
+        if self.settled_digest != reply.digest {
+            // The transfer did not reproduce the donor's settled state. With
+            // an image a re-install overwrites everything, so retrying is
+            // safe; without one the machine cannot be reset and divergence
+            // is unrecoverable.
+            assert!(
+                reply.image.is_some(),
+                "catch-up digest mismatch on a non-snapshottable machine"
+            );
+            self.annotate(ctx, format!("catch-up digest mismatch from {donor}"));
+            return retry(self, ctx);
+        }
+        self.stats.catch_up_delta = reply.delta.len() as u64;
+        self.stats.catch_up_snapshot_position = reply.snapshot_position;
+        self.stats
+            .a_delivered_len
+            .record(self.a_delivered.len() as u64);
+        self.catch_up_attempt = None;
+        self.annotate(
+            ctx,
+            format!(
+                "caught up from {donor}: snapshot @{} + delta {} -> pos {}, epoch {}",
+                reply.snapshot_position,
+                reply.delta.len(),
+                self.position,
+                self.epoch
+            ),
+        );
+        // Resume participation: maintenance tick (heartbeats re-admit this
+        // replica at its peers' failure detectors) and an immediate
+        // watermark announcement so the peers' payload GC stops waiting on
+        // the pre-crash watermark.
+        ctx.set_timer(self.config.tick_interval, TICK);
+        ctx.send_all(
+            &self.peers(),
+            OarWire::Watermark {
+                settled: self.settled_watermark(),
+            },
+        );
+        // Adopt the donor's unsettled payloads: their multicast spread while
+        // this replica was down and will never be re-sent, yet sequencer
+        // rotation may make this replica responsible for ordering them. The
+        // fill path marks them seen without re-relaying.
+        self.handle_payload_fill(ctx, reply.pending.clone());
+        // Replay what arrived during the transfer; the door checks (settled
+        // set, epoch guards, GC floor) discard whatever it already covered.
+        let buffered = std::mem::take(&mut self.recovery_buffer);
+        for (from, msg) in buffered {
+            self.on_message(ctx, from, msg);
+        }
+        // The donor's current epoch may already be conservative — its
+        // PhaseII broadcast finished spreading while this replica was down
+        // and will never be re-sent, so the donor's phase travels in the
+        // reply instead.
+        if reply.conservative && self.epoch == reply.epoch && self.phase == Phase::Optimistic {
+            self.enter_phase2(ctx);
+        }
+        // If this replica is the frozen epoch's sequencer, nobody else can
+        // order, so the epoch would never reach its cut: close it
+        // conservatively instead. Re-ordering from scratch is not an option —
+        // the orders issued before the crash already shaped the peers'
+        // `O_delivered` prefixes.
+        if self.opt_freeze_epoch == Some(self.epoch)
+            && self.phase == Phase::Optimistic
+            && self.current_sequencer() == self.id
+        {
+            self.start_phase2(ctx);
+        }
+    }
+
+    /// Answers a peer's `PayloadFetch` with every requested payload this
+    /// server still holds — unsettled ones from the live payload map,
+    /// settled ones from the catch-up delta.
+    fn serve_payload_fetch(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        to: ProcessId,
+        ids: Vec<RequestId>,
+    ) {
+        let mut requests: Vec<Request<S::Command>> = Vec::new();
+        for id in ids {
+            if let Some(request) = self.payloads.get(&id) {
+                requests.push(request.clone());
+            } else if let Some(request) = self.settled_log.iter().find(|r| r.id == id) {
+                requests.push(request.clone());
+            }
+        }
+        if !requests.is_empty() {
+            self.stats.payload_fills += 1;
+            ctx.send(to, OarWire::PayloadFill { requests });
+        }
+    }
+
+    /// Repairs payloads whose `R-multicast` relay was lost while this
+    /// replica was down: the multicast layer never re-sends once every live
+    /// member delivered, so an ordered request (in `order_queue`) or a
+    /// decided one (in `pending_missing`) could otherwise stall forever.
+    /// Runs on the maintenance tick; only ids already missing at the
+    /// *previous* tick are fetched, so ordinary in-flight payloads arrive on
+    /// their own without repair traffic.
+    fn maybe_fetch_payloads(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        let mut missing: Vec<RequestId> = Vec::new();
+        for id in self.order_queue.iter() {
+            if missing.len() >= FETCH_BATCH {
+                break;
+            }
+            if !self.payloads.contains_key(id) && !self.settled.contains(id) {
+                missing.push(*id);
+            }
+        }
+        let mut decided: Vec<RequestId> = self.pending_missing.iter().copied().collect();
+        decided.sort_unstable();
+        missing.extend(decided.into_iter().take(FETCH_BATCH));
+        missing.sort_unstable();
+        missing.dedup();
+        if missing.is_empty() {
+            self.prev_missing.clear();
+            return;
+        }
+        let stuck: Vec<RequestId> = missing
+            .iter()
+            .filter(|id| self.prev_missing.contains(id))
+            .copied()
+            .collect();
+        self.prev_missing = missing.into_iter().collect();
+        if stuck.is_empty() {
+            return;
+        }
+        let peers = self.peers();
+        if peers.is_empty() {
+            return;
+        }
+        let donor = peers[(self.fetch_round as usize) % peers.len()];
+        self.fetch_round += 1;
+        self.stats.payload_fetches += 1;
+        self.annotate(ctx, format!("payload fetch ({}) -> {donor}", stuck.len()));
+        ctx.send(donor, OarWire::PayloadFetch { ids: stuck });
+    }
+
+    /// Re-sends the current consensus instance's idempotent messages once it
+    /// has been undecided for two full maintenance ticks. A healthy phase 2
+    /// decides well within one tick; the only way to stall longer with
+    /// nobody suspected is lost unicast — estimates or a proposal sent to a
+    /// peer while it was down (e.g. the round's coordinator crashed and
+    /// restarted faster than the failure-detector timeout, rejoining with a
+    /// fresh, empty instance).
+    fn maybe_retransmit_consensus(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+    ) {
+        let stalled = self.phase == Phase::Conservative
+            && self
+                .consensus
+                .as_ref()
+                .is_some_and(|c| c.is_started() && !c.has_decided());
+        if !stalled {
+            self.cnsv_stall_ticks = 0;
+            return;
+        }
+        self.cnsv_stall_ticks += 1;
+        if self.cnsv_stall_ticks < 2 {
+            return;
+        }
+        self.cnsv_stall_ticks = 0;
+        self.stats.consensus_retransmits += 1;
+        self.annotate(ctx, format!("consensus retransmit (epoch={})", self.epoch));
+        let consensus = self.consensus.as_mut().expect("checked above");
+        let output = consensus.retransmit();
+        self.dispatch_consensus_output(ctx, output.messages, output.decision);
+    }
+
+    /// Feeds payloads served by a peer's `PayloadFill` through the normal
+    /// delivery path. The caster marks them seen (so a stale relay arriving
+    /// later is suppressed) but the fill is **not** relayed — it is a
+    /// point-to-point repair, and re-relaying settled traffic is exactly the
+    /// ping-pong class the door filters exist to prevent.
+    fn handle_payload_fill(
+        &mut self,
+        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        requests: Vec<Request<S::Command>>,
+    ) {
+        for request in requests {
+            if request.group != self.config.group || self.settled.contains(&request.id) {
+                continue;
+            }
+            let wire = CastWire {
+                id: request.id,
+                origin: request.client,
+                payload: request,
+            };
+            let (delivery, _relay) = self.request_cast.on_wire_shared(wire);
+            if let Some(delivery) = delivery {
+                self.handle_request_delivery(ctx, delivery);
+            }
+        }
+    }
 }
 
 impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S> {
     fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+        if self.catch_up_attempt.is_some() {
+            // Recovery mode: no maintenance tick (and so no heartbeats or
+            // ordering) until the catch-up transfer installs — the replica
+            // must not participate from a blank state.
+            self.send_catch_up_request(ctx);
+            return;
+        }
         ctx.set_timer(self.config.tick_interval, TICK);
     }
 
@@ -1239,6 +1837,28 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         from: ProcessId,
         msg: OarWire<S::Command, S::Response>,
     ) {
+        if let Some(attempt) = self.catch_up_attempt {
+            match msg {
+                OarWire::CatchUpReply(reply) if reply.attempt == attempt => {
+                    self.install_catch_up(ctx, from, *reply);
+                }
+                // A late reply of an abandoned attempt: ignore (the newer
+                // attempt's donor will answer with current state).
+                OarWire::CatchUpReply(_) => {}
+                // Protocol traffic that may still matter after the install
+                // is buffered and replayed then; the rest (heartbeats,
+                // watermarks, fetches) is periodic or answered by peers with
+                // live state, and a recovering replica cannot donate.
+                OarWire::Request(_)
+                | OarWire::Order(_)
+                | OarWire::PhaseII(_)
+                | OarWire::Consensus(_) => {
+                    self.recovery_buffer.push((from, msg));
+                }
+                _ => {}
+            }
+            return;
+        }
         // Any traffic from a group member is evidence of liveness.
         if self.group.contains(&from) && from != self.id {
             let events = self.fd.observe_traffic(from, ctx.now());
@@ -1350,10 +1970,35 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
             OarWire::Replies(_) => {
                 // Servers never receive replies; ignore defensively.
             }
+            OarWire::CatchUpRequest { attempt } => {
+                self.serve_catch_up(ctx, from, attempt);
+            }
+            OarWire::CatchUpReply(_) => {
+                // Not recovering (any more): a stale transfer, ignore.
+            }
+            OarWire::PayloadFetch { ids } => {
+                self.serve_payload_fetch(ctx, from, ids);
+            }
+            OarWire::PayloadFill { requests } => {
+                self.handle_payload_fill(ctx, requests);
+            }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
+        if timer.tag == CATCHUP {
+            if let Some(attempt) = self.catch_up_attempt {
+                // The donor did not answer in time (crashed, or its reply
+                // was lost): rotate to the next donor with backed-off retry.
+                self.catch_up_attempt = Some(attempt + 1);
+                self.send_catch_up_request(ctx);
+            }
+            return;
+        }
+        if self.catch_up_attempt.is_some() {
+            // No protocol activity while recovering.
+            return;
+        }
         if timer.tag == FLUSH {
             self.flush_timer_pending = false;
             match self.flush_deadline {
@@ -1416,6 +2061,16 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         // Task 1c safety net: the current sequencer may have been suspected
         // before its epoch even started.
         self.maybe_start_phase2(ctx);
+        // Payload repair for gaps the multicast layer will never re-send
+        // (relays lost across a restart).
+        self.maybe_fetch_payloads(ctx);
+        // Consensus repair for the same reason: estimates/proposals unicast
+        // to a peer that was down are lost for good, and if that peer was
+        // the round's coordinator the instance wedges with nobody suspected.
+        // Re-send the (idempotent) current-round messages once the instance
+        // has been stuck for a couple of full ticks — a healthy phase 2
+        // decides well within one.
+        self.maybe_retransmit_consensus(ctx);
         ctx.set_timer(self.config.tick_interval, TICK);
     }
 
@@ -1434,9 +2089,24 @@ mod tests {
     use super::*;
     use crate::state_machine::{CounterCommand, CounterMachine};
     use oar_channels::{CastWire, MsgId};
-    use oar_simnet::{Action, SimRng, SimTime};
+    use oar_simnet::{Action, Payload, SimRng, SimTime};
 
     type Wire = OarWire<CounterCommand, i64>;
+
+    /// Views a `Send` action as `(destination, wire)`, unwrapping the
+    /// owned/shared payload distinction.
+    fn sent(action: &Action<Wire>) -> Option<(ProcessId, &Wire)> {
+        match action {
+            Action::Send { to, msg } => Some((
+                *to,
+                match msg {
+                    Payload::Owned(m) => m,
+                    Payload::Shared(s) => s.as_ref(),
+                },
+            )),
+            _ => None,
+        }
+    }
 
     /// Feeds one wire message to the server and returns the actions it
     /// produced.
@@ -1615,5 +2285,289 @@ mod tests {
         deliver(&mut server, ProcessId(2), OarWire::Watermark { settled: 2 });
         // min(self = 0, p1 = 4, p2 = 2): the server's own epoch bounds it.
         assert_eq!(server.acked_watermark(), 0);
+    }
+
+    /// Periodic snapshots compact `A_delivered` and the settled log; the
+    /// chained order hash keeps the compacted prefix comparable.
+    #[test]
+    fn snapshots_compact_the_settled_log() {
+        let config = OarConfig {
+            epoch_cut_after: Some(1),
+            snapshot_every: Some(2),
+            ..OarConfig::default()
+        };
+        let mut server = OarServer::new(
+            ProcessId(0),
+            vec![ProcessId(0)],
+            config,
+            CounterMachine::default(),
+        );
+        let client = ProcessId(9);
+        for seq in 0..4 {
+            let (_, request) = request_wire(client, seq, 1);
+            deliver(&mut server, client, request);
+        }
+        // Four single-request epochs closed; snapshots at epochs 2 and 4
+        // pruned everything below them.
+        assert_eq!(server.epoch(), 4);
+        assert_eq!(server.stats().snapshots_taken, 2);
+        assert_eq!(server.stats().compacted, 4);
+        assert_eq!(server.a_base(), 4, "prefix compacted up to the snapshot");
+        assert_eq!(server.total_settled(), 4);
+        assert!(server.stable_sequence().is_empty(), "A_delivered pruned");
+        // The peak gauge saw the pre-compaction length; after compaction the
+        // retained length is bounded by the snapshot window, not the run.
+        assert!(server.stats().a_delivered_len.peak() <= 2);
+        // Order hashes exist at and above the base, not below it.
+        assert!(server.order_hash_at(4).is_some());
+        assert!(server.order_hash_at(3).is_none());
+    }
+
+    /// The tentpole unit test: a recovering replica ignores-and-buffers
+    /// traffic, installs a donor's snapshot + delta, verifies the digest,
+    /// announces its watermark and resumes — ending element-identical to the
+    /// donor's settled state without replaying the full history.
+    #[test]
+    fn rejoining_replica_catches_up_by_snapshot_plus_delta() {
+        let config = OarConfig {
+            epoch_cut_after: Some(1),
+            snapshot_every: Some(2),
+            ..OarConfig::default()
+        };
+        let mut donor = OarServer::new(
+            ProcessId(0),
+            vec![ProcessId(0)],
+            config,
+            CounterMachine::default(),
+        );
+        let client = ProcessId(9);
+        for seq in 0..3 {
+            let (_, request) = request_wire(client, seq, 2);
+            deliver(&mut donor, client, request);
+        }
+        assert_eq!(donor.a_base(), 2, "snapshot at epoch 2");
+        assert_eq!(donor.total_settled(), 3);
+
+        let mut rejoiner = OarServer::recovering(
+            ProcessId(1),
+            vec![ProcessId(0), ProcessId(1)],
+            config,
+            CounterMachine::default(),
+        );
+        assert!(rejoiner.is_recovering());
+        // Traffic during the transfer window is buffered, not processed.
+        let (_, late_request) = request_wire(client, 3, 2);
+        deliver(&mut rejoiner, ProcessId(0), late_request);
+        assert_eq!(rejoiner.stats().opt_delivered, 0);
+        assert_eq!(rejoiner.payloads_len(), 0);
+
+        // Pull the transfer out of the donor and feed it to the rejoiner.
+        let actions = deliver(
+            &mut donor,
+            ProcessId(1),
+            OarWire::CatchUpRequest { attempt: 0 },
+        );
+        let reply = actions
+            .iter()
+            .find_map(|a| match sent(a) {
+                Some((ProcessId(1), msg @ OarWire::CatchUpReply(_))) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("donor must answer with a CatchUpReply");
+        let actions = deliver(&mut rejoiner, ProcessId(0), reply);
+
+        assert!(!rejoiner.is_recovering());
+        assert_eq!(rejoiner.a_base(), 2, "snapshot adopted, not full replay");
+        assert_eq!(rejoiner.total_settled(), 3);
+        assert_eq!(rejoiner.stats().catch_up_snapshot_position, 2);
+        assert_eq!(rejoiner.stats().catch_up_delta, 1);
+        assert_eq!(rejoiner.settled_digest(), donor.settled_digest());
+        assert_eq!(rejoiner.order_hash_at(3), donor.order_hash_at(3));
+        assert_eq!(rejoiner.epoch(), donor.epoch());
+        // The buffered request was replayed after install.
+        assert_eq!(rejoiner.payloads_len(), 1, "buffered request replayed");
+        // The watermark announcement un-stalls the peers' payload GC.
+        assert!(
+            actions
+                .iter()
+                .any(|a| matches!(sent(a), Some((_, OarWire::Watermark { .. })))),
+            "rejoiner must announce its watermark on install"
+        );
+    }
+
+    /// Lemma-2 regression: a rejoiner must not opt-deliver from a mid-epoch
+    /// order batch. It missed the epoch's earlier batches, so starting now
+    /// would make its `O_delivered` diverge from the sequencer-order prefix
+    /// the other replicas hold — and `Cnsv-order` silently drops the longest
+    /// prefix's suffix when fed a non-prefix, splitting the settle order.
+    /// The freeze expires once the epoch advances.
+    #[test]
+    fn rejoiner_freezes_optimistic_delivery_for_the_caught_up_epoch() {
+        let config = OarConfig {
+            epoch_cut_after: Some(1),
+            snapshot_every: Some(2),
+            ..OarConfig::default()
+        };
+        let mut donor = OarServer::new(
+            ProcessId(0),
+            vec![ProcessId(0)],
+            config,
+            CounterMachine::default(),
+        );
+        let client = ProcessId(9);
+        for seq in 0..2 {
+            let (_, request) = request_wire(client, seq, 2);
+            deliver(&mut donor, client, request);
+        }
+        assert_eq!(donor.epoch(), 2);
+
+        // Rejoiner catches up into epoch 2, whose sequencer is the donor.
+        let mut rejoiner = OarServer::recovering(
+            ProcessId(1),
+            vec![ProcessId(0), ProcessId(1)],
+            config,
+            CounterMachine::default(),
+        );
+        let actions = deliver(
+            &mut donor,
+            ProcessId(1),
+            OarWire::CatchUpRequest { attempt: 0 },
+        );
+        let reply = actions
+            .iter()
+            .find_map(|a| match sent(a) {
+                Some((ProcessId(1), msg @ OarWire::CatchUpReply(_))) => Some(msg.clone()),
+                _ => None,
+            })
+            .expect("donor must answer with a CatchUpReply");
+        deliver(&mut rejoiner, ProcessId(0), reply);
+        assert!(!rejoiner.is_recovering());
+        assert_eq!(rejoiner.epoch(), 2);
+        assert_eq!(rejoiner.phase(), Phase::Optimistic);
+        assert_eq!(rejoiner.current_sequencer(), ProcessId(0));
+
+        // A mid-epoch order batch arrives with its payload in hand: the
+        // frozen rejoiner stores the payload but must not opt-deliver.
+        let (rid, request) = request_wire(client, 2, 2);
+        deliver(&mut rejoiner, ProcessId(0), request);
+        let order = OarWire::Order(OrderMsg {
+            epoch: 2,
+            order: [rid].into_iter().collect(),
+            settled: 2,
+        });
+        deliver(&mut rejoiner, ProcessId(0), order);
+        assert_eq!(rejoiner.stats().opt_delivered, 0, "freeze must hold");
+        assert!(!rejoiner.stable_sequence().contains(&rid));
+
+        // The epoch closes conservatively: the decision settles the request
+        // (the rejoiner's empty `O_delivered` is the trivial prefix).
+        let phase2 = OarWire::PhaseII(CastWire {
+            id: MsgId::new(ProcessId(0), 99),
+            origin: ProcessId(0),
+            payload: PhaseIIMsg {
+                epoch: 2,
+                settled: 2,
+            },
+        });
+        deliver(&mut rejoiner, ProcessId(0), phase2);
+        assert_eq!(rejoiner.phase(), Phase::Conservative);
+        let decision_value = CnsvValue {
+            o_delivered: [rid].into_iter().collect(),
+            o_notdelivered: Default::default(),
+        };
+        let decide = OarWire::Consensus(ConsensusWire::Decide {
+            instance: 2,
+            value: vec![(ProcessId(0), decision_value)],
+        });
+        deliver(&mut rejoiner, ProcessId(0), decide);
+        assert_eq!(rejoiner.epoch(), 3, "conservative close advances");
+        assert!(rejoiner.stable_sequence().contains(&rid));
+
+        // The freeze expired with the epoch: epoch 3's sequencer is the
+        // rejoiner itself, and a fresh request opt-delivers normally.
+        assert!(rejoiner.is_sequencer());
+        let (next, request) = request_wire(client, 3, 2);
+        deliver(&mut rejoiner, client, request);
+        assert_eq!(rejoiner.stats().opt_delivered, 1, "freeze expired");
+        assert!(rejoiner.committed_sequence().contains(&next));
+    }
+
+    /// A transfer whose image cannot be installed (foreign type) is abandoned
+    /// and retried against the next donor instead of corrupting state.
+    #[test]
+    fn rejected_catch_up_image_retries_with_next_donor() {
+        let config = OarConfig::default();
+        let mut rejoiner = OarServer::recovering(
+            ProcessId(2),
+            (0..3).map(ProcessId).collect(),
+            config,
+            CounterMachine::default(),
+        );
+        let reply = CatchUpReply {
+            attempt: 0,
+            image: Some(crate::state_machine::StateImage::new("not a counter")),
+            snapshot_position: 5,
+            snapshot_digest: 0,
+            snapshot_order_hash: 0,
+            delta: Vec::new(),
+            epoch: 5,
+            conservative: false,
+            gc_floor: 0,
+            settled: Vec::new(),
+            digest: 0,
+            pending: Vec::new(),
+        };
+        let actions = deliver(
+            &mut rejoiner,
+            ProcessId(0),
+            OarWire::CatchUpReply(Box::new(reply)),
+        );
+        assert!(rejoiner.is_recovering(), "bad image must not end recovery");
+        assert_eq!(rejoiner.a_base(), 0, "state untouched by the bad image");
+        // The retry goes to the next donor in rotation: attempt 1 -> peer 1.
+        assert!(
+            actions.iter().any(|a| matches!(
+                sent(a),
+                Some((ProcessId(1), OarWire::CatchUpRequest { attempt: 1 }))
+            )),
+            "rejected install must retry with the next donor"
+        );
+    }
+
+    /// Settled payloads remain fetchable from the catch-up delta: a peer that
+    /// missed the original multicast can repair point-to-point, and the fill
+    /// is never re-relayed (no ping-pong).
+    #[test]
+    fn payload_fetch_served_from_settled_log() {
+        let config = OarConfig {
+            epoch_cut_after: Some(1),
+            ..OarConfig::default()
+        };
+        let mut server = OarServer::new(
+            ProcessId(0),
+            vec![ProcessId(0)],
+            config,
+            CounterMachine::default(),
+        );
+        let client = ProcessId(9);
+        let (rid, request) = request_wire(client, 0, 3);
+        deliver(&mut server, client, request);
+        assert_eq!(server.payloads_len(), 0, "settled payload pruned");
+
+        // The payload is gone from the live map but the settled log still
+        // serves it.
+        let actions = deliver(
+            &mut server,
+            ProcessId(1),
+            OarWire::PayloadFetch { ids: vec![rid] },
+        );
+        let filled = actions.iter().any(|a| match sent(a) {
+            Some((to, OarWire::PayloadFill { requests })) => {
+                to == ProcessId(1) && requests.len() == 1 && requests[0].id == rid
+            }
+            _ => false,
+        });
+        assert!(filled, "settled payloads must be served from the delta log");
+        assert_eq!(server.stats().payload_fills, 1);
     }
 }

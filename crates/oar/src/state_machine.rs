@@ -8,7 +8,9 @@
 //! suggests transactions / save-points (§6); here the contract is an explicit
 //! undo token returned by [`StateMachine::apply`].
 
+use std::any::Any;
 use std::fmt;
+use std::sync::Arc;
 
 /// The set of state keys one command reads or writes, used by the parallel
 /// apply scheduler ([`crate::parallel`]) to decide which commands of a
@@ -123,6 +125,109 @@ pub trait StateMachine: fmt::Debug + 'static {
             wave_sizes: vec![1; commands.len()],
         }
     }
+
+    /// Serializes the current state into a type-erased [`StateImage`], or
+    /// `None` if the machine does not support snapshots.
+    ///
+    /// The default returns `None`; machines implementing [`Snapshottable`]
+    /// should forward to [`Snapshottable::erased_snapshot`]. A machine
+    /// without snapshots still recovers after a restart — just by full
+    /// command replay instead of snapshot + delta, and without log
+    /// compaction.
+    fn snapshot(&self) -> Option<StateImage> {
+        None
+    }
+
+    /// Replaces the current state with the one captured in `image`. Returns
+    /// `false` (leaving the state untouched) if the machine does not support
+    /// snapshots or the image is of a different concrete type.
+    fn install(&mut self, image: &StateImage) -> bool {
+        let _ = image;
+        false
+    }
+}
+
+/// A serialized state-machine image, stamped by the snapshot layer with its
+/// delivery position and state digest (see `OarServer`'s snapshot record).
+///
+/// The payload is type-erased so protocol wires ([`crate::message::OarWire`])
+/// can carry images without growing another generic parameter; the concrete
+/// type is recovered by [`StateMachine::install`] on a machine of the same
+/// type. In a real deployment this would be a byte buffer; in the simulator
+/// an `Arc` keeps transfer cheap and deterministic.
+#[derive(Clone)]
+pub struct StateImage(Arc<dyn Any + Send + Sync>);
+
+impl StateImage {
+    /// Wraps a concrete state value.
+    pub fn new<T: Any + Send + Sync>(value: T) -> Self {
+        StateImage(Arc::new(value))
+    }
+
+    /// Recovers the concrete state, if the image holds a `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        self.0.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for StateImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("StateImage(..)")
+    }
+}
+
+/// Equality on images is identity of the underlying allocation: images are
+/// compared for protocol bookkeeping (wire `PartialEq` derives), never for
+/// state equality — state equality is what digests are for.
+impl PartialEq for StateImage {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+/// The typed face of snapshot support: a machine picks a concrete `Image`
+/// type and the blanket helpers erase/recover it for the wire layer.
+///
+/// Implementors override [`StateMachine::snapshot`]/[`StateMachine::install`]
+/// by forwarding to [`Snapshottable::erased_snapshot`] and
+/// [`Snapshottable::install_erased`]:
+///
+/// ```
+/// use oar::state_machine::{Snapshottable, StateImage, StateMachine};
+/// use oar::state_machine::{CounterCommand, CounterMachine};
+///
+/// let mut sm = CounterMachine::default();
+/// sm.apply(&CounterCommand::Add(7));
+/// let image = sm.snapshot().expect("counter supports snapshots");
+/// let mut fresh = CounterMachine::default();
+/// assert!(fresh.install(&image));
+/// assert_eq!(fresh.digest(), sm.digest());
+/// ```
+pub trait Snapshottable: StateMachine {
+    /// The concrete serialized form of this machine's state.
+    type Image: Clone + Send + Sync + 'static;
+
+    /// Captures the current state.
+    fn snapshot_image(&self) -> Self::Image;
+
+    /// Replaces the current state with `image`.
+    fn install_image(&mut self, image: &Self::Image);
+
+    /// Captures the current state as a type-erased [`StateImage`].
+    fn erased_snapshot(&self) -> StateImage {
+        StateImage::new(self.snapshot_image())
+    }
+
+    /// Installs a type-erased image; `false` if it is not a `Self::Image`.
+    fn install_erased(&mut self, image: &StateImage) -> bool {
+        match image.downcast_ref::<Self::Image>() {
+            Some(concrete) => {
+                self.install_image(concrete);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -202,6 +307,26 @@ impl StateMachine for CounterMachine {
         // enough for replica comparison in tests.
         (self.value as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ self.applied
     }
+
+    fn snapshot(&self) -> Option<StateImage> {
+        Some(self.erased_snapshot())
+    }
+
+    fn install(&mut self, image: &StateImage) -> bool {
+        self.install_erased(image)
+    }
+}
+
+impl Snapshottable for CounterMachine {
+    type Image = CounterMachine;
+
+    fn snapshot_image(&self) -> CounterMachine {
+        self.clone()
+    }
+
+    fn install_image(&mut self, image: &CounterMachine) {
+        *self = image.clone();
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +397,38 @@ mod tests {
         let add = CounterCommand::Add(1).conflict_keys();
         let get = CounterCommand::Get.conflict_keys();
         assert!(add.intersects(&get));
+    }
+
+    #[test]
+    fn snapshot_roundtrip_restores_digest_and_value() {
+        let mut sm = CounterMachine::default();
+        sm.apply(&CounterCommand::Add(42));
+        sm.apply(&CounterCommand::Get);
+        let image = sm.snapshot().expect("counter supports snapshots");
+        let mut fresh = CounterMachine::default();
+        assert!(fresh.install(&image));
+        assert_eq!(fresh.value(), 42);
+        assert_eq!(fresh.applied(), 2);
+        assert_eq!(fresh.digest(), sm.digest());
+    }
+
+    #[test]
+    fn install_rejects_an_image_of_a_different_type() {
+        let mut sm = CounterMachine::default();
+        sm.apply(&CounterCommand::Add(5));
+        let alien = StateImage::new(String::from("not a counter"));
+        assert!(!sm.install(&alien));
+        assert_eq!(sm.value(), 5, "a rejected install leaves state untouched");
+        assert!(alien.downcast_ref::<CounterMachine>().is_none());
+    }
+
+    #[test]
+    fn state_image_equality_is_allocation_identity() {
+        let sm = CounterMachine::default();
+        let a = sm.snapshot().unwrap();
+        let b = sm.snapshot().unwrap();
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b, "identical state, distinct allocations");
     }
 
     #[test]

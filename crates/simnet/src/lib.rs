@@ -53,11 +53,11 @@ pub mod trace;
 pub mod world;
 
 pub use config::{LatencyModel, LinkConfig, NetConfig, PartitionMode};
-pub use context::{Action, Context};
+pub use context::{Action, Context, Payload};
 pub use metrics::{BucketHistogram, PeakGauge, Samples, Summary};
 pub use network::{Network, Routing};
 pub use process::{AsAny, GroupId, Process, ProcessId, Timer, TimerId};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, NetStats, TraceEvent, TraceKind, Tracer};
-pub use world::{horizon_for, ProcessCall, World, DEFAULT_HORIZON};
+pub use world::{horizon_for, ProcessCall, ProcessFactory, World, DEFAULT_HORIZON};

@@ -49,6 +49,11 @@ pub enum TraceKind {
         /// The crashed process.
         process: ProcessId,
     },
+    /// A crashed process was restarted with fresh in-memory state.
+    Restarted {
+        /// The restarted process.
+        process: ProcessId,
+    },
     /// A partition was installed.
     PartitionStarted,
     /// All partitions were healed.
@@ -72,6 +77,9 @@ pub enum DropReason {
     Partitioned,
     /// The destination process has crashed.
     DestinationCrashed,
+    /// The destination restarted while the message was in flight: it was
+    /// addressed to the previous incarnation and stays lost.
+    DestinationRestarted,
     /// The sender had crashed before the send was applied.
     SenderCrashed,
 }
@@ -99,6 +107,7 @@ impl fmt::Display for TraceEvent {
             }
             TraceKind::TimerFired { at } => write!(f, "[{}] {at} timer", self.time),
             TraceKind::Crashed { process } => write!(f, "[{}] {process} CRASH", self.time),
+            TraceKind::Restarted { process } => write!(f, "[{}] {process} RESTART", self.time),
             TraceKind::PartitionStarted => write!(f, "[{}] partition installed", self.time),
             TraceKind::PartitionHealed => write!(f, "[{}] partition healed", self.time),
             TraceKind::Annotation { process, text } => {
@@ -203,6 +212,7 @@ impl Tracer {
                 kind,
                 TraceKind::Annotation { .. }
                     | TraceKind::Crashed { .. }
+                    | TraceKind::Restarted { .. }
                     | TraceKind::PartitionStarted
                     | TraceKind::PartitionHealed
             );
@@ -255,6 +265,7 @@ impl Tracer {
                 event.kind,
                 TraceKind::Annotation { .. }
                     | TraceKind::Crashed { .. }
+                    | TraceKind::Restarted { .. }
                     | TraceKind::PartitionStarted
                     | TraceKind::PartitionHealed
             ) {

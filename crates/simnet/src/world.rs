@@ -17,6 +17,10 @@ use crate::trace::{DropReason, NetStats, TraceKind, Tracer};
 /// used by tests and experiment drivers to inject external stimuli.
 pub type ProcessCall<M> = Box<dyn FnOnce(&mut dyn Process<M>, &mut Context<'_, M>)>;
 
+/// A deferred constructor for the fresh process image installed by a
+/// scheduled restart ([`World::schedule_restart`]).
+pub type ProcessFactory<M> = Box<dyn FnOnce() -> Box<dyn Process<M>>>;
+
 enum EventKind<M> {
     Deliver {
         from: ProcessId,
@@ -26,14 +30,26 @@ enum EventKind<M> {
         /// made only when the message is actually handed to `on_message`
         /// (none for the last recipient).
         msg: Payload<M>,
+        /// Destination incarnation at send time: a message in flight across a
+        /// crash/restart boundary is addressed to the *old* incarnation and
+        /// is dropped at delivery time (a restarted process starts with fresh
+        /// state and an empty inbox).
+        incarnation: u64,
     },
     Timer {
         at: ProcessId,
         id: TimerId,
         tag: u64,
+        /// Owner incarnation when the timer was armed: timers armed before a
+        /// crash never fire into the restarted process.
+        incarnation: u64,
     },
     Crash {
         at: ProcessId,
+    },
+    Restart {
+        at: ProcessId,
+        make: ProcessFactory<M>,
     },
     InstallPartition {
         groups: Vec<Vec<ProcessId>>,
@@ -73,12 +89,16 @@ struct Slot<M> {
     process: Box<dyn Process<M>>,
     crashed: bool,
     started: bool,
+    /// Bumped on every restart; events addressed to an older incarnation are
+    /// dropped at dispatch time.
+    incarnation: u64,
 }
 
 struct HeldMessage<M> {
     from: ProcessId,
     to: ProcessId,
     msg: Payload<M>,
+    incarnation: u64,
 }
 
 /// A deterministic discrete-event simulation of a set of processes exchanging
@@ -187,6 +207,7 @@ impl<M: Clone + 'static> World<M> {
             process: Box::new(process),
             crashed: false,
             started: false,
+            incarnation: 0,
         });
         id
     }
@@ -266,6 +287,41 @@ impl<M: Clone + 'static> World<M> {
     /// Crashes `process` immediately.
     pub fn crash_now(&mut self, process: ProcessId) {
         self.apply_crash(process);
+    }
+
+    /// Revives a crashed process immediately, installing `fresh` as its new
+    /// in-memory state and invoking its `on_start` hook right away.
+    ///
+    /// Crash-recovery semantics: everything the old incarnation held in
+    /// memory is gone, messages sent while it was down (or still in flight
+    /// across the restart) stay lost, and timers armed before the crash never
+    /// fire into the new incarnation. Restarting a process that is not
+    /// crashed is a no-op.
+    pub fn restart_now<P: Process<M> + 'static>(&mut self, process: ProcessId, fresh: P) {
+        self.apply_restart(process, Box::new(fresh));
+    }
+
+    /// Schedules `process` to be revived at time `at` with the process image
+    /// produced by `make` — the scriptable half of a crash/restart fault
+    /// schedule (pair with [`World::schedule_crash`]).
+    pub fn schedule_restart(
+        &mut self,
+        at: SimTime,
+        process: ProcessId,
+        make: impl FnOnce() -> Box<dyn Process<M>> + 'static,
+    ) {
+        self.push_event(
+            at,
+            EventKind::Restart {
+                at: process,
+                make: Box::new(make),
+            },
+        );
+    }
+
+    /// How many times `process` has been restarted.
+    pub fn incarnation_of(&self, process: ProcessId) -> u64 {
+        self.slots[process.0].incarnation
     }
 
     /// Schedules a partition to be installed at time `at`.
@@ -432,7 +488,12 @@ impl<M: Clone + 'static> World<M> {
 
     fn dispatch(&mut self, kind: EventKind<M>) {
         match kind {
-            EventKind::Deliver { from, to, msg } => {
+            EventKind::Deliver {
+                from,
+                to,
+                msg,
+                incarnation,
+            } => {
                 if self.slots[to.0].crashed {
                     self.tracer.record(
                         self.now,
@@ -440,6 +501,19 @@ impl<M: Clone + 'static> World<M> {
                             from,
                             to,
                             reason: DropReason::DestinationCrashed,
+                        },
+                    );
+                    return;
+                }
+                if self.slots[to.0].incarnation != incarnation {
+                    // In flight across a crash/restart boundary: the message
+                    // was addressed to the old incarnation and stays lost.
+                    self.tracer.record(
+                        self.now,
+                        TraceKind::MessageDropped {
+                            from,
+                            to,
+                            reason: DropReason::DestinationRestarted,
                         },
                     );
                     return;
@@ -463,8 +537,16 @@ impl<M: Clone + 'static> World<M> {
                 }
                 self.apply_actions(to, actions);
             }
-            EventKind::Timer { at, id, tag } => {
-                if self.cancelled_timers.remove(&id) || self.slots[at.0].crashed {
+            EventKind::Timer {
+                at,
+                id,
+                tag,
+                incarnation,
+            } => {
+                if self.cancelled_timers.remove(&id)
+                    || self.slots[at.0].crashed
+                    || self.slots[at.0].incarnation != incarnation
+                {
                     return;
                 }
                 self.tracer.record(self.now, TraceKind::TimerFired { at });
@@ -483,6 +565,7 @@ impl<M: Clone + 'static> World<M> {
                 self.apply_actions(at, actions);
             }
             EventKind::Crash { at } => self.apply_crash(at),
+            EventKind::Restart { at, make } => self.apply_restart(at, make()),
             EventKind::InstallPartition { groups } => {
                 self.net.install_partition(&groups);
                 self.tracer.record(self.now, TraceKind::PartitionStarted);
@@ -519,11 +602,54 @@ impl<M: Clone + 'static> World<M> {
         self.tracer.record(self.now, TraceKind::Crashed { process });
     }
 
+    fn apply_restart(&mut self, process: ProcessId, fresh: Box<dyn Process<M>>) {
+        {
+            let slot = &mut self.slots[process.0];
+            if !slot.crashed {
+                return;
+            }
+            slot.process = fresh;
+            slot.crashed = false;
+            slot.started = true;
+            slot.incarnation += 1;
+        }
+        self.tracer
+            .record(self.now, TraceKind::Restarted { process });
+        // Boot the fresh incarnation immediately: the same `on_start` hook a
+        // process gets when the world first runs.
+        let mut actions: Vec<Action<M>> = Vec::new();
+        {
+            let slot = &mut self.slots[process.0];
+            let mut ctx = Context::new(
+                self.now,
+                process,
+                &mut self.rng,
+                &mut actions,
+                &mut self.next_timer_id,
+            );
+            slot.process.on_start(&mut ctx);
+        }
+        self.apply_actions(process, actions);
+    }
+
     fn apply_heal(&mut self) {
         self.net.heal_partition();
         self.tracer.record(self.now, TraceKind::PartitionHealed);
         let held = std::mem::take(&mut self.held);
         for h in held {
+            if self.slots[h.to.0].incarnation != h.incarnation {
+                // The destination restarted while the partition held the
+                // message: it was addressed to the old incarnation.
+                self.tracer.record(
+                    self.now,
+                    TraceKind::MessageDropped {
+                        from: h.from,
+                        to: h.to,
+                        reason: DropReason::DestinationRestarted,
+                    },
+                );
+                continue;
+            }
             self.route_send(h.from, h.to, h.msg);
         }
     }
@@ -546,7 +672,16 @@ impl<M: Clone + 'static> World<M> {
                     self.route_send(from, to, msg);
                 }
                 Action::SetTimer { id, delay, tag } => {
-                    self.push_event(self.now + delay, EventKind::Timer { at: from, id, tag });
+                    let incarnation = self.slots[from.0].incarnation;
+                    self.push_event(
+                        self.now + delay,
+                        EventKind::Timer {
+                            at: from,
+                            id,
+                            tag,
+                            incarnation,
+                        },
+                    );
                 }
                 Action::CancelTimer { id } => {
                     self.cancelled_timers.insert(id);
@@ -578,9 +713,18 @@ impl<M: Clone + 'static> World<M> {
             );
             return;
         }
+        let incarnation = self.slots[to.0].incarnation;
         match self.net.route(self.now, from, to, &mut self.rng) {
             Routing::Deliver(latency) => {
-                self.push_event(self.now + latency, EventKind::Deliver { from, to, msg });
+                self.push_event(
+                    self.now + latency,
+                    EventKind::Deliver {
+                        from,
+                        to,
+                        msg,
+                        incarnation,
+                    },
+                );
             }
             Routing::DeliverDuplicated(a, b) => {
                 let shared = msg.into_shared();
@@ -590,6 +734,7 @@ impl<M: Clone + 'static> World<M> {
                         from,
                         to,
                         msg: Payload::Shared(Arc::clone(&shared)),
+                        incarnation,
                     },
                 );
                 self.push_event(
@@ -598,6 +743,7 @@ impl<M: Clone + 'static> World<M> {
                         from,
                         to,
                         msg: Payload::Shared(shared),
+                        incarnation,
                     },
                 );
             }
@@ -622,7 +768,12 @@ impl<M: Clone + 'static> World<M> {
                 );
             }
             Routing::HoldForHeal => {
-                self.held.push(HeldMessage { from, to, msg });
+                self.held.push(HeldMessage {
+                    from,
+                    to,
+                    msg,
+                    incarnation,
+                });
             }
         }
     }
@@ -779,6 +930,121 @@ mod tests {
         world.schedule_crash(b, SimTime::from_micros(500));
         world.run_until_quiescent(SimTime::from_secs(1));
         assert!(world.is_crashed(b));
+        assert_eq!(world.process_ref::<PingPong>(a).pongs_received, 0);
+    }
+
+    #[test]
+    fn restart_revives_a_crashed_process_with_fresh_state() {
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 21);
+        let a = world.add_process(PingPong::new(vec![ProcessId(1)], 1));
+        let b = world.add_process(PingPong::new(vec![], 0));
+        world.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(world.process_ref::<PingPong>(b).deliveries.len(), 1);
+
+        world.crash_now(b);
+        assert!(world.is_crashed(b));
+        world.restart_now(b, PingPong::new(vec![], 0));
+        assert!(!world.is_crashed(b));
+        assert_eq!(world.incarnation_of(b), 1);
+        // Fresh in-memory state: the pre-crash delivery log is gone.
+        assert!(world.process_ref::<PingPong>(b).deliveries.is_empty());
+
+        // The revived process receives new traffic normally.
+        world.invoke_now(a, |_p, ctx| ctx.send(ProcessId(1), Msg::Ping(9)));
+        world.run_until_quiescent(SimTime::from_secs(2));
+        assert_eq!(world.process_ref::<PingPong>(b).deliveries.len(), 1);
+        assert!(world
+            .tracer()
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, TraceKind::Restarted { process } if process == b)));
+    }
+
+    #[test]
+    fn messages_in_flight_across_a_restart_stay_lost() {
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 22);
+        let a = world.add_process(PingPong::new(vec![ProcessId(1)], 1));
+        let b = world.add_process(PingPong::new(vec![], 0));
+        // The ping leaves a at t=0 and would arrive at t=1ms; b crashes at
+        // 200us and is already back at 400us — but the message was addressed
+        // to the old incarnation.
+        world.schedule_crash(b, SimTime::from_micros(200));
+        world.schedule_restart(SimTime::from_micros(400), b, || {
+            Box::new(PingPong::new(vec![], 0))
+        });
+        world.run_until_quiescent(SimTime::from_secs(1));
+        assert!(!world.is_crashed(b));
+        assert!(world.process_ref::<PingPong>(b).deliveries.is_empty());
+        assert_eq!(world.process_ref::<PingPong>(a).pongs_received, 0);
+        assert_eq!(world.stats().dropped, 1);
+    }
+
+    #[test]
+    fn timers_armed_before_a_crash_never_fire_into_the_new_incarnation() {
+        struct TickProc {
+            period: SimDuration,
+            fired: Vec<u64>,
+        }
+        impl Process<Msg> for TickProc {
+            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+                ctx.set_timer(self.period, 7);
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcessId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, timer: Timer) {
+                self.fired.push(timer.tag);
+                ctx.set_timer(self.period, 7);
+            }
+        }
+        let mut world: World<Msg> = World::new(NetConfig::lan(), 23);
+        let p = world.add_process(TickProc {
+            period: SimDuration::from_millis(10),
+            fired: Vec::new(),
+        });
+        // Crash at 5ms: the 10ms timer of incarnation 0 is still queued.
+        world.schedule_crash(p, SimTime::from_millis(5));
+        // Restart at 6ms with a much slower period; the only timer that may
+        // fire before t=50ms is the new incarnation's own (at 46ms).
+        world.schedule_restart(SimTime::from_millis(6), p, || {
+            Box::new(TickProc {
+                period: SimDuration::from_millis(40),
+                fired: Vec::new(),
+            })
+        });
+        world.run_until(SimTime::from_millis(50));
+        assert_eq!(world.process_ref::<TickProc>(p).fired, vec![7]);
+        assert!(world.now() >= SimTime::from_millis(46));
+    }
+
+    #[test]
+    fn restarting_a_live_process_is_a_noop() {
+        let mut world: World<Msg> = World::new(NetConfig::lan(), 24);
+        let a = world.add_process(PingPong::new(vec![ProcessId(1)], 2));
+        let b = world.add_process(PingPong::new(vec![], 0));
+        world.run_until_quiescent(SimTime::from_secs(1));
+        let before = world.process_ref::<PingPong>(b).deliveries.len();
+        world.restart_now(b, PingPong::new(vec![], 0));
+        assert_eq!(world.incarnation_of(b), 0);
+        assert_eq!(world.process_ref::<PingPong>(b).deliveries.len(), before);
+        let _ = a;
+    }
+
+    #[test]
+    fn held_partition_messages_for_a_restarted_process_are_dropped() {
+        let mut cfg = NetConfig::constant(SimDuration::from_millis(1));
+        cfg.partition_mode = PartitionMode::DeliverOnHeal;
+        let mut world: World<Msg> = World::new(cfg, 25);
+        let a = world.add_process(PingPong::new(vec![ProcessId(1)], 1));
+        let b = world.add_process(PingPong::new(vec![], 0));
+        world.partition_now(vec![vec![a], vec![b]]);
+        world.run_until(SimTime::from_millis(10));
+        // While the ping is held for heal, b crashes and restarts.
+        world.crash_now(b);
+        world.restart_now(b, PingPong::new(vec![], 0));
+        world.heal_now();
+        world.run_until_quiescent(SimTime::from_secs(1));
+        assert!(world.process_ref::<PingPong>(b).deliveries.is_empty());
         assert_eq!(world.process_ref::<PingPong>(a).pongs_received, 0);
     }
 

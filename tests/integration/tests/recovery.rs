@@ -1,0 +1,356 @@
+//! Crash → restart → catch-up: end-to-end recovery of restarted replicas.
+//!
+//! Each test crashes a replica mid-run with [`World::schedule_crash`], revives
+//! it with [`Cluster::schedule_server_restart`] (fresh in-memory state — the
+//! crash lost everything), and checks that the rejoiner:
+//!
+//! * catches up by **snapshot + delta**, not by replaying the full history
+//!   (`catch_up_snapshot_position > 0`);
+//! * ends **bit-identical** to the survivors — same settled digest, same
+//!   settled position, same chained order hash (the replica-consistency
+//!   checks compare compacted replicas through those);
+//! * **resumes participation**: it settles requests ordered after its rejoin;
+//! * is **un-suspected** by its peers' failure detectors once its fresh
+//!   heartbeats arrive (satellite a);
+//! * never replays a settled request and never re-relays one — the seen-set
+//!   aging and door-drop filters stay correct across the restart
+//!   (satellite b, the relay ping-pong regression class).
+
+use oar::cluster::{Cluster, ClusterConfig};
+use oar::state_machine::{CounterCommand, CounterMachine};
+use oar::OarConfig;
+use oar_simnet::{NetConfig, ProcessId, SimDuration, SimTime};
+
+fn counter_workload(client: usize, n: usize) -> Vec<CounterCommand> {
+    (0..n)
+        .map(|i| CounterCommand::Add((client * 31 + i) as i64 % 11 + 1))
+        .collect()
+}
+
+fn run_checks<S: oar::StateMachine>(cluster: &Cluster<S>, label: &str) {
+    cluster
+        .check_replica_consistency()
+        .unwrap_or_else(|e| panic!("[{label}] replica consistency: {e}"));
+    cluster
+        .check_external_consistency()
+        .unwrap_or_else(|e| panic!("[{label}] external consistency: {e}"));
+}
+
+/// Recovery-flavoured config: proactive epoch cuts feed the snapshot
+/// trigger, and snapshots every 2 epochs keep the catch-up delta short.
+fn recovery_oar() -> OarConfig {
+    OarConfig {
+        epoch_cut_after: Some(4),
+        snapshot_every: Some(2),
+        ..OarConfig::with_fd_timeout(SimDuration::from_millis(20))
+    }
+}
+
+/// Runs to completion, then keeps the world going so in-flight recovery,
+/// watermarks and heartbeats settle before the checks.
+fn run_and_settle<S: oar::StateMachine>(cluster: &mut Cluster<S>, horizon: SimTime) -> bool {
+    let done = cluster.run_to_completion(horizon);
+    let settle = cluster.world.now() + SimDuration::from_millis(120);
+    cluster.world.run_until(settle);
+    done
+}
+
+/// The tentpole, multi-seed: a non-sequencer replica crashes under load,
+/// restarts with blank state, fetches snapshot + delta from a donor and ends
+/// consistent with the survivors — then keeps settling new requests.
+#[test]
+fn restarted_replica_catches_up_by_snapshot_plus_delta() {
+    for seed in 0..6u64 {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::constant(SimDuration::from_micros(150)),
+            oar: recovery_oar(),
+            client_pipeline: 4,
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 80)
+            });
+        cluster
+            .world
+            .schedule_crash(ProcessId(2), SimTime::from_micros(2_000 + seed * 300));
+        cluster.schedule_server_restart(
+            SimTime::from_micros(10_000 + seed * 500),
+            2,
+            CounterMachine::default,
+        );
+        assert!(
+            run_and_settle(&mut cluster, SimTime::from_secs(120)),
+            "seed {seed}: workload did not finish across the restart"
+        );
+        assert_eq!(cluster.completed_requests().len(), 160, "seed {seed}");
+        let rejoined = cluster.server(2);
+        assert!(
+            !rejoined.is_recovering(),
+            "seed {seed}: replica 2 still mid-recovery at quiesce"
+        );
+        let stats = rejoined.stats();
+        // Snapshot + delta, not full replay: the transfer started from a
+        // non-zero snapshot position…
+        assert!(
+            stats.catch_up_snapshot_position > 0,
+            "seed {seed}: catch-up replayed from position 0 (full replay)"
+        );
+        // …and the replica kept settling requests ordered after its rejoin.
+        let transferred = stats.catch_up_snapshot_position + stats.catch_up_delta;
+        assert!(
+            rejoined.total_settled() > transferred,
+            "seed {seed}: rejoined replica settled nothing new \
+             (transfer {transferred}, settled {})",
+            rejoined.total_settled()
+        );
+        // Bit-identical to a survivor at the common settled position.
+        let survivor = cluster.server(1);
+        let common = rejoined.total_settled().min(survivor.total_settled());
+        assert_eq!(
+            rejoined.order_hash_at(common),
+            survivor.order_hash_at(common),
+            "seed {seed}: settled prefixes diverge at {common}"
+        );
+        run_checks(&cluster, &format!("restart seed {seed}"));
+        // Compaction kept the retained log bounded by the snapshot window,
+        // not the 160-request workload.
+        assert!(cluster.total_snapshots() > 0, "seed {seed}: no snapshots");
+        let window = 2 * (4 + (config.num_clients * config.client_pipeline) as u64);
+        assert!(
+            cluster.peak_a_delivered_len() <= 2 * window,
+            "seed {seed}: peak A_delivered {} exceeds the snapshot window bound {}",
+            cluster.peak_a_delivered_len(),
+            2 * window
+        );
+    }
+}
+
+/// Satellite (a): peers suspect a crashed replica, then un-suspect it after
+/// the restart once its fresh heartbeats arrive.
+#[test]
+fn fd_unsuspects_restarted_replica_after_fresh_heartbeats() {
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: 1,
+        net: NetConfig::lan(),
+        oar: recovery_oar(),
+        seed: 11,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<CounterMachine> =
+        Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 8));
+    cluster
+        .world
+        .schedule_crash(ProcessId(2), SimTime::from_millis(1));
+    // Let the detectors time the silence out.
+    cluster.world.run_until(SimTime::from_millis(80));
+    assert!(
+        cluster.server(0).is_suspecting(ProcessId(2)),
+        "peer 0 must suspect the crashed replica"
+    );
+    assert!(
+        cluster.server(1).is_suspecting(ProcessId(2)),
+        "peer 1 must suspect the crashed replica"
+    );
+    // Restart: catch-up runs, heartbeats resume, peers re-admit it.
+    cluster.schedule_server_restart(SimTime::from_millis(85), 2, CounterMachine::default);
+    cluster.world.run_until(SimTime::from_millis(300));
+    assert!(
+        !cluster.server(2).is_recovering(),
+        "restarted replica must finish catch-up"
+    );
+    assert!(
+        !cluster.server(0).is_suspecting(ProcessId(2)),
+        "peer 0 must un-suspect the rejoined replica"
+    );
+    assert!(
+        !cluster.server(1).is_suspecting(ProcessId(2)),
+        "peer 1 must un-suspect the rejoined replica"
+    );
+    run_checks(&cluster, "fd-unsuspect");
+}
+
+/// Satellite (b): across a restart, no settled request is replayed (checked
+/// by the at-most-once sweep inside the consistency checks) and stale relays
+/// of settled requests die at the door instead of ping-ponging — the run
+/// terminates and the duplicate-suppression set stays near-empty at quiesce.
+#[test]
+fn no_settled_replay_and_bounded_seen_across_restart() {
+    for seed in 0..4u64 {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::constant(SimDuration::from_micros(150)),
+            oar: recovery_oar(),
+            client_pipeline: 4,
+            seed: 100 + seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 60)
+            });
+        cluster
+            .world
+            .schedule_crash(ProcessId(1), SimTime::from_micros(1_500 + seed * 400));
+        cluster.schedule_server_restart(
+            SimTime::from_micros(9_000 + seed * 700),
+            1,
+            CounterMachine::default,
+        );
+        assert!(
+            run_and_settle(&mut cluster, SimTime::from_secs(120)),
+            "seed {seed}: run did not terminate (relay ping-pong?)"
+        );
+        // At-least-once with no duplicate adoption: every request completed
+        // exactly once per client.
+        assert_eq!(cluster.completed_requests().len(), 120, "seed {seed}");
+        // At-most-once on every replica (duplicate sweep) + digest equality.
+        run_checks(&cluster, &format!("seen-aging seed {seed}"));
+        // The seen set was aged across the restart: at quiesce the settled
+        // workload (120 ids and their PhaseII ids) has been forgotten.
+        let window = 2 * (4 + (config.num_clients * config.client_pipeline) as u64) + 8;
+        assert!(
+            cluster.current_seen() <= 3 * window,
+            "seed {seed}: {} seen ids retained at quiesce (bound {})",
+            cluster.current_seen(),
+            3 * window
+        );
+    }
+}
+
+/// Satellite (c): the *sequencer* crashes, the group fails over, and the old
+/// sequencer restarts into a group that moved on — it must catch up and
+/// resume as a follower without disturbing the new epoch.
+#[test]
+fn sequencer_restart_catches_up_after_failover() {
+    for seed in 0..4u64 {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::constant(SimDuration::from_micros(150)),
+            oar: recovery_oar(),
+            client_pipeline: 4,
+            seed: 200 + seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 60)
+            });
+        // Crash the epoch-0 sequencer: the group enters phase 2 and rotates.
+        cluster
+            .world
+            .schedule_crash(ProcessId(0), SimTime::from_micros(1_000 + seed * 300));
+        cluster.schedule_server_restart(
+            SimTime::from_millis(60 + seed * 5),
+            0,
+            CounterMachine::default,
+        );
+        assert!(
+            run_and_settle(&mut cluster, SimTime::from_secs(120)),
+            "seed {seed}: workload did not finish after sequencer restart"
+        );
+        assert_eq!(cluster.completed_requests().len(), 120, "seed {seed}");
+        assert!(
+            cluster.total_phase2_entries() > 0,
+            "seed {seed}: fail-over expected"
+        );
+        assert!(
+            !cluster.server(0).is_recovering(),
+            "seed {seed}: old sequencer still mid-recovery at quiesce"
+        );
+        run_checks(&cluster, &format!("sequencer-restart seed {seed}"));
+    }
+}
+
+/// Satellite (c), hard case: the restart lands *during* an epoch change — a
+/// second replica's crash forces phase 2 + consensus while the rejoiner is
+/// mid-transfer, so the buffered-wire replay and the donor-phase handoff in
+/// the catch-up reply are both exercised.
+#[test]
+fn restart_during_epoch_change_stays_consistent() {
+    for seed in 0..4u64 {
+        let config = ClusterConfig {
+            num_servers: 5,
+            num_clients: 2,
+            net: NetConfig::constant(SimDuration::from_micros(150)),
+            oar: recovery_oar(),
+            client_pipeline: 4,
+            seed: 300 + seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 50)
+            });
+        // Replica 4 crashes early and rejoins right as the sequencer crash
+        // below forces the group through an epoch change.
+        cluster
+            .world
+            .schedule_crash(ProcessId(4), SimTime::from_millis(1));
+        cluster
+            .world
+            .schedule_crash(ProcessId(0), SimTime::from_millis(8));
+        cluster.schedule_server_restart(
+            SimTime::from_millis(8 + seed * 3),
+            4,
+            CounterMachine::default,
+        );
+        assert!(
+            run_and_settle(&mut cluster, SimTime::from_secs(120)),
+            "seed {seed}: workload did not finish across restart + epoch change"
+        );
+        assert_eq!(cluster.completed_requests().len(), 100, "seed {seed}");
+        assert!(
+            !cluster.server(4).is_recovering(),
+            "seed {seed}: rejoiner still mid-recovery at quiesce"
+        );
+        run_checks(
+            &cluster,
+            &format!("restart-during-epoch-change seed {seed}"),
+        );
+    }
+}
+
+/// A restart with *no* surviving donor traffic hazard: the donor rotation +
+/// backoff must survive the first donor being the other crashed replica.
+#[test]
+fn catch_up_rotates_donors_past_a_dead_peer() {
+    let config = ClusterConfig {
+        num_servers: 5,
+        num_clients: 2,
+        net: NetConfig::lan(),
+        oar: recovery_oar(),
+        seed: 42,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<CounterMachine> =
+        Cluster::build(&config, CounterMachine::default, |c| {
+            counter_workload(c, 30)
+        });
+    // Replica 1 stays down for good; replica 2 restarts. Replica 2's donor
+    // rotation starts from its peer list and may well hit the dead replica 1
+    // first — the retry timer must carry it to a live donor.
+    cluster
+        .world
+        .schedule_crash(ProcessId(1), SimTime::from_millis(1));
+    cluster
+        .world
+        .schedule_crash(ProcessId(2), SimTime::from_millis(2));
+    cluster.schedule_server_restart(SimTime::from_millis(10), 2, CounterMachine::default);
+    assert!(
+        run_and_settle(&mut cluster, SimTime::from_secs(120)),
+        "workload did not finish"
+    );
+    assert_eq!(cluster.completed_requests().len(), 60);
+    assert!(
+        !cluster.server(2).is_recovering(),
+        "rejoiner must find a live donor despite the dead peer"
+    );
+    run_checks(&cluster, "dead-donor rotation");
+}
