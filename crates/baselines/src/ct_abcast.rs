@@ -17,12 +17,12 @@ use oar_channels::MsgId;
 use oar_consensus::{ConsensusConfig, ConsensusSend, ConsensusWire, Decision, MajConsensus};
 use oar_fd::{FdConfig, FdWire, HeartbeatFd};
 use oar_sequence::{dedup_append, Seq};
-use oar_simnet::{Context, Process, ProcessId, SimDuration, SimTime, Timer};
+use oar_simnet::{Process, ProcessId, Runtime, SimDuration, SimTime, Timer, TimerTag};
 
 /// Timer tag for the periodic maintenance tick.
-const TICK: u64 = 1;
+const TICK: TimerTag = TimerTag::Tick;
 /// Timer tag for the client think-time delay.
-const NEXT_REQUEST: u64 = 2;
+const NEXT_REQUEST: TimerTag = TimerTag::NextRequest;
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -135,7 +135,7 @@ impl<S: StateMachine> CtServer<S> {
             .collect()
     }
 
-    fn maybe_start_batch(&mut self, ctx: &mut Context<'_, CtWire<S::Command, S::Response>>) {
+    fn maybe_start_batch(&mut self, ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>) {
         if self.consensus.is_some() {
             return;
         }
@@ -162,7 +162,7 @@ impl<S: StateMachine> CtServer<S> {
         self.push_suspects(ctx);
     }
 
-    fn push_suspects(&mut self, ctx: &mut Context<'_, CtWire<S::Command, S::Response>>) {
+    fn push_suspects(&mut self, ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>) {
         if let Some(consensus) = self.consensus.as_mut() {
             let suspects: BTreeSet<ProcessId> = self.fd.suspects().clone();
             let output = consensus.update_suspects(&suspects);
@@ -172,7 +172,7 @@ impl<S: StateMachine> CtServer<S> {
 
     fn feed(
         &mut self,
-        ctx: &mut Context<'_, CtWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>,
         from: ProcessId,
         wire: ConsensusWire<Seq<RequestId>>,
     ) {
@@ -184,7 +184,7 @@ impl<S: StateMachine> CtServer<S> {
 
     fn dispatch(
         &mut self,
-        ctx: &mut Context<'_, CtWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>,
         messages: Vec<ConsensusSend<Seq<RequestId>>>,
         decision: Option<Decision<Seq<RequestId>>>,
     ) {
@@ -202,7 +202,7 @@ impl<S: StateMachine> CtServer<S> {
         }
     }
 
-    fn try_apply_decision(&mut self, ctx: &mut Context<'_, CtWire<S::Command, S::Response>>) {
+    fn try_apply_decision(&mut self, ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>) {
         let Some(decision) = self.pending_decision.clone() else {
             return;
         };
@@ -244,13 +244,13 @@ impl<S: StateMachine> CtServer<S> {
 }
 
 impl<S: StateMachine> Process<CtWire<S::Command, S::Response>> for CtServer<S> {
-    fn on_start(&mut self, ctx: &mut Context<'_, CtWire<S::Command, S::Response>>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>) {
         ctx.set_timer(self.tick, TICK);
     }
 
     fn on_message(
         &mut self,
-        ctx: &mut Context<'_, CtWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>,
         from: ProcessId,
         msg: CtWire<S::Command, S::Response>,
     ) {
@@ -295,7 +295,7 @@ impl<S: StateMachine> Process<CtWire<S::Command, S::Response>> for CtServer<S> {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, CtWire<S::Command, S::Response>>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag != TICK {
             return;
         }
@@ -310,7 +310,7 @@ impl<S: StateMachine> Process<CtWire<S::Command, S::Response>> for CtServer<S> {
     }
 
     fn name(&self) -> String {
-        format!("ct-server-{}", self.id.0)
+        format!("ct-server-{}", self.id.index())
     }
 }
 
@@ -381,7 +381,7 @@ impl<S: StateMachine> CtClient<S> {
         self.next_index >= self.workload.len() && self.outstanding.is_none()
     }
 
-    fn send_next(&mut self, ctx: &mut Context<'_, CtWire<S::Command, S::Response>>) {
+    fn send_next(&mut self, ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>) {
         if self.next_index >= self.workload.len() {
             return;
         }
@@ -405,13 +405,13 @@ impl<S: StateMachine> CtClient<S> {
 }
 
 impl<S: StateMachine> Process<CtWire<S::Command, S::Response>> for CtClient<S> {
-    fn on_start(&mut self, ctx: &mut Context<'_, CtWire<S::Command, S::Response>>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>) {
         self.send_next(ctx);
     }
 
     fn on_message(
         &mut self,
-        ctx: &mut Context<'_, CtWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>,
         _from: ProcessId,
         msg: CtWire<S::Command, S::Response>,
     ) {
@@ -436,14 +436,14 @@ impl<S: StateMachine> Process<CtWire<S::Command, S::Response>> for CtClient<S> {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, CtWire<S::Command, S::Response>>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<CtWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag == NEXT_REQUEST && self.outstanding.is_none() {
             self.send_next(ctx);
         }
     }
 
     fn name(&self) -> String {
-        format!("ct-client-{}", self.id.0)
+        format!("ct-client-{}", self.id.index())
     }
 }
 
@@ -457,7 +457,7 @@ mod tests {
 
     fn build(n: usize, requests: usize, seed: u64) -> (World<Wire>, Vec<ProcessId>, ProcessId) {
         let mut world: World<Wire> = World::new(NetConfig::lan(), seed);
-        let group: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let group: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
         for &id in &group {
             world.add_process(CtServer::new(
                 id,
@@ -471,7 +471,7 @@ mod tests {
             .map(|i| CounterCommand::Add(i as i64 + 1))
             .collect();
         let client = world.add_process(CtClient::<CounterMachine>::new(
-            ProcessId(n),
+            ProcessId::new(n),
             group.clone(),
             workload,
             SimDuration::ZERO,
@@ -520,7 +520,7 @@ mod tests {
         // a replica).
         let mut world: World<Wire> =
             World::new(NetConfig::constant(SimDuration::from_millis(1)), 3);
-        let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+        let group: Vec<ProcessId> = (0..3).map(ProcessId::new).collect();
         for &id in &group {
             world.add_process(CtServer::new(
                 id,
@@ -531,7 +531,7 @@ mod tests {
             ));
         }
         let client = world.add_process(CtClient::<CounterMachine>::new(
-            ProcessId(3),
+            ProcessId::new(3),
             group.clone(),
             vec![CounterCommand::Add(1)],
             SimDuration::ZERO,

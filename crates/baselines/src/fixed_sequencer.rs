@@ -24,12 +24,12 @@ use oar::RequestId;
 use oar_channels::MsgId;
 use oar_fd::{FdConfig, FdEvent, FdWire, HeartbeatFd};
 use oar_sequence::Seq;
-use oar_simnet::{Context, Process, ProcessId, SimDuration, SimTime, Timer};
+use oar_simnet::{Process, ProcessId, Runtime, SimDuration, SimTime, Timer, TimerTag};
 
 /// Timer tag for the periodic maintenance tick.
-const TICK: u64 = 1;
+const TICK: TimerTag = TimerTag::Tick;
 /// Timer tag for the client think-time delay.
-const NEXT_REQUEST: u64 = 2;
+const NEXT_REQUEST: TimerTag = TimerTag::NextRequest;
 
 /// A client request.
 #[derive(Clone, Debug, PartialEq)]
@@ -151,7 +151,7 @@ impl<S: StateMachine> SequencerServer<S> {
     /// preserved).
     fn enqueue_and_drain(
         &mut self,
-        ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>,
         ids: &[RequestId],
     ) {
         for id in ids {
@@ -172,7 +172,7 @@ impl<S: StateMachine> SequencerServer<S> {
         }
     }
 
-    fn deliver(&mut self, ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>, id: RequestId) {
+    fn deliver(&mut self, ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>, id: RequestId) {
         if self.delivered.contains(&id) {
             return;
         }
@@ -195,7 +195,7 @@ impl<S: StateMachine> SequencerServer<S> {
         );
     }
 
-    fn maybe_order(&mut self, ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>) {
+    fn maybe_order(&mut self, ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>) {
         if !self.is_sequencer() {
             return;
         }
@@ -229,7 +229,7 @@ impl<S: StateMachine> SequencerServer<S> {
 
     fn handle_fd_events(
         &mut self,
-        ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>,
         events: Vec<FdEvent>,
     ) {
         if events.iter().any(|e| matches!(e, FdEvent::Suspect(_))) {
@@ -242,13 +242,13 @@ impl<S: StateMachine> SequencerServer<S> {
 }
 
 impl<S: StateMachine> Process<SeqWire<S::Command, S::Response>> for SequencerServer<S> {
-    fn on_start(&mut self, ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>) {
         ctx.set_timer(self.tick, TICK);
     }
 
     fn on_message(
         &mut self,
-        ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>,
         from: ProcessId,
         msg: SeqWire<S::Command, S::Response>,
     ) {
@@ -282,7 +282,7 @@ impl<S: StateMachine> Process<SeqWire<S::Command, S::Response>> for SequencerSer
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag != TICK {
             return;
         }
@@ -296,7 +296,7 @@ impl<S: StateMachine> Process<SeqWire<S::Command, S::Response>> for SequencerSer
     }
 
     fn name(&self) -> String {
-        format!("seq-server-{}", self.id.0)
+        format!("seq-server-{}", self.id.index())
     }
 }
 
@@ -373,7 +373,7 @@ impl<S: StateMachine> SequencerClient<S> {
         self.next_index >= self.workload.len() && self.outstanding.is_none()
     }
 
-    fn send_next(&mut self, ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>) {
+    fn send_next(&mut self, ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>) {
         if self.next_index >= self.workload.len() {
             return;
         }
@@ -397,13 +397,13 @@ impl<S: StateMachine> SequencerClient<S> {
 }
 
 impl<S: StateMachine> Process<SeqWire<S::Command, S::Response>> for SequencerClient<S> {
-    fn on_start(&mut self, ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>) {
         self.send_next(ctx);
     }
 
     fn on_message(
         &mut self,
-        ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>,
         _from: ProcessId,
         msg: SeqWire<S::Command, S::Response>,
     ) {
@@ -436,14 +436,14 @@ impl<S: StateMachine> Process<SeqWire<S::Command, S::Response>> for SequencerCli
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, SeqWire<S::Command, S::Response>>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<SeqWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag == NEXT_REQUEST && self.outstanding.is_none() {
             self.send_next(ctx);
         }
     }
 
     fn name(&self) -> String {
-        format!("seq-client-{}", self.id.0)
+        format!("seq-client-{}", self.id.index())
     }
 }
 
@@ -457,7 +457,7 @@ mod tests {
 
     fn build(n: usize, requests: usize, seed: u64) -> (World<Wire>, Vec<ProcessId>, ProcessId) {
         let mut world: World<Wire> = World::new(NetConfig::lan(), seed);
-        let group: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let group: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
         for &id in &group {
             world.add_process(SequencerServer::new(
                 id,
@@ -471,7 +471,7 @@ mod tests {
             .map(|i| CounterCommand::Add(i as i64 + 1))
             .collect();
         let client = world.add_process(SequencerClient::<CounterMachine>::new(
-            ProcessId(n),
+            ProcessId::new(n),
             group.clone(),
             workload,
             SimDuration::ZERO,

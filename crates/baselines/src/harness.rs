@@ -82,7 +82,7 @@ impl<S: StateMachine> SequencerCluster<S> {
     ) -> Self {
         let mut world: World<SeqWire<S::Command, S::Response>> =
             World::new(config.net.clone(), config.seed);
-        let group: Vec<ProcessId> = (0..config.num_servers).map(ProcessId).collect();
+        let group: Vec<ProcessId> = (0..config.num_servers).map(ProcessId::new).collect();
         for &id in &group {
             world.add_process(SequencerServer::new(
                 id,
@@ -95,7 +95,7 @@ impl<S: StateMachine> SequencerCluster<S> {
         let clients = (0..config.num_clients)
             .map(|c| {
                 world.add_process(SequencerClient::<S>::new(
-                    ProcessId(config.num_servers + c),
+                    ProcessId::new(config.num_servers + c),
                     group.clone(),
                     workload_for(c),
                     config.think_time,
@@ -199,7 +199,7 @@ impl<S: StateMachine> CtCluster<S> {
     ) -> Self {
         let mut world: World<CtWire<S::Command, S::Response>> =
             World::new(config.net.clone(), config.seed);
-        let group: Vec<ProcessId> = (0..config.num_servers).map(ProcessId).collect();
+        let group: Vec<ProcessId> = (0..config.num_servers).map(ProcessId::new).collect();
         for &id in &group {
             world.add_process(CtServer::new(
                 id,
@@ -212,7 +212,7 @@ impl<S: StateMachine> CtCluster<S> {
         let clients = (0..config.num_clients)
             .map(|c| {
                 world.add_process(CtClient::<S>::new(
-                    ProcessId(config.num_servers + c),
+                    ProcessId::new(config.num_servers + c),
                     group.clone(),
                     workload_for(c),
                     config.think_time,

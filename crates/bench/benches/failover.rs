@@ -30,7 +30,7 @@ fn bench_failover(c: &mut Criterion) {
                         Cluster::build(&config, CounterMachine::default, |_| workload.clone());
                     cluster
                         .world
-                        .schedule_crash(ProcessId(0), SimTime::from_millis(5));
+                        .schedule_crash(ProcessId::new(0), SimTime::from_millis(5));
                     assert!(cluster.run_to_completion(SimTime::from_secs(300)));
                     cluster.check_replica_consistency().unwrap();
                     cluster.total_phase2_entries()

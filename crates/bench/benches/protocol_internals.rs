@@ -19,7 +19,9 @@ use oar_simnet::ProcessId;
 const NAIVE_CAP: usize = 8192;
 
 fn ids(range: std::ops::Range<u64>) -> Seq<RequestId> {
-    range.map(|i| RequestId::new(ProcessId(99), i)).collect()
+    range
+        .map(|i| RequestId::new(ProcessId::new(99), i))
+        .collect()
 }
 
 fn bench_sequence_algebra(c: &mut Criterion) {
@@ -41,7 +43,7 @@ fn bench_sequence_algebra(c: &mut Criterion) {
             bench.iter(|| a.common_prefix(&b))
         });
         group.bench_with_input(BenchmarkId::new("contains_miss", len), &len, |bench, _| {
-            let probe = RequestId::new(ProcessId(98), 0);
+            let probe = RequestId::new(ProcessId::new(98), 0);
             bench.iter(|| a.contains(&probe))
         });
 
@@ -65,7 +67,7 @@ fn bench_sequence_algebra(c: &mut Criterion) {
                 BenchmarkId::new("contains_miss_naive", len),
                 &len,
                 |bench, _| {
-                    let probe = RequestId::new(ProcessId(98), 0);
+                    let probe = RequestId::new(ProcessId::new(98), 0);
                     bench.iter(|| naive::contains(&av, &probe))
                 },
             );
@@ -85,21 +87,21 @@ fn bench_cnsv_order(c: &mut Criterion) {
         let pending = ids((epoch_len as u64 / 2)..epoch_len as u64);
         let decision = vec![
             (
-                ProcessId(0),
+                ProcessId::new(0),
                 CnsvValue {
                     o_delivered: full.clone(),
                     o_notdelivered: Seq::new(),
                 },
             ),
             (
-                ProcessId(1),
+                ProcessId::new(1),
                 CnsvValue {
                     o_delivered: short.clone(),
                     o_notdelivered: pending.clone(),
                 },
             ),
             (
-                ProcessId(2),
+                ProcessId::new(2),
                 CnsvValue {
                     o_delivered: short.clone(),
                     o_notdelivered: pending.clone(),

@@ -22,6 +22,8 @@
 //! cargo run --release -p oar-bench --bin harness -- adaptive-smoke
 //! cargo run --release -p oar-bench --bin harness -- parallel
 //! cargo run --release -p oar-bench --bin harness -- parallel-smoke
+//! cargo run --release -p oar-bench --bin harness -- realtime
+//! cargo run --release -p oar-bench --bin harness -- realtime-smoke
 //! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
 //! ```
 //!
@@ -40,7 +42,12 @@
 //! conflict-graph apply scheduler fails to reach ≥1.8× serial throughput at
 //! 4 workers on a disjoint write batch, drifts more than 10% from serial on a
 //! fully-conflicting one, or a parallel cluster's digests/responses diverge
-//! from its serial twin (the smoke variants are the CI gates).
+//! from its serial twin (the smoke variants are the CI gates); `realtime` /
+//! `realtime-smoke` when the wall-clock open-loop run on the `oar-rtnet`
+//! backend fails to drain, measures no positive req/s, or violates the
+//! total-order/at-most-once/external-consistency propositions on real
+//! threads (the rows are also merged into `BENCH_throughput.json` as the
+//! `realtime` group).
 
 use oar_bench::json::ToJson;
 use oar_bench::{experiments, figures};
@@ -534,6 +541,85 @@ fn run_parallel(
     violations.is_empty()
 }
 
+fn run_realtime(clients: usize, requests_per_client: usize, interarrival_us: u64) -> bool {
+    println!(
+        "== T-REALTIME: wall-clock open-loop run on oar-rtnet ({} clients x {} reqs @ {} us) ==",
+        clients, requests_per_client, interarrival_us
+    );
+    let row =
+        experiments::realtime_experiment(3, clients, requests_per_client, interarrival_us, SEED);
+    println!(
+        "{:<3} {:>7} {:>11} {:>9} {:>6} {:>10} {:>11} {:>9} {:>9} {:>9} {:>9} {:>7} {:>11}",
+        "n",
+        "clients",
+        "offered/s",
+        "submitted",
+        "reqs",
+        "wall(ms)",
+        "req/s(wall)",
+        "mean(ms)",
+        "p50(ms)",
+        "p95(ms)",
+        "p99(ms)",
+        "drained",
+        "consistent"
+    );
+    println!(
+        "{:<3} {:>7} {:>11.0} {:>9} {:>6} {:>10.1} {:>11.1} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>7} {:>11}",
+        row.servers,
+        row.clients,
+        row.offered_rate,
+        row.submitted,
+        row.requests,
+        row.elapsed_ms,
+        row.requests_per_second,
+        row.latency_ms.mean,
+        row.latency_ms.p50,
+        row.latency_ms.p95,
+        row.latency_ms.p99,
+        row.completed_run,
+        row.consistent
+    );
+    print_json("realtime", std::slice::from_ref(&row));
+
+    // Land the wall-clock point in the committed trajectory next to the
+    // `cargo bench` rows, as the `realtime` group (criterion row shape:
+    // mean_ns is the mean client-observed latency here).
+    let us = |ms: f64| (ms * 1_000.0).round() as u64;
+    let bench_row = format!(
+        concat!(
+            "{{\"group\":\"realtime\",\"id\":\"openloop/{}\",\"mean_ns\":{:.1},",
+            "\"min_ns\":{:.1},\"iters_per_sample\":1,\"samples\":{},\"elements\":{},",
+            "\"counters\":{{\"req_per_s\":{},\"offered_per_s\":{},",
+            "\"p50_latency_us\":{},\"p95_latency_us\":{},\"p99_latency_us\":{},",
+            "\"submitted\":{},\"consistent\":{}}}}}"
+        ),
+        row.clients,
+        row.latency_ms.mean * 1e6,
+        row.latency_ms.min * 1e6,
+        row.requests,
+        row.requests,
+        row.requests_per_second.round() as u64,
+        row.offered_rate.round() as u64,
+        us(row.latency_ms.p50),
+        us(row.latency_ms.p95),
+        us(row.latency_ms.p99),
+        row.submitted,
+        u64::from(row.consistent),
+    );
+    let path = oar_bench::json::bench_out_dir().join("BENCH_throughput.json");
+    match oar_bench::json::merge_bench_rows(&path, "throughput", "realtime", &[bench_row]) {
+        Ok(()) => println!("merged realtime row into {}", path.display()),
+        Err(e) => eprintln!("could not update {}: {e}", path.display()),
+    }
+
+    let violations = experiments::check_realtime_bounds(&row, clients, requests_per_client);
+    for v in &violations {
+        eprintln!("REALTIME VIOLATION: {v}");
+    }
+    violations.is_empty()
+}
+
 fn run_gc() {
     println!("== T-GC: §5.3 epoch-cut ablation ==");
     let rows = experiments::gc_experiment(&[None, Some(100), Some(10)], 60, SEED);
@@ -646,6 +732,20 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The full wall-clock gate: a real-time open-loop run on the
+        // threaded backend — 4 generators offering 500 req/s each for ~2 s.
+        "realtime" => {
+            if !run_realtime(4, 1000, 2_000) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: a shorter wall-clock run (2 generators x 200 requests at
+        // 250 req/s each, ~0.8 s) with the same ceilings.
+        "realtime-smoke" => {
+            if !run_realtime(2, 200, 4_000) {
+                std::process::exit(1);
+            }
+        }
         "all" => {
             run_figures(None);
             run_latency();
@@ -659,13 +759,21 @@ fn main() {
             let txn_ok = run_txn(4, 50);
             let adaptive_ok = run_adaptive(50, 5, 40);
             let parallel_ok = run_parallel(96, 300, 5, 4, 48);
-            if !soak_ok || !recovery_ok || !sharded_ok || !txn_ok || !adaptive_ok || !parallel_ok {
+            let realtime_ok = run_realtime(4, 1000, 2_000);
+            if !soak_ok
+                || !recovery_ok
+                || !sharded_ok
+                || !txn_ok
+                || !adaptive_ok
+                || !parallel_ok
+                || !realtime_ok
+            {
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | recovery | recovery-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | recovery | recovery-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke | realtime | realtime-smoke");
             std::process::exit(2);
         }
     }

@@ -8,6 +8,7 @@
 //! `harness` binary prints the rows recorded in `EXPERIMENTS.md`.
 
 use oar::cluster::{Cluster, ClusterConfig};
+use oar::openloop::OpenLoopClient;
 use oar::parallel::plan_waves;
 use oar::server::OarServer;
 use oar::shard::ShardRouter;
@@ -18,7 +19,8 @@ use oar::OarConfig;
 use oar_apps::cost::CostlyMachine;
 use oar_apps::kv::{KvCommand, KvMachine, KvResponse};
 use oar_baselines::{BaselineConfig, CtCluster, SequencerCluster};
-use oar_simnet::{NetConfig, Samples, SimDuration, SimTime, Summary};
+use oar_rtnet::{RtNet, RunOptions};
+use oar_simnet::{NetConfig, ProcessId, Samples, SimDuration, SimTime, Summary};
 
 /// Completed operations per simulated second (0 when nothing completed).
 fn sim_rate(count: usize, end: SimTime) -> f64 {
@@ -191,7 +193,7 @@ pub fn failover_experiment(
                 Cluster::build(&config, CounterMachine::default, |_| counter_workload(40));
             cluster
                 .world
-                .schedule_crash(oar_simnet::ProcessId(0), crash_at);
+                .schedule_crash(oar_simnet::ProcessId::new(0), crash_at);
             let done = cluster.run_to_completion(SimTime::from_secs(600));
             let consistent = done
                 && cluster.check_replica_consistency().is_ok()
@@ -273,7 +275,7 @@ pub fn undo_experiment(seed: u64) -> Vec<UndoRow> {
     rows.push(run_undo_scenario("sequencer-crash", 5, seed, |cluster| {
         cluster
             .world
-            .schedule_crash(oar_simnet::ProcessId(0), SimTime::from_millis(5));
+            .schedule_crash(oar_simnet::ProcessId::new(0), SimTime::from_millis(5));
     }));
 
     // Scenario C: sequencer crash + minority partition containing the only
@@ -2316,6 +2318,170 @@ pub fn check_parallel_bounds(rows: &[ParallelRow], cluster: &ParallelClusterRow)
     }
     if !cluster.responses_match {
         violations.push("parallel cluster responses differ from the serial twin".to_string());
+    }
+    violations
+}
+
+/// One row of the real-clock open-loop experiment (T-REALTIME).
+#[derive(Clone, Debug)]
+pub struct RealtimeRow {
+    /// Number of replicas.
+    pub servers: usize,
+    /// Number of open-loop generators.
+    pub clients: usize,
+    /// Total offered load, requests per wall-clock second.
+    pub offered_rate: f64,
+    /// Requests submitted across all generators.
+    pub submitted: usize,
+    /// Requests completed (weighted quorum reached).
+    pub requests: usize,
+    /// Wall-clock duration of the whole run, milliseconds (spawn to stop).
+    pub elapsed_ms: f64,
+    /// Completed requests per wall-clock second, measured over the span from
+    /// the first submission to the last completion.
+    pub requests_per_second: f64,
+    /// Client-observed latency summary (milliseconds, wall clock).
+    pub latency_ms: Summary,
+    /// Whether the run drained before the wall-clock cap.
+    pub completed_run: bool,
+    /// Whether the total-order / at-most-once / external-consistency
+    /// propositions held on the post-run server states.
+    pub consistent: bool,
+    /// The first proposition violation, when `consistent` is false.
+    pub consistency_error: Option<String>,
+}
+
+/// T-REALTIME: genuine wall-clock throughput and latency of the OAR group on
+/// the `oar-rtnet` backend (one OS thread per process, real time, real
+/// queues), under **open-loop** offered load.
+///
+/// The exact protocol code of the simulated experiments runs here — the
+/// servers and the generator are written against the `Runtime` trait — so
+/// this is the reproduction's reality check: the req/s and the latency tail
+/// come from actual threads exchanging actual messages, not from the
+/// simulator's latency model. Each generator offers one request every
+/// `interarrival_us` µs on an absolute schedule (late timers are caught up
+/// with a burst, keeping the offered rate honest), so queueing shows up in
+/// the tail instead of throttling the load.
+///
+/// The failure detector runs with a widened timeout: on a loaded CI runner a
+/// thread can stall past the simulator-tuned default, and this experiment
+/// measures the failure-free path, not spurious fail-over.
+pub fn realtime_experiment(
+    servers: usize,
+    clients: usize,
+    requests_per_client: usize,
+    interarrival_us: u64,
+    seed: u64,
+) -> RealtimeRow {
+    let mut net: RtNet<oar::OarWire<KvCommand, KvResponse>> = RtNet::new(seed);
+    let server_ids: Vec<ProcessId> = (0..servers).map(ProcessId::new).collect();
+    let oar_config = OarConfig::builder()
+        .fd_timeout(SimDuration::from_millis(500))
+        .build();
+    for &id in &server_ids {
+        net.add_process(OarServer::new(
+            id,
+            server_ids.clone(),
+            oar_config,
+            KvMachine::default(),
+        ));
+    }
+    let mut client_ids = Vec::new();
+    for c in 0..clients {
+        let client = OpenLoopClient::<KvMachine>::new(
+            ProcessId::new(servers + c),
+            server_ids.clone(),
+            kv_workload(c, requests_per_client),
+            SimDuration::from_micros(interarrival_us),
+            oar::ClientConfig::default(),
+        );
+        client_ids
+            .push(net.add_process_until(client, |cl: &OpenLoopClient<KvMachine>| cl.is_done()));
+    }
+    let report = net.run(RunOptions {
+        max_wall: std::time::Duration::from_secs(60),
+        grace: std::time::Duration::from_millis(300),
+        poll: std::time::Duration::from_millis(5),
+    });
+
+    let mut latency = Samples::new();
+    let mut submitted = 0;
+    let mut completed = 0;
+    let mut first_sent = SimTime::MAX;
+    let mut last_done = SimTime::ZERO;
+    let mut per_client: Vec<&[oar::CompletedRequest<KvResponse>]> = Vec::new();
+    for &id in &client_ids {
+        let client = report.process_ref::<OpenLoopClient<KvMachine>>(id);
+        submitted += client.submitted();
+        completed += client.completed().len();
+        for done in client.completed() {
+            latency.record_duration(done.latency());
+            first_sent = first_sent.min(done.sent_at);
+            last_done = last_done.max(done.completed_at);
+        }
+        per_client.push(client.completed());
+    }
+    let alive: Vec<&OarServer<KvMachine>> = server_ids
+        .iter()
+        .map(|&id| report.process_ref::<OarServer<KvMachine>>(id))
+        .filter(|s| !s.is_recovering())
+        .collect();
+    let consistency = oar::check_server_consistency(&alive)
+        .and_then(|()| oar::check_external_consistency(&alive, &per_client));
+    let span_s = if last_done > first_sent {
+        (last_done.as_micros() - first_sent.as_micros()) as f64 / 1e6
+    } else {
+        0.0
+    };
+    RealtimeRow {
+        servers,
+        clients,
+        offered_rate: clients as f64 * 1e6 / interarrival_us as f64,
+        submitted,
+        requests: completed,
+        elapsed_ms: report.elapsed.as_secs_f64() * 1_000.0,
+        requests_per_second: if span_s > 0.0 {
+            completed as f64 / span_s
+        } else {
+            0.0
+        },
+        latency_ms: latency.summary(),
+        completed_run: report.completed,
+        consistent: consistency.is_ok(),
+        consistency_error: consistency.err(),
+    }
+}
+
+/// Verifies the gates of a realtime row; returns every violation found
+/// (empty = pass). Used by the CI realtime-smoke job: the open-loop run must
+/// drain, report a positive wall-clock req/s, and keep the paper's
+/// propositions on real threads.
+pub fn check_realtime_bounds(
+    row: &RealtimeRow,
+    clients: usize,
+    requests_per_client: usize,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+    if !row.completed_run {
+        violations.push(format!(
+            "run hit the wall-clock cap with {}/{} requests completed",
+            row.requests,
+            clients * requests_per_client
+        ));
+    }
+    if row.requests != clients * requests_per_client {
+        violations.push(format!(
+            "expected {} completed requests, got {}",
+            clients * requests_per_client,
+            row.requests
+        ));
+    }
+    if row.requests_per_second <= 0.0 {
+        violations.push("measured req/s is not positive".to_string());
+    }
+    if let Some(err) = &row.consistency_error {
+        violations.push(format!("propositions violated on rtnet: {err}"));
     }
     violations
 }

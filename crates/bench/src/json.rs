@@ -9,7 +9,7 @@ use oar_simnet::Summary;
 
 use crate::experiments::{
     AdaptiveRow, AdaptiveSkewRow, FailoverRow, GcRow, LatencyRow, ParallelClusterRow, ParallelRow,
-    RecoveryRow, ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
+    RealtimeRow, RecoveryRow, ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
 };
 use crate::figures::FigureOutcome;
 
@@ -377,6 +377,91 @@ impl ToJson for GcRow {
     }
 }
 
+impl ToJson for RealtimeRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"servers\":{},\"clients\":{},\"offered_rate\":{},",
+                "\"submitted\":{},\"requests\":{},\"elapsed_ms\":{},",
+                "\"requests_per_second\":{},\"latency_ms\":{},",
+                "\"completed_run\":{},\"consistent\":{}}}"
+            ),
+            self.servers,
+            self.clients,
+            f(self.offered_rate),
+            self.submitted,
+            self.requests,
+            f(self.elapsed_ms),
+            f(self.requests_per_second),
+            self.latency_ms.to_json(),
+            self.completed_run,
+            self.consistent,
+        )
+    }
+}
+
+/// Merges result rows into a criterion-written `BENCH_<bench>.json` file.
+///
+/// The vendored criterion writes these files with one result object per line
+/// (see `vendor/criterion`); this helper relies on that layout: every line
+/// holding a `"group":"<group>"` row is replaced by `rows` (each element one
+/// serialised result object), other groups' rows are preserved, and a
+/// missing or foreign file is rewritten from scratch. This is how the
+/// `harness realtime` experiment lands its wall-clock rows next to the
+/// `cargo bench` trajectory in `BENCH_throughput.json` without clobbering
+/// it.
+///
+/// # Errors
+///
+/// Propagates the I/O error if the file cannot be read (other than not
+/// existing) or written.
+pub fn merge_bench_rows(
+    path: &std::path::Path,
+    bench: &str,
+    group: &str,
+    rows: &[String],
+) -> std::io::Result<()> {
+    let existing = match std::fs::read_to_string(path) {
+        Ok(contents) => contents,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let marker = format!("\"group\":\"{group}\"");
+    let mut kept: Vec<String> = existing
+        .lines()
+        .filter(|line| line.starts_with("{\"group\":") && !line.contains(&marker))
+        .map(|line| line.trim_end_matches(',').to_string())
+        .collect();
+    kept.extend(rows.iter().cloned());
+    let json = format!(
+        "{{\"bench\":\"{}\",\"results\":[\n{}\n]}}\n",
+        escape(bench),
+        kept.join(",\n")
+    );
+    std::fs::write(path, json)
+}
+
+/// The directory `BENCH_*.json` files live in: `OAR_BENCH_OUT_DIR` when set,
+/// otherwise the nearest ancestor of the current directory whose
+/// `Cargo.toml` declares `[workspace]` — the same resolution the vendored
+/// criterion uses, so the harness and `cargo bench` write to the same place.
+pub fn bench_out_dir() -> std::path::PathBuf {
+    if let Ok(dir) = std::env::var("OAR_BENCH_OUT_DIR") {
+        return dir.into();
+    }
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        if let Ok(contents) = std::fs::read_to_string(dir.join("Cargo.toml")) {
+            if contents.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return ".".into();
+        }
+    }
+}
+
 impl ToJson for FigureOutcome {
     fn to_json(&self) -> String {
         format!(
@@ -452,6 +537,49 @@ mod tests {
         assert!(j.contains("\"max_wave\":64"));
         assert!(j.contains("\"matches_serial\":true"));
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn merge_bench_rows_replaces_only_its_group() {
+        let dir = std::env::temp_dir().join(format!("oar-bench-merge-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_throughput.json");
+        std::fs::write(
+            &path,
+            concat!(
+                "{\"bench\":\"throughput\",\"results\":[\n",
+                "{\"group\":\"oar_throughput\",\"id\":\"unbatched/1\",\"mean_ns\":1.0},\n",
+                "{\"group\":\"realtime\",\"id\":\"openloop/2\",\"mean_ns\":2.0}\n",
+                "]}\n"
+            ),
+        )
+        .unwrap();
+        let fresh = "{\"group\":\"realtime\",\"id\":\"openloop/4\",\"mean_ns\":3.0}".to_string();
+        merge_bench_rows(&path, "throughput", "realtime", &[fresh]).unwrap();
+        let merged = std::fs::read_to_string(&path).unwrap();
+        assert!(merged.contains("\"id\":\"unbatched/1\""), "{merged}");
+        assert!(merged.contains("\"id\":\"openloop/4\""), "{merged}");
+        assert!(!merged.contains("\"id\":\"openloop/2\""), "{merged}");
+        // The merged file still parses as one row per line between the
+        // header and the footer, so a second merge round-trips.
+        merge_bench_rows(&path, "throughput", "realtime", &[]).unwrap();
+        let stripped = std::fs::read_to_string(&path).unwrap();
+        assert!(stripped.contains("\"id\":\"unbatched/1\""));
+        assert!(!stripped.contains("\"group\":\"realtime\""));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn merge_bench_rows_creates_missing_file() {
+        let dir = std::env::temp_dir().join(format!("oar-bench-create-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_fresh.json");
+        let row = "{\"group\":\"realtime\",\"id\":\"openloop/1\",\"mean_ns\":1.0}".to_string();
+        merge_bench_rows(&path, "fresh", "realtime", &[row]).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.starts_with("{\"bench\":\"fresh\",\"results\":["));
+        assert!(written.contains("\"id\":\"openloop/1\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

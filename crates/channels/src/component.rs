@@ -59,13 +59,13 @@ impl MsgId {
 
 impl std::fmt::Debug for MsgId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "m{}.{}", self.origin.0, self.seq)
+        write!(f, "m{}.{}", self.origin.index(), self.seq)
     }
 }
 
 impl std::fmt::Display for MsgId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "m{}.{}", self.origin.0, self.seq)
+        write!(f, "m{}.{}", self.origin.index(), self.seq)
     }
 }
 
@@ -75,17 +75,17 @@ mod tests {
 
     #[test]
     fn outgoing_map_preserves_destination() {
-        let o = Outgoing::new(ProcessId(3), 7u32);
+        let o = Outgoing::new(ProcessId::new(3), 7u32);
         let mapped = o.map(|v| format!("v{v}"));
-        assert_eq!(mapped.to, ProcessId(3));
+        assert_eq!(mapped.to, ProcessId::new(3));
         assert_eq!(mapped.wire, "v7");
     }
 
     #[test]
     fn map_outgoing_batch() {
         let batch = vec![
-            Outgoing::new(ProcessId(0), 1u32),
-            Outgoing::new(ProcessId(1), 2u32),
+            Outgoing::new(ProcessId::new(0), 1u32),
+            Outgoing::new(ProcessId::new(1), 2u32),
         ];
         let mapped = map_outgoing(batch, |v| v * 10);
         assert_eq!(mapped[0].wire, 10);
@@ -94,16 +94,16 @@ mod tests {
 
     #[test]
     fn msgid_display() {
-        let id = MsgId::new(ProcessId(2), 5);
+        let id = MsgId::new(ProcessId::new(2), 5);
         assert_eq!(format!("{id}"), "m2.5");
         assert_eq!(format!("{id:?}"), "m2.5");
     }
 
     #[test]
     fn msgid_ordering_by_origin_then_seq() {
-        let a = MsgId::new(ProcessId(0), 9);
-        let b = MsgId::new(ProcessId(1), 0);
+        let a = MsgId::new(ProcessId::new(0), 9);
+        let b = MsgId::new(ProcessId::new(1), 0);
         assert!(a < b);
-        assert!(MsgId::new(ProcessId(0), 1) < MsgId::new(ProcessId(0), 2));
+        assert!(MsgId::new(ProcessId::new(0), 1) < MsgId::new(ProcessId::new(0), 2));
     }
 }

@@ -148,8 +148,8 @@ impl<M: Clone> FifoLink<M> {
 mod tests {
     use super::*;
 
-    const A: ProcessId = ProcessId(0);
-    const B: ProcessId = ProcessId(1);
+    const A: ProcessId = ProcessId::new(0);
+    const B: ProcessId = ProcessId::new(1);
 
     #[test]
     fn in_order_delivery() {
@@ -231,11 +231,11 @@ mod tests {
     fn independent_links_per_peer() {
         let mut a: FifoLink<u32> = FifoLink::new();
         let w_b = a.send(B, 1);
-        let w_c = a.send(ProcessId(2), 2);
+        let w_c = a.send(ProcessId::new(2), 2);
         assert!(matches!(w_b.wire, FifoWire::Data { seq: 0, .. }));
         assert!(matches!(w_c.wire, FifoWire::Data { seq: 0, .. }));
         assert_eq!(a.unacked_to(B), 1);
-        assert_eq!(a.unacked_to(ProcessId(2)), 1);
+        assert_eq!(a.unacked_to(ProcessId::new(2)), 1);
     }
 
     /// Model check: under arbitrary loss and duplication of Data messages, the

@@ -224,39 +224,39 @@ mod tests {
     use super::*;
 
     fn group3() -> Vec<ProcessId> {
-        vec![ProcessId(0), ProcessId(1), ProcessId(2)]
+        vec![ProcessId::new(0), ProcessId::new(1), ProcessId::new(2)]
     }
 
     #[test]
     fn multicast_from_external_sender_reaches_all_members() {
-        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group3());
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(9), group3());
         let (id, out) = client.multicast("req");
         assert_eq!(out.len(), 3);
-        assert_eq!(id.origin, ProcessId(9));
+        assert_eq!(id.origin, ProcessId::new(9));
         let targets: Vec<ProcessId> = out.iter().map(|o| o.to).collect();
         assert_eq!(targets, group3());
-        assert!(out.iter().all(|o| o.wire.origin == ProcessId(9)));
+        assert!(out.iter().all(|o| o.wire.origin == ProcessId::new(9)));
     }
 
     #[test]
     fn first_reception_delivers_and_relays() {
-        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group3());
-        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId(0), group3());
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(9), group3());
+        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(0), group3());
         let (_, out) = client.multicast("req");
-        let to_p0 = out.into_iter().find(|o| o.to == ProcessId(0)).unwrap();
+        let to_p0 = out.into_iter().find(|o| o.to == ProcessId::new(0)).unwrap();
         let (delivery, relays) = server0.on_wire(to_p0.wire);
         let delivery = delivery.expect("first copy must be delivered");
         assert_eq!(delivery.payload, "req");
-        assert_eq!(delivery.origin, ProcessId(9));
+        assert_eq!(delivery.origin, ProcessId::new(9));
         // relays go to the other group members, not back to the origin
         let relay_targets: Vec<ProcessId> = relays.iter().map(|o| o.to).collect();
-        assert_eq!(relay_targets, vec![ProcessId(1), ProcessId(2)]);
+        assert_eq!(relay_targets, vec![ProcessId::new(1), ProcessId::new(2)]);
     }
 
     #[test]
     fn duplicates_are_not_redelivered() {
-        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group3());
-        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId(0), group3());
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(9), group3());
+        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(0), group3());
         let (_, out) = client.multicast("req");
         let wire = out[0].wire.clone();
         let (d1, _) = server0.on_wire(wire.clone());
@@ -269,8 +269,8 @@ mod tests {
 
     #[test]
     fn forget_ages_out_and_permits_one_redelivery() {
-        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group3());
-        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId(0), group3());
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(9), group3());
+        let mut server0: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(0), group3());
         let (_, out) = client.multicast("req");
         let wire = out[0].wire.clone();
         let (d1, _) = server0.on_wire(wire.clone());
@@ -288,15 +288,15 @@ mod tests {
 
     #[test]
     fn broadcast_delivers_locally_and_ignores_own_relay() {
-        let mut p0: ReliableCaster<u32> = ReliableCaster::new(ProcessId(0), group3());
+        let mut p0: ReliableCaster<u32> = ReliableCaster::new(ProcessId::new(0), group3());
         let (out, local) = p0.broadcast(42);
         assert_eq!(local.payload, 42);
-        assert_eq!(local.origin, ProcessId(0));
+        assert_eq!(local.origin, ProcessId::new(0));
         assert_eq!(out.len(), 2);
         // if a relayed copy of our own broadcast comes back, it is ignored
         let echo = CastWire {
             id: local.id,
-            origin: ProcessId(0),
+            origin: ProcessId::new(0),
             payload: 42,
         };
         let (d, _) = p0.on_wire(echo);
@@ -305,7 +305,7 @@ mod tests {
 
     #[test]
     fn distinct_multicasts_get_distinct_ids() {
-        let mut client: ReliableCaster<u32> = ReliableCaster::new(ProcessId(9), group3());
+        let mut client: ReliableCaster<u32> = ReliableCaster::new(ProcessId::new(9), group3());
         let (id1, _) = client.multicast(1);
         let (id2, _) = client.multicast(2);
         assert_ne!(id1, id2);
@@ -316,28 +316,29 @@ mod tests {
     #[test]
     fn relay_provides_agreement_when_sender_crashes_mid_send() {
         let group = group3();
-        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId(9), group.clone());
+        let mut client: ReliableCaster<&str> =
+            ReliableCaster::new(ProcessId::new(9), group.clone());
         let mut servers: Vec<ReliableCaster<&str>> = group
             .iter()
             .map(|&p| ReliableCaster::new(p, group.clone()))
             .collect();
         let (_, out) = client.multicast("req");
         // Sender crashes after only the copy to p1 made it out.
-        let only = out.into_iter().find(|o| o.to == ProcessId(1)).unwrap();
+        let only = out.into_iter().find(|o| o.to == ProcessId::new(1)).unwrap();
         let (d1, relays) = servers[1].on_wire(only.wire);
         assert!(d1.is_some());
         let mut delivered = vec![false, true, false];
         for relay in relays {
-            let idx = relay.to.0;
+            let idx = relay.to.index();
             let (d, more) = servers[idx].on_wire(relay.wire);
             if d.is_some() {
                 delivered[idx] = true;
             }
             // second-level relays are harmless duplicates
             for r in more {
-                let (d, _) = servers[r.to.0].on_wire(r.wire);
+                let (d, _) = servers[r.to.index()].on_wire(r.wire);
                 if d.is_some() {
-                    delivered[r.to.0] = true;
+                    delivered[r.to.index()] = true;
                 }
             }
         }

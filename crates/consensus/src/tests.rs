@@ -21,14 +21,14 @@ struct Harness {
 
 impl Harness {
     fn new(n: usize, first_coord: usize, config: ConsensusConfig) -> Self {
-        let group: Vec<ProcessId> = (0..n).map(ProcessId).collect();
+        let group: Vec<ProcessId> = (0..n).map(ProcessId::new).collect();
         let nodes = (0..n)
             .map(|i| {
                 Some(MajConsensus::new(
                     0,
-                    ProcessId(i),
+                    ProcessId::new(i),
                     group.clone(),
-                    ProcessId(first_coord),
+                    ProcessId::new(first_coord),
                     config,
                 ))
             })
@@ -48,14 +48,14 @@ impl Harness {
             }
         }
         if let Some(d) = output.decision {
-            self.decisions[from.0] = Some(d);
+            self.decisions[from.index()] = Some(d);
         }
     }
 
     fn propose(&mut self, p: usize, v: Val) {
         if let Some(node) = self.nodes[p].as_mut() {
             let out = node.propose(v);
-            self.absorb(ProcessId(p), out);
+            self.absorb(ProcessId::new(p), out);
         }
     }
 
@@ -71,9 +71,9 @@ impl Harness {
 
     fn set_suspects(&mut self, p: usize, suspects: &[usize]) {
         if let Some(node) = self.nodes[p].as_mut() {
-            let set: BTreeSet<ProcessId> = suspects.iter().map(|&s| ProcessId(s)).collect();
+            let set: BTreeSet<ProcessId> = suspects.iter().map(|&s| ProcessId::new(s)).collect();
             let out = node.update_suspects(&set);
-            self.absorb(ProcessId(p), out);
+            self.absorb(ProcessId::new(p), out);
         }
     }
 
@@ -112,7 +112,7 @@ impl Harness {
             };
             steps += 1;
             let to = outgoing.to;
-            if let Some(node) = self.nodes[to.0].as_mut() {
+            if let Some(node) = self.nodes[to.index()].as_mut() {
                 let out = node.on_wire(from, outgoing.wire);
                 self.absorb(to, out);
             }
@@ -132,31 +132,31 @@ impl Harness {
 
 #[test]
 fn coordinator_rotation_is_deterministic() {
-    let group: Vec<ProcessId> = (0..4).map(ProcessId).collect();
+    let group: Vec<ProcessId> = (0..4).map(ProcessId::new).collect();
     let c = MajConsensus::<u32>::new(
         7,
-        ProcessId(0),
+        ProcessId::new(0),
         group,
-        ProcessId(2),
+        ProcessId::new(2),
         ConsensusConfig::default(),
     );
-    assert_eq!(c.coordinator_of(1), ProcessId(2));
-    assert_eq!(c.coordinator_of(2), ProcessId(3));
-    assert_eq!(c.coordinator_of(3), ProcessId(0));
-    assert_eq!(c.coordinator_of(4), ProcessId(1));
-    assert_eq!(c.coordinator_of(5), ProcessId(2));
+    assert_eq!(c.coordinator_of(1), ProcessId::new(2));
+    assert_eq!(c.coordinator_of(2), ProcessId::new(3));
+    assert_eq!(c.coordinator_of(3), ProcessId::new(0));
+    assert_eq!(c.coordinator_of(4), ProcessId::new(1));
+    assert_eq!(c.coordinator_of(5), ProcessId::new(2));
     assert_eq!(c.instance(), 7);
 }
 
 #[test]
 #[should_panic(expected = "group member")]
 fn foreign_coordinator_is_rejected() {
-    let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+    let group: Vec<ProcessId> = (0..3).map(ProcessId::new).collect();
     let _ = MajConsensus::<u32>::new(
         0,
-        ProcessId(0),
+        ProcessId::new(0),
         group,
-        ProcessId(9),
+        ProcessId::new(9),
         ConsensusConfig::default(),
     );
 }
@@ -176,18 +176,22 @@ fn failure_free_run_decides_with_all_values() {
     let d = decisions[0];
     assert_eq!(d.len(), 3);
     for (p, v) in d {
-        assert_eq!(*v, 100 + p.0 as Val, "maj-validity: value matches proposer");
+        assert_eq!(
+            *v,
+            100 + p.index() as Val,
+            "maj-validity: value matches proposer"
+        );
     }
 }
 
 #[test]
 fn second_propose_is_ignored() {
-    let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+    let group: Vec<ProcessId> = (0..3).map(ProcessId::new).collect();
     let mut c = MajConsensus::<u32>::new(
         0,
-        ProcessId(1),
+        ProcessId::new(1),
         group,
-        ProcessId(0),
+        ProcessId::new(0),
         ConsensusConfig::default(),
     );
     let first = c.propose(5);
@@ -217,7 +221,10 @@ fn coordinator_crash_before_proposing_is_tolerated() {
     // The decision aggregates the two surviving initial values.
     let mut pairs = decisions[0].clone();
     pairs.sort_by_key(|(p, _)| *p);
-    assert_eq!(pairs, vec![(ProcessId(1), 11), (ProcessId(2), 12)]);
+    assert_eq!(
+        pairs,
+        vec![(ProcessId::new(1), 11), (ProcessId::new(2), 12)]
+    );
 }
 
 #[test]
@@ -230,7 +237,7 @@ fn coordinator_crash_after_partial_propose_still_agrees() {
     // deliver only the estimate messages to p0 so it proposes
     h.run_with_order(|queue| {
         let idx = queue.iter().position(|(_, o)| {
-            matches!(o.wire, ConsensusWire::Estimate { .. }) && o.to == ProcessId(0)
+            matches!(o.wire, ConsensusWire::Estimate { .. }) && o.to == ProcessId::new(0)
         });
         idx.and_then(|i| queue.remove(i))
     });
@@ -238,7 +245,7 @@ fn coordinator_crash_after_partial_propose_still_agrees() {
     // proposal only to p1, drop the copy to p2 by crashing p0 and filtering.
     let mut to_p1 = Vec::new();
     while let Some((from, o)) = h.queue.pop_front() {
-        if o.to == ProcessId(1) {
+        if o.to == ProcessId::new(1) {
             to_p1.push((from, o));
         }
         // everything else (to p0 or p2) is lost with the crash
@@ -246,7 +253,7 @@ fn coordinator_crash_after_partial_propose_still_agrees() {
     h.crash(0);
     for (from, o) in to_p1 {
         let out = h.nodes[1].as_mut().unwrap().on_wire(from, o.wire);
-        h.absorb(ProcessId(1), out);
+        h.absorb(ProcessId::new(1), out);
     }
     h.set_suspects(1, &[0]);
     h.set_suspects(2, &[0]);
@@ -274,7 +281,7 @@ fn wrong_suspicion_delays_but_does_not_break_agreement() {
         assert_eq!(*d, decisions[0]);
     }
     for (p, v) in decisions[0] {
-        assert_eq!(*v, 100 + p.0 as Val);
+        assert_eq!(*v, 100 + p.index() as Val);
     }
 }
 
@@ -299,9 +306,9 @@ fn five_processes_excluded_minority_values_absent() {
         assert_eq!(*d, decisions[0]);
     }
     let contributors: Vec<ProcessId> = decisions[0].iter().map(|(p, _)| *p).collect();
-    assert!(!contributors.contains(&ProcessId(0)));
+    assert!(!contributors.contains(&ProcessId::new(0)));
     assert!(
-        !contributors.contains(&ProcessId(1)),
+        !contributors.contains(&ProcessId::new(1)),
         "suspected minority excluded"
     );
     assert_eq!(contributors.len(), 3);
@@ -330,7 +337,7 @@ fn relaxed_collection_rule_can_exclude_minority_at_n4() {
     h.run_bounded(500, |queue| {
         let idx = queue
             .iter()
-            .position(|(from, o)| from.0 >= 2 && o.to.0 >= 2);
+            .position(|(from, o)| from.index() >= 2 && o.to.index() >= 2);
         idx.and_then(|i| queue.remove(i))
     });
     // p2 and p3 alone cannot gather a majority of acks (need 3 of 4), so no
@@ -348,27 +355,27 @@ fn relaxed_collection_rule_can_exclude_minority_at_n4() {
     }
     let contributors: Vec<ProcessId> = decisions[0].iter().map(|(p, _)| *p).collect();
     assert!(
-        !contributors.contains(&ProcessId(1)),
+        !contributors.contains(&ProcessId::new(1)),
         "p1's value excluded: {contributors:?}"
     );
 }
 
 #[test]
 fn decide_message_is_relayed() {
-    let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+    let group: Vec<ProcessId> = (0..3).map(ProcessId::new).collect();
     let mut c = MajConsensus::<u32>::new(
         0,
-        ProcessId(2),
+        ProcessId::new(2),
         group,
-        ProcessId(0),
+        ProcessId::new(0),
         ConsensusConfig::default(),
     );
     let _ = c.propose(9);
     let out = c.on_wire(
-        ProcessId(0),
+        ProcessId::new(0),
         ConsensusWire::Decide {
             instance: 0,
-            value: vec![(ProcessId(0), 7)],
+            value: vec![(ProcessId::new(0), 7)],
         },
     );
     assert!(out.decision.is_some());
@@ -382,10 +389,10 @@ fn decide_message_is_relayed() {
     assert_eq!(decide_relays[0].targets.len(), 2, "both peers targeted");
     // a second Decide is not re-reported or re-relayed
     let again = c.on_wire(
-        ProcessId(1),
+        ProcessId::new(1),
         ConsensusWire::Decide {
             instance: 0,
-            value: vec![(ProcessId(0), 7)],
+            value: vec![(ProcessId::new(0), 7)],
         },
     );
     assert!(again.decision.is_none());
@@ -453,7 +460,7 @@ proptest! {
             let idx = (rng.next_u64() as usize) % h.queue.len();
             if let Some((from, o)) = h.queue.remove(idx) {
                 let to = o.to;
-                if let Some(node) = h.nodes[to.0].as_mut() {
+                if let Some(node) = h.nodes[to.index()].as_mut() {
                     let out = node.on_wire(from, o.wire);
                     h.absorb(to, out);
                 }
@@ -491,7 +498,7 @@ proptest! {
         // value actually proposed by that process, and contributors are distinct.
         let mut seen = BTreeSet::new();
         for (pid, v) in &first {
-            prop_assert_eq!(*v, 100 + pid.0 as Val);
+            prop_assert_eq!(*v, 100 + pid.index() as Val);
             prop_assert!(seen.insert(*pid), "duplicate contributor {pid:?}");
         }
         // With the default (majority) collection rule the decision aggregates

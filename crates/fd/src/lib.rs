@@ -201,9 +201,9 @@ impl HeartbeatFd {
 mod tests {
     use super::*;
 
-    const P0: ProcessId = ProcessId(0);
-    const P1: ProcessId = ProcessId(1);
-    const P2: ProcessId = ProcessId(2);
+    const P0: ProcessId = ProcessId::new(0);
+    const P1: ProcessId = ProcessId::new(1);
+    const P2: ProcessId = ProcessId::new(2);
 
     fn group() -> Vec<ProcessId> {
         vec![P0, P1, P2]
@@ -270,7 +270,7 @@ mod tests {
         fd.on_tick(SimTime::ZERO);
         assert!(fd.observe_traffic(P0, SimTime::from_millis(1)).is_empty());
         assert!(fd
-            .observe_traffic(ProcessId(9), SimTime::from_millis(1))
+            .observe_traffic(ProcessId::new(9), SimTime::from_millis(1))
             .is_empty());
     }
 
@@ -280,7 +280,7 @@ mod tests {
         assert_eq!(fd.force_suspect(P1), Some(FdEvent::Suspect(P1)));
         assert_eq!(fd.force_suspect(P1), None);
         assert_eq!(fd.force_suspect(P0), None);
-        assert_eq!(fd.force_suspect(ProcessId(9)), None);
+        assert_eq!(fd.force_suspect(ProcessId::new(9)), None);
         assert!(fd.is_suspected(P1));
     }
 

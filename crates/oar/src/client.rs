@@ -12,15 +12,16 @@
 //! # Pipelining
 //!
 //! By default the client is closed-loop: one outstanding request at a time,
-//! exactly Fig. 5. [`OarClient::with_pipeline`] allows up to `depth`
-//! outstanding requests, each tracked independently by the same weighted
-//! quorum rule. Pipelining is what lets the servers' batching layers
-//! (sequencer `OrderMsg` batches, per-client `ReplyBatch` coalescing) see
-//! several requests of the same client in one batch; replies arrive batched
-//! and are unpacked back into per-request accounting, so the optimistic /
-//! conservative semantics of each request are unchanged.
+//! exactly Fig. 5. [`PipelineMode::Fixed`] (via
+//! [`ClientConfigBuilder::pipeline`](crate::ClientConfigBuilder::pipeline))
+//! allows up to `depth` outstanding requests, each tracked independently by
+//! the same weighted quorum rule. Pipelining is what lets the servers'
+//! batching layers (sequencer `OrderMsg` batches, per-client `ReplyBatch`
+//! coalescing) see several requests of the same client in one batch; replies
+//! arrive batched and are unpacked back into per-request accounting, so the
+//! optimistic / conservative semantics of each request are unchanged.
 //!
-//! [`OarClient::with_adaptive_pipeline`] replaces the fixed depth with a
+//! [`PipelineMode::Adaptive`] replaces the fixed depth with a
 //! [`PipelineController`]: the window starts closed-loop and co-adapts with
 //! the servers' batching, growing towards the cap while reply wires report
 //! large delivery batches and decaying back when load drops.
@@ -28,14 +29,15 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use oar_channels::ReliableCaster;
-use oar_simnet::{Context, GroupId, Process, ProcessId, SimDuration, SimTime, Timer};
+use oar_simnet::{GroupId, Process, ProcessId, Runtime, SimDuration, SimTime, Timer, TimerTag};
 
 use crate::adaptive::{PipelineController, PipelineStats};
+use crate::config::{ClientConfig, PipelineMode};
 use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId, Weight};
 use crate::state_machine::StateMachine;
 
 /// Timer tag used for the think-time delay between two requests.
-const NEXT_REQUEST: u64 = 2;
+const NEXT_REQUEST: TimerTag = TimerTag::NextRequest;
 
 /// A request completed by the client: the adopted reply plus bookkeeping used
 /// by the experiments.
@@ -181,69 +183,41 @@ pub struct OarClient<S: StateMachine> {
 }
 
 impl<S: StateMachine> OarClient<S> {
-    /// Creates a client that will submit `workload` to `servers`, waiting
-    /// `think_time` between the adoption of a reply and the next request.
+    /// Creates a client that will submit `workload` to `servers` under the
+    /// given [`ClientConfig`] (think time, start delay, pipeline policy,
+    /// target group — see [`ClientConfig::builder`]).
     pub fn new(
         id: ProcessId,
         servers: Vec<ProcessId>,
         workload: Vec<S::Command>,
-        think_time: SimDuration,
+        config: ClientConfig,
     ) -> Self {
         let majority = majority(servers.len());
+        let adaptive = match config.pipeline {
+            PipelineMode::Fixed(_) => None,
+            PipelineMode::Adaptive(cap) => Some(PipelineController::new(cap)),
+        };
         OarClient {
             id,
-            group: GroupId::default(),
+            group: config.group,
             cast: ReliableCaster::new(id, servers.clone()),
             servers,
             workload: workload.into(),
             next_index: 0,
-            think_time,
-            start_delay: SimDuration::ZERO,
-            pipeline: 1,
-            adaptive: None,
+            think_time: config.think_time,
+            start_delay: config.start_delay,
+            pipeline: config.initial_window().max(1),
+            adaptive,
             outstanding: BTreeMap::new(),
             completed: Vec::new(),
             majority,
         }
     }
 
-    /// Delays the first request by `delay` (used to stagger clients).
-    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
-        self.start_delay = delay;
-        self
-    }
-
-    /// Allows up to `depth` outstanding requests (clamped to at least 1).
-    /// `1` — the default — is the closed-loop client of Fig. 5.
-    pub fn with_pipeline(mut self, depth: usize) -> Self {
-        self.pipeline = depth.max(1);
-        self.adaptive = None;
-        self
-    }
-
-    /// Adapts the outstanding-request window to the servers' reported
-    /// delivery-batch sizes, up to `cap` outstanding requests. The window
-    /// starts at 1 (no added load under light traffic) and co-adapts with
-    /// the sequencer's batching under pressure.
-    pub fn with_adaptive_pipeline(mut self, cap: usize) -> Self {
-        let controller = PipelineController::new(cap);
-        self.pipeline = controller.window();
-        self.adaptive = Some(controller);
-        self
-    }
-
     /// Convergence counters of the adaptive pipeline window (`None` for a
     /// static pipeline).
     pub fn pipeline_stats(&self) -> Option<PipelineStats> {
         self.adaptive.as_ref().map(|c| c.stats())
-    }
-
-    /// Targets the replication group `group` (stamped on every request so
-    /// its servers can verify the routing). Defaults to `g0`, the
-    /// single-group deployment.
-    pub fn with_group(mut self, group: GroupId) -> Self {
-        self.group = group;
-        self
     }
 
     /// The pipeline depth of this client.
@@ -273,7 +247,7 @@ impl<S: StateMachine> OarClient<S> {
 
     /// Submits requests until the pipeline window is full or the workload is
     /// exhausted.
-    fn fill_pipeline(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn fill_pipeline(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         while self.outstanding.len() < self.pipeline {
             let Some(command) = self.workload.pop_front() else {
                 return;
@@ -305,7 +279,7 @@ impl<S: StateMachine> OarClient<S> {
 
     fn handle_reply_batch(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         batch: ReplyBatch<S::Response>,
     ) {
         // Adapt the window before unpacking, so the refills triggered by the
@@ -320,7 +294,7 @@ impl<S: StateMachine> OarClient<S> {
 
     fn handle_reply(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         reply: Reply<S::Response>,
     ) {
         let request = reply.request;
@@ -370,7 +344,7 @@ impl<S: StateMachine> OarClient<S> {
 }
 
 impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S> {
-    fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.start_delay.is_zero() {
             self.fill_pipeline(ctx);
         } else {
@@ -380,7 +354,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S>
 
     fn on_message(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         _from: ProcessId,
         msg: OarWire<S::Command, S::Response>,
     ) {
@@ -390,13 +364,13 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S>
         // Clients ignore every other message kind.
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag == NEXT_REQUEST && self.outstanding.len() < self.pipeline {
             self.fill_pipeline(ctx);
         }
     }
 
     fn name(&self) -> String {
-        format!("oar-client-{}", self.id.0)
+        format!("oar-client-{}", self.id.index())
     }
 }

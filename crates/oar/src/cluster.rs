@@ -3,13 +3,11 @@
 //! correctness propositions. Used by the integration tests, the examples and
 //! the experiment harness.
 
-use std::collections::HashMap;
-
 use oar_simnet::{NetConfig, ProcessId, Samples, SimDuration, SimTime, World};
 
 use crate::client::{CompletedRequest, OarClient};
-use crate::config::OarConfig;
-use crate::message::{OarWire, RequestId};
+use crate::config::{ClientConfig, OarConfig};
+use crate::message::OarWire;
 use crate::server::{DeliveryRecord, OarServer};
 use crate::state_machine::StateMachine;
 
@@ -84,7 +82,7 @@ impl<S: StateMachine> Cluster<S> {
     ) -> Self {
         let mut world: World<OarWire<S::Command, S::Response>> =
             World::new(config.net.clone(), config.seed);
-        let server_ids: Vec<ProcessId> = (0..config.num_servers).map(ProcessId).collect();
+        let server_ids: Vec<ProcessId> = (0..config.num_servers).map(ProcessId::new).collect();
         let mut servers = Vec::new();
         for &id in &server_ids {
             let server = OarServer::new(id, server_ids.clone(), config.oar, make_sm());
@@ -99,19 +97,21 @@ impl<S: StateMachine> Cluster<S> {
                 .get(c)
                 .copied()
                 .unwrap_or_else(|| SimDuration::from_micros(10 * c as u64));
-            let mut client: OarClient<S> = OarClient::new(
-                ProcessId(config.num_servers + c),
+            let mut builder = ClientConfig::builder()
+                .think_time(config.think_time)
+                .start_delay(start_delay)
+                .group(config.oar.group);
+            builder = if config.adaptive_pipeline {
+                builder.adaptive_pipeline(config.client_pipeline)
+            } else {
+                builder.pipeline(config.client_pipeline)
+            };
+            let client: OarClient<S> = OarClient::new(
+                ProcessId::new(config.num_servers + c),
                 server_ids.clone(),
                 workload_for(c),
-                config.think_time,
-            )
-            .with_start_delay(start_delay)
-            .with_group(config.oar.group);
-            client = if config.adaptive_pipeline {
-                client.with_adaptive_pipeline(config.client_pipeline)
-            } else {
-                client.with_pipeline(config.client_pipeline)
-            };
+                builder.build(),
+            );
             clients.push(world.add_process(client));
         }
         Cluster {
@@ -499,113 +499,29 @@ impl<S: StateMachine> Cluster<S> {
     ///   (compacted prefix included) have identical state-machine digests
     ///   (determinism + total order).
     pub fn check_replica_consistency(&self) -> Result<(), String> {
-        let alive = self.checkable();
-        for &p in &alive {
-            let seq = self
-                .world
-                .process_ref::<OarServer<S>>(p)
-                .committed_sequence();
-            let mut seen = std::collections::HashSet::new();
-            for id in seq.iter() {
-                if !seen.insert(*id) {
-                    return Err(format!("server {p} delivered {id} twice"));
-                }
-            }
-        }
-        for &p in &alive {
-            for &q in &alive {
-                if p >= q {
-                    continue;
-                }
-                let srv_p = self.world.process_ref::<OarServer<S>>(p);
-                let srv_q = self.world.process_ref::<OarServer<S>>(q);
-                // Settled prefixes: both replicas can compute the chain hash
-                // at the highest position both have settled, unless one
-                // compacted past the other's entire settled log (only
-                // possible while the laggard is still far behind — nothing
-                // comparable remains then and the digest check below still
-                // guards equal-length states).
-                let m = srv_p.total_settled().min(srv_q.total_settled());
-                if let (Some(hp), Some(hq)) = (srv_p.order_hash_at(m), srv_q.order_hash_at(m)) {
-                    if hp != hq {
-                        return Err(format!(
-                            "settled prefixes of {p} and {q} diverge at position {m}"
-                        ));
-                    }
-                }
-                // Retained suffixes from the higher compaction base onward,
-                // optimistic deliveries included: element-wise prefix
-                // compatibility, exactly the pre-compaction check.
-                let lo = srv_p.a_base().max(srv_q.a_base());
-                let sp_all = srv_p.committed_sequence();
-                let sq_all = srv_q.committed_sequence();
-                let sp = sp_all.suffix_from(((lo - srv_p.a_base()) as usize).min(sp_all.len()));
-                let sq = sq_all.suffix_from(((lo - srv_q.a_base()) as usize).min(sq_all.len()));
-                if !(sp.is_prefix_of(&sq) || sq.is_prefix_of(&sp)) {
-                    return Err(format!(
-                        "total order violated between {p} and {q}: {sp} vs {sq}"
-                    ));
-                }
-            }
-        }
-        // Digest equality for equal *total* delivery counts (compacted
-        // prefix + retained log + current optimistic deliveries).
-        let mut by_len: HashMap<u64, (ProcessId, u64)> = HashMap::new();
-        for &s in &alive {
-            let server = self.world.process_ref::<OarServer<S>>(s);
-            let len = server.a_base() + server.committed_sequence().len() as u64;
-            let digest = server.state_machine().digest();
-            if let Some((other, other_digest)) = by_len.get(&len) {
-                if *other_digest != digest {
-                    return Err(format!(
-                        "servers {other} and {s} delivered {len} requests but diverge"
-                    ));
-                }
-            } else {
-                by_len.insert(len, (s, digest));
-            }
-        }
-        Ok(())
+        let alive: Vec<&OarServer<S>> = self
+            .checkable()
+            .iter()
+            .map(|&p| self.world.process_ref::<OarServer<S>>(p))
+            .collect();
+        crate::consistency::check_server_consistency(&alive)
     }
 
     /// Checks external consistency (Proposition 7): every response adopted by a
     /// client matches, at every alive server that delivered the request without
     /// undoing it, the position at which that server processed the request.
     pub fn check_external_consistency(&self) -> Result<(), String> {
-        // Build, per server, the final position of every settled request.
-        // Positions are global: the retained sequence starts after the
-        // compacted prefix, at `a_base + 1`.
-        let checkable = self.checkable();
-        let mut per_server: Vec<HashMap<RequestId, u64>> = Vec::new();
-        for &s in &self.servers {
-            if !checkable.contains(&s) {
-                per_server.push(HashMap::new());
-                continue;
-            }
-            let server = self.world.process_ref::<OarServer<S>>(s);
-            let base = server.a_base();
-            let mut positions = HashMap::new();
-            for (i, id) in server.committed_sequence().iter().enumerate() {
-                positions.insert(*id, base + (i + 1) as u64);
-            }
-            per_server.push(positions);
-        }
-        for (c_idx, &c) in self.clients.iter().enumerate() {
-            let client = self.world.process_ref::<OarClient<S>>(c);
-            for done in client.completed() {
-                for (s_idx, positions) in per_server.iter().enumerate() {
-                    if let Some(&pos) = positions.get(&done.id) {
-                        if pos != done.position {
-                            return Err(format!(
-                                "client {c_idx} adopted position {} for {} but server {} settled it at {}",
-                                done.position, done.id, s_idx, pos
-                            ));
-                        }
-                    }
-                }
-            }
-        }
-        Ok(())
+        let alive: Vec<&OarServer<S>> = self
+            .checkable()
+            .iter()
+            .map(|&p| self.world.process_ref::<OarServer<S>>(p))
+            .collect();
+        let completed: Vec<&[CompletedRequest<S::Response>]> = self
+            .clients
+            .iter()
+            .map(|&c| self.world.process_ref::<OarClient<S>>(c).completed())
+            .collect();
+        crate::consistency::check_external_consistency(&alive, &completed)
     }
 
     /// Collects every delivery record of every server, annotated with the

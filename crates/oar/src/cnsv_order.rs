@@ -107,7 +107,7 @@ mod tests {
     use oar_simnet::ProcessId;
 
     fn rid(n: u64) -> RequestId {
-        RequestId::new(ProcessId(9), n)
+        RequestId::new(ProcessId::new(9), n)
     }
 
     fn seq(ids: &[u64]) -> Seq<RequestId> {
@@ -125,7 +125,7 @@ mod tests {
         values
             .into_iter()
             .enumerate()
-            .map(|(i, v)| (ProcessId(i), v))
+            .map(|(i, v)| (ProcessId::new(i), v))
             .collect()
     }
 
@@ -256,7 +256,7 @@ mod spec_proptests {
     }
 
     fn rid(n: u64) -> RequestId {
-        RequestId::new(ProcessId(50), n)
+        RequestId::new(ProcessId::new(50), n)
     }
 
     fn arb_case() -> impl Strategy<Value = EpochCase> {
@@ -315,7 +315,7 @@ mod spec_proptests {
     fn decision_of(case: &EpochCase) -> Decision<CnsvValue> {
         case.contributors
             .iter()
-            .map(|&i| (ProcessId(i), case.values[i].clone()))
+            .map(|&i| (ProcessId::new(i), case.values[i].clone()))
             .collect()
     }
 

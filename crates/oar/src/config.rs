@@ -362,21 +362,195 @@ impl OarConfigBuilder {
     }
 }
 
+/// How a client limits the number of outstanding requests.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PipelineMode {
+    /// A fixed window of `depth` outstanding requests. `Fixed(1)` is the
+    /// closed-loop client of Fig. 5.
+    Fixed(usize),
+    /// A [`crate::adaptive::PipelineController`]-driven window of up to `cap`
+    /// outstanding requests: it starts closed-loop and co-adapts with the
+    /// servers' delivery-batch hints.
+    Adaptive(usize),
+}
+
+impl Default for PipelineMode {
+    fn default() -> Self {
+        PipelineMode::Fixed(1)
+    }
+}
+
+/// Configuration shared by every client flavour ([`crate::OarClient`],
+/// [`crate::sharded::ShardedClient`], [`crate::txn::TxnClient`]).
+///
+/// Construct one with [`ClientConfig::builder`], the single place where the
+/// client knobs are validated — the per-flavour `with_*` constructor zoo this
+/// replaces is gone.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ClientConfig {
+    /// Delay between the adoption of a reply and the next request (the
+    /// paper's think time). [`SimDuration::ZERO`] — the default — refills the
+    /// pipeline immediately.
+    pub think_time: SimDuration,
+    /// Delay before the very first request, used to stagger clients.
+    pub start_delay: SimDuration,
+    /// The outstanding-request window policy.
+    pub pipeline: PipelineMode,
+    /// The replication group targeted by a single-group client, stamped on
+    /// every request so servers can detect misroutes. Ignored by the sharded
+    /// and transactional clients, which route per key. Defaults to `g0`.
+    pub group: GroupId,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            think_time: SimDuration::ZERO,
+            start_delay: SimDuration::ZERO,
+            pipeline: PipelineMode::default(),
+            group: GroupId::default(),
+        }
+    }
+}
+
+impl ClientConfig {
+    /// Starts the fluent [`ClientConfigBuilder`] at the defaults.
+    pub fn builder() -> ClientConfigBuilder {
+        ClientConfigBuilder::default()
+    }
+
+    /// The initial pipeline window implied by [`ClientConfig::pipeline`]
+    /// (adaptive windows start closed-loop).
+    pub fn initial_window(&self) -> usize {
+        match self.pipeline {
+            PipelineMode::Fixed(depth) => depth,
+            PipelineMode::Adaptive(_) => 1,
+        }
+    }
+}
+
+/// Fluent builder for [`ClientConfig`], mirroring [`OarConfigBuilder`].
+///
+/// ```
+/// use oar::ClientConfig;
+/// use oar_simnet::SimDuration;
+///
+/// let config = ClientConfig::builder()
+///     .think_time(SimDuration::from_micros(50))
+///     .pipeline(4)
+///     .build();
+/// assert_eq!(config.initial_window(), 4);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientConfigBuilder {
+    think_time: Option<SimDuration>,
+    start_delay: Option<SimDuration>,
+    pipeline: Option<PipelineMode>,
+    pipeline_conflict: bool,
+    group: Option<GroupId>,
+}
+
+impl ClientConfigBuilder {
+    /// Sets the think time between the adoption of a reply and the next
+    /// request.
+    pub fn think_time(mut self, think: SimDuration) -> Self {
+        self.think_time = Some(think);
+        self
+    }
+
+    /// Delays the first request by `delay` (used to stagger clients).
+    pub fn start_delay(mut self, delay: SimDuration) -> Self {
+        self.start_delay = Some(delay);
+        self
+    }
+
+    /// Allows up to `depth` outstanding requests. Conflicts with
+    /// [`ClientConfigBuilder::adaptive_pipeline`]; zero is rejected at build
+    /// time.
+    pub fn pipeline(mut self, depth: usize) -> Self {
+        self.pipeline_conflict |= matches!(self.pipeline, Some(PipelineMode::Adaptive(_)));
+        self.pipeline = Some(PipelineMode::Fixed(depth));
+        self
+    }
+
+    /// Adapts the outstanding-request window to the servers' reported
+    /// delivery-batch sizes, up to `cap` outstanding requests. Conflicts
+    /// with an explicit [`ClientConfigBuilder::pipeline`]; a zero cap is
+    /// rejected at build time.
+    pub fn adaptive_pipeline(mut self, cap: usize) -> Self {
+        self.pipeline_conflict |= matches!(self.pipeline, Some(PipelineMode::Fixed(_)));
+        self.pipeline = Some(PipelineMode::Adaptive(cap));
+        self
+    }
+
+    /// Targets the replication group `group` (single-group clients only).
+    pub fn group(mut self, group: GroupId) -> Self {
+        self.group = Some(group);
+        self
+    }
+
+    /// Validates the combination and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// * `pipeline(0)` — a window of zero can never submit;
+    /// * `adaptive_pipeline(0)` — likewise for the adaptive cap;
+    /// * `pipeline` combined with `adaptive_pipeline` — the controller owns
+    ///   the window, a static depth would be silently ignored.
+    pub fn try_build(self) -> Result<ClientConfig, String> {
+        if self.pipeline_conflict {
+            return Err("pipeline conflicts with adaptive_pipeline: the controller \
+                 owns the window, a static depth would be silently ignored"
+                .into());
+        }
+        match self.pipeline {
+            Some(PipelineMode::Fixed(0)) => {
+                return Err("pipeline depth must be at least 1 (0 can never submit)".into());
+            }
+            Some(PipelineMode::Adaptive(0)) => {
+                return Err("adaptive_pipeline cap must be at least 1 (0 can never submit)".into());
+            }
+            _ => {}
+        }
+        let defaults = ClientConfig::default();
+        Ok(ClientConfig {
+            think_time: self.think_time.unwrap_or(defaults.think_time),
+            start_delay: self.start_delay.unwrap_or(defaults.start_delay),
+            pipeline: self.pipeline.unwrap_or(defaults.pipeline),
+            group: self.group.unwrap_or(defaults.group),
+        })
+    }
+
+    /// Like [`ClientConfigBuilder::try_build`], panicking on an invalid
+    /// combination.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the validation message on any combination
+    /// [`ClientConfigBuilder::try_build`] rejects.
+    pub fn build(self) -> ClientConfig {
+        match self.try_build() {
+            Ok(config) => config,
+            Err(e) => panic!("invalid ClientConfig: {e}"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn for_group_overrides_only_the_group() {
-        let cfg = OarConfig::with_batching(4).for_group(GroupId(3));
-        assert_eq!(cfg.group, GroupId(3));
+        let cfg = OarConfig::with_batching(4).for_group(GroupId::new(3));
+        assert_eq!(cfg.group, GroupId::new(3));
         assert_eq!(cfg.max_batch, 4);
     }
 
     #[test]
     fn default_is_eager_unbatched_and_uncut() {
         let cfg = OarConfig::default();
-        assert_eq!(cfg.group, GroupId(0));
+        assert_eq!(cfg.group, GroupId::new(0));
         assert!(cfg.eager_sequencing);
         assert_eq!(cfg.max_batch, 1);
         assert_eq!(cfg.flush_delay, None);
@@ -402,13 +576,13 @@ mod tests {
     #[test]
     fn builder_composes_fields() {
         let cfg = OarConfig::builder()
-            .group(GroupId(2))
+            .group(GroupId::new(2))
             .max_batch(16)
             .flush_delay(SimDuration::from_micros(250))
             .tick_interval(SimDuration::from_millis(2))
             .epoch_cut_after(100)
             .build();
-        assert_eq!(cfg.group, GroupId(2));
+        assert_eq!(cfg.group, GroupId::new(2));
         assert_eq!(cfg.max_batch, 16);
         assert_eq!(cfg.flush_delay, Some(SimDuration::from_micros(250)));
         assert_eq!(cfg.tick_interval, SimDuration::from_millis(2));
@@ -508,6 +682,71 @@ mod tests {
             .max_batch(8)
             .try_build()
             .is_ok());
+    }
+
+    #[test]
+    fn client_builder_composes_fields() {
+        let cfg = ClientConfig::builder()
+            .think_time(SimDuration::from_micros(40))
+            .start_delay(SimDuration::from_micros(7))
+            .pipeline(8)
+            .group(GroupId::new(2))
+            .build();
+        assert_eq!(cfg.think_time, SimDuration::from_micros(40));
+        assert_eq!(cfg.start_delay, SimDuration::from_micros(7));
+        assert_eq!(cfg.pipeline, PipelineMode::Fixed(8));
+        assert_eq!(cfg.initial_window(), 8);
+        assert_eq!(cfg.group, GroupId::new(2));
+    }
+
+    #[test]
+    fn client_default_is_closed_loop() {
+        let cfg = ClientConfig::default();
+        assert_eq!(cfg.pipeline, PipelineMode::Fixed(1));
+        assert_eq!(cfg.initial_window(), 1);
+        assert!(cfg.think_time.is_zero());
+        assert!(cfg.start_delay.is_zero());
+        assert_eq!(cfg.group, GroupId::default());
+    }
+
+    #[test]
+    fn client_adaptive_window_starts_closed_loop() {
+        let cfg = ClientConfig::builder().adaptive_pipeline(16).build();
+        assert_eq!(cfg.pipeline, PipelineMode::Adaptive(16));
+        assert_eq!(cfg.initial_window(), 1);
+    }
+
+    #[test]
+    fn client_builder_rejects_degenerate_windows() {
+        let err = ClientConfig::builder().pipeline(0).try_build().unwrap_err();
+        assert!(err.contains("pipeline depth"), "unexpected error: {err}");
+        let err = ClientConfig::builder()
+            .adaptive_pipeline(0)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("cap"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn client_builder_rejects_mixed_pipeline_modes() {
+        let err = ClientConfig::builder()
+            .pipeline(4)
+            .adaptive_pipeline(16)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("conflicts"), "unexpected error: {err}");
+        let err = ClientConfig::builder()
+            .adaptive_pipeline(16)
+            .pipeline(4)
+            .try_build()
+            .unwrap_err();
+        assert!(err.contains("conflicts"), "unexpected error: {err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ClientConfig")]
+    fn client_build_panics_on_zero_depth() {
+        let _ = ClientConfig::builder().pipeline(0).build();
     }
 
     #[test]

@@ -73,7 +73,9 @@ pub mod client;
 pub mod cluster;
 pub mod cnsv_order;
 pub mod config;
+pub mod consistency;
 pub mod message;
+pub mod openloop;
 pub mod parallel;
 pub mod server;
 pub mod shard;
@@ -85,7 +87,10 @@ pub use adaptive::{AdaptiveConfig, BatchController, PipelineController, Pipeline
 pub use client::{CompletedRequest, OarClient, QuorumTracker};
 pub use cluster::{Cluster, ClusterConfig};
 pub use cnsv_order::{cnsv_order_outcome, CnsvOutcome};
-pub use config::{OarConfig, OarConfigBuilder};
+pub use config::{ClientConfig, ClientConfigBuilder, OarConfig, OarConfigBuilder, PipelineMode};
+pub use consistency::{check_external_consistency, check_server_consistency};
+pub use openloop::OpenLoopClient;
+
 pub use message::{
     majority, CatchUpReply, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request,
     RequestId, TxnEnvelope, TxnId, Weight,

@@ -337,7 +337,7 @@ mod tests {
     #[test]
     fn cnsv_value_display_uses_paper_notation() {
         let v = CnsvValue {
-            o_delivered: Seq::from(vec![RequestId::new(ProcessId(9), 0)]),
+            o_delivered: Seq::from(vec![RequestId::new(ProcessId::new(9), 0)]),
             o_notdelivered: Seq::new(),
         };
         assert_eq!(format!("{v}"), "{{m9.0};{}}");

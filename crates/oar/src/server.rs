@@ -84,7 +84,7 @@ use oar_consensus::{ConsensusSend, ConsensusWire, Decision, MajConsensus};
 use oar_fd::{FdEvent, HeartbeatFd};
 use oar_sequence::Seq;
 use oar_simnet::{
-    BucketHistogram, Context, PeakGauge, Process, ProcessId, SimDuration, SimTime, Timer,
+    BucketHistogram, PeakGauge, Process, ProcessId, Runtime, SimDuration, SimTime, Timer, TimerTag,
 };
 
 use crate::adaptive::BatchController;
@@ -137,13 +137,13 @@ type RecoveryBuffer<S> = Vec<(
 )>;
 
 /// Timer tag of the periodic maintenance tick.
-const TICK: u64 = 1;
+const TICK: TimerTag = TimerTag::Tick;
 
 /// Timer tag of the one-shot partial-batch flush deadline.
-const FLUSH: u64 = 2;
+const FLUSH: TimerTag = TimerTag::Flush;
 
 /// Timer tag of the catch-up retry clock (armed only while recovering).
-const CATCHUP: u64 = 3;
+const CATCHUP: TimerTag = TimerTag::CatchUp;
 
 /// Exponential-backoff cap of the catch-up retry delay, as a power of two:
 /// attempts back off 1×, 2×, 4×, 8× [`OarConfig::catch_up_retry`] and stay
@@ -161,7 +161,7 @@ const FETCH_BATCH: usize = 64;
 /// commits to both content and order.
 fn chain_hash(h: u64, id: RequestId) -> u64 {
     let mut x = h
-        ^ (id.origin.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (id.origin.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ id.seq.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -722,7 +722,7 @@ impl<S: StateMachine> OarServer<S> {
     /// injection used by the experiments on Opt-undeliver frequency).
     pub fn force_suspect_sequencer(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
     ) {
         let sequencer = self.current_sequencer();
         if sequencer != self.id {
@@ -755,14 +755,14 @@ impl<S: StateMachine> OarServer<S> {
         self.r_delivered.len() - self.order_cursor
     }
 
-    fn annotate(&self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, text: String) {
+    fn annotate(&self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>, text: String) {
         ctx.annotate(text);
     }
 
     /// Task 0 (Fig. 6 lines 6–7): buffer an incoming client request.
     fn handle_request_delivery(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         delivery: Delivery<Request<S::Command>>,
     ) {
         let request = delivery.payload;
@@ -837,7 +837,7 @@ impl<S: StateMachine> OarServer<S> {
     /// one — in which case it re-arms for the remainder, so a fresh partial
     /// batch always gets its full window and `deadline_flushes` counts only
     /// genuine deadline expiries.
-    fn schedule_flush_deadline(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn schedule_flush_deadline(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.flush_deadline.is_some()
             || self.phase != Phase::Optimistic
             || !self.is_sequencer()
@@ -873,7 +873,7 @@ impl<S: StateMachine> OarServer<S> {
     /// everything before the cursor was examined by an earlier invocation this
     /// epoch and is delivered, settled or queued. The whole batch travels in
     /// one `OrderMsg` broadcast.
-    fn maybe_order(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn maybe_order(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.phase != Phase::Optimistic || !self.is_sequencer() {
             return;
         }
@@ -915,7 +915,7 @@ impl<S: StateMachine> OarServer<S> {
     /// Task 1b (Fig. 6 lines 11–19): accept an ordering for the current epoch.
     fn accept_order(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         order: Seq<RequestId>,
     ) {
         for id in order.iter() {
@@ -932,7 +932,7 @@ impl<S: StateMachine> OarServer<S> {
     /// speculative half of parallel apply: waves of non-conflicting optimistic
     /// deliveries execute concurrently, each still individually undoable) —
     /// and produces at most one `ReplyBatch` wire per client.
-    fn drain_order_queue(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn drain_order_queue(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.phase != Phase::Optimistic {
             return;
         }
@@ -984,7 +984,7 @@ impl<S: StateMachine> OarServer<S> {
     /// order.
     fn opt_deliver_batch(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         ids: &[RequestId],
         pending: &mut PendingReplies<S::Response>,
     ) {
@@ -1030,7 +1030,7 @@ impl<S: StateMachine> OarServer<S> {
     /// batch is stamped with the epoch its deliveries happened in.
     fn flush_replies(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         pending: PendingReplies<S::Response>,
         kind: DeliveryKind,
     ) {
@@ -1067,7 +1067,7 @@ impl<S: StateMachine> OarServer<S> {
 
     /// Task 1c (Fig. 6 lines 20–21): trigger phase 2 when the sequencer is
     /// suspected.
-    fn maybe_start_phase2(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn maybe_start_phase2(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.phase == Phase::Optimistic
             && !self.phase2_started
             && self.fd.is_suspected(self.current_sequencer())
@@ -1078,7 +1078,7 @@ impl<S: StateMachine> OarServer<S> {
 
     /// R-broadcasts `(k, PhaseII)`; the local delivery enters phase 2
     /// immediately.
-    fn start_phase2(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn start_phase2(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.phase2_started || self.phase != Phase::Optimistic {
             return;
         }
@@ -1099,7 +1099,7 @@ impl<S: StateMachine> OarServer<S> {
     /// Task 2 entry (Fig. 6 line 22): R-delivery of `(k, PhaseII)`.
     fn handle_phase2_delivery(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         msg: PhaseIIMsg,
     ) {
         if msg.epoch < self.epoch {
@@ -1117,7 +1117,7 @@ impl<S: StateMachine> OarServer<S> {
 
     /// Enters the conservative phase of the current epoch: propose our
     /// `(O_delivered, O_notdelivered)` to the epoch's consensus.
-    fn enter_phase2(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn enter_phase2(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         self.phase = Phase::Conservative;
         self.phase2_started = true;
         self.stats.phase2_entered += 1;
@@ -1165,7 +1165,7 @@ impl<S: StateMachine> OarServer<S> {
 
     fn push_suspects_to_consensus(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
     ) {
         if let Some(consensus) = self.consensus.as_mut() {
             let suspects = self.fd.suspects().clone();
@@ -1176,7 +1176,7 @@ impl<S: StateMachine> OarServer<S> {
 
     fn feed_consensus(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         from: ProcessId,
         wire: ConsensusWire<CnsvValue>,
     ) {
@@ -1188,7 +1188,7 @@ impl<S: StateMachine> OarServer<S> {
 
     fn dispatch_consensus_output(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         messages: Vec<ConsensusSend<CnsvValue>>,
         decision: Option<Decision<CnsvValue>>,
     ) {
@@ -1215,7 +1215,7 @@ impl<S: StateMachine> OarServer<S> {
     /// drains — no periodic rescan needed.
     fn set_pending_decision(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         decision: Decision<CnsvValue>,
     ) {
         self.pending_missing = decision
@@ -1232,7 +1232,7 @@ impl<S: StateMachine> OarServer<S> {
     /// known (the missing set is empty).
     fn try_apply_pending_decision(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
     ) {
         if self.pending_decision.is_none()
             || self.phase != Phase::Conservative
@@ -1247,7 +1247,7 @@ impl<S: StateMachine> OarServer<S> {
     /// Task 2 body (Fig. 6 lines 24–32).
     fn apply_decision(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         decision: Decision<CnsvValue>,
     ) {
         let outcome = cnsv_order_outcome(&self.o_delivered, &decision);
@@ -1400,7 +1400,7 @@ impl<S: StateMachine> OarServer<S> {
     /// Reacts to failure-detector events.
     fn handle_fd_events(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         events: Vec<FdEvent>,
     ) {
         if events.is_empty() {
@@ -1514,7 +1514,7 @@ impl<S: StateMachine> OarServer<S> {
     /// arms the retry clock. Donors rotate per attempt (a crashed donor must
     /// not block rejoin) and the retry delay backs off exponentially, capped
     /// at 2^[`CATCHUP_BACKOFF_CAP`] × [`OarConfig::catch_up_retry`].
-    fn send_catch_up_request(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn send_catch_up_request(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         let attempt = self.catch_up_attempt.expect("only called while recovering");
         let peers = self.peers();
         let donor = peers[(attempt as usize) % peers.len()];
@@ -1530,7 +1530,7 @@ impl<S: StateMachine> OarServer<S> {
     /// for its door-drop filters, and the digests it must reproduce.
     fn serve_catch_up(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         to: ProcessId,
         attempt: u64,
     ) {
@@ -1576,11 +1576,11 @@ impl<S: StateMachine> OarServer<S> {
     /// next donor.
     fn install_catch_up(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         donor: ProcessId,
         reply: CatchUpReply<S::Command>,
     ) {
-        let retry = |server: &mut Self, ctx: &mut _| {
+        let retry = |server: &mut Self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>| {
             server.catch_up_attempt = Some(reply.attempt + 1);
             server.send_catch_up_request(ctx);
         };
@@ -1696,7 +1696,7 @@ impl<S: StateMachine> OarServer<S> {
     /// settled ones from the catch-up delta.
     fn serve_payload_fetch(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         to: ProcessId,
         ids: Vec<RequestId>,
     ) {
@@ -1721,7 +1721,7 @@ impl<S: StateMachine> OarServer<S> {
     /// Runs on the maintenance tick; only ids already missing at the
     /// *previous* tick are fetched, so ordinary in-flight payloads arrive on
     /// their own without repair traffic.
-    fn maybe_fetch_payloads(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn maybe_fetch_payloads(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         let mut missing: Vec<RequestId> = Vec::new();
         for id in self.order_queue.iter() {
             if missing.len() >= FETCH_BATCH {
@@ -1769,7 +1769,7 @@ impl<S: StateMachine> OarServer<S> {
     /// fresh, empty instance).
     fn maybe_retransmit_consensus(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
     ) {
         let stalled = self.phase == Phase::Conservative
             && self
@@ -1799,7 +1799,7 @@ impl<S: StateMachine> OarServer<S> {
     /// ping-pong class the door filters exist to prevent.
     fn handle_payload_fill(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         requests: Vec<Request<S::Command>>,
     ) {
         for request in requests {
@@ -1820,7 +1820,7 @@ impl<S: StateMachine> OarServer<S> {
 }
 
 impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S> {
-    fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.catch_up_attempt.is_some() {
             // Recovery mode: no maintenance tick (and so no heartbeats or
             // ordering) until the catch-up transfer installs — the replica
@@ -1833,7 +1833,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
 
     fn on_message(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         from: ProcessId,
         msg: OarWire<S::Command, S::Response>,
     ) {
@@ -1985,7 +1985,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag == CATCHUP {
             if let Some(attempt) = self.catch_up_attempt {
                 // The donor did not answer in time (crashed, or its reply
@@ -2075,7 +2075,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
     }
 
     fn name(&self) -> String {
-        format!("oar-server-{}", self.id.0)
+        format!("oar-server-{}", self.id.index())
     }
 }
 
@@ -2089,7 +2089,7 @@ mod tests {
     use super::*;
     use crate::state_machine::{CounterCommand, CounterMachine};
     use oar_channels::{CastWire, MsgId};
-    use oar_simnet::{Action, Payload, SimRng, SimTime};
+    use oar_simnet::{Action, Context, Payload, SimRng, SimTime};
 
     type Wire = OarWire<CounterCommand, i64>;
 
@@ -2151,26 +2151,26 @@ mod tests {
     /// driven by the payload delivery itself, no timer involved.
     #[test]
     fn delayed_payload_unblocks_pending_decision_without_a_tick() {
-        let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+        let group: Vec<ProcessId> = (0..3).map(ProcessId::new).collect();
         let mut server = OarServer::new(
-            ProcessId(2),
+            ProcessId::new(2),
             group,
             OarConfig::default(),
             CounterMachine::default(),
         );
-        let client = ProcessId(9);
+        let client = ProcessId::new(9);
         let (rid, request) = request_wire(client, 0, 5);
 
         // The group moves to phase 2 (sequencer suspected elsewhere).
         let phase2 = OarWire::PhaseII(CastWire {
-            id: MsgId::new(ProcessId(0), 0),
-            origin: ProcessId(0),
+            id: MsgId::new(ProcessId::new(0), 0),
+            origin: ProcessId::new(0),
             payload: PhaseIIMsg {
                 epoch: 0,
                 settled: 0,
             },
         });
-        deliver(&mut server, ProcessId(0), phase2);
+        deliver(&mut server, ProcessId::new(0), phase2);
         assert_eq!(server.phase(), Phase::Conservative);
 
         // The decision mentions `rid`, whose payload has NOT arrived here yet.
@@ -2180,9 +2180,9 @@ mod tests {
         };
         let decide = OarWire::Consensus(ConsensusWire::Decide {
             instance: 0,
-            value: vec![(ProcessId(0), decision_value)],
+            value: vec![(ProcessId::new(0), decision_value)],
         });
-        deliver(&mut server, ProcessId(0), decide);
+        deliver(&mut server, ProcessId::new(0), decide);
         assert_eq!(
             server.epoch(),
             0,
@@ -2192,7 +2192,7 @@ mod tests {
 
         // The delayed payload finally arrives (relayed by server 0): the
         // decision applies immediately, on this very delivery.
-        let actions = deliver(&mut server, ProcessId(0), request);
+        let actions = deliver(&mut server, ProcessId::new(0), request);
         assert_eq!(server.epoch(), 1, "decision applied on payload arrival");
         assert!(server.stable_sequence().contains(&rid));
         let replied_to_client = actions.iter().any(|a| match a {
@@ -2212,12 +2212,12 @@ mod tests {
             ..OarConfig::default()
         };
         let mut server = OarServer::new(
-            ProcessId(0),
-            vec![ProcessId(0)],
+            ProcessId::new(0),
+            vec![ProcessId::new(0)],
             config,
             CounterMachine::default(),
         );
-        let client = ProcessId(9);
+        let client = ProcessId::new(9);
         let (rid, request) = request_wire(client, 0, 3);
         deliver(&mut server, client, request);
 
@@ -2245,15 +2245,15 @@ mod tests {
     /// ordered: the misroute ceiling of the sharded deployment layer.
     #[test]
     fn misrouted_requests_are_counted_and_dropped() {
-        let config = OarConfig::default().for_group(oar_simnet::GroupId(1));
+        let config = OarConfig::default().for_group(oar_simnet::GroupId::new(1));
         let mut server = OarServer::new(
-            ProcessId(0),
-            vec![ProcessId(0)],
+            ProcessId::new(0),
+            vec![ProcessId::new(0)],
             config,
             CounterMachine::default(),
         );
-        assert_eq!(server.group_id(), oar_simnet::GroupId(1));
-        let client = ProcessId(9);
+        assert_eq!(server.group_id(), oar_simnet::GroupId::new(1));
+        let client = ProcessId::new(9);
         // request_wire stamps g0; this server is g1.
         let (rid, request) = request_wire(client, 0, 7);
         let actions = deliver(&mut server, client, request);
@@ -2272,17 +2272,25 @@ mod tests {
     /// Peers that lag hold the collector back; suspected peers do not.
     #[test]
     fn acked_watermark_tracks_live_peers_only() {
-        let group: Vec<ProcessId> = (0..3).map(ProcessId).collect();
+        let group: Vec<ProcessId> = (0..3).map(ProcessId::new).collect();
         let mut server = OarServer::new(
-            ProcessId(0),
+            ProcessId::new(0),
             group,
             OarConfig::default(),
             CounterMachine::default(),
         );
         assert_eq!(server.acked_watermark(), 0, "nothing heard yet");
-        deliver(&mut server, ProcessId(1), OarWire::Watermark { settled: 4 });
+        deliver(
+            &mut server,
+            ProcessId::new(1),
+            OarWire::Watermark { settled: 4 },
+        );
         assert_eq!(server.acked_watermark(), 0, "p2 still unheard");
-        deliver(&mut server, ProcessId(2), OarWire::Watermark { settled: 2 });
+        deliver(
+            &mut server,
+            ProcessId::new(2),
+            OarWire::Watermark { settled: 2 },
+        );
         // min(self = 0, p1 = 4, p2 = 2): the server's own epoch bounds it.
         assert_eq!(server.acked_watermark(), 0);
     }
@@ -2297,12 +2305,12 @@ mod tests {
             ..OarConfig::default()
         };
         let mut server = OarServer::new(
-            ProcessId(0),
-            vec![ProcessId(0)],
+            ProcessId::new(0),
+            vec![ProcessId::new(0)],
             config,
             CounterMachine::default(),
         );
-        let client = ProcessId(9);
+        let client = ProcessId::new(9);
         for seq in 0..4 {
             let (_, request) = request_wire(client, seq, 1);
             deliver(&mut server, client, request);
@@ -2335,12 +2343,12 @@ mod tests {
             ..OarConfig::default()
         };
         let mut donor = OarServer::new(
-            ProcessId(0),
-            vec![ProcessId(0)],
+            ProcessId::new(0),
+            vec![ProcessId::new(0)],
             config,
             CounterMachine::default(),
         );
-        let client = ProcessId(9);
+        let client = ProcessId::new(9);
         for seq in 0..3 {
             let (_, request) = request_wire(client, seq, 2);
             deliver(&mut donor, client, request);
@@ -2349,32 +2357,34 @@ mod tests {
         assert_eq!(donor.total_settled(), 3);
 
         let mut rejoiner = OarServer::recovering(
-            ProcessId(1),
-            vec![ProcessId(0), ProcessId(1)],
+            ProcessId::new(1),
+            vec![ProcessId::new(0), ProcessId::new(1)],
             config,
             CounterMachine::default(),
         );
         assert!(rejoiner.is_recovering());
         // Traffic during the transfer window is buffered, not processed.
         let (_, late_request) = request_wire(client, 3, 2);
-        deliver(&mut rejoiner, ProcessId(0), late_request);
+        deliver(&mut rejoiner, ProcessId::new(0), late_request);
         assert_eq!(rejoiner.stats().opt_delivered, 0);
         assert_eq!(rejoiner.payloads_len(), 0);
 
         // Pull the transfer out of the donor and feed it to the rejoiner.
         let actions = deliver(
             &mut donor,
-            ProcessId(1),
+            ProcessId::new(1),
             OarWire::CatchUpRequest { attempt: 0 },
         );
         let reply = actions
             .iter()
             .find_map(|a| match sent(a) {
-                Some((ProcessId(1), msg @ OarWire::CatchUpReply(_))) => Some(msg.clone()),
+                Some((to, msg @ OarWire::CatchUpReply(_))) if to == ProcessId::new(1) => {
+                    Some(msg.clone())
+                }
                 _ => None,
             })
             .expect("donor must answer with a CatchUpReply");
-        let actions = deliver(&mut rejoiner, ProcessId(0), reply);
+        let actions = deliver(&mut rejoiner, ProcessId::new(0), reply);
 
         assert!(!rejoiner.is_recovering());
         assert_eq!(rejoiner.a_base(), 2, "snapshot adopted, not full replay");
@@ -2409,12 +2419,12 @@ mod tests {
             ..OarConfig::default()
         };
         let mut donor = OarServer::new(
-            ProcessId(0),
-            vec![ProcessId(0)],
+            ProcessId::new(0),
+            vec![ProcessId::new(0)],
             config,
             CounterMachine::default(),
         );
-        let client = ProcessId(9);
+        let client = ProcessId::new(9);
         for seq in 0..2 {
             let (_, request) = request_wire(client, seq, 2);
             deliver(&mut donor, client, request);
@@ -2423,53 +2433,55 @@ mod tests {
 
         // Rejoiner catches up into epoch 2, whose sequencer is the donor.
         let mut rejoiner = OarServer::recovering(
-            ProcessId(1),
-            vec![ProcessId(0), ProcessId(1)],
+            ProcessId::new(1),
+            vec![ProcessId::new(0), ProcessId::new(1)],
             config,
             CounterMachine::default(),
         );
         let actions = deliver(
             &mut donor,
-            ProcessId(1),
+            ProcessId::new(1),
             OarWire::CatchUpRequest { attempt: 0 },
         );
         let reply = actions
             .iter()
             .find_map(|a| match sent(a) {
-                Some((ProcessId(1), msg @ OarWire::CatchUpReply(_))) => Some(msg.clone()),
+                Some((to, msg @ OarWire::CatchUpReply(_))) if to == ProcessId::new(1) => {
+                    Some(msg.clone())
+                }
                 _ => None,
             })
             .expect("donor must answer with a CatchUpReply");
-        deliver(&mut rejoiner, ProcessId(0), reply);
+        deliver(&mut rejoiner, ProcessId::new(0), reply);
         assert!(!rejoiner.is_recovering());
         assert_eq!(rejoiner.epoch(), 2);
         assert_eq!(rejoiner.phase(), Phase::Optimistic);
-        assert_eq!(rejoiner.current_sequencer(), ProcessId(0));
+        assert_eq!(rejoiner.current_sequencer(), ProcessId::new(0));
 
         // A mid-epoch order batch arrives with its payload in hand: the
         // frozen rejoiner stores the payload but must not opt-deliver.
         let (rid, request) = request_wire(client, 2, 2);
-        deliver(&mut rejoiner, ProcessId(0), request);
+        deliver(&mut rejoiner, ProcessId::new(0), request);
         let order = OarWire::Order(OrderMsg {
             epoch: 2,
             order: [rid].into_iter().collect(),
             settled: 2,
         });
-        deliver(&mut rejoiner, ProcessId(0), order);
+        deliver(&mut rejoiner, ProcessId::new(0), order);
         assert_eq!(rejoiner.stats().opt_delivered, 0, "freeze must hold");
         assert!(!rejoiner.stable_sequence().contains(&rid));
 
         // The epoch closes conservatively: the decision settles the request
         // (the rejoiner's empty `O_delivered` is the trivial prefix).
         let phase2 = OarWire::PhaseII(CastWire {
-            id: MsgId::new(ProcessId(0), 99),
-            origin: ProcessId(0),
+            id: MsgId::new(ProcessId::new(0), 99),
+            origin: ProcessId::new(0),
             payload: PhaseIIMsg {
                 epoch: 2,
                 settled: 2,
             },
         });
-        deliver(&mut rejoiner, ProcessId(0), phase2);
+        deliver(&mut rejoiner, ProcessId::new(0), phase2);
         assert_eq!(rejoiner.phase(), Phase::Conservative);
         let decision_value = CnsvValue {
             o_delivered: [rid].into_iter().collect(),
@@ -2477,9 +2489,9 @@ mod tests {
         };
         let decide = OarWire::Consensus(ConsensusWire::Decide {
             instance: 2,
-            value: vec![(ProcessId(0), decision_value)],
+            value: vec![(ProcessId::new(0), decision_value)],
         });
-        deliver(&mut rejoiner, ProcessId(0), decide);
+        deliver(&mut rejoiner, ProcessId::new(0), decide);
         assert_eq!(rejoiner.epoch(), 3, "conservative close advances");
         assert!(rejoiner.stable_sequence().contains(&rid));
 
@@ -2498,8 +2510,8 @@ mod tests {
     fn rejected_catch_up_image_retries_with_next_donor() {
         let config = OarConfig::default();
         let mut rejoiner = OarServer::recovering(
-            ProcessId(2),
-            (0..3).map(ProcessId).collect(),
+            ProcessId::new(2),
+            (0..3).map(ProcessId::new).collect(),
             config,
             CounterMachine::default(),
         );
@@ -2519,7 +2531,7 @@ mod tests {
         };
         let actions = deliver(
             &mut rejoiner,
-            ProcessId(0),
+            ProcessId::new(0),
             OarWire::CatchUpReply(Box::new(reply)),
         );
         assert!(rejoiner.is_recovering(), "bad image must not end recovery");
@@ -2528,7 +2540,7 @@ mod tests {
         assert!(
             actions.iter().any(|a| matches!(
                 sent(a),
-                Some((ProcessId(1), OarWire::CatchUpRequest { attempt: 1 }))
+                Some((to, OarWire::CatchUpRequest { attempt: 1 })) if to == ProcessId::new(1)
             )),
             "rejected install must retry with the next donor"
         );
@@ -2544,12 +2556,12 @@ mod tests {
             ..OarConfig::default()
         };
         let mut server = OarServer::new(
-            ProcessId(0),
-            vec![ProcessId(0)],
+            ProcessId::new(0),
+            vec![ProcessId::new(0)],
             config,
             CounterMachine::default(),
         );
-        let client = ProcessId(9);
+        let client = ProcessId::new(9);
         let (rid, request) = request_wire(client, 0, 3);
         deliver(&mut server, client, request);
         assert_eq!(server.payloads_len(), 0, "settled payload pruned");
@@ -2558,12 +2570,12 @@ mod tests {
         // serves it.
         let actions = deliver(
             &mut server,
-            ProcessId(1),
+            ProcessId::new(1),
             OarWire::PayloadFetch { ids: vec![rid] },
         );
         let filled = actions.iter().any(|a| match sent(a) {
             Some((to, OarWire::PayloadFill { requests })) => {
-                to == ProcessId(1) && requests.len() == 1 && requests[0].id == rid
+                to == ProcessId::new(1) && requests.len() == 1 && requests[0].id == rid
             }
             _ => false,
         });

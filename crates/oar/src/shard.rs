@@ -143,9 +143,9 @@ impl ShardRouter {
     /// The group owning `key`.
     pub fn route_key(&self, key: &str) -> GroupId {
         match &self.partitioner {
-            Partitioner::Hash => GroupId((fnv1a(key) % self.num_groups as u64) as usize),
+            Partitioner::Hash => GroupId::new((fnv1a(key) % self.num_groups as u64) as usize),
             Partitioner::Range { boundaries } => {
-                GroupId(boundaries.partition_point(|b| b.as_str() <= key))
+                GroupId::new(boundaries.partition_point(|b| b.as_str() <= key))
             }
         }
     }
@@ -198,18 +198,22 @@ mod tests {
     fn hash_router_clamps_to_one_group() {
         let router = ShardRouter::hash(0);
         assert_eq!(router.num_groups(), 1);
-        assert_eq!(router.route_key("anything"), GroupId(0));
+        assert_eq!(router.route_key("anything"), GroupId::new(0));
     }
 
     #[test]
     fn range_router_routes_by_interval() {
         let router = ShardRouter::range(vec!["h".into(), "p".into()]);
         assert_eq!(router.num_groups(), 3);
-        assert_eq!(router.route_key("apple"), GroupId(0));
-        assert_eq!(router.route_key("h"), GroupId(1), "boundary owns upward");
-        assert_eq!(router.route_key("melon"), GroupId(1));
-        assert_eq!(router.route_key("p"), GroupId(2));
-        assert_eq!(router.route_key("zebra"), GroupId(2));
+        assert_eq!(router.route_key("apple"), GroupId::new(0));
+        assert_eq!(
+            router.route_key("h"),
+            GroupId::new(1),
+            "boundary owns upward"
+        );
+        assert_eq!(router.route_key("melon"), GroupId::new(1));
+        assert_eq!(router.route_key("p"), GroupId::new(2));
+        assert_eq!(router.route_key("zebra"), GroupId::new(2));
     }
 
     #[test]
@@ -235,9 +239,12 @@ mod tests {
         let router = ShardRouter::range(vec!["h".into(), "p".into()]);
         // Keys listed in reverse ownership order, with duplicates.
         let groups = router.groups_for_keys(["zebra", "apple", "melon", "ant"]);
-        assert_eq!(groups, vec![GroupId(0), GroupId(1), GroupId(2)]);
+        assert_eq!(
+            groups,
+            vec![GroupId::new(0), GroupId::new(1), GroupId::new(2)]
+        );
         assert!(router.groups_for_keys(Vec::<String>::new()).is_empty());
-        assert_eq!(router.groups_for_keys(["a", "b"]), vec![GroupId(0)]);
+        assert_eq!(router.groups_for_keys(["a", "b"]), vec![GroupId::new(0)]);
     }
 
     #[test]

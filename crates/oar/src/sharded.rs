@@ -31,20 +31,21 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use oar_channels::CastWire;
 use oar_sequence::Seq;
 use oar_simnet::{
-    Context, GroupId, NetConfig, NetStats, Process, ProcessId, Samples, SimDuration, SimTime,
-    Timer, World,
+    GroupId, NetConfig, NetStats, Process, ProcessId, Runtime, Samples, SimDuration, SimTime,
+    Timer, TimerTag, World,
 };
 
 use crate::adaptive::{PipelineController, PipelineStats};
 use crate::client::{CompletedRequest, QuorumTracker};
 use crate::config::OarConfig;
+use crate::config::{ClientConfig, PipelineMode};
 use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId};
 use crate::server::{OarServer, ServerStats};
 use crate::shard::{ShardKey, ShardRouter};
 use crate::state_machine::StateMachine;
 
 /// Timer tag used for the think-time delay between two requests.
-const NEXT_REQUEST: u64 = 2;
+const NEXT_REQUEST: TimerTag = TimerTag::NextRequest;
 
 /// Parameters of a sharded deployment.
 #[derive(Clone, Debug)]
@@ -187,13 +188,20 @@ where
         groups: Vec<Vec<ProcessId>>,
         router: ShardRouter,
         workload: Vec<S::Command>,
-        think_time: SimDuration,
+        config: ClientConfig,
     ) -> Self {
         assert_eq!(
             router.num_groups(),
             groups.len(),
             "router and deployment disagree on the group count"
         );
+        let adaptive = match config.pipeline {
+            PipelineMode::Fixed(_) => None,
+            // One adaptive window per group, each driven by that group's
+            // reported delivery-batch sizes, so a heavily loaded group
+            // pipelines deeply while a light one stays closed-loop.
+            PipelineMode::Adaptive(cap) => Some(GroupPipelines::new(&groups, cap)),
+        };
         ShardedClient {
             id,
             groups,
@@ -201,35 +209,13 @@ where
             workload: workload.into(),
             next_seq: 0,
             next_index: 0,
-            think_time,
-            start_delay: SimDuration::ZERO,
-            pipeline: 1,
-            adaptive: None,
+            think_time: config.think_time,
+            start_delay: config.start_delay,
+            pipeline: config.initial_window().max(1),
+            adaptive,
             outstanding: BTreeMap::new(),
             completed: Vec::new(),
         }
-    }
-
-    /// Delays the first request by `delay` (used to stagger clients).
-    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
-        self.start_delay = delay;
-        self
-    }
-
-    /// Allows up to `depth` outstanding requests across all groups (clamped
-    /// to at least 1).
-    pub fn with_pipeline(mut self, depth: usize) -> Self {
-        self.pipeline = depth.max(1);
-        self.adaptive = None;
-        self
-    }
-
-    /// Keeps one adaptive window per group, each capped at `cap` and driven
-    /// by that group's reported delivery-batch sizes, so a heavily loaded
-    /// group pipelines deeply while a light one stays closed-loop.
-    pub fn with_adaptive_pipeline(mut self, cap: usize) -> Self {
-        self.adaptive = Some(GroupPipelines::new(&self.groups, cap));
-        self
     }
 
     /// Convergence counters of group `g`'s adaptive window (`None` for a
@@ -266,7 +252,7 @@ where
     /// commands stay FIFO, so a light group's shallow window can briefly
     /// hold back traffic for a deep one, which keeps per-key submission
     /// order trivially intact.
-    fn fill_pipeline(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn fill_pipeline(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         loop {
             let Some(command) = self.workload.front() else {
                 return;
@@ -319,7 +305,7 @@ where
 
     fn handle_reply_batch(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         batch: ReplyBatch<S::Response>,
     ) {
         // Adapt the sending group's window before unpacking, so the refills
@@ -338,7 +324,7 @@ where
     /// owning group.
     fn handle_reply(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         reply: Reply<S::Response>,
     ) {
         let request = reply.request;
@@ -389,7 +375,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for ShardedClien
 where
     S::Command: ShardKey,
 {
-    fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.start_delay.is_zero() {
             self.fill_pipeline(ctx);
         } else {
@@ -399,7 +385,7 @@ where
 
     fn on_message(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         _from: ProcessId,
         msg: OarWire<S::Command, S::Response>,
     ) {
@@ -409,7 +395,7 @@ where
         // Clients ignore every other message kind.
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag == NEXT_REQUEST
             && (self.adaptive.is_some() || self.outstanding.len() < self.pipeline)
         {
@@ -418,7 +404,7 @@ where
     }
 
     fn name(&self) -> String {
-        format!("sharded-client-{}", self.id.0)
+        format!("sharded-client-{}", self.id.index())
     }
 }
 
@@ -464,19 +450,21 @@ where
         let first_client = config.num_groups * config.servers_per_group;
         let mut clients = Vec::with_capacity(config.num_clients);
         for c in 0..config.num_clients {
-            let mut client: ShardedClient<S> = ShardedClient::new(
-                ProcessId(first_client + c),
+            let mut builder = ClientConfig::builder()
+                .think_time(config.think_time)
+                .start_delay(SimDuration::from_micros(10 * c as u64));
+            builder = if config.adaptive_pipeline {
+                builder.adaptive_pipeline(config.client_pipeline)
+            } else {
+                builder.pipeline(config.client_pipeline)
+            };
+            let client: ShardedClient<S> = ShardedClient::new(
+                ProcessId::new(first_client + c),
                 groups.clone(),
                 config.router.clone(),
                 workload_for(c),
-                config.think_time,
-            )
-            .with_start_delay(SimDuration::from_micros(10 * c as u64));
-            client = if config.adaptive_pipeline {
-                client.with_adaptive_pipeline(config.client_pipeline)
-            } else {
-                client.with_pipeline(config.client_pipeline)
-            };
+                builder.build(),
+            );
             clients.push(world.add_process(client));
         }
         ShardedCluster {
@@ -617,7 +605,7 @@ where
     /// Network statistics attributed to group `g` (message sends by its
     /// servers: ordering, relays, replies, consensus, heartbeats).
     pub fn group_net_stats(&self, g: usize) -> NetStats {
-        self.world.group_stats(GroupId(g))
+        self.world.group_stats(GroupId::new(g))
     }
 
     fn all_servers(&self) -> impl Iterator<Item = ProcessId> + '_ {
@@ -688,14 +676,18 @@ pub(crate) fn build_group_servers<S: StateMachine>(
     for g in 0..config.num_groups {
         let base = g * config.servers_per_group;
         let ids: Vec<ProcessId> = (base..base + config.servers_per_group)
-            .map(ProcessId)
+            .map(ProcessId::new)
             .collect();
         for &id in &ids {
-            let server =
-                OarServer::new(id, ids.clone(), config.oar.for_group(GroupId(g)), make_sm());
+            let server = OarServer::new(
+                id,
+                ids.clone(),
+                config.oar.for_group(GroupId::new(g)),
+                make_sm(),
+            );
             let assigned = world.add_process(server);
             debug_assert_eq!(assigned, id);
-            world.assign_group(assigned, GroupId(g));
+            world.assign_group(assigned, GroupId::new(g));
         }
         groups.push(ids);
     }
@@ -728,8 +720,8 @@ pub(crate) fn check_groups_consistency<S: StateMachine>(
                 if !seen.insert(*id) {
                     return Err(format!("group {g}: server {p} delivered {id} twice"));
                 }
-                match owner_of.insert(*id, GroupId(g)) {
-                    Some(other) if other != GroupId(g) => {
+                match owner_of.insert(*id, GroupId::new(g)) {
+                    Some(other) if other != GroupId::new(g) => {
                         return Err(format!(
                             "cross-group leak: {id} delivered by groups {other} and g{g}"
                         ));

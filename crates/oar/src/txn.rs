@@ -55,11 +55,12 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use oar_channels::CastWire;
 use oar_simnet::{
-    Context, GroupId, Process, ProcessId, Samples, SimDuration, SimTime, Timer, World,
+    GroupId, Process, ProcessId, Runtime, Samples, SimDuration, SimTime, Timer, TimerTag, World,
 };
 
 use crate::adaptive::{PipelineController, PipelineStats};
 use crate::client::QuorumTracker;
+use crate::config::{ClientConfig, PipelineMode};
 use crate::message::{
     majority, OarWire, Reply, ReplyBatch, Request, RequestId, TxnEnvelope, TxnId,
 };
@@ -69,7 +70,7 @@ use crate::sharded::{build_group_servers, check_groups_consistency, ShardedConfi
 use crate::state_machine::StateMachine;
 
 /// Timer tag used for the think-time delay between two transactions.
-const NEXT_TXN: u64 = 3;
+const NEXT_TXN: TimerTag = TimerTag::NextRequest;
 
 /// Commands that can carry a whole per-group transaction partition: several
 /// ops combined into **one** command, applied atomically by one
@@ -209,13 +210,17 @@ where
         groups: Vec<Vec<ProcessId>>,
         router: ShardRouter,
         workload: Vec<Vec<S::Command>>,
-        think_time: SimDuration,
+        config: ClientConfig,
     ) -> Self {
         assert_eq!(
             router.num_groups(),
             groups.len(),
             "router and deployment disagree on the group count"
         );
+        let adaptive = match config.pipeline {
+            PipelineMode::Fixed(_) => None,
+            PipelineMode::Adaptive(cap) => Some(PipelineController::new(cap)),
+        };
         TxnClient {
             id,
             groups,
@@ -224,37 +229,14 @@ where
             next_seq: 0,
             next_txn: 0,
             next_index: 0,
-            think_time,
-            start_delay: SimDuration::ZERO,
-            pipeline: 1,
-            adaptive: None,
+            think_time: config.think_time,
+            start_delay: config.start_delay,
+            pipeline: config.initial_window().max(1),
+            adaptive,
             outstanding: BTreeMap::new(),
             request_txn: HashMap::new(),
             completed: Vec::new(),
         }
-    }
-
-    /// Delays the first transaction by `delay` (used to stagger clients).
-    pub fn with_start_delay(mut self, delay: SimDuration) -> Self {
-        self.start_delay = delay;
-        self
-    }
-
-    /// Allows up to `depth` outstanding transactions (clamped to at least 1).
-    pub fn with_pipeline(mut self, depth: usize) -> Self {
-        self.pipeline = depth.max(1);
-        self.adaptive = None;
-        self
-    }
-
-    /// Adapts the outstanding-transaction window (up to `cap`) to the
-    /// delivery-batch sizes the participating groups report on their reply
-    /// wires, like the other client flavours.
-    pub fn with_adaptive_pipeline(mut self, cap: usize) -> Self {
-        let controller = PipelineController::new(cap);
-        self.pipeline = controller.window();
-        self.adaptive = Some(controller);
-        self
     }
 
     /// Convergence counters of the adaptive transaction window (`None` for a
@@ -280,7 +262,7 @@ where
 
     /// Submits transactions until the pipeline window is full or the
     /// workload is exhausted.
-    fn fill_pipeline(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn fill_pipeline(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         while self.outstanding.len() < self.pipeline {
             let Some(ops) = self.workload.pop_front() else {
                 return;
@@ -293,7 +275,7 @@ where
     /// takes the single-group fast path) and registers the quorum trackers.
     fn submit_txn(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         ops: Vec<S::Command>,
     ) {
         assert!(!ops.is_empty(), "empty transaction");
@@ -352,7 +334,7 @@ where
 
     fn handle_reply_batch(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         batch: ReplyBatch<S::Response>,
     ) {
         // Adapt the window before unpacking, so the refills triggered by the
@@ -370,7 +352,7 @@ where
     /// participating group's quorum closes.
     fn handle_reply(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         reply: Reply<S::Response>,
     ) {
         let request = reply.request;
@@ -431,7 +413,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for TxnClient<S>
 where
     S::Command: MultiOp,
 {
-    fn on_start(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.start_delay.is_zero() {
             self.fill_pipeline(ctx);
         } else {
@@ -441,7 +423,7 @@ where
 
     fn on_message(
         &mut self,
-        ctx: &mut Context<'_, OarWire<S::Command, S::Response>>,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         _from: ProcessId,
         msg: OarWire<S::Command, S::Response>,
     ) {
@@ -451,14 +433,14 @@ where
         // Clients ignore every other message kind.
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, OarWire<S::Command, S::Response>>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>, timer: Timer) {
         if timer.tag == NEXT_TXN && self.outstanding.len() < self.pipeline {
             self.fill_pipeline(ctx);
         }
     }
 
     fn name(&self) -> String {
-        format!("txn-client-{}", self.id.0)
+        format!("txn-client-{}", self.id.index())
     }
 }
 
@@ -506,19 +488,21 @@ where
         let first_client = config.num_groups * config.servers_per_group;
         let mut clients = Vec::with_capacity(config.num_clients);
         for c in 0..config.num_clients {
-            let mut client: TxnClient<S> = TxnClient::new(
-                ProcessId(first_client + c),
+            let mut builder = ClientConfig::builder()
+                .think_time(config.think_time)
+                .start_delay(SimDuration::from_micros(10 * c as u64));
+            builder = if config.adaptive_pipeline {
+                builder.adaptive_pipeline(config.client_pipeline)
+            } else {
+                builder.pipeline(config.client_pipeline)
+            };
+            let client: TxnClient<S> = TxnClient::new(
+                ProcessId::new(first_client + c),
                 groups.clone(),
                 config.router.clone(),
                 workload_for(c),
-                config.think_time,
-            )
-            .with_start_delay(SimDuration::from_micros(10 * c as u64));
-            client = if config.adaptive_pipeline {
-                client.with_adaptive_pipeline(config.client_pipeline)
-            } else {
-                client.with_pipeline(config.client_pipeline)
-            };
+                builder.build(),
+            );
             clients.push(world.add_process(client));
         }
         TxnCluster {

@@ -1,0 +1,39 @@
+//! # oar-rtnet — real-clock threaded backend for the OAR runtime boundary
+//!
+//! The deterministic simulator (`oar-simnet`) is where the OAR propositions
+//! are *checked*; this crate is where the protocol meets a wall clock. It
+//! implements the same [`Runtime`](oar_simnet::Runtime) trait as the
+//! simulator's `Context`, so the exact same [`Process`](oar_simnet::Process)
+//! objects — servers, clients, baselines — run unchanged on either backend,
+//! with no `cfg` forks and no backend type parameter.
+//!
+//! The execution model is deliberately simple and honest:
+//!
+//! * **one OS thread per process** — callbacks of one process run in mutual
+//!   exclusion on its own thread, exactly the paper's "tasks execute in
+//!   mutual exclusion";
+//! * **in-process channels** ([`std::sync::mpsc`]) as links — unbounded,
+//!   order-preserving and lossless, i.e. the reliable FIFO channels of the
+//!   model (loss and partitions are a simulator feature; real networks are
+//!   the simulator's job to model, real *time* is this crate's);
+//! * **monotonic time** — [`std::time::Instant`] since the start of the run,
+//!   reported through [`Runtime::now`](oar_simnet::Runtime::now) as
+//!   microseconds, so protocol timeouts mean genuine wall-clock durations;
+//! * **a per-thread timer heap** — timers are armed and fired by the owning
+//!   thread itself, never cross-thread.
+//!
+//! Nothing here is deterministic: thread interleavings, channel wakeups and
+//! timer jitter are whatever the OS provides. What *is* reproducible is
+//! command generation — each process gets its own [`SimRng`](oar_simnet::SimRng)
+//! seeded from `(run seed, process id)` — which is what lets a real-clock run
+//! and a simulated run of the same workload be compared digest-for-digest
+//! (the "twin run" tests in `tests/integration`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod context;
+mod net;
+
+pub use context::RtContext;
+pub use net::{RtNet, RtReport, RunOptions};

@@ -1,0 +1,446 @@
+//! The thread-per-process driver: spawn, watch, stop, collect.
+//!
+//! [`RtNet`] mirrors the simulator's `World` API surface where it makes
+//! sense — add processes, run, inspect them afterwards by downcast — but the
+//! run model is wall-clock: a run lasts until either a hard time cap or
+//! until every process with a registered *done probe* reports done (plus a
+//! settle grace period), whichever comes first. There is no global event
+//! queue to drain and no quiescence to detect — heartbeats alone keep a real
+//! deployment busy forever.
+
+use std::any::Any;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use oar_simnet::{Process, ProcessId, SimRng, Timer};
+
+use crate::context::{RtContext, TimerWheel};
+
+/// An event delivered to a worker thread's channel.
+pub(crate) enum RtEvent<M> {
+    /// A protocol message from another process (or the process itself).
+    Msg {
+        /// The sending process.
+        from: ProcessId,
+        /// The payload.
+        msg: M,
+    },
+    /// Evaluate the done probe and report on the status channel.
+    Probe,
+    /// Leave the event loop and hand the process back for inspection.
+    Stop,
+}
+
+/// How a process states that it is done: a predicate over the concrete
+/// process type, evaluated *by the owning thread* so it never races with a
+/// callback. (Pausing threads to inspect from outside would be worse than
+/// racy: a paused process keeps aging on the wall clock, so its peers'
+/// failure detectors would suspect it en masse the moment it resumed.)
+type ProbeFn = Box<dyn Fn(&dyn Any) -> bool + Send>;
+
+struct ProcEntry<M> {
+    process: Box<dyn Process<M> + Send>,
+    probe: Option<ProbeFn>,
+}
+
+/// Knobs of one real-clock run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Hard wall-clock cap: the run stops at this duration even if probes
+    /// never all report done.
+    pub max_wall: Duration,
+    /// Extra time granted after every probe reports done, so in-flight
+    /// protocol work (conservative phase-2, watermarks) settles before the
+    /// threads stop.
+    pub grace: Duration,
+    /// Interval between probe rounds.
+    pub poll: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            max_wall: Duration::from_secs(30),
+            grace: Duration::from_millis(200),
+            poll: Duration::from_millis(10),
+        }
+    }
+}
+
+impl RunOptions {
+    /// Options for a fixed-duration run (no probes consulted): the
+    /// open-loop throughput experiments, which measure for a set time.
+    pub fn for_duration(max_wall: Duration) -> Self {
+        RunOptions {
+            max_wall,
+            grace: Duration::ZERO,
+            poll: Duration::from_millis(10),
+        }
+    }
+}
+
+/// The state of a finished run: every process (for downcast inspection),
+/// how long the run took, and whether it ended because the done probes all
+/// reported done (rather than hitting the wall-clock cap).
+pub struct RtReport<M> {
+    processes: Vec<Box<dyn Process<M> + Send>>,
+    /// Wall-clock duration of the run, from spawn to the stop broadcast.
+    pub elapsed: Duration,
+    /// `true` when every process with a done probe reported done before
+    /// [`RunOptions::max_wall`]; always `false` for runs without probes.
+    pub completed: bool,
+}
+
+impl<M> RtReport<M> {
+    /// Number of processes that took part in the run.
+    pub fn num_processes(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Borrows process `id` downcast to its concrete type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range or the process is not a `P` — both are
+    /// driver bugs, mirroring the simulator's `World::process_ref`.
+    pub fn process_ref<P: Any>(&self, id: ProcessId) -> &P {
+        self.processes
+            .get(id.index())
+            .unwrap_or_else(|| panic!("no process {id}"))
+            .as_ref()
+            .as_any()
+            .downcast_ref::<P>()
+            .unwrap_or_else(|| panic!("process {id} has a different concrete type"))
+    }
+}
+
+/// A real-clock deployment under construction: processes are added (each
+/// optionally with a done probe), then [`RtNet::run`] spawns one OS thread
+/// per process and drives the run to its stop condition.
+pub struct RtNet<M> {
+    seed: u64,
+    entries: Vec<ProcEntry<M>>,
+}
+
+impl<M: Clone + Send + 'static> RtNet<M> {
+    /// Creates an empty deployment. `seed` fixes every process's RNG (mixed
+    /// with its process id), so command generation is reproducible across
+    /// runs and across backends.
+    pub fn new(seed: u64) -> Self {
+        RtNet {
+            seed,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Adds a process with no done probe; ids are assigned densely from
+    /// zero, in insertion order, exactly like the simulator.
+    pub fn add_process(&mut self, process: impl Process<M> + Send + 'static) -> ProcessId {
+        self.push(Box::new(process), None)
+    }
+
+    /// Adds a process together with its done probe: the run may stop once
+    /// every probed process's predicate holds (see [`RunOptions`]).
+    pub fn add_process_until<P>(
+        &mut self,
+        process: P,
+        done: impl Fn(&P) -> bool + Send + 'static,
+    ) -> ProcessId
+    where
+        P: Process<M> + Send + 'static,
+    {
+        let probe: ProbeFn =
+            Box::new(move |any: &dyn Any| any.downcast_ref::<P>().is_some_and(&done));
+        self.push(Box::new(process), Some(probe))
+    }
+
+    fn push(&mut self, process: Box<dyn Process<M> + Send>, probe: Option<ProbeFn>) -> ProcessId {
+        let id = ProcessId::new(self.entries.len());
+        self.entries.push(ProcEntry { process, probe });
+        id
+    }
+
+    /// Number of processes added so far.
+    pub fn num_processes(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Spawns one thread per process, runs to the stop condition of
+    /// `options`, stops every thread and collects the processes.
+    pub fn run(self, options: RunOptions) -> RtReport<M> {
+        let seed = self.seed;
+        let mut senders = Vec::with_capacity(self.entries.len());
+        let mut receivers = Vec::with_capacity(self.entries.len());
+        for _ in &self.entries {
+            let (tx, rx) = mpsc::channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let senders = Arc::new(senders);
+        let (status_tx, status_rx) = mpsc::channel::<(ProcessId, bool)>();
+        let probed: Vec<bool> = self.entries.iter().map(|e| e.probe.is_some()).collect();
+        let start = Instant::now();
+
+        let mut handles = Vec::with_capacity(self.entries.len());
+        for (index, (entry, rx)) in self.entries.into_iter().zip(receivers).enumerate() {
+            let pid = ProcessId::new(index);
+            let senders = Arc::clone(&senders);
+            let status = status_tx.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(entry.process.name())
+                    .spawn(move || worker(pid, seed, start, entry, rx, senders, status))
+                    .expect("spawn process thread"),
+            );
+        }
+        drop(status_tx);
+
+        let completed = watch(&senders, &probed, &status_rx, start, options);
+        let elapsed = start.elapsed();
+        for sender in senders.iter() {
+            let _ = sender.send(RtEvent::Stop);
+        }
+        let processes = handles
+            .into_iter()
+            .map(|h| h.join().expect("process thread panicked"))
+            .collect();
+        RtReport {
+            processes,
+            elapsed,
+            completed,
+        }
+    }
+}
+
+/// The control loop: probes the probed processes every `poll` until either
+/// all report done (returns `true`, after the settle grace) or the
+/// wall-clock cap is hit (returns `false`).
+fn watch<M>(
+    senders: &[Sender<RtEvent<M>>],
+    probed: &[bool],
+    status_rx: &Receiver<(ProcessId, bool)>,
+    start: Instant,
+    options: RunOptions,
+) -> bool {
+    let num_probed = probed.iter().filter(|&&p| p).count();
+    if num_probed == 0 {
+        // Fixed-duration run: nothing to consult, just let the clock run.
+        let remaining = options.max_wall.saturating_sub(start.elapsed());
+        thread::sleep(remaining);
+        return false;
+    }
+    let mut done = vec![false; probed.len()];
+    while start.elapsed() < options.max_wall {
+        for (index, &is_probed) in probed.iter().enumerate() {
+            if is_probed && !done[index] {
+                let _ = senders[index].send(RtEvent::Probe);
+            }
+        }
+        let round_deadline = Instant::now() + options.poll;
+        loop {
+            let wait = round_deadline.saturating_duration_since(Instant::now());
+            match status_rx.recv_timeout(wait) {
+                Ok((pid, is_done)) => {
+                    if is_done {
+                        done[pid.index()] = true;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => return false,
+            }
+            if done.iter().zip(probed).filter(|(_, &p)| p).all(|(d, _)| *d) {
+                thread::sleep(options.grace);
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// One process's event loop: fire due timers, then wait for the next
+/// message or timer deadline, until a stop request (or a poisoned channel)
+/// ends the run. Returns the process for post-run inspection.
+fn worker<M: Clone + Send + 'static>(
+    pid: ProcessId,
+    seed: u64,
+    start: Instant,
+    entry: ProcEntry<M>,
+    rx: Receiver<RtEvent<M>>,
+    senders: Arc<Vec<Sender<RtEvent<M>>>>,
+    status: Sender<(ProcessId, bool)>,
+) -> Box<dyn Process<M> + Send> {
+    let ProcEntry { mut process, probe } = entry;
+    // The same golden-ratio mix the servers use for their id-salted hashes;
+    // each process replays the same command stream on every backend.
+    let mut rng = SimRng::new(seed ^ (pid.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut timers = TimerWheel::default();
+    // An idle cap on channel waits, so a thread with no armed timers still
+    // revisits its loop at a human-scale rhythm.
+    const MAX_IDLE: Duration = Duration::from_millis(100);
+
+    {
+        let mut ctx = RtContext::new(start, pid, &mut rng, &senders, &mut timers);
+        process.on_start(&mut ctx);
+    }
+    loop {
+        let now = Instant::now();
+        for (id, tag) in timers.due(now) {
+            let mut ctx = RtContext::new(start, pid, &mut rng, &senders, &mut timers);
+            process.on_timer(&mut ctx, Timer { id, tag });
+        }
+        let wait = match timers.next_deadline() {
+            Some(deadline) => deadline
+                .saturating_duration_since(Instant::now())
+                .min(MAX_IDLE),
+            None => MAX_IDLE,
+        };
+        match rx.recv_timeout(wait) {
+            Ok(RtEvent::Msg { from, msg }) => {
+                let mut ctx = RtContext::new(start, pid, &mut rng, &senders, &mut timers);
+                process.on_message(&mut ctx, from, msg);
+            }
+            Ok(RtEvent::Probe) => {
+                let is_done = probe.as_ref().is_none_or(|p| p(process.as_ref().as_any()));
+                let _ = status.send((pid, is_done));
+            }
+            Ok(RtEvent::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    process
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oar_simnet::{Runtime, SimDuration, TimerTag};
+
+    #[derive(Debug)]
+    enum Msg {
+        Ping(u32),
+        Pong(u32),
+    }
+
+    impl Clone for Msg {
+        fn clone(&self) -> Self {
+            match self {
+                Msg::Ping(n) => Msg::Ping(*n),
+                Msg::Pong(n) => Msg::Pong(*n),
+            }
+        }
+    }
+
+    struct Pinger {
+        peer: ProcessId,
+        rounds: u32,
+        got: Vec<u32>,
+    }
+
+    impl Process<Msg> for Pinger {
+        fn on_start(&mut self, rt: &mut dyn Runtime<Msg>) {
+            rt.send(self.peer, Msg::Ping(0));
+        }
+        fn on_message(&mut self, rt: &mut dyn Runtime<Msg>, _from: ProcessId, msg: Msg) {
+            if let Msg::Pong(n) = msg {
+                self.got.push(n);
+                if n + 1 < self.rounds {
+                    rt.send(self.peer, Msg::Ping(n + 1));
+                }
+            }
+        }
+    }
+
+    struct Ponger;
+
+    impl Process<Msg> for Ponger {
+        fn on_message(&mut self, rt: &mut dyn Runtime<Msg>, from: ProcessId, msg: Msg) {
+            if let Msg::Ping(n) = msg {
+                rt.send(from, Msg::Pong(n));
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_across_threads() {
+        let mut net: RtNet<Msg> = RtNet::new(7);
+        let pinger = net.add_process_until(
+            Pinger {
+                peer: ProcessId::new(1),
+                rounds: 50,
+                got: Vec::new(),
+            },
+            |p: &Pinger| p.got.len() == 50,
+        );
+        let ponger = net.add_process(Ponger);
+        assert_eq!(pinger, ProcessId::new(0));
+        assert_eq!(ponger, ProcessId::new(1));
+        let report = net.run(RunOptions {
+            max_wall: Duration::from_secs(10),
+            grace: Duration::ZERO,
+            poll: Duration::from_millis(1),
+        });
+        assert!(
+            report.completed,
+            "ping-pong must finish well before the cap"
+        );
+        let p = report.process_ref::<Pinger>(pinger);
+        assert_eq!(p.got, (0..50).collect::<Vec<_>>());
+    }
+
+    struct TimerBox {
+        fired: Vec<TimerTag>,
+        cancelled: Option<oar_simnet::TimerId>,
+    }
+
+    impl Process<Msg> for TimerBox {
+        fn on_start(&mut self, rt: &mut dyn Runtime<Msg>) {
+            rt.set_timer(SimDuration::from_millis(5), TimerTag::Custom(1));
+            let doomed = rt.set_timer(SimDuration::from_millis(10), TimerTag::Custom(2));
+            rt.set_timer(SimDuration::from_millis(15), TimerTag::Custom(3));
+            self.cancelled = Some(doomed);
+        }
+        fn on_message(&mut self, _rt: &mut dyn Runtime<Msg>, _from: ProcessId, _msg: Msg) {}
+        fn on_timer(&mut self, rt: &mut dyn Runtime<Msg>, timer: Timer) {
+            if timer.tag == TimerTag::Custom(1) {
+                if let Some(doomed) = self.cancelled {
+                    rt.cancel_timer(doomed);
+                }
+            }
+            self.fired.push(timer.tag);
+        }
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel() {
+        let mut net: RtNet<Msg> = RtNet::new(7);
+        let id = net.add_process_until(
+            TimerBox {
+                fired: Vec::new(),
+                cancelled: None,
+            },
+            |t: &TimerBox| t.fired.len() == 2,
+        );
+        let report = net.run(RunOptions {
+            max_wall: Duration::from_secs(10),
+            grace: Duration::ZERO,
+            poll: Duration::from_millis(1),
+        });
+        assert!(report.completed);
+        let t = report.process_ref::<TimerBox>(id);
+        assert_eq!(t.fired, vec![TimerTag::Custom(1), TimerTag::Custom(3)]);
+    }
+
+    #[test]
+    fn fixed_duration_run_stops_at_the_cap() {
+        let mut net: RtNet<Msg> = RtNet::new(7);
+        net.add_process(Ponger);
+        let cap = Duration::from_millis(50);
+        let report = net.run(RunOptions::for_duration(cap));
+        assert!(!report.completed);
+        assert!(report.elapsed >= cap);
+        assert_eq!(report.num_processes(), 1);
+    }
+}

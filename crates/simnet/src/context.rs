@@ -6,18 +6,19 @@
 //! deterministic and easy to test in isolation.
 //!
 //! Multicast payloads are reference-counted from the moment they are
-//! recorded: [`Context::send_all`] shares **one** allocation of the payload
+//! recorded: [`Runtime::send_all`] shares **one** allocation of the payload
 //! across all recipients instead of cloning it per destination, and the
 //! simulator only materialises a private copy at actual delivery (see
 //! `world.rs`). For broadcast-heavy protocols — e.g. a sequencer shipping a
 //! batched ordering message to the whole group — this removes the
 //! per-recipient payload clone from the hot path entirely. Unicast sends
-//! ([`Context::send`]) keep the payload owned, so they stay allocation-free.
+//! ([`Runtime::send`]) keep the payload owned, so they stay allocation-free.
 
 use std::sync::Arc;
 
 use crate::process::{ProcessId, TimerId};
 use crate::rng::SimRng;
+use crate::runtime::{Runtime, TimerTag};
 use crate::time::{SimDuration, SimTime};
 
 /// A message payload travelling through the simulator: owned for unicast
@@ -68,7 +69,7 @@ pub enum Action<M> {
         /// Delay until the timer fires.
         delay: SimDuration,
         /// Caller-chosen tag.
-        tag: u64,
+        tag: TimerTag,
     },
     /// Cancel a previously armed timer.
     CancelTimer {
@@ -109,26 +110,31 @@ impl<'a, M> Context<'a, M> {
             next_timer_id,
         }
     }
+}
 
+/// The simulator's implementation of the runtime boundary: every operation is
+/// buffered as an [`Action`] and applied by the [`World`](crate::World) after
+/// the callback returns, which keeps process callbacks pure and replayable.
+impl<M> Runtime<M> for Context<'_, M> {
     /// The current simulated time.
-    pub fn now(&self) -> SimTime {
+    fn now(&self) -> SimTime {
         self.now
     }
 
     /// The identifier of the process running this callback.
-    pub fn id(&self) -> ProcessId {
+    fn id(&self) -> ProcessId {
         self.self_id
     }
 
     /// The simulation's deterministic random number generator.
-    pub fn rng(&mut self) -> &mut SimRng {
+    fn rng(&mut self) -> &mut SimRng {
         self.rng
     }
 
     /// Sends `msg` to `to`. Sending to oneself is allowed and delivered through
     /// the network like any other message (after `local_latency`). The payload
     /// stays owned end to end — no extra allocation.
-    pub fn send(&mut self, to: ProcessId, msg: M) {
+    fn send(&mut self, to: ProcessId, msg: M) {
         self.actions.push(Action::Send {
             to,
             msg: Payload::Owned(msg),
@@ -140,7 +146,7 @@ impl<'a, M> Context<'a, M> {
     /// count across all recipients; the simulator clones it only at delivery
     /// (and not at all for the last recipient, or for messages that are
     /// dropped by the network).
-    pub fn send_all(&mut self, targets: &[ProcessId], msg: M) {
+    fn send_all(&mut self, targets: &[ProcessId], msg: M) {
         let shared = Arc::new(msg);
         for &to in targets {
             self.actions.push(Action::Send {
@@ -153,7 +159,7 @@ impl<'a, M> Context<'a, M> {
     /// Arms a timer that fires after `delay`; the returned [`TimerId`] can be
     /// used to cancel it. `tag` is returned verbatim in `on_timer` and lets a
     /// process multiplex several timer purposes.
-    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) -> TimerId {
+    fn set_timer(&mut self, delay: SimDuration, tag: TimerTag) -> TimerId {
         let id = TimerId(*self.next_timer_id);
         *self.next_timer_id += 1;
         self.actions.push(Action::SetTimer { id, delay, tag });
@@ -162,13 +168,13 @@ impl<'a, M> Context<'a, M> {
 
     /// Cancels a previously armed timer. Cancelling a timer that already fired
     /// or was already cancelled is a no-op.
-    pub fn cancel_timer(&mut self, id: TimerId) {
+    fn cancel_timer(&mut self, id: TimerId) {
         self.actions.push(Action::CancelTimer { id });
     }
 
     /// Records a protocol-level annotation in the simulation trace.
-    pub fn annotate(&mut self, text: impl Into<String>) {
-        self.actions.push(Action::Annotate(text.into()));
+    fn annotate(&mut self, text: String) {
+        self.actions.push(Action::Annotate(text));
     }
 }
 
@@ -193,9 +199,9 @@ mod tests {
 
         ctx.send(ProcessId(0), 10);
         ctx.send_all(&[ProcessId(0), ProcessId(1)], 11);
-        let t = ctx.set_timer(SimDuration::from_millis(1), 99);
+        let t = ctx.set_timer(SimDuration::from_millis(1), TimerTag::Custom(99));
         ctx.cancel_timer(t);
-        ctx.annotate("hello");
+        ctx.annotate("hello".to_string());
         let _ = ctx.rng().unit();
 
         assert_eq!(actions.len(), 6);
@@ -219,7 +225,7 @@ mod tests {
             actions[3],
             Action::SetTimer {
                 id: TimerId(0),
-                tag: 99,
+                tag: TimerTag::Custom(99),
                 ..
             }
         ));
@@ -280,8 +286,8 @@ mod tests {
             &mut actions,
             &mut next_timer,
         );
-        let a = ctx.set_timer(SimDuration::from_millis(1), 0);
-        let b = ctx.set_timer(SimDuration::from_millis(1), 0);
+        let a = ctx.set_timer(SimDuration::from_millis(1), TimerTag::Custom(0));
+        let b = ctx.set_timer(SimDuration::from_millis(1), TimerTag::Custom(0));
         assert_ne!(a, b);
     }
 }

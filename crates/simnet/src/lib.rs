@@ -10,8 +10,11 @@
 //!
 //! * every protocol participant is a [`Process`] — a non-blocking, event-driven
 //!   state machine reacting to `on_start` / `on_message` / `on_timer`;
-//! * processes interact with the world only through a [`Context`] (send a
-//!   message, set a timer, annotate the trace);
+//! * processes interact with the world only through the [`Runtime`] trait
+//!   (send a message, set a timer, annotate the trace), whose simulator
+//!   implementation is the action-buffering [`Context`]. The same trait is
+//!   implemented by the real-clock threaded backend (`oar-rtnet`), so
+//!   protocol code is runtime-agnostic;
 //! * the [`World`] owns the event queue, the [`Network`] (latency models,
 //!   message loss, partitions) and a seeded RNG, so that every run is exactly
 //!   reproducible from `(configuration, seed)`.
@@ -22,11 +25,11 @@
 //! wrong suspicions.
 //!
 //! ```
-//! use oar_simnet::{Context, NetConfig, Process, ProcessId, SimTime, World};
+//! use oar_simnet::{NetConfig, Process, ProcessId, Runtime, SimTime, World};
 //!
 //! struct Counter { seen: usize }
 //! impl Process<&'static str> for Counter {
-//!     fn on_message(&mut self, _ctx: &mut Context<'_, &'static str>, _from: ProcessId, _msg: &'static str) {
+//!     fn on_message(&mut self, _rt: &mut dyn Runtime<&'static str>, _from: ProcessId, _msg: &'static str) {
 //!         self.seen += 1;
 //!     }
 //! }
@@ -48,6 +51,7 @@ pub mod metrics;
 pub mod network;
 pub mod process;
 pub mod rng;
+pub mod runtime;
 pub mod time;
 pub mod trace;
 pub mod world;
@@ -58,6 +62,7 @@ pub use metrics::{BucketHistogram, PeakGauge, Samples, Summary};
 pub use network::{Network, Routing};
 pub use process::{AsAny, GroupId, Process, ProcessId, Timer, TimerId};
 pub use rng::SimRng;
+pub use runtime::{Runtime, TimerTag};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, NetStats, TraceEvent, TraceKind, Tracer};
 pub use world::{horizon_for, ProcessCall, ProcessFactory, World, DEFAULT_HORIZON};

@@ -1,25 +1,36 @@
-//! Process abstraction: the unit of computation driven by the simulator.
+//! Process abstraction: the unit of computation driven by a runtime.
 //!
 //! A [`Process`] is an event-driven state machine. It never blocks: it reacts to
 //! `on_start`, `on_message` and `on_timer` callbacks and emits actions (send a
-//! message, set a timer, …) through the [`Context`] it is given.
-//!
-//! [`Context`]: crate::Context
+//! message, set a timer, …) through the [`Runtime`] it is given. The same
+//! process object runs unmodified on the deterministic simulator
+//! ([`World`](crate::World)) and on the real-clock threaded backend (the
+//! `oar-rtnet` crate) — the runtime boundary is the trait, not the process.
 
 use std::any::Any;
 use std::fmt;
 
-use crate::context::Context;
+use crate::runtime::{Runtime, TimerTag};
 
-/// Identifier of a process inside a simulation [`World`](crate::World).
+/// Identifier of a process inside a deployment.
 ///
 /// Identifiers are assigned densely, in the order processes are added, starting
 /// at zero. The OAR protocol uses the position of a server in `Π` as its
 /// identity (e.g. for the rotating sequencer), which maps directly onto this.
+///
+/// The field is opaque: backends assign ids ([`crate::World::add_process`]
+/// and the rtnet equivalent return them), and everyone else goes through
+/// [`ProcessId::new`] / [`ProcessId::index`] — process code cannot pattern
+/// its way into the representation.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct ProcessId(pub usize);
+pub struct ProcessId(pub(crate) usize);
 
 impl ProcessId {
+    /// A process id with the given numeric index.
+    pub const fn new(index: usize) -> Self {
+        ProcessId(index)
+    }
+
     /// The numeric index of the process.
     pub const fn index(self) -> usize {
         self.0
@@ -53,11 +64,19 @@ impl From<usize> for ProcessId {
 /// assertions and per-group metrics ([`World::assign_group`]), never for
 /// routing — groups share one network.
 ///
+/// Like [`ProcessId`], the field is opaque: construct with [`GroupId::new`],
+/// read with [`GroupId::index`].
+///
 /// [`World::assign_group`]: crate::World::assign_group
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
-pub struct GroupId(pub usize);
+pub struct GroupId(pub(crate) usize);
 
 impl GroupId {
+    /// A group id with the given numeric index.
+    pub const fn new(index: usize) -> Self {
+        GroupId(index)
+    }
+
     /// The numeric index of the group.
     pub const fn index(self) -> usize {
         self.0
@@ -82,9 +101,7 @@ impl From<usize> for GroupId {
     }
 }
 
-/// Identifier of a timer set through [`Context::set_timer`].
-///
-/// [`Context::set_timer`]: crate::Context::set_timer
+/// Identifier of a timer set through [`Runtime::set_timer`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TimerId(pub u64);
 
@@ -94,7 +111,7 @@ pub struct Timer {
     /// The identifier returned by `set_timer`.
     pub id: TimerId,
     /// The caller-chosen tag, used to distinguish timer purposes.
-    pub tag: u64,
+    pub tag: TimerTag,
 }
 
 /// Object-safe helper for downcasting processes to their concrete type.
@@ -121,18 +138,20 @@ impl<T: Any> AsAny for T {
 ///
 /// All callbacks run to completion without blocking ("tasks execute in mutual
 /// exclusion" in the paper's words); the only way to affect the outside world
-/// is through the [`Context`].
+/// is through the [`Runtime`] handed to each callback. Taking the runtime as
+/// a trait object keeps `Process<M>` itself object-safe, which is how both
+/// backends store heterogeneous process collections.
 pub trait Process<M>: AsAny {
-    /// Called once, when the simulation starts (before any message delivery).
-    fn on_start(&mut self, _ctx: &mut Context<'_, M>) {}
+    /// Called once, when the deployment starts (before any message delivery).
+    fn on_start(&mut self, _rt: &mut dyn Runtime<M>) {}
 
     /// Called when a message from `from` is delivered to this process.
-    fn on_message(&mut self, ctx: &mut Context<'_, M>, from: ProcessId, msg: M);
+    fn on_message(&mut self, rt: &mut dyn Runtime<M>, from: ProcessId, msg: M);
 
     /// Called when a timer previously set by this process fires.
-    fn on_timer(&mut self, _ctx: &mut Context<'_, M>, _timer: Timer) {}
+    fn on_timer(&mut self, _rt: &mut dyn Runtime<M>, _timer: Timer) {}
 
-    /// Called once if the simulator crashes this process; after this call the
+    /// Called once if the runtime crashes this process; after this call the
     /// process receives no further events. Useful to flush statistics.
     fn on_crash(&mut self) {}
 
@@ -148,26 +167,26 @@ mod tests {
 
     struct Dummy;
     impl Process<u32> for Dummy {
-        fn on_message(&mut self, _ctx: &mut Context<'_, u32>, _from: ProcessId, _msg: u32) {}
+        fn on_message(&mut self, _rt: &mut dyn Runtime<u32>, _from: ProcessId, _msg: u32) {}
     }
 
     #[test]
     fn process_id_display_and_index() {
-        let p = ProcessId(3);
+        let p = ProcessId::new(3);
         assert_eq!(p.index(), 3);
         assert_eq!(format!("{p}"), "p3");
         assert_eq!(format!("{p:?}"), "p3");
-        assert_eq!(ProcessId::from(7), ProcessId(7));
+        assert_eq!(ProcessId::from(7), ProcessId::new(7));
     }
 
     #[test]
     fn group_id_display_and_index() {
-        let g = GroupId(2);
+        let g = GroupId::new(2);
         assert_eq!(g.index(), 2);
         assert_eq!(format!("{g}"), "g2");
         assert_eq!(format!("{g:?}"), "g2");
-        assert_eq!(GroupId::from(5), GroupId(5));
-        assert_eq!(GroupId::default(), GroupId(0));
+        assert_eq!(GroupId::from(5), GroupId::new(5));
+        assert_eq!(GroupId::default(), GroupId::new(0));
     }
 
     #[test]

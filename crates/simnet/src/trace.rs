@@ -2,10 +2,10 @@
 //!
 //! The tracer records network-level events (sends, deliveries, drops, crashes,
 //! partitions) and protocol-level annotations emitted by processes via
-//! [`Context::annotate`]. Traces are the raw material for the figure
+//! [`Runtime::annotate`]. Traces are the raw material for the figure
 //! reproductions (Figures 1–4 of the paper) and for the experiment harness.
 //!
-//! [`Context::annotate`]: crate::Context::annotate
+//! [`Runtime::annotate`]: crate::Runtime::annotate
 
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;

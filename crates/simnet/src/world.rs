@@ -10,6 +10,7 @@ use crate::context::{Action, Context, Payload};
 use crate::network::{Network, Routing};
 use crate::process::{GroupId, Process, ProcessId, Timer, TimerId};
 use crate::rng::SimRng;
+use crate::runtime::TimerTag;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{DropReason, NetStats, TraceKind, Tracer};
 
@@ -39,7 +40,7 @@ enum EventKind<M> {
     Timer {
         at: ProcessId,
         id: TimerId,
-        tag: u64,
+        tag: TimerTag,
         /// Owner incarnation when the timer was armed: timers armed before a
         /// crash never fire into the restarted process.
         incarnation: u64,
@@ -109,11 +110,11 @@ struct HeldMessage<M> {
 /// # Examples
 ///
 /// ```
-/// use oar_simnet::{Context, NetConfig, Process, ProcessId, SimTime, World};
+/// use oar_simnet::{NetConfig, Process, ProcessId, Runtime, SimTime, World};
 ///
 /// struct Echo;
 /// impl Process<u32> for Echo {
-///     fn on_message(&mut self, ctx: &mut Context<'_, u32>, from: ProcessId, msg: u32) {
+///     fn on_message(&mut self, ctx: &mut dyn Runtime<u32>, from: ProcessId, msg: u32) {
 ///         if msg < 3 {
 ///             ctx.send(from, msg + 1);
 ///         }
@@ -793,6 +794,7 @@ pub fn horizon_for(base: SimTime, per_message: SimDuration, messages: u64) -> Si
 mod tests {
     use super::*;
     use crate::config::PartitionMode;
+    use crate::runtime::Runtime;
 
     #[derive(Debug, Clone, PartialEq)]
     enum Msg {
@@ -820,7 +822,7 @@ mod tests {
     }
 
     impl Process<Msg> for PingPong {
-        fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        fn on_start(&mut self, ctx: &mut dyn Runtime<Msg>) {
             for i in 0..self.pings_to_send {
                 for &peer in &self.peers {
                     ctx.send(peer, Msg::Ping(i));
@@ -828,7 +830,7 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, msg: Msg) {
+        fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, from: ProcessId, msg: Msg) {
             self.deliveries.push((from, msg.clone()));
             match msg {
                 Msg::Ping(i) => {
@@ -985,16 +987,16 @@ mod tests {
     fn timers_armed_before_a_crash_never_fire_into_the_new_incarnation() {
         struct TickProc {
             period: SimDuration,
-            fired: Vec<u64>,
+            fired: Vec<TimerTag>,
         }
         impl Process<Msg> for TickProc {
-            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-                ctx.set_timer(self.period, 7);
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Msg>) {
+                ctx.set_timer(self.period, TimerTag::Custom(7));
             }
-            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcessId, _msg: Msg) {}
-            fn on_timer(&mut self, ctx: &mut Context<'_, Msg>, timer: Timer) {
+            fn on_message(&mut self, _ctx: &mut dyn Runtime<Msg>, _from: ProcessId, _msg: Msg) {}
+            fn on_timer(&mut self, ctx: &mut dyn Runtime<Msg>, timer: Timer) {
                 self.fired.push(timer.tag);
-                ctx.set_timer(self.period, 7);
+                ctx.set_timer(self.period, TimerTag::Custom(7));
             }
         }
         let mut world: World<Msg> = World::new(NetConfig::lan(), 23);
@@ -1013,7 +1015,10 @@ mod tests {
             })
         });
         world.run_until(SimTime::from_millis(50));
-        assert_eq!(world.process_ref::<TickProc>(p).fired, vec![7]);
+        assert_eq!(
+            world.process_ref::<TickProc>(p).fired,
+            vec![TimerTag::Custom(7)]
+        );
         assert!(world.now() >= SimTime::from_millis(46));
     }
 
@@ -1099,24 +1104,27 @@ mod tests {
     #[test]
     fn timers_fire_and_can_be_cancelled() {
         struct TimerProc {
-            fired: Vec<u64>,
+            fired: Vec<TimerTag>,
         }
         impl Process<Msg> for TimerProc {
-            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-                let _keep = ctx.set_timer(SimDuration::from_millis(1), 1);
-                let cancel = ctx.set_timer(SimDuration::from_millis(2), 2);
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Msg>) {
+                let _keep = ctx.set_timer(SimDuration::from_millis(1), TimerTag::Custom(1));
+                let cancel = ctx.set_timer(SimDuration::from_millis(2), TimerTag::Custom(2));
                 ctx.cancel_timer(cancel);
-                let _keep2 = ctx.set_timer(SimDuration::from_millis(3), 3);
+                let _keep2 = ctx.set_timer(SimDuration::from_millis(3), TimerTag::Custom(3));
             }
-            fn on_message(&mut self, _ctx: &mut Context<'_, Msg>, _from: ProcessId, _msg: Msg) {}
-            fn on_timer(&mut self, _ctx: &mut Context<'_, Msg>, timer: Timer) {
+            fn on_message(&mut self, _ctx: &mut dyn Runtime<Msg>, _from: ProcessId, _msg: Msg) {}
+            fn on_timer(&mut self, _ctx: &mut dyn Runtime<Msg>, timer: Timer) {
                 self.fired.push(timer.tag);
             }
         }
         let mut world: World<Msg> = World::new(NetConfig::lan(), 10);
         let p = world.add_process(TimerProc { fired: Vec::new() });
         world.run_until_quiescent(SimTime::from_secs(1));
-        assert_eq!(world.process_ref::<TimerProc>(p).fired, vec![1, 3]);
+        assert_eq!(
+            world.process_ref::<TimerProc>(p).fired,
+            vec![TimerTag::Custom(1), TimerTag::Custom(3)]
+        );
     }
 
     #[test]
@@ -1124,12 +1132,12 @@ mod tests {
         // Two processes ping-ponging forever.
         struct Forever;
         impl Process<Msg> for Forever {
-            fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Msg>) {
                 if ctx.id() == ProcessId(0) {
                     ctx.send(ProcessId(1), Msg::Ping(0));
                 }
             }
-            fn on_message(&mut self, ctx: &mut Context<'_, Msg>, from: ProcessId, _msg: Msg) {
+            fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, from: ProcessId, _msg: Msg) {
                 ctx.send(from, Msg::Ping(0));
             }
         }

@@ -59,7 +59,7 @@ fn main() {
     // Crash the current sequencer (server 0) while the workload is in flight.
     cluster
         .world
-        .schedule_crash(ProcessId(0), SimTime::from_millis(3));
+        .schedule_crash(ProcessId::new(0), SimTime::from_millis(3));
 
     let done = cluster.run_to_completion(SimTime::from_secs(60));
     assert!(done, "workload did not finish after the sequencer crash");

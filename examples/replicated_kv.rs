@@ -46,7 +46,7 @@ fn main() {
     // with majority weight.
     cluster
         .world
-        .schedule_crash(ProcessId(3), SimTime::from_millis(4));
+        .schedule_crash(ProcessId::new(3), SimTime::from_millis(4));
 
     let done = cluster.run_to_completion(SimTime::from_secs(60));
     assert!(done, "workload did not finish");

@@ -5,9 +5,11 @@
 //! heavy loss.
 
 use oar_channels::{FifoLink, FifoWire};
-use oar_simnet::{Context, NetConfig, Process, ProcessId, SimDuration, SimTime, Timer, World};
+use oar_simnet::{
+    NetConfig, Process, ProcessId, Runtime, SimDuration, SimTime, Timer, TimerTag, World,
+};
 
-const TICK: u64 = 1;
+const TICK: TimerTag = TimerTag::Tick;
 
 #[derive(Debug, Clone, PartialEq)]
 enum Wire {
@@ -33,7 +35,7 @@ impl Endpoint {
 }
 
 impl Process<Wire> for Endpoint {
-    fn on_start(&mut self, ctx: &mut Context<'_, Wire>) {
+    fn on_start(&mut self, ctx: &mut dyn Runtime<Wire>) {
         for v in self.to_send.clone() {
             let out = self.link.send(self.peer, v);
             ctx.send(out.to, Wire::Fifo(out.wire));
@@ -41,7 +43,7 @@ impl Process<Wire> for Endpoint {
         ctx.set_timer(SimDuration::from_millis(5), TICK);
     }
 
-    fn on_message(&mut self, ctx: &mut Context<'_, Wire>, from: ProcessId, msg: Wire) {
+    fn on_message(&mut self, ctx: &mut dyn Runtime<Wire>, from: ProcessId, msg: Wire) {
         let Wire::Fifo(wire) = msg;
         let (delivered, acks) = self.link.on_wire(from, wire);
         self.received.extend(delivered);
@@ -50,7 +52,7 @@ impl Process<Wire> for Endpoint {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Context<'_, Wire>, timer: Timer) {
+    fn on_timer(&mut self, ctx: &mut dyn Runtime<Wire>, timer: Timer) {
         if timer.tag != TICK {
             return;
         }
@@ -72,8 +74,8 @@ fn reliable_fifo_delivery_over_a_very_lossy_network() {
         net.fifo_links = false;
         let mut world: World<Wire> = World::new(net, seed);
         let payload: Vec<u32> = (0..200).collect();
-        let a = world.add_process(Endpoint::new(ProcessId(1), payload.clone()));
-        let b = world.add_process(Endpoint::new(ProcessId(0), Vec::new()));
+        let a = world.add_process(Endpoint::new(ProcessId::new(1), payload.clone()));
+        let b = world.add_process(Endpoint::new(ProcessId::new(0), Vec::new()));
         world.run_until_quiescent(SimTime::from_secs(30));
         let receiver = world.process_ref::<Endpoint>(b);
         assert_eq!(receiver.received, payload, "seed {seed}");
@@ -98,8 +100,8 @@ fn bidirectional_traffic_with_duplication() {
     let mut world: World<Wire> = World::new(net, 42);
     let forward: Vec<u32> = (0..100).collect();
     let backward: Vec<u32> = (1000..1080).collect();
-    let a = world.add_process(Endpoint::new(ProcessId(1), forward.clone()));
-    let b = world.add_process(Endpoint::new(ProcessId(0), backward.clone()));
+    let a = world.add_process(Endpoint::new(ProcessId::new(1), forward.clone()));
+    let b = world.add_process(Endpoint::new(ProcessId::new(0), backward.clone()));
     world.run_until_quiescent(SimTime::from_secs(30));
     assert_eq!(world.process_ref::<Endpoint>(b).received, forward);
     assert_eq!(world.process_ref::<Endpoint>(a).received, backward);

@@ -81,7 +81,7 @@ fn sequencer_crash_at_random_times() {
             });
         // Crash the epoch-0 sequencer at a seed-dependent time.
         let crash_at = SimTime::from_micros(500 + seed * 700);
-        cluster.world.schedule_crash(ProcessId(0), crash_at);
+        cluster.world.schedule_crash(ProcessId::new(0), crash_at);
         assert!(
             cluster.run_to_completion(SimTime::from_secs(120)),
             "seed {seed}: workload did not finish after sequencer crash at {crash_at}"
@@ -107,7 +107,7 @@ fn crash_of_a_non_sequencer_replica_is_invisible_to_clients() {
                 counter_workload(c, 10)
             });
         cluster.world.schedule_crash(
-            ProcessId(2 + (seed % 3) as usize),
+            ProcessId::new(2 + (seed % 3) as usize),
             SimTime::from_millis(1 + seed),
         );
         assert!(
@@ -182,10 +182,10 @@ fn repeated_sequencer_crashes_across_epochs() {
         });
     cluster
         .world
-        .schedule_crash(ProcessId(0), SimTime::from_millis(2));
+        .schedule_crash(ProcessId::new(0), SimTime::from_millis(2));
     cluster
         .world
-        .schedule_crash(ProcessId(1), SimTime::from_millis(60));
+        .schedule_crash(ProcessId::new(1), SimTime::from_millis(60));
     assert!(
         cluster.run_to_completion(SimTime::from_secs(300)),
         "workload did not finish"
@@ -225,7 +225,7 @@ fn bank_invariants_hold_under_sequencer_crash() {
     );
     cluster
         .world
-        .schedule_crash(ProcessId(0), SimTime::from_millis(2));
+        .schedule_crash(ProcessId::new(0), SimTime::from_millis(2));
     assert!(cluster.run_to_completion(SimTime::from_secs(120)));
     run_checks(&cluster, "bank");
     for (i, &server) in cluster.servers.clone().iter().enumerate() {
@@ -267,7 +267,7 @@ fn propositions_hold_with_batched_sequencer_under_crash() {
                 counter_workload(c, 15)
             });
         let crash_at = SimTime::from_micros(500 + seed * 700);
-        cluster.world.schedule_crash(ProcessId(0), crash_at);
+        cluster.world.schedule_crash(ProcessId::new(0), crash_at);
         assert!(
             cluster.run_to_completion(SimTime::from_secs(120)),
             "seed {seed}: batched workload did not finish after sequencer crash at {crash_at}"
@@ -353,7 +353,7 @@ fn payload_gc_bounded_after_sequencer_crash() {
                 counter_workload(c, 40)
             });
         let crash_at = SimTime::from_micros(500 + seed * 900);
-        cluster.world.schedule_crash(ProcessId(0), crash_at);
+        cluster.world.schedule_crash(ProcessId::new(0), crash_at);
         assert!(
             run_and_settle(&mut cluster, SimTime::from_secs(120)),
             "seed {seed}: workload did not finish after sequencer crash"
@@ -460,7 +460,7 @@ fn propositions_hold_with_pipelined_clients_under_crash() {
                 counter_workload(c, 15)
             });
         let crash_at = SimTime::from_micros(500 + seed * 700);
-        cluster.world.schedule_crash(ProcessId(0), crash_at);
+        cluster.world.schedule_crash(ProcessId::new(0), crash_at);
         assert!(
             cluster.run_to_completion(SimTime::from_secs(120)),
             "seed {seed}: pipelined workload did not finish after crash"

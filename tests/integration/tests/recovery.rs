@@ -76,7 +76,7 @@ fn restarted_replica_catches_up_by_snapshot_plus_delta() {
             });
         cluster
             .world
-            .schedule_crash(ProcessId(2), SimTime::from_micros(2_000 + seed * 300));
+            .schedule_crash(ProcessId::new(2), SimTime::from_micros(2_000 + seed * 300));
         cluster.schedule_server_restart(
             SimTime::from_micros(10_000 + seed * 500),
             2,
@@ -145,15 +145,15 @@ fn fd_unsuspects_restarted_replica_after_fresh_heartbeats() {
         Cluster::build(&config, CounterMachine::default, |c| counter_workload(c, 8));
     cluster
         .world
-        .schedule_crash(ProcessId(2), SimTime::from_millis(1));
+        .schedule_crash(ProcessId::new(2), SimTime::from_millis(1));
     // Let the detectors time the silence out.
     cluster.world.run_until(SimTime::from_millis(80));
     assert!(
-        cluster.server(0).is_suspecting(ProcessId(2)),
+        cluster.server(0).is_suspecting(ProcessId::new(2)),
         "peer 0 must suspect the crashed replica"
     );
     assert!(
-        cluster.server(1).is_suspecting(ProcessId(2)),
+        cluster.server(1).is_suspecting(ProcessId::new(2)),
         "peer 1 must suspect the crashed replica"
     );
     // Restart: catch-up runs, heartbeats resume, peers re-admit it.
@@ -164,11 +164,11 @@ fn fd_unsuspects_restarted_replica_after_fresh_heartbeats() {
         "restarted replica must finish catch-up"
     );
     assert!(
-        !cluster.server(0).is_suspecting(ProcessId(2)),
+        !cluster.server(0).is_suspecting(ProcessId::new(2)),
         "peer 0 must un-suspect the rejoined replica"
     );
     assert!(
-        !cluster.server(1).is_suspecting(ProcessId(2)),
+        !cluster.server(1).is_suspecting(ProcessId::new(2)),
         "peer 1 must un-suspect the rejoined replica"
     );
     run_checks(&cluster, "fd-unsuspect");
@@ -196,7 +196,7 @@ fn no_settled_replay_and_bounded_seen_across_restart() {
             });
         cluster
             .world
-            .schedule_crash(ProcessId(1), SimTime::from_micros(1_500 + seed * 400));
+            .schedule_crash(ProcessId::new(1), SimTime::from_micros(1_500 + seed * 400));
         cluster.schedule_server_restart(
             SimTime::from_micros(9_000 + seed * 700),
             1,
@@ -245,7 +245,7 @@ fn sequencer_restart_catches_up_after_failover() {
         // Crash the epoch-0 sequencer: the group enters phase 2 and rotates.
         cluster
             .world
-            .schedule_crash(ProcessId(0), SimTime::from_micros(1_000 + seed * 300));
+            .schedule_crash(ProcessId::new(0), SimTime::from_micros(1_000 + seed * 300));
         cluster.schedule_server_restart(
             SimTime::from_millis(60 + seed * 5),
             0,
@@ -292,10 +292,10 @@ fn restart_during_epoch_change_stays_consistent() {
         // below forces the group through an epoch change.
         cluster
             .world
-            .schedule_crash(ProcessId(4), SimTime::from_millis(1));
+            .schedule_crash(ProcessId::new(4), SimTime::from_millis(1));
         cluster
             .world
-            .schedule_crash(ProcessId(0), SimTime::from_millis(8));
+            .schedule_crash(ProcessId::new(0), SimTime::from_millis(8));
         cluster.schedule_server_restart(
             SimTime::from_millis(8 + seed * 3),
             4,
@@ -338,10 +338,10 @@ fn catch_up_rotates_donors_past_a_dead_peer() {
     // first — the retry timer must carry it to a live donor.
     cluster
         .world
-        .schedule_crash(ProcessId(1), SimTime::from_millis(1));
+        .schedule_crash(ProcessId::new(1), SimTime::from_millis(1));
     cluster
         .world
-        .schedule_crash(ProcessId(2), SimTime::from_millis(2));
+        .schedule_crash(ProcessId::new(2), SimTime::from_millis(2));
     cluster.schedule_server_restart(SimTime::from_millis(10), 2, CounterMachine::default);
     assert!(
         run_and_settle(&mut cluster, SimTime::from_secs(120)),

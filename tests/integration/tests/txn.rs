@@ -223,11 +223,11 @@ fn txns_are_isolated_from_concurrent_single_key_traffic() {
         .map(|i| put(&format!("k{:02}", (i * 5) % 24), &format!("plain{i}")))
         .collect();
     let plain_client: ShardedClient<KvMachine> = ShardedClient::new(
-        oar_simnet::ProcessId(cluster.world.num_processes()),
+        oar_simnet::ProcessId::new(cluster.world.num_processes()),
         cluster.groups.clone(),
         cluster.router.clone(),
         plain_workload,
-        SimDuration::ZERO,
+        oar::ClientConfig::default(),
     );
     let plain_id = cluster.world.add_process(plain_client);
     // Drive the world until both client kinds are done.
