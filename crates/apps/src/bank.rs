@@ -82,7 +82,7 @@ pub enum BankError {
 }
 
 /// Undo token: the save-point capturing the balances touched by the command.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BankUndo {
     /// `(account, balance-before)` pairs; `None` means the account did not
     /// exist before the command.
@@ -250,6 +250,10 @@ impl StateMachine for BankMachine {
 
     fn install(&mut self, image: &StateImage) -> bool {
         self.install_erased(image)
+    }
+
+    fn fork(&self) -> Option<Self> {
+        Some(self.clone())
     }
 }
 

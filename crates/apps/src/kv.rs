@@ -139,7 +139,7 @@ pub enum KvResponse {
 }
 
 /// Undo token: the key touched and the value it held before the command.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum KvUndo {
     /// Restore `key` to `previous` (which may be "absent").
     Restore {
@@ -432,6 +432,10 @@ impl StateMachine for KvMachine {
 
     fn install(&mut self, image: &StateImage) -> bool {
         self.install_erased(image)
+    }
+
+    fn fork(&self) -> Option<Self> {
+        Some(self.clone())
     }
 }
 

@@ -37,7 +37,7 @@ pub enum StackResponse {
 }
 
 /// Undo token of the stack.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub enum StackUndo {
     /// Undo a push: remove the top element.
     UnPush,
@@ -121,6 +121,10 @@ impl StateMachine for StackMachine {
 
     fn install(&mut self, image: &StateImage) -> bool {
         self.install_erased(image)
+    }
+
+    fn fork(&self) -> Option<Self> {
+        Some(self.clone())
     }
 }
 

@@ -24,6 +24,8 @@
 //! cargo run --release -p oar-bench --bin harness -- parallel-smoke
 //! cargo run --release -p oar-bench --bin harness -- realtime
 //! cargo run --release -p oar-bench --bin harness -- realtime-smoke
+//! cargo run --release -p oar-bench --bin harness -- mc
+//! cargo run --release -p oar-bench --bin harness -- mc-smoke
 //! cargo run --release -p oar-bench --bin harness -- fig1a|fig1b|fig2|fig3|fig4
 //! ```
 //!
@@ -47,7 +49,12 @@
 //! backend fails to drain, measures no positive req/s, or violates the
 //! total-order/at-most-once/external-consistency propositions on real
 //! threads (the rows are also merged into `BENCH_throughput.json` as the
-//! `realtime` group).
+//! `realtime` group); `mc` / `mc-smoke` when the model checker's exhaustive
+//! failure-free exploration truncates or violates a predicate, partial-order
+//! reduction fails to prune ≥50% of the raw interleavings, either historical
+//! bug is not re-found (or its counterexample does not reproduce on a plain
+//! world), a fixed control arm yields a violation, or the smoke run exceeds
+//! its 240 s wall-clock budget.
 
 use oar_bench::json::ToJson;
 use oar_bench::{experiments, figures};
@@ -620,6 +627,63 @@ fn run_realtime(clients: usize, requests_per_client: usize, interarrival_us: u64
     violations.is_empty()
 }
 
+fn run_mc(smoke: bool) -> bool {
+    println!(
+        "== T-MC: bounded model checking over simnet ({}) ==",
+        if smoke { "smoke budget" } else { "full budget" }
+    );
+    let start = std::time::Instant::now();
+    let rows = experiments::mc_experiment(smoke);
+    println!(
+        "{:<14} {:>5} {:>5} {:>9} {:>11} {:>12} {:>12} {:>6} {:>9} {:>9} {:>5} {:>7} {:>9}",
+        "scenario",
+        "por",
+        "dedup",
+        "states",
+        "transitions",
+        "pruned-sleep",
+        "pruned-dedup",
+        "goals",
+        "deadlocks",
+        "truncated",
+        "viols",
+        "replays",
+        "wall(ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>5} {:>5} {:>9} {:>11} {:>12} {:>12} {:>6} {:>9} {:>9} {:>5} {:>7} {:>9.0}",
+            r.label,
+            r.por,
+            r.dedup,
+            r.states_explored,
+            r.transitions,
+            r.pruned_sleep,
+            r.pruned_dedup,
+            r.goal_states,
+            r.deadlocks,
+            r.truncated,
+            r.violations,
+            r.trace_replays,
+            r.wall_ms
+        );
+    }
+    print_json("mc", &rows);
+    let mut violations = experiments::check_mc_bounds(&rows);
+    // CI wall-clock budget: the smoke exploration must stay interactive.
+    let budget_s = if smoke { 240.0 } else { 1800.0 };
+    let elapsed = start.elapsed().as_secs_f64();
+    if elapsed > budget_s {
+        violations.push(format!(
+            "wall-clock budget exceeded: {elapsed:.0}s > {budget_s:.0}s"
+        ));
+    }
+    for v in &violations {
+        eprintln!("MC VIOLATION: {v}");
+    }
+    violations.is_empty()
+}
+
 fn run_gc() {
     println!("== T-GC: §5.3 epoch-cut ablation ==");
     let rows = experiments::gc_experiment(&[None, Some(100), Some(10)], 60, SEED);
@@ -732,6 +796,21 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The full model-checking gate: exhaustive failure-free exploration,
+        // the POR ≥50% pruning proof, both historical-bug counterexamples
+        // with plain-world replays, and wide-budget fixed control arms.
+        "mc" => {
+            if !run_mc(false) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: the same row families under a smoke state budget and a
+        // 240 s wall-clock ceiling.
+        "mc-smoke" => {
+            if !run_mc(true) {
+                std::process::exit(1);
+            }
+        }
         // The full wall-clock gate: a real-time open-loop run on the
         // threaded backend — 4 generators offering 500 req/s each for ~2 s.
         "realtime" => {
@@ -760,6 +839,7 @@ fn main() {
             let adaptive_ok = run_adaptive(50, 5, 40);
             let parallel_ok = run_parallel(96, 300, 5, 4, 48);
             let realtime_ok = run_realtime(4, 1000, 2_000);
+            let mc_ok = run_mc(false);
             if !soak_ok
                 || !recovery_ok
                 || !sharded_ok
@@ -767,13 +847,14 @@ fn main() {
                 || !adaptive_ok
                 || !parallel_ok
                 || !realtime_ok
+                || !mc_ok
             {
                 std::process::exit(1);
             }
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | recovery | recovery-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke | realtime | realtime-smoke");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | recovery | recovery-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke | realtime | realtime-smoke | mc | mc-smoke");
             std::process::exit(2);
         }
     }

@@ -2486,6 +2486,245 @@ pub fn check_realtime_bounds(
     violations
 }
 
+/// One model-checking run: a scenario explored under one reduction setting,
+/// with the explored/pruned counters the CI gate reads.
+pub struct McRow {
+    /// Row label (`clean-1x2`, `handoff-bug`, …).
+    pub label: String,
+    /// Scenario name as the `oar-mc` crate reports it.
+    pub scenario: String,
+    /// Partial-order reduction (sleep sets) on?
+    pub por: bool,
+    /// State deduplication on?
+    pub dedup: bool,
+    /// Distinct states visited.
+    pub states_explored: u64,
+    /// Transitions taken.
+    pub transitions: u64,
+    /// Transitions pruned by sleep sets.
+    pub pruned_sleep: u64,
+    /// States pruned as already visited.
+    pub pruned_dedup: u64,
+    /// Terminal states satisfying the goal (workload done).
+    pub goal_states: u64,
+    /// Terminal states violating termination.
+    pub deadlocks: u64,
+    /// Did the run hit its state bound?
+    pub truncated: bool,
+    /// Property violations found.
+    pub violations: usize,
+    /// Kind of the first violation (empty when none).
+    pub violation_kind: String,
+    /// For rows with a violation: does the counterexample trace replay on a
+    /// plain (checker-free) world and reproduce the failure there? `true`
+    /// for rows without violations.
+    pub trace_replays: bool,
+    /// Wall-clock time of the exploration (milliseconds).
+    pub wall_ms: f64,
+}
+
+/// Runs one scenario under the given reduction settings and re-validates any
+/// counterexample on a plain world: the trace is replayed step by step
+/// (key-directed dispatch, no checker), the simulator then runs free to the
+/// horizon, and the failure must reproduce — a safety violation as a failed
+/// invariant, a deadlock as an unfinished workload.
+fn mc_run(label: &str, scenario: &oar_mc::oar::OarScenario, por: bool, dedup: bool) -> McRow {
+    use oar_mc::oar::{oar_invariant, HORIZON};
+
+    let start = std::time::Instant::now();
+    let report = scenario.run_with(por, dedup).expect("world must fork");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let first = report.violations.first();
+    let trace_replays = match first {
+        None => true,
+        Some(violation) => {
+            let mut world = scenario.world();
+            let replayed =
+                oar_mc::replay_trace(&mut world, &scenario.choices, &violation.trace, HORIZON);
+            replayed
+                && if violation.kind == "invariant" {
+                    // A safety violation reproduces at the replayed state
+                    // itself (running further may repair an *optimistic*
+                    // divergence — that is what Opt-undeliver is for).
+                    let invariant = oar_invariant(scenario.servers(), scenario.clients());
+                    invariant(&world).is_err()
+                } else {
+                    // A deadlock reproduces as stuckness: let the plain
+                    // simulator run free — the workload must not finish.
+                    world.run_until(HORIZON);
+                    !scenario.clients().iter().all(|&c| {
+                        world
+                            .process_ref::<oar::OarClient<oar::state_machine::CounterMachine>>(c)
+                            .is_done()
+                    })
+                }
+        }
+    };
+    McRow {
+        label: label.to_string(),
+        scenario: scenario.name.to_string(),
+        por,
+        dedup,
+        states_explored: report.states_explored,
+        transitions: report.transitions,
+        pruned_sleep: report.pruned_sleep,
+        pruned_dedup: report.pruned_dedup,
+        goal_states: report.goal_states,
+        deadlocks: report.deadlocks,
+        truncated: report.truncated,
+        violations: report.violations.len(),
+        violation_kind: first.map(|v| v.kind.clone()).unwrap_or_default(),
+        trace_replays,
+        wall_ms,
+    }
+}
+
+/// T-MC: bounded model checking of the OAR protocol over simnet.
+///
+/// Four row families (§ "Model checking" in `docs/ARCHITECTURE.md`):
+///
+/// * `clean-1x2` — exhaustive exploration of the failure-free 3-replica /
+///   2-request configuration; every path must satisfy the four predicates
+///   (total order, at-most-once, external consistency, termination).
+/// * `clean-1x1-por` / `clean-1x1-raw` — the partial-order-reduction gate:
+///   sleep sets alone (no dedup) explore the 1-request space exhaustively,
+///   while the raw arm (no reduction at all) is capped at twice the reduced
+///   state count plus one and must hit that cap — proving POR prunes more
+///   than half of the raw interleavings.
+/// * `handoff-bug` / `rejoin-bug` — the two historical bugs, re-found from
+///   their test-only toggles; each counterexample must replay on a plain
+///   world and reproduce the failure outside the checker.
+/// * `handoff-fixed` / `rejoin-fixed` — the same fault scenarios with the
+///   fixes active: zero violations within the state budget.
+pub fn mc_experiment(smoke: bool) -> Vec<McRow> {
+    use oar_mc::oar::OarScenario;
+
+    let mut rows = Vec::new();
+
+    // Exhaustive failure-free gate.
+    rows.push(mc_run("clean-1x2", &OarScenario::clean(1, 2), true, true));
+
+    // POR ratio gate: reduced (sleep sets only) vs raw (nothing), the raw
+    // arm bounded just above twice the reduced count.
+    let reduced = mc_run("clean-1x1-por", &OarScenario::clean(1, 1), true, false);
+    let mut raw_scenario = OarScenario::clean(1, 1);
+    raw_scenario.mc.max_states = 2 * reduced.states_explored + 1;
+    rows.push(reduced);
+    rows.push(mc_run("clean-1x1-raw", &raw_scenario, false, false));
+
+    // Historical bugs re-found, counterexamples replayed.
+    rows.push(mc_run(
+        "handoff-bug",
+        &OarScenario::sequencer_handoff(true),
+        true,
+        true,
+    ));
+    rows.push(mc_run(
+        "rejoin-bug",
+        &OarScenario::mid_epoch_rejoin(true),
+        true,
+        true,
+    ));
+
+    // Control arms: the fixed protocol under the same faults. The full
+    // spaces are large, so the smoke run caps them; the full run uses a
+    // budget an order of magnitude wider.
+    let cap = if smoke { 200_000 } else { 2_000_000 };
+    let mut handoff = OarScenario::sequencer_handoff(false);
+    handoff.mc.max_states = cap;
+    rows.push(mc_run("handoff-fixed", &handoff, true, true));
+    let mut rejoin = OarScenario::mid_epoch_rejoin(false);
+    rejoin.mc.max_states = cap;
+    rows.push(mc_run("rejoin-fixed", &rejoin, true, true));
+
+    rows
+}
+
+/// Verifies the gates of the model-checking rows; returns every violation
+/// found (empty = pass). Used by the CI `mc-smoke` job.
+pub fn check_mc_bounds(rows: &[McRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let find = |label: &str| rows.iter().find(|r| r.label == label);
+
+    for row in rows {
+        if row.states_explored == 0 {
+            violations.push(format!("{}: explored no states", row.label));
+        }
+        let expect_bug = row.label.ends_with("-bug");
+        if expect_bug {
+            if row.violations == 0 {
+                violations.push(format!(
+                    "{}: the historical bug was not re-found",
+                    row.label
+                ));
+            } else if !row.trace_replays {
+                violations.push(format!(
+                    "{}: counterexample trace does not reproduce on a plain world",
+                    row.label
+                ));
+            }
+        } else if row.violations > 0 {
+            violations.push(format!(
+                "{}: {} unexpected violation(s), first kind {}",
+                row.label, row.violations, row.violation_kind
+            ));
+        }
+    }
+
+    if let Some(clean) = find("clean-1x2") {
+        if clean.truncated {
+            violations.push("clean-1x2: exploration did not finish (truncated)".into());
+        }
+        if clean.goal_states == 0 {
+            violations.push("clean-1x2: no path reached the termination goal".into());
+        }
+        if clean.deadlocks > 0 {
+            violations.push(format!("clean-1x2: {} deadlock(s)", clean.deadlocks));
+        }
+    } else {
+        violations.push("clean-1x2 row missing".into());
+    }
+
+    match (find("clean-1x1-por"), find("clean-1x1-raw")) {
+        (Some(reduced), Some(raw)) => {
+            if reduced.truncated {
+                violations.push("clean-1x1-por: reduced exploration truncated".into());
+            }
+            if reduced.pruned_sleep == 0 {
+                violations.push("clean-1x1-por: sleep sets pruned nothing".into());
+            }
+            if !raw.truncated {
+                violations.push(format!(
+                    "POR gate: raw exploration finished within twice the reduced \
+                     state count ({} raw vs {} reduced) — pruning below 50%",
+                    raw.states_explored, reduced.states_explored
+                ));
+            }
+        }
+        _ => violations.push("POR gate rows missing".into()),
+    }
+
+    match find("handoff-bug") {
+        Some(row) if row.violations > 0 && row.violation_kind != "deadlock" => {
+            violations.push(format!(
+                "handoff-bug: expected a deadlock (the phase-2 stall), found {}",
+                row.violation_kind
+            ));
+        }
+        _ => {}
+    }
+    match find("rejoin-bug") {
+        Some(row) if row.violations > 0 && row.violation_kind != "invariant" => {
+            violations.push(format!(
+                "rejoin-bug: expected a safety violation (divergence), found {}",
+                row.violation_kind
+            ));
+        }
+        _ => {}
+    }
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,8 +8,8 @@
 use oar_simnet::Summary;
 
 use crate::experiments::{
-    AdaptiveRow, AdaptiveSkewRow, FailoverRow, GcRow, LatencyRow, ParallelClusterRow, ParallelRow,
-    RealtimeRow, RecoveryRow, ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
+    AdaptiveRow, AdaptiveSkewRow, FailoverRow, GcRow, LatencyRow, McRow, ParallelClusterRow,
+    ParallelRow, RealtimeRow, RecoveryRow, ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
 };
 use crate::figures::FigureOutcome;
 
@@ -56,6 +56,35 @@ impl ToJson for Summary {
             f(self.p99),
             f(self.max),
             f(self.std_dev),
+        )
+    }
+}
+
+impl ToJson for McRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"label\":\"{}\",\"scenario\":\"{}\",\"por\":{},\"dedup\":{},",
+                "\"states_explored\":{},\"transitions\":{},\"pruned_sleep\":{},",
+                "\"pruned_dedup\":{},\"goal_states\":{},\"deadlocks\":{},",
+                "\"truncated\":{},\"violations\":{},\"violation_kind\":\"{}\",",
+                "\"trace_replays\":{},\"wall_ms\":{}}}"
+            ),
+            escape(&self.label),
+            escape(&self.scenario),
+            self.por,
+            self.dedup,
+            self.states_explored,
+            self.transitions,
+            self.pruned_sleep,
+            self.pruned_dedup,
+            self.goal_states,
+            self.deadlocks,
+            self.truncated,
+            self.violations,
+            escape(&self.violation_kind),
+            self.trace_replays,
+            f(self.wall_ms),
         )
     }
 }

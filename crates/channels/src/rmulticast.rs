@@ -42,7 +42,7 @@ pub struct CastWire<M> {
 
 /// The sender-side and receiver-side state of reliable multicast for one
 /// process.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ReliableCaster<M> {
     self_id: ProcessId,
     group: Vec<ProcessId>,
@@ -185,6 +185,15 @@ impl<M: Clone> ReliableCaster<M> {
     /// Number of distinct multicasts seen so far (delivered or self-sent).
     pub fn seen_count(&self) -> usize {
         self.seen.len()
+    }
+
+    /// The duplicate-suppression set in sorted order plus the local multicast
+    /// counter — a canonical view of the caster's state, used by the model
+    /// checker's state digests (`HashSet` iteration order is not stable).
+    pub fn digest_view(&self) -> (u64, Vec<MsgId>) {
+        let mut seen: Vec<MsgId> = self.seen.iter().copied().collect();
+        seen.sort();
+        (self.next_seq, seen)
     }
 
     /// Ages `id` out of the duplicate-suppression set, returning whether it

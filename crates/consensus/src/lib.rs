@@ -196,7 +196,7 @@ impl Default for ConsensusConfig {
 }
 
 /// One instance of rotating-coordinator consensus with Maj-validity.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MajConsensus<V> {
     instance: u64,
     self_id: ProcessId,

@@ -79,7 +79,7 @@ impl FdConfig {
 /// The host drives it by calling [`HeartbeatFd::on_tick`] periodically (at
 /// least as often as `heartbeat_interval`) and [`HeartbeatFd::on_wire`] /
 /// [`HeartbeatFd::observe_traffic`] when messages arrive.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct HeartbeatFd {
     self_id: ProcessId,
     group: Vec<ProcessId>,

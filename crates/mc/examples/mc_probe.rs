@@ -1,0 +1,62 @@
+//! Developer probe: run one packaged OAR scenario and print its report.
+//!
+//! ```text
+//! cargo run --release -p oar-mc --example mc_probe -- clean [CLIENTS [REQUESTS]] [--no-por] [--no-dedup] [--max-states N]
+//! cargo run --release -p oar-mc --example mc_probe -- handoff-bug | handoff | rejoin-bug | rejoin
+//! ```
+
+use oar_mc::oar::OarScenario;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("clean");
+    let mut scenario = match name {
+        "clean" => {
+            let clients: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1);
+            let requests: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2);
+            OarScenario::clean(clients, requests)
+        }
+        "handoff" => OarScenario::sequencer_handoff(false),
+        "handoff-bug" => OarScenario::sequencer_handoff(true),
+        "rejoin" => OarScenario::mid_epoch_rejoin(false),
+        "rejoin-bug" => OarScenario::mid_epoch_rejoin(true),
+        other => {
+            eprintln!("unknown scenario {other}");
+            std::process::exit(2);
+        }
+    };
+    for (i, arg) in args.iter().enumerate() {
+        match arg.as_str() {
+            "--no-por" => scenario.mc.por = false,
+            "--no-dedup" => scenario.mc.dedup = false,
+            "--max-states" => {
+                scenario.mc.max_states = args[i + 1].parse().expect("--max-states N");
+            }
+            _ => {}
+        }
+    }
+    let start = std::time::Instant::now();
+    let report = scenario.run().expect("forkable world");
+    let elapsed = start.elapsed();
+    println!(
+        "{}: states={} transitions={} pruned_sleep={} pruned_dedup={} goals={} \
+         deadlocks={} depth_hits={} truncated={} violations={} in {:.2?}",
+        scenario.name,
+        report.states_explored,
+        report.transitions,
+        report.pruned_sleep,
+        report.pruned_dedup,
+        report.goal_states,
+        report.deadlocks,
+        report.depth_limit_hits,
+        report.truncated,
+        report.violations.len(),
+        elapsed
+    );
+    for violation in &report.violations {
+        println!("  {}: {}", violation.kind, violation.message);
+        for step in &violation.trace {
+            println!("    {step}");
+        }
+    }
+}

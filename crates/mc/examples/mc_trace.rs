@@ -1,0 +1,77 @@
+//! Developer probe: re-find a scenario's first violation, replay its trace
+//! step by step on a fresh world, and dump the servers' protocol state at
+//! the end — the tool for understanding *why* a counterexample wedges.
+//!
+//! ```text
+//! cargo run --release -p oar-mc --example mc_trace -- handoff
+//! ```
+
+use oar::state_machine::CounterMachine;
+use oar::{OarClient, OarServer};
+use oar_mc::oar::{OarScenario, HORIZON};
+use oar_mc::replay_trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let name = args.first().map(String::as_str).unwrap_or("handoff");
+    let scenario = match name {
+        "clean" => OarScenario::clean(1, 2),
+        "handoff" => OarScenario::sequencer_handoff(false),
+        "handoff-bug" => OarScenario::sequencer_handoff(true),
+        "rejoin" => OarScenario::mid_epoch_rejoin(false),
+        "rejoin-bug" => OarScenario::mid_epoch_rejoin(true),
+        other => {
+            eprintln!("unknown scenario {other}");
+            std::process::exit(2);
+        }
+    };
+    let report = scenario.run().expect("forkable world");
+    let Some(violation) = report.violations.first() else {
+        println!("{}: no violation found", scenario.name);
+        return;
+    };
+    println!(
+        "{}: {} — {}",
+        scenario.name, violation.kind, violation.message
+    );
+    for step in &violation.trace {
+        println!("  {step}");
+    }
+
+    let mut world = scenario.world();
+    assert!(
+        replay_trace(&mut world, &scenario.choices, &violation.trace, HORIZON),
+        "trace must replay"
+    );
+    println!("\n--- state after replay ---");
+    for s in scenario.servers() {
+        if world.is_crashed(s) {
+            println!("{s}: CRASHED");
+            continue;
+        }
+        let server = world.process_ref::<OarServer<CounterMachine>>(s);
+        println!(
+            "{s}: epoch={} phase={:?} recovering={} suspects={:?}",
+            server.epoch(),
+            server.phase(),
+            server.is_recovering(),
+            (0..3)
+                .map(oar_simnet::ProcessId::new)
+                .filter(|&p| server.is_suspecting(p))
+                .collect::<Vec<_>>(),
+        );
+        println!("    consensus: {}", server.mc_consensus_debug());
+    }
+    for c in scenario.clients() {
+        let client = world.process_ref::<OarClient<CounterMachine>>(c);
+        println!(
+            "{c}: done={} completed={}",
+            client.is_done(),
+            client.completed().len()
+        );
+    }
+    println!("\n--- pending events ---");
+    for e in world.pending_events() {
+        println!("  #{} t={:?} noop={} {:?}", e.seq, e.time, e.noop, e.info);
+    }
+}

@@ -1,0 +1,1019 @@
+//! # oar-mc — bounded model checker for processes on the simulator
+//!
+//! The simulator ([`World`]) is deterministic: one `(configuration, seed)`
+//! pair produces one schedule. This crate turns it into a *branching*
+//! execution engine: at every state it asks the world for the set of
+//! **enabled events** ([`World::enabled_events`] — pending deliveries and
+//! timers whose dispatch order is not already forced by the FIFO system
+//! model), adds the scenario's injected **choices** (crashes, wrong
+//! suspicions, restarts — [`McChoice`]), and explores every alternative by
+//! forking the world ([`World::fork`]) at each decision point.
+//!
+//! Exploration is bounded (event-time horizon, depth, state count) and
+//! pruned two ways:
+//!
+//! * **state deduplication** — [`World::fingerprint`] hashes the global
+//!   state (process digests + in-horizon pending-event content, times
+//!   excluded); a state already visited with the same fired choices and
+//!   fault budget is not re-expanded, provided the earlier visit's sleep
+//!   set was a subset of the current one (the earlier visit explored at
+//!   least as much — Godefroid's condition for combining sleep sets with
+//!   state caching);
+//! * **partial-order reduction** — sleep sets over an independence relation:
+//!   two transitions are independent when they target different processes
+//!   (a delivery to `p` and a delivery to `q` commute — each callback only
+//!   touches its own process, and message emission is order-insensitive at
+//!   the fingerprint level). After exploring transition `t` from a state,
+//!   `t` enters the sleep set of its later siblings, and every child prunes
+//!   sleeping transitions that are independent of the one just taken —
+//!   cutting the factorial interleavings of commuting events to one
+//!   representative per equivalence class.
+//!
+//! At every visited state the checker evaluates the scenario's **invariant**
+//! (e.g. the OAR safety propositions, see [`oar`](mod@crate::oar)) and records a
+//! [`Violation`] with the full [`TraceStep`] path when it fails; a state
+//! with no enabled transitions that does not satisfy the **goal** predicate
+//! is reported as a deadlock. Traces replay on a plain world with
+//! [`replay_trace`] — event sequence numbers are deterministic, so a trace
+//! recorded in one branch re-drives a fresh identical world to the same
+//! state.
+//!
+//! ## Soundness boundary
+//!
+//! Key-directed dispatch treats time as *abstract* (`now` only ratchets
+//! forward), and the fingerprint deliberately excludes event times and the
+//! RNG state. The exploration is therefore exhaustive-and-sound only for
+//! configurations whose behaviour never reads the clock or the RNG:
+//! constant-latency, loss-free, FIFO networks and protocol settings whose
+//! timers lie beyond the horizon. The [`oar`](mod@crate::oar) module builds
+//! exactly such configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod oar;
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use oar_simnet::{ForkError, PendingEvent, PendingEventInfo, ProcessId, SimTime, World};
+
+/// Exploration strategy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Depth-first search with sleep-set partial-order reduction (when
+    /// [`McConfig::por`] is on). Memory is O(depth); the default.
+    #[default]
+    Dfs,
+    /// Breadth-first search (no sleep sets — POR is ignored). Finds a
+    /// shortest-depth violation first; memory is O(frontier).
+    Bfs,
+}
+
+/// Bounds and feature switches of one exploration.
+#[derive(Clone, Debug)]
+pub struct McConfig {
+    /// Events scheduled after this time are outside the model: they are
+    /// neither dispatched nor hashed. Protocol timers meant to stay out of
+    /// the exploration (maintenance ticks, retry clocks) must lie beyond it.
+    pub horizon: SimTime,
+    /// Maximum transitions along one path; paths that reach it are counted
+    /// in [`McReport::depth_limit_hits`] and abandoned.
+    pub max_depth: usize,
+    /// Maximum states to visit before the exploration is cut short
+    /// ([`McReport::truncated`]).
+    pub max_states: u64,
+    /// Deduplicate visited states via [`World::fingerprint`].
+    pub dedup: bool,
+    /// Sleep-set partial-order reduction (DFS only).
+    pub por: bool,
+    /// Maximum number of `fault = true` choices fired along one path.
+    pub max_faults: usize,
+    /// Stop exploring after this many violations (1: first counterexample).
+    pub max_violations: usize,
+    /// Exploration strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        McConfig {
+            horizon: SimTime::from_secs(60),
+            max_depth: 600,
+            max_states: 1_000_000,
+            dedup: true,
+            por: true,
+            max_faults: 0,
+            max_violations: 1,
+            strategy: Strategy::Dfs,
+        }
+    }
+}
+
+/// An injected scheduling choice: a fault or control action the checker may
+/// fire at any decision point where `enabled` holds, at most once per path.
+///
+/// Choices must act *immediately* on the world ([`World::crash_now`],
+/// [`World::restart_now`], [`World::invoke_now`], …) — scheduling a closure
+/// event would make the world unforkable ([`ForkError::UnforkableEvent`]).
+pub struct McChoice<M> {
+    /// Human-readable identity, used in traces.
+    pub id: String,
+    /// The process this choice affects, for the independence relation.
+    /// `None` makes it dependent with every other transition (global
+    /// actions such as partitions).
+    pub affects: Option<ProcessId>,
+    /// Whether this choice consumes one unit of [`McConfig::max_faults`].
+    pub fault: bool,
+    /// Whether the choice may fire in the given state.
+    pub enabled: McPredicate<M>,
+    /// Fires the choice.
+    pub apply: McAction<M>,
+}
+
+/// A shared read-only predicate over a world state (choice guards, goal
+/// predicates).
+pub type McPredicate<M> = Rc<dyn Fn(&World<M>) -> bool>;
+
+/// A shared action mutating a world (the body of an [`McChoice`]).
+pub type McAction<M> = Rc<dyn Fn(&mut World<M>)>;
+
+/// A shared invariant over a world state: `Err(reason)` records a
+/// violation with its trace.
+pub type McInvariant<M> = Rc<dyn Fn(&World<M>) -> Result<(), String>>;
+
+impl<M> Clone for McChoice<M> {
+    fn clone(&self) -> Self {
+        McChoice {
+            id: self.id.clone(),
+            affects: self.affects,
+            fault: self.fault,
+            enabled: Rc::clone(&self.enabled),
+            apply: Rc::clone(&self.apply),
+        }
+    }
+}
+
+impl<M> std::fmt::Debug for McChoice<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McChoice")
+            .field("id", &self.id)
+            .field("affects", &self.affects)
+            .field("fault", &self.fault)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One transition of a counterexample trace. Event sequence numbers are
+/// deterministic (assigned in event-creation order, which replays
+/// identically), so a trace re-drives a fresh identical world to the same
+/// state — see [`replay_trace`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceStep {
+    /// Dispatch the pending event with this sequence number.
+    Event {
+        /// The [`PendingEvent::seq`] key ([`World::dispatch_key`]).
+        seq: u64,
+        /// Display label (`Deliver p0→p2`, `Timer@p1`, …).
+        label: String,
+    },
+    /// Fire the scenario choice with this index.
+    Choice {
+        /// Index into the checker's choice list.
+        index: usize,
+        /// The choice's [`McChoice::id`].
+        id: String,
+    },
+}
+
+impl std::fmt::Display for TraceStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceStep::Event { seq, label } => write!(f, "event#{seq} {label}"),
+            TraceStep::Choice { index, id } => write!(f, "choice#{index} {id}"),
+        }
+    }
+}
+
+/// A property failure found during exploration, with the path that reaches
+/// it from the initial state.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// `"invariant"` or `"deadlock"`.
+    pub kind: String,
+    /// The invariant's error message, or a description of the deadlock.
+    pub message: String,
+    /// The transition path from the initial state to the violating state.
+    pub trace: Vec<TraceStep>,
+}
+
+/// Counters and findings of one exploration.
+#[derive(Clone, Debug, Default)]
+pub struct McReport {
+    /// Distinct states visited (after no-op draining).
+    pub states_explored: u64,
+    /// Transitions taken (forked branches).
+    pub transitions: u64,
+    /// Transitions skipped because they were in a sleep set (POR).
+    pub pruned_sleep: u64,
+    /// States skipped because an identical state was already visited.
+    pub pruned_dedup: u64,
+    /// Terminal states satisfying the goal predicate.
+    pub goal_states: u64,
+    /// Terminal states *not* satisfying the goal predicate (each is also a
+    /// violation).
+    pub deadlocks: u64,
+    /// Paths abandoned at [`McConfig::max_depth`].
+    pub depth_limit_hits: u64,
+    /// Whether the exploration hit [`McConfig::max_states`] and stopped
+    /// early.
+    pub truncated: bool,
+    /// The fingerprints of goal states (deduplicated), when fingerprinting
+    /// is available — used by differential tests to check that a plain
+    /// simulator run lands on a state the checker visited.
+    pub goal_fingerprints: Vec<u64>,
+    /// Property failures, each with its counterexample trace.
+    pub violations: Vec<Violation>,
+}
+
+impl McReport {
+    /// Total states pruned (sleep sets + deduplication).
+    pub fn pruned(&self) -> u64 {
+        self.pruned_sleep + self.pruned_dedup
+    }
+
+    /// Whether the exploration finished with no violation.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// What the checker may do next from a given state.
+#[derive(Clone, Debug)]
+enum Candidate {
+    Event(PendingEvent),
+    Choice(usize),
+}
+
+/// A transition remembered in a sleep set. Within one subtree the event
+/// `seq` keys are stable (forks preserve them), so sleeping events are
+/// matched by `seq`; the content `sig` makes sleep sets comparable across
+/// branches when mixed into the deduplication key.
+#[derive(Clone, Debug)]
+struct SleepEntry {
+    key: SleepKey,
+    sig: u64,
+    target: Option<ProcessId>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum SleepKey {
+    Event(u64),
+    Choice(usize),
+}
+
+/// The bounded model checker: explores every schedule of a [`World`] within
+/// the configured bounds, checking `invariant` at every state.
+pub struct Checker<M> {
+    /// Bounds and switches.
+    pub config: McConfig,
+    choices: Vec<McChoice<M>>,
+    invariant: McInvariant<M>,
+    goal: McPredicate<M>,
+    msg_digest: Rc<dyn Fn(&M) -> u64>,
+}
+
+impl<M: Clone + 'static> Checker<M> {
+    /// Creates a checker.
+    ///
+    /// * `invariant` is evaluated at every visited state; an `Err` is
+    ///   recorded as a violation with its trace.
+    /// * `goal` marks accepting terminal states (e.g. "every client finished
+    ///   its workload"); a state with no transitions that is not a goal is a
+    ///   deadlock.
+    /// * `msg_digest` hashes a wire message's content (used by state
+    ///   fingerprints and event signatures).
+    pub fn new(
+        config: McConfig,
+        choices: Vec<McChoice<M>>,
+        invariant: impl Fn(&World<M>) -> Result<(), String> + 'static,
+        goal: impl Fn(&World<M>) -> bool + 'static,
+        msg_digest: impl Fn(&M) -> u64 + 'static,
+    ) -> Self {
+        Checker {
+            config,
+            choices,
+            invariant: Rc::new(invariant),
+            goal: Rc::new(goal),
+            msg_digest: Rc::new(msg_digest),
+        }
+    }
+
+    /// The scenario's choices (for replaying traces).
+    pub fn choices(&self) -> &[McChoice<M>] {
+        &self.choices
+    }
+
+    /// Explores every schedule of `world` within the bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`ForkError`] when a process does not implement [`oar_simnet::Process::fork`]
+    /// or a pending scheduled closure makes the world uncopyable.
+    pub fn run(&self, mut world: World<M>) -> Result<McReport, ForkError> {
+        world.start();
+        let mut report = McReport::default();
+        let mut seen: HashMap<u64, Vec<Vec<u64>>> = HashMap::new();
+        let mut trace: Vec<TraceStep> = Vec::new();
+        match self.config.strategy {
+            Strategy::Dfs => {
+                self.explore_dfs(
+                    world,
+                    0,
+                    0,
+                    0,
+                    Vec::new(),
+                    &mut trace,
+                    &mut seen,
+                    &mut report,
+                )?;
+            }
+            Strategy::Bfs => self.explore_bfs(world, &mut seen, &mut report)?,
+        }
+        report.goal_fingerprints.sort_unstable();
+        report.goal_fingerprints.dedup();
+        Ok(report)
+    }
+
+    /// Dispatches every in-horizon no-op event (delivery to a crashed or
+    /// restarted destination, cancelled timer, …): they cannot affect any
+    /// state, so they are drained without branching.
+    fn drain_noops(&self, world: &mut World<M>) {
+        loop {
+            let noops: Vec<u64> = world
+                .pending_events()
+                .into_iter()
+                .filter(|e| e.noop && e.time <= self.config.horizon)
+                .map(|e| e.seq)
+                .collect();
+            if noops.is_empty() {
+                return;
+            }
+            for seq in noops {
+                world.dispatch_key(seq);
+            }
+        }
+    }
+
+    /// The transitions available in `world` given the fired-choice mask and
+    /// the fault budget already spent.
+    fn candidates(&self, world: &World<M>, fired: u64, faults: usize) -> Vec<Candidate> {
+        // Choices first: DFS then dives into the fault branches early, which
+        // finds fault-dependent counterexamples long before it exhausts the
+        // fault-free interleavings.
+        let mut out: Vec<Candidate> = Vec::new();
+        for (i, choice) in self.choices.iter().enumerate() {
+            if fired & (1 << i) != 0 {
+                continue;
+            }
+            if choice.fault && faults >= self.config.max_faults {
+                continue;
+            }
+            if (choice.enabled)(world) {
+                out.push(Candidate::Choice(i));
+            }
+        }
+        out.extend(
+            world
+                .enabled_events(self.config.horizon)
+                .into_iter()
+                .map(Candidate::Event),
+        );
+        out
+    }
+
+    /// The process a candidate transition targets (independence relation:
+    /// two transitions commute iff both target a process and the targets
+    /// differ).
+    fn target(&self, candidate: &Candidate) -> Option<ProcessId> {
+        match candidate {
+            Candidate::Event(e) => match e.info {
+                PendingEventInfo::Deliver { to, .. } => Some(to),
+                PendingEventInfo::Timer { at, .. } => Some(at),
+                PendingEventInfo::Crash { at }
+                | PendingEventInfo::Restart { at }
+                | PendingEventInfo::Call { at } => Some(at),
+                PendingEventInfo::Partition | PendingEventInfo::Heal => None,
+            },
+            Candidate::Choice(i) => self.choices[*i].affects,
+        }
+    }
+
+    fn independent(a: Option<ProcessId>, b: Option<ProcessId>) -> bool {
+        matches!((a, b), (Some(p), Some(q)) if p != q)
+    }
+
+    /// The deduplication key of a state: world fingerprint + fired-choice
+    /// mask + fault budget. `None` disables deduplication for this state
+    /// (some process has no digest). The sleep set is *not* part of the
+    /// key — see [`Checker::dedup_hit`] for how it is compared instead.
+    fn dedup_key(&self, world: &World<M>, fired: u64, faults: usize) -> Option<u64> {
+        let fp = world.fingerprint(self.config.horizon, &*self.msg_digest)?;
+        let mut h = DefaultHasher::new();
+        fp.hash(&mut h);
+        fired.hash(&mut h);
+        faults.hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// Sleep-set-aware dedup (Godefroid's state-caching condition): a
+    /// revisit of a state may be pruned only when some earlier visit
+    /// arrived with a **subset** sleep set — that visit slept less, so it
+    /// explored a superset of the transitions this visit would explore.
+    /// Hashing the sleep set into the key instead (exact-match dedup) is
+    /// also sound but splits states that differ only in sleep sets; the
+    /// subset rule dominates it. On a miss the visit's own sleep-sig set
+    /// is recorded, and stored sets it dominates are dropped. With POR off
+    /// every set is empty and this degenerates to plain fingerprint dedup.
+    fn dedup_hit(seen: &mut HashMap<u64, Vec<Vec<u64>>>, key: u64, sleep: &[SleepEntry]) -> bool {
+        let mut sigs: Vec<u64> = sleep.iter().map(|s| s.sig).collect();
+        sigs.sort_unstable();
+        sigs.dedup();
+        let is_subset = |a: &[u64], b: &[u64]| a.iter().all(|x| b.binary_search(x).is_ok());
+        let stored = seen.entry(key).or_default();
+        if stored.iter().any(|s| is_subset(s, &sigs)) {
+            return true;
+        }
+        stored.retain(|s| !is_subset(&sigs, s));
+        stored.push(sigs);
+        false
+    }
+
+    fn sleep_entry(&self, world: &World<M>, candidate: &Candidate) -> SleepEntry {
+        match candidate {
+            Candidate::Event(e) => SleepEntry {
+                key: SleepKey::Event(e.seq),
+                sig: world
+                    .event_signature(e.seq, &*self.msg_digest)
+                    .unwrap_or(e.seq),
+                target: self.target(candidate),
+            },
+            Candidate::Choice(i) => {
+                let mut h = DefaultHasher::new();
+                0xC401u16.hash(&mut h);
+                self.choices[*i].id.hash(&mut h);
+                SleepEntry {
+                    key: SleepKey::Choice(*i),
+                    sig: h.finish(),
+                    target: self.choices[*i].affects,
+                }
+            }
+        }
+    }
+
+    fn trace_step(&self, candidate: &Candidate) -> TraceStep {
+        match candidate {
+            Candidate::Event(e) => TraceStep::Event {
+                seq: e.seq,
+                label: match e.info {
+                    PendingEventInfo::Deliver { from, to } => format!("Deliver {from}→{to}"),
+                    PendingEventInfo::Timer { at, tag } => format!("Timer@{at} {tag:?}"),
+                    PendingEventInfo::Crash { at } => format!("Crash@{at}"),
+                    PendingEventInfo::Restart { at } => format!("Restart@{at}"),
+                    PendingEventInfo::Partition => "Partition".to_owned(),
+                    PendingEventInfo::Heal => "Heal".to_owned(),
+                    PendingEventInfo::Call { at } => format!("Call@{at}"),
+                },
+            },
+            Candidate::Choice(i) => TraceStep::Choice {
+                index: *i,
+                id: self.choices[*i].id.clone(),
+            },
+        }
+    }
+
+    /// Applies one candidate to `world`, returning the updated
+    /// (fired, faults) bookkeeping.
+    fn apply(
+        &self,
+        world: &mut World<M>,
+        candidate: &Candidate,
+        fired: u64,
+        faults: usize,
+    ) -> (u64, usize) {
+        match candidate {
+            Candidate::Event(e) => {
+                let dispatched = world.dispatch_key(e.seq);
+                debug_assert!(dispatched, "enabled event must be dispatchable");
+                (fired, faults)
+            }
+            Candidate::Choice(i) => {
+                (self.choices[*i].apply)(world);
+                (
+                    fired | (1 << i),
+                    faults + usize::from(self.choices[*i].fault),
+                )
+            }
+        }
+    }
+
+    fn stop(&self, report: &McReport) -> bool {
+        report.truncated || report.violations.len() >= self.config.max_violations
+    }
+
+    /// Visits one state: drains no-ops, counts it, deduplicates, checks the
+    /// invariant and the goal. Returns the candidate list when the state
+    /// must be expanded further, `None` when this path ends here.
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        &self,
+        world: &mut World<M>,
+        sleep: &[SleepEntry],
+        fired: u64,
+        faults: usize,
+        trace: &[TraceStep],
+        seen: &mut HashMap<u64, Vec<Vec<u64>>>,
+        report: &mut McReport,
+    ) -> Option<Vec<Candidate>> {
+        self.drain_noops(world);
+        if report.states_explored >= self.config.max_states {
+            report.truncated = true;
+            return None;
+        }
+        report.states_explored += 1;
+        if self.config.dedup {
+            if let Some(key) = self.dedup_key(world, fired, faults) {
+                if Self::dedup_hit(seen, key, sleep) {
+                    report.pruned_dedup += 1;
+                    return None;
+                }
+            }
+        }
+        if let Err(message) = (self.invariant)(world) {
+            report.violations.push(Violation {
+                kind: "invariant".to_owned(),
+                message,
+                trace: trace.to_vec(),
+            });
+            return None;
+        }
+        if (self.goal)(world) {
+            report.goal_states += 1;
+            if let Some(fp) = world.fingerprint(self.config.horizon, &*self.msg_digest) {
+                report.goal_fingerprints.push(fp);
+            }
+            return None;
+        }
+        let candidates = self.candidates(world, fired, faults);
+        if candidates.is_empty() {
+            report.deadlocks += 1;
+            report.violations.push(Violation {
+                kind: "deadlock".to_owned(),
+                message: "no enabled transition and the goal does not hold \
+                          (the system is stuck before completing the workload)"
+                    .to_owned(),
+                trace: trace.to_vec(),
+            });
+            return None;
+        }
+        Some(candidates)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn explore_dfs(
+        &self,
+        mut world: World<M>,
+        depth: usize,
+        faults: usize,
+        fired: u64,
+        sleep: Vec<SleepEntry>,
+        trace: &mut Vec<TraceStep>,
+        seen: &mut HashMap<u64, Vec<Vec<u64>>>,
+        report: &mut McReport,
+    ) -> Result<(), ForkError> {
+        let Some(candidates) = self.visit(&mut world, &sleep, fired, faults, trace, seen, report)
+        else {
+            return Ok(());
+        };
+        if depth >= self.config.max_depth {
+            report.depth_limit_hits += 1;
+            return Ok(());
+        }
+        let mut sleep = sleep;
+        for candidate in candidates {
+            if self.stop(report) {
+                return Ok(());
+            }
+            if self.config.por {
+                let key = match &candidate {
+                    Candidate::Event(e) => SleepKey::Event(e.seq),
+                    Candidate::Choice(i) => SleepKey::Choice(*i),
+                };
+                if sleep.iter().any(|s| s.key == key) {
+                    report.pruned_sleep += 1;
+                    continue;
+                }
+            }
+            let mut child = world.fork()?;
+            let taken_target = self.target(&candidate);
+            let (child_fired, child_faults) = self.apply(&mut child, &candidate, fired, faults);
+            report.transitions += 1;
+            trace.push(self.trace_step(&candidate));
+            let child_sleep: Vec<SleepEntry> = if self.config.por {
+                // Sleeping transitions stay asleep only while independent of
+                // the transition just taken (Godefroid's sleep sets).
+                sleep
+                    .iter()
+                    .filter(|s| Self::independent(s.target, taken_target))
+                    .cloned()
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            self.explore_dfs(
+                child,
+                depth + 1,
+                child_faults,
+                child_fired,
+                child_sleep,
+                trace,
+                seen,
+                report,
+            )?;
+            trace.pop();
+            if self.config.por {
+                sleep.push(self.sleep_entry(&world, &candidate));
+            }
+        }
+        Ok(())
+    }
+
+    fn explore_bfs(
+        &self,
+        world: World<M>,
+        seen: &mut HashMap<u64, Vec<Vec<u64>>>,
+        report: &mut McReport,
+    ) -> Result<(), ForkError> {
+        struct Node<M> {
+            world: World<M>,
+            fired: u64,
+            faults: usize,
+            trace: Vec<TraceStep>,
+        }
+        let mut frontier = vec![Node {
+            world,
+            fired: 0,
+            faults: 0,
+            trace: Vec::new(),
+        }];
+        let mut depth = 0;
+        while !frontier.is_empty() && !self.stop(report) {
+            if depth >= self.config.max_depth {
+                report.depth_limit_hits += frontier.len() as u64;
+                break;
+            }
+            let mut next = Vec::new();
+            for mut node in frontier {
+                if self.stop(report) {
+                    break;
+                }
+                let Some(candidates) = self.visit(
+                    &mut node.world,
+                    &[],
+                    node.fired,
+                    node.faults,
+                    &node.trace,
+                    seen,
+                    report,
+                ) else {
+                    continue;
+                };
+                for candidate in candidates {
+                    let mut child = node.world.fork()?;
+                    let (fired, faults) =
+                        self.apply(&mut child, &candidate, node.fired, node.faults);
+                    report.transitions += 1;
+                    let mut trace = node.trace.clone();
+                    trace.push(self.trace_step(&candidate));
+                    next.push(Node {
+                        world: child,
+                        fired,
+                        faults,
+                        trace,
+                    });
+                }
+            }
+            frontier = next;
+            depth += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Re-drives a fresh world along a recorded trace: starts the processes,
+/// drains no-ops exactly as the checker does, and applies every step
+/// (key-directed event dispatch or scenario choice). Returns `false` if a
+/// step does not apply — the world was not built identically to the one the
+/// trace was recorded on.
+///
+/// The world is left *at* the final state of the trace; the caller typically
+/// follows up with [`World::run_until_quiescent`] to demonstrate what the
+/// system does from there (e.g. that a stall reproduces outside the
+/// checker).
+pub fn replay_trace<M: Clone + 'static>(
+    world: &mut World<M>,
+    choices: &[McChoice<M>],
+    trace: &[TraceStep],
+    horizon: SimTime,
+) -> bool {
+    world.start();
+    drain_noops(world, horizon);
+    for step in trace {
+        let applied = match step {
+            TraceStep::Event { seq, .. } => world.dispatch_key(*seq),
+            TraceStep::Choice { index, .. } => match choices.get(*index) {
+                Some(choice) => {
+                    (choice.apply)(world);
+                    true
+                }
+                None => false,
+            },
+        };
+        if !applied {
+            return false;
+        }
+        drain_noops(world, horizon);
+    }
+    true
+}
+
+/// Free-function twin of `Checker::drain_noops` for [`replay_trace`].
+fn drain_noops<M: Clone + 'static>(world: &mut World<M>, horizon: SimTime) {
+    loop {
+        let noops: Vec<u64> = world
+            .pending_events()
+            .into_iter()
+            .filter(|e| e.noop && e.time <= horizon)
+            .map(|e| e.seq)
+            .collect();
+        if noops.is_empty() {
+            return;
+        }
+        for seq in noops {
+            world.dispatch_key(seq);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use oar_simnet::{NetConfig, Process, Runtime, SimDuration};
+
+    /// A process that counts greetings and replies once.
+    #[derive(Clone)]
+    struct Greeter {
+        seen: Vec<(ProcessId, u8)>,
+        replied: bool,
+    }
+
+    impl Process<u8> for Greeter {
+        fn on_message(&mut self, rt: &mut dyn Runtime<u8>, from: ProcessId, msg: u8) {
+            self.seen.push((from, msg));
+            if !self.replied && msg < 10 {
+                self.replied = true;
+                rt.send(from, msg + 10);
+            }
+        }
+        fn fork(&self) -> Option<Box<dyn Process<u8>>> {
+            Some(Box::new(self.clone()))
+        }
+        fn state_digest(&self) -> Option<u64> {
+            let mut h = DefaultHasher::new();
+            self.replied.hash(&mut h);
+            for (from, msg) in &self.seen {
+                (from.index(), *msg).hash(&mut h);
+            }
+            Some(h.finish())
+        }
+    }
+
+    fn two_greeters() -> World<u8> {
+        let mut world: World<u8> =
+            World::new(NetConfig::constant(SimDuration::from_micros(100)), 7);
+        let a = world.add_process(Greeter {
+            seen: Vec::new(),
+            replied: false,
+        });
+        let b = world.add_process(Greeter {
+            seen: Vec::new(),
+            replied: false,
+        });
+        let c = world.add_process(Greeter {
+            seen: Vec::new(),
+            replied: false,
+        });
+        world.send_external(a, b, 1);
+        world.send_external(a, c, 2);
+        world
+    }
+
+    fn checker(config: McConfig) -> Checker<u8> {
+        Checker::new(
+            config,
+            Vec::new(),
+            |_| Ok(()),
+            |world| world.is_quiescent(),
+            |m| u64::from(*m),
+        )
+    }
+
+    #[test]
+    fn dfs_explores_all_interleavings_to_the_goal() {
+        let report = checker(McConfig {
+            por: false,
+            dedup: false,
+            ..McConfig::default()
+        })
+        .run(two_greeters())
+        .expect("forkable");
+        assert!(report.ok(), "{:?}", report.violations);
+        // Two independent deliveries + two replies: more than one path, all
+        // reaching quiescence.
+        assert!(report.goal_states >= 2, "{report:?}");
+        assert_eq!(report.deadlocks, 0);
+    }
+
+    #[test]
+    fn por_prunes_commuting_interleavings() {
+        let full = checker(McConfig {
+            por: false,
+            dedup: false,
+            ..McConfig::default()
+        })
+        .run(two_greeters())
+        .expect("forkable");
+        let reduced = checker(McConfig {
+            por: true,
+            dedup: false,
+            ..McConfig::default()
+        })
+        .run(two_greeters())
+        .expect("forkable");
+        assert!(reduced.ok());
+        // The deliveries to b and c commute: POR must visit strictly fewer
+        // states and prune at least one sibling.
+        assert!(
+            reduced.states_explored < full.states_explored,
+            "reduced {} vs full {}",
+            reduced.states_explored,
+            full.states_explored
+        );
+        assert!(reduced.pruned_sleep > 0);
+        // Every interleaving still reaches the same terminal states.
+        assert_eq!(reduced.goal_fingerprints, full.goal_fingerprints);
+    }
+
+    #[test]
+    fn dedup_collapses_converging_branches() {
+        let plain = checker(McConfig {
+            por: false,
+            dedup: false,
+            ..McConfig::default()
+        })
+        .run(two_greeters())
+        .expect("forkable");
+        let deduped = checker(McConfig {
+            por: false,
+            dedup: true,
+            ..McConfig::default()
+        })
+        .run(two_greeters())
+        .expect("forkable");
+        assert!(deduped.pruned_dedup > 0, "{deduped:?}");
+        assert!(deduped.states_explored < plain.states_explored);
+    }
+
+    #[test]
+    fn bfs_agrees_with_dfs_on_goal_states() {
+        let dfs = checker(McConfig::default()).run(two_greeters()).unwrap();
+        let bfs = checker(McConfig {
+            strategy: Strategy::Bfs,
+            ..McConfig::default()
+        })
+        .run(two_greeters())
+        .unwrap();
+        assert!(dfs.ok() && bfs.ok());
+        assert_eq!(dfs.goal_fingerprints, bfs.goal_fingerprints);
+    }
+
+    #[test]
+    fn invariant_violations_carry_a_replayable_trace() {
+        // "No process may ever have seen two messages" — violated at some
+        // depth on every path.
+        let check = Checker::new(
+            McConfig {
+                por: false,
+                dedup: false,
+                ..McConfig::default()
+            },
+            Vec::new(),
+            |world: &World<u8>| {
+                for p in world.process_ids() {
+                    if world.process_ref::<Greeter>(p).seen.len() >= 2 {
+                        return Err(format!("{p} saw two messages"));
+                    }
+                }
+                Ok(())
+            },
+            |world| world.is_quiescent(),
+            |m| u64::from(*m),
+        );
+        let report = check.run(two_greeters()).expect("forkable");
+        assert_eq!(report.violations.len(), 1);
+        let violation = &report.violations[0];
+        assert_eq!(violation.kind, "invariant");
+        assert!(!violation.trace.is_empty());
+
+        // The trace replays on a fresh identical world and reproduces the
+        // violating state.
+        let mut world = two_greeters();
+        assert!(replay_trace(
+            &mut world,
+            &[],
+            &violation.trace,
+            McConfig::default().horizon
+        ));
+        let over = world
+            .process_ids()
+            .iter()
+            .any(|&p| world.process_ref::<Greeter>(p).seen.len() >= 2);
+        assert!(over, "replay must reach the violating state");
+    }
+
+    #[test]
+    fn choices_fire_at_most_once_and_respect_the_fault_budget() {
+        let crash_b = McChoice {
+            id: "crash(p1)".to_owned(),
+            affects: Some(ProcessId::new(1)),
+            fault: true,
+            enabled: Rc::new(|world: &World<u8>| !world.is_crashed(ProcessId::new(1))),
+            apply: Rc::new(|world: &mut World<u8>| world.crash_now(ProcessId::new(1))),
+        };
+        let no_faults = Checker::new(
+            McConfig {
+                max_faults: 0,
+                ..McConfig::default()
+            },
+            vec![crash_b.clone()],
+            |_| Ok(()),
+            |world| world.is_quiescent(),
+            |m| u64::from(*m),
+        )
+        .run(two_greeters())
+        .unwrap();
+        // Budget 0: the crash never fires, exploration is crash-free.
+        assert!(no_faults.ok(), "{:?}", no_faults.violations);
+
+        let with_fault = Checker::new(
+            McConfig {
+                max_faults: 1,
+                max_violations: usize::MAX,
+                ..McConfig::default()
+            },
+            vec![crash_b],
+            |_| Ok(()),
+            |world| world.is_quiescent(),
+            |m| u64::from(*m),
+        )
+        .run(two_greeters())
+        .unwrap();
+        // The crash branch exists; crashing p1 makes its delivery a no-op,
+        // so the run still quiesces — no deadlock, more states than before.
+        assert!(with_fault.ok(), "{:?}", with_fault.violations);
+        assert!(with_fault.states_explored > no_faults.states_explored);
+    }
+
+    #[test]
+    fn deadlock_is_reported_when_the_goal_is_unreachable() {
+        // Goal that never holds: quiescence is then a deadlock.
+        let check = Checker::new(
+            McConfig {
+                max_violations: usize::MAX,
+                ..McConfig::default()
+            },
+            Vec::new(),
+            |_| Ok(()),
+            |_| false,
+            |m: &u8| u64::from(*m),
+        );
+        let report = check.run(two_greeters()).unwrap();
+        assert!(report.deadlocks > 0);
+        assert!(report
+            .violations
+            .iter()
+            .all(|violation| violation.kind == "deadlock"));
+    }
+}

@@ -1,0 +1,636 @@
+//! OAR-specific model-checking scenarios.
+//!
+//! This module instantiates the generic [`Checker`] for the OAR protocol:
+//! small clusters ([`Cluster`]) on a **checker-friendly configuration** —
+//! constant-latency loss-free FIFO network, protocol timers pushed beyond
+//! the exploration horizon (no heartbeats, no flush deadlines, no catch-up
+//! retries fire *inside* the model), eager unbatched sequencing, closed-loop
+//! clients with zero think time. On such a configuration the system never
+//! reads the clock or the RNG, so key-directed exploration with abstract
+//! time covers every behaviour — the preconditions spelled out in the crate
+//! docs.
+//!
+//! The **invariant** checked at every state is the conjunction of the
+//! paper's safety propositions, evaluated by the production checkers
+//! ([`check_server_consistency`], [`check_external_consistency`]): total
+//! order / prefix compatibility of the committed sequences (Proposition 5),
+//! at-most-once delivery (Propositions 2–3), digest equality at equal
+//! delivery counts, and external consistency of adopted replies
+//! (Proposition 7). The **goal** predicate is termination: every client
+//! finished its workload and no in-horizon event remains. A terminal state
+//! that is not a goal state is a deadlock — the liveness failure mode the
+//! historical sequencer-handoff bug produced.
+//!
+//! Faults are modelled as [`McChoice`]s, so the checker explores their
+//! placement against every message interleaving: [`crash_choice`] kills a
+//! replica, [`restart_choice`] brings it back with blank state through the
+//! catch-up protocol, and [`force_suspect_choice`] injects a failure-detector
+//! suspicion (wrong or justified) at one observer. The pre-packaged
+//! [`OarScenario`]s tie these together:
+//!
+//! * [`OarScenario::clean`] — no faults; exhaustive interleaving coverage of
+//!   the optimistic path.
+//! * [`OarScenario::sequencer_handoff`] — crash of the *next* sequencer plus
+//!   a wrong suspicion of the current one. With
+//!   [`OarConfig::bug_skip_handoff_recheck`] enabled this re-finds the
+//!   historical stall: consensus hands the epoch to an already-suspected
+//!   dead sequencer and no one re-triggers phase 2.
+//! * [`OarScenario::mid_epoch_rejoin`] — crash + catch-up rejoin while
+//!   epochs cut every two requests. With
+//!   [`OarConfig::bug_skip_opt_freeze`] enabled this re-finds the Lemma-2
+//!   violation: the rejoiner Opt-delivers a mid-epoch suffix whose prefix it
+//!   never observed, and the replicas' committed sequences diverge.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use oar::message::OarWire;
+use oar::state_machine::{CounterCommand, CounterMachine};
+use oar::{
+    check_external_consistency, check_server_consistency, Cluster, ClusterConfig, CompletedRequest,
+    OarClient, OarConfig, OarConfigBuilder, OarServer,
+};
+use oar_simnet::{ForkError, NetConfig, PendingEventInfo, ProcessId, SimDuration, SimTime, World};
+
+use crate::{Checker, McChoice, McConfig, McReport};
+
+/// The wire type of a `CounterMachine` OAR cluster.
+pub type Wire = OarWire<CounterCommand, i64>;
+
+/// The exploration horizon of the packaged scenarios: far beyond the
+/// microseconds the protocol needs on a 100µs-latency network, far below
+/// the [`FAR`] timer period.
+pub const HORIZON: SimTime = SimTime::from_secs(60);
+
+/// "Never, within the model": the period of every protocol timer in a
+/// checker-friendly configuration. Events at `now + FAR` exist in the queue
+/// but lie beyond [`HORIZON`], so the checker neither fires nor hashes them.
+pub const FAR: SimDuration = SimDuration::from_secs(3600);
+
+/// Content hash of a wire message, for event signatures and state
+/// fingerprints. Hashes the `Debug` rendering: every OAR wire derives
+/// `Debug` over fully deterministic fields (ids, epochs, sequences), and the
+/// rendering is stable across forks and rebuilds of the same world.
+pub fn wire_digest(m: &Wire) -> u64 {
+    let mut h = DefaultHasher::new();
+    format!("{m:?}").hash(&mut h);
+    h.finish()
+}
+
+/// A checker-friendly protocol configuration: every timer-driven behaviour
+/// (maintenance tick, catch-up retry) pushed beyond the horizon, eager
+/// unbatched sequencing. `tweak` customises the rest (epoch cuts, fault
+/// toggles).
+pub fn timer_free_oar(tweak: impl FnOnce(OarConfigBuilder) -> OarConfigBuilder) -> OarConfig {
+    tweak(OarConfig::builder().tick_interval(FAR).catch_up_retry(FAR)).build()
+}
+
+/// A checker-friendly cluster configuration over `oar`: constant-latency
+/// FIFO network, zero think time, static pipeline of 1, and — crucially —
+/// zero client start delays (the default stagger would be a time-dependent
+/// behaviour the abstract-time exploration must not rely on).
+pub fn mc_cluster_config(num_servers: usize, num_clients: usize, oar: OarConfig) -> ClusterConfig {
+    ClusterConfig {
+        num_servers,
+        num_clients,
+        net: NetConfig::constant(SimDuration::from_micros(100)),
+        oar,
+        seed: 1,
+        think_time: SimDuration::ZERO,
+        client_pipeline: 1,
+        adaptive_pipeline: false,
+        client_start_delays: vec![SimDuration::ZERO; num_clients],
+    }
+}
+
+/// A fault choice killing `target` (consumes one unit of the fault budget).
+pub fn crash_choice(target: ProcessId) -> McChoice<Wire> {
+    McChoice {
+        id: format!("crash({target})"),
+        affects: Some(target),
+        fault: true,
+        enabled: Rc::new(move |world: &World<Wire>| !world.is_crashed(target)),
+        apply: Rc::new(move |world: &mut World<Wire>| world.crash_now(target)),
+    }
+}
+
+/// A choice restarting the crashed `target` with blank state: the
+/// replacement is built with [`OarServer::recovering`], so it rejoins
+/// through the snapshot + settled-delta catch-up protocol.
+pub fn restart_choice(target: ProcessId, num_servers: usize, oar: OarConfig) -> McChoice<Wire> {
+    let group: Vec<ProcessId> = (0..num_servers).map(ProcessId::new).collect();
+    McChoice {
+        id: format!("restart({target})"),
+        affects: Some(target),
+        fault: false,
+        enabled: Rc::new(move |world: &World<Wire>| world.is_crashed(target)),
+        apply: Rc::new(move |world: &mut World<Wire>| {
+            world.restart_now(
+                target,
+                OarServer::recovering(target, group.clone(), oar, CounterMachine::default()),
+            );
+        }),
+    }
+}
+
+/// A choice making server `at`'s failure detector suspect `target`
+/// ([`OarServer::force_suspect`]: triggers Task 1c when `target` is the
+/// current sequencer and feeds any running consensus, exactly like a real
+/// suspicion event). With `only_when_down` the choice is gated on `target`
+/// being actually crashed or mid-recovery (a *justified* suspicion — the
+/// accuracy the eventually-perfect detector converges to); without it the
+/// choice models a **wrong** suspicion of a healthy process.
+///
+/// The justified variant is additionally gated on the target having **no
+/// in-flight messages**: the failure detector revokes suspicion on any
+/// traffic from the suspect (`observe_traffic`), so a suspicion raised
+/// while stale pre-crash messages are still in flight would be revoked on
+/// their arrival and — with heartbeat timers pushed beyond the horizon —
+/// never re-raised, losing the re-suspect transition a real timeout
+/// provides. Firing only after the pipe drains models the detector's
+/// eventual *completeness*: the final, permanent suspicion that follows
+/// the last message from a crashed process. The gate is monotone (a
+/// crashed process sends nothing, so a drained pipe stays drained), which
+/// keeps it sound under sleep-set reduction for the same reason as the
+/// epoch-gated crash in [`OarScenario::mid_epoch_rejoin`].
+pub fn force_suspect_choice(
+    at: ProcessId,
+    target: ProcessId,
+    only_when_down: bool,
+) -> McChoice<Wire> {
+    McChoice {
+        id: format!("suspect({target})@{at}"),
+        affects: Some(at),
+        fault: false,
+        enabled: Rc::new(move |world: &World<Wire>| {
+            if world.is_crashed(at) {
+                return false;
+            }
+            if !only_when_down {
+                return true;
+            }
+            let down = world.is_crashed(target)
+                || world
+                    .process_ref::<OarServer<CounterMachine>>(target)
+                    .is_recovering();
+            down && !world.pending_events().iter().any(|e| {
+                !e.noop
+                    && matches!(e.info, PendingEventInfo::Deliver { from, .. } if from == target)
+            })
+        }),
+        apply: Rc::new(move |world: &mut World<Wire>| {
+            world.invoke_now(at, |proc, ctx| {
+                if let Some(server) = proc
+                    .as_any_mut()
+                    .downcast_mut::<OarServer<CounterMachine>>()
+                {
+                    server.force_suspect(target, ctx);
+                }
+            });
+        }),
+    }
+}
+
+/// The safety invariant of every OAR scenario: the paper's propositions over
+/// the alive, fully-caught-up replicas (a crashed replica holds no state; a
+/// replica mid-catch-up deliberately holds blank state — same population
+/// rule as [`Cluster::check_replica_consistency`]).
+pub fn oar_invariant(
+    servers: Vec<ProcessId>,
+    clients: Vec<ProcessId>,
+) -> impl Fn(&World<Wire>) -> Result<(), String> {
+    move |world: &World<Wire>| {
+        let alive: Vec<&OarServer<CounterMachine>> = servers
+            .iter()
+            .copied()
+            .filter(|&s| !world.is_crashed(s))
+            .map(|s| world.process_ref::<OarServer<CounterMachine>>(s))
+            .filter(|server| !server.is_recovering())
+            .collect();
+        check_server_consistency(&alive)?;
+        let completed: Vec<&[CompletedRequest<i64>]> = clients
+            .iter()
+            .map(|&c| {
+                world
+                    .process_ref::<OarClient<CounterMachine>>(c)
+                    .completed()
+            })
+            .collect();
+        check_external_consistency(&alive, &completed)
+    }
+}
+
+/// The termination goal of every OAR scenario: all clients finished their
+/// workloads **and** the in-horizon event queue drained. Requiring the
+/// drain makes terminal states directly comparable with a plain
+/// [`World::run_until`] execution (differential tests) and keeps the
+/// deadlock check honest — a state with work still in flight is neither
+/// done nor stuck.
+pub fn oar_goal(clients: Vec<ProcessId>, horizon: SimTime) -> impl Fn(&World<Wire>) -> bool {
+    move |world: &World<Wire>| {
+        clients
+            .iter()
+            .all(|&c| world.process_ref::<OarClient<CounterMachine>>(c).is_done())
+            && world
+                .pending_events()
+                .into_iter()
+                .all(|e| e.noop || e.time > horizon)
+    }
+}
+
+/// A packaged model-checking scenario: a cluster shape, a workload, a fault
+/// repertoire and exploration bounds. [`OarScenario::world`] and
+/// [`OarScenario::checker`] rebuild identical instances on every call, so a
+/// trace found by one run replays on a world built by the next.
+pub struct OarScenario {
+    /// Scenario name (report labelling).
+    pub name: &'static str,
+    /// The cluster deployment.
+    pub cluster: ClusterConfig,
+    /// Commands per client (distinct across clients).
+    pub requests_per_client: usize,
+    /// The fault/control choices available to the checker.
+    pub choices: Vec<McChoice<Wire>>,
+    /// Exploration bounds.
+    pub mc: McConfig,
+}
+
+impl OarScenario {
+    /// Failure-free scenario: 3 replicas, `num_clients` closed-loop clients
+    /// with `requests_per_client` commands each, no fault choices. Every
+    /// interleaving of the optimistic path must satisfy all four predicates
+    /// and terminate.
+    pub fn clean(num_clients: usize, requests_per_client: usize) -> Self {
+        OarScenario {
+            name: "clean",
+            cluster: mc_cluster_config(3, num_clients, timer_free_oar(|b| b)),
+            requests_per_client,
+            choices: Vec::new(),
+            mc: McConfig {
+                horizon: HORIZON,
+                max_faults: 0,
+                ..McConfig::default()
+            },
+        }
+    }
+
+    /// Sequencer-handoff scenario (the historical "suspected-sequencer
+    /// phase-2 stall"): 3 replicas, 1 client, 2 requests. The checker may
+    /// crash `s1` (the epoch-1 sequencer), let `s0`/`s2` justifiedly suspect
+    /// it, and let `s2` *wrongly* suspect `s0` (the epoch-0 sequencer) —
+    /// which starts phase 2 and hands epoch 1 to the dead, already-suspected
+    /// `s1`. With `bug` the servers skip the Task 1c re-check at the
+    /// handoff, the second request is never ordered, and the checker finds
+    /// the stall as a deadlock; without it every path terminates.
+    pub fn sequencer_handoff(bug: bool) -> Self {
+        let oar = timer_free_oar(|b| if bug { b.bug_skip_handoff_recheck() } else { b });
+        let s0 = ProcessId::new(0);
+        let s1 = ProcessId::new(1);
+        let s2 = ProcessId::new(2);
+        OarScenario {
+            name: if bug {
+                "sequencer-handoff(bug)"
+            } else {
+                "sequencer-handoff"
+            },
+            cluster: mc_cluster_config(3, 1, oar),
+            requests_per_client: 2,
+            choices: vec![
+                crash_choice(s1),
+                force_suspect_choice(s0, s1, true),
+                force_suspect_choice(s2, s1, true),
+                force_suspect_choice(s2, s0, false),
+            ],
+            mc: McConfig {
+                horizon: HORIZON,
+                max_faults: 1,
+                ..McConfig::default()
+            },
+        }
+    }
+
+    /// Mid-epoch rejoin scenario (the historical Lemma-2 violation): 3
+    /// replicas, 1 client, 4 requests, epochs cut every 2 optimistic
+    /// deliveries — so a rejoin can land *between* two `OrderMsg` batches of
+    /// one epoch. The checker may crash `s2` — gated on the group having
+    /// entered epoch 1, the window where a rejoin lands mid-epoch (crashes
+    /// in epoch 0 only exercise rejoin-at-epoch-start, which the freeze is
+    /// not about) — restart it through catch-up, and let the survivors
+    /// suspect it while it is down (unwedging the epoch-close consensus
+    /// whose round coordinator it is). With `bug` the rejoiner skips the
+    /// Lemma-2 freeze and Opt-delivers a mid-epoch suffix, violating prefix
+    /// compatibility; without it every path stays safe.
+    pub fn mid_epoch_rejoin(bug: bool) -> Self {
+        let oar = timer_free_oar(|b| {
+            let b = b.epoch_cut_after(2);
+            if bug {
+                b.bug_skip_opt_freeze()
+            } else {
+                b
+            }
+        });
+        let s0 = ProcessId::new(0);
+        let s1 = ProcessId::new(1);
+        let s2 = ProcessId::new(2);
+        OarScenario {
+            name: if bug {
+                "mid-epoch-rejoin(bug)"
+            } else {
+                "mid-epoch-rejoin"
+            },
+            cluster: mc_cluster_config(3, 1, oar),
+            requests_per_client: 4,
+            choices: vec![
+                {
+                    let mut crash = crash_choice(s2);
+                    let base = crash.enabled;
+                    crash.id = "crash(p2)@epoch1".to_owned();
+                    crash.enabled = Rc::new(move |world: &World<Wire>| {
+                        base(world)
+                            && world.process_ref::<OarServer<CounterMachine>>(s0).epoch() >= 1
+                    });
+                    crash
+                },
+                restart_choice(s2, 3, oar),
+                force_suspect_choice(s0, s2, true),
+                force_suspect_choice(s1, s2, true),
+            ],
+            mc: McConfig {
+                horizon: HORIZON,
+                max_faults: 1,
+                ..McConfig::default()
+            },
+        }
+    }
+
+    /// The server process ids of this scenario.
+    pub fn servers(&self) -> Vec<ProcessId> {
+        (0..self.cluster.num_servers).map(ProcessId::new).collect()
+    }
+
+    /// The client process ids of this scenario.
+    pub fn clients(&self) -> Vec<ProcessId> {
+        (self.cluster.num_servers..self.cluster.num_servers + self.cluster.num_clients)
+            .map(ProcessId::new)
+            .collect()
+    }
+
+    /// Builds the cluster instance. Deterministic: every call returns an
+    /// identical deployment (same ids, same event numbering).
+    pub fn build_cluster(&self) -> Cluster<CounterMachine> {
+        let requests = self.requests_per_client;
+        Cluster::build(&self.cluster, CounterMachine::default, |client| {
+            (0..requests)
+                .map(|i| CounterCommand::Add((100 * client + i + 1) as i64))
+                .collect()
+        })
+    }
+
+    /// Builds the world to explore.
+    pub fn world(&self) -> World<Wire> {
+        self.build_cluster().world
+    }
+
+    /// Builds the checker (invariant = safety propositions, goal =
+    /// termination).
+    pub fn checker(&self) -> Checker<Wire> {
+        Checker::new(
+            self.mc.clone(),
+            self.choices.clone(),
+            oar_invariant(self.servers(), self.clients()),
+            oar_goal(self.clients(), self.mc.horizon),
+            wire_digest,
+        )
+    }
+
+    /// Explores the scenario.
+    pub fn run(&self) -> Result<McReport, ForkError> {
+        self.checker().run(self.world())
+    }
+
+    /// Same exploration with POR and/or deduplication switched.
+    pub fn run_with(&self, por: bool, dedup: bool) -> Result<McReport, ForkError> {
+        let mut scenario = OarScenario {
+            name: self.name,
+            cluster: self.cluster.clone(),
+            requests_per_client: self.requests_per_client,
+            choices: self.choices.clone(),
+            mc: self.mc.clone(),
+        };
+        scenario.mc.por = por;
+        scenario.mc.dedup = dedup;
+        scenario.run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{replay_trace, TraceStep};
+
+    /// Tentpole gate: the failure-free configuration explores exhaustively
+    /// (no truncation) and every path satisfies all four predicates — total
+    /// order and at-most-once (server consistency), external consistency,
+    /// and termination (every terminal state is a goal state). The debug
+    /// profile runs the 1-request instance (~8k states); the release-mode
+    /// smoke harness runs the 2-request instance (~500k states).
+    #[test]
+    fn clean_exploration_is_exhaustive_and_safe() {
+        let report = OarScenario::clean(1, 1).run().expect("forkable");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(!report.truncated, "exploration must finish: {report:?}");
+        assert_eq!(report.deadlocks, 0);
+        assert!(report.goal_states > 0);
+        assert!(report.states_explored > 0);
+    }
+
+    /// Acceptance gate: partial-order reduction prunes at least half of the
+    /// **raw** interleavings. The reduced arm runs sleep sets alone (no
+    /// state deduplication, so the comparison isolates POR); the raw arm
+    /// runs with no reduction at all, bounded at twice the reduced state
+    /// count plus one — it must hit that bound, proving the raw space is
+    /// more than twice the reduced one. (The actual margin is ~300×:
+    /// release-mode measurement puts the raw 1-request space above 2·10⁷
+    /// states against 69 485 reduced.)
+    #[test]
+    fn por_prunes_at_least_half_the_states() {
+        let scenario = OarScenario::clean(1, 1);
+        let reduced = scenario.run_with(true, false).expect("forkable");
+        assert!(reduced.ok(), "violations: {:?}", reduced.violations);
+        assert!(!reduced.truncated, "reduced run must finish: {reduced:?}");
+        assert!(reduced.pruned_sleep > 0);
+
+        let mut raw = OarScenario::clean(1, 1);
+        raw.mc.max_states = 2 * reduced.states_explored + 1;
+        let raw = raw.run_with(false, false).expect("forkable");
+        assert!(raw.ok(), "violations: {:?}", raw.violations);
+        assert!(
+            raw.truncated,
+            "raw exploration must exceed twice the reduced state count: \
+             {} (por) vs {} (raw, not truncated)",
+            reduced.states_explored, raw.states_explored
+        );
+    }
+
+    /// Historical-bug gate #1: with the Task 1c handoff re-check disabled,
+    /// the checker finds the suspected-sequencer stall as a deadlock and the
+    /// counterexample trace replays on a plain world, reproducing the stall
+    /// outside the checker.
+    #[test]
+    fn handoff_stall_is_refound_and_replays() {
+        let scenario = OarScenario::sequencer_handoff(true);
+        let report = scenario.run().expect("forkable");
+        let violation = report.violations.first().expect("the stall must be found");
+        assert_eq!(violation.kind, "deadlock", "{violation:?}");
+        assert!(
+            violation
+                .trace
+                .iter()
+                .any(|s| matches!(s, TraceStep::Choice { id, .. } if id.starts_with("crash"))),
+            "the stall needs the crash: {:?}",
+            violation.trace
+        );
+
+        // Replay on a fresh, checker-free world: drive the exact trace, then
+        // let the plain simulator run — the workload must still be stuck.
+        let mut world = scenario.world();
+        assert!(
+            replay_trace(
+                &mut world,
+                scenario.choices.as_slice(),
+                &violation.trace,
+                HORIZON
+            ),
+            "the trace must replay on an identically-built world"
+        );
+        world.run_until(HORIZON);
+        let done = scenario
+            .clients()
+            .iter()
+            .all(|&c| world.process_ref::<OarClient<CounterMachine>>(c).is_done());
+        assert!(!done, "replayed stall: the client must still be waiting");
+        // And the stall is a liveness failure, not a safety one.
+        oar_invariant(scenario.servers(), scenario.clients())(&world).expect("safety holds");
+    }
+
+    /// Historical-bug gate #1, control arm: with the fix in place the same
+    /// fault repertoire finds nothing within a generous bound.
+    #[test]
+    fn handoff_with_fix_has_no_violations() {
+        let mut scenario = OarScenario::sequencer_handoff(false);
+        // Bounded sweep: the full fault-choice product is large in debug
+        // builds; the release-mode smoke harness runs it exhaustively.
+        scenario.mc.max_states = 40_000;
+        let report = scenario.run().expect("forkable");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.deadlocks, 0);
+        assert!(report.goal_states > 0);
+    }
+
+    /// Historical-bug gate #2: with the Lemma-2 freeze disabled, a rejoin
+    /// landing between two `OrderMsg` batches of one epoch produces
+    /// divergent committed sequences, caught by the server-consistency
+    /// invariant.
+    #[test]
+    fn mid_epoch_rejoin_divergence_is_refound() {
+        let report = OarScenario::mid_epoch_rejoin(true).run().expect("forkable");
+        let violation = report
+            .violations
+            .first()
+            .expect("the divergence must be found");
+        assert_eq!(violation.kind, "invariant", "{violation:?}");
+        assert!(
+            violation
+                .trace
+                .iter()
+                .any(|s| matches!(s, TraceStep::Choice { id, .. } if id.starts_with("restart"))),
+            "the divergence needs the rejoin: {:?}",
+            violation.trace
+        );
+    }
+
+    /// Historical-bug gate #2, control arm: with the freeze active the same
+    /// fault repertoire finds nothing within a generous bound.
+    #[test]
+    fn mid_epoch_rejoin_with_freeze_has_no_violations() {
+        let mut scenario = OarScenario::mid_epoch_rejoin(false);
+        scenario.mc.max_states = 40_000;
+        let report = scenario.run().expect("forkable");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    /// Differential gate (stepwise): a plain timed execution only ever
+    /// dispatches events the checker considers enabled — the normal
+    /// scheduler's path is one of the checker's paths. Checked on the
+    /// *random-latency* LAN profile across several seeds: timing noise
+    /// permutes the schedule, membership must hold for all of them.
+    #[test]
+    fn plain_execution_follows_checker_enabled_events() {
+        for seed in [1, 7, 42, 1234, 98765] {
+            let mut config = mc_cluster_config(3, 1, OarConfig::default());
+            config.net = NetConfig::lan();
+            config.seed = seed;
+            let mut cluster: Cluster<CounterMachine> =
+                Cluster::build(&config, CounterMachine::default, |_| {
+                    vec![
+                        CounterCommand::Add(1),
+                        CounterCommand::Add(2),
+                        CounterCommand::Add(3),
+                    ]
+                });
+            let world = &mut cluster.world;
+            world.start();
+            let mut steps = 0u64;
+            while let Some(next) = world
+                .pending_events()
+                .into_iter()
+                .min_by_key(|e| (e.time, e.seq))
+            {
+                if !next.noop {
+                    let enabled = world.enabled_events(SimTime::MAX);
+                    assert!(
+                        enabled.iter().any(|e| e.seq == next.seq),
+                        "seed {seed}: the scheduler's next event #{} ({:?}) \
+                         is not checker-enabled",
+                        next.seq,
+                        next.info
+                    );
+                }
+                assert!(world.step(), "queue cannot be empty here");
+                steps += 1;
+                assert!(steps < 200_000, "seed {seed}: runaway execution");
+                let done = (3..4).all(|c| {
+                    world
+                        .process_ref::<OarClient<CounterMachine>>(ProcessId::new(c))
+                        .is_done()
+                });
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Differential gate (terminal state): on the checker-friendly
+    /// configuration, a plain timed execution must land on a terminal state
+    /// the exhaustive exploration visited — its fingerprint is a member of
+    /// the checker's goal-state fingerprints.
+    #[test]
+    fn plain_execution_lands_on_a_checker_goal_state() {
+        let scenario = OarScenario::clean(1, 1);
+        let report = scenario.run().expect("forkable");
+        assert!(report.ok() && !report.truncated);
+        assert!(!report.goal_fingerprints.is_empty());
+
+        let mut world = scenario.world();
+        world.run_until(HORIZON);
+        let fp = world
+            .fingerprint(HORIZON, &wire_digest)
+            .expect("all OAR processes provide digests");
+        assert!(
+            report.goal_fingerprints.contains(&fp),
+            "the plain run's terminal state must be one the checker visited"
+        );
+    }
+}

@@ -151,7 +151,7 @@ impl<R: Clone> QuorumTracker<R> {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Outstanding<R> {
     index: usize,
     sent_at: SimTime,
@@ -341,6 +341,55 @@ impl<S: StateMachine> OarClient<S> {
     pub fn servers(&self) -> &[ProcessId] {
         &self.servers
     }
+
+    /// Deep copy for [`Process::fork`]: every field is `Clone` except the
+    /// workload commands, which are (`S::Command: Clone`).
+    fn fork_self(&self) -> Self {
+        OarClient {
+            id: self.id,
+            servers: self.servers.clone(),
+            group: self.group,
+            cast: self.cast.clone(),
+            workload: self.workload.clone(),
+            next_index: self.next_index,
+            think_time: self.think_time,
+            start_delay: self.start_delay,
+            pipeline: self.pipeline,
+            adaptive: self.adaptive.clone(),
+            outstanding: self.outstanding.clone(),
+            completed: self.completed.clone(),
+            majority: self.majority,
+        }
+    }
+
+    /// Digest of the client's protocol-relevant state, for
+    /// [`Process::state_digest`]. Timestamps (`sent_at`, `completed_at`) are
+    /// excluded: the model checker abstracts time, and two states differing
+    /// only in when things happened behave identically.
+    fn mc_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.id.index().hash(&mut h);
+        self.workload.len().hash(&mut h);
+        self.next_index.hash(&mut h);
+        self.pipeline.hash(&mut h);
+        self.cast.digest_view().hash(&mut h);
+        for (id, outstanding) in &self.outstanding {
+            id.hash(&mut h);
+            outstanding.index.hash(&mut h);
+            outstanding.quorum.replies_seen().hash(&mut h);
+            format!("{:?}", outstanding.quorum).hash(&mut h);
+        }
+        for completed in &self.completed {
+            completed.id.hash(&mut h);
+            completed.index.hash(&mut h);
+            completed.position.hash(&mut h);
+            completed.epoch.hash(&mut h);
+            format!("{:?}", completed.response).hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S> {
@@ -368,6 +417,14 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarClient<S>
         if timer.tag == NEXT_REQUEST && self.outstanding.len() < self.pipeline {
             self.fill_pipeline(ctx);
         }
+    }
+
+    fn fork(&self) -> Option<Box<dyn Process<OarWire<S::Command, S::Response>>>> {
+        Some(Box::new(self.fork_self()))
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(self.mc_digest())
     }
 
     fn name(&self) -> String {

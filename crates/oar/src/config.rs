@@ -87,6 +87,21 @@ pub struct OarConfig {
     /// rejoiner rotates to the next donor with exponential backoff (capped at
     /// 8× base). Also paces `PayloadFetch` retries after rejoin.
     pub catch_up_retry: SimDuration,
+    /// **Test-only fault toggle** for the model checker: when `true`, servers
+    /// skip the Task 1c re-check that runs when an epoch decision hands the
+    /// new epoch to an already-suspected sequencer (and the matching
+    /// maintenance-tick safety net). This reintroduces a historical bug — an
+    /// epoch whose sequencer was suspected *before* the epoch started never
+    /// enters phase 2 and the group stalls — so `oar-mc` can demonstrate that
+    /// it re-finds the counterexample. Never enable outside checker tests.
+    pub bug_skip_handoff_recheck: bool,
+    /// **Test-only fault toggle** for the model checker: when `true`, a
+    /// rejoining replica skips the Lemma-2 optimistic-delivery freeze for the
+    /// epoch it caught up into, Opt-delivering mid-epoch orderings whose
+    /// prefix it never observed. This reintroduces the historical mid-epoch
+    /// rejoin divergence so `oar-mc` can demonstrate the violation. Never
+    /// enable outside checker tests.
+    pub bug_skip_opt_freeze: bool,
 }
 
 impl Default for OarConfig {
@@ -104,6 +119,8 @@ impl Default for OarConfig {
             parallel_apply: None,
             snapshot_every: None,
             catch_up_retry: SimDuration::from_millis(10),
+            bug_skip_handoff_recheck: false,
+            bug_skip_opt_freeze: false,
         }
     }
 }
@@ -173,6 +190,8 @@ pub struct OarConfigBuilder {
     parallel_apply: Option<usize>,
     snapshot_every: Option<u64>,
     catch_up_retry: Option<SimDuration>,
+    bug_skip_handoff_recheck: bool,
+    bug_skip_opt_freeze: bool,
 }
 
 impl OarConfigBuilder {
@@ -249,6 +268,22 @@ impl OarConfigBuilder {
     /// rejoining replicas. Zero is rejected at build time.
     pub fn catch_up_retry(mut self, delay: SimDuration) -> Self {
         self.catch_up_retry = Some(delay);
+        self
+    }
+
+    /// Reintroduces the historical suspected-sequencer hand-off stall
+    /// ([`OarConfig::bug_skip_handoff_recheck`]). Test-only; used by the
+    /// `oar-mc` checker to demonstrate counterexample discovery.
+    pub fn bug_skip_handoff_recheck(mut self) -> Self {
+        self.bug_skip_handoff_recheck = true;
+        self
+    }
+
+    /// Reintroduces the historical mid-epoch rejoin divergence
+    /// ([`OarConfig::bug_skip_opt_freeze`]). Test-only; used by the `oar-mc`
+    /// checker to demonstrate counterexample discovery.
+    pub fn bug_skip_opt_freeze(mut self) -> Self {
+        self.bug_skip_opt_freeze = true;
         self
     }
 
@@ -344,6 +379,8 @@ impl OarConfigBuilder {
             parallel_apply: self.parallel_apply,
             snapshot_every: self.snapshot_every,
             catch_up_retry: self.catch_up_retry.unwrap_or(defaults.catch_up_retry),
+            bug_skip_handoff_recheck: self.bug_skip_handoff_recheck,
+            bug_skip_opt_freeze: self.bug_skip_opt_freeze,
         })
     }
 

@@ -599,6 +599,12 @@ impl<S: StateMachine> OarServer<S> {
         self.phase
     }
 
+    /// Test-support: `Debug` dump of the running phase-2 consensus instance
+    /// (`None` outside phase 2). Used by the model checker's trace probe.
+    pub fn mc_consensus_debug(&self) -> String {
+        format!("{:?}", self.consensus)
+    }
+
     /// The sequencer of epoch `k`: `Π[k mod |Π|]`.
     pub fn sequencer_of(&self, epoch: u64) -> ProcessId {
         self.group[(epoch as usize) % self.group.len()]
@@ -729,6 +735,26 @@ impl<S: StateMachine> OarServer<S> {
             self.fd.force_suspect(sequencer);
         }
         self.maybe_start_phase2(ctx);
+    }
+
+    /// Forces this server's failure detector to suspect an arbitrary peer
+    /// (wrong-suspicion injection used by the model checker's fault choices;
+    /// unlike [`Self::force_suspect_sequencer`] the target need not be the
+    /// current sequencer). Triggers Task 1c if the target *is* the current
+    /// sequencer and feeds the updated suspect set to any running consensus,
+    /// like a real suspicion event would (on the normal path the maintenance
+    /// tick does both; the checker's configurations push ticks beyond the
+    /// exploration horizon).
+    pub fn force_suspect(
+        &mut self,
+        target: ProcessId,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+    ) {
+        if target != self.id {
+            self.fd.force_suspect(target);
+        }
+        self.maybe_start_phase2(ctx);
+        self.push_suspects_to_consensus(ctx);
     }
 
     // ------------------------------------------------------------------
@@ -941,7 +967,9 @@ impl<S: StateMachine> OarServer<S> {
         // would make its `O_delivered` diverge from the sequencer-order
         // prefix every other replica holds (Lemma 2). The queued orders
         // settle at the conservative close instead.
-        if self.opt_freeze_epoch == Some(self.epoch) {
+        // `bug_skip_opt_freeze` (model-checker fault toggle) reintroduces
+        // the pre-freeze behaviour so `oar-mc` can re-find the divergence.
+        if !self.config.bug_skip_opt_freeze && self.opt_freeze_epoch == Some(self.epoch) {
             return;
         }
         // Collect the deliverable prefix of the queue, stopping at the §5.3
@@ -1394,7 +1422,11 @@ impl<S: StateMachine> OarServer<S> {
         // The rotating rule may hand the new epoch to a server that is
         // *already* suspected (e.g. a crashed replica whose turn comes round
         // again): no fresh FD event will fire, so re-check Task 1c here.
-        self.maybe_start_phase2(ctx);
+        // `bug_skip_handoff_recheck` (model-checker fault toggle) omits the
+        // re-check so `oar-mc` can re-find the resulting epoch stall.
+        if !self.config.bug_skip_handoff_recheck {
+            self.maybe_start_phase2(ctx);
+        }
     }
 
     /// Reacts to failure-detector events.
@@ -1817,9 +1849,152 @@ impl<S: StateMachine> OarServer<S> {
             }
         }
     }
+
+    // ------------------------------------------------------------------
+    // model-checker hooks (state capture + deduplication)
+    // ------------------------------------------------------------------
+
+    /// Deep copy of the whole server, for [`Process::fork`]: every field is
+    /// `Clone` except the state machine, which supplies its own copy through
+    /// [`StateMachine::fork`] (`None` — not forkable — propagates).
+    fn fork_self(&self) -> Option<Self> {
+        let sm = self.sm.fork()?;
+        Some(OarServer {
+            id: self.id,
+            group: self.group.clone(),
+            config: self.config,
+            epoch: self.epoch,
+            phase: self.phase,
+            r_delivered: self.r_delivered.clone(),
+            a_delivered: self.a_delivered.clone(),
+            o_delivered: self.o_delivered.clone(),
+            settled: self.settled.clone(),
+            payloads: self.payloads.clone(),
+            undo_stack: self.undo_stack.clone(),
+            position: self.position,
+            order_queue: self.order_queue.clone(),
+            order_queued: self.order_queued.clone(),
+            order_cursor: self.order_cursor,
+            phase2_started: self.phase2_started,
+            adaptive: self.adaptive.clone(),
+            flush_deadline: self.flush_deadline,
+            flush_timer_pending: self.flush_timer_pending,
+            request_cast: self.request_cast.clone(),
+            phase2_cast: self.phase2_cast.clone(),
+            fd: self.fd.clone(),
+            consensus: self.consensus.clone(),
+            future_orders: self.future_orders.clone(),
+            future_phase2: self.future_phase2.clone(),
+            buffered_consensus: self.buffered_consensus.clone(),
+            pending_decision: self.pending_decision.clone(),
+            pending_missing: self.pending_missing.clone(),
+            peer_settled: self.peer_settled.clone(),
+            gc_floor: self.gc_floor,
+            gc_pending: self.gc_pending.clone(),
+            phase2_msg_ids: self.phase2_msg_ids.clone(),
+            a_base: self.a_base,
+            a_base_hash: self.a_base_hash,
+            settled_digest: self.settled_digest,
+            settled_log: self.settled_log.clone(),
+            snapshot: self.snapshot.clone(),
+            catch_up_attempt: self.catch_up_attempt,
+            recovery_buffer: self.recovery_buffer.clone(),
+            opt_freeze_epoch: self.opt_freeze_epoch,
+            prev_missing: self.prev_missing.clone(),
+            fetch_round: self.fetch_round,
+            cnsv_stall_ticks: self.cnsv_stall_ticks,
+            sm,
+            log: self.log.clone(),
+            stats: self.stats,
+        })
+    }
+
+    /// Digest of the server's *protocol-relevant* state, for
+    /// [`Process::state_digest`] (model-checker state deduplication).
+    ///
+    /// Covered: epoch machinery, the three delivery sequences, the ordering
+    /// queue, the components (casters via [`ReliableCaster::digest_view`],
+    /// failure detector via its suspect set, consensus and the out-of-epoch
+    /// buffers via their deterministic `Debug` form), the recovery layer and
+    /// the state machine's own [`StateMachine::digest`]. Excluded: the
+    /// delivery log and [`ServerStats`] — observability only, `apply_ns` is
+    /// even host wall-clock — and payload *contents* (a `RequestId`
+    /// determines its payload group-wide, so the sorted key set suffices).
+    /// Unordered containers are hashed in sorted order.
+    fn mc_digest(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn sorted<T: Ord + Copy>(set: impl IntoIterator<Item = T>) -> Vec<T> {
+            let mut v: Vec<T> = set.into_iter().collect();
+            v.sort_unstable();
+            v
+        }
+        let mut h = DefaultHasher::new();
+        self.id.index().hash(&mut h);
+        self.epoch.hash(&mut h);
+        matches!(self.phase, Phase::Conservative).hash(&mut h);
+        self.position.hash(&mut h);
+        self.phase2_started.hash(&mut h);
+        self.order_cursor.hash(&mut h);
+        self.r_delivered.as_slice().hash(&mut h);
+        self.a_delivered.as_slice().hash(&mut h);
+        self.o_delivered.as_slice().hash(&mut h);
+        sorted(self.settled.iter().copied()).hash(&mut h);
+        sorted(self.payloads.keys().copied()).hash(&mut h);
+        for (id, _undo) in &self.undo_stack {
+            // The token itself is a function of the delivery prefix and the
+            // machine state, both already covered.
+            id.hash(&mut h);
+        }
+        self.order_queue.hash(&mut h);
+        format!("{:?}", self.flush_deadline).hash(&mut h);
+        self.flush_timer_pending.hash(&mut h);
+        format!("{:?}", self.adaptive).hash(&mut h);
+        self.request_cast.digest_view().hash(&mut h);
+        self.phase2_cast.digest_view().hash(&mut h);
+        for p in self.fd.suspects() {
+            p.index().hash(&mut h);
+        }
+        format!("{:?}", self.consensus).hash(&mut h);
+        format!("{:?}", self.future_orders).hash(&mut h);
+        self.future_phase2.hash(&mut h);
+        format!("{:?}", self.buffered_consensus).hash(&mut h);
+        format!("{:?}", self.pending_decision).hash(&mut h);
+        sorted(self.pending_missing.iter().copied()).hash(&mut h);
+        sorted(self.peer_settled.iter().map(|(p, w)| (*p, *w))).hash(&mut h);
+        self.gc_floor.hash(&mut h);
+        format!("{:?}", self.gc_pending).hash(&mut h);
+        format!("{:?}", self.phase2_msg_ids).hash(&mut h);
+        self.a_base.hash(&mut h);
+        self.a_base_hash.hash(&mut h);
+        self.settled_digest.hash(&mut h);
+        for request in &self.settled_log {
+            request.id.hash(&mut h);
+        }
+        self.snapshot.position.hash(&mut h);
+        self.snapshot.digest.hash(&mut h);
+        self.snapshot.order_hash.hash(&mut h);
+        self.catch_up_attempt.hash(&mut h);
+        format!("{:?}", self.recovery_buffer).hash(&mut h);
+        self.opt_freeze_epoch.hash(&mut h);
+        sorted(self.prev_missing.iter().copied()).hash(&mut h);
+        self.fetch_round.hash(&mut h);
+        self.cnsv_stall_ticks.hash(&mut h);
+        self.sm.digest().hash(&mut h);
+        h.finish()
+    }
 }
 
 impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S> {
+    fn fork(&self) -> Option<Box<dyn Process<OarWire<S::Command, S::Response>>>> {
+        self.fork_self()
+            .map(|server| Box::new(server) as Box<dyn Process<OarWire<S::Command, S::Response>>>)
+    }
+
+    fn state_digest(&self) -> Option<u64> {
+        Some(self.mc_digest())
+    }
+
     fn on_start(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
         if self.catch_up_attempt.is_some() {
             // Recovery mode: no maintenance tick (and so no heartbeats or
@@ -2059,8 +2234,12 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         // set — see `set_pending_decision`.)
         self.maybe_order(ctx);
         // Task 1c safety net: the current sequencer may have been suspected
-        // before its epoch even started.
-        self.maybe_start_phase2(ctx);
+        // before its epoch even started. Covered by the same model-checker
+        // fault toggle as the epoch-advance re-check: with both omitted the
+        // stall is permanent, which is what `oar-mc` demonstrates.
+        if !self.config.bug_skip_handoff_recheck {
+            self.maybe_start_phase2(ctx);
+        }
         // Payload repair for gaps the multicast layer will never re-send
         // (relays lost across a restart).
         self.maybe_fetch_payloads(ctx);

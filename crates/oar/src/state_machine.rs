@@ -89,8 +89,10 @@ pub trait StateMachine: fmt::Debug + 'static {
     type Command: Clone + fmt::Debug + PartialEq + 'static;
     /// The response returned to clients.
     type Response: Clone + fmt::Debug + PartialEq + 'static;
-    /// The token that allows one `apply` to be rolled back.
-    type Undo: fmt::Debug + 'static;
+    /// The token that allows one `apply` to be rolled back. `Clone` so a
+    /// server's undo stack can be copied when the model checker forks a
+    /// replica mid-epoch.
+    type Undo: Clone + fmt::Debug + 'static;
 
     /// Applies `command`, returning the response for the client and an undo
     /// token. Determinism is required.
@@ -144,6 +146,16 @@ pub trait StateMachine: fmt::Debug + 'static {
     fn install(&mut self, image: &StateImage) -> bool {
         let _ = image;
         false
+    }
+
+    /// A deep copy of the machine, used when the model checker forks a
+    /// replica at a scheduling choice. The default returns `None` ("not
+    /// forkable"); clonable machines override it with `Some(self.clone())`.
+    fn fork(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
     }
 }
 
@@ -264,7 +276,7 @@ impl CounterMachine {
 }
 
 /// Undo token of [`CounterMachine`].
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CounterUndo {
     delta: i64,
 }
@@ -314,6 +326,10 @@ impl StateMachine for CounterMachine {
 
     fn install(&mut self, image: &StateImage) -> bool {
         self.install_erased(image)
+    }
+
+    fn fork(&self) -> Option<Self> {
+        Some(self.clone())
     }
 }
 

@@ -65,4 +65,7 @@ pub use rng::SimRng;
 pub use runtime::{Runtime, TimerTag};
 pub use time::{SimDuration, SimTime};
 pub use trace::{DropReason, NetStats, TraceEvent, TraceKind, Tracer};
-pub use world::{horizon_for, ProcessCall, ProcessFactory, World, DEFAULT_HORIZON};
+pub use world::{
+    horizon_for, ForkError, PendingEvent, PendingEventInfo, ProcessCall, ProcessFactory,
+    RunOutcome, StopReason, World, DEFAULT_HORIZON,
+};

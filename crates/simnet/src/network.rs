@@ -10,7 +10,7 @@ use crate::time::{SimDuration, SimTime};
 /// The state of the simulated network: which links have custom behaviour,
 /// which partition (if any) is installed, and the per-link FIFO delivery
 /// horizon used to keep channels FIFO.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct Network {
     config: NetConfig,
     link_overrides: HashMap<(ProcessId, ProcessId), LinkConfig>,

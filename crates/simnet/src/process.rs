@@ -159,6 +159,29 @@ pub trait Process<M>: AsAny {
     fn name(&self) -> String {
         "process".to_owned()
     }
+
+    /// Returns a deep copy of this process, boxed, so a model checker can
+    /// fork the whole [`World`](crate::World) at a scheduling choice.
+    ///
+    /// The default returns `None` ("not forkable"); processes that want to be
+    /// explored by the `oar-mc` checker override this with a clone of
+    /// themselves. [`World::fork`](crate::World::fork) fails if any process
+    /// returns `None`.
+    fn fork(&self) -> Option<Box<dyn Process<M>>> {
+        None
+    }
+
+    /// A digest of the process's *protocol-relevant* state, used by a model
+    /// checker to deduplicate visited global states.
+    ///
+    /// Two processes whose digests are equal must behave identically on every
+    /// future event; fields that are pure observability (wall-clock stats,
+    /// history logs) should be excluded. The default returns `None` ("no
+    /// digest"), which disables state deduplication for worlds containing
+    /// this process.
+    fn state_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 #[cfg(test)]

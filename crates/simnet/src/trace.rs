@@ -131,7 +131,10 @@ pub struct NetStats {
 }
 
 /// Records trace events and aggregate statistics for one simulation run.
-#[derive(Debug, Default)]
+///
+/// `Clone` so a forked [`World`](crate::World) (model checking) carries the
+/// trace prefix of the path that led to it.
+#[derive(Clone, Debug, Default)]
 pub struct Tracer {
     events: Vec<TraceEvent>,
     stats: NetStats,

@@ -2,7 +2,9 @@
 //! [`Process`]es connected by a simulated [`Network`].
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, BinaryHeap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use crate::config::NetConfig;
@@ -80,11 +82,133 @@ impl<M> PartialOrd for QueuedEvent<M> {
     }
 }
 impl<M> Ord for QueuedEvent<M> {
+    /// Events are totally ordered by `(time, seq)`. `seq` is the per-world
+    /// push counter, so same-timestamp events dispatch in the order they were
+    /// scheduled — this is the **stable tie-breaking key** that makes runs
+    /// replayable: a trace that names events by `seq` (as the `oar-mc` model
+    /// checker does) identifies each pending event unambiguously, and a plain
+    /// run over the same pushes dispatches them in exactly this order.
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest event first.
         (other.time, other.seq).cmp(&(self.time, self.seq))
     }
 }
+
+/// Why a [`World::run_until_quiescent`] loop stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event queue drained completely: nothing will ever happen again.
+    Quiescent,
+    /// The time horizon was reached with events still pending.
+    HorizonReached,
+    /// The event limit ([`World::set_event_limit`]) was hit with events still
+    /// pending.
+    EventLimitReached,
+}
+
+/// Result of [`World::run_until_quiescent`]: the simulated time reached plus
+/// whether the run actually quiesced or was cut off by a budget. A model
+/// checker needs the distinction to tell a genuine deadlock (quiescent but
+/// goal not reached) from an exploration cutoff.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Simulated time when the loop stopped.
+    pub time: SimTime,
+    /// Why the loop stopped.
+    pub reason: StopReason,
+}
+
+impl RunOutcome {
+    /// `true` when the run drained every pending event.
+    pub fn is_quiescent(self) -> bool {
+        self.reason == StopReason::Quiescent
+    }
+}
+
+/// What a pending event will do when dispatched — the model-checking view of
+/// one queue entry, with the message payload elided.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PendingEventInfo {
+    /// A message delivery.
+    Deliver {
+        /// Sender.
+        from: ProcessId,
+        /// Destination.
+        to: ProcessId,
+    },
+    /// A timer firing.
+    Timer {
+        /// The process whose timer fires.
+        at: ProcessId,
+        /// The tag the timer was armed with.
+        tag: TimerTag,
+    },
+    /// A scheduled crash ([`World::schedule_crash`]).
+    Crash {
+        /// The process that will crash.
+        at: ProcessId,
+    },
+    /// A scheduled restart ([`World::schedule_restart`]).
+    Restart {
+        /// The process that will be revived.
+        at: ProcessId,
+    },
+    /// A scheduled partition install.
+    Partition,
+    /// A scheduled partition heal.
+    Heal,
+    /// A scheduled external call ([`World::schedule_call`]).
+    Call {
+        /// The process the call targets.
+        at: ProcessId,
+    },
+}
+
+/// One pending event of the queue, as exposed to a model checker by
+/// [`World::pending_events`] / [`World::enabled_events`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PendingEvent {
+    /// Stable per-world sequence number — the replayable identity of the
+    /// event (see the `QueuedEvent` ordering: ties on `time` break by
+    /// `seq`, so naming events by `seq` makes traces replayable).
+    pub seq: u64,
+    /// Scheduled dispatch time (a lower bound under key-directed dispatch).
+    pub time: SimTime,
+    /// What the event will do.
+    pub info: PendingEventInfo,
+    /// `true` when dispatching the event cannot affect any process or network
+    /// state in the *current* world (delivery to a crashed or restarted
+    /// destination, cancelled or stale timer, crash of an already-crashed
+    /// process, …): a checker drains these without branching.
+    pub noop: bool,
+}
+
+/// Why [`World::fork`] could not copy the world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ForkError {
+    /// A process did not implement [`Process::fork`].
+    UnforkableProcess(ProcessId),
+    /// A pending scheduled restart or call holds a one-shot closure that
+    /// cannot be cloned; inject faults through immediate operations
+    /// ([`World::crash_now`], [`World::restart_now`]) instead.
+    UnforkableEvent(u64),
+}
+
+impl std::fmt::Display for ForkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ForkError::UnforkableProcess(p) => {
+                write!(f, "process {p} does not implement Process::fork")
+            }
+            ForkError::UnforkableEvent(seq) => write!(
+                f,
+                "pending event seq {seq} holds a non-clonable closure (scheduled restart/call)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ForkError {}
 
 struct Slot<M> {
     process: Box<dyn Process<M>>,
@@ -431,16 +555,36 @@ impl<M: Clone + 'static> World<M> {
         self.now
     }
 
-    /// Runs until no events remain or the horizon `max` is reached. Returns
-    /// the time of the last processed event.
-    pub fn run_until_quiescent(&mut self, max: SimTime) -> SimTime {
+    /// Runs until no events remain or the horizon `max` is reached.
+    ///
+    /// The returned [`RunOutcome`] distinguishes a *genuinely quiescent*
+    /// system (the queue drained — nothing will ever happen again) from a
+    /// run cut off by a budget (the time horizon, or the event limit set via
+    /// [`World::set_event_limit`]). Callers that only want the time reached
+    /// can keep ignoring the return value; callers probing for deadlocks —
+    /// like the `oar-mc` model checker — must check
+    /// [`RunOutcome::is_quiescent`] instead of assuming the run finished.
+    pub fn run_until_quiescent(&mut self, max: SimTime) -> RunOutcome {
         self.ensure_started();
         while self.step() {
             if self.now >= max {
                 break;
             }
         }
-        self.now
+        let reason = if self.queue.is_empty() {
+            StopReason::Quiescent
+        } else if self
+            .event_limit
+            .is_some_and(|limit| self.events_processed >= limit)
+        {
+            StopReason::EventLimitReached
+        } else {
+            StopReason::HorizonReached
+        };
+        RunOutcome {
+            time: self.now,
+            reason,
+        }
     }
 
     /// Number of events processed so far.
@@ -451,6 +595,327 @@ impl<M: Clone + 'static> World<M> {
     /// Returns `true` if no events are pending.
     pub fn is_quiescent(&self) -> bool {
         self.queue.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // model-checking hooks (used by the `oar-mc` crate)
+    // ------------------------------------------------------------------
+
+    /// Runs every not-yet-started process's `on_start` hook without
+    /// dispatching any event. A model checker calls this once on the root
+    /// world so the initial pending-event set is complete before the first
+    /// scheduling choice.
+    pub fn start(&mut self) {
+        self.ensure_started();
+    }
+
+    /// All pending events, sorted by the dispatch order key `(time, seq)`,
+    /// with their no-op status evaluated against the current world state.
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        let mut pending: Vec<PendingEvent> = self
+            .queue
+            .iter()
+            .map(|e| PendingEvent {
+                seq: e.seq,
+                time: e.time,
+                info: Self::event_info(&e.kind),
+                noop: self.event_noop(&e.kind),
+            })
+            .collect();
+        pending.sort_by_key(|e| (e.time, e.seq));
+        pending
+    }
+
+    /// The scheduling choices a model checker may take next: pending events
+    /// at or before `horizon`, minus no-ops, restricted to those whose
+    /// dispatch order is *not* already forced by the system model:
+    ///
+    /// * on FIFO links, only the earliest `(time, seq)` delivery per ordered
+    ///   link `(from, to)` is enabled — later messages on the same channel
+    ///   can never overtake it in any real run;
+    /// * per process, only the earliest pending timer is enabled — timer
+    ///   deadlines are local clock reads, totally ordered at one process.
+    ///
+    /// Everything else (deliveries on different links, timers at different
+    /// processes, faults) is concurrent: dispatching them in either order is
+    /// realisable by some latency assignment, so each is a separate branch.
+    pub fn enabled_events(&self, horizon: SimTime) -> Vec<PendingEvent> {
+        let fifo = self.net.config().fifo_links;
+        let mut first_on_link: HashSet<(ProcessId, ProcessId)> = HashSet::new();
+        let mut first_timer_at: HashSet<ProcessId> = HashSet::new();
+        let mut enabled = Vec::new();
+        for e in self.pending_events() {
+            if e.time > horizon || e.noop {
+                continue;
+            }
+            match e.info {
+                PendingEventInfo::Deliver { from, to } if fifo => {
+                    if first_on_link.insert((from, to)) {
+                        enabled.push(e);
+                    }
+                }
+                PendingEventInfo::Timer { at, .. } => {
+                    if first_timer_at.insert(at) {
+                        enabled.push(e);
+                    }
+                }
+                _ => enabled.push(e),
+            }
+        }
+        enabled
+    }
+
+    /// Dispatches the pending event with sequence number `seq`, regardless of
+    /// its position in the time order — the key-directed dispatch a model
+    /// checker uses to explore interleavings. Returns `false` (and does
+    /// nothing) when no pending event has that `seq`.
+    ///
+    /// Time handling is *abstract*: the clock only moves forward
+    /// (`now = max(now, event.time)`), so dispatching an event out of time
+    /// order treats the times of the remaining events as lower bounds. This
+    /// is sound for configurations whose behaviour does not read the clock
+    /// value itself (constant-latency, no-loss networks and timer-free
+    /// protocol settings — see the `oar-mc` crate docs).
+    pub fn dispatch_key(&mut self, seq: u64) -> bool {
+        self.ensure_started();
+        let mut events = std::mem::take(&mut self.queue).into_vec();
+        let Some(pos) = events.iter().position(|e| e.seq == seq) else {
+            self.queue = BinaryHeap::from(events);
+            return false;
+        };
+        let event = events.swap_remove(pos);
+        self.queue = BinaryHeap::from(events);
+        self.now = self.now.max(event.time);
+        self.events_processed += 1;
+        self.dispatch(event.kind);
+        true
+    }
+
+    /// A content digest of one pending event (kind, participants, payload
+    /// digest — no times, no seq), or `None` when no pending event has that
+    /// `seq`. Model checkers mix these into sleep-set hashes so that sets
+    /// keyed by `seq` compare equal across forks.
+    pub fn event_signature(&self, seq: u64, msg_digest: &dyn Fn(&M) -> u64) -> Option<u64> {
+        let event = self.queue.iter().find(|e| e.seq == seq)?;
+        let mut h = DefaultHasher::new();
+        Self::hash_event_content(&event.kind, msg_digest, &mut h);
+        Some(h.finish())
+    }
+
+    /// A digest of the whole world state for model-checker deduplication:
+    /// per-process state digests, crash/incarnation flags, the partition
+    /// flag, held messages, and the *content* of pending in-horizon non-noop
+    /// events (per-link deliveries in FIFO order, per-process timers in
+    /// deadline order) — with event **times excluded**, matching the abstract
+    /// clock of [`World::dispatch_key`].
+    ///
+    /// Returns `None` when any live process lacks a
+    /// [`Process::state_digest`], which disables deduplication.
+    ///
+    /// Only sound for configurations where the RNG cannot influence
+    /// behaviour (constant latency, zero loss/duplication): the RNG state is
+    /// deliberately not hashed.
+    pub fn fingerprint(&self, horizon: SimTime, msg_digest: &dyn Fn(&M) -> u64) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        self.net.is_partitioned().hash(&mut h);
+        for held in &self.held {
+            (held.from, held.to, held.incarnation).hash(&mut h);
+            Self::hash_payload(&held.msg, msg_digest, &mut h);
+        }
+        for (idx, slot) in self.slots.iter().enumerate() {
+            (idx, slot.crashed, slot.incarnation).hash(&mut h);
+            if !slot.crashed {
+                slot.process.state_digest()?.hash(&mut h);
+            }
+        }
+        // Pending events: group per "channel" so the hash captures the
+        // *order-relevant* content. BTreeMaps give a canonical iteration
+        // order; within one channel events are pushed in (time, seq) order.
+        let mut events: Vec<&QueuedEvent<M>> = self.queue.iter().collect();
+        events.sort_by_key(|e| (e.time, e.seq));
+        let mut delivers: BTreeMap<(ProcessId, ProcessId), Vec<u64>> = BTreeMap::new();
+        let mut timers: BTreeMap<ProcessId, Vec<TimerTag>> = BTreeMap::new();
+        let mut other: Vec<(u8, Option<ProcessId>)> = Vec::new();
+        for e in events {
+            if e.time > horizon || self.event_noop(&e.kind) {
+                continue;
+            }
+            match &e.kind {
+                EventKind::Deliver { from, to, msg, .. } => {
+                    let mut eh = DefaultHasher::new();
+                    Self::hash_payload(msg, msg_digest, &mut eh);
+                    delivers.entry((*from, *to)).or_default().push(eh.finish());
+                }
+                EventKind::Timer { at, tag, .. } => {
+                    timers.entry(*at).or_default().push(*tag);
+                }
+                EventKind::Crash { at } => other.push((2, Some(*at))),
+                EventKind::Restart { at, .. } => other.push((3, Some(*at))),
+                EventKind::InstallPartition { .. } => other.push((4, None)),
+                EventKind::HealPartition => other.push((5, None)),
+                EventKind::Call { at, .. } => other.push((6, Some(*at))),
+            }
+        }
+        delivers.hash(&mut h);
+        timers.hash(&mut h);
+        other.hash(&mut h);
+        Some(h.finish())
+    }
+
+    /// Deep-copies the world so a model checker can branch: every process is
+    /// copied through [`Process::fork`], the pending queue keeps its `(time,
+    /// seq)` keys (so traces recorded in one branch replay in another), and
+    /// network, tracer, RNG and clock state come along unchanged.
+    pub fn fork(&self) -> Result<World<M>, ForkError> {
+        let mut slots = Vec::with_capacity(self.slots.len());
+        for (idx, slot) in self.slots.iter().enumerate() {
+            let process = slot
+                .process
+                .fork()
+                .ok_or(ForkError::UnforkableProcess(ProcessId(idx)))?;
+            slots.push(Slot {
+                process,
+                crashed: slot.crashed,
+                started: slot.started,
+                incarnation: slot.incarnation,
+            });
+        }
+        let mut queue = BinaryHeap::with_capacity(self.queue.len());
+        for e in self.queue.iter() {
+            let kind = match &e.kind {
+                EventKind::Deliver {
+                    from,
+                    to,
+                    msg,
+                    incarnation,
+                } => EventKind::Deliver {
+                    from: *from,
+                    to: *to,
+                    msg: Self::clone_payload(msg),
+                    incarnation: *incarnation,
+                },
+                EventKind::Timer {
+                    at,
+                    id,
+                    tag,
+                    incarnation,
+                } => EventKind::Timer {
+                    at: *at,
+                    id: *id,
+                    tag: *tag,
+                    incarnation: *incarnation,
+                },
+                EventKind::Crash { at } => EventKind::Crash { at: *at },
+                EventKind::InstallPartition { groups } => EventKind::InstallPartition {
+                    groups: groups.clone(),
+                },
+                EventKind::HealPartition => EventKind::HealPartition,
+                EventKind::Restart { .. } | EventKind::Call { .. } => {
+                    return Err(ForkError::UnforkableEvent(e.seq));
+                }
+            };
+            queue.push(QueuedEvent {
+                time: e.time,
+                seq: e.seq,
+                kind,
+            });
+        }
+        let held = self
+            .held
+            .iter()
+            .map(|held| HeldMessage {
+                from: held.from,
+                to: held.to,
+                msg: Self::clone_payload(&held.msg),
+                incarnation: held.incarnation,
+            })
+            .collect();
+        Ok(World {
+            slots,
+            net: self.net.clone(),
+            queue,
+            held,
+            now: self.now,
+            seq: self.seq,
+            rng: self.rng.clone(),
+            tracer: self.tracer.clone(),
+            next_timer_id: self.next_timer_id,
+            cancelled_timers: self.cancelled_timers.clone(),
+            events_processed: self.events_processed,
+            event_limit: self.event_limit,
+        })
+    }
+
+    fn clone_payload(msg: &Payload<M>) -> Payload<M> {
+        match msg {
+            Payload::Owned(m) => Payload::Owned(m.clone()),
+            Payload::Shared(m) => Payload::Shared(Arc::clone(m)),
+        }
+    }
+
+    fn hash_payload(msg: &Payload<M>, msg_digest: &dyn Fn(&M) -> u64, h: &mut DefaultHasher) {
+        match msg {
+            Payload::Owned(m) => msg_digest(m).hash(h),
+            Payload::Shared(m) => msg_digest(m).hash(h),
+        }
+    }
+
+    fn hash_event_content(
+        kind: &EventKind<M>,
+        msg_digest: &dyn Fn(&M) -> u64,
+        h: &mut DefaultHasher,
+    ) {
+        match kind {
+            EventKind::Deliver { from, to, msg, .. } => {
+                (0u8, *from, *to).hash(h);
+                Self::hash_payload(msg, msg_digest, h);
+            }
+            EventKind::Timer { at, tag, .. } => (1u8, *at, *tag).hash(h),
+            EventKind::Crash { at } => (2u8, *at).hash(h),
+            EventKind::Restart { at, .. } => (3u8, *at).hash(h),
+            EventKind::InstallPartition { .. } => 4u8.hash(h),
+            EventKind::HealPartition => 5u8.hash(h),
+            EventKind::Call { at, .. } => (6u8, *at).hash(h),
+        }
+    }
+
+    fn event_info(kind: &EventKind<M>) -> PendingEventInfo {
+        match kind {
+            EventKind::Deliver { from, to, .. } => PendingEventInfo::Deliver {
+                from: *from,
+                to: *to,
+            },
+            EventKind::Timer { at, tag, .. } => PendingEventInfo::Timer { at: *at, tag: *tag },
+            EventKind::Crash { at } => PendingEventInfo::Crash { at: *at },
+            EventKind::Restart { at, .. } => PendingEventInfo::Restart { at: *at },
+            EventKind::InstallPartition { .. } => PendingEventInfo::Partition,
+            EventKind::HealPartition => PendingEventInfo::Heal,
+            EventKind::Call { at, .. } => PendingEventInfo::Call { at: *at },
+        }
+    }
+
+    /// Whether dispatching `kind` in the current world state would change
+    /// nothing (mirrors the guards at the top of [`World::dispatch`]).
+    fn event_noop(&self, kind: &EventKind<M>) -> bool {
+        match kind {
+            EventKind::Deliver {
+                to, incarnation, ..
+            } => self.slots[to.0].crashed || self.slots[to.0].incarnation != *incarnation,
+            EventKind::Timer {
+                at,
+                id,
+                incarnation,
+                ..
+            } => {
+                self.cancelled_timers.contains(id)
+                    || self.slots[at.0].crashed
+                    || self.slots[at.0].incarnation != *incarnation
+            }
+            EventKind::Crash { at } => self.slots[at.0].crashed,
+            EventKind::Restart { at, .. } => !self.slots[at.0].crashed,
+            EventKind::Call { at, .. } => self.slots[at.0].crashed,
+            EventKind::InstallPartition { .. } | EventKind::HealPartition => false,
+        }
     }
 
     // ------------------------------------------------------------------
@@ -803,6 +1268,7 @@ mod tests {
     }
 
     /// A process that replies to pings and counts pongs.
+    #[derive(Clone)]
     struct PingPong {
         peers: Vec<ProcessId>,
         pings_to_send: u32,
@@ -840,6 +1306,25 @@ mod tests {
                 Msg::Pong(_) => self.pongs_received += 1,
             }
         }
+
+        fn fork(&self) -> Option<Box<dyn Process<Msg>>> {
+            Some(Box::new(self.clone()))
+        }
+
+        fn state_digest(&self) -> Option<u64> {
+            let mut h = DefaultHasher::new();
+            self.pongs_received.hash(&mut h);
+            for (from, msg) in &self.deliveries {
+                (from, format!("{msg:?}")).hash(&mut h);
+            }
+            Some(h.finish())
+        }
+    }
+
+    fn msg_digest(m: &Msg) -> u64 {
+        let mut h = DefaultHasher::new();
+        format!("{m:?}").hash(&mut h);
+        h.finish()
     }
 
     #[test]
@@ -847,7 +1332,10 @@ mod tests {
         let mut world: World<Msg> = World::new(NetConfig::lan(), 1);
         let a = world.add_process(PingPong::new(vec![ProcessId(1)], 3));
         let _b = world.add_process(PingPong::new(vec![], 0));
-        world.run_until_quiescent(SimTime::from_secs(1));
+        let outcome = world.run_until_quiescent(SimTime::from_secs(1));
+        assert_eq!(outcome.reason, StopReason::Quiescent);
+        assert!(outcome.is_quiescent());
+        assert_eq!(outcome.time, world.now());
         assert_eq!(world.process_ref::<PingPong>(a).pongs_received, 3);
         assert_eq!(world.stats().delivered, 6);
         assert!(world.is_quiescent());
@@ -1145,8 +1633,34 @@ mod tests {
         world.add_process(Forever);
         world.add_process(Forever);
         world.set_event_limit(100);
-        world.run_until_quiescent(SimTime::MAX);
+        let outcome = world.run_until_quiescent(SimTime::MAX);
         assert_eq!(world.events_processed(), 100);
+        assert_eq!(outcome.reason, StopReason::EventLimitReached);
+        assert!(!outcome.is_quiescent());
+    }
+
+    #[test]
+    fn horizon_cutoff_is_distinguishable_from_quiescence() {
+        // Same endless ping-pong, but stopped by the time horizon.
+        struct Forever;
+        impl Process<Msg> for Forever {
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Msg>) {
+                if ctx.id() == ProcessId(0) {
+                    ctx.send(ProcessId(1), Msg::Ping(0));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut dyn Runtime<Msg>, from: ProcessId, _msg: Msg) {
+                ctx.send(from, Msg::Ping(0));
+            }
+        }
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 16);
+        world.add_process(Forever);
+        world.add_process(Forever);
+        let outcome = world.run_until_quiescent(SimTime::from_millis(10));
+        assert_eq!(outcome.reason, StopReason::HorizonReached);
+        assert!(!outcome.is_quiescent());
+        assert!(!world.is_quiescent());
     }
 
     #[test]
@@ -1192,5 +1706,184 @@ mod tests {
     fn horizon_helper() {
         let h = horizon_for(SimTime::from_secs(1), SimDuration::from_millis(2), 500);
         assert_eq!(h, SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn enabled_events_expose_only_the_head_of_each_fifo_link() {
+        // a sends 3 pings to b: one FIFO link, so only the earliest delivery
+        // is a scheduling choice; the other two are forced to follow.
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 30);
+        let _a = world.add_process(PingPong::new(vec![ProcessId(1)], 3));
+        let _b = world.add_process(PingPong::new(vec![], 0));
+        world.start();
+        let pending = world.pending_events();
+        assert_eq!(pending.len(), 3);
+        assert!(pending.iter().all(|e| !e.noop));
+        assert!(pending
+            .windows(2)
+            .all(|w| (w[0].time, w[0].seq) <= (w[1].time, w[1].seq)));
+        let enabled = world.enabled_events(DEFAULT_HORIZON);
+        assert_eq!(enabled.len(), 1);
+        assert_eq!(enabled[0].seq, pending[0].seq);
+        // Beyond-horizon events are not enabled.
+        assert!(world.enabled_events(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn enabled_events_expose_one_timer_per_process_and_all_links() {
+        struct TwoTimers;
+        impl Process<Msg> for TwoTimers {
+            fn on_start(&mut self, ctx: &mut dyn Runtime<Msg>) {
+                ctx.set_timer(SimDuration::from_millis(1), TimerTag::Custom(1));
+                ctx.set_timer(SimDuration::from_millis(2), TimerTag::Custom(2));
+                ctx.send(ProcessId(1), Msg::Ping(0));
+            }
+            fn on_message(&mut self, _ctx: &mut dyn Runtime<Msg>, _from: ProcessId, _msg: Msg) {}
+            fn fork(&self) -> Option<Box<dyn Process<Msg>>> {
+                Some(Box::new(TwoTimers))
+            }
+        }
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(5)), 31);
+        let _a = world.add_process(TwoTimers);
+        let _b = world.add_process(PingPong::new(vec![], 0));
+        world.start();
+        // Pending: two timers at p0 plus one delivery p0→p1. Enabled: the
+        // earlier timer (per-process head) and the delivery (its own link).
+        let enabled = world.enabled_events(DEFAULT_HORIZON);
+        assert_eq!(enabled.len(), 2);
+        assert!(enabled.iter().any(|e| matches!(
+            e.info,
+            PendingEventInfo::Timer {
+                tag: TimerTag::Custom(1),
+                ..
+            }
+        )));
+        assert!(enabled
+            .iter()
+            .any(|e| matches!(e.info, PendingEventInfo::Deliver { .. })));
+    }
+
+    #[test]
+    fn dispatch_key_explores_an_order_the_heap_would_not_take() {
+        // Two senders, one receiver: deliveries on different links commute,
+        // and dispatch_key can run the later-scheduled one first.
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 32);
+        let _a = world.add_process(PingPong::new(vec![ProcessId(2)], 1));
+        let _b = world.add_process(PingPong::new(vec![ProcessId(2)], 1));
+        let c = world.add_process(PingPong::new(vec![], 0));
+        world.start();
+        let enabled = world.enabled_events(DEFAULT_HORIZON);
+        assert_eq!(enabled.len(), 2);
+        let later = enabled[1].seq;
+        assert!(world.dispatch_key(later));
+        assert!(!world.dispatch_key(later), "event must fire at most once");
+        assert_eq!(world.process_ref::<PingPong>(c).deliveries.len(), 1);
+        // The remaining delivery is still pending and dispatchable.
+        let enabled = world.enabled_events(DEFAULT_HORIZON);
+        assert!(!enabled.is_empty());
+        assert!(world.dispatch_key(enabled[0].seq));
+        assert_eq!(world.process_ref::<PingPong>(c).deliveries.len(), 2);
+    }
+
+    #[test]
+    fn fork_branches_diverge_independently() {
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 33);
+        let _a = world.add_process(PingPong::new(vec![ProcessId(2)], 1));
+        let _b = world.add_process(PingPong::new(vec![ProcessId(2)], 1));
+        let c = world.add_process(PingPong::new(vec![], 0));
+        world.start();
+        let enabled = world.enabled_events(DEFAULT_HORIZON);
+        assert_eq!(enabled.len(), 2);
+
+        let mut branch1 = world.fork().expect("forkable");
+        let mut branch2 = world.fork().expect("forkable");
+        // Same seq keys exist in both forks (stable replay identity).
+        branch1.dispatch_key(enabled[0].seq);
+        branch2.dispatch_key(enabled[1].seq);
+        let from1 = branch1.process_ref::<PingPong>(c).deliveries[0].0;
+        let from2 = branch2.process_ref::<PingPong>(c).deliveries[0].0;
+        assert_ne!(from1, from2);
+        // The original world is untouched.
+        assert!(world.process_ref::<PingPong>(c).deliveries.is_empty());
+
+        // Both branches run to completion; their final states differ only in
+        // the order c observed the two pings (which PingPong's digest
+        // deliberately records).
+        assert!(branch1.run_until_quiescent(DEFAULT_HORIZON).is_quiescent());
+        assert!(branch2.run_until_quiescent(DEFAULT_HORIZON).is_quiescent());
+        assert_eq!(branch1.process_ref::<PingPong>(c).deliveries.len(), 2);
+        assert_eq!(branch2.process_ref::<PingPong>(c).deliveries.len(), 2);
+        assert_ne!(
+            branch1.fingerprint(DEFAULT_HORIZON, &msg_digest),
+            branch2.fingerprint(DEFAULT_HORIZON, &msg_digest)
+        );
+    }
+
+    #[test]
+    fn fork_fails_on_unforkable_process_or_scheduled_closure() {
+        struct NoFork;
+        impl Process<Msg> for NoFork {
+            fn on_message(&mut self, _ctx: &mut dyn Runtime<Msg>, _from: ProcessId, _msg: Msg) {}
+        }
+        let mut world: World<Msg> = World::new(NetConfig::lan(), 34);
+        let p = world.add_process(NoFork);
+        let err = world.fork().err().expect("fork must fail");
+        assert_eq!(err, ForkError::UnforkableProcess(p));
+
+        let mut world: World<Msg> = World::new(NetConfig::lan(), 35);
+        let a = world.add_process(PingPong::new(vec![], 0));
+        world.schedule_call(SimTime::from_millis(1), a, |_p, _ctx| {});
+        let err = world.fork().err().expect("fork must fail");
+        assert!(matches!(err, ForkError::UnforkableEvent(_)));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_distinguishes_states() {
+        let build = |seed: u64| {
+            let mut world: World<Msg> =
+                World::new(NetConfig::constant(SimDuration::from_millis(1)), seed);
+            let _a = world.add_process(PingPong::new(vec![ProcessId(1)], 2));
+            let _b = world.add_process(PingPong::new(vec![], 0));
+            world.start();
+            world
+        };
+        // Same construction → same fingerprint, regardless of RNG seed
+        // (constant latency: the RNG is invisible).
+        let w1 = build(1);
+        let w2 = build(99);
+        let fp1 = w1.fingerprint(DEFAULT_HORIZON, &msg_digest);
+        assert!(fp1.is_some());
+        assert_eq!(fp1, w2.fingerprint(DEFAULT_HORIZON, &msg_digest));
+        // Dispatching an event changes the fingerprint.
+        let mut w3 = build(1);
+        let head = w3.enabled_events(DEFAULT_HORIZON)[0].seq;
+        w3.dispatch_key(head);
+        assert_ne!(fp1, w3.fingerprint(DEFAULT_HORIZON, &msg_digest));
+        // Event signatures hash content, not times or seq numbers.
+        let sig = w1.event_signature(0, &msg_digest);
+        assert!(sig.is_some());
+        assert_eq!(sig, w2.event_signature(0, &msg_digest));
+        assert_eq!(w1.event_signature(999, &msg_digest), None);
+    }
+
+    #[test]
+    fn noop_events_are_flagged_and_excluded_from_enabled() {
+        let mut world: World<Msg> =
+            World::new(NetConfig::constant(SimDuration::from_millis(1)), 36);
+        let _a = world.add_process(PingPong::new(vec![ProcessId(1)], 1));
+        let b = world.add_process(PingPong::new(vec![], 0));
+        world.start();
+        world.crash_now(b);
+        let pending = world.pending_events();
+        assert_eq!(pending.len(), 1);
+        assert!(pending[0].noop, "delivery to a crashed process is a noop");
+        assert!(world.enabled_events(DEFAULT_HORIZON).is_empty());
+        // Draining the noop by key works and changes nothing observable.
+        assert!(world.dispatch_key(pending[0].seq));
+        assert!(world.is_quiescent());
     }
 }
