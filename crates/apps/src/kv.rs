@@ -59,6 +59,15 @@ pub enum KvCommand {
     /// be `Multi`, and in a sharded deployment must all be owned by one
     /// group (the transaction layer's router guarantees all three).
     Multi(Vec<KvCommand>),
+    /// Install the entries of a migrated key range (the recipient half of an
+    /// online shard migration, [`oar::ReconfigCmd::Migrate`]), atomically at
+    /// one position of the recipient group's total order.
+    ///
+    /// **Insert-if-absent**: a key already present locally wins — it was
+    /// written by a redirected request ordered *before* this install, and
+    /// the migrated (older) value must not clobber it. Servers craft this
+    /// command from a `MigrateState` hand-off; clients never send it.
+    InstallRange(Vec<(Key, Value)>),
 }
 
 impl KvCommand {
@@ -74,6 +83,9 @@ impl KvCommand {
             | KvCommand::Delete { key }
             | KvCommand::CompareAndSwap { key, .. } => key,
             KvCommand::Multi(ops) => ops.first().expect("non-empty multi").key(),
+            KvCommand::InstallRange(entries) => {
+                entries.first().map(|(k, _)| k.as_str()).unwrap_or_default()
+            }
         }
     }
 
@@ -88,6 +100,11 @@ impl KvCommand {
             KvCommand::Multi(ops) => {
                 for op in ops {
                     op.collect_keys(keys);
+                }
+            }
+            KvCommand::InstallRange(entries) => {
+                for (k, _) in entries {
+                    keys.push(k);
                 }
             }
         }
@@ -136,6 +153,10 @@ pub enum KvResponse {
     Swapped(bool),
     /// Responses of an atomic `Multi` batch, one per op, in op order.
     Multi(Vec<KvResponse>),
+    /// Number of keys an `InstallRange` actually inserted (keys already
+    /// present — written by redirected requests ordered earlier — are
+    /// skipped and not counted).
+    Installed(u64),
 }
 
 /// Undo token: the key touched and the value it held before the command.
@@ -246,6 +267,21 @@ impl KvMachine {
                 undos.reverse();
                 (KvResponse::Multi(responses), KvUndo::Multi(undos))
             }
+            KvCommand::InstallRange(entries) => {
+                let mut undos = Vec::new();
+                for (key, value) in entries {
+                    if !self.map.contains_key(key) {
+                        self.map.insert(key.clone(), value.clone());
+                        undos.push(KvUndo::Restore {
+                            key: key.clone(),
+                            previous: None,
+                        });
+                    }
+                }
+                let installed = undos.len() as u64;
+                undos.reverse();
+                (KvResponse::Installed(installed), KvUndo::Multi(undos))
+            }
         }
     }
 
@@ -329,6 +365,21 @@ impl KvMachine {
                 }
                 undos.reverse();
                 (KvResponse::Multi(responses), KvUndo::Multi(undos))
+            }
+            KvCommand::InstallRange(entries) => {
+                let mut undos = Vec::new();
+                for (key, value) in entries {
+                    if self.staged_read(overlay, key).is_none() {
+                        write(overlay, writes, key, Some(value.clone()));
+                        undos.push(KvUndo::Restore {
+                            key: key.clone(),
+                            previous: None,
+                        });
+                    }
+                }
+                let installed = undos.len() as u64;
+                undos.reverse();
+                (KvResponse::Installed(installed), KvUndo::Multi(undos))
             }
         }
     }
@@ -436,6 +487,66 @@ impl StateMachine for KvMachine {
 
     fn fork(&self) -> Option<Self> {
         Some(self.clone())
+    }
+
+    fn command_key(command: &KvCommand) -> Option<&str> {
+        match command {
+            // Server-crafted; never door-checked against migrated ranges.
+            KvCommand::InstallRange(_) => None,
+            keyed => Some(keyed.key()),
+        }
+    }
+
+    fn extract_range(&mut self, range: &oar::KeyRange) -> Option<Vec<(Key, Value)>> {
+        let keys: Vec<Key> = self
+            .map
+            .keys()
+            .filter(|k| range.contains(k))
+            .cloned()
+            .collect();
+        Some(
+            keys.into_iter()
+                .map(|k| {
+                    let v = self.map.remove(&k).expect("key just listed");
+                    (k, v)
+                })
+                .collect(),
+        )
+    }
+
+    fn install_range_command(entries: Vec<(Key, Value)>) -> Option<KvCommand> {
+        Some(KvCommand::InstallRange(entries))
+    }
+
+    fn range_digest(&self, range: &oar::KeyRange) -> Option<u64> {
+        let entries: Vec<(&Key, &Value)> =
+            self.map.iter().filter(|(k, _)| range.contains(k)).collect();
+        Some(oar::state_machine::entries_digest(&entries))
+    }
+
+    fn anti_entropy_leaves(&self) -> Option<Vec<(String, u64)>> {
+        Some(
+            self.map
+                .iter()
+                .map(|(k, v)| {
+                    (
+                        k.clone(),
+                        oar::state_machine::entries_digest(&[("", v.as_str())]),
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    fn anti_entropy_value(&self, key: &str) -> Option<String> {
+        self.map.get(key).cloned()
+    }
+
+    fn anti_entropy_repair(&mut self, key: &str, value: Option<&str>) -> bool {
+        match value {
+            Some(v) => self.map.insert(key.to_string(), v.to_string()) != Some(v.to_string()),
+            None => self.map.remove(key).is_some(),
+        }
     }
 }
 
@@ -628,6 +739,74 @@ mod tests {
             assert_eq!(format!("{u1:?}"), format!("{u2:?}"), "{command:?}");
             assert_eq!(staged, serial, "{command:?}");
         }
+    }
+
+    /// The migration hand-off contract: extraction removes exactly the
+    /// range, installation is insert-if-absent (a redirected write ordered
+    /// before the install wins), undo restores, and donor/recipient range
+    /// digests agree end to end.
+    #[test]
+    fn extract_install_range_roundtrip() {
+        let range = oar::KeyRange::new("h", "p");
+        let mut donor = KvMachine::new();
+        for (k, v) in [
+            ("apple", "0"),
+            ("house", "1"),
+            ("melon", "2"),
+            ("zebra", "3"),
+        ] {
+            donor.apply(&put(k, v));
+        }
+        let donated = oar::state_machine::StateMachine::range_digest(&donor, &range).unwrap();
+        let entries = donor.extract_range(&range).unwrap();
+        assert_eq!(
+            entries,
+            vec![
+                ("house".to_string(), "1".to_string()),
+                ("melon".to_string(), "2".to_string()),
+            ]
+        );
+        assert_eq!(donor.len(), 2, "extraction removes the range");
+        assert_eq!(
+            oar::state_machine::StateMachine::range_digest(&donor, &range).unwrap(),
+            oar::state_machine::entries_digest::<&str, &str>(&[]),
+            "donor's range is empty after extraction"
+        );
+        assert_eq!(oar::state_machine::entries_digest(&entries), donated);
+
+        let mut recipient = KvMachine::new();
+        // A redirected write ordered before the install must win.
+        recipient.apply(&put("melon", "newer"));
+        let install = KvMachine::install_range_command(entries).unwrap();
+        assert!(KvMachine::command_key(&install).is_none());
+        let before = recipient.clone();
+        let (r, undo) = recipient.apply(&install);
+        assert_eq!(r, KvResponse::Installed(1), "melon already present");
+        assert_eq!(recipient.get("house"), Some(&"1".to_string()));
+        assert_eq!(recipient.get("melon"), Some(&"newer".to_string()));
+        recipient.undo(undo);
+        assert_eq!(recipient, before);
+    }
+
+    /// Anti-entropy hooks: leaves cover the whole map, repair overwrites or
+    /// removes, and a repaired value restores leaf equality.
+    #[test]
+    fn anti_entropy_hooks_roundtrip() {
+        let mut a = KvMachine::new();
+        let mut b = KvMachine::new();
+        for (k, v) in [("x", "1"), ("y", "2")] {
+            a.apply(&put(k, v));
+            b.apply(&put(k, v));
+        }
+        assert_eq!(a.anti_entropy_leaves(), b.anti_entropy_leaves());
+        assert!(b.anti_entropy_repair("y", Some("corrupted")));
+        assert_ne!(a.anti_entropy_leaves(), b.anti_entropy_leaves());
+        assert_eq!(b.anti_entropy_value("y"), Some("corrupted".to_string()));
+        assert!(b.anti_entropy_repair("y", a.anti_entropy_value("y").as_deref()));
+        assert!(!b.anti_entropy_repair("y", a.anti_entropy_value("y").as_deref()));
+        assert_eq!(a.anti_entropy_leaves(), b.anti_entropy_leaves());
+        assert!(b.anti_entropy_repair("y", None));
+        assert!(b.anti_entropy_value("y").is_none());
     }
 
     #[test]

@@ -627,6 +627,99 @@ fn run_realtime(clients: usize, requests_per_client: usize, interarrival_us: u64
     violations.is_empty()
 }
 
+fn run_reconfig(per_client: usize) -> bool {
+    println!(
+        "== T-RECONFIG: replica replacement, key-range migration, Merkle anti-entropy \
+         ({per_client} reqs/client) =="
+    );
+    let start = std::time::Instant::now();
+    let rows = experiments::reconfig_experiment(per_client, SEED);
+    println!(
+        "{:<12} {:>5} {:>7} {:>10} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>7} {:>9}",
+        "scenario",
+        "reqs",
+        "drained",
+        "consistent",
+        "fences",
+        "rejoined",
+        "catchup",
+        "redir",
+        "migst",
+        "dups",
+        "probes",
+        "nodes",
+        "repairs",
+        "wall(ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:>5} {:>7} {:>10} {:>8} {:>8} {:>8} {:>6} {:>6} {:>6} {:>7} {:>7} {:>7} {:>9.0}",
+            r.scenario,
+            r.requests,
+            r.completed_run,
+            r.consistent,
+            r.reconfigs_applied,
+            r.rejoined,
+            r.catch_up_replies,
+            r.redirected,
+            r.migrate_state_wires,
+            r.duplicates,
+            r.sync_probes,
+            r.sync_node_wires,
+            r.sync_repairs,
+            r.wall_ms
+        );
+    }
+    print_json("reconfig", &rows);
+
+    // Land the reconfiguration counters in the committed trajectory next to
+    // the `cargo bench` rows, as the `reconfig` group (criterion row shape:
+    // mean_ns is the scenario wall-clock).
+    let bench_rows: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "{{\"group\":\"reconfig\",\"id\":\"{}/{}\",\"mean_ns\":{:.1},",
+                    "\"min_ns\":{:.1},\"iters_per_sample\":1,\"samples\":1,\"elements\":{},",
+                    "\"counters\":{{\"fences\":{},\"catch_up_replies\":{},",
+                    "\"redirected\":{},\"migrate_state_wires\":{},\"duplicates\":{},",
+                    "\"sync_node_wires\":{},\"sync_repairs\":{},\"consistent\":{}}}}}"
+                ),
+                r.scenario,
+                per_client,
+                r.wall_ms * 1e6,
+                r.wall_ms * 1e6,
+                r.requests,
+                r.reconfigs_applied,
+                r.catch_up_replies,
+                r.redirected,
+                r.migrate_state_wires,
+                r.duplicates,
+                r.sync_node_wires,
+                r.sync_repairs,
+                u64::from(r.consistent),
+            )
+        })
+        .collect();
+    let path = oar_bench::json::bench_out_dir().join("BENCH_throughput.json");
+    match oar_bench::json::merge_bench_rows(&path, "throughput", "reconfig", &bench_rows) {
+        Ok(()) => println!("merged reconfig rows into {}", path.display()),
+        Err(e) => eprintln!("could not update {}: {e}", path.display()),
+    }
+
+    let mut violations = experiments::check_reconfig_bounds(&rows, per_client);
+    // CI wall-clock budget: the smoke run must stay interactive.
+    let elapsed = start.elapsed().as_secs_f64();
+    if elapsed > 240.0 {
+        violations.push(format!("wall-clock budget exceeded: {elapsed:.0}s > 240s"));
+    }
+    for v in &violations {
+        eprintln!("RECONFIG VIOLATION: {v}");
+    }
+    violations.is_empty()
+}
+
 fn run_mc(smoke: bool) -> bool {
     println!(
         "== T-MC: bounded model checking over simnet ({}) ==",
@@ -811,6 +904,20 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        // The full reconfiguration gate: online replica replacement with a
+        // further crash, key-range migration under traffic, and the Merkle
+        // anti-entropy heal — with transfer-wire and at-most-once ceilings.
+        "reconfig" => {
+            if !run_reconfig(120) {
+                std::process::exit(1);
+            }
+        }
+        // CI gate: the same three scenarios at a smaller request count.
+        "reconfig-smoke" => {
+            if !run_reconfig(60) {
+                std::process::exit(1);
+            }
+        }
         // The full wall-clock gate: a real-time open-loop run on the
         // threaded backend — 4 generators offering 500 req/s each for ~2 s.
         "realtime" => {
@@ -838,6 +945,7 @@ fn main() {
             let txn_ok = run_txn(4, 50);
             let adaptive_ok = run_adaptive(50, 5, 40);
             let parallel_ok = run_parallel(96, 300, 5, 4, 48);
+            let reconfig_ok = run_reconfig(120);
             let realtime_ok = run_realtime(4, 1000, 2_000);
             let mc_ok = run_mc(false);
             if !soak_ok
@@ -846,6 +954,7 @@ fn main() {
                 || !txn_ok
                 || !adaptive_ok
                 || !parallel_ok
+                || !reconfig_ok
                 || !realtime_ok
                 || !mc_ok
             {
@@ -854,7 +963,7 @@ fn main() {
         }
         other => {
             eprintln!("unknown experiment '{other}'");
-            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | recovery | recovery-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke | realtime | realtime-smoke | mc | mc-smoke");
+            eprintln!("expected: all | figures | fig1a | fig1b | fig2 | fig3 | fig4 | latency | failover | undo | throughput | gc | soak | soak-smoke | recovery | recovery-smoke | sharded | sharded-smoke | txn | txn-smoke | adaptive | adaptive-smoke | parallel | parallel-smoke | reconfig | reconfig-smoke | realtime | realtime-smoke | mc | mc-smoke");
             std::process::exit(2);
         }
     }

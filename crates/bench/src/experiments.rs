@@ -2596,6 +2596,9 @@ fn mc_run(label: &str, scenario: &oar_mc::oar::OarScenario, por: bool, dedup: bo
 ///   world and reproduce the failure outside the checker.
 /// * `handoff-fixed` / `rejoin-fixed` — the same fault scenarios with the
 ///   fixes active: zero violations within the state budget.
+/// * `membership-change` — crash of one replica plus its online replacement
+///   through a `Replace` fence: every path settles the fence, joins the
+///   spare through the held-catch-up path and terminates.
 pub fn mc_experiment(smoke: bool) -> Vec<McRow> {
     use oar_mc::oar::OarScenario;
 
@@ -2636,6 +2639,9 @@ pub fn mc_experiment(smoke: bool) -> Vec<McRow> {
     let mut rejoin = OarScenario::mid_epoch_rejoin(false);
     rejoin.mc.max_states = cap;
     rows.push(mc_run("rejoin-fixed", &rejoin, true, true));
+    let mut membership = OarScenario::membership_change();
+    membership.mc.max_states = cap;
+    rows.push(mc_run("membership-change", &membership, true, true));
 
     rows
 }
@@ -2721,6 +2727,376 @@ pub fn check_mc_bounds(rows: &[McRow]) -> Vec<String> {
             ));
         }
         _ => {}
+    }
+    match find("membership-change") {
+        Some(row) => {
+            if row.deadlocks > 0 {
+                violations.push(format!(
+                    "membership-change: {} deadlock(s) — the fence wedged the epoch \
+                     close or stranded the replacement",
+                    row.deadlocks
+                ));
+            }
+            if row.goal_states == 0 {
+                violations.push("membership-change: no path reached the termination goal".into());
+            }
+        }
+        None => violations.push("membership-change row missing".into()),
+    }
+    violations
+}
+
+/// One row of the reconfiguration experiment (T-RECONFIG): one of the three
+/// scenarios — online replica replacement, key-range migration under
+/// traffic, Merkle anti-entropy heal — with the counters its gate bounds.
+/// Fields that a scenario does not exercise stay zero.
+#[derive(Clone, Debug)]
+pub struct ReconfigRow {
+    /// Scenario label: `replace`, `migrate` or `anti-entropy`.
+    pub scenario: String,
+    /// Requests completed by the clients.
+    pub requests: usize,
+    /// Whether the workload drained within the deadline.
+    pub completed_run: bool,
+    /// Whether every consistency proposition held at quiesce.
+    pub consistent: bool,
+    /// Settled reconfiguration fences applied across all servers.
+    pub reconfigs_applied: u64,
+    /// Whether the replacement replica finished its catch-up (replace).
+    pub rejoined: bool,
+    /// `CatchUpReply` transfers served (replace; bounded — no retry storm).
+    pub catch_up_replies: u64,
+    /// Requests door-dropped and redirected for stale routing (migrate).
+    pub redirected: u64,
+    /// `MigrateState` transfer wires (migrate; bounded by s²).
+    pub migrate_state_wires: u64,
+    /// Replies a client adopted twice for one request id (migrate; must be 0).
+    pub duplicates: u64,
+    /// Anti-entropy root probes sent (anti-entropy).
+    pub sync_probes: u64,
+    /// Merkle descent wires, requests + replies (anti-entropy; O(log n)).
+    pub sync_node_wires: u64,
+    /// Divergent keys healed by majority vote (anti-entropy).
+    pub sync_repairs: u64,
+    /// Wall-clock of the scenario in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// T-RECONFIG, part 1: replace a crashed replica online, then crash a second
+/// one — the fence settles conservatively, the replacement joins over the
+/// `CatchUp*` wires and restores the fault budget, and the workload still
+/// drains to the last request.
+fn reconfig_replace_scenario(per_client: usize, seed: u64) -> ReconfigRow {
+    use oar::state_machine::CounterCommand;
+    let start = std::time::Instant::now();
+    let clients = 2usize;
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: clients,
+        net: NetConfig::constant(SimDuration::from_micros(150)),
+        oar: OarConfig {
+            epoch_cut_after: Some(4),
+            snapshot_every: Some(2),
+            ..OarConfig::with_fd_timeout(SimDuration::from_millis(20))
+        },
+        client_pipeline: 4,
+        seed,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<CounterMachine> =
+        Cluster::build(&config, CounterMachine::default, |c| {
+            (0..per_client)
+                .map(|i| CounterCommand::Add((c * 31 + i) as i64 % 11 + 1))
+                .collect()
+        });
+    let old = cluster.servers[2];
+    cluster.world.schedule_crash(old, SimTime::from_millis(2));
+    cluster.world.run_until(SimTime::from_millis(4));
+    let new = cluster.inject_replace(2, CounterCommand::Add(0), CounterMachine::default);
+    // Wait for the fence to settle and the replacement to catch up, then
+    // spend the restored fault budget on a second crash.
+    let fence_deadline = SimTime::from_secs(5);
+    loop {
+        let step = cluster.world.now() + SimDuration::from_millis(5);
+        cluster.world.run_until(step);
+        let fenced = cluster.server(0).members() == [cluster.servers[0], cluster.servers[1], new];
+        if (fenced && !cluster.server(2).is_recovering()) || cluster.world.now() >= fence_deadline {
+            break;
+        }
+    }
+    let rejoined = !cluster.server(2).is_recovering();
+    cluster.world.crash_now(cluster.servers[1]);
+    let done = cluster.run_to_completion(SimTime::from_secs(120));
+    let consistent = done
+        && cluster.check_replica_consistency().is_ok()
+        && cluster.check_external_consistency().is_ok();
+    ReconfigRow {
+        scenario: "replace".to_string(),
+        requests: cluster.completed_requests().len(),
+        completed_run: done,
+        consistent,
+        reconfigs_applied: cluster.total_reconfigs_applied(),
+        rejoined,
+        catch_up_replies: cluster.total_catch_up_replies(),
+        redirected: 0,
+        migrate_state_wires: 0,
+        duplicates: 0,
+        sync_probes: 0,
+        sync_node_wires: 0,
+        sync_repairs: 0,
+        wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+    }
+}
+
+/// T-RECONFIG, part 2: migrate a key range between two groups while clients
+/// hammer it — zero lost or duplicated replies, bounded `MigrateState`
+/// transfer wires, stale traffic counted and redirected.
+fn reconfig_migrate_scenario(per_client: usize, seed: u64) -> ReconfigRow {
+    use oar::shard::KeyRange;
+    let start = std::time::Instant::now();
+    let clients = 3usize;
+    let config = ShardedConfig {
+        num_groups: 2,
+        servers_per_group: 3,
+        num_clients: clients,
+        router: ShardRouter::range(vec!["m".into()]),
+        net: NetConfig::lan(),
+        oar: OarConfig::with_fd_timeout(SimDuration::from_millis(25)),
+        seed,
+        think_time: SimDuration::ZERO,
+        client_pipeline: 2,
+        adaptive_pipeline: false,
+    };
+    let mut cluster: ShardedCluster<KvMachine> =
+        ShardedCluster::build(&config, KvMachine::new, |c| {
+            (0..per_client)
+                .map(|i| {
+                    let key = if i % 2 == 0 {
+                        format!("a{:02}", (c * 7 + i) % 24)
+                    } else {
+                        format!("n{:02}", (c * 7 + i) % 24)
+                    };
+                    if i % 5 == 4 {
+                        KvCommand::Get { key }
+                    } else {
+                        KvCommand::Put {
+                            key,
+                            value: format!("c{c}i{i}"),
+                        }
+                    }
+                })
+                .collect()
+        });
+    cluster.world.run_until(SimTime::from_millis(2));
+    let range = KeyRange::new("a00", "a12");
+    cluster.inject_migrate(range, 0, 1, KvCommand::Get { key: "zz".into() });
+    let done = cluster.run_to_completion(SimTime::from_secs(60));
+    let settle = cluster.world.now() + SimDuration::from_millis(50);
+    cluster.world.run_until(settle);
+    // Lost or duplicated replies: a client that adopted two replies under
+    // one request id duplicates; one that adopted fewer than its workload
+    // lost (the latter also fails `completed_run`).
+    let mut duplicates = 0u64;
+    let mut requests = 0usize;
+    for c in 0..clients {
+        let completed = cluster.client(c).completed();
+        requests += completed.len();
+        let mut ids: Vec<_> = completed.iter().map(|d| d.request.id).collect();
+        ids.sort();
+        let unique = {
+            ids.dedup();
+            ids.len()
+        };
+        duplicates += (completed.len() - unique) as u64;
+    }
+    let consistent = done
+        && cluster.check_per_group_consistency().is_ok()
+        && cluster.check_external_consistency().is_ok()
+        && cluster.total_misroutes() == 0;
+    ReconfigRow {
+        scenario: "migrate".to_string(),
+        requests,
+        completed_run: done,
+        consistent,
+        reconfigs_applied: cluster.total_reconfigs_applied(),
+        rejoined: true,
+        catch_up_replies: 0,
+        redirected: cluster.total_redirected(),
+        migrate_state_wires: cluster.total_migrate_state_wires(),
+        duplicates,
+        sync_probes: 0,
+        sync_node_wires: 0,
+        sync_repairs: 0,
+        wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+    }
+}
+
+/// T-RECONFIG, part 3: inject a divergent settled value into one replica and
+/// let the Merkle anti-entropy loop localise and heal it — the descent cost
+/// must stay O(log n) in the key count.
+fn reconfig_anti_entropy_scenario(per_client: usize, seed: u64) -> ReconfigRow {
+    let start = std::time::Instant::now();
+    let clients = 2usize;
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: clients,
+        net: NetConfig::lan(),
+        oar: OarConfig {
+            anti_entropy: true,
+            ..OarConfig::with_fd_timeout(SimDuration::from_millis(25))
+        },
+        seed,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<KvMachine> = Cluster::build(&config, KvMachine::new, |c| {
+        (0..per_client)
+            .map(|i| KvCommand::Put {
+                key: format!("k{:02}", (c * 11 + i * 3) % 24),
+                value: format!("c{c}i{i}"),
+            })
+            .collect()
+    });
+    let done = cluster.run_to_completion(SimTime::from_secs(30));
+    let settle = cluster.world.now() + SimDuration::from_millis(100);
+    cluster.world.run_until(settle);
+    cluster.inject_divergence(1, "k05", Some("corrupted"));
+    let heal = cluster.world.now() + SimDuration::from_millis(200);
+    cluster.world.run_until(heal);
+    let consistent = done
+        && cluster.check_replica_consistency().is_ok()
+        && cluster.check_external_consistency().is_ok();
+    ReconfigRow {
+        scenario: "anti-entropy".to_string(),
+        requests: cluster.completed_requests().len(),
+        completed_run: done,
+        consistent,
+        reconfigs_applied: 0,
+        rejoined: true,
+        catch_up_replies: 0,
+        redirected: 0,
+        migrate_state_wires: 0,
+        duplicates: 0,
+        sync_probes: cluster.total_sync_probes(),
+        sync_node_wires: cluster.total_sync_node_wires(),
+        sync_repairs: cluster.total_sync_repairs(),
+        wall_ms: start.elapsed().as_secs_f64() * 1_000.0,
+    }
+}
+
+/// T-RECONFIG: membership reconfiguration, online shard rebalancing and
+/// Merkle anti-entropy (§ "Reconfiguration & anti-entropy" in
+/// `docs/ARCHITECTURE.md`). Three rows, one per scenario;
+/// [`check_reconfig_bounds`] turns them into the CI verdict.
+pub fn reconfig_experiment(per_client: usize, seed: u64) -> Vec<ReconfigRow> {
+    vec![
+        reconfig_replace_scenario(per_client, seed),
+        reconfig_migrate_scenario(per_client, seed),
+        reconfig_anti_entropy_scenario(per_client / 3, seed),
+    ]
+}
+
+/// Verifies the gates of the reconfiguration rows; returns every violation
+/// found (empty = pass). Used by the CI `reconfig-smoke` job.
+pub fn check_reconfig_bounds(rows: &[ReconfigRow], per_client: usize) -> Vec<String> {
+    let mut violations = Vec::new();
+    let find = |name: &str| rows.iter().find(|r| r.scenario == name);
+
+    for row in rows {
+        if !row.completed_run {
+            violations.push(format!("{}: workload did not drain", row.scenario));
+        }
+        if !row.consistent {
+            violations.push(format!("{}: consistency propositions failed", row.scenario));
+        }
+    }
+
+    match find("replace") {
+        Some(row) => {
+            if row.requests != 2 * per_client {
+                violations.push(format!(
+                    "replace: completed {} of {} requests across the replacement \
+                     and the further crash",
+                    row.requests,
+                    2 * per_client
+                ));
+            }
+            if !row.rejoined {
+                violations.push("replace: replacement still mid-catch-up".into());
+            }
+            if row.reconfigs_applied < 2 {
+                violations.push(format!(
+                    "replace: only {} fence applications (both survivors must apply)",
+                    row.reconfigs_applied
+                ));
+            }
+            if row.catch_up_replies > 8 {
+                violations.push(format!(
+                    "replace: {} CatchUpReply transfers for one replacement \
+                     (retry storm?)",
+                    row.catch_up_replies
+                ));
+            }
+        }
+        None => violations.push("replace row missing".into()),
+    }
+
+    match find("migrate") {
+        Some(row) => {
+            if row.requests != 3 * per_client {
+                violations.push(format!(
+                    "migrate: completed {} of {} requests across the migration",
+                    row.requests,
+                    3 * per_client
+                ));
+            }
+            if row.duplicates > 0 {
+                violations.push(format!(
+                    "migrate: {} duplicated replies (at-most-once violated)",
+                    row.duplicates
+                ));
+            }
+            if row.redirected == 0 {
+                violations.push("migrate: migration under traffic redirected nothing".into());
+            }
+            // Each donor replica ships the settled range to each recipient
+            // member at most once: s² wires for s = 3.
+            if row.migrate_state_wires > 9 {
+                violations.push(format!(
+                    "migrate: {} MigrateState wires exceed the s² bound 9",
+                    row.migrate_state_wires
+                ));
+            }
+        }
+        None => violations.push("migrate row missing".into()),
+    }
+
+    match find("anti-entropy") {
+        Some(row) => {
+            if row.sync_probes == 0 {
+                violations.push("anti-entropy: probes never ran".into());
+            }
+            if row.sync_repairs == 0 {
+                violations.push("anti-entropy: injected divergence never healed".into());
+            }
+            // 24 distinct keys pad to 32 leaves (depth 5); each divergent
+            // probe costs one root node plus at most 2 wires per level, and
+            // a handful of probes race before the heal lands.
+            let depth = 24u64.next_power_of_two().trailing_zeros() as u64;
+            let bound = 12 * (2 * depth + 2);
+            if row.sync_node_wires > bound {
+                violations.push(format!(
+                    "anti-entropy: descent cost {} exceeds the O(log n) bound {bound}",
+                    row.sync_node_wires
+                ));
+            }
+            if row.sync_node_wires < depth {
+                violations.push(format!(
+                    "anti-entropy: {} descent wires — the heal never walked the tree",
+                    row.sync_node_wires
+                ));
+            }
+        }
+        None => violations.push("anti-entropy row missing".into()),
     }
     violations
 }

@@ -9,7 +9,8 @@ use oar_simnet::Summary;
 
 use crate::experiments::{
     AdaptiveRow, AdaptiveSkewRow, FailoverRow, GcRow, LatencyRow, McRow, ParallelClusterRow,
-    ParallelRow, RealtimeRow, RecoveryRow, ShardedRow, SoakRow, ThroughputRow, TxnRow, UndoRow,
+    ParallelRow, RealtimeRow, ReconfigRow, RecoveryRow, ShardedRow, SoakRow, ThroughputRow, TxnRow,
+    UndoRow,
 };
 use crate::figures::FigureOutcome;
 
@@ -84,6 +85,34 @@ impl ToJson for McRow {
             self.violations,
             escape(&self.violation_kind),
             self.trace_replays,
+            f(self.wall_ms),
+        )
+    }
+}
+
+impl ToJson for ReconfigRow {
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"scenario\":\"{}\",\"requests\":{},\"completed_run\":{},",
+                "\"consistent\":{},\"reconfigs_applied\":{},\"rejoined\":{},",
+                "\"catch_up_replies\":{},\"redirected\":{},",
+                "\"migrate_state_wires\":{},\"duplicates\":{},\"sync_probes\":{},",
+                "\"sync_node_wires\":{},\"sync_repairs\":{},\"wall_ms\":{}}}"
+            ),
+            escape(&self.scenario),
+            self.requests,
+            self.completed_run,
+            self.consistent,
+            self.reconfigs_applied,
+            self.rejoined,
+            self.catch_up_replies,
+            self.redirected,
+            self.migrate_state_wires,
+            self.duplicates,
+            self.sync_probes,
+            self.sync_node_wires,
+            self.sync_repairs,
             f(self.wall_ms),
         )
     }

@@ -196,6 +196,21 @@ impl<M: Clone> ReliableCaster<M> {
         (self.next_seq, seen)
     }
 
+    /// Replaces group member `old` by `new` in place, keeping the slot order
+    /// (the OAR sequencer rotation indexes into `Π` by position, so a
+    /// membership change must not permute the survivors). Returns whether
+    /// `old` was a member. The duplicate-suppression set is untouched: ids
+    /// already seen stay suppressed regardless of who relays them.
+    pub fn replace_member(&mut self, old: ProcessId, new: ProcessId) -> bool {
+        match self.group.iter().position(|&p| p == old) {
+            Some(slot) => {
+                self.group[slot] = new;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Ages `id` out of the duplicate-suppression set, returning whether it
     /// was present.
     ///
@@ -310,6 +325,25 @@ mod tests {
         };
         let (d, _) = p0.on_wire(echo);
         assert!(d.is_none());
+    }
+
+    #[test]
+    fn replace_member_retargets_relays_in_place() {
+        let mut p0: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(0), group3());
+        assert!(p0.replace_member(ProcessId::new(2), ProcessId::new(3)));
+        assert!(!p0.replace_member(ProcessId::new(2), ProcessId::new(4)));
+        // Slot order preserved: [0, 1, 3].
+        assert_eq!(
+            p0.group(),
+            &[ProcessId::new(0), ProcessId::new(1), ProcessId::new(3)]
+        );
+        let mut client: ReliableCaster<&str> = ReliableCaster::new(ProcessId::new(9), group3());
+        let (_, out) = client.multicast("req");
+        let (d, relays) = p0.on_wire(out[0].wire.clone());
+        assert!(d.is_some());
+        // The relay reaches the newcomer instead of the fenced-out member.
+        let relay_targets: Vec<ProcessId> = relays.iter().map(|o| o.to).collect();
+        assert_eq!(relay_targets, vec![ProcessId::new(1), ProcessId::new(3)]);
     }
 
     #[test]

@@ -182,6 +182,26 @@ impl HeartbeatFd {
         (out, events)
     }
 
+    /// Replaces monitored member `old` by `new` in place (membership
+    /// reconfiguration, `Reconfig::Replace`). The fenced-out replica is
+    /// scrubbed entirely: it leaves the heartbeat targets, the suspect set
+    /// and the liveness table, so a permanently dead process is no longer
+    /// re-pinged forever. The newcomer starts with a full timeout of grace
+    /// from `now`, like a peer at startup. Returns whether `old` was a
+    /// member (the slot order of the survivors is preserved).
+    pub fn replace_member(&mut self, old: ProcessId, new: ProcessId, now: SimTime) -> bool {
+        let Some(slot) = self.group.iter().position(|&p| p == old) else {
+            return false;
+        };
+        self.group[slot] = new;
+        self.suspected.remove(&old);
+        self.last_heard.remove(&old);
+        if new != self.self_id {
+            self.last_heard.insert(new, now);
+        }
+        true
+    }
+
     /// Forces `p` into the suspect set (wrong-suspicion injection for
     /// experiments). Returns the corresponding event if `p` was not already
     /// suspected.
@@ -294,6 +314,41 @@ mod tests {
         assert!(events.is_empty());
         let (_, events) = fd.on_tick(SimTime::from_secs(10) + SimDuration::from_millis(21));
         assert_eq!(events.len(), 2);
+    }
+
+    /// Regression: before membership reconfiguration existed, a permanently
+    /// dead replica stayed in the group forever — re-pinged on every tick and
+    /// pinned in the suspect set. `replace_member` must scrub it entirely and
+    /// admit the newcomer with startup grace.
+    #[test]
+    fn replace_member_scrubs_fenced_replica() {
+        const P3: ProcessId = ProcessId::new(3);
+        let mut fd = HeartbeatFd::new(P0, group(), config());
+        fd.on_tick(SimTime::from_millis(0));
+        let (_, events) = fd.on_tick(SimTime::from_millis(25));
+        assert!(events.contains(&FdEvent::Suspect(P2)));
+        assert!(fd.replace_member(P2, P3, SimTime::from_millis(25)));
+        // The fenced replica is gone from the suspect set and from the
+        // heartbeat targets; the newcomer is pinged instead.
+        assert!(!fd.is_suspected(P2));
+        let (hb, events) = fd.on_tick(SimTime::from_millis(30));
+        let targets: Vec<ProcessId> = hb.iter().map(|o| o.to).collect();
+        assert!(
+            !targets.contains(&P2),
+            "fenced replica must not be re-pinged"
+        );
+        assert!(targets.contains(&P3));
+        assert!(events.is_empty());
+        // Grace period: the newcomer is only suspected a full timeout after
+        // the reconfiguration, not instantly.
+        let (_, events) = fd.on_tick(SimTime::from_millis(44));
+        assert!(!events.contains(&FdEvent::Suspect(P3)));
+        let (_, events) = fd.on_tick(SimTime::from_millis(46));
+        assert!(events.contains(&FdEvent::Suspect(P3)));
+        // Stale traffic from the fenced replica is ignored again.
+        assert!(fd.observe_traffic(P2, SimTime::from_millis(47)).is_empty());
+        // Replacing a non-member is a no-op.
+        assert!(!fd.replace_member(P2, ProcessId::new(9), SimTime::from_millis(48)));
     }
 
     #[test]

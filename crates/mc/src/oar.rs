@@ -40,6 +40,12 @@
 //!   [`OarConfig::bug_skip_opt_freeze`] enabled this re-finds the Lemma-2
 //!   violation: the rejoiner Opt-delivers a mid-epoch suffix whose prefix it
 //!   never observed, and the replicas' committed sequences diverge.
+//! * [`OarScenario::membership_change`] — crash of one replica plus its
+//!   online **replacement** through a `Reconfig::Replace` fence
+//!   ([`replace_choice`]): the fence settles conservatively, the spare joins
+//!   through the event-driven held-catch-up path, and every interleaving
+//!   must keep total order, at-most-once and external consistency and
+//!   terminate.
 
 use std::collections::hash_map::DefaultHasher;
 use std::hash::{Hash, Hasher};
@@ -48,8 +54,8 @@ use std::rc::Rc;
 use oar::message::OarWire;
 use oar::state_machine::{CounterCommand, CounterMachine};
 use oar::{
-    check_external_consistency, check_server_consistency, Cluster, ClusterConfig, CompletedRequest,
-    OarClient, OarConfig, OarConfigBuilder, OarServer,
+    check_external_consistency, check_server_consistency, spawn_replacement, Cluster,
+    ClusterConfig, CompletedRequest, OarClient, OarConfig, OarConfigBuilder, OarServer,
 };
 use oar_simnet::{ForkError, NetConfig, PendingEventInfo, ProcessId, SimDuration, SimTime, World};
 
@@ -134,6 +140,46 @@ pub fn restart_choice(target: ProcessId, num_servers: usize, oar: OarConfig) -> 
     }
 }
 
+/// A choice **replacing** the crashed `old_index`-th replica through the
+/// online membership-reconfiguration path: spawns the replacement replica
+/// over the post-replacement roster and injects the `Replace` fence request
+/// into the survivors, which settle it through the conservative order
+/// ([`spawn_replacement`] — the exact operation [`Cluster::inject_replace`]
+/// performs). The replacement joins through the held-catch-up path: donors
+/// that have not yet applied the fence *hold* its `CatchUpRequest` and serve
+/// it the moment the fence applies, so the join is event-driven and needs no
+/// retry timer — explorable timer-free.
+///
+/// Gated on `old` being actually crashed (replacing a live replica is legal
+/// for the protocol but not what this scenario models). The gate is monotone
+/// — the scenario repertoire offers no restart of `old`, so a crashed `old`
+/// stays crashed — which keeps it sound under sleep-set reduction.
+/// `affects: None`: the choice spawns a process and sends wires to every
+/// survivor, so it is dependent with every other transition.
+pub fn replace_choice(old_index: usize, num_servers: usize, oar: OarConfig) -> McChoice<Wire> {
+    let servers: Vec<ProcessId> = (0..num_servers).map(ProcessId::new).collect();
+    let old = servers[old_index];
+    McChoice {
+        id: format!("replace({old})"),
+        affects: None,
+        fault: false,
+        enabled: Rc::new(move |world: &World<Wire>| world.is_crashed(old)),
+        apply: Rc::new(move |world: &mut World<Wire>| {
+            spawn_replacement(
+                world,
+                &servers,
+                old_index,
+                oar,
+                CounterCommand::Add(0),
+                CounterMachine::default(),
+            );
+            // Boot the replacement immediately so its first `CatchUpRequest`
+            // is in the pending set before the next scheduling decision.
+            world.start();
+        }),
+    }
+}
+
 /// A choice making server `at`'s failure detector suspect `target`
 /// ([`OarServer::force_suspect`]: triggers Task 1c when `target` is the
 /// current sequencer and feeds any running consensus, exactly like a real
@@ -195,7 +241,10 @@ pub fn force_suspect_choice(
 /// The safety invariant of every OAR scenario: the paper's propositions over
 /// the alive, fully-caught-up replicas (a crashed replica holds no state; a
 /// replica mid-catch-up deliberately holds blank state — same population
-/// rule as [`Cluster::check_replica_consistency`]).
+/// rule as [`Cluster::check_replica_consistency`]). `servers` may list
+/// replicas that do not exist yet — a [`replace_choice`] spare is only
+/// spawned when the choice fires, so ids at or beyond the world's process
+/// count are skipped.
 pub fn oar_invariant(
     servers: Vec<ProcessId>,
     clients: Vec<ProcessId>,
@@ -204,7 +253,7 @@ pub fn oar_invariant(
         let alive: Vec<&OarServer<CounterMachine>> = servers
             .iter()
             .copied()
-            .filter(|&s| !world.is_crashed(s))
+            .filter(|&s| s.index() < world.num_processes() && !world.is_crashed(s))
             .map(|s| world.process_ref::<OarServer<CounterMachine>>(s))
             .filter(|server| !server.is_recovering())
             .collect();
@@ -250,6 +299,11 @@ pub struct OarScenario {
     pub cluster: ClusterConfig,
     /// Commands per client (distinct across clients).
     pub requests_per_client: usize,
+    /// Number of spare replicas a [`replace_choice`] in `choices` may spawn
+    /// beyond the initial deployment. Their ids follow the clients'
+    /// (simnet assigns dense pids in spawn order); [`OarScenario::servers`]
+    /// includes them so the invariant covers a replacement once it exists.
+    pub spare_servers: usize,
     /// The fault/control choices available to the checker.
     pub choices: Vec<McChoice<Wire>>,
     /// Exploration bounds.
@@ -266,6 +320,7 @@ impl OarScenario {
             name: "clean",
             cluster: mc_cluster_config(3, num_clients, timer_free_oar(|b| b)),
             requests_per_client,
+            spare_servers: 0,
             choices: Vec::new(),
             mc: McConfig {
                 horizon: HORIZON,
@@ -296,6 +351,7 @@ impl OarScenario {
             },
             cluster: mc_cluster_config(3, 1, oar),
             requests_per_client: 2,
+            spare_servers: 0,
             choices: vec![
                 crash_choice(s1),
                 force_suspect_choice(s0, s1, true),
@@ -341,6 +397,7 @@ impl OarScenario {
             },
             cluster: mc_cluster_config(3, 1, oar),
             requests_per_client: 4,
+            spare_servers: 0,
             choices: vec![
                 {
                     let mut crash = crash_choice(s2);
@@ -364,9 +421,53 @@ impl OarScenario {
         }
     }
 
-    /// The server process ids of this scenario.
+    /// Membership-change scenario (the tentpole's replica replacement,
+    /// exhaustively): 3 replicas, 1 client, 2 requests. The checker may
+    /// crash `s2` at any point and then **replace** it online: the
+    /// [`replace_choice`] spawns a spare replica over the post-replacement
+    /// roster and injects the `Replace` fence, which the survivors settle
+    /// through the conservative order. The spare joins through the
+    /// held-catch-up path — a donor that has not applied the fence holds the
+    /// spare's `CatchUpRequest` and serves it when the fence applies — so
+    /// the whole join is event-driven and the scenario stays timer-free.
+    /// Justified-suspicion choices of the crashed `s2` exercise the
+    /// fence-close consensus under failure detection. Every path must
+    /// satisfy total order, at-most-once and external consistency (with the
+    /// caught-up spare included in the checked population) and terminate:
+    /// the fence must neither wedge the epoch close nor strand the spare.
+    pub fn membership_change() -> Self {
+        let oar = timer_free_oar(|b| b);
+        let s0 = ProcessId::new(0);
+        let s1 = ProcessId::new(1);
+        let s2 = ProcessId::new(2);
+        OarScenario {
+            name: "membership-change",
+            cluster: mc_cluster_config(3, 1, oar),
+            requests_per_client: 2,
+            spare_servers: 1,
+            choices: vec![
+                crash_choice(s2),
+                replace_choice(2, 3, oar),
+                force_suspect_choice(s0, s2, true),
+                force_suspect_choice(s1, s2, true),
+            ],
+            mc: McConfig {
+                horizon: HORIZON,
+                max_faults: 1,
+                ..McConfig::default()
+            },
+        }
+    }
+
+    /// The server process ids of this scenario: the initial deployment plus
+    /// any [`replace_choice`] spares (spawned after the clients, so their
+    /// ids follow the clients'; [`oar_invariant`] skips the not-yet-spawned).
     pub fn servers(&self) -> Vec<ProcessId> {
-        (0..self.cluster.num_servers).map(ProcessId::new).collect()
+        let base = self.cluster.num_servers + self.cluster.num_clients;
+        (0..self.cluster.num_servers)
+            .map(ProcessId::new)
+            .chain((base..base + self.spare_servers).map(ProcessId::new))
+            .collect()
     }
 
     /// The client process ids of this scenario.
@@ -415,6 +516,7 @@ impl OarScenario {
             name: self.name,
             cluster: self.cluster.clone(),
             requests_per_client: self.requests_per_client,
+            spare_servers: self.spare_servers,
             choices: self.choices.clone(),
             mc: self.mc.clone(),
         };
@@ -558,6 +660,62 @@ mod tests {
         scenario.mc.max_states = 40_000;
         let report = scenario.run().expect("forkable");
         assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    /// Membership-change gate (directed path): on a plain, checker-free
+    /// world, crash `s2` and fire the replace choice immediately — the
+    /// fence settles conservatively, the spare joins through the
+    /// held-catch-up path (no catch-up retry timer fires inside the
+    /// horizon), the workload terminates, and the caught-up spare is part
+    /// of the consistent population.
+    #[test]
+    fn replace_path_joins_the_spare_without_timers() {
+        let scenario = OarScenario::membership_change();
+        let mut world = scenario.world();
+        world.start();
+        (scenario.choices[0].apply)(&mut world); // crash(s2)
+        (scenario.choices[1].apply)(&mut world); // replace(s2)
+                                                 // The fence's epoch close aggregates an estimate from every
+                                                 // unsuspected member (Cnsv-order), so the survivors must suspect
+                                                 // the crashed s2 for the consensus to propose — the justified
+                                                 // suspicions a real failure detector's timeout would raise.
+        (scenario.choices[2].apply)(&mut world); // suspect(s2)@s0
+        (scenario.choices[3].apply)(&mut world); // suspect(s2)@s1
+        world.run_until(HORIZON);
+        assert!(
+            oar_goal(scenario.clients(), HORIZON)(&world),
+            "the replaced group must finish the workload and drain"
+        );
+        let spare = ProcessId::new(4);
+        assert!(
+            !world
+                .process_ref::<OarServer<CounterMachine>>(spare)
+                .is_recovering(),
+            "the spare must have caught up through the held-catch-up path"
+        );
+        assert_eq!(
+            world
+                .process_ref::<OarServer<CounterMachine>>(spare)
+                .members(),
+            vec![ProcessId::new(0), ProcessId::new(1), spare],
+            "the spare must carry the post-replacement roster"
+        );
+        oar_invariant(scenario.servers(), scenario.clients())(&world).expect("safety holds");
+    }
+
+    /// Membership-change gate (exploration): every explored interleaving of
+    /// crash placement, fence settlement, suspicion and catch-up satisfies
+    /// the safety propositions and reaches termination — no deadlock on any
+    /// path. The debug profile sweeps a bounded prefix of the space; the
+    /// release-mode smoke harness runs the exhaustive instance.
+    #[test]
+    fn membership_change_paths_are_safe_and_terminate() {
+        let mut scenario = OarScenario::membership_change();
+        scenario.mc.max_states = 40_000;
+        let report = scenario.run().expect("forkable");
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.deadlocks, 0);
+        assert!(report.goal_states > 0);
     }
 
     /// Differential gate (stepwise): a plain timed execution only ever

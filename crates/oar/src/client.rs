@@ -258,6 +258,8 @@ impl<S: StateMachine> OarClient<S> {
                 client: self.id,
                 group: self.group,
                 txn: None,
+                reconfig: None,
+                route_epoch: 0,
                 command,
             });
             // Re-stamp the request with the multicast id so servers and client

@@ -3,11 +3,12 @@
 //! correctness propositions. Used by the integration tests, the examples and
 //! the experiment harness.
 
+use oar_channels::CastWire;
 use oar_simnet::{NetConfig, ProcessId, Samples, SimDuration, SimTime, World};
 
 use crate::client::{CompletedRequest, OarClient};
 use crate::config::{ClientConfig, OarConfig};
-use crate::message::OarWire;
+use crate::message::{OarWire, ReconfigCmd, Request, RequestId};
 use crate::server::{DeliveryRecord, OarServer};
 use crate::state_machine::StateMachine;
 
@@ -141,6 +142,71 @@ impl<S: StateMachine> Cluster<S> {
         self.world.schedule_restart(at, id, move || {
             Box::new(OarServer::recovering(id, group, oar, make_sm()))
         });
+    }
+
+    /// Replaces server `old_index` by a fresh replica: spawns the
+    /// replacement (built with [`OarServer::recovering`] over the
+    /// post-replacement roster, so it joins through the ordinary `CatchUp*`
+    /// wires) and injects a [`ReconfigCmd::Replace`] fence request into the
+    /// surviving members, which settle it through the conservative order.
+    /// `fence_command` is the no-op application command that carries the
+    /// fence. Returns the replacement's process id; `self.servers` tracks
+    /// the new roster from here on.
+    ///
+    /// Meant for a crashed `old` (the usual reason to replace a replica);
+    /// a live `old` simply never learns it was fenced out.
+    pub fn inject_replace(
+        &mut self,
+        old_index: usize,
+        fence_command: S::Command,
+        make_sm: impl FnOnce() -> S,
+    ) -> ProcessId {
+        let new = spawn_replacement(
+            &mut self.world,
+            &self.servers,
+            old_index,
+            self.oar,
+            fence_command,
+            make_sm(),
+        );
+        self.servers[old_index] = new;
+        new
+    }
+
+    /// Injects a divergent value for `key` into server `i`'s settled state
+    /// (`None` removes the key) — the fault the Merkle anti-entropy loop
+    /// exists to heal. Returns whether the state actually changed.
+    pub fn inject_divergence(&mut self, i: usize, key: &str, value: Option<&str>) -> bool {
+        let id = self.servers[i];
+        self.world
+            .process_mut::<OarServer<S>>(id)
+            .inject_divergence(key, value)
+    }
+
+    /// Total settled reconfiguration fences applied across all servers.
+    pub fn total_reconfigs_applied(&self) -> u64 {
+        self.sum_stats(|st| st.reconfigs_applied)
+    }
+
+    /// Total requests door-dropped and redirected for stale routing.
+    pub fn total_redirected(&self) -> u64 {
+        self.sum_stats(|st| st.redirected)
+    }
+
+    /// Total anti-entropy root probes sent across all servers.
+    pub fn total_sync_probes(&self) -> u64 {
+        self.sum_stats(|st| st.sync_probes)
+    }
+
+    /// Total anti-entropy descent wires (node requests + replies) across all
+    /// servers — the O(log n) localisation cost the gate bounds.
+    pub fn total_sync_node_wires(&self) -> u64 {
+        self.sum_stats(|st| st.sync_node_wires)
+    }
+
+    /// Total divergent keys repaired by majority vote across all servers.
+    pub fn total_sync_repairs(&self) -> u64 {
+        self.sum_stats(|st| st.sync_repairs)
     }
 
     /// The alive servers that finished any catch-up they were doing — the
@@ -541,6 +607,53 @@ impl<S: StateMachine> Cluster<S> {
             })
             .collect()
     }
+}
+
+/// The world-level core of [`Cluster::inject_replace`], usable without a
+/// [`Cluster`] (the model checker drives a bare [`World`]): spawns the
+/// replacement replica — built with [`OarServer::recovering`] over the
+/// post-replacement roster, so it joins through the ordinary `CatchUp*`
+/// wires — and injects the [`ReconfigCmd::Replace`] fence request into the
+/// surviving members, which settle it through the conservative order.
+/// `servers` is the *pre*-replacement roster; the caller is responsible for
+/// tracking the new one. Returns the replacement's process id.
+pub fn spawn_replacement<S: StateMachine>(
+    world: &mut World<OarWire<S::Command, S::Response>>,
+    servers: &[ProcessId],
+    old_index: usize,
+    oar: OarConfig,
+    fence_command: S::Command,
+    sm: S,
+) -> ProcessId {
+    let old = servers[old_index];
+    let new = ProcessId::new(world.num_processes());
+    let mut roster = servers.to_vec();
+    roster[old_index] = new;
+    let spawned = world.add_process(OarServer::recovering(new, roster, oar, sm));
+    debug_assert_eq!(spawned, new);
+    // The fence rides an ordinary request, R-multicast to the surviving
+    // members; the replacement's pid doubles as the admin "client" (it
+    // exists, and servers ignore stray `Replies` wires).
+    let id = RequestId::new(new, u64::MAX);
+    let wire = CastWire {
+        id,
+        origin: new,
+        payload: Request {
+            id,
+            client: new,
+            group: oar.group,
+            txn: None,
+            reconfig: Some(ReconfigCmd::Replace { old, new }),
+            route_epoch: 0,
+            command: fence_command,
+        },
+    };
+    for &s in servers {
+        if s != old && !world.is_crashed(s) {
+            world.send_external(new, s, OarWire::Request(wire.clone()));
+        }
+    }
+    new
 }
 
 #[cfg(test)]

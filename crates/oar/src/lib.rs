@@ -74,6 +74,7 @@ pub mod cluster;
 pub mod cnsv_order;
 pub mod config;
 pub mod consistency;
+pub mod merkle;
 pub mod message;
 pub mod openloop;
 pub mod parallel;
@@ -85,19 +86,20 @@ pub mod txn;
 
 pub use adaptive::{AdaptiveConfig, BatchController, PipelineController, PipelineStats};
 pub use client::{CompletedRequest, OarClient, QuorumTracker};
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{spawn_replacement, Cluster, ClusterConfig};
 pub use cnsv_order::{cnsv_order_outcome, CnsvOutcome};
 pub use config::{ClientConfig, ClientConfigBuilder, OarConfig, OarConfigBuilder, PipelineMode};
 pub use consistency::{check_external_consistency, check_server_consistency};
 pub use openloop::OpenLoopClient;
 
+pub use merkle::{MerkleTree, SyncNode};
 pub use message::{
-    majority, CatchUpReply, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, Reply, Request,
-    RequestId, TxnEnvelope, TxnId, Weight,
+    majority, CatchUpReply, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, ReconfigCmd,
+    Reply, Request, RequestId, TxnEnvelope, TxnId, Weight,
 };
 pub use parallel::{plan_waves, wave_apply, ParallelStateMachine};
 pub use server::{DeliveryRecord, OarServer, Phase, ServerStats};
-pub use shard::{Partitioner, ShardKey, ShardRouter};
+pub use shard::{KeyRange, MigrationRecord, Partitioner, ShardKey, ShardRouter};
 pub use sharded::{ShardCompleted, ShardedClient, ShardedCluster, ShardedConfig};
 pub use state_machine::{
     AppliedBatch, ConflictKeys, KeySet, Snapshottable, StateImage, StateMachine,

@@ -1,0 +1,290 @@
+//! Merkle tree over settled state, for anti-entropy.
+//!
+//! The consistency checks so far compare replicas by a single flat digest —
+//! enough to *detect* divergence, useless to *find* it. Anti-entropy (the
+//! Dynamo/Cassandra repair idiom) upgrades the comparison to a Merkle tree:
+//! two replicas whose roots differ exchange O(log n) interior nodes to
+//! localise the divergent leaves, then repair exactly those keys instead of
+//! re-shipping the whole state.
+//!
+//! The tree is an implicit binary heap over the sorted leaf set: leaf `i` of
+//! `p` (the leaf count padded to a power of two) lives at heap index `p + i`,
+//! the children of interior node `i` are `2i` and `2i+1`, the root is node 1.
+//! Both sides sort their leaves by key, so equal states build bit-identical
+//! trees and a single divergent key perturbs exactly one root-to-leaf path.
+//!
+//! The server's repair loop ([`crate::server`]) drives the descent over the
+//! `SyncProbe` / `SyncNodeRequest` / `SyncNodeReply` wires and settles each
+//! localised leaf by majority vote among the group members.
+
+use std::fmt;
+
+/// One node of a Merkle tree, as shipped in a `SyncNodeReply`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncNode {
+    /// An interior node: the hashes of its two children.
+    Inner {
+        /// Hash of the left child (heap index `2i`).
+        left: u64,
+        /// Hash of the right child (heap index `2i + 1`).
+        right: u64,
+    },
+    /// A leaf holding one key of the settled state.
+    Leaf {
+        /// The key.
+        key: String,
+        /// The leaf hash (key and value hashed together).
+        hash: u64,
+    },
+    /// A padding leaf beyond the last key (the leaf row is padded to a power
+    /// of two).
+    Empty,
+}
+
+impl fmt::Display for SyncNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncNode::Inner { left, right } => write!(f, "inner({left:016x},{right:016x})"),
+            SyncNode::Leaf { key, hash } => write!(f, "leaf({key},{hash:016x})"),
+            SyncNode::Empty => write!(f, "empty"),
+        }
+    }
+}
+
+/// FNV-1a over a byte slice, the repo's standard cheap digest.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Hash of a leaf: key bytes and value hash, domain-separated from interior
+/// nodes so a leaf can never collide with the combination of two children.
+fn leaf_hash(key: &str, value_hash: u64) -> u64 {
+    let mut bytes = Vec::with_capacity(key.len() + 9);
+    bytes.push(0x00);
+    bytes.extend_from_slice(key.as_bytes());
+    bytes.extend_from_slice(&value_hash.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// Hash of an interior node from its children.
+fn inner_hash(left: u64, right: u64) -> u64 {
+    let mut bytes = [0u8; 17];
+    bytes[0] = 0x01;
+    bytes[1..9].copy_from_slice(&left.to_le_bytes());
+    bytes[9..17].copy_from_slice(&right.to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// A Merkle tree over a replica's settled key/value-hash pairs.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerkleTree {
+    /// Heap of node hashes, 1-based (`nodes[0]` unused). `nodes[pad + i]` is
+    /// leaf `i`; padding leaves hash to 0.
+    nodes: Vec<u64>,
+    /// The leaves in key order, as `(key, value_hash)`.
+    leaves: Vec<(String, u64)>,
+    /// The padded leaf-row width (a power of two, ≥ 1).
+    pad: usize,
+}
+
+impl MerkleTree {
+    /// Builds the tree over `leaves` (sorted internally by key; keys must be
+    /// distinct — the settled state is a map).
+    pub fn build(mut leaves: Vec<(String, u64)>) -> Self {
+        leaves.sort_by(|a, b| a.0.cmp(&b.0));
+        let pad = leaves.len().next_power_of_two().max(1);
+        let mut nodes = vec![0u64; 2 * pad];
+        for (i, (key, value_hash)) in leaves.iter().enumerate() {
+            nodes[pad + i] = leaf_hash(key, *value_hash);
+        }
+        for i in (1..pad).rev() {
+            nodes[i] = inner_hash(nodes[2 * i], nodes[2 * i + 1]);
+        }
+        if pad == 1 && leaves.is_empty() {
+            nodes[1] = 0;
+        }
+        MerkleTree { nodes, leaves, pad }
+    }
+
+    /// The root hash (node 1). Two replicas with equal settled state have
+    /// equal roots; a single divergent key flips the root.
+    pub fn root(&self) -> u64 {
+        self.nodes[1]
+    }
+
+    /// Number of real (non-padding) leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Tree depth: root-to-leaf path length, `log2(pad)`.
+    pub fn depth(&self) -> u32 {
+        self.pad.trailing_zeros()
+    }
+
+    /// Hash of the node at heap `index`, if in range.
+    pub fn hash_at(&self, index: u64) -> Option<u64> {
+        let i = index as usize;
+        (1..self.nodes.len()).contains(&i).then(|| self.nodes[i])
+    }
+
+    /// The node at heap `index` in wire form, if in range.
+    pub fn node(&self, index: u64) -> Option<SyncNode> {
+        let i = index as usize;
+        if i < 1 || i >= self.nodes.len() {
+            return None;
+        }
+        if i < self.pad {
+            return Some(SyncNode::Inner {
+                left: self.nodes[2 * i],
+                right: self.nodes[2 * i + 1],
+            });
+        }
+        Some(match self.leaves.get(i - self.pad) {
+            Some((key, value_hash)) => SyncNode::Leaf {
+                key: key.clone(),
+                hash: leaf_hash(key, *value_hash),
+            },
+            None => SyncNode::Empty,
+        })
+    }
+
+    /// Given a peer's node at `index`, the child indices (or this tree's
+    /// divergent leaf keys) to descend into: indices of children whose
+    /// hashes differ, and — when `index` is a leaf — the key(s) involved on
+    /// either side. Drives the O(log n) descent: at each level at most the
+    /// differing children are followed.
+    pub fn diff_step(&self, index: u64, peer: &SyncNode) -> (Vec<u64>, Vec<String>) {
+        let mut descend = Vec::new();
+        let mut keys = Vec::new();
+        match (self.node(index), peer) {
+            (
+                Some(SyncNode::Inner { left, right }),
+                SyncNode::Inner {
+                    left: pl,
+                    right: pr,
+                },
+            ) => {
+                if left != *pl {
+                    descend.push(2 * index);
+                }
+                if right != *pr {
+                    descend.push(2 * index + 1);
+                }
+            }
+            (Some(SyncNode::Leaf { key, hash }), SyncNode::Leaf { key: pk, hash: ph }) => {
+                if key == *pk {
+                    if hash != *ph {
+                        keys.push(key);
+                    }
+                } else {
+                    // Key sets differ at this position: both keys are
+                    // candidates for repair voting.
+                    keys.push(key);
+                    keys.push(pk.clone());
+                }
+            }
+            (Some(SyncNode::Leaf { key, .. }), SyncNode::Empty) => keys.push(key),
+            (Some(SyncNode::Empty), SyncNode::Leaf { key, .. }) => keys.push(key.clone()),
+            _ => {}
+        }
+        (descend, keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kv_leaves(pairs: &[(&str, &str)]) -> Vec<(String, u64)> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), fnv1a(v.as_bytes())))
+            .collect()
+    }
+
+    #[test]
+    fn equal_states_build_equal_trees_regardless_of_leaf_order() {
+        let a = MerkleTree::build(kv_leaves(&[("a", "1"), ("b", "2"), ("c", "3")]));
+        let b = MerkleTree::build(kv_leaves(&[("c", "3"), ("a", "1"), ("b", "2")]));
+        assert_eq!(a.root(), b.root());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_tree_has_zero_root() {
+        let t = MerkleTree::build(Vec::new());
+        assert_eq!(t.root(), 0);
+        assert_eq!(t.leaf_count(), 0);
+        assert_eq!(t.node(1), Some(SyncNode::Empty));
+    }
+
+    #[test]
+    fn any_single_key_change_flips_the_root() {
+        let base = MerkleTree::build(kv_leaves(&[("a", "1"), ("b", "2"), ("c", "3")]));
+        let value_changed = MerkleTree::build(kv_leaves(&[("a", "1"), ("b", "X"), ("c", "3")]));
+        let key_missing = MerkleTree::build(kv_leaves(&[("a", "1"), ("c", "3")]));
+        assert_ne!(base.root(), value_changed.root());
+        assert_ne!(base.root(), key_missing.root());
+    }
+
+    /// The descent localises a single divergent key in exactly `depth`
+    /// steps, following one node per level — the O(log n) bound the
+    /// anti-entropy gate measures on the wire.
+    #[test]
+    fn descent_localises_single_divergence_in_depth_steps() {
+        let n = 64;
+        let healthy: Vec<(String, u64)> = (0..n)
+            .map(|i| (format!("key{i:03}"), fnv1a(format!("v{i}").as_bytes())))
+            .collect();
+        let mut corrupted = healthy.clone();
+        corrupted[17].1 = fnv1a(b"corrupted");
+        let good = MerkleTree::build(healthy);
+        let bad = MerkleTree::build(corrupted);
+        assert_ne!(good.root(), bad.root());
+
+        let mut frontier = vec![1u64];
+        let mut found = Vec::new();
+        let mut steps = 0;
+        while let Some(index) = frontier.pop() {
+            steps += 1;
+            let peer = good.node(index).expect("same shape");
+            let (descend, keys) = bad.diff_step(index, &peer);
+            frontier.extend(descend);
+            found.extend(keys);
+        }
+        assert_eq!(found, vec!["key017".to_string()]);
+        // Root + one interior node per level + the leaf.
+        assert_eq!(steps as u32, bad.depth() + 1);
+    }
+
+    #[test]
+    fn diff_step_reports_key_set_divergence_at_leaves() {
+        // Both trees pad their leaf row to 4, so heap shapes match; `b` is
+        // missing `d` and pads the slot with an empty leaf.
+        let a = MerkleTree::build(kv_leaves(&[("a", "1"), ("b", "2"), ("c", "3"), ("d", "4")]));
+        let b = MerkleTree::build(kv_leaves(&[("a", "1"), ("b", "2"), ("c", "3")]));
+        let slot = 4 + 3; // heap index of leaf position 3
+        let (_, keys) = a.diff_step(slot, &b.node(slot).expect("in range"));
+        assert_eq!(keys, vec!["d".to_string()]);
+        let (_, keys) = b.diff_step(slot, &a.node(slot).expect("in range"));
+        assert_eq!(keys, vec!["d".to_string()]);
+        // Same position, different keys: both are repair candidates.
+        let c = MerkleTree::build(kv_leaves(&[("a", "1"), ("b", "2"), ("c", "3"), ("e", "5")]));
+        let (_, keys) = a.diff_step(slot, &c.node(slot).expect("in range"));
+        assert_eq!(keys, vec!["d".to_string(), "e".to_string()]);
+    }
+
+    #[test]
+    fn node_accessors_are_bounded() {
+        let t = MerkleTree::build(kv_leaves(&[("a", "1")]));
+        assert!(t.node(0).is_none());
+        assert!(t.hash_at(99).is_none());
+        assert_eq!(t.hash_at(1), Some(t.root()));
+    }
+}

@@ -14,6 +14,7 @@ use oar_fd::FdWire;
 use oar_sequence::Seq;
 use oar_simnet::{GroupId, ProcessId};
 
+use crate::shard::MigrationRecord;
 use crate::state_machine::StateImage;
 
 /// Identifier of a client request: the client process plus a per-client
@@ -45,6 +46,37 @@ pub struct TxnEnvelope {
     pub participants: Vec<GroupId>,
 }
 
+/// A membership or shard-ownership change, carried as a *fence command*
+/// inside an ordinary [`Request`] and settled through the conservative order
+/// — the same no-cross-group-agreement discipline as the transaction
+/// prepares of [`crate::txn`]. The optimistic delivery path never interprets
+/// it; its effects take hold exactly when the carrying request's epoch
+/// closes, so every replica of a group reconfigures at the same point of the
+/// total order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReconfigCmd {
+    /// Replace group member `old` by `new` in place. `old` is fenced out of
+    /// quorum, GC and sequencer-rotation accounting; `new` joins through the
+    /// ordinary `CatchUp*` wires and restores the fault budget.
+    Replace {
+        /// The member being fenced out (typically crashed, not necessarily).
+        old: ProcessId,
+        /// The replacement replica.
+        new: ProcessId,
+    },
+    /// Move a key range between groups. Ordered as a fence in **both** the
+    /// donor and the recipient group; when the donor settles it, the settled
+    /// state of the range is handed off to `to_members` and the routing
+    /// epoch bumps, door-redirecting stale senders.
+    Migrate {
+        /// What moves where, and the routing epoch it establishes.
+        record: MigrationRecord,
+        /// The members of the recipient group (the donor needs addresses,
+        /// not just the group id, to hand the range over).
+        to_members: Vec<ProcessId>,
+    },
+}
+
 /// A client request as carried by `R-multicast(m, Π)`.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Request<C> {
@@ -62,6 +94,15 @@ pub struct Request<C> {
     /// transaction; `None` for plain requests and single-group (fast-path)
     /// transactions.
     pub txn: Option<TxnEnvelope>,
+    /// `Some` when this request is a reconfiguration fence; the command it
+    /// carries is a benign no-op-grade carrier whose reply completes the
+    /// admin's submission.
+    pub reconfig: Option<ReconfigCmd>,
+    /// The routing epoch of the sender's [`crate::shard::ShardRouter`] at
+    /// send time. Servers door-drop requests stamped older than their own
+    /// routing epoch and answer with [`OarWire::Redirect`] (counted in
+    /// `ServerStats::redirected`). Always 0 in unsharded deployments.
+    pub route_epoch: u64,
     /// The command to execute on the replicated service.
     pub command: C,
 }
@@ -241,6 +282,11 @@ pub enum OarWire<C, R> {
         /// carried so the donor's reply can be matched to the newest attempt
         /// and late replies of abandoned attempts are ignored.
         attempt: u64,
+        /// The requester's roster. A donor that still rosters a member the
+        /// requester does not (an as-yet-unfenced `Replace` victim) *holds*
+        /// the request and serves it when the fence applies, instead of
+        /// shipping an image the requester's install gate would reject.
+        group: Vec<ProcessId>,
     },
     /// A donor's answer to a [`OarWire::CatchUpRequest`].
     CatchUpReply(Box<CatchUpReply<C>>),
@@ -258,6 +304,72 @@ pub enum OarWire<C, R> {
     PayloadFill {
         /// The full requests, ready to feed the normal delivery path.
         requests: Vec<Request<C>>,
+    },
+    /// A server telling a client its routing is stale: the listed migrations
+    /// have settled. The client folds them into its router
+    /// ([`crate::shard::ShardRouter::apply_record`]) and re-sends any
+    /// affected outstanding request to the new owner group.
+    Redirect {
+        /// Every migration the sender has settled, oldest first.
+        records: Vec<MigrationRecord>,
+    },
+    /// The donor side of an online range migration handing the settled state
+    /// of the migrated range to a recipient-group member. Every live donor
+    /// member sends one (idempotence comes from the deterministic install
+    /// request the recipient derives — duplicate hand-offs dedup in the
+    /// recipient's multicast layer).
+    MigrateState {
+        /// The migration being executed.
+        record: MigrationRecord,
+        /// The settled key/value pairs of the migrated range, in key order.
+        entries: Vec<(String, String)>,
+        /// The donor's digest over `entries`
+        /// ([`crate::state_machine::StateMachine::range_digest`]), letting
+        /// the recipient verify the hand-off end to end.
+        digest: u64,
+    },
+    /// Tick-paced anti-entropy probe: the sender's Merkle root over its
+    /// settled state at `settled` A-deliveries. A receiver at the same
+    /// position with a different root answers with its root node
+    /// ([`OarWire::SyncNodeReply`] for index 1), starting the O(log n)
+    /// divergence descent.
+    SyncProbe {
+        /// Number of settled (A-delivered) commands the tree covers; trees
+        /// at different positions are incomparable and the probe is ignored.
+        settled: u64,
+        /// The sender's Merkle root hash.
+        root: u64,
+    },
+    /// Request one Merkle node during the divergence descent.
+    SyncNodeRequest {
+        /// The tree position this descent is pinned to.
+        settled: u64,
+        /// Heap index of the requested node (1 = root).
+        index: u64,
+    },
+    /// One Merkle node of the responder's tree.
+    SyncNodeReply {
+        /// The tree position this descent is pinned to.
+        settled: u64,
+        /// Heap index of the node.
+        index: u64,
+        /// The node: child hashes, or the leaf's key and hash.
+        node: crate::merkle::SyncNode,
+    },
+    /// A divergent leaf was localised: ask a peer for its value of `key` so
+    /// the group can vote (the majority value among the members is
+    /// authoritative — a corrupted minority heals, a healthy majority is
+    /// never polluted by a corrupted prober).
+    SyncLeafRequest {
+        /// The key whose leaf hash diverged.
+        key: String,
+    },
+    /// A peer's vote in a leaf repair election.
+    SyncLeafReply {
+        /// The key being voted on.
+        key: String,
+        /// The peer's settled value (`None` = absent).
+        value: Option<String>,
     },
 }
 
@@ -310,6 +422,18 @@ pub struct CatchUpReply<C> {
     /// the rejoiner was down would otherwise never reach it — fatal once
     /// sequencer rotation makes the rejoiner responsible for ordering it.
     pub pending: Vec<Request<C>>,
+    /// The donor's group membership at transfer time — a rejoiner that was
+    /// down across a settled `Replace` fence must adopt the post-replacement
+    /// roster or it would keep heartbeating (and counting quorums against)
+    /// the fenced-out replica.
+    pub group: Vec<ProcessId>,
+    /// The donor's routing-boundary epoch, so a rejoiner that was down
+    /// across a settled `Migrate` fence door-drops stale-epoch requests like
+    /// everyone else.
+    pub route_epoch: u64,
+    /// The settled migration records backing `route_epoch` (what
+    /// `migrated_away` consults).
+    pub migrations: Vec<MigrationRecord>,
 }
 
 /// Majority threshold used by both the client quorum rule and the consensus:

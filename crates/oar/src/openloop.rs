@@ -147,6 +147,8 @@ impl<S: StateMachine> OpenLoopClient<S> {
             client: self.id,
             group: self.group,
             txn: None,
+            reconfig: None,
+            route_epoch: 0,
             command,
         });
         wire.payload.id = id;

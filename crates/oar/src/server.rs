@@ -90,11 +90,13 @@ use oar_simnet::{
 use crate::adaptive::BatchController;
 use crate::cnsv_order::cnsv_order_outcome;
 use crate::config::OarConfig;
+use crate::merkle::MerkleTree;
 use crate::message::{
-    CatchUpReply, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, ReplyBatch, ReplyItem,
-    Request, RequestId, Weight,
+    majority, CatchUpReply, CnsvValue, DeliveryKind, OarWire, OrderMsg, PhaseIIMsg, ReconfigCmd,
+    ReplyBatch, ReplyItem, Request, RequestId, Weight,
 };
-use crate::state_machine::{AppliedBatch, StateImage, StateMachine};
+use crate::shard::{KeyRange, MigrationRecord};
+use crate::state_machine::{entries_digest, AppliedBatch, StateImage, StateMachine};
 
 /// Applies one delivery batch to the state machine, routing through
 /// [`StateMachine::apply_batch`] when parallel apply is configured and the
@@ -332,6 +334,33 @@ pub struct ServerStats {
     /// Consensus instances whose messages were re-sent after stalling (the
     /// crash-recovery repair of the quasi-reliable-channel assumption).
     pub consensus_retransmits: u64,
+    /// Requests door-dropped for stale routing (an old boundary epoch, or a
+    /// key this group has migrated away) and answered with a `Redirect`.
+    pub redirected: u64,
+    /// Reconfiguration fence commands whose effects this server applied at
+    /// an epoch close (`Replace` membership swaps and `Migrate` records).
+    pub reconfigs_applied: u64,
+    /// Key-range migrations this server completed as a donor member
+    /// (extracted the range and shipped the hand-off).
+    pub migrations_out: u64,
+    /// Key-range migrations this server recorded as a recipient member.
+    pub migrations_in: u64,
+    /// `MigrateState` hand-off wires sent to recipient members (donor side).
+    pub migrate_state_wires: u64,
+    /// Digest of the entries extracted by the last donor-side migration
+    /// (what the hand-off shipped; 0 until a migration ran).
+    pub migrate_out_digest: u64,
+    /// Digest of the last verified incoming `MigrateState` (must match the
+    /// donor's `migrate_out_digest`; 0 until a hand-off arrived).
+    pub migrate_in_digest: u64,
+    /// Anti-entropy root probes sent on the maintenance tick.
+    pub sync_probes: u64,
+    /// Merkle node wires exchanged during divergence descent (requests and
+    /// replies) — the O(log n) localisation cost the anti-entropy gate
+    /// measures.
+    pub sync_node_wires: u64,
+    /// Divergent leaves repaired by the anti-entropy majority vote.
+    pub sync_repairs: u64,
 }
 
 /// The OAR server process, generic over the replicated [`StateMachine`].
@@ -437,6 +466,12 @@ pub struct OarServer<S: StateMachine> {
     /// the install completes (the door checks discard whatever the transfer
     /// already covered).
     recovery_buffer: RecoveryBuffer<S>,
+    /// Catch-up requests from replicas this group does not (yet) roster —
+    /// replacements whose `Replace` fence has not settled here. Serving them
+    /// now would transfer a state whose future decisions are cast to the old
+    /// roster, so the transfer is held and served the moment the fence
+    /// applies. One slot per sender (the latest attempt wins).
+    held_catch_ups: Vec<(ProcessId, u64)>,
     /// The epoch a catch-up install landed in the middle of. A rejoiner has
     /// missed that epoch's earlier order batches, so opt-delivering from a
     /// mid-epoch batch would break Lemma 2 (every `O_delivered` is a prefix
@@ -456,6 +491,30 @@ pub struct OarServer<S: StateMachine> {
     /// after two full ticks its (idempotent) messages are re-sent, repairing
     /// estimates/proposals that were unicast to a peer while it was down.
     cnsv_stall_ticks: u32,
+
+    // --- membership reconfiguration & shard migration ---
+    /// The routing-boundary epoch this group has settled. Bumped by every
+    /// settled `Migrate` fence; requests stamped with an older epoch are
+    /// door-dropped and answered with a `Redirect`.
+    route_epoch: u64,
+    /// Settled key-range migration records this server knows about, in
+    /// settle order. Records where this group is the donor drive the
+    /// migrated-away door check; the whole list travels in `Redirect`s so a
+    /// stale client can repair its router in one round-trip.
+    migrations: Vec<MigrationRecord>,
+
+    // --- Merkle anti-entropy ---
+    /// Rotates the probe target of successive anti-entropy ticks.
+    sync_cursor: u64,
+    /// Leaf-repair votes in flight, keyed by divergent key: the value each
+    /// group member (self included) reported for it. A strict majority for
+    /// one value settles the vote and repairs the leaf.
+    sync_votes: BTreeMap<String, BTreeMap<ProcessId, Option<String>>>,
+    /// `(epoch, optimistic deliveries)` observed by the previous tick. When
+    /// anti-entropy is on and two consecutive ticks see the same open
+    /// optimistic epoch, the sequencer cuts it: an idle tail epoch would
+    /// otherwise pin the undo stack forever and keep every probe gated.
+    sync_idle_mark: Option<(u64, u64)>,
 
     // --- application ---
     sm: S,
@@ -530,10 +589,16 @@ impl<S: StateMachine> OarServer<S> {
             snapshot,
             catch_up_attempt: None,
             recovery_buffer: Vec::new(),
+            held_catch_ups: Vec::new(),
             opt_freeze_epoch: None,
             prev_missing: HashSet::new(),
             fetch_round: 0,
             cnsv_stall_ticks: 0,
+            route_epoch: 0,
+            migrations: Vec::new(),
+            sync_cursor: 0,
+            sync_votes: BTreeMap::new(),
+            sync_idle_mark: None,
             sm,
             log: Vec::new(),
             stats,
@@ -724,6 +789,41 @@ impl<S: StateMachine> OarServer<S> {
         self.fd.is_suspected(p)
     }
 
+    /// The current replica group, in sequencer-rotation order. Mutable over
+    /// the server's lifetime: a settled [`ReconfigCmd::Replace`] swaps the
+    /// fenced member's slot in place.
+    pub fn members(&self) -> &[ProcessId] {
+        &self.group
+    }
+
+    /// The routing-boundary epoch this group has settled (bumped by every
+    /// settled `Migrate` fence).
+    pub fn route_epoch(&self) -> u64 {
+        self.route_epoch
+    }
+
+    /// The settled key-range migration records this server knows about, in
+    /// settle order.
+    pub fn migration_records(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    /// Digest of the settled entries inside `range`, when the state machine
+    /// supports keyed extraction (the donor/recipient equality check of the
+    /// migration gate).
+    pub fn range_digest(&self, range: &KeyRange) -> Option<u64> {
+        self.sm.range_digest(range)
+    }
+
+    /// Fault injection for the anti-entropy experiments and tests: silently
+    /// corrupts one settled key of the local state machine (`None` deletes
+    /// it), exactly the class of divergence the Merkle repair loop heals.
+    /// Returns whether the machine changed (false when it does not support
+    /// anti-entropy).
+    pub fn inject_divergence(&mut self, key: &str, value: Option<&str>) -> bool {
+        self.sm.anti_entropy_repair(key, value)
+    }
+
     /// Forces this server to suspect the current sequencer (wrong-suspicion
     /// injection used by the experiments on Opt-undeliver frequency).
     pub fn force_suspect_sequencer(
@@ -803,6 +903,7 @@ impl<S: StateMachine> OarServer<S> {
         if request.txn.is_some() {
             self.stats.txn_prepares += 1;
         }
+        let fence = request.reconfig.is_some();
         self.payloads.insert(id, request);
         self.stats.payloads.record(self.payloads.len() as u64);
         self.record_seen();
@@ -832,6 +933,14 @@ impl<S: StateMachine> OarServer<S> {
             } else {
                 self.schedule_flush_deadline(ctx);
             }
+        }
+        // A reconfiguration fence closes its epoch conservatively as soon as
+        // it is received: fence effects only take hold at an epoch close
+        // (`apply_decision`), and the close also settles everything ordered
+        // before the fence — the deterministic cut the membership or
+        // boundary change happens at. Timer-free: works in the checker too.
+        if fence {
+            self.start_phase2(ctx);
         }
     }
 
@@ -909,6 +1018,15 @@ impl<S: StateMachine> OarServer<S> {
         let mut batch: Seq<RequestId> = Seq::with_capacity(self.order_backlog());
         for id in &self.r_delivered.as_slice()[self.order_cursor..] {
             if !self.delivered_already(id) && !self.order_queued.contains(id) {
+                // A relayed copy of a migrated-away request can slip into
+                // `R_delivered` after the migration fence pruned the
+                // first-hand ones; never order it (its client was already
+                // redirected by the pruning replicas).
+                if let Some(request) = self.payloads.get(id) {
+                    if self.migrated_away(&request.command) {
+                        continue;
+                    }
+                }
                 batch.push(*id);
             }
         }
@@ -1343,6 +1461,7 @@ impl<S: StateMachine> OarServer<S> {
         // Appended in place: O(epoch length), not O(|A_delivered|).
         let kept = self.o_delivered.subtract(&outcome.bad);
         let mut decided_now: Vec<RequestId> = Vec::with_capacity(kept.len() + outcome.new.len());
+        let mut reconfigs: Vec<ReconfigCmd> = Vec::new();
         for id in kept.iter().chain(outcome.new.iter()) {
             self.settled.insert(*id);
             self.a_delivered.push(*id);
@@ -1351,12 +1470,26 @@ impl<S: StateMachine> OarServer<S> {
             // retained past the payload GC until the next snapshot compacts
             // it, so a donor can always serve snapshot + delta.
             let request = self.payloads.get(id).expect("payload present").clone();
+            if let Some(cmd) = &request.reconfig {
+                reconfigs.push(cmd.clone());
+            }
             self.settled_log.push_back(request);
         }
         // The payloads of this epoch's decisions become prunable once every
         // live replica acknowledges the epoch.
         if !decided_now.is_empty() {
             self.gc_pending.insert(self.epoch, decided_now);
+        }
+
+        // Settled reconfiguration fences take effect here — after the whole
+        // batch applied (so every command settled up to this epoch executed
+        // under the *old* membership/boundaries) and before the next epoch
+        // opens (so everything after runs under the new ones): the
+        // deterministic cut at the epoch boundary. Epochs close in order
+        // with identical decisions group-wide, so every replica applies the
+        // same reconfigurations at the same position.
+        for cmd in reconfigs {
+            self.apply_reconfig(ctx, cmd);
         }
 
         // Lines 31–32: reset the optimistic state and move to the next epoch.
@@ -1386,6 +1519,21 @@ impl<S: StateMachine> OarServer<S> {
             }
         }
         self.annotate(ctx, format!("epoch {} starts", self.epoch));
+
+        // Serve the catch-up transfers held for members a fence just
+        // admitted — after the epoch reset, so the reply carries the fresh
+        // epoch and phase (a mid-close snapshot would point the rejoiner at
+        // a consensus instance the group has already finished).
+        if !self.held_catch_ups.is_empty() {
+            let held = std::mem::take(&mut self.held_catch_ups);
+            for (peer, attempt) in held {
+                if self.group.contains(&peer) {
+                    self.serve_catch_up(ctx, peer, attempt);
+                } else {
+                    self.held_catch_ups.push((peer, attempt));
+                }
+            }
+        }
 
         // Announce the advanced watermark so peers can prune, and prune
         // whatever the group has already acknowledged.
@@ -1446,6 +1594,369 @@ impl<S: StateMachine> OarServer<S> {
             self.push_suspects_to_consensus(ctx);
             // A newly suspected replica no longer holds up the payload GC.
             self.maybe_gc();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // membership reconfiguration & shard migration (fence commands)
+    // ------------------------------------------------------------------
+
+    /// Applies one settled reconfiguration fence. Runs inside
+    /// [`Self::apply_decision`], at the epoch boundary.
+    fn apply_reconfig(
+        &mut self,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+        cmd: ReconfigCmd,
+    ) {
+        match cmd {
+            ReconfigCmd::Replace { old, new } => self.apply_replace(ctx, old, new),
+            ReconfigCmd::Migrate { record, to_members } => {
+                self.apply_migrate(ctx, record, &to_members)
+            }
+        }
+    }
+
+    /// `Replace { old, new }`: fences `old` out of every membership-derived
+    /// structure — quorum (consensus group), sequencer rotation and GC
+    /// accounting — and admits `new` into the same slot, preserving the
+    /// rotation order. `new` joins with live state through the ordinary
+    /// catch-up wires (it is spawned with [`OarServer::recovering`]); until
+    /// its first watermark announcement it holds the payload GC, exactly
+    /// like any unheard peer.
+    fn apply_replace(
+        &mut self,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+        old: ProcessId,
+        new: ProcessId,
+    ) {
+        if !self.group.contains(&old) || self.group.contains(&new) {
+            // Already applied (duplicate fence), or a bad target: ignore.
+            return;
+        }
+        let slot = self
+            .group
+            .iter()
+            .position(|&p| p == old)
+            .expect("checked above");
+        self.group[slot] = new;
+        self.request_cast.replace_member(old, new);
+        self.phase2_cast.replace_member(old, new);
+        self.fd.replace_member(old, new, ctx.now());
+        // The fenced replica's watermark no longer participates in the GC
+        // minimum; the newcomer starts unheard (0), holding the GC until its
+        // catch-up completes — conservative, never unsafe.
+        self.peer_settled.remove(&old);
+        self.stats.reconfigs_applied += 1;
+        self.annotate(ctx, format!("reconfig: replace {old} -> {new}"));
+        // Note: if this server *is* `old` (fenced while still alive), it has
+        // just removed itself from its own group view: it will never be
+        // sequencer again, never count towards quorum, and its peers ignore
+        // its watermarks. It keeps serving reads of its local state but is
+        // protocol-inert — the conservative way to leave.
+    }
+
+    /// `Migrate { record, to_members }`: the donor half extracts the settled
+    /// entries of the migrated range from the state machine (dropping them
+    /// locally) and ships them to every recipient member; both halves adopt
+    /// the record and bump the routing-boundary epoch, arming the door
+    /// redirect for stale-routed requests.
+    fn apply_migrate(
+        &mut self,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+        record: MigrationRecord,
+        to_members: &[ProcessId],
+    ) {
+        if self
+            .migrations
+            .iter()
+            .any(|r| r.route_epoch == record.route_epoch)
+        {
+            return; // duplicate fence
+        }
+        self.route_epoch = self.route_epoch.max(record.route_epoch);
+        self.stats.reconfigs_applied += 1;
+        if record.to_group == self.config.group {
+            self.stats.migrations_in += 1;
+            self.migrations.push(record);
+            return;
+        }
+        if record.from_group != self.config.group {
+            // A foreign record (possible when fences are broadcast wider
+            // than the two groups): routing knowledge only.
+            self.migrations.push(record);
+            return;
+        }
+        // Donor: extract-and-drop the settled entries of the range. This
+        // runs after the closing epoch's batch applied and before the next
+        // epoch delivers, so every donor replica cuts the exact same state.
+        let entries = self.sm.extract_range(&record.range).unwrap_or_default();
+        let digest = entries_digest(&entries);
+        self.stats.migrations_out += 1;
+        self.stats.migrate_out_digest = digest;
+        self.annotate(
+            ctx,
+            format!(
+                "reconfig: migrate [{}..{:?}) -> {:?} ({} entries)",
+                record.range.start,
+                record.range.end,
+                record.to_group,
+                entries.len()
+            ),
+        );
+        for &to in to_members {
+            self.stats.migrate_state_wires += 1;
+            ctx.send(
+                to,
+                OarWire::MigrateState {
+                    record: record.clone(),
+                    entries: entries.clone(),
+                    digest,
+                },
+            );
+        }
+        self.migrations.push(record);
+        // Unsettled requests for migrated keys must not be ordered here any
+        // more (their effects would resurrect the range): drop them from the
+        // reception buffer and point their clients at the new owner.
+        self.prune_migrated_requests(ctx);
+    }
+
+    /// Drops every unsettled buffered request whose key this group just
+    /// migrated away and sends each affected client one `Redirect`. The
+    /// client re-sends to the new owner with the same request id, so the
+    /// request settles exactly once — at the recipient.
+    fn prune_migrated_requests(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
+        let mut dropped: Vec<RequestId> = Vec::new();
+        let mut clients: BTreeSet<ProcessId> = BTreeSet::new();
+        for id in self.r_delivered.iter() {
+            if self.settled.contains(id) {
+                continue;
+            }
+            let Some(request) = self.payloads.get(id) else {
+                continue;
+            };
+            if self.migrated_away(&request.command) {
+                dropped.push(*id);
+                clients.insert(request.client);
+            }
+        }
+        if dropped.is_empty() {
+            return;
+        }
+        let gone: HashSet<RequestId> = dropped.iter().copied().collect();
+        self.r_delivered = self
+            .r_delivered
+            .iter()
+            .filter(|id| !gone.contains(id))
+            .copied()
+            .collect();
+        self.order_cursor = self.order_cursor.min(self.r_delivered.len());
+        for id in &dropped {
+            self.payloads.remove(id);
+            // Keep the caster's seen entry: a late relay of the dropped
+            // request must stay suppressed, not re-delivered.
+        }
+        self.stats.payloads.record(self.payloads.len() as u64);
+        self.stats.redirected += dropped.len() as u64;
+        let records = self.migrations.clone();
+        for client in clients {
+            ctx.send(
+                client,
+                OarWire::Redirect {
+                    records: records.clone(),
+                },
+            );
+        }
+    }
+
+    /// Whether `command` touches a key this group has migrated away (the
+    /// donor-side half of the routing door check).
+    fn migrated_away(&self, command: &S::Command) -> bool {
+        if self.migrations.is_empty() {
+            return false;
+        }
+        let Some(key) = S::command_key(command) else {
+            return false;
+        };
+        // Newest covering record wins, mirroring `ShardRouter::route_key`.
+        for record in self.migrations.iter().rev() {
+            if record.range.contains(key) {
+                return record.from_group == self.config.group
+                    && record.to_group != self.config.group;
+            }
+        }
+        false
+    }
+
+    /// Ingests a donor's `MigrateState` hand-off: verifies the digest, then
+    /// feeds a *deterministically identified* install request through this
+    /// group's ordinary total order. Every donor replica sends the hand-off
+    /// to every recipient member, and every recipient crafts the bit-same
+    /// request — the multicast seen-set dedups the copies, so the range
+    /// installs exactly once, at one agreed position. Install is
+    /// insert-if-absent: a client write redirected ahead of the install
+    /// keeps its effect whichever side of the install it lands on.
+    fn handle_migrate_state(
+        &mut self,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+        record: MigrationRecord,
+        entries: Vec<(String, String)>,
+        digest: u64,
+    ) {
+        if record.to_group != self.config.group {
+            return;
+        }
+        if entries_digest(&entries) != digest {
+            self.annotate(ctx, "migrate-state digest mismatch dropped".to_string());
+            return;
+        }
+        self.stats.migrate_in_digest = digest;
+        let Some(command) = S::install_range_command(entries) else {
+            return;
+        };
+        // Deterministic identity: any group member, fed by any donor,
+        // produces the same id — `u64::MAX - route_epoch` cannot collide
+        // with a client's own (small, counting-up) sequence numbers.
+        let origin = *self.group.iter().min().expect("group is never empty");
+        let id = oar_channels::MsgId::new(origin, u64::MAX - record.route_epoch);
+        let request = Request {
+            id,
+            client: origin,
+            group: self.config.group,
+            txn: None,
+            reconfig: None,
+            route_epoch: self.route_epoch,
+            command,
+        };
+        let wire = CastWire {
+            id,
+            origin,
+            payload: request,
+        };
+        let (delivery, relay) = self.request_cast.on_wire_shared(wire);
+        if let Some((wire, targets)) = relay {
+            ctx.send_all(&targets, OarWire::Request(wire));
+        }
+        if let Some(delivery) = delivery {
+            self.handle_request_delivery(ctx, delivery);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Merkle anti-entropy (settled-state repair)
+    // ------------------------------------------------------------------
+
+    /// The Merkle tree over this replica's current settled leaves, rebuilt
+    /// on demand (`None` when the machine does not expose leaves). Derived
+    /// state: never stored, so it needs no fork/digest bookkeeping.
+    fn build_sync_tree(&self) -> Option<MerkleTree> {
+        self.sm.anti_entropy_leaves().map(MerkleTree::build)
+    }
+
+    /// Tick-paced anti-entropy probe: send our Merkle root (at our settled
+    /// position) to one peer, rotating the target each tick. A peer at the
+    /// same position with a different root answers with its root node,
+    /// starting the O(log n) divergence descent.
+    fn maybe_sync(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
+        if !self.config.anti_entropy {
+            return;
+        }
+        // Probe only while quiescent: with optimistic deliveries in flight
+        // the machine's leaves are speculative, and same-settled peers would
+        // descend into differences the epoch close is about to reconcile
+        // anyway. An idle tail epoch would gate probes forever, so when two
+        // consecutive ticks see the same open optimistic epoch the sequencer
+        // cuts it conservatively and lets the undo stack drain.
+        if !self.undo_stack.is_empty() {
+            let mark = (self.epoch, self.o_delivered.len() as u64);
+            if self.sync_idle_mark == Some(mark)
+                && self.phase == Phase::Optimistic
+                && self.current_sequencer() == self.id
+            {
+                self.start_phase2(ctx);
+            }
+            self.sync_idle_mark = Some(mark);
+            return;
+        }
+        self.sync_idle_mark = None;
+        let Some(tree) = self.build_sync_tree() else {
+            return;
+        };
+        let peers = self.peers();
+        if peers.is_empty() {
+            return;
+        }
+        let peer = peers[(self.sync_cursor as usize) % peers.len()];
+        self.sync_cursor += 1;
+        self.stats.sync_probes += 1;
+        ctx.send(
+            peer,
+            OarWire::SyncProbe {
+                settled: self.total_settled(),
+                root: tree.root(),
+            },
+        );
+    }
+
+    /// Starts a leaf repair vote for `key`: records our own value and asks
+    /// every peer for theirs. Idempotent while the vote is in flight.
+    fn start_leaf_vote(
+        &mut self,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+        key: String,
+    ) {
+        if self.sync_votes.contains_key(&key) {
+            return;
+        }
+        let mut votes = BTreeMap::new();
+        votes.insert(self.id, self.sm.anti_entropy_value(&key));
+        self.sync_votes.insert(key.clone(), votes);
+        for peer in self.peers() {
+            ctx.send(peer, OarWire::SyncLeafRequest { key: key.clone() });
+        }
+    }
+
+    /// Records one peer's value for a divergent key and settles the vote
+    /// once a strict group majority agrees on a value: the majority value is
+    /// installed locally (`None` deletes). A corrupted minority replica
+    /// heals itself; a healthy replica voting against a corrupted peer finds
+    /// its own value in the majority and changes nothing. Requires 3+
+    /// replicas to out-vote a corrupt member — with 2 the vote stays split
+    /// and expires undecided.
+    fn record_leaf_vote(&mut self, key: String, from: ProcessId, value: Option<String>) {
+        if !self.group.contains(&from) {
+            return;
+        }
+        let Some(votes) = self.sync_votes.get_mut(&key) else {
+            return;
+        };
+        votes.insert(from, value);
+        let needed = majority(self.group.len());
+        let mut winner: Option<Option<String>> = None;
+        for candidate in votes.values() {
+            if votes.values().filter(|v| *v == candidate).count() >= needed {
+                winner = Some(candidate.clone());
+                break;
+            }
+        }
+        match winner {
+            Some(value) => {
+                self.sync_votes.remove(&key);
+                // Repair only while quiescent: overwriting a key with an
+                // optimistic delivery in flight would fight the undo stack.
+                // A dropped vote is retried by the next quiescent probe.
+                if self.undo_stack.is_empty() && self.sm.anti_entropy_repair(&key, value.as_deref())
+                {
+                    self.stats.sync_repairs += 1;
+                }
+            }
+            None => {
+                if self.sync_votes.get(&key).map(|v| v.len()) == Some(self.group.len()) {
+                    // Everyone answered, no majority: give up this round
+                    // (the next probe retries from fresh state).
+                    self.sync_votes.remove(&key);
+                }
+            }
         }
     }
 
@@ -1551,7 +2062,13 @@ impl<S: StateMachine> OarServer<S> {
         let peers = self.peers();
         let donor = peers[(attempt as usize) % peers.len()];
         self.stats.catch_up_requests += 1;
-        ctx.send(donor, OarWire::CatchUpRequest { attempt });
+        ctx.send(
+            donor,
+            OarWire::CatchUpRequest {
+                attempt,
+                group: self.group.clone(),
+            },
+        );
         self.annotate(ctx, format!("catch-up attempt {attempt} -> {donor}"));
         let backoff = 1u64 << (attempt.min(CATCHUP_BACKOFF_CAP as u64) as u32);
         ctx.set_timer(self.config.catch_up_retry.saturating_mul(backoff), CATCHUP);
@@ -1587,6 +2104,9 @@ impl<S: StateMachine> OarServer<S> {
             settled,
             digest: self.settled_digest,
             pending,
+            group: self.group.clone(),
+            route_epoch: self.route_epoch,
+            migrations: self.migrations.clone(),
         };
         self.annotate(
             ctx,
@@ -1616,6 +2136,16 @@ impl<S: StateMachine> OarServer<S> {
             server.catch_up_attempt = Some(reply.attempt + 1);
             server.send_catch_up_request(ctx);
         };
+        if !reply.group.contains(&self.id) && reply.group.iter().any(|p| !self.group.contains(p)) {
+            // The donor still rosters the member this replica is replacing:
+            // it has not applied the `Replace` fence yet, and its phase-2
+            // casts still target the old roster — installing now would
+            // silently miss every decision settled between this transfer and
+            // the fence. Stay recovering and retry until a donor has fenced
+            // us in.
+            self.annotate(ctx, format!("catch-up donor {donor} has not fenced us in"));
+            return retry(self, ctx);
+        }
         if let Some(image) = &reply.image {
             if !self.sm.install(image) {
                 // An image of a foreign type cannot be installed; the state
@@ -1652,6 +2182,39 @@ impl<S: StateMachine> OarServer<S> {
         self.epoch = reply.epoch;
         self.opt_freeze_epoch = Some(reply.epoch);
         self.gc_floor = reply.gc_floor;
+        // Adopt the donor's roster: a `Replace` fence that settled while
+        // this replica was down re-rostered the group, and quorum, rotation
+        // and heartbeat accounting must see the current members. (A replica
+        // the fence removed keeps its stale roster — it is no longer a
+        // member, so nothing it counts matters.)
+        if reply.group != self.group && reply.group.contains(&self.id) {
+            let removed: Vec<ProcessId> = self
+                .group
+                .iter()
+                .copied()
+                .filter(|p| !reply.group.contains(p))
+                .collect();
+            let added: Vec<ProcessId> = reply
+                .group
+                .iter()
+                .copied()
+                .filter(|p| !self.group.contains(p))
+                .collect();
+            for (old, new) in removed.into_iter().zip(added) {
+                self.request_cast.replace_member(old, new);
+                self.phase2_cast.replace_member(old, new);
+                self.fd.replace_member(old, new, ctx.now());
+                self.peer_settled.remove(&old);
+            }
+            self.group = reply.group.clone();
+        }
+        // Adopt the donor's routing boundary, so the stale-epoch door check
+        // and `migrated_away` agree with the rest of the group about keys
+        // migrated while this replica was down.
+        if reply.route_epoch > self.route_epoch {
+            self.route_epoch = reply.route_epoch;
+            self.migrations = reply.migrations.clone();
+        }
         self.settled_digest = self.sm.digest();
         if self.settled_digest != reply.digest {
             // The transfer did not reproduce the donor's settled state. With
@@ -1838,6 +2401,11 @@ impl<S: StateMachine> OarServer<S> {
             if request.group != self.config.group || self.settled.contains(&request.id) {
                 continue;
             }
+            // A fill must not resurrect a request the migration fence
+            // pruned: its key now settles at the recipient group.
+            if self.migrated_away(&request.command) {
+                continue;
+            }
             let wire = CastWire {
                 id: request.id,
                 origin: request.client,
@@ -1899,10 +2467,16 @@ impl<S: StateMachine> OarServer<S> {
             snapshot: self.snapshot.clone(),
             catch_up_attempt: self.catch_up_attempt,
             recovery_buffer: self.recovery_buffer.clone(),
+            held_catch_ups: self.held_catch_ups.clone(),
             opt_freeze_epoch: self.opt_freeze_epoch,
             prev_missing: self.prev_missing.clone(),
             fetch_round: self.fetch_round,
             cnsv_stall_ticks: self.cnsv_stall_ticks,
+            route_epoch: self.route_epoch,
+            migrations: self.migrations.clone(),
+            sync_cursor: self.sync_cursor,
+            sync_votes: self.sync_votes.clone(),
+            sync_idle_mark: self.sync_idle_mark,
             sm,
             log: self.log.clone(),
             stats: self.stats,
@@ -1931,6 +2505,11 @@ impl<S: StateMachine> OarServer<S> {
         }
         let mut h = DefaultHasher::new();
         self.id.index().hash(&mut h);
+        // Membership is mutable now (`Replace` fences swap slots in place),
+        // so the group belongs in the digest.
+        for p in &self.group {
+            p.index().hash(&mut h);
+        }
         self.epoch.hash(&mut h);
         matches!(self.phase, Phase::Conservative).hash(&mut h);
         self.position.hash(&mut h);
@@ -1976,10 +2555,16 @@ impl<S: StateMachine> OarServer<S> {
         self.snapshot.order_hash.hash(&mut h);
         self.catch_up_attempt.hash(&mut h);
         format!("{:?}", self.recovery_buffer).hash(&mut h);
+        self.held_catch_ups.hash(&mut h);
         self.opt_freeze_epoch.hash(&mut h);
         sorted(self.prev_missing.iter().copied()).hash(&mut h);
         self.fetch_round.hash(&mut h);
         self.cnsv_stall_ticks.hash(&mut h);
+        self.route_epoch.hash(&mut h);
+        format!("{:?}", self.migrations).hash(&mut h);
+        self.sync_cursor.hash(&mut h);
+        format!("{:?}", self.sync_votes).hash(&mut h);
+        self.sync_idle_mark.hash(&mut h);
         self.sm.digest().hash(&mut h);
         h.finish()
     }
@@ -2064,6 +2649,27 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                 if self.settled.contains(&wire.id) {
                     return;
                 }
+                // Routing door: a request stamped with a stale boundary
+                // epoch, or touching a key this group migrated away, is
+                // dropped and its client pointed at the new owner. Only
+                // first-hand copies are checked (`from == origin`): relayed
+                // copies of pre-fence requests must keep spreading so the
+                // group still agrees on them, and the seen-set suppresses
+                // relays of anything the fence pruned.
+                if from == wire.origin
+                    && (wire.payload.route_epoch < self.route_epoch
+                        || self.migrated_away(&wire.payload.command))
+                {
+                    self.stats.redirected += 1;
+                    self.annotate(ctx, format!("redirect({})", wire.id));
+                    ctx.send(
+                        wire.payload.client,
+                        OarWire::Redirect {
+                            records: self.migrations.clone(),
+                        },
+                    );
+                    return;
+                }
                 let (delivery, relay) = self.request_cast.on_wire_shared(wire);
                 if let Some((wire, targets)) = relay {
                     // One shared allocation for all relay recipients.
@@ -2145,8 +2751,22 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
             OarWire::Replies(_) => {
                 // Servers never receive replies; ignore defensively.
             }
-            OarWire::CatchUpRequest { attempt } => {
-                self.serve_catch_up(ctx, from, attempt);
+            OarWire::CatchUpRequest { attempt, group } => {
+                if self.group.contains(&from) || self.group.iter().all(|p| group.contains(p)) {
+                    self.serve_catch_up(ctx, from, attempt);
+                } else {
+                    // A replacement asking before its `Replace` fence settled
+                    // here: this roster still contains the member the
+                    // requester is replacing, so the requester's install gate
+                    // would reject the transfer anyway — every decision
+                    // settled between the transfer and the fence is cast to
+                    // the old roster and the requester would silently miss
+                    // it. Hold the request and serve it the moment the fence
+                    // applies (end of `apply_decision`).
+                    self.annotate(ctx, format!("catch-up from non-member {from} held"));
+                    self.held_catch_ups.retain(|(p, _)| *p != from);
+                    self.held_catch_ups.push((from, attempt));
+                }
             }
             OarWire::CatchUpReply(_) => {
                 // Not recovering (any more): a stale transfer, ignore.
@@ -2156,6 +2776,101 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
             }
             OarWire::PayloadFill { requests } => {
                 self.handle_payload_fill(ctx, requests);
+            }
+            OarWire::Redirect { .. } => {
+                // Redirects are client-bound; ignore defensively.
+            }
+            OarWire::MigrateState {
+                record,
+                entries,
+                digest,
+            } => {
+                self.handle_migrate_state(ctx, record, entries, digest);
+            }
+            OarWire::SyncProbe { settled, root } => {
+                if !self.config.anti_entropy
+                    || settled != self.total_settled()
+                    || !self.undo_stack.is_empty()
+                {
+                    return;
+                }
+                let Some(tree) = self.build_sync_tree() else {
+                    return;
+                };
+                if tree.root() == root {
+                    return;
+                }
+                // Same settled position, different root: start the descent
+                // by shipping our root node back to the prober.
+                if let Some(node) = tree.node(1) {
+                    self.stats.sync_node_wires += 1;
+                    ctx.send(
+                        from,
+                        OarWire::SyncNodeReply {
+                            settled,
+                            index: 1,
+                            node,
+                        },
+                    );
+                }
+            }
+            OarWire::SyncNodeRequest { settled, index } => {
+                if !self.config.anti_entropy
+                    || settled != self.total_settled()
+                    || !self.undo_stack.is_empty()
+                {
+                    return;
+                }
+                let Some(tree) = self.build_sync_tree() else {
+                    return;
+                };
+                if let Some(node) = tree.node(index) {
+                    self.stats.sync_node_wires += 1;
+                    ctx.send(
+                        from,
+                        OarWire::SyncNodeReply {
+                            settled,
+                            index,
+                            node,
+                        },
+                    );
+                }
+            }
+            OarWire::SyncNodeReply {
+                settled,
+                index,
+                node,
+            } => {
+                if !self.config.anti_entropy
+                    || settled != self.total_settled()
+                    || !self.undo_stack.is_empty()
+                {
+                    return;
+                }
+                let Some(tree) = self.build_sync_tree() else {
+                    return;
+                };
+                let (descend, keys) = tree.diff_step(index, &node);
+                for child in descend {
+                    self.stats.sync_node_wires += 1;
+                    ctx.send(
+                        from,
+                        OarWire::SyncNodeRequest {
+                            settled,
+                            index: child,
+                        },
+                    );
+                }
+                for key in keys {
+                    self.start_leaf_vote(ctx, key);
+                }
+            }
+            OarWire::SyncLeafRequest { key } => {
+                let value = self.sm.anti_entropy_value(&key);
+                ctx.send(from, OarWire::SyncLeafReply { key, value });
+            }
+            OarWire::SyncLeafReply { key, value } => {
+                self.record_leaf_vote(key, from, value);
             }
         }
     }
@@ -2250,6 +2965,10 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
         // has been stuck for a couple of full ticks — a healthy phase 2
         // decides well within one.
         self.maybe_retransmit_consensus(ctx);
+        // Anti-entropy: probe one peer's Merkle root per tick, healing any
+        // settled-state divergence (bit-rot, injected faults) in O(log n)
+        // localisation wires plus a majority leaf vote.
+        self.maybe_sync(ctx);
         ctx.set_timer(self.config.tick_interval, TICK);
     }
 
@@ -2318,7 +3037,28 @@ mod tests {
                 client,
                 group: oar_simnet::GroupId::default(),
                 txn: None,
+                reconfig: None,
+                route_epoch: 0,
                 command: CounterCommand::Add(add),
+            },
+        };
+        (id, OarWire::Request(wire))
+    }
+
+    /// A request carrying a reconfiguration fence (no-op command).
+    fn fence_wire(client: ProcessId, seq: u64, reconfig: ReconfigCmd) -> (RequestId, Wire) {
+        let id = MsgId::new(client, seq);
+        let wire = CastWire {
+            id,
+            origin: client,
+            payload: Request {
+                id,
+                client,
+                group: oar_simnet::GroupId::default(),
+                txn: None,
+                reconfig: Some(reconfig),
+                route_epoch: 0,
+                command: CounterCommand::Add(0),
             },
         };
         (id, OarWire::Request(wire))
@@ -2552,7 +3292,10 @@ mod tests {
         let actions = deliver(
             &mut donor,
             ProcessId::new(1),
-            OarWire::CatchUpRequest { attempt: 0 },
+            OarWire::CatchUpRequest {
+                attempt: 0,
+                group: vec![ProcessId::new(0), ProcessId::new(1)],
+            },
         );
         let reply = actions
             .iter()
@@ -2620,7 +3363,10 @@ mod tests {
         let actions = deliver(
             &mut donor,
             ProcessId::new(1),
-            OarWire::CatchUpRequest { attempt: 0 },
+            OarWire::CatchUpRequest {
+                attempt: 0,
+                group: vec![ProcessId::new(0), ProcessId::new(1)],
+            },
         );
         let reply = actions
             .iter()
@@ -2707,6 +3453,9 @@ mod tests {
             settled: Vec::new(),
             digest: 0,
             pending: Vec::new(),
+            group: (0..3).map(ProcessId::new).collect(),
+            route_epoch: 0,
+            migrations: Vec::new(),
         };
         let actions = deliver(
             &mut rejoiner,
@@ -2719,7 +3468,7 @@ mod tests {
         assert!(
             actions.iter().any(|a| matches!(
                 sent(a),
-                Some((to, OarWire::CatchUpRequest { attempt: 1 })) if to == ProcessId::new(1)
+                Some((to, OarWire::CatchUpRequest { attempt: 1, .. })) if to == ProcessId::new(1)
             )),
             "rejected install must retry with the next donor"
         );
@@ -2760,5 +3509,144 @@ mod tests {
         });
         assert!(filled, "settled payloads must be served from the delta log");
         assert_eq!(server.stats().payload_fills, 1);
+    }
+
+    /// A settled `Replace` fence swaps the fenced member's slot in place:
+    /// quorum, sequencer rotation, the failure detector and the GC
+    /// accounting all see the new member; the old one is gone everywhere.
+    #[test]
+    fn replace_fence_swaps_membership_at_epoch_close() {
+        let group: Vec<ProcessId> = vec![ProcessId::new(0), ProcessId::new(1)];
+        let mut server = OarServer::new(
+            ProcessId::new(0),
+            group,
+            OarConfig::default(),
+            CounterMachine::default(),
+        );
+        let client = ProcessId::new(9);
+        let (fid, fence) = fence_wire(
+            client,
+            0,
+            ReconfigCmd::Replace {
+                old: ProcessId::new(1),
+                new: ProcessId::new(2),
+            },
+        );
+        // The fence closes its epoch conservatively on receipt.
+        deliver(&mut server, client, fence);
+        assert_eq!(server.phase(), Phase::Conservative, "fence forces phase 2");
+        assert_eq!(
+            server.members(),
+            &[ProcessId::new(0), ProcessId::new(1)],
+            "membership only changes at the settle, not on receipt"
+        );
+
+        // Feed the epoch's decision (as if the peer agreed).
+        let decision_value = CnsvValue {
+            o_delivered: [fid].into_iter().collect(),
+            o_notdelivered: Default::default(),
+        };
+        let decide = OarWire::Consensus(ConsensusWire::Decide {
+            instance: 0,
+            value: vec![(ProcessId::new(0), decision_value)],
+        });
+        deliver(&mut server, ProcessId::new(1), decide);
+        assert_eq!(server.epoch(), 1, "fence epoch closed");
+        assert!(server.stable_sequence().contains(&fid));
+        assert_eq!(
+            server.members(),
+            &[ProcessId::new(0), ProcessId::new(2)],
+            "the fenced slot is swapped in place, preserving rotation order"
+        );
+        assert_eq!(server.stats().reconfigs_applied, 1);
+        assert_eq!(
+            server.sequencer_of(1),
+            ProcessId::new(2),
+            "the newcomer inherits the fenced member's rotation slot"
+        );
+        assert!(
+            !server.is_suspecting(ProcessId::new(1)),
+            "the fenced member is scrubbed from the suspect set"
+        );
+        // Duplicate fences are idempotent (old no longer in the group).
+        let (fid2, fence2) = fence_wire(
+            client,
+            1,
+            ReconfigCmd::Replace {
+                old: ProcessId::new(1),
+                new: ProcessId::new(2),
+            },
+        );
+        deliver(&mut server, client, fence2);
+        let decide = OarWire::Consensus(ConsensusWire::Decide {
+            instance: 1,
+            value: vec![(
+                ProcessId::new(0),
+                CnsvValue {
+                    o_delivered: [fid2].into_iter().collect(),
+                    o_notdelivered: Default::default(),
+                },
+            )],
+        });
+        deliver(&mut server, ProcessId::new(2), decide);
+        assert_eq!(server.members(), &[ProcessId::new(0), ProcessId::new(2)]);
+        assert_eq!(server.stats().reconfigs_applied, 1, "duplicate is a no-op");
+    }
+
+    /// A settled `Migrate` fence bumps the routing-boundary epoch and ships
+    /// the hand-off; requests stamped with the stale epoch are door-dropped
+    /// and answered with a `Redirect` carrying the records.
+    #[test]
+    fn stale_route_epoch_requests_are_redirected() {
+        let mut server = OarServer::new(
+            ProcessId::new(0),
+            vec![ProcessId::new(0)],
+            OarConfig::default(),
+            CounterMachine::default(),
+        );
+        let client = ProcessId::new(9);
+        let record = MigrationRecord {
+            range: KeyRange::new("m", "n"),
+            from_group: oar_simnet::GroupId::default(),
+            to_group: oar_simnet::GroupId::new(1),
+            route_epoch: 1,
+        };
+        let (_, fence) = fence_wire(
+            client,
+            0,
+            ReconfigCmd::Migrate {
+                record,
+                to_members: vec![ProcessId::new(5)],
+            },
+        );
+        // Single-member group: the fence settles on receipt.
+        let actions = deliver(&mut server, client, fence);
+        assert_eq!(server.epoch(), 1);
+        assert_eq!(server.route_epoch(), 1, "boundary epoch settled");
+        assert_eq!(server.migration_records().len(), 1);
+        assert_eq!(server.stats().migrations_out, 1);
+        // The hand-off went to the recipient member (empty for a machine
+        // without keyed state, but the wire still travels).
+        assert_eq!(server.stats().migrate_state_wires, 1);
+        assert!(
+            actions.iter().any(|a| matches!(
+                sent(a),
+                Some((to, OarWire::MigrateState { .. })) if to == ProcessId::new(5)
+            )),
+            "donor must ship the hand-off to the recipient members"
+        );
+
+        // A request still stamped with boundary epoch 0 bounces.
+        let (rid, stale) = request_wire(client, 7, 1);
+        let actions = deliver(&mut server, client, stale);
+        assert_eq!(server.stats().redirected, 1);
+        assert!(!server.committed_sequence().contains(&rid));
+        assert!(
+            actions.iter().any(|a| matches!(
+                sent(a),
+                Some((to, OarWire::Redirect { records })) if to == client && records.len() == 1
+            )),
+            "stale-routed client must receive the records"
+        );
     }
 }

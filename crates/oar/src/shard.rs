@@ -35,6 +35,64 @@ pub trait ShardKey {
     fn shard_key(&self) -> &str;
 }
 
+/// A half-open key interval `[start, end)`; `end = None` means unbounded
+/// above. The unit of online shard migration: a [`MigrationRecord`] moves
+/// exactly one `KeyRange` between groups.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KeyRange {
+    /// Inclusive lower bound.
+    pub start: String,
+    /// Exclusive upper bound; `None` = up to the end of the key space.
+    pub end: Option<String>,
+}
+
+impl KeyRange {
+    /// The range `[start, end)`.
+    pub fn new(start: impl Into<String>, end: impl Into<String>) -> Self {
+        let (start, end) = (start.into(), end.into());
+        assert!(start < end, "key range must be non-empty");
+        KeyRange {
+            start,
+            end: Some(end),
+        }
+    }
+
+    /// The unbounded range `[start, +∞)`.
+    pub fn from(start: impl Into<String>) -> Self {
+        KeyRange {
+            start: start.into(),
+            end: None,
+        }
+    }
+
+    /// Whether `key` falls inside this range.
+    pub fn contains(&self, key: &str) -> bool {
+        key >= self.start.as_str()
+            && match &self.end {
+                Some(end) => key < end.as_str(),
+                None => true,
+            }
+    }
+}
+
+/// One settled shard migration: from `route_epoch` on, the keys of `range`
+/// are owned by `to_group` instead of `from_group`. Records are created by
+/// [`ShardRouter::migrate`] on the admin side, carried inside the
+/// `Reconfig::Migrate` fence command, and replayed onto stale routers (via
+/// [`ShardRouter::apply_record`]) when a server door-drops a request with an
+/// outdated routing epoch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MigrationRecord {
+    /// The migrated key interval.
+    pub range: KeyRange,
+    /// The donor group (owner before `route_epoch`).
+    pub from_group: GroupId,
+    /// The recipient group (owner from `route_epoch` on).
+    pub to_group: GroupId,
+    /// The routing epoch this migration establishes (strictly increasing).
+    pub route_epoch: u64,
+}
+
 /// The partitioning strategy of a [`ShardRouter`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Partitioner {
@@ -69,6 +127,13 @@ fn fnv1a(key: &str) -> u64 {
 pub struct ShardRouter {
     num_groups: usize,
     partitioner: Partitioner,
+    /// Routing epoch: bumped by every settled migration. Requests are
+    /// stamped with the sender's epoch; servers door-drop-and-redirect
+    /// requests stamped with an older epoch than their own.
+    route_epoch: u64,
+    /// Settled migrations, oldest first. The newest override covering a key
+    /// wins; keys covered by none fall through to the base partitioner.
+    overrides: Vec<MigrationRecord>,
 }
 
 impl ShardRouter {
@@ -77,6 +142,8 @@ impl ShardRouter {
         ShardRouter {
             num_groups: num_groups.max(1),
             partitioner: Partitioner::Hash,
+            route_epoch: 0,
+            overrides: Vec::new(),
         }
     }
 
@@ -94,6 +161,8 @@ impl ShardRouter {
         ShardRouter {
             num_groups: boundaries.len() + 1,
             partitioner: Partitioner::Range { boundaries },
+            route_epoch: 0,
+            overrides: Vec::new(),
         }
     }
 
@@ -140,8 +209,87 @@ impl ShardRouter {
         &self.partitioner
     }
 
+    /// The current routing epoch (0 before any migration).
+    pub fn route_epoch(&self) -> u64 {
+        self.route_epoch
+    }
+
+    /// The settled migrations known to this router, oldest first.
+    pub fn migrations(&self) -> &[MigrationRecord] {
+        &self.overrides
+    }
+
+    /// Moves `range` to `to_group`, bumping the routing epoch, and returns
+    /// the record describing the migration (to be carried by the
+    /// `Reconfig::Migrate` fence command). The donor is whichever group
+    /// owned `range.start` before the bump; online migration moves ranges
+    /// that are wholly owned by one group, which
+    /// [`ShardRouter::owns_whole_range`] checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to_group` is out of range or already owns `range.start`.
+    pub fn migrate(&mut self, range: KeyRange, to_group: GroupId) -> MigrationRecord {
+        assert!(
+            to_group.index() < self.num_groups,
+            "unknown recipient group"
+        );
+        let from_group = self.route_key(&range.start);
+        assert_ne!(from_group, to_group, "range already owned by recipient");
+        self.route_epoch += 1;
+        let record = MigrationRecord {
+            range,
+            from_group,
+            to_group,
+            route_epoch: self.route_epoch,
+        };
+        self.overrides.push(record.clone());
+        record
+    }
+
+    /// Whether every key of `range` currently routes to the same group
+    /// (sampled at the bounds; exact for the base range partitioner when the
+    /// bounds fall inside one interval).
+    pub fn owns_whole_range(&self, range: &KeyRange) -> bool {
+        let owner = self.route_key(&range.start);
+        match &range.end {
+            Some(end) => {
+                self.route_key(end) == owner || {
+                    // End is exclusive: check the largest boundary below it.
+                    match &self.partitioner {
+                        Partitioner::Range { boundaries } => {
+                            !boundaries.iter().any(|b| range.contains(b))
+                        }
+                        Partitioner::Hash => false,
+                    }
+                }
+            }
+            None => false,
+        }
+    }
+
+    /// Adopts a migration record learned from a server redirect (the server
+    /// settled the migration fence; this router is stale). Returns whether
+    /// the record was news — records at or below the current epoch are
+    /// duplicates and ignored.
+    pub fn apply_record(&mut self, record: &MigrationRecord) -> bool {
+        if record.route_epoch <= self.route_epoch {
+            return false;
+        }
+        self.route_epoch = record.route_epoch;
+        self.overrides.push(record.clone());
+        true
+    }
+
     /// The group owning `key`.
     pub fn route_key(&self, key: &str) -> GroupId {
+        // Newest settled migration covering the key wins; otherwise the base
+        // partitioner decides.
+        for record in self.overrides.iter().rev() {
+            if record.range.contains(key) {
+                return record.to_group;
+            }
+        }
         match &self.partitioner {
             Partitioner::Hash => GroupId::new((fnv1a(key) % self.num_groups as u64) as usize),
             Partitioner::Range { boundaries } => {
@@ -248,6 +396,46 @@ mod tests {
     }
 
     #[test]
+    fn migrate_moves_exactly_the_range_and_bumps_epoch() {
+        let mut router = ShardRouter::range(vec!["h".into(), "p".into()]);
+        assert_eq!(router.route_epoch(), 0);
+        let record = router.migrate(KeyRange::new("h", "k"), GroupId::new(2));
+        assert_eq!(record.route_epoch, 1);
+        assert_eq!(record.from_group, GroupId::new(1));
+        assert_eq!(record.to_group, GroupId::new(2));
+        assert_eq!(router.route_epoch(), 1);
+        // Exactly [h, k) changed owner.
+        assert_eq!(router.route_key("h"), GroupId::new(2));
+        assert_eq!(router.route_key("i"), GroupId::new(2));
+        assert_eq!(router.route_key("k"), GroupId::new(1), "end is exclusive");
+        assert_eq!(router.route_key("apple"), GroupId::new(0));
+        assert_eq!(router.route_key("zebra"), GroupId::new(2));
+    }
+
+    #[test]
+    fn apply_record_is_idempotent_and_ordered() {
+        let mut admin = ShardRouter::range(vec!["m".into()]);
+        let record = admin.migrate(KeyRange::new("a", "c"), GroupId::new(1));
+        let mut stale = ShardRouter::range(vec!["m".into()]);
+        assert!(stale.apply_record(&record));
+        assert!(!stale.apply_record(&record), "duplicate redirect ignored");
+        assert_eq!(stale.route_epoch(), 1);
+        assert_eq!(stale.route_key("b"), GroupId::new(1));
+        assert_eq!(stale, admin);
+    }
+
+    #[test]
+    fn owns_whole_range_checks_interval_containment() {
+        let router = ShardRouter::range(vec!["h".into(), "p".into()]);
+        assert!(router.owns_whole_range(&KeyRange::new("h", "k")));
+        assert!(
+            !router.owns_whole_range(&KeyRange::new("g", "k")),
+            "crosses h"
+        );
+        assert!(!router.owns_whole_range(&KeyRange::from("x")), "unbounded");
+    }
+
+    #[test]
     fn range_from_tiny_sample_still_total() {
         // Fewer distinct keys than groups: some groups own empty ranges but
         // every key still routes somewhere in range.
@@ -337,6 +525,47 @@ mod proptests {
                 prop_assert_eq!(g, router.route_key(k));
             }
             assert_balanced(&router, &keys);
+        }
+
+        /// Online-migration contract: across a migration epoch bump the
+        /// router stays total and deterministic, and **exactly** the
+        /// migrated range changes owner — every key outside it routes as
+        /// before, every key inside routes to the recipient.
+        #[test]
+        fn migration_epoch_bump_contract(
+            keys in proptest::collection::vec(skewed_key(), 1..300),
+            sample in proptest::collection::vec(skewed_key(), 8..64),
+            groups in 2usize..6,
+            lo in "[a-z][0-9a-z]{0,3}",
+            span in "[0-9a-z]{1,3}",
+        ) {
+            let before = ShardRouter::range_from_keys(sample, groups);
+            prop_assume!(before.num_groups() >= 2);
+            let range = KeyRange::new(lo.clone(), format!("{lo}{span}"));
+            let donor = before.route_key(&range.start);
+            let recipient = GroupId::new((donor.index() + 1) % before.num_groups());
+            let mut after = before.clone();
+            let record = after.migrate(range.clone(), recipient);
+            prop_assert_eq!(record.route_epoch, before.route_epoch() + 1);
+            prop_assert_eq!(after.route_epoch(), record.route_epoch);
+            for k in &keys {
+                let old = before.route_key(k);
+                let new = after.route_key(k);
+                // Total and deterministic on both sides of the bump.
+                prop_assert!(new.index() < after.num_groups());
+                prop_assert_eq!(new, after.route_key(k));
+                prop_assert_eq!(new, after.clone().route_key(k));
+                if range.contains(k) {
+                    prop_assert_eq!(new, recipient, "migrated key {} must move", k);
+                } else {
+                    prop_assert_eq!(new, old, "unmigrated key {} must not move", k);
+                }
+            }
+            // A stale replica of the pre-migration router converges by
+            // applying the record carried in the redirect.
+            let mut stale = before.clone();
+            prop_assert!(stale.apply_record(&record));
+            prop_assert_eq!(stale, after);
         }
 
         /// The transaction layer's routing precondition: for an arbitrary

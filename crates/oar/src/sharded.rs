@@ -39,9 +39,9 @@ use crate::adaptive::{PipelineController, PipelineStats};
 use crate::client::{CompletedRequest, QuorumTracker};
 use crate::config::OarConfig;
 use crate::config::{ClientConfig, PipelineMode};
-use crate::message::{majority, OarWire, Reply, ReplyBatch, Request, RequestId};
+use crate::message::{majority, OarWire, ReconfigCmd, Reply, ReplyBatch, Request, RequestId};
 use crate::server::{OarServer, ServerStats};
-use crate::shard::{ShardKey, ShardRouter};
+use crate::shard::{KeyRange, MigrationRecord, ShardKey, ShardRouter};
 use crate::state_machine::StateMachine;
 
 /// Timer tag used for the think-time delay between two requests.
@@ -100,11 +100,19 @@ impl Default for ShardedConfig {
 }
 
 #[derive(Debug)]
-struct Outstanding<R> {
+struct Outstanding<C, R> {
     group: GroupId,
     index: usize,
     sent_at: SimTime,
     quorum: QuorumTracker<R>,
+    /// The command itself, retained so a [`OarWire::Redirect`] can re-route
+    /// the request to the group that now owns its key.
+    command: C,
+    /// The routing-boundary epoch the request was last sent under. A
+    /// [`OarWire::Redirect`] re-sends every outstanding request with a stale
+    /// stamp — even one whose group did not change, because its first-hand
+    /// copies may all have been door-dropped for the stale stamp alone.
+    route_epoch: u64,
 }
 
 /// Per-group adaptive pipeline state of a [`ShardedClient`]: one window
@@ -169,7 +177,7 @@ pub struct ShardedClient<S: StateMachine> {
     pipeline: usize,
     /// Present when each group's window adapts to its delivery-batch hints.
     adaptive: Option<GroupPipelines>,
-    outstanding: BTreeMap<RequestId, Outstanding<S::Response>>,
+    outstanding: BTreeMap<RequestId, Outstanding<S::Command, S::Response>>,
     completed: Vec<ShardCompleted<S::Response>>,
 }
 
@@ -285,7 +293,9 @@ where
                     client: self.id,
                     group,
                     txn: None,
-                    command,
+                    reconfig: None,
+                    route_epoch: self.router.route_epoch(),
+                    command: command.clone(),
                 },
             };
             ctx.send_all(&self.groups[group.index()], OarWire::Request(wire));
@@ -297,6 +307,8 @@ where
                     index: self.next_index,
                     sent_at: ctx.now(),
                     quorum: QuorumTracker::new(),
+                    command,
+                    route_epoch: self.router.route_epoch(),
                 },
             );
             self.next_index += 1;
@@ -369,6 +381,60 @@ where
             ctx.set_timer(self.think_time, NEXT_REQUEST);
         }
     }
+
+    /// Handles a routing redirect from a donor group: advance the local
+    /// router past the migrations the redirect carries, then re-send every
+    /// outstanding request whose key now routes to a different group —
+    /// under its *original* [`RequestId`], so the servers' at-most-once
+    /// guarantee (and the cross-group leak check) still holds.
+    fn handle_redirect(
+        &mut self,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+        records: Vec<MigrationRecord>,
+    ) {
+        for record in &records {
+            self.router.apply_record(record);
+        }
+        let route_epoch = self.router.route_epoch();
+        let ids: Vec<RequestId> = self.outstanding.keys().copied().collect();
+        for id in ids {
+            let outstanding = self.outstanding.get_mut(&id).expect("listed above");
+            if outstanding.route_epoch >= route_epoch {
+                continue; // sent under the current boundary: nothing dropped it
+            }
+            let group = self.router.route(&outstanding.command);
+            if group != outstanding.group {
+                if let Some(a) = self.adaptive.as_mut() {
+                    a.in_flight[outstanding.group.index()] -= 1;
+                    a.in_flight[group.index()] += 1;
+                }
+                // Partial optimistic weight from the donor group must not be
+                // mixed with the recipient's replies (epoch numbers are
+                // per-group), so the tracker restarts from scratch.
+                outstanding.group = group;
+                outstanding.quorum = QuorumTracker::new();
+            }
+            // Same group: the stale-stamped first-hand copies may all have
+            // been door-dropped, so re-send under the fresh stamp; if one was
+            // accepted after all, the group's seen-set absorbs the duplicate.
+            outstanding.route_epoch = route_epoch;
+            let wire = CastWire {
+                id,
+                origin: self.id,
+                payload: Request {
+                    id,
+                    client: self.id,
+                    group,
+                    txn: None,
+                    reconfig: None,
+                    route_epoch,
+                    command: outstanding.command.clone(),
+                },
+            };
+            ctx.send_all(&self.groups[group.index()], OarWire::Request(wire));
+            ctx.annotate(format!("OAR-redirect({id}, {group})"));
+        }
+    }
 }
 
 impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for ShardedClient<S>
@@ -389,10 +455,12 @@ where
         _from: ProcessId,
         msg: OarWire<S::Command, S::Response>,
     ) {
-        if let OarWire::Replies(batch) = msg {
-            self.handle_reply_batch(ctx, batch);
+        match msg {
+            OarWire::Replies(batch) => self.handle_reply_batch(ctx, batch),
+            OarWire::Redirect { records } => self.handle_redirect(ctx, records),
+            // Clients ignore every other message kind.
+            _ => {}
         }
-        // Clients ignore every other message kind.
     }
 
     fn on_timer(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>, timer: Timer) {
@@ -420,6 +488,9 @@ pub struct ShardedCluster<S: StateMachine> {
     pub clients: Vec<ProcessId>,
     /// The router shared by all clients.
     pub router: ShardRouter,
+    /// The protocol configuration the groups were built with (before
+    /// [`OarConfig::for_group`] stamping) — kept for replacement spawns.
+    oar: OarConfig,
 }
 
 impl<S: StateMachine> ShardedCluster<S>
@@ -472,6 +543,7 @@ where
             groups,
             clients,
             router: config.router.clone(),
+            oar: config.oar,
         }
     }
 
@@ -610,6 +682,159 @@ where
 
     fn all_servers(&self) -> impl Iterator<Item = ProcessId> + '_ {
         self.groups.iter().flatten().copied()
+    }
+
+    /// Migrates `range` from group `from` to group `to` online: injects one
+    /// [`ReconfigCmd::Migrate`] fence request into *each* of the two groups
+    /// (each settles it through its own conservative order — there is no
+    /// cross-group agreement), advancing the routing-boundary epoch. The
+    /// donor replicas then ship the settled range to every recipient member
+    /// over `MigrateState` wires and door-redirect stale traffic.
+    /// `fence_command` is the no-op application command carrying each fence.
+    ///
+    /// The cluster's own router copy advances immediately; the *clients*
+    /// learn the new boundary only through `Redirect` wires, like real
+    /// stale-routed clients. Returns the settled migration record.
+    pub fn inject_migrate(
+        &mut self,
+        range: KeyRange,
+        from: usize,
+        to: usize,
+        fence_command: S::Command,
+    ) -> MigrationRecord {
+        assert_ne!(from, to, "migration needs two distinct groups");
+        let record = MigrationRecord {
+            range,
+            from_group: GroupId::new(from),
+            to_group: GroupId::new(to),
+            route_epoch: self.router.route_epoch() + 1,
+        };
+        assert!(
+            self.router.apply_record(&record),
+            "freshly minted record must advance the router"
+        );
+        // The first client doubles as the admin origin; its ids count down
+        // from `u64::MAX` so they can never collide with its own workload
+        // sequence, and it ignores the fences' replies as stale.
+        let admin = self.clients[0];
+        let to_members = self.groups[to].clone();
+        for (k, g) in [from, to].into_iter().enumerate() {
+            let id = RequestId::new(admin, u64::MAX - 2 * record.route_epoch - k as u64);
+            let wire = CastWire {
+                id,
+                origin: admin,
+                payload: Request {
+                    id,
+                    client: admin,
+                    group: GroupId::new(g),
+                    txn: None,
+                    reconfig: Some(ReconfigCmd::Migrate {
+                        record: record.clone(),
+                        to_members: to_members.clone(),
+                    }),
+                    route_epoch: record.route_epoch - 1,
+                    command: fence_command.clone(),
+                },
+            };
+            for &s in &self.groups[g] {
+                if !self.world.is_crashed(s) {
+                    self.world
+                        .send_external(admin, s, OarWire::Request(wire.clone()));
+                }
+            }
+        }
+        record
+    }
+
+    /// Replaces server `old_index` of group `g` by a fresh replica: spawns
+    /// the replacement over the post-replacement roster (it joins through
+    /// the ordinary `CatchUp*` wires) and injects a [`ReconfigCmd::Replace`]
+    /// fence into the group's survivors, which settle it through their
+    /// conservative order. Other groups are untouched. Returns the
+    /// replacement's process id; `self.groups[g]` tracks the new roster.
+    pub fn inject_replace(
+        &mut self,
+        g: usize,
+        old_index: usize,
+        fence_command: S::Command,
+        make_sm: impl FnOnce() -> S,
+    ) -> ProcessId {
+        let new = crate::cluster::spawn_replacement(
+            &mut self.world,
+            &self.groups[g],
+            old_index,
+            self.oar.for_group(GroupId::new(g)),
+            fence_command,
+            make_sm(),
+        );
+        self.world.assign_group(new, GroupId::new(g));
+        self.groups[g][old_index] = new;
+        new
+    }
+
+    /// Injects a divergent value for `key` into server `i` of group `g`
+    /// (`None` removes the key) — the fault the Merkle anti-entropy loop
+    /// heals. Returns whether the state actually changed.
+    pub fn inject_divergence(
+        &mut self,
+        g: usize,
+        i: usize,
+        key: &str,
+        value: Option<&str>,
+    ) -> bool {
+        let id = self.groups[g][i];
+        self.world
+            .process_mut::<OarServer<S>>(id)
+            .inject_divergence(key, value)
+    }
+
+    /// Total requests door-dropped and redirected for stale routing.
+    pub fn total_redirected(&self) -> u64 {
+        self.sum_stats(|st| st.redirected)
+    }
+
+    /// Total settled reconfiguration fences applied across all servers.
+    pub fn total_reconfigs_applied(&self) -> u64 {
+        self.sum_stats(|st| st.reconfigs_applied)
+    }
+
+    /// Total `CatchUpReply` transfers served across all servers.
+    pub fn total_catch_up_replies(&self) -> u64 {
+        self.sum_stats(|st| st.catch_up_replies)
+    }
+
+    /// Total `MigrateState` transfer wires sent across all servers.
+    pub fn total_migrate_state_wires(&self) -> u64 {
+        self.sum_stats(|st| st.migrate_state_wires)
+    }
+
+    /// Total anti-entropy descent wires (node requests + replies) across all
+    /// servers.
+    pub fn total_sync_node_wires(&self) -> u64 {
+        self.sum_stats(|st| st.sync_node_wires)
+    }
+
+    /// Total divergent keys repaired by majority vote across all servers.
+    pub fn total_sync_repairs(&self) -> u64 {
+        self.sum_stats(|st| st.sync_repairs)
+    }
+
+    /// The settled-state digest of `range` at every server of group `g`
+    /// (`None` for servers whose machine does not expose range digests or
+    /// are crashed).
+    pub fn range_digests(&self, g: usize, range: &KeyRange) -> Vec<Option<u64>> {
+        self.groups[g]
+            .iter()
+            .map(|&s| {
+                if self.world.is_crashed(s) {
+                    None
+                } else {
+                    self.world
+                        .process_ref::<OarServer<S>>(s)
+                        .range_digest(range)
+                }
+            })
+            .collect()
     }
 
     /// Checks the single-group safety properties (total order, at-most-once,

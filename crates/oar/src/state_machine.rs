@@ -157,6 +157,92 @@ pub trait StateMachine: fmt::Debug + 'static {
     {
         None
     }
+
+    // -- Online shard migration hooks (all optional) ------------------------
+    //
+    // A machine that wants to participate in `Reconfig::Migrate` (key-range
+    // hand-off between groups) implements the three methods below; machines
+    // without a string key space (e.g. `CounterMachine`) keep the `None`
+    // defaults and migration is simply unavailable for them.
+
+    /// The shard key `command` is about, if the command space is keyed —
+    /// mirrors [`crate::shard::ShardKey`] at the state-machine level, where
+    /// the server (which is generic over `S`, not over the command's traits)
+    /// can reach it. `None` = unkeyed (never door-checked against migrated
+    /// ranges).
+    fn command_key(command: &Self::Command) -> Option<&str> {
+        let _ = command;
+        None
+    }
+
+    /// Extracts the settled `(key, value)` pairs of `range` from the current
+    /// state, in key order, and **removes them** — the donor half of a range
+    /// hand-off, executed by every donor replica at the same point of the
+    /// total order (the migration fence's epoch close), so donor digests
+    /// stay aligned. `None` = migration unsupported.
+    fn extract_range(&mut self, range: &crate::shard::KeyRange) -> Option<Vec<(String, String)>> {
+        let _ = range;
+        None
+    }
+
+    /// The command that installs extracted `entries` on the recipient group,
+    /// fed through the recipient's **own total order** like any client
+    /// request (so all recipient replicas install at the same position).
+    /// Must be insert-if-absent: a redirected write ordered before the
+    /// install wins over the migrated value. `None` = migration unsupported.
+    fn install_range_command(entries: Vec<(String, String)>) -> Option<Self::Command> {
+        let _ = entries;
+        None
+    }
+
+    /// Deterministic digest over the `(key, value)` pairs of `range`
+    /// currently in the state — the end-to-end check that donor and
+    /// recipient agree on the migrated data. `None` = unsupported.
+    fn range_digest(&self, range: &crate::shard::KeyRange) -> Option<u64> {
+        let _ = range;
+        None
+    }
+
+    // -- Merkle anti-entropy hooks (all optional) ---------------------------
+
+    /// The `(key, value_hash)` leaves a Merkle tree over the settled state
+    /// is built from ([`crate::merkle::MerkleTree::build`]). `None` = the
+    /// machine exposes no keyed view and anti-entropy is unavailable.
+    fn anti_entropy_leaves(&self) -> Option<Vec<(String, u64)>> {
+        None
+    }
+
+    /// Overwrites `key` with the group-majority `value` (`None` = remove)
+    /// decided by an anti-entropy leaf vote. Returns whether the state
+    /// changed. Out-of-band by design: it repairs *corruption*, i.e. state
+    /// that already departed from the replayed order.
+    fn anti_entropy_repair(&mut self, key: &str, value: Option<&str>) -> bool {
+        let _ = (key, value);
+        false
+    }
+
+    /// The settled value of `key`, as cast in an anti-entropy leaf vote.
+    /// `None` when the key is absent *or* the machine is unkeyed.
+    fn anti_entropy_value(&self, key: &str) -> Option<String> {
+        let _ = key;
+        None
+    }
+}
+
+/// The canonical digest over a migrated range's `(key, value)` entries: the
+/// donor stamps it onto the `MigrateState` hand-off, the recipient recomputes
+/// it over the installed range ([`StateMachine::range_digest`]) — both sides
+/// must use this one fold for the end-to-end check to mean anything.
+pub fn entries_digest<K: AsRef<str>, V: AsRef<str>>(entries: &[(K, V)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for (k, v) in entries {
+        for b in k.as_ref().bytes().chain(v.as_ref().bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h = h.rotate_left(7);
+    }
+    h
 }
 
 /// A serialized state-machine image, stamped by the snapshot layer with its

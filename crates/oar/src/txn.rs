@@ -315,6 +315,8 @@ where
                     client: self.id,
                     group,
                     txn: envelope.clone(),
+                    reconfig: None,
+                    route_epoch: self.router.route_epoch(),
                     command,
                 },
             };

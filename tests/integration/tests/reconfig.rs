@@ -1,0 +1,307 @@
+//! Membership reconfiguration, online shard rebalancing and Merkle
+//! anti-entropy, end to end:
+//!
+//! * a crashed replica is **replaced** through a `Reconfig::Replace` fence
+//!   settled in the conservative order; the replacement joins over the
+//!   ordinary `CatchUp*` wires, and the group then tolerates a *further*
+//!   crash — the fault budget is restored;
+//! * a key range **migrates** between groups mid-traffic with zero lost or
+//!   duplicated replies: the fence is ordered in both groups independently,
+//!   donors ship the settled range over bounded `MigrateState` wires, stale
+//!   traffic is door-redirected and clients re-route under the original
+//!   request ids;
+//! * injected settled-state divergence is **localised and healed** by the
+//!   Merkle anti-entropy loop in O(log n) digest wires.
+
+use oar::cluster::{Cluster, ClusterConfig};
+use oar::shard::{KeyRange, ShardRouter};
+use oar::sharded::{ShardedCluster, ShardedConfig};
+use oar::state_machine::{CounterCommand, CounterMachine};
+use oar::OarConfig;
+use oar_apps::kv::{KvCommand, KvMachine};
+use oar_simnet::{NetConfig, SimDuration, SimTime};
+
+fn counter_workload(client: usize, n: usize) -> Vec<CounterCommand> {
+    (0..n)
+        .map(|i| CounterCommand::Add((client * 31 + i) as i64 % 11 + 1))
+        .collect()
+}
+
+fn run_cluster_checks<S: oar::StateMachine>(cluster: &Cluster<S>, label: &str) {
+    cluster
+        .check_replica_consistency()
+        .unwrap_or_else(|e| panic!("[{label}] replica consistency: {e}"));
+    cluster
+        .check_external_consistency()
+        .unwrap_or_else(|e| panic!("[{label}] external consistency: {e}"));
+}
+
+/// The tentpole, part 1: replace a crashed replica online, then crash a
+/// *second* replica — the replacement restored the fault budget, so the
+/// group keeps settling new requests.
+#[test]
+fn replaced_replica_restores_the_fault_budget() {
+    for seed in 0..4u64 {
+        let config = ClusterConfig {
+            num_servers: 3,
+            num_clients: 2,
+            net: NetConfig::constant(SimDuration::from_micros(150)),
+            oar: OarConfig {
+                epoch_cut_after: Some(4),
+                snapshot_every: Some(2),
+                ..OarConfig::with_fd_timeout(SimDuration::from_millis(20))
+            },
+            client_pipeline: 4,
+            seed,
+            ..ClusterConfig::default()
+        };
+        let mut cluster: Cluster<CounterMachine> =
+            Cluster::build(&config, CounterMachine::default, |c| {
+                counter_workload(c, 150)
+            });
+        let old = cluster.servers[2];
+        cluster.world.schedule_crash(old, SimTime::from_millis(2));
+        cluster.world.run_until(SimTime::from_millis(4));
+        let new = cluster.inject_replace(2, CounterCommand::Add(0), CounterMachine::default);
+
+        // Wait for the fence to settle and the replacement to catch up.
+        let mut t = cluster.world.now();
+        loop {
+            t += SimDuration::from_millis(5);
+            cluster.world.run_until(t);
+            let fenced =
+                cluster.server(0).members() == [cluster.servers[0], cluster.servers[1], new];
+            if fenced && !cluster.server(2).is_recovering() {
+                break;
+            }
+            assert!(
+                t < SimTime::from_secs(5),
+                "seed {seed}: replace fence did not settle / replacement did not catch up"
+            );
+        }
+        assert!(
+            !cluster.all_clients_done(),
+            "seed {seed}: workload drained before the further crash — test vacuous"
+        );
+        // The fence removed `old` from the suspect sets (satellite a).
+        assert!(
+            !cluster.server(0).is_suspecting(old),
+            "seed {seed}: fenced-out replica still suspected"
+        );
+
+        // The further crash the replacement's fault budget must absorb.
+        cluster.world.crash_now(cluster.servers[1]);
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(120)),
+            "seed {seed}: workload did not finish after the post-replace crash"
+        );
+        assert_eq!(cluster.completed_requests().len(), 300, "seed {seed}");
+        assert!(
+            cluster.total_reconfigs_applied() >= 2,
+            "seed {seed}: both survivors must apply the fence"
+        );
+        // Membership converged on the post-replacement roster everywhere
+        // alive.
+        for i in [0usize, 2] {
+            assert_eq!(
+                cluster.server(i).members(),
+                [cluster.servers[0], cluster.servers[1], new],
+                "seed {seed}: server {i} roster"
+            );
+        }
+        run_cluster_checks(&cluster, &format!("replace seed {seed}"));
+    }
+}
+
+fn split_workload(client: usize, n: usize) -> Vec<KvCommand> {
+    (0..n)
+        .map(|i| {
+            // Half the keys below the "m" boundary (group 0), half above
+            // (group 1); the migrated range ["a00","a12") stays hot
+            // throughout.
+            let key = if i % 2 == 0 {
+                format!("a{:02}", (client * 7 + i) % 24)
+            } else {
+                format!("n{:02}", (client * 7 + i) % 24)
+            };
+            if i % 5 == 4 {
+                KvCommand::Get { key }
+            } else {
+                KvCommand::Put {
+                    key,
+                    value: format!("c{client}i{i}"),
+                }
+            }
+        })
+        .collect()
+}
+
+/// The tentpole, part 2: migrate a key range between groups while clients
+/// hammer it. No reply is lost or duplicated, the transfer stays within the
+/// s² wire bound, stale traffic is counted and redirected, and the migrated
+/// range's digests agree across the recipient group while the donor's copy
+/// is gone.
+#[test]
+fn online_migration_loses_and_duplicates_nothing() {
+    for seed in 0..4u64 {
+        let per_client = 120usize;
+        let config = ShardedConfig {
+            num_groups: 2,
+            servers_per_group: 3,
+            num_clients: 3,
+            router: ShardRouter::range(vec!["m".into()]),
+            net: NetConfig::lan(),
+            oar: OarConfig::with_fd_timeout(SimDuration::from_millis(25)),
+            seed,
+            think_time: SimDuration::ZERO,
+            client_pipeline: 2,
+            adaptive_pipeline: false,
+        };
+        let mut cluster: ShardedCluster<KvMachine> =
+            ShardedCluster::build(&config, KvMachine::new, |c| split_workload(c, per_client));
+        cluster.world.run_until(SimTime::from_millis(2));
+        assert!(
+            !cluster.all_clients_done(),
+            "seed {seed}: workload drained before the migration — test vacuous"
+        );
+        let range = KeyRange::new("a00", "a12");
+        let record =
+            cluster.inject_migrate(range.clone(), 0, 1, KvCommand::Get { key: "zz".into() });
+        assert_eq!(record.route_epoch, 1);
+        assert!(
+            cluster.run_to_completion(SimTime::from_secs(60)),
+            "seed {seed}: workload did not finish across the migration"
+        );
+        // Settle in-flight anti-entropy/redirect traffic before checking.
+        let settle = cluster.world.now() + SimDuration::from_millis(50);
+        cluster.world.run_until(settle);
+
+        // Zero lost or duplicated replies: every client adopted exactly one
+        // reply per workload command, with distinct request ids.
+        for c in 0..3 {
+            let completed = cluster.client(c).completed();
+            assert_eq!(completed.len(), per_client, "seed {seed}: client {c}");
+            let mut ids: Vec<_> = completed.iter().map(|d| d.request.id).collect();
+            ids.sort();
+            ids.dedup();
+            assert_eq!(
+                ids.len(),
+                per_client,
+                "seed {seed}: client {c} duplicated a reply"
+            );
+        }
+        cluster
+            .check_per_group_consistency()
+            .unwrap_or_else(|e| panic!("seed {seed}: per-group consistency: {e}"));
+        cluster
+            .check_external_consistency()
+            .unwrap_or_else(|e| panic!("seed {seed}: external consistency: {e}"));
+        assert_eq!(cluster.total_misroutes(), 0, "seed {seed}");
+
+        // Stale-routed traffic was counted and redirected.
+        assert!(
+            cluster.total_redirected() > 0,
+            "seed {seed}: migration under traffic must redirect something"
+        );
+        // Transfer wires within the s² bound: each donor replica ships the
+        // range to each recipient member at most once.
+        assert!(
+            cluster.total_migrate_state_wires() <= 9,
+            "seed {seed}: {} transfer wires exceed the s² bound",
+            cluster.total_migrate_state_wires()
+        );
+        // The migrated range lives identically on every recipient replica
+        // and is gone from every donor replica.
+        let recipient = cluster.range_digests(1, &range);
+        assert!(
+            recipient.windows(2).all(|w| w[0] == w[1]),
+            "seed {seed}: recipient range digests diverge: {recipient:?}"
+        );
+        let donor = cluster.range_digests(0, &range);
+        let empty = oar::state_machine::entries_digest::<String, String>(&[]);
+        assert!(
+            donor.iter().all(|d| *d == Some(empty)),
+            "seed {seed}: donor still holds migrated keys: {donor:?}"
+        );
+        // The shipped and installed snapshots agreed bit-for-bit.
+        let outs: Vec<u64> = (0..3)
+            .map(|i| cluster.server(0, i).stats().migrate_out_digest)
+            .collect();
+        let ins: Vec<u64> = (0..3)
+            .map(|i| cluster.server(1, i).stats().migrate_in_digest)
+            .collect();
+        for d in outs.iter().chain(&ins) {
+            assert_eq!(
+                *d, outs[0],
+                "seed {seed}: transfer digests disagree ({outs:?} vs {ins:?})"
+            );
+        }
+    }
+}
+
+fn kv_keys_workload(client: usize, n: usize) -> Vec<KvCommand> {
+    (0..n)
+        .map(|i| KvCommand::Put {
+            key: format!("k{:02}", (client * 11 + i * 3) % 24),
+            value: format!("c{client}i{i}"),
+        })
+        .collect()
+}
+
+/// The tentpole, part 3: a divergent settled value injected into one replica
+/// is localised through the Merkle descent in O(log n) digest wires and
+/// healed by majority vote.
+#[test]
+fn merkle_anti_entropy_heals_injected_divergence() {
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: 2,
+        net: NetConfig::lan(),
+        oar: OarConfig {
+            anti_entropy: true,
+            ..OarConfig::with_fd_timeout(SimDuration::from_millis(25))
+        },
+        seed: 9,
+        ..ClusterConfig::default()
+    };
+    let mut cluster: Cluster<KvMachine> =
+        Cluster::build(&config, KvMachine::new, |c| kv_keys_workload(c, 40));
+    assert!(cluster.run_to_completion(SimTime::from_secs(30)));
+    // Let the group quiesce at a common settled position, with probes
+    // running but finding nothing.
+    let settle = cluster.world.now() + SimDuration::from_millis(100);
+    cluster.world.run_until(settle);
+    assert!(cluster.total_sync_probes() > 0, "probes must be running");
+    assert_eq!(
+        cluster.total_sync_node_wires(),
+        0,
+        "equal replicas must exchange no descent wires"
+    );
+
+    assert!(
+        cluster.inject_divergence(1, "k05", Some("corrupted")),
+        "injection must change the state"
+    );
+    let heal = cluster.world.now() + SimDuration::from_millis(200);
+    cluster.world.run_until(heal);
+
+    assert!(
+        cluster.total_sync_repairs() >= 1,
+        "the corrupted replica must repair itself"
+    );
+    run_cluster_checks(&cluster, "anti-entropy heal");
+    // O(log n) localisation: the 24 distinct keys pad to 32 leaves, depth 5.
+    // Each divergent probe costs one root node plus at most 2 wires per
+    // level; a handful of probes race before the heal lands.
+    let depth = 24u64.next_power_of_two().trailing_zeros() as u64;
+    let bound = 12 * (2 * depth + 2);
+    assert!(
+        cluster.total_sync_node_wires() <= bound,
+        "descent cost {} exceeds the O(log n) bound {bound}",
+        cluster.total_sync_node_wires()
+    );
+    assert!(
+        cluster.total_sync_node_wires() >= depth,
+        "the descent must actually walk the tree"
+    );
+}

@@ -232,7 +232,8 @@ fn seen_sets_stay_window_bounded_under_epoch_cuts() {
             KvResponse::Value(_)
             | KvResponse::Previous(_)
             | KvResponse::Swapped(_)
-            | KvResponse::Multi(_) => {}
+            | KvResponse::Multi(_)
+            | KvResponse::Installed(_) => {}
         }
     }
 }
