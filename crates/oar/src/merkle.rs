@@ -122,6 +122,16 @@ impl MerkleTree {
         self.leaves.len()
     }
 
+    /// Whether a peer tree with `peer_leaves` real leaves pads to the same
+    /// leaf-row width as this tree. Heap indices are only meaningful between
+    /// same-width trees: an index that is interior here may be a leaf (or out
+    /// of range) in a differently padded tree, so the descent must not cross
+    /// a shape mismatch — the repair loop falls back to a full key-set
+    /// exchange instead.
+    pub fn same_shape(&self, peer_leaves: u64) -> bool {
+        (peer_leaves as usize).next_power_of_two().max(1) == self.pad
+    }
+
     /// Tree depth: root-to-leaf path length, `log2(pad)`.
     pub fn depth(&self) -> u32 {
         self.pad.trailing_zeros()
@@ -278,6 +288,28 @@ mod tests {
         let c = MerkleTree::build(kv_leaves(&[("a", "1"), ("b", "2"), ("c", "3"), ("e", "5")]));
         let (_, keys) = a.diff_step(slot, &c.node(slot).expect("in range"));
         assert_eq!(keys, vec!["d".to_string(), "e".to_string()]);
+    }
+
+    /// Shape compatibility: the descent is only meaningful between trees
+    /// whose leaf rows pad to the same power of two — 9 leaves pad to 16
+    /// while 8 pad to 8, so a single removed key can make heap indices
+    /// incomparable even at equal settled counts.
+    #[test]
+    fn same_shape_tracks_the_padded_width() {
+        let nine = MerkleTree::build(
+            (0..9)
+                .map(|i| (format!("k{i}"), fnv1a(b"v")))
+                .collect::<Vec<_>>(),
+        );
+        assert!(nine.same_shape(9), "equal counts always match");
+        assert!(nine.same_shape(10), "10 pads to 16 like 9 does");
+        assert!(nine.same_shape(16));
+        assert!(!nine.same_shape(8), "8 pads to 8, not 16");
+        assert!(!nine.same_shape(17), "17 pads to 32");
+        let empty = MerkleTree::build(Vec::new());
+        assert!(empty.same_shape(0));
+        assert!(empty.same_shape(1), "0 and 1 both pad to width 1");
+        assert!(!empty.same_shape(2));
     }
 
     #[test]

@@ -306,12 +306,21 @@ pub enum OarWire<C, R> {
         requests: Vec<Request<C>>,
     },
     /// A server telling a client its routing is stale: the listed migrations
-    /// have settled. The client folds them into its router
-    /// ([`crate::shard::ShardRouter::apply_record`]) and re-sends any
-    /// affected outstanding request to the new owner group.
+    /// have settled and the listed requests were **dropped** (door-dropped at
+    /// reception, or pruned from the reception buffer by a migration fence).
+    /// The client folds the records into its router
+    /// ([`crate::shard::ShardRouter::apply_record`]) and re-sends exactly the
+    /// dropped requests to their current owner group.
     Redirect {
         /// Every migration the sender has settled, oldest first.
         records: Vec<MigrationRecord>,
+        /// The requests the sender dropped. Only these may be re-sent: an
+        /// outstanding request the donor already *ordered* has its effect in
+        /// the migrated hand-off (and its replies in flight), so re-sending
+        /// it to the recipient would execute it a second time under the same
+        /// id — at-most-once across groups holds only because re-sends are
+        /// restricted to requests no group will ever order.
+        dropped: Vec<RequestId>,
     },
     /// The donor side of an online range migration handing the settled state
     /// of the migrated range to a recipient-group member. Every live donor
@@ -339,6 +348,11 @@ pub enum OarWire<C, R> {
         settled: u64,
         /// The sender's Merkle root hash.
         root: u64,
+        /// The sender's real (non-padding) leaf count. Heap indices are only
+        /// comparable between trees whose leaf rows pad to the same width;
+        /// when the padded widths differ the receiver skips the descent and
+        /// falls back to a full key-set exchange ([`OarWire::SyncKeys`]).
+        leaves: u64,
     },
     /// Request one Merkle node during the divergence descent.
     SyncNodeRequest {
@@ -346,6 +360,8 @@ pub enum OarWire<C, R> {
         settled: u64,
         /// Heap index of the requested node (1 = root).
         index: u64,
+        /// The requester's leaf count (shape check, as in `SyncProbe`).
+        leaves: u64,
     },
     /// One Merkle node of the responder's tree.
     SyncNodeReply {
@@ -355,6 +371,25 @@ pub enum OarWire<C, R> {
         index: u64,
         /// The node: child hashes, or the leaf's key and hash.
         node: crate::merkle::SyncNode,
+        /// The responder's leaf count (shape check, as in `SyncProbe`).
+        leaves: u64,
+    },
+    /// Fallback when two same-settled trees have **differently padded** leaf
+    /// rows (a divergence added or removed a key across a power-of-two
+    /// boundary): heap indices are incomparable, so instead of descending the
+    /// sender ships its full key set. The receiver starts a leaf vote for
+    /// every key of the union of the two sets — O(n) votes instead of
+    /// O(log n), but only in this (rare) shape-divergent case, and each vote
+    /// still settles by group majority.
+    SyncKeys {
+        /// The tree position this exchange is pinned to.
+        settled: u64,
+        /// The sender's full settled key set, in key order.
+        keys: Vec<String>,
+        /// `true` on the initiating half: the receiver answers with its own
+        /// key set (with `reply_requested = false`, so the exchange is one
+        /// bounded round trip, never a loop).
+        reply_requested: bool,
     },
     /// A divergent leaf was localised: ask a peer for its value of `key` so
     /// the group can vote (the majority value among the members is

@@ -152,6 +152,15 @@ const CATCHUP: TimerTag = TimerTag::CatchUp;
 /// at 8× from there (donor rotation keeps every retry trying a new peer).
 const CATCHUP_BACKOFF_CAP: u32 = 3;
 
+/// Anti-entropy ticks an unresolved leaf-repair vote may stay in flight
+/// before it expires. A vote resolves early on any strict group majority;
+/// the deadline covers the remainder — a crashed or unreachable member whose
+/// ballot never arrives, or a split with no majority — so a wedged vote
+/// cannot block every future repair attempt for its key (`start_leaf_vote`
+/// is idempotent per in-flight key). A healthy vote round-trips well within
+/// one tick; eight is comfortably past any burst of probe races.
+const SYNC_VOTE_EXPIRY_TICKS: u64 = 8;
+
 /// At most this many missing payloads are named in one `PayloadFetch` wire;
 /// the rest follow on later ticks once the first batch lands.
 const FETCH_BATCH: usize = 64;
@@ -506,10 +515,16 @@ pub struct OarServer<S: StateMachine> {
     // --- Merkle anti-entropy ---
     /// Rotates the probe target of successive anti-entropy ticks.
     sync_cursor: u64,
-    /// Leaf-repair votes in flight, keyed by divergent key: the value each
-    /// group member (self included) reported for it. A strict majority for
-    /// one value settles the vote and repairs the leaf.
-    sync_votes: BTreeMap<String, BTreeMap<ProcessId, Option<String>>>,
+    /// Anti-entropy ticks elapsed (one per maintenance tick with the loop
+    /// enabled) — the clock the leaf-vote deadlines are measured against.
+    sync_tick: u64,
+    /// Leaf-repair votes in flight, keyed by divergent key: the tick the
+    /// vote started at, plus the value each group member (self included)
+    /// reported for it. A strict majority for one value settles the vote and
+    /// repairs the leaf; a vote that cannot resolve (a member crashed or
+    /// unreachable, or values split) expires after
+    /// [`SYNC_VOTE_EXPIRY_TICKS`] so the next probe can retry it.
+    sync_votes: BTreeMap<String, (u64, BTreeMap<ProcessId, Option<String>>)>,
     /// `(epoch, optimistic deliveries)` observed by the previous tick. When
     /// anti-entropy is on and two consecutive ticks see the same open
     /// optimistic epoch, the sequencer cuts it: an idle tail epoch would
@@ -597,6 +612,7 @@ impl<S: StateMachine> OarServer<S> {
             route_epoch: 0,
             migrations: Vec::new(),
             sync_cursor: 0,
+            sync_tick: 0,
             sync_votes: BTreeMap::new(),
             sync_idle_mark: None,
             sm,
@@ -1722,12 +1738,14 @@ impl<S: StateMachine> OarServer<S> {
     }
 
     /// Drops every unsettled buffered request whose key this group just
-    /// migrated away and sends each affected client one `Redirect`. The
-    /// client re-sends to the new owner with the same request id, so the
-    /// request settles exactly once — at the recipient.
+    /// migrated away and sends each affected client one `Redirect` naming
+    /// exactly its dropped ids. The client re-sends those — and only those —
+    /// to the new owner under the same request ids, so each dropped request
+    /// settles exactly once, at the recipient; requests this group already
+    /// ordered are *not* listed (their effect travels in the hand-off) and
+    /// are therefore never re-executed elsewhere.
     fn prune_migrated_requests(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>) {
-        let mut dropped: Vec<RequestId> = Vec::new();
-        let mut clients: BTreeSet<ProcessId> = BTreeSet::new();
+        let mut per_client: BTreeMap<ProcessId, Vec<RequestId>> = BTreeMap::new();
         for id in self.r_delivered.iter() {
             if self.settled.contains(id) {
                 continue;
@@ -1736,14 +1754,13 @@ impl<S: StateMachine> OarServer<S> {
                 continue;
             };
             if self.migrated_away(&request.command) {
-                dropped.push(*id);
-                clients.insert(request.client);
+                per_client.entry(request.client).or_default().push(*id);
             }
         }
-        if dropped.is_empty() {
+        if per_client.is_empty() {
             return;
         }
-        let gone: HashSet<RequestId> = dropped.iter().copied().collect();
+        let gone: HashSet<RequestId> = per_client.values().flatten().copied().collect();
         self.r_delivered = self
             .r_delivered
             .iter()
@@ -1751,19 +1768,20 @@ impl<S: StateMachine> OarServer<S> {
             .copied()
             .collect();
         self.order_cursor = self.order_cursor.min(self.r_delivered.len());
-        for id in &dropped {
+        for id in &gone {
             self.payloads.remove(id);
             // Keep the caster's seen entry: a late relay of the dropped
             // request must stay suppressed, not re-delivered.
         }
         self.stats.payloads.record(self.payloads.len() as u64);
-        self.stats.redirected += dropped.len() as u64;
+        self.stats.redirected += gone.len() as u64;
         let records = self.migrations.clone();
-        for client in clients {
+        for (client, dropped) in per_client {
             ctx.send(
                 client,
                 OarWire::Redirect {
                     records: records.clone(),
+                    dropped,
                 },
             );
         }
@@ -1861,6 +1879,17 @@ impl<S: StateMachine> OarServer<S> {
         if !self.config.anti_entropy {
             return;
         }
+        // Advance the vote-deadline clock and expire votes that could not
+        // resolve — a member crashed before answering, or the ballots split
+        // with no majority. Dropping the entry un-wedges `start_leaf_vote`'s
+        // idempotence guard, so the next divergent probe retries the key
+        // from fresh state. This runs before the quiescence gate: a wedged
+        // vote must clear even while traffic keeps the undo stack busy.
+        self.sync_tick += 1;
+        let deadline_tick = self.sync_tick;
+        self.sync_votes.retain(|_, (started, _)| {
+            deadline_tick.saturating_sub(*started) <= SYNC_VOTE_EXPIRY_TICKS
+        });
         // Probe only while quiescent: with optimistic deliveries in flight
         // the machine's leaves are speculative, and same-settled peers would
         // descend into differences the epoch close is about to reconcile
@@ -1894,12 +1923,42 @@ impl<S: StateMachine> OarServer<S> {
             OarWire::SyncProbe {
                 settled: self.total_settled(),
                 root: tree.root(),
+                leaves: tree.leaf_count() as u64,
+            },
+        );
+    }
+
+    /// Ships this replica's full settled key set to `peer` — the anti-entropy
+    /// fallback when two same-settled trees pad to different leaf widths and
+    /// the heap-index descent cannot run. Counted with the descent wires: the
+    /// O(log n) gate only measures shape-preserving divergences, and a shape
+    /// divergence costs O(n) keys on the wire by necessity.
+    fn send_sync_keys(
+        &mut self,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+        peer: ProcessId,
+        settled: u64,
+        reply_requested: bool,
+    ) {
+        let Some(leaves) = self.sm.anti_entropy_leaves() else {
+            return;
+        };
+        self.stats.sync_node_wires += 1;
+        ctx.send(
+            peer,
+            OarWire::SyncKeys {
+                settled,
+                keys: leaves.into_iter().map(|(key, _)| key).collect(),
+                reply_requested,
             },
         );
     }
 
     /// Starts a leaf repair vote for `key`: records our own value and asks
-    /// every peer for theirs. Idempotent while the vote is in flight.
+    /// every peer for theirs. Idempotent while the vote is in flight; an
+    /// in-flight vote that cannot resolve expires after
+    /// [`SYNC_VOTE_EXPIRY_TICKS`] (see [`Self::maybe_sync`]), so the guard
+    /// never blocks repair permanently.
     fn start_leaf_vote(
         &mut self,
         ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
@@ -1910,7 +1969,7 @@ impl<S: StateMachine> OarServer<S> {
         }
         let mut votes = BTreeMap::new();
         votes.insert(self.id, self.sm.anti_entropy_value(&key));
-        self.sync_votes.insert(key.clone(), votes);
+        self.sync_votes.insert(key.clone(), (self.sync_tick, votes));
         for peer in self.peers() {
             ctx.send(peer, OarWire::SyncLeafRequest { key: key.clone() });
         }
@@ -1927,7 +1986,7 @@ impl<S: StateMachine> OarServer<S> {
         if !self.group.contains(&from) {
             return;
         }
-        let Some(votes) = self.sync_votes.get_mut(&key) else {
+        let Some((_, votes)) = self.sync_votes.get_mut(&key) else {
             return;
         };
         votes.insert(from, value);
@@ -1951,9 +2010,11 @@ impl<S: StateMachine> OarServer<S> {
                 }
             }
             None => {
-                if self.sync_votes.get(&key).map(|v| v.len()) == Some(self.group.len()) {
+                if self.sync_votes.get(&key).map(|(_, v)| v.len()) == Some(self.group.len()) {
                     // Everyone answered, no majority: give up this round
-                    // (the next probe retries from fresh state).
+                    // (the next probe retries from fresh state). Short of
+                    // that — a member crashed, so not everyone *can* answer —
+                    // the tick deadline expires the vote instead.
                     self.sync_votes.remove(&key);
                 }
             }
@@ -2475,6 +2536,7 @@ impl<S: StateMachine> OarServer<S> {
             route_epoch: self.route_epoch,
             migrations: self.migrations.clone(),
             sync_cursor: self.sync_cursor,
+            sync_tick: self.sync_tick,
             sync_votes: self.sync_votes.clone(),
             sync_idle_mark: self.sync_idle_mark,
             sm,
@@ -2563,6 +2625,7 @@ impl<S: StateMachine> OarServer<S> {
         self.route_epoch.hash(&mut h);
         format!("{:?}", self.migrations).hash(&mut h);
         self.sync_cursor.hash(&mut h);
+        self.sync_tick.hash(&mut h);
         format!("{:?}", self.sync_votes).hash(&mut h);
         self.sync_idle_mark.hash(&mut h);
         self.sm.digest().hash(&mut h);
@@ -2666,6 +2729,7 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                         wire.payload.client,
                         OarWire::Redirect {
                             records: self.migrations.clone(),
+                            dropped: vec![wire.id],
                         },
                     );
                     return;
@@ -2787,7 +2851,11 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
             } => {
                 self.handle_migrate_state(ctx, record, entries, digest);
             }
-            OarWire::SyncProbe { settled, root } => {
+            OarWire::SyncProbe {
+                settled,
+                root,
+                leaves,
+            } => {
                 if !self.config.anti_entropy
                     || settled != self.total_settled()
                     || !self.undo_stack.is_empty()
@@ -2800,8 +2868,17 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                 if tree.root() == root {
                     return;
                 }
-                // Same settled position, different root: start the descent
-                // by shipping our root node back to the prober.
+                // Equal settled counts do not imply equal key counts (a
+                // divergence can add or remove a key): when the two leaf
+                // rows pad to different widths, heap indices are
+                // incomparable and the descent would misalign — fall back
+                // to the full key-set exchange instead.
+                if !tree.same_shape(leaves) {
+                    self.send_sync_keys(ctx, from, settled, true);
+                    return;
+                }
+                // Same settled position and shape, different root: start the
+                // descent by shipping our root node back to the prober.
                 if let Some(node) = tree.node(1) {
                     self.stats.sync_node_wires += 1;
                     ctx.send(
@@ -2810,36 +2887,15 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                             settled,
                             index: 1,
                             node,
+                            leaves: tree.leaf_count() as u64,
                         },
                     );
                 }
             }
-            OarWire::SyncNodeRequest { settled, index } => {
-                if !self.config.anti_entropy
-                    || settled != self.total_settled()
-                    || !self.undo_stack.is_empty()
-                {
-                    return;
-                }
-                let Some(tree) = self.build_sync_tree() else {
-                    return;
-                };
-                if let Some(node) = tree.node(index) {
-                    self.stats.sync_node_wires += 1;
-                    ctx.send(
-                        from,
-                        OarWire::SyncNodeReply {
-                            settled,
-                            index,
-                            node,
-                        },
-                    );
-                }
-            }
-            OarWire::SyncNodeReply {
+            OarWire::SyncNodeRequest {
                 settled,
                 index,
-                node,
+                leaves,
             } => {
                 if !self.config.anti_entropy
                     || settled != self.total_settled()
@@ -2850,6 +2906,45 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                 let Some(tree) = self.build_sync_tree() else {
                     return;
                 };
+                // A shape mismatch mid-descent (our tree changed since the
+                // probe): the index is meaningless now, switch to the
+                // key-set fallback rather than answer with the wrong node.
+                if !tree.same_shape(leaves) {
+                    self.send_sync_keys(ctx, from, settled, true);
+                    return;
+                }
+                if let Some(node) = tree.node(index) {
+                    self.stats.sync_node_wires += 1;
+                    ctx.send(
+                        from,
+                        OarWire::SyncNodeReply {
+                            settled,
+                            index,
+                            node,
+                            leaves: tree.leaf_count() as u64,
+                        },
+                    );
+                }
+            }
+            OarWire::SyncNodeReply {
+                settled,
+                index,
+                node,
+                leaves,
+            } => {
+                if !self.config.anti_entropy
+                    || settled != self.total_settled()
+                    || !self.undo_stack.is_empty()
+                {
+                    return;
+                }
+                let Some(tree) = self.build_sync_tree() else {
+                    return;
+                };
+                if !tree.same_shape(leaves) {
+                    self.send_sync_keys(ctx, from, settled, true);
+                    return;
+                }
                 let (descend, keys) = tree.diff_step(index, &node);
                 for child in descend {
                     self.stats.sync_node_wires += 1;
@@ -2858,10 +2953,41 @@ impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for OarServer<S>
                         OarWire::SyncNodeRequest {
                             settled,
                             index: child,
+                            leaves: tree.leaf_count() as u64,
                         },
                     );
                 }
                 for key in keys {
+                    self.start_leaf_vote(ctx, key);
+                }
+            }
+            OarWire::SyncKeys {
+                settled,
+                keys,
+                reply_requested,
+            } => {
+                if !self.config.anti_entropy
+                    || settled != self.total_settled()
+                    || !self.undo_stack.is_empty()
+                {
+                    return;
+                }
+                let Some(own) = self.sm.anti_entropy_leaves() else {
+                    return;
+                };
+                if reply_requested {
+                    // Bounded round trip: answer with our key set once, with
+                    // the flag cleared so the exchange can never loop.
+                    self.send_sync_keys(ctx, from, settled, false);
+                }
+                // Vote on the union of the two key sets: keys the peer has
+                // and we lack are covered by its list, keys we have and it
+                // lacks by ours. Each vote settles by group majority, so the
+                // union's false positives (keys both sides agree on) resolve
+                // to the status quo at one round trip apiece.
+                let mut union: BTreeSet<String> = keys.into_iter().collect();
+                union.extend(own.into_iter().map(|(key, _)| key));
+                for key in union {
                     self.start_leaf_vote(ctx, key);
                 }
             }
@@ -3644,9 +3770,77 @@ mod tests {
         assert!(
             actions.iter().any(|a| matches!(
                 sent(a),
-                Some((to, OarWire::Redirect { records })) if to == client && records.len() == 1
+                Some((to, OarWire::Redirect { records, dropped }))
+                    if to == client
+                        && records.len() == 1
+                        && dropped.len() == 1
+                        && dropped[0] == rid
             )),
-            "stale-routed client must receive the records"
+            "stale-routed client must receive the records and its dropped id"
+        );
+    }
+
+    /// Runs `f` against the server with a throwaway runtime context, the
+    /// way timer-driven paths see one.
+    fn drive(
+        server: &mut OarServer<CounterMachine>,
+        f: impl FnOnce(&mut OarServer<CounterMachine>, &mut dyn oar_simnet::Runtime<Wire>),
+    ) {
+        let mut rng = SimRng::new(1);
+        let mut actions = Vec::new();
+        let mut next_timer = 0u64;
+        let mut ctx = Context::new(
+            SimTime::from_millis(1),
+            server.id(),
+            &mut rng,
+            &mut actions,
+            &mut next_timer,
+        );
+        f(server, &mut ctx);
+    }
+
+    /// A leaf-repair vote that cannot resolve — a member crashed before
+    /// casting its ballot and the rest split — must expire after
+    /// [`SYNC_VOTE_EXPIRY_TICKS`] instead of wedging `start_leaf_vote`'s
+    /// idempotence guard forever.
+    #[test]
+    fn unresolved_leaf_votes_expire_and_unblock_retry() {
+        let group: Vec<ProcessId> = (0..3).map(ProcessId::new).collect();
+        let config = OarConfig {
+            anti_entropy: true,
+            ..OarConfig::default()
+        };
+        let mut server =
+            OarServer::new(ProcessId::new(0), group, config, CounterMachine::default());
+        // Our ballot (an unkeyed machine votes `None`) plus one conflicting
+        // peer ballot: 2 of 3 split, no strict majority; the third member
+        // never answers. The vote is wedged.
+        drive(&mut server, |s, ctx| s.start_leaf_vote(ctx, "k".into()));
+        assert!(server.sync_votes.contains_key("k"));
+        deliver(
+            &mut server,
+            ProcessId::new(1),
+            OarWire::SyncLeafReply {
+                key: "k".into(),
+                value: Some("conflicting".into()),
+            },
+        );
+        assert!(
+            server.sync_votes.contains_key("k"),
+            "a 2-of-3 split cannot resolve"
+        );
+        // Anti-entropy ticks up to the deadline keep the vote in flight...
+        for _ in 0..SYNC_VOTE_EXPIRY_TICKS {
+            drive(&mut server, |s, ctx| s.maybe_sync(ctx));
+        }
+        assert!(server.sync_votes.contains_key("k"), "deadline not hit yet");
+        // ...and the next tick expires it, so a later probe can retry.
+        drive(&mut server, |s, ctx| s.maybe_sync(ctx));
+        assert!(server.sync_votes.is_empty(), "wedged vote expired");
+        drive(&mut server, |s, ctx| s.start_leaf_vote(ctx, "k".into()));
+        assert!(
+            server.sync_votes.contains_key("k"),
+            "repair for the key is unblocked"
         );
     }
 }

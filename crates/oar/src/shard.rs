@@ -73,6 +73,29 @@ impl KeyRange {
                 None => true,
             }
     }
+
+    /// Whether the two half-open ranges share at least one key.
+    pub fn intersects(&self, other: &KeyRange) -> bool {
+        let other_starts_below_our_end = match &self.end {
+            Some(end) => other.start < *end,
+            None => true,
+        };
+        let we_start_below_other_end = match &other.end {
+            Some(end) => self.start < *end,
+            None => true,
+        };
+        other_starts_below_our_end && we_start_below_other_end
+    }
+
+    /// Whether every key of `other` falls inside this range.
+    pub fn contains_range(&self, other: &KeyRange) -> bool {
+        self.start <= other.start
+            && match (&self.end, &other.end) {
+                (None, _) => true,
+                (Some(_), None) => false,
+                (Some(our_end), Some(other_end)) => other_end <= our_end,
+            }
+    }
 }
 
 /// One settled shard migration: from `route_epoch` on, the keys of `range`
@@ -247,24 +270,39 @@ impl ShardRouter {
         record
     }
 
-    /// Whether every key of `range` currently routes to the same group
-    /// (sampled at the bounds; exact for the base range partitioner when the
-    /// bounds fall inside one interval).
+    /// Whether every key of `range` currently routes to the same group.
+    ///
+    /// Exact for the range partitioner and for ranges decided by a settled
+    /// migration; conservative (`false`) for a multi-group hash partitioner —
+    /// whose interior keys hash independently of the bounds — and for ranges
+    /// a migration override covers only partially.
     pub fn owns_whole_range(&self, range: &KeyRange) -> bool {
-        let owner = self.route_key(&range.start);
-        match &range.end {
-            Some(end) => {
-                self.route_key(end) == owner || {
-                    // End is exclusive: check the largest boundary below it.
-                    match &self.partitioner {
-                        Partitioner::Range { boundaries } => {
-                            !boundaries.iter().any(|b| range.contains(b))
-                        }
-                        Partitioner::Hash => false,
-                    }
-                }
+        // The newest override intersecting the range decides: if it contains
+        // the whole range, every key's newest covering record is that
+        // override (nothing newer intersects), so the range has one owner. A
+        // partial intersection splits ownership at the override's bound —
+        // conservatively false even if both sides happen to agree.
+        for record in self.overrides.iter().rev() {
+            if record.range.intersects(range) {
+                return record.range.contains_range(range);
             }
-            None => false,
+        }
+        match &self.partitioner {
+            // Interior keys hash independently of the bounds, so no
+            // multi-key range has a single owner across several groups.
+            Partitioner::Hash => self.num_groups == 1,
+            Partitioner::Range { boundaries } => {
+                // A boundary strictly inside the range splits it; `b ==
+                // start` does not (the whole range sits at or above `b`),
+                // and `b >= end` does not (the end is exclusive).
+                boundaries.iter().all(|b| {
+                    *b <= range.start
+                        || match &range.end {
+                            Some(end) => b >= end,
+                            None => false,
+                        }
+                })
+            }
         }
     }
 
@@ -432,7 +470,60 @@ mod tests {
             !router.owns_whole_range(&KeyRange::new("g", "k")),
             "crosses h"
         );
-        assert!(!router.owns_whole_range(&KeyRange::from("x")), "unbounded");
+        assert!(
+            !router.owns_whole_range(&KeyRange::from("a")),
+            "unbounded ranges crossing a boundary are split"
+        );
+        assert!(
+            router.owns_whole_range(&KeyRange::from("x")),
+            "the last interval owns its unbounded tail"
+        );
+    }
+
+    #[test]
+    fn owns_whole_range_sees_overrides_strictly_inside_the_range() {
+        // The REVIEW scenario: after migrating [b, c) away, a range
+        // enclosing it has two owners even though both its bounds still
+        // route to the original group.
+        let mut router = ShardRouter::range(vec!["m".into()]);
+        assert!(router.owns_whole_range(&KeyRange::new("a", "d")));
+        router.migrate(KeyRange::new("b", "c"), GroupId::new(1));
+        assert_eq!(router.route_key("a"), router.route_key("c")); // bounds agree...
+        assert!(
+            !router.owns_whole_range(&KeyRange::new("a", "d")),
+            "...but [b, c) inside belongs to group 1"
+        );
+        // The migrated range itself, and sub-ranges of it, have one owner.
+        assert!(router.owns_whole_range(&KeyRange::new("b", "c")));
+        assert!(router.owns_whole_range(&KeyRange::new("ba", "bb")));
+        // Partial overlap with the override is conservatively split.
+        assert!(!router.owns_whole_range(&KeyRange::new("bz", "e")));
+    }
+
+    #[test]
+    fn owns_whole_range_is_conservative_under_hash() {
+        // Interior keys hash independently of the bounds: only a one-group
+        // deployment owns a whole range.
+        assert!(!ShardRouter::hash(4).owns_whole_range(&KeyRange::new("a", "b")));
+        assert!(ShardRouter::hash(1).owns_whole_range(&KeyRange::new("a", "b")));
+        // An override containing the range still decides exactly.
+        let mut router = ShardRouter::hash(4);
+        router.migrate(KeyRange::new("a", "c"), GroupId::new(2));
+        assert!(router.owns_whole_range(&KeyRange::new("a", "b")));
+    }
+
+    #[test]
+    fn key_range_intersection_and_containment() {
+        let mid = KeyRange::new("b", "d");
+        assert!(mid.intersects(&KeyRange::new("c", "e")));
+        assert!(!mid.intersects(&KeyRange::new("d", "e")), "ends exclusive");
+        assert!(!mid.intersects(&KeyRange::from("d")));
+        assert!(mid.intersects(&KeyRange::from("a")));
+        assert!(KeyRange::from("a").contains_range(&mid));
+        assert!(mid.contains_range(&KeyRange::new("b", "d")));
+        assert!(mid.contains_range(&KeyRange::new("c", "d")));
+        assert!(!mid.contains_range(&KeyRange::new("c", "e")));
+        assert!(!mid.contains_range(&KeyRange::from("c")));
     }
 
     #[test]

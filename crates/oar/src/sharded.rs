@@ -108,10 +108,10 @@ struct Outstanding<C, R> {
     /// The command itself, retained so a [`OarWire::Redirect`] can re-route
     /// the request to the group that now owns its key.
     command: C,
-    /// The routing-boundary epoch the request was last sent under. A
-    /// [`OarWire::Redirect`] re-sends every outstanding request with a stale
-    /// stamp — even one whose group did not change, because its first-hand
-    /// copies may all have been door-dropped for the stale stamp alone.
+    /// The routing-boundary epoch the request was last sent under. Used to
+    /// de-duplicate redirects: once a request was re-sent under the current
+    /// epoch, further `Redirect`s naming it (one per group member that
+    /// door-dropped a first-hand copy) are ignored.
     route_epoch: u64,
 }
 
@@ -383,24 +383,35 @@ where
     }
 
     /// Handles a routing redirect from a donor group: advance the local
-    /// router past the migrations the redirect carries, then re-send every
-    /// outstanding request whose key now routes to a different group —
-    /// under its *original* [`RequestId`], so the servers' at-most-once
-    /// guarantee (and the cross-group leak check) still holds.
+    /// router past the migrations the redirect carries, then re-send exactly
+    /// the requests the redirect names as **dropped** — under their
+    /// *original* [`RequestId`]s, so the servers' at-most-once guarantee
+    /// (and the cross-group leak check) still holds.
+    ///
+    /// Only dropped requests may be re-sent. An outstanding request the
+    /// donor already ordered is *not* dropped: its effect travels in the
+    /// migrated hand-off and its replies are still in flight, so re-sending
+    /// it to the recipient group — whose seen-set has never met its id —
+    /// would order and execute it a second time. The servers name a request
+    /// in `dropped` only when no copy of it can settle anywhere (door-drop
+    /// before the caster, or fence prune with the seen entry retained), so
+    /// the re-send is the request's only path to settlement.
     fn handle_redirect(
         &mut self,
         ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
         records: Vec<MigrationRecord>,
+        dropped: Vec<RequestId>,
     ) {
         for record in &records {
             self.router.apply_record(record);
         }
         let route_epoch = self.router.route_epoch();
-        let ids: Vec<RequestId> = self.outstanding.keys().copied().collect();
-        for id in ids {
-            let outstanding = self.outstanding.get_mut(&id).expect("listed above");
+        for id in dropped {
+            let Some(outstanding) = self.outstanding.get_mut(&id) else {
+                continue; // already completed (a racing group answered)
+            };
             if outstanding.route_epoch >= route_epoch {
-                continue; // sent under the current boundary: nothing dropped it
+                continue; // already re-sent under the current boundary
             }
             let group = self.router.route(&outstanding.command);
             if group != outstanding.group {
@@ -414,9 +425,10 @@ where
                 outstanding.group = group;
                 outstanding.quorum = QuorumTracker::new();
             }
-            // Same group: the stale-stamped first-hand copies may all have
-            // been door-dropped, so re-send under the fresh stamp; if one was
-            // accepted after all, the group's seen-set absorbs the duplicate.
+            // Same group: the first-hand copy was door-dropped for the stale
+            // stamp alone, so re-send under the fresh one; if a pre-fence
+            // relay spread it after all, the group's seen-set absorbs the
+            // duplicate.
             outstanding.route_epoch = route_epoch;
             let wire = CastWire {
                 id,
@@ -457,7 +469,7 @@ where
     ) {
         match msg {
             OarWire::Replies(batch) => self.handle_reply_batch(ctx, batch),
-            OarWire::Redirect { records } => self.handle_redirect(ctx, records),
+            OarWire::Redirect { records, dropped } => self.handle_redirect(ctx, records, dropped),
             // Clients ignore every other message kind.
             _ => {}
         }
@@ -1139,5 +1151,130 @@ mod tests {
         };
         let _cluster: ShardedCluster<KeyedCounters> =
             ShardedCluster::build(&config, KeyedCounters::default, |_| Vec::new());
+    }
+
+    /// Runs `f` against the client with a throwaway runtime context and
+    /// returns the actions it produced.
+    fn drive(
+        client: &mut ShardedClient<KeyedCounters>,
+        f: impl FnOnce(&mut ShardedClient<KeyedCounters>, &mut dyn Runtime<OarWire<AddTo, i64>>),
+    ) -> Vec<oar_simnet::Action<OarWire<AddTo, i64>>> {
+        let mut rng = oar_simnet::SimRng::new(1);
+        let mut actions = Vec::new();
+        let mut next_timer = 0u64;
+        {
+            let mut ctx = oar_simnet::Context::new(
+                SimTime::from_millis(1),
+                client.id(),
+                &mut rng,
+                &mut actions,
+                &mut next_timer,
+            );
+            f(client, &mut ctx);
+        }
+        actions
+    }
+
+    /// The `(destination, request)` pairs among `actions`.
+    fn requests_sent(
+        actions: &[oar_simnet::Action<OarWire<AddTo, i64>>],
+    ) -> Vec<(ProcessId, &Request<AddTo>)> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                oar_simnet::Action::Send { to, msg } => {
+                    let wire = match msg {
+                        oar_simnet::Payload::Owned(m) => m,
+                        oar_simnet::Payload::Shared(s) => s.as_ref(),
+                    };
+                    match wire {
+                        OarWire::Request(cast) => Some((*to, &cast.payload)),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The REVIEW regression: a `Redirect` re-sends exactly the requests it
+    /// names as dropped — an outstanding request the donor group already
+    /// ordered (whose effect travels in the hand-off) must NOT be re-sent
+    /// to the recipient, whose seen-set would execute it a second time.
+    #[test]
+    fn redirect_re_sends_only_the_dropped_requests() {
+        let groups: Vec<Vec<ProcessId>> = vec![
+            (0..3).map(ProcessId::new).collect(),
+            (3..6).map(ProcessId::new).collect(),
+        ];
+        // Keys below "m" start at group 0.
+        let router = ShardRouter::range(vec!["m".into()]);
+        let workload = vec![
+            AddTo {
+                key: "b".into(),
+                delta: 1,
+            },
+            AddTo {
+                key: "c".into(),
+                delta: 1,
+            },
+        ];
+        let mut client: ShardedClient<KeyedCounters> = ShardedClient::new(
+            ProcessId::new(9),
+            groups,
+            router,
+            workload,
+            ClientConfig::builder().pipeline(2).build(),
+        );
+        let actions = drive(&mut client, |c, ctx| c.on_start(ctx));
+        let initial = requests_sent(&actions);
+        assert_eq!(initial.len(), 6, "two requests to three group-0 members");
+        assert!(initial.iter().all(|(to, _)| to.index() < 3));
+        let dropped_id = RequestId::new(ProcessId::new(9), 0); // key "b"
+        let ordered_id = RequestId::new(ProcessId::new(9), 1); // key "c"
+
+        // [b, c) migrated to group 1; the donor door-dropped only the "b"
+        // request (the "c" one it had already ordered).
+        let record = MigrationRecord {
+            range: KeyRange::new("b", "c"),
+            from_group: GroupId::new(0),
+            to_group: GroupId::new(1),
+            route_epoch: 1,
+        };
+        let actions = drive(&mut client, |c, ctx| {
+            c.on_message(
+                ctx,
+                ProcessId::new(0),
+                OarWire::Redirect {
+                    records: vec![record.clone()],
+                    dropped: vec![dropped_id],
+                },
+            );
+        });
+        let resent = requests_sent(&actions);
+        assert_eq!(resent.len(), 3, "one request to three group-1 members");
+        for (to, request) in &resent {
+            assert!((3..6).contains(&to.index()), "re-sent to the recipient");
+            assert_eq!(request.id, dropped_id, "only the dropped id re-sent");
+            assert_eq!(request.route_epoch, 1, "re-sent under the fresh stamp");
+        }
+        assert!(
+            resent.iter().all(|(_, r)| r.id != ordered_id),
+            "the donor-ordered request must not be re-sent"
+        );
+
+        // A duplicate redirect (another donor member door-dropped the same
+        // request) is absorbed by the route-epoch de-duplication.
+        let actions = drive(&mut client, |c, ctx| {
+            c.on_message(
+                ctx,
+                ProcessId::new(1),
+                OarWire::Redirect {
+                    records: vec![record],
+                    dropped: vec![dropped_id],
+                },
+            );
+        });
+        assert!(requests_sent(&actions).is_empty(), "duplicate absorbed");
     }
 }

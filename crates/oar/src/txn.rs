@@ -65,7 +65,7 @@ use crate::message::{
     majority, OarWire, Reply, ReplyBatch, Request, RequestId, TxnEnvelope, TxnId,
 };
 use crate::server::{OarServer, ServerStats};
-use crate::shard::{ShardKey, ShardRouter};
+use crate::shard::{MigrationRecord, ShardKey, ShardRouter};
 use crate::sharded::{build_group_servers, check_groups_consistency, ShardedConfig};
 use crate::state_machine::StateMachine;
 
@@ -146,17 +146,28 @@ impl<R> TxnCompleted<R> {
 
 /// One not-yet-adopted per-group leg of an outstanding transaction.
 #[derive(Debug)]
-struct PendingPart<R> {
+struct PendingPart<C, R> {
     group: GroupId,
     quorum: QuorumTracker<R>,
+    /// The partition command, retained so a [`OarWire::Redirect`] can
+    /// re-send the prepare (to the group that now owns its shard key).
+    command: C,
+    /// The routing-boundary epoch the prepare was last sent under; redirects
+    /// naming an already re-sent prepare are de-duplicated against it.
+    route_epoch: u64,
 }
 
 #[derive(Debug)]
-struct OutstandingTxn<R> {
+struct OutstandingTxn<C, R> {
     index: usize,
     sent_at: SimTime,
+    /// The envelope the prepares were multicast with (`None` on the
+    /// single-group fast path). A redirected prepare is re-sent under the
+    /// same envelope: the participant set names the groups the *other*
+    /// prepares already carried, and must stay consistent across re-sends.
+    envelope: Option<TxnEnvelope>,
     /// Parts whose group quorum is still open, keyed by prepare request.
-    pending: BTreeMap<RequestId, PendingPart<R>>,
+    pending: BTreeMap<RequestId, PendingPart<C, R>>,
     /// Parts already adopted (their group's quorum closed).
     adopted: Vec<TxnPart<R>>,
 }
@@ -187,7 +198,7 @@ pub struct TxnClient<S: StateMachine> {
     /// Present when the transaction window adapts to the delivery-batch
     /// hints the participating groups report.
     adaptive: Option<PipelineController>,
-    outstanding: BTreeMap<TxnId, OutstandingTxn<S::Response>>,
+    outstanding: BTreeMap<TxnId, OutstandingTxn<S::Command, S::Response>>,
     /// Owning transaction of every in-flight prepare request.
     request_txn: HashMap<RequestId, TxnId>,
     completed: Vec<TxnCompleted<S::Response>>,
@@ -295,6 +306,7 @@ where
         let mut outstanding = OutstandingTxn {
             index: self.next_index,
             sent_at: ctx.now(),
+            envelope: envelope.clone(),
             pending: BTreeMap::new(),
             adopted: Vec::new(),
         };
@@ -307,6 +319,7 @@ where
             };
             let id = RequestId::new(self.id, self.next_seq);
             self.next_seq += 1;
+            let route_epoch = self.router.route_epoch();
             let wire = CastWire {
                 id,
                 origin: self.id,
@@ -316,8 +329,8 @@ where
                     group,
                     txn: envelope.clone(),
                     reconfig: None,
-                    route_epoch: self.router.route_epoch(),
-                    command,
+                    route_epoch,
+                    command: command.clone(),
                 },
             };
             ctx.send_all(&self.groups[group.index()], OarWire::Request(wire));
@@ -328,6 +341,8 @@ where
                 PendingPart {
                     group,
                     quorum: QuorumTracker::new(),
+                    command,
+                    route_epoch,
                 },
             );
         }
@@ -409,6 +424,68 @@ where
             ctx.set_timer(self.think_time, NEXT_TXN);
         }
     }
+
+    /// Applies the migration records of a [`OarWire::Redirect`] and re-sends
+    /// exactly the door-dropped prepares — never the other outstanding ones:
+    /// a prepare the donor group already ordered travels to the recipient in
+    /// the migrated hand-off, and re-sending it would apply the transaction's
+    /// partition twice.
+    ///
+    /// The re-sent prepare keeps its original envelope (participant set) and
+    /// re-routes wholesale by the partition command's shard key. A migration
+    /// cannot split the partition: keys move between groups one record at a
+    /// time, so the recipient of the partition's first key owns the prepare.
+    fn handle_redirect(
+        &mut self,
+        ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>,
+        records: Vec<MigrationRecord>,
+        dropped: Vec<RequestId>,
+    ) {
+        for record in &records {
+            self.router.apply_record(record);
+        }
+        let route_epoch = self.router.route_epoch();
+        for id in dropped {
+            let Some(&txn) = self.request_txn.get(&id) else {
+                continue; // part already adopted (a racing member answered)
+            };
+            let outstanding = self
+                .outstanding
+                .get_mut(&txn)
+                .expect("request_txn entries outlive their transaction");
+            let part = outstanding
+                .pending
+                .get_mut(&id)
+                .expect("pending part matches request_txn");
+            if part.route_epoch >= route_epoch {
+                continue; // already re-sent under the current boundary
+            }
+            let group = self.router.route(&part.command);
+            if group != part.group {
+                // Partial optimistic weight from the donor group must not be
+                // mixed with the recipient's replies (epoch numbers are
+                // per-group), so the tracker restarts from scratch.
+                part.group = group;
+                part.quorum = QuorumTracker::new();
+            }
+            part.route_epoch = route_epoch;
+            let wire = CastWire {
+                id,
+                origin: self.id,
+                payload: Request {
+                    id,
+                    client: self.id,
+                    group,
+                    txn: outstanding.envelope.clone(),
+                    reconfig: None,
+                    route_epoch,
+                    command: part.command.clone(),
+                },
+            };
+            ctx.send_all(&self.groups[group.index()], OarWire::Request(wire));
+            ctx.annotate(format!("OAR-redirect({id}, {group})"));
+        }
+    }
 }
 
 impl<S: StateMachine> Process<OarWire<S::Command, S::Response>> for TxnClient<S>
@@ -429,10 +506,12 @@ where
         _from: ProcessId,
         msg: OarWire<S::Command, S::Response>,
     ) {
-        if let OarWire::Replies(batch) = msg {
-            self.handle_reply_batch(ctx, batch);
+        match msg {
+            OarWire::Replies(batch) => self.handle_reply_batch(ctx, batch),
+            OarWire::Redirect { records, dropped } => self.handle_redirect(ctx, records, dropped),
+            // Clients ignore every other message kind.
+            _ => {}
         }
-        // Clients ignore every other message kind.
     }
 
     fn on_timer(&mut self, ctx: &mut dyn Runtime<OarWire<S::Command, S::Response>>, timer: Timer) {

@@ -305,3 +305,64 @@ fn merkle_anti_entropy_heals_injected_divergence() {
         "the descent must actually walk the tree"
     );
 }
+
+/// Shape-divergent anti-entropy (REVIEW regression): deleting a key on one
+/// replica across a power-of-two boundary (9 settled keys pad to 16 leaves,
+/// 8 pad to 8) makes the heap-index descent incomparable. The replicas must
+/// detect the width mismatch, fall back to the full key-set exchange
+/// (`SyncKeys`), and heal by majority vote — not descend forever.
+#[test]
+fn merkle_anti_entropy_heals_shape_divergence() {
+    let config = ClusterConfig {
+        num_servers: 3,
+        num_clients: 2,
+        net: NetConfig::lan(),
+        oar: OarConfig {
+            anti_entropy: true,
+            ..OarConfig::with_fd_timeout(SimDuration::from_millis(25))
+        },
+        seed: 11,
+        ..ClusterConfig::default()
+    };
+    // Exactly 9 distinct keys: one past the 8-leaf power of two.
+    let mut cluster: Cluster<KvMachine> = Cluster::build(&config, KvMachine::new, |c| {
+        (0..27)
+            .map(|i| KvCommand::Put {
+                key: format!("k{}", (c * 4 + i) % 9),
+                value: format!("c{c}i{i}"),
+            })
+            .collect()
+    });
+    assert!(cluster.run_to_completion(SimTime::from_secs(30)));
+    let settle = cluster.world.now() + SimDuration::from_millis(100);
+    cluster.world.run_until(settle);
+    assert!(cluster.total_sync_probes() > 0, "probes must be running");
+
+    // Delete a key on replica 1: its tree narrows to 8 leaves while the
+    // others keep 16 — no aligned descent exists.
+    assert!(
+        cluster.inject_divergence(1, "k4", None),
+        "injection must change the state"
+    );
+    let wires_before = cluster.total_sync_node_wires();
+    let heal = cluster.world.now() + SimDuration::from_millis(200);
+    cluster.world.run_until(heal);
+
+    assert!(
+        cluster.total_sync_repairs() >= 1,
+        "the narrowed replica must re-install the deleted key"
+    );
+    run_cluster_checks(&cluster, "anti-entropy shape heal");
+    assert!(
+        cluster.total_sync_node_wires() > wires_before,
+        "the key-set fallback must have travelled"
+    );
+    // The fallback is bounded: one `SyncKeys` round trip per divergent
+    // probe, never an unbounded descent. A handful of probes race before
+    // the heal lands; each costs at most 2 key-set wires.
+    assert!(
+        cluster.total_sync_node_wires() - wires_before <= 24,
+        "shape fallback cost {} wires — the mismatch must not loop",
+        cluster.total_sync_node_wires() - wires_before
+    );
+}
